@@ -1,0 +1,26 @@
+//! Ablation bench for the §3.4.1 cost cut-off: optimization time of a
+//! multi-subquery query with the cut-off budget on vs off (results are
+//! identical; the cut-off only prunes doomed states early).
+
+use cbqt_bench::workload::{Family, WorkloadGen};
+use cbqt::SearchStrategy;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut gen = WorkloadGen::new(42);
+    gen.scale = 0.2;
+    let mut inst = gen.generate(Family::Unnest, 1).pop().unwrap();
+    let sql = inst.sql.clone();
+    let mut g = c.benchmark_group("ablation_cost_cutoff");
+    g.sample_size(30);
+    for (name, cutoff) in [("cutoff_on", true), ("cutoff_off", false)] {
+        let cfg = inst.db.config_mut();
+        cfg.search = SearchStrategy::Exhaustive;
+        cfg.cost_cutoff = cutoff;
+        g.bench_function(name, |b| b.iter(|| inst.db.explain(&sql).unwrap().len()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 2: a mixed-family batch executed under
+//! heuristic-only vs cost-based transformation.
+
+use cbqt_bench::workload::WorkloadGen;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut gen = WorkloadGen::new(42);
+    gen.scale = 0.15;
+    let mut batch = gen.generate_mixed(8);
+    let sqls: Vec<String> = batch.iter().map(|i| i.sql.clone()).collect();
+    let mut g = c.benchmark_group("fig2_cbqt_vs_heuristic");
+    g.sample_size(10);
+    for i in batch.iter_mut() {
+        i.db.config_mut().cost_based = false;
+    }
+    g.bench_function("heuristic_mode", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for (inst, sql) in batch.iter_mut().zip(&sqls) {
+                n += inst.db.query(sql).unwrap().rows.len();
+            }
+            n
+        })
+    });
+    for i in batch.iter_mut() {
+        *i.db.config_mut() = Default::default();
+    }
+    g.bench_function("cost_based_mode", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for (inst, sql) in batch.iter_mut().zip(&sqls) {
+                n += inst.db.query(sql).unwrap().rows.len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

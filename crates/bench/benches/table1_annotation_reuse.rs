@@ -1,0 +1,28 @@
+//! Criterion bench for Table 1: optimization (not execution) of the Q1
+//! shape with cost-annotation reuse on vs off — the ablation for the
+//! §3.4.2 design decision.
+
+use cbqt_bench::workload::{Family, WorkloadGen};
+use cbqt::SearchStrategy;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut gen = WorkloadGen::new(42);
+    gen.scale = 0.2;
+    let mut inst = gen.generate(Family::Unnest, 1).pop().unwrap();
+    let sql = inst.sql.clone();
+    let mut g = c.benchmark_group("table1_annotation_reuse");
+    g.sample_size(30);
+    for (name, reuse) in [("reuse_on", true), ("reuse_off", false)] {
+        let cfg = inst.db.config_mut();
+        cfg.search = SearchStrategy::Exhaustive;
+        cfg.optimizer.reuse_annotations = reuse;
+        g.bench_function(name, |b| {
+            b.iter(|| inst.db.explain(&sql).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

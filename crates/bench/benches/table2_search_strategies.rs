@@ -1,0 +1,45 @@
+//! Criterion bench for Table 2: optimization time of the four search
+//! strategies on the 3-table / 4-subquery query.
+
+use cbqt_bench::workload::{Family, WorkloadGen};
+use cbqt::SearchStrategy;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SQL: &str = "SELECT e1.employee_name \
+    FROM employees e1, job_history j, departments d0 \
+    WHERE e1.emp_id = j.emp_id AND e1.dept_id = d0.dept_id AND \
+          e1.dept_id NOT IN (SELECT d.dept_id FROM departments d, locations l \
+                             WHERE d.loc_id = l.loc_id AND l.country_id = 'JP' \
+                               AND d.dept_id IS NOT NULL) AND \
+          EXISTS (SELECT 1 FROM departments d, locations l \
+                  WHERE d.loc_id = l.loc_id AND d.dept_id = e1.dept_id \
+                    AND l.country_id = 'US') AND \
+          NOT EXISTS (SELECT 1 FROM departments d, locations l \
+                      WHERE d.loc_id = l.loc_id AND d.dept_id = e1.dept_id \
+                        AND l.country_id = 'DE') AND \
+          e1.emp_id IN (SELECT j2.emp_id FROM job_history j2, departments d2 \
+                        WHERE j2.dept_id = d2.dept_id AND j2.start_date > 19950000)";
+
+fn bench(c: &mut Criterion) {
+    let mut gen = WorkloadGen::new(42);
+    gen.scale = 0.2;
+    let mut inst = gen.generate(Family::Unnest, 1).pop().unwrap();
+    let mut g = c.benchmark_group("table2_search_strategies");
+    g.sample_size(20);
+    for (name, strategy, cost_based) in [
+        ("heuristic", SearchStrategy::Auto, false),
+        ("two_pass", SearchStrategy::TwoPass, true),
+        ("linear", SearchStrategy::Linear, true),
+        ("exhaustive", SearchStrategy::Exhaustive, true),
+    ] {
+        let cfg = inst.db.config_mut();
+        cfg.cost_based = cost_based;
+        cfg.search = strategy;
+        cfg.interleave = false;
+        g.bench_function(name, |b| b.iter(|| inst.db.explain(SQL).unwrap().len()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

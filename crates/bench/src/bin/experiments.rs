@@ -1,0 +1,78 @@
+//! Experiment CLI: regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! ```text
+//! cargo run -p cbqt-bench --release --bin experiments -- all
+//! cargo run -p cbqt-bench --release --bin experiments -- fig3 --n 120 --scale 1.5
+//! ```
+
+use cbqt_bench::experiments;
+
+struct Args {
+    which: String,
+    n: usize,
+    seed: u64,
+    scale: f64,
+    reps: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { which: "all".into(), n: 80, seed: 42, scale: 1.0, reps: 2 };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--n" => {
+                i += 1;
+                args.n = argv[i].parse().expect("--n takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = argv[i].parse().expect("--seed takes a number");
+            }
+            "--scale" => {
+                i += 1;
+                args.scale = argv[i].parse().expect("--scale takes a number");
+            }
+            "--reps" => {
+                i += 1;
+                args.reps = argv[i].parse().expect("--reps takes a number");
+            }
+            other if !other.starts_with("--") => args.which = other.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let run_all = args.which == "all";
+    println!(
+        "cbqt experiments — seed={} n={} scale={} reps={}\n",
+        args.seed, args.n, args.scale, args.reps
+    );
+    if run_all || args.which == "fig2" {
+        let r = experiments::run_fig2(args.seed, args.n, args.scale, args.reps);
+        println!("{}", r.render());
+    }
+    if run_all || args.which == "fig3" {
+        let r = experiments::run_fig3(args.seed, args.n, args.scale, args.reps);
+        println!("{}", r.render());
+    }
+    if run_all || args.which == "fig4" {
+        let r = experiments::run_fig4(args.seed, args.n, args.scale, args.reps);
+        println!("{}", r.render());
+    }
+    if run_all || args.which == "gbp" {
+        let (r, extra) = experiments::run_gbp(args.seed, args.n, args.scale, args.reps);
+        println!("{}{}", r.render(), extra);
+    }
+    if run_all || args.which == "table1" {
+        println!("{}", experiments::run_table1(args.seed));
+    }
+    if run_all || args.which == "table2" {
+        println!("{}", experiments::run_table2(args.seed, args.reps.max(3)));
+    }
+}

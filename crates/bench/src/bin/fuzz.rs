@@ -1,0 +1,140 @@
+//! Extended differential fuzzing (dev tool): many random databases and
+//! queries, comparing all-transformations-off against cost-based under
+//! several strategies.
+
+use cbqt::common::Value;
+use cbqt::{Database, SearchStrategy, TransformSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_db(rng: &mut StdRng) -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE locations (loc_id INT PRIMARY KEY, country_id VARCHAR(2) NOT NULL);
+         CREATE TABLE departments (dept_id INT PRIMARY KEY, department_name VARCHAR(30),
+             loc_id INT REFERENCES locations(loc_id));
+         CREATE TABLE employees (emp_id INT PRIMARY KEY, employee_name VARCHAR(30),
+             dept_id INT REFERENCES departments(dept_id), salary INT, mgr_id INT);
+         CREATE TABLE job_history (emp_id INT NOT NULL, job_title VARCHAR(30),
+             start_date INT, dept_id INT);
+         CREATE INDEX i_emp_dept ON employees (dept_id);",
+    )
+    .unwrap();
+    let nloc = rng.gen_range(1..6i64);
+    let ndept = rng.gen_range(1..20i64);
+    let nemp = rng.gen_range(0..250i64);
+    let njh = rng.gen_range(0..200i64);
+    let nf = rng.gen_range(0.0..0.4);
+    let mut rows = Vec::new();
+    for l in 0..nloc {
+        rows.push(vec![Value::Int(l), Value::str(["US","UK","DE"][rng.gen_range(0..3)])]);
+    }
+    db.load_rows("locations", rows).unwrap();
+    let mut rows = Vec::new();
+    for d in 0..ndept {
+        rows.push(vec![Value::Int(d), Value::str(format!("d{d}")), Value::Int(rng.gen_range(0..nloc))]);
+    }
+    db.load_rows("departments", rows).unwrap();
+    let mut rows = Vec::new();
+    for e in 0..nemp {
+        rows.push(vec![
+            Value::Int(e),
+            Value::str(format!("e{e}")),
+            if rng.gen_bool(nf) { Value::Null } else { Value::Int(rng.gen_range(0..ndept)) },
+            if rng.gen_bool(nf/2.0) { Value::Null } else { Value::Int(rng.gen_range(0..8000)) },
+            Value::Int(rng.gen_range(0..nemp.max(1))),
+        ]);
+    }
+    db.load_rows("employees", rows).unwrap();
+    let mut rows = Vec::new();
+    for _j in 0..njh {
+        rows.push(vec![
+            Value::Int(rng.gen_range(0..nemp.max(1))),
+            Value::str(format!("t{}", rng.gen_range(0..4))),
+            Value::Int(19_900_000 + rng.gen_range(0..50_000)),
+            if rng.gen_bool(nf) { Value::Null } else { Value::Int(rng.gen_range(0..ndept)) },
+        ]);
+    }
+    db.load_rows("job_history", rows).unwrap();
+    if rng.gen_bool(0.7) { db.analyze().unwrap(); }
+    db
+}
+
+fn random_query(rng: &mut StdRng) -> String {
+    let sal = rng.gen_range(0..8000);
+    let date = 19_900_000 + rng.gen_range(0..50_000);
+    let c = ["US","UK","DE"][rng.gen_range(0..3)];
+    let k = rng.gen_range(0..20);
+    match rng.gen_range(0..22) {
+        0 => "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id)".to_string(),
+        1 => format!("SELECT e.employee_name FROM employees e WHERE e.dept_id IN (SELECT d.dept_id FROM departments d, locations l WHERE d.loc_id = l.loc_id AND l.country_id = '{c}') AND e.salary > {sal}"),
+        2 => format!("SELECT e1.employee_name, j.job_title FROM employees e1, job_history j, (SELECT DISTINCT d.dept_id FROM departments d, locations l WHERE d.loc_id = l.loc_id AND l.country_id IN ('UK','{c}')) v WHERE e1.dept_id = v.dept_id AND e1.emp_id = j.emp_id AND j.start_date > {date}"),
+        3 => format!("SELECT d.department_name, SUM(e.salary), COUNT(*), MIN(e.salary) FROM employees e, departments d WHERE e.dept_id = d.dept_id AND e.salary > {sal} GROUP BY d.department_name"),
+        4 => format!("SELECT e.employee_name, d.department_name FROM employees e, departments d WHERE e.dept_id = d.dept_id UNION ALL SELECT j.job_title, d.department_name FROM job_history j, departments d WHERE j.dept_id = d.dept_id AND j.start_date > {date}"),
+        5 => format!("SELECT d.dept_id FROM departments d MINUS SELECT e.dept_id FROM employees e WHERE e.salary > {sal}"),
+        6 => "SELECT e.dept_id FROM employees e INTERSECT SELECT j.dept_id FROM job_history j".to_string(),
+        7 => format!("SELECT e.employee_name FROM employees e WHERE e.emp_id = {k} OR e.salary > {sal} OR e.dept_id = {}", k % 7),
+        8 => format!("SELECT e.employee_name FROM employees e WHERE NOT EXISTS (SELECT 1 FROM departments d, locations l WHERE d.loc_id = l.loc_id AND d.dept_id = e.dept_id AND l.country_id = '{c}')"),
+        9 => format!("SELECT v.employee_name FROM (SELECT employee_name, salary FROM employees WHERE EXPENSIVE(salary, 5) > {sal} ORDER BY salary DESC) v WHERE rownum <= {}", k + 1),
+        10 => format!("SELECT v.country_id, v.dept_id, v.t FROM (SELECT l.country_id, d.dept_id, COUNT(*) t FROM departments d, locations l WHERE d.loc_id = l.loc_id GROUP BY ROLLUP (l.country_id, d.dept_id)) v WHERE v.dept_id = {}", k % 10),
+        11 => format!("SELECT e.emp_id, SUM(e.salary) OVER (PARTITION BY e.dept_id ORDER BY e.emp_id) FROM employees e WHERE e.salary > {sal}"),
+        12 => format!("SELECT e.employee_name FROM employees e WHERE e.dept_id NOT IN (SELECT j.dept_id FROM job_history j, departments d WHERE j.dept_id = d.dept_id AND j.start_date > {date})"),
+        13 => "SELECT e.emp_id FROM employees e WHERE e.salary > ALL (SELECT j.emp_id FROM job_history j, departments d WHERE j.dept_id = d.dept_id)".to_string(),
+        14 => format!("SELECT e.employee_name, d.department_name FROM employees e LEFT JOIN departments d ON e.dept_id = d.dept_id WHERE e.salary > {sal} AND EXISTS (SELECT 1 FROM job_history j WHERE j.emp_id = e.emp_id)"),
+        15 => format!("SELECT x.dn, x.c FROM (SELECT d.department_name dn, COUNT(*) c FROM employees e, departments d WHERE e.dept_id = d.dept_id GROUP BY d.department_name) x WHERE x.c > {}", k % 5),
+        16 => format!("SELECT e1.emp_id FROM employees e1 WHERE e1.salary > (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id) AND e1.emp_id IN (SELECT j.emp_id FROM job_history j WHERE j.start_date > {date}) AND (e1.mgr_id = {k} OR e1.salary < {sal})"),
+        17 => format!("SELECT d.department_name, v.m FROM departments d, (SELECT e.dept_id, MAX(e.salary) m FROM employees e GROUP BY e.dept_id) v WHERE d.dept_id = v.dept_id AND d.department_name = 'd{}'", k % 8),
+        18 => "SELECT w.c FROM (SELECT dept_id, COUNT(*) c FROM employees GROUP BY dept_id MINUS SELECT dept_id, COUNT(*) c FROM job_history GROUP BY dept_id) w".to_string(),
+        19 => format!("SELECT e.emp_id FROM employees e WHERE (e.dept_id = {} AND e.salary > {sal}) OR e.emp_id IN (SELECT j.emp_id FROM job_history j WHERE j.start_date < {date}) ", k % 6),
+        20 => format!("SELECT v.emp_id FROM (SELECT emp_id, ROW_NUMBER() OVER (ORDER BY salary DESC) rn FROM employees) v WHERE v.rn <= {}", k + 1),
+        _ => "SELECT e.employee_name FROM employees e WHERE e.salary >= ALL (SELECT e2.salary FROM employees e2, departments d WHERE e2.dept_id = d.dept_id AND e2.salary IS NOT NULL) OR e.dept_id IS NULL".to_string(),
+    }
+}
+
+fn canon(rows: &[Vec<Value>]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter()
+        .map(|r| r.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+        .collect();
+    v.sort();
+    v
+}
+
+fn main() {
+    let rounds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let mut failures = 0;
+    for seed in 0..rounds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = random_db(&mut rng);
+        let sql = random_query(&mut rng);
+        db.config_mut().cost_based = false;
+        db.config_mut().transforms = TransformSet {
+            unnest: false, view_merge: false, jppd: false, setop_to_join: false,
+            group_by_placement: false, predicate_pullup: false,
+            join_factorization: false, or_expansion: false,
+        };
+        db.config_mut().heuristic_unnest_merge = false;
+        let reference = match db.query(&sql) {
+            Ok(r) => canon(&r.rows),
+            Err(e) => { println!("seed {seed}: REF ERROR {e}\n{sql}"); failures += 1; continue; }
+        };
+        for strategy in [SearchStrategy::Exhaustive, SearchStrategy::TwoPass, SearchStrategy::Iterative] {
+            db.config_mut().cost_based = true;
+            db.config_mut().transforms = TransformSet::default();
+            db.config_mut().heuristic_unnest_merge = true;
+            db.config_mut().search = strategy;
+            match db.query(&sql) {
+                Ok(r) => {
+                    let got = canon(&r.rows);
+                    if got != reference {
+                        println!("seed {seed} {strategy:?}: MISMATCH ({} vs {} rows)\n{sql}",
+                                 reference.len(), got.len());
+                        failures += 1;
+                    }
+                }
+                Err(e) => { println!("seed {seed} {strategy:?}: ERROR {e}\n{sql}"); failures += 1; }
+            }
+        }
+    }
+    println!("fuzz complete: {rounds} rounds, {failures} failures");
+    std::process::exit(if failures > 0 { 1 } else { 0 });
+}

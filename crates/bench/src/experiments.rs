@@ -1,0 +1,488 @@
+//! Experiment runners reproducing the paper's evaluation artifacts:
+//! Figure 2 (CBQT vs heuristic), Figure 3 (unnesting), Figure 4 (JPPD),
+//! §4.3 (group-by placement), Table 1 (annotation reuse) and Table 2
+//! (search-strategy optimization times).
+//!
+//! Every experiment is also a differential test: the baseline and the
+//! treatment configuration must return identical result sets on every
+//! instance.
+
+use crate::workload::{Family, Instance, WorkloadGen};
+use cbqt::common::Value;
+use cbqt::{Database, SearchStrategy};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Work-unit charge per query block the optimizer costs (the
+/// deterministic stand-in for optimization time in the improvement
+/// metric).
+pub const OPT_BLOCK_UNITS: f64 = 40.0;
+
+/// One timed run of a query under some configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measurement {
+    pub opt: Duration,
+    pub exec: Duration,
+    /// Deterministic work units (the stable proxy for execution time).
+    pub work: f64,
+    pub states: u64,
+    /// Query blocks the optimizer costed (its deterministic effort unit).
+    pub blocks: u64,
+}
+
+impl Measurement {
+    /// Total run time (optimization + execution), the paper's metric.
+    pub fn total(&self) -> Duration {
+        self.opt + self.exec
+    }
+
+    /// Work-unit total with optimization charged deterministically at
+    /// `OPT_BLOCK_UNITS` per optimized query block — build-mode
+    /// independent, so debug tests and release runs report the same
+    /// improvements. Wall-clock `total()` is reported alongside.
+    pub fn total_units(&self) -> f64 {
+        self.work + self.blocks as f64 * OPT_BLOCK_UNITS
+    }
+}
+
+fn measure(db: &mut Database, sql: &str, reps: usize) -> (Measurement, Vec<String>) {
+    let mut best: Option<Measurement> = None;
+    let mut rows = Vec::new();
+    for _ in 0..reps.max(1) {
+        let r = db.query(sql).expect("experiment query must run");
+        let m = Measurement {
+            opt: r.stats.optimize_time,
+            exec: r.stats.execute_time,
+            work: r.stats.work_units,
+            states: r.stats.states_explored,
+            blocks: r.stats.blocks_costed,
+        };
+        if best.map(|b| m.total() < b.total()).unwrap_or(true) {
+            best = Some(m);
+        }
+        rows = canon(&r.rows);
+    }
+    (best.unwrap(), rows)
+}
+
+fn canon(rows: &[Vec<Value>]) -> Vec<String> {
+    let mut v: Vec<String> = rows
+        .iter()
+        .map(|r| r.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Result for one instance under baseline and treatment.
+#[derive(Debug)]
+pub struct InstanceResult {
+    pub id: usize,
+    pub family: Family,
+    pub base: Measurement,
+    pub treat: Measurement,
+    pub traits_desc: String,
+}
+
+impl InstanceResult {
+    /// Per-instance improvement in percent: `(base/treat - 1) * 100`
+    /// over work units (deterministic across runs).
+    pub fn improvement_pct(&self) -> f64 {
+        (self.base.total_units() / self.treat.total_units().max(1e-9) - 1.0) * 100.0
+    }
+}
+
+/// Improvement over the top-N% most expensive queries.
+#[derive(Debug, Clone, Copy)]
+pub struct BucketReport {
+    pub top_pct: f64,
+    pub improvement_pct: f64,
+    pub queries: usize,
+}
+
+/// Full report of one figure-style experiment.
+#[derive(Debug)]
+pub struct ExperimentReport {
+    pub name: String,
+    pub results: Vec<InstanceResult>,
+    pub buckets: Vec<BucketReport>,
+    pub avg_improvement_pct: f64,
+    pub degraded_count: usize,
+    pub degraded_avg_pct: f64,
+    pub opt_time_increase_pct: f64,
+}
+
+impl ExperimentReport {
+    fn build(name: &str, mut results: Vec<InstanceResult>) -> ExperimentReport {
+        // rank by baseline expense ("top N longest running without the
+        // transformation", as in the paper)
+        results.sort_by(|a, b| {
+            b.base.total_units().partial_cmp(&a.base.total_units()).unwrap()
+        });
+        let n = results.len().max(1);
+        let mut buckets = Vec::new();
+        for pct in [5.0, 10.0, 25.0, 50.0, 80.0, 100.0] {
+            let k = (((pct / 100.0) * n as f64).ceil() as usize).clamp(1, n);
+            let base: f64 = results[..k].iter().map(|r| r.base.total_units()).sum();
+            let treat: f64 = results[..k].iter().map(|r| r.treat.total_units()).sum();
+            buckets.push(BucketReport {
+                top_pct: pct,
+                improvement_pct: (base / treat.max(1e-9) - 1.0) * 100.0,
+                queries: k,
+            });
+        }
+        let base: f64 = results.iter().map(|r| r.base.total_units()).sum();
+        let treat: f64 = results.iter().map(|r| r.treat.total_units()).sum();
+        let avg_improvement_pct = (base / treat.max(1e-9) - 1.0) * 100.0;
+        let degraded: Vec<f64> =
+            results.iter().map(|r| r.improvement_pct()).filter(|&i| i < -1.0).collect();
+        let degraded_count = degraded.len();
+        let degraded_avg_pct = if degraded.is_empty() {
+            0.0
+        } else {
+            -degraded.iter().sum::<f64>() / degraded.len() as f64
+        };
+        let base_opt: f64 = results.iter().map(|r| r.base.opt.as_secs_f64()).sum();
+        let treat_opt: f64 = results.iter().map(|r| r.treat.opt.as_secs_f64()).sum();
+        let opt_time_increase_pct = (treat_opt / base_opt.max(1e-12) - 1.0) * 100.0;
+        ExperimentReport {
+            name: name.to_string(),
+            results,
+            buckets,
+            avg_improvement_pct,
+            degraded_count,
+            degraded_avg_pct,
+            opt_time_increase_pct,
+        }
+    }
+
+    /// Renders the report in the shape of the paper's figures.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "=== {} ===", self.name).unwrap();
+        writeln!(out, "{} affected queries", self.results.len()).unwrap();
+        writeln!(
+            out,
+            "average total-run-time improvement: {:+.0}%",
+            self.avg_improvement_pct
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "degraded: {} queries ({:.0}% of affected), average degradation {:.0}%",
+            self.degraded_count,
+            100.0 * self.degraded_count as f64 / self.results.len().max(1) as f64,
+            self.degraded_avg_pct
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "optimization time increase: {:+.0}%",
+            self.opt_time_increase_pct
+        )
+        .unwrap();
+        writeln!(out, "\n  top N% most expensive   improvement   (queries)").unwrap();
+        for b in &self.buckets {
+            writeln!(
+                out,
+                "  {:>6.0}%                 {:>+8.0}%     ({})",
+                b.top_pct, b.improvement_pct, b.queries
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+/// Runs one experiment: each instance under `baseline` and `treatment`
+/// database configurations, verifying identical results.
+fn run_paired(
+    name: &str,
+    instances: Vec<Instance>,
+    baseline: impl Fn(&mut Database),
+    treatment: impl Fn(&mut Database),
+    reps: usize,
+) -> ExperimentReport {
+    let mut results = Vec::new();
+    for mut inst in instances {
+        baseline(&mut inst.db);
+        let (base, base_rows) = measure(&mut inst.db, &inst.sql, reps);
+        treatment(&mut inst.db);
+        let (treat, treat_rows) = measure(&mut inst.db, &inst.sql, reps);
+        assert_eq!(
+            base_rows, treat_rows,
+            "instance {} ({}) diverged between configurations:\n{}",
+            inst.id,
+            inst.family.name(),
+            inst.sql
+        );
+        results.push(InstanceResult {
+            id: inst.id,
+            family: inst.family,
+            base,
+            treat,
+            traits_desc: inst.traits_desc,
+        });
+    }
+    ExperimentReport::build(name, results)
+}
+
+fn default_config(db: &mut Database) {
+    *db.config_mut() = cbqt::OptimizerSettings::default();
+}
+
+/// Figure 2: all transformations cost-based vs. heuristic-based
+/// decisions.
+pub fn run_fig2(seed: u64, n: usize, scale: f64, reps: usize) -> ExperimentReport {
+    let mut gen = WorkloadGen::new(seed);
+    gen.scale = scale;
+    let instances = gen.generate_mixed(n);
+    run_paired(
+        "Figure 2: cost-based vs heuristic transformation (total run time)",
+        instances,
+        |db| {
+            default_config(db);
+            db.config_mut().cost_based = false;
+        },
+        default_config,
+        reps,
+    )
+}
+
+/// Figure 3: unnesting disabled vs. cost-based unnesting.
+pub fn run_fig3(seed: u64, n: usize, scale: f64, reps: usize) -> ExperimentReport {
+    let mut gen = WorkloadGen::new(seed);
+    gen.scale = scale;
+    let mut instances = gen.generate(Family::Unnest, n / 2);
+    instances.extend(gen.generate(Family::UnnestExists, n - n / 2));
+    run_paired(
+        "Figure 3: subquery unnesting disabled vs cost-based",
+        instances,
+        |db| {
+            default_config(db);
+            db.config_mut().transforms.unnest = false;
+            db.config_mut().heuristic_unnest_merge = false;
+        },
+        default_config,
+        reps,
+    )
+}
+
+/// Figure 4: JPPD disabled vs. cost-based JPPD.
+pub fn run_fig4(seed: u64, n: usize, scale: f64, reps: usize) -> ExperimentReport {
+    let mut gen = WorkloadGen::new(seed);
+    gen.scale = scale;
+    let instances = gen.generate(Family::Jppd, n);
+    run_paired(
+        "Figure 4: join predicate pushdown disabled vs cost-based",
+        instances,
+        |db| {
+            default_config(db);
+            db.config_mut().transforms.jppd = false;
+        },
+        default_config,
+        reps,
+    )
+}
+
+/// §4.3: group-by placement on vs. off, with the paper's headline counts
+/// (queries improved by >200% and >1000%).
+pub fn run_gbp(seed: u64, n: usize, scale: f64, reps: usize) -> (ExperimentReport, String) {
+    let mut gen = WorkloadGen::new(seed);
+    gen.scale = scale;
+    let instances = gen.generate(Family::GroupByPlacement, n);
+    let report = run_paired(
+        "Section 4.3: group-by placement off vs on",
+        instances,
+        |db| {
+            default_config(db);
+            db.config_mut().transforms.group_by_placement = false;
+        },
+        default_config,
+        reps,
+    );
+    let over_200 = report.results.iter().filter(|r| r.improvement_pct() > 200.0).count();
+    let over_1000 = report.results.iter().filter(|r| r.improvement_pct() > 1000.0).count();
+    let extra = format!(
+        "queries improved by more than 200%: {over_200}\n\
+         queries improved by more than 1000%: {over_1000}\n"
+    );
+    (report, extra)
+}
+
+/// Table 1: reuse of query sub-tree cost annotations across the
+/// exhaustive state space of the paper's Q1.
+pub fn run_table1(seed: u64) -> String {
+    let mut gen = WorkloadGen::new(seed);
+    gen.scale = 0.5;
+    let mut inst = gen.generate(Family::Unnest, 1).pop().unwrap();
+    // isolate unnesting with exhaustive search and no interleaving (the
+    // exact setting of the paper's Table 1 walkthrough)
+    let configure = |db: &mut Database, reuse: bool| {
+        default_config(db);
+        let c = db.config_mut();
+        c.search = SearchStrategy::Exhaustive;
+        c.interleave = false;
+        c.transforms.view_merge = false;
+        c.transforms.jppd = false;
+        c.transforms.setop_to_join = false;
+        c.transforms.group_by_placement = false;
+        c.transforms.predicate_pullup = false;
+        c.transforms.join_factorization = false;
+        c.transforms.or_expansion = false;
+        c.optimizer.reuse_annotations = reuse;
+        // exact block counts need every state fully optimized
+        c.cost_cutoff = false;
+    };
+    configure(&mut inst.db, true);
+    let with_reuse = inst.db.query(&inst.sql).unwrap();
+    configure(&mut inst.db, false);
+    let without = inst.db.query(&inst.sql).unwrap();
+    let mut out = String::new();
+    writeln!(out, "=== Table 1: re-use and state space (paper's Q1) ===").unwrap();
+    writeln!(
+        out,
+        "query: two unnestable subqueries, exhaustive search\n\
+         states costed: {} (expected 4: (0,0) (1,0) (0,1) (1,1))\n",
+        with_reuse.stats.states_explored
+    )
+    .unwrap();
+    writeln!(out, "  configuration          query blocks optimized   reused from annotations").unwrap();
+    writeln!(
+        out,
+        "  without reuse          {:>6}                   {:>6}",
+        without.stats.blocks_costed, without.stats.annotation_hits
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  with reuse (§3.4.2)    {:>6}                   {:>6}",
+        with_reuse.stats.blocks_costed, with_reuse.stats.annotation_hits
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "\n(counts include the final re-optimization of the winning tree: 4 states x 3\n\
+         blocks + 3 final = 15; reuse collapses equivalent sub-trees across states.)\n\
+         paper: 12 query blocks across 4 states, 4 of which are avoided by reuse."
+    )
+    .unwrap();
+    out
+}
+
+/// Table 2: optimization time and number of states for the four search
+/// strategies on a 3-table query with four unnestable subqueries.
+pub fn run_table2(seed: u64, reps: usize) -> String {
+    let mut gen = WorkloadGen::new(seed);
+    gen.scale = 0.3;
+    // build a dedicated instance with the paper's Table 2 query shape:
+    // three base tables, four multi-table subqueries (NOT IN, EXISTS,
+    // NOT EXISTS, IN), all valid for unnesting
+    let base = gen.generate(Family::Unnest, 1).pop().unwrap();
+    let mut db = base.db;
+    let sql = "SELECT e1.employee_name \
+        FROM employees e1, job_history j, departments d0 \
+        WHERE e1.emp_id = j.emp_id AND e1.dept_id = d0.dept_id AND \
+              e1.dept_id NOT IN (SELECT d.dept_id FROM departments d, locations l \
+                                 WHERE d.loc_id = l.loc_id AND l.country_id = 'JP' \
+                                   AND d.dept_id IS NOT NULL) AND \
+              EXISTS (SELECT 1 FROM departments d, locations l \
+                      WHERE d.loc_id = l.loc_id AND d.dept_id = e1.dept_id \
+                        AND l.country_id = 'US') AND \
+              NOT EXISTS (SELECT 1 FROM departments d, locations l \
+                          WHERE d.loc_id = l.loc_id AND d.dept_id = e1.dept_id \
+                            AND l.country_id = 'DE') AND \
+              e1.emp_id IN (SELECT j2.emp_id FROM job_history j2, departments d2 \
+                            WHERE j2.dept_id = d2.dept_id AND j2.start_date > 19950000)";
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "=== Table 2: optimization time per search strategy ===\n\
+         query: 3 base tables + 4 unnestable multi-table subqueries\n"
+    )
+    .unwrap();
+    writeln!(out, "  strategy     optimization time   #states").unwrap();
+    let mut reference: Option<Vec<String>> = None;
+    for (label, strategy, cost_based) in [
+        ("Heuristic", SearchStrategy::Auto, false),
+        ("Two Pass", SearchStrategy::TwoPass, true),
+        ("Linear", SearchStrategy::Linear, true),
+        ("Exhaustive", SearchStrategy::Exhaustive, true),
+    ] {
+        default_config(&mut db);
+        let c = db.config_mut();
+        c.cost_based = cost_based;
+        c.search = strategy;
+        c.interleave = false;
+        let mut best_opt = Duration::MAX;
+        let mut states = 0;
+        let mut rows = Vec::new();
+        for _ in 0..reps.max(1) {
+            let r = db.query(sql).unwrap();
+            if r.stats.optimize_time < best_opt {
+                best_opt = r.stats.optimize_time;
+            }
+            states = r.stats.states_explored.max(1); // heuristic counts as 1
+            rows = canon(&r.rows);
+        }
+        match &reference {
+            None => reference = Some(rows),
+            Some(r) => assert_eq!(*r, rows, "{label} diverged"),
+        }
+        writeln!(
+            out,
+            "  {label:<12} {:>12.3} ms   {:>5}",
+            best_opt.as_secs_f64() * 1e3,
+            states
+        )
+        .unwrap();
+    }
+    writeln!(out, "\npaper: 0.24s/1, 0.33s/2, 0.61s/5, 0.97s/16 (on 2006 hardware).").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_small_run_shows_unnesting_wins() {
+        let report = run_fig3(11, 6, 0.5, 1);
+        assert_eq!(report.results.len(), 6);
+        // unnesting must help on average for this workload
+        assert!(
+            report.avg_improvement_pct > 0.0,
+            "expected positive improvement, got {:.0}%\n{}",
+            report.avg_improvement_pct,
+            report.render()
+        );
+    }
+
+    #[test]
+    fn fig2_small_run_completes_and_verifies() {
+        let report = run_fig2(13, 8, 0.1, 1);
+        assert_eq!(report.results.len(), 8);
+        assert_eq!(report.buckets.len(), 6);
+        let text = report.render();
+        assert!(text.contains("top N%"), "{text}");
+    }
+
+    #[test]
+    fn table1_reuse_matches_paper_counts() {
+        let text = run_table1(17);
+        assert!(text.contains("states costed: 4"), "{text}");
+        // 15 block optimizations without reuse (12 across states + 3 in
+        // the final pass); 8 with reuse — the paper's 4 avoided
+        // optimizations plus the fully-cached final pass
+        assert!(text.contains("15"), "{text}");
+        assert!(text.contains("8"), "{text}");
+    }
+
+    #[test]
+    fn table2_strategies_ordered_by_states() {
+        let text = run_table2(19, 1);
+        assert!(text.contains("Heuristic"), "{text}");
+        assert!(text.contains("Exhaustive"), "{text}");
+    }
+}

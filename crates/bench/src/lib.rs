@@ -1,0 +1,19 @@
+//! Workload generation and the experiment harness reproducing the
+//! paper's evaluation (Section 4).
+//!
+//! The paper measured 241,000 proprietary Oracle Applications queries;
+//! this crate substitutes a synthetic workload of parameterized query
+//! instances (see DESIGN.md → *Substitutions*). Each instance randomizes
+//! the data characteristics the paper identifies as deciding factors —
+//! table sizes, filter selectivities, duplication, index availability —
+//! so that per instance either the transformed or the untransformed
+//! variant may win, and the cost-based decision is measured against the
+//! heuristic one.
+
+pub mod experiments;
+pub mod workload;
+
+pub use experiments::{
+    run_fig2, run_fig3, run_fig4, run_gbp, run_table1, run_table2, BucketReport, ExperimentReport,
+};
+pub use workload::{Family, Instance, WorkloadGen};

@@ -1,0 +1,18 @@
+//! Catalog: table/column/index/constraint metadata plus optimizer
+//! statistics.
+//!
+//! The statistics model follows what the paper's cost decisions need:
+//! per-table row counts, per-column NDV / min / max / null counts, and
+//! optional equi-width histograms. Constraints (PK / FK / UNIQUE /
+//! NOT NULL) drive the *join elimination* transformation; index metadata
+//! drives access-path choice and is a key input to the cost-based
+//! unnesting decision ("indexes on the local columns in the subquery
+//! correlation", §2.2.1).
+
+pub mod schema;
+pub mod stats;
+
+pub use schema::{
+    Catalog, Column, ColumnRef, Constraint, ForeignKey, Index, IndexId, Table, TableId,
+};
+pub use stats::{ColumnStats, Histogram, TableStats};

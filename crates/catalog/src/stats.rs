@@ -1,0 +1,219 @@
+//! Optimizer statistics: row counts, per-column NDV/min/max/nulls and
+//! equi-width histograms.
+//!
+//! Statistics may be absent (`TableStats::analyzed == false`), in which
+//! case the optimizer falls back to defaults or *dynamic sampling*
+//! (simulated in `cbqt-optimizer`), mirroring §3.4.4 of the paper.
+
+use cbqt_common::Value;
+
+/// Per-column statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub ndv: u64,
+    /// Number of NULLs.
+    pub nulls: u64,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    /// Optional equi-width histogram over the numeric range.
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Selectivity of `col = literal`.
+    pub fn eq_selectivity(&self, rows: u64, value: Option<&Value>) -> f64 {
+        if rows == 0 {
+            return 0.0;
+        }
+        if let (Some(h), Some(v)) = (&self.histogram, value) {
+            if let Some(s) = h.eq_selectivity(v) {
+                return s;
+            }
+        }
+        if self.ndv == 0 {
+            return 0.01;
+        }
+        let non_null = (rows - self.nulls.min(rows)) as f64 / rows as f64;
+        non_null / self.ndv as f64
+    }
+
+    /// Selectivity of a range predicate `col op literal`.
+    pub fn range_selectivity(&self, value: &Value, op_lt: bool, inclusive: bool) -> f64 {
+        if let Some(h) = &self.histogram {
+            if let Some(s) = h.range_selectivity(value, op_lt) {
+                return s;
+            }
+        }
+        match (self.min.as_ref().and_then(|v| v.as_f64()), self.max.as_ref().and_then(|v| v.as_f64()), value.as_f64())
+        {
+            (Some(lo), Some(hi), Some(v)) if hi > lo => {
+                let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+                let s = if op_lt { frac } else { 1.0 - frac };
+                // nudge for inclusivity on discrete domains
+                let s = if inclusive { s + 1.0 / self.ndv.max(1) as f64 } else { s };
+                s.clamp(0.0, 1.0)
+            }
+            _ => 0.33, // the classic System-R default for an unknown range
+        }
+    }
+}
+
+/// Equi-width histogram over a numeric column.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub lo: f64,
+    pub hi: f64,
+    /// Row count per bucket.
+    pub buckets: Vec<u64>,
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Builds an equi-width histogram from numeric values.
+    pub fn build(values: impl Iterator<Item = f64>, nbuckets: usize) -> Option<Histogram> {
+        let vals: Vec<f64> = values.collect();
+        if vals.is_empty() || nbuckets == 0 {
+            return None;
+        }
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut buckets = vec![0u64; nbuckets];
+        let width = (hi - lo).max(f64::MIN_POSITIVE);
+        for v in &vals {
+            let mut b = (((v - lo) / width) * nbuckets as f64) as usize;
+            if b >= nbuckets {
+                b = nbuckets - 1;
+            }
+            buckets[b] += 1;
+        }
+        Some(Histogram { lo, hi, buckets, total: vals.len() as u64 })
+    }
+
+    /// Selectivity of equality against this histogram (approximated as
+    /// bucket frequency / bucket width assumed uniform).
+    pub fn eq_selectivity(&self, v: &Value) -> Option<f64> {
+        let x = v.as_f64()?;
+        if self.total == 0 {
+            return Some(0.0);
+        }
+        if x < self.lo || x > self.hi {
+            return Some(0.0);
+        }
+        let n = self.buckets.len();
+        let width = (self.hi - self.lo).max(f64::MIN_POSITIVE);
+        let mut b = (((x - self.lo) / width) * n as f64) as usize;
+        if b >= n {
+            b = n - 1;
+        }
+        // assume ~width distinct values per bucket
+        let per_bucket_ndv = (width / n as f64).max(1.0);
+        Some((self.buckets[b] as f64 / self.total as f64) / per_bucket_ndv)
+    }
+
+    /// Selectivity of `col < v` (`op_lt`) or `col > v`.
+    pub fn range_selectivity(&self, v: &Value, op_lt: bool) -> Option<f64> {
+        let x = v.as_f64()?;
+        if self.total == 0 {
+            return Some(0.0);
+        }
+        let n = self.buckets.len() as f64;
+        let width = (self.hi - self.lo).max(f64::MIN_POSITIVE);
+        let pos = (((x - self.lo) / width) * n).clamp(0.0, n);
+        let full = pos.floor() as usize;
+        let mut below = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if i < full {
+                below += b;
+            } else if i == full {
+                below += ((pos - full as f64) * *b as f64) as u64;
+            }
+        }
+        let frac = below as f64 / self.total as f64;
+        Some(if op_lt { frac } else { 1.0 - frac })
+    }
+}
+
+/// Per-table statistics.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// True once ANALYZE has populated the numbers.
+    pub analyzed: bool,
+    pub rows: u64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    pub fn column(&self, i: usize) -> Option<&ColumnStats> {
+        self.columns.get(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_selectivity_uses_ndv() {
+        let cs = ColumnStats { ndv: 10, nulls: 0, min: None, max: None, histogram: None };
+        assert!((cs.eq_selectivity(100, None) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq_selectivity_accounts_for_nulls() {
+        let cs = ColumnStats { ndv: 10, nulls: 50, min: None, max: None, histogram: None };
+        assert!((cs.eq_selectivity(100, None) - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq_selectivity_default_when_no_stats() {
+        let cs = ColumnStats::default();
+        assert!((cs.eq_selectivity(100, None) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let cs = ColumnStats {
+            ndv: 100,
+            nulls: 0,
+            min: Some(Value::Int(0)),
+            max: Some(Value::Int(100)),
+            histogram: None,
+        };
+        let s = cs.range_selectivity(&Value::Int(25), true, false);
+        assert!((s - 0.25).abs() < 0.02, "{s}");
+        let s = cs.range_selectivity(&Value::Int(25), false, false);
+        assert!((s - 0.75).abs() < 0.02, "{s}");
+    }
+
+    #[test]
+    fn range_selectivity_defaults_without_minmax() {
+        let cs = ColumnStats::default();
+        assert!((cs.range_selectivity(&Value::Int(5), true, false) - 0.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_build_and_range() {
+        let h = Histogram::build((0..1000).map(|i| i as f64), 10).unwrap();
+        assert_eq!(h.total, 1000);
+        assert_eq!(h.buckets.len(), 10);
+        let s = h.range_selectivity(&Value::Int(500), true).unwrap();
+        assert!((s - 0.5).abs() < 0.05, "{s}");
+        // out-of-range equality is zero
+        assert_eq!(h.eq_selectivity(&Value::Int(5000)), Some(0.0));
+    }
+
+    #[test]
+    fn histogram_skewed_range() {
+        // 90% of the data below 10, the rest spread to 100
+        let vals = (0..900).map(|i| (i % 10) as f64).chain((0..100).map(|i| 10.0 + i as f64 * 0.9));
+        let h = Histogram::build(vals, 20).unwrap();
+        let s = h.range_selectivity(&Value::Int(10), true).unwrap();
+        assert!(s > 0.8, "skew should be visible: {s}");
+    }
+
+    #[test]
+    fn histogram_empty_input() {
+        assert!(Histogram::build(std::iter::empty(), 10).is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared across the engine.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Engine-wide error type.
+///
+/// Each variant corresponds to the phase that raised it, so callers can
+/// distinguish a syntax error from, say, a planner invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical or syntactic error in SQL text.
+    Parse(String),
+    /// Name-resolution or semantic error (unknown table/column, ambiguous
+    /// reference, grouping violations, ...).
+    Analysis(String),
+    /// Catalog-level error (duplicate table, unknown index, ...).
+    Catalog(String),
+    /// A transformation was asked to do something invalid.
+    Transform(String),
+    /// Physical optimization failed an invariant.
+    Plan(String),
+    /// Runtime execution error (type mismatch at runtime, division by
+    /// zero, ...).
+    Execution(String),
+    /// Feature recognized but not supported by this engine.
+    Unsupported(String),
+}
+
+impl Error {
+    pub fn parse(msg: impl Into<String>) -> Error {
+        Error::Parse(msg.into())
+    }
+    pub fn analysis(msg: impl Into<String>) -> Error {
+        Error::Analysis(msg.into())
+    }
+    pub fn catalog(msg: impl Into<String>) -> Error {
+        Error::Catalog(msg.into())
+    }
+    pub fn transform(msg: impl Into<String>) -> Error {
+        Error::Transform(msg.into())
+    }
+    pub fn plan(msg: impl Into<String>) -> Error {
+        Error::Plan(msg.into())
+    }
+    pub fn execution(msg: impl Into<String>) -> Error {
+        Error::Execution(msg.into())
+    }
+    pub fn unsupported(msg: impl Into<String>) -> Error {
+        Error::Unsupported(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Analysis(m) => write!(f, "analysis error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Transform(m) => write!(f, "transform error: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase() {
+        assert_eq!(
+            Error::parse("unexpected token").to_string(),
+            "parse error: unexpected token"
+        );
+        assert_eq!(Error::execution("div by zero").to_string(), "execution error: div by zero");
+        assert_eq!(Error::unsupported("MODEL clause").to_string(), "unsupported: MODEL clause");
+    }
+
+    #[test]
+    fn constructors_map_to_variants() {
+        assert!(matches!(Error::analysis("x"), Error::Analysis(_)));
+        assert!(matches!(Error::catalog("x"), Error::Catalog(_)));
+        assert!(matches!(Error::transform("x"), Error::Transform(_)));
+        assert!(matches!(Error::plan("x"), Error::Plan(_)));
+    }
+}

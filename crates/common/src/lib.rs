@@ -1,0 +1,106 @@
+//! Shared primitives for the CBQT engine: SQL values, data types, rows,
+//! error handling, and small utilities used by every other crate.
+//!
+//! The value model is deliberately small — `NULL`, 64-bit integers, 64-bit
+//! floats, strings, booleans and dates — which is enough to express every
+//! query shape the paper's transformations target while keeping the
+//! executor simple and fast.
+
+pub mod error;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use value::{DataType, Datum, Row, Value};
+
+/// Truth value of SQL three-valued logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    True,
+    False,
+    Unknown,
+}
+
+impl Truth {
+    /// Converts a nullable boolean into a truth value.
+    pub fn from_opt(b: Option<bool>) -> Truth {
+        match b {
+            Some(true) => Truth::True,
+            Some(false) => Truth::False,
+            None => Truth::Unknown,
+        }
+    }
+
+    /// True iff this truth value passes a WHERE/HAVING filter.
+    pub fn passes(self) -> bool {
+        self == Truth::True
+    }
+
+    /// SQL `AND` with three-valued semantics.
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// SQL `OR` with three-valued semantics.
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// SQL `NOT` with three-valued semantics.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_and_table() {
+        use Truth::*;
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn truth_or_table() {
+        use Truth::*;
+        assert_eq!(False.or(False), False);
+        assert_eq!(False.or(True), True);
+        assert_eq!(Unknown.or(True), True);
+        assert_eq!(Unknown.or(False), Unknown);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+    }
+
+    #[test]
+    fn truth_not() {
+        assert_eq!(Truth::True.not(), Truth::False);
+        assert_eq!(Truth::False.not(), Truth::True);
+        assert_eq!(Truth::Unknown.not(), Truth::Unknown);
+    }
+
+    #[test]
+    fn truth_passes() {
+        assert!(Truth::True.passes());
+        assert!(!Truth::False.passes());
+        assert!(!Truth::Unknown.passes());
+    }
+}

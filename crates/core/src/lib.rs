@@ -1,0 +1,586 @@
+//! # cbqt — Cost-Based Query Transformation
+//!
+//! A from-scratch Rust reproduction of *"Cost-Based Query Transformation
+//! in Oracle"* (Ahmed et al., VLDB 2006): a SQL engine whose optimizer
+//! combines heuristic and **cost-based query transformations** — subquery
+//! unnesting, group-by/distinct view merging, join predicate pushdown,
+//! group-by placement, join factorization, predicate pullup,
+//! MINUS/INTERSECT conversion and OR expansion — driven by the paper's
+//! state-space search framework (exhaustive / iterative / linear /
+//! two-pass) with interleaving, juxtaposition, cost-annotation reuse and
+//! cost cut-off.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cbqt::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute_script(
+//!     "CREATE TABLE departments (dept_id INT PRIMARY KEY, name VARCHAR(30));
+//!      CREATE TABLE employees (emp_id INT PRIMARY KEY, dept_id INT
+//!          REFERENCES departments(dept_id), salary INT);
+//!      CREATE INDEX i_emp_dept ON employees (dept_id);
+//!      INSERT INTO departments VALUES (1, 'R&D'), (2, 'Sales');
+//!      INSERT INTO employees VALUES (10, 1, 100), (11, 1, 200), (12, 2, 300);
+//!      ANALYZE;",
+//! ).unwrap();
+//! let result = db.query(
+//!     "SELECT d.name FROM departments d WHERE EXISTS \
+//!      (SELECT 1 FROM employees e WHERE e.dept_id = d.dept_id AND e.salary > 150)",
+//! ).unwrap();
+//! assert_eq!(result.rows.len(), 2);
+//! ```
+
+use cbqt_catalog::{Catalog, Column, Constraint, ForeignKey, TableId};
+use cbqt_common::{Error, Result, Row, Value};
+use cbqt_exec::Engine;
+use cbqt_optimizer::{DynamicSampler, SamplingCache};
+use cbqt_qgm::{build_query_tree, render_tree, QueryTree};
+use cbqt_sql::ast::{self, Statement};
+use cbqt_sql::{parse_statement, parse_statements};
+use cbqt_storage::Storage;
+use cbqt_transform::{optimize_query_with_sampler, CbqtConfig, CbqtOutcome};
+use std::time::{Duration, Instant};
+
+pub use cbqt_catalog as catalog;
+pub use cbqt_common as common;
+pub use cbqt_exec as exec;
+pub use cbqt_optimizer as optimizer;
+pub use cbqt_qgm as qgm;
+pub use cbqt_sql as sql;
+pub use cbqt_storage as storage;
+pub use cbqt_transform as transform;
+
+pub use cbqt_common::DataType;
+pub use cbqt_transform::{CbqtConfig as OptimizerSettings, SearchStrategy, TransformSet};
+
+/// Result of one query execution, including the measurements the
+/// paper's experiments report.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+    pub stats: QueryStats,
+}
+
+/// Optimization + execution measurements.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Wall-clock time spent in transformation + physical optimization.
+    pub optimize_time: Duration,
+    /// Wall-clock execution time.
+    pub execute_time: Duration,
+    /// Deterministic execution work units (cost-model currency).
+    pub work_units: f64,
+    /// Estimated cost of the chosen plan.
+    pub estimated_cost: f64,
+    /// Transformation states costed by the CBQT framework.
+    pub states_explored: u64,
+    /// Query blocks optimized / reused via cost annotations.
+    pub blocks_costed: u64,
+    pub annotation_hits: u64,
+    /// TIS / lateral correlation cache behaviour.
+    pub subquery_cache_hits: u64,
+    pub subquery_cache_misses: u64,
+}
+
+/// An embedded CBQT database: catalog + storage + optimizer + engine.
+pub struct Database {
+    catalog: Catalog,
+    storage: Storage,
+    config: CbqtConfig,
+    sampling_cache: SamplingCache,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database {
+            catalog: Catalog::new(),
+            storage: Storage::new(),
+            config: CbqtConfig::default(),
+            sampling_cache: SamplingCache::default(),
+        }
+    }
+
+    /// The optimizer / framework configuration (mutable — experiments
+    /// flip transformations on and off through this).
+    pub fn config_mut(&mut self) -> &mut CbqtConfig {
+        &mut self.config
+    }
+
+    pub fn config(&self) -> &CbqtConfig {
+        &self.config
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Runs a semicolon-separated DDL/DML/query script; returns the
+    /// result of the *last* query statement, if any.
+    pub fn execute_script(&mut self, script: &str) -> Result<Option<QueryResult>> {
+        let mut last = None;
+        for stmt in parse_statements(script)? {
+            last = self.run_statement(stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Executes a single SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<Option<QueryResult>> {
+        let stmt = parse_statement(sql)?;
+        self.run_statement(stmt)
+    }
+
+    /// Executes a query and returns its rows.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        self.execute(sql)?
+            .ok_or_else(|| Error::analysis("statement did not produce rows"))
+    }
+
+    /// EXPLAIN: the transformed query text, transformation decisions,
+    /// and the physical plan — without executing.
+    pub fn explain(&mut self, sql: &str) -> Result<String> {
+        let stmt = parse_statement(sql)?;
+        let query = match stmt {
+            Statement::Query(q) | Statement::Explain(q) => q,
+            _ => return Err(Error::analysis("EXPLAIN requires a query")),
+        };
+        let tree = build_query_tree(&self.catalog, &query)?;
+        let outcome = self.optimize(&tree)?;
+        let mut out = String::new();
+        out.push_str("== transformed query ==\n");
+        out.push_str(&render_tree(&outcome.tree, &self.catalog));
+        out.push_str("\n\n== transformation decisions ==\n");
+        if outcome.decisions.is_empty() {
+            out.push_str("(none applicable)\n");
+        }
+        for (name, d) in &outcome.decisions {
+            out.push_str(&format!("{name}: {d}\n"));
+        }
+        out.push_str(&format!(
+            "heuristics: {} SPJ view merge(s), {} join(s) eliminated, {} subquery merge(s), \
+             {} predicate move(s), {} grouping set(s) pruned\n",
+            outcome.heuristics.spj_views_merged,
+            outcome.heuristics.joins_eliminated,
+            outcome.heuristics.subqueries_merged,
+            outcome.heuristics.predicates_pushed,
+            outcome.heuristics.groups_pruned,
+        ));
+        out.push_str("\n== physical plan ==\n");
+        out.push_str(&outcome.plan.explain());
+        Ok(out)
+    }
+
+    /// Recomputes optimizer statistics from the stored data.
+    pub fn analyze(&mut self) -> Result<()> {
+        self.storage.analyze(&mut self.catalog)
+    }
+
+    /// Bulk-loads generated rows into a table (used by the workload
+    /// harness; maintains indexes).
+    pub fn load_rows(&mut self, table: &str, rows: Vec<Row>) -> Result<()> {
+        let t = self
+            .catalog
+            .table_by_name(table)
+            .ok_or_else(|| Error::catalog(format!("unknown table {table}")))?;
+        let tid = t.id;
+        let ncols = t.columns.len();
+        for r in &rows {
+            if r.len() != ncols {
+                return Err(Error::execution(format!(
+                    "row arity {} does not match table {table} ({ncols})",
+                    r.len()
+                )));
+            }
+        }
+        self.storage.insert_many(tid, rows)
+    }
+
+    fn run_statement(&mut self, stmt: Statement) -> Result<Option<QueryResult>> {
+        match stmt {
+            Statement::Query(q) => Ok(Some(self.run_query(&q)?)),
+            Statement::Explain(q) => {
+                let text = {
+                    let tree = build_query_tree(&self.catalog, &q)?;
+                    let outcome = self.optimize(&tree)?;
+                    outcome.plan.explain()
+                };
+                Ok(Some(QueryResult {
+                    columns: vec!["PLAN".to_string()],
+                    rows: text.lines().map(|l| vec![Value::str(l)]).collect(),
+                    stats: QueryStats::default(),
+                }))
+            }
+            Statement::Analyze => {
+                self.analyze()?;
+                Ok(None)
+            }
+            Statement::CreateTable(ct) => {
+                self.create_table(ct)?;
+                Ok(None)
+            }
+            Statement::CreateIndex(ci) => {
+                self.create_index(ci)?;
+                Ok(None)
+            }
+            Statement::Insert(ins) => {
+                self.insert(ins)?;
+                Ok(None)
+            }
+        }
+    }
+
+    fn optimize(&self, tree: &QueryTree) -> Result<CbqtOutcome> {
+        // dynamic sampling (§3.4.4): tables without statistics are sized
+        // by probing storage, with results cached across optimizer calls
+        let sampler = StorageSampler { catalog: &self.catalog, storage: &self.storage };
+        optimize_query_with_sampler(
+            tree,
+            &self.catalog,
+            &self.config,
+            &self.sampling_cache,
+            Some(&sampler),
+        )
+    }
+
+    fn run_query(&mut self, q: &ast::Query) -> Result<QueryResult> {
+        let tree = build_query_tree(&self.catalog, q)?;
+        let columns = tree.block(tree.root)?.output_names(&tree);
+
+        let t0 = Instant::now();
+        let outcome = self.optimize(&tree)?;
+        let optimize_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let engine = Engine::new(&self.catalog, &self.storage);
+        let rows = engine.run(&outcome.plan)?;
+        let execute_time = t1.elapsed();
+        let exec_stats = engine.stats();
+
+        Ok(QueryResult {
+            columns,
+            rows,
+            stats: QueryStats {
+                optimize_time,
+                execute_time,
+                work_units: exec_stats.work,
+                estimated_cost: outcome.plan.cost,
+                states_explored: outcome.states_explored,
+                blocks_costed: outcome.optimizer_stats.blocks_costed,
+                annotation_hits: outcome.optimizer_stats.annotation_hits,
+                subquery_cache_hits: exec_stats.cache_hits,
+                subquery_cache_misses: exec_stats.cache_misses,
+            },
+        })
+    }
+
+    fn create_table(&mut self, ct: ast::CreateTable) -> Result<()> {
+        let mut columns = Vec::new();
+        let mut constraints = Vec::new();
+        let mut pk_cols = Vec::new();
+        let mut unique_cols = Vec::new();
+        let mut fks: Vec<(usize, String, String)> = Vec::new();
+        for (i, c) in ct.columns.iter().enumerate() {
+            columns.push(Column {
+                name: c.name.clone(),
+                data_type: c.data_type,
+                not_null: c.not_null || c.primary_key,
+            });
+            if c.primary_key {
+                pk_cols.push(i);
+            }
+            if c.unique {
+                unique_cols.push(i);
+            }
+            if let Some((parent, pcol)) = &c.references {
+                fks.push((i, parent.clone(), pcol.clone()));
+            }
+        }
+        if !pk_cols.is_empty() {
+            constraints.push(Constraint::PrimaryKey(pk_cols.clone()));
+        }
+        for u in unique_cols {
+            constraints.push(Constraint::Unique(vec![u]));
+        }
+        let col_index = |name: &str| -> Result<usize> {
+            ct.columns
+                .iter()
+                .position(|c| c.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| Error::catalog(format!("unknown column {name}")))
+        };
+        for tc in &ct.constraints {
+            match tc {
+                ast::TableConstraint::PrimaryKey(cols) => {
+                    let idx: Vec<usize> =
+                        cols.iter().map(|c| col_index(c)).collect::<Result<_>>()?;
+                    constraints.push(Constraint::PrimaryKey(idx));
+                }
+                ast::TableConstraint::Unique(cols) => {
+                    let idx: Vec<usize> =
+                        cols.iter().map(|c| col_index(c)).collect::<Result<_>>()?;
+                    constraints.push(Constraint::Unique(idx));
+                }
+                ast::TableConstraint::ForeignKey { columns: cols, parent, parent_columns } => {
+                    let parent_t = self
+                        .catalog
+                        .table_by_name(parent)
+                        .ok_or_else(|| Error::catalog(format!("unknown parent table {parent}")))?;
+                    let pidx: Vec<usize> = parent_columns
+                        .iter()
+                        .map(|c| {
+                            parent_t.column_index(c).ok_or_else(|| {
+                                Error::catalog(format!("unknown parent column {c}"))
+                            })
+                        })
+                        .collect::<Result<_>>()?;
+                    let idx: Vec<usize> =
+                        cols.iter().map(|c| col_index(c)).collect::<Result<_>>()?;
+                    constraints.push(Constraint::ForeignKey(ForeignKey {
+                        columns: idx,
+                        parent: parent_t.id,
+                        parent_columns: pidx,
+                    }));
+                }
+            }
+        }
+        for (i, parent, pcol) in fks {
+            let parent_t = self
+                .catalog
+                .table_by_name(&parent)
+                .ok_or_else(|| Error::catalog(format!("unknown parent table {parent}")))?;
+            let pc = parent_t
+                .column_index(&pcol)
+                .ok_or_else(|| Error::catalog(format!("unknown parent column {pcol}")))?;
+            constraints.push(Constraint::ForeignKey(ForeignKey {
+                columns: vec![i],
+                parent: parent_t.id,
+                parent_columns: vec![pc],
+            }));
+        }
+        let tid = self.catalog.add_table(&ct.name, columns, constraints)?;
+        self.storage.create_table(tid);
+        // primary keys get an index automatically (like Oracle)
+        if let Some(pk) = self.catalog.table(tid)?.primary_key().map(|p| p.to_vec()) {
+            let name = format!("pk_{}", ct.name.to_ascii_lowercase());
+            let ix = self.catalog.add_index(&name, tid, pk.clone(), true)?;
+            self.storage.build_index(ix, tid, pk)?;
+        }
+        Ok(())
+    }
+
+    fn create_index(&mut self, ci: ast::CreateIndex) -> Result<()> {
+        let t = self
+            .catalog
+            .table_by_name(&ci.table)
+            .ok_or_else(|| Error::catalog(format!("unknown table {}", ci.table)))?;
+        let tid = t.id;
+        let cols: Vec<usize> = ci
+            .columns
+            .iter()
+            .map(|c| {
+                t.column_index(c)
+                    .ok_or_else(|| Error::catalog(format!("unknown column {c}")))
+            })
+            .collect::<Result<_>>()?;
+        let ix = self.catalog.add_index(&ci.name, tid, cols.clone(), ci.unique)?;
+        self.storage.build_index(ix, tid, cols)?;
+        Ok(())
+    }
+
+    fn insert(&mut self, ins: ast::Insert) -> Result<()> {
+        let t = self
+            .catalog
+            .table_by_name(&ins.table)
+            .ok_or_else(|| Error::catalog(format!("unknown table {}", ins.table)))?;
+        let tid = t.id;
+        let ncols = t.columns.len();
+        let positions: Vec<usize> = match &ins.columns {
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    t.column_index(c)
+                        .ok_or_else(|| Error::catalog(format!("unknown column {c}")))
+                })
+                .collect::<Result<_>>()?,
+            None => (0..ncols).collect(),
+        };
+        let mut rows = Vec::with_capacity(ins.rows.len());
+        for r in &ins.rows {
+            if r.len() != positions.len() {
+                return Err(Error::analysis("INSERT value count mismatch"));
+            }
+            let mut row: Row = vec![Value::Null; ncols];
+            for (pos, e) in positions.iter().zip(r.iter()) {
+                row[*pos] = eval_const(e)?;
+            }
+            rows.push(row);
+        }
+        self.storage.insert_many(tid, rows)
+    }
+}
+
+/// Evaluates a constant INSERT expression.
+fn eval_const(e: &ast::Expr) -> Result<Value> {
+    match e {
+        ast::Expr::Literal(v) => Ok(v.clone()),
+        ast::Expr::Unary { op: ast::UnOp::Neg, expr } => {
+            let v = eval_const(expr)?;
+            match v {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Double(d) => Ok(Value::Double(-d)),
+                other => Err(Error::analysis(format!("cannot negate {other}"))),
+            }
+        }
+        _ => Err(Error::unsupported("INSERT values must be literals")),
+    }
+}
+
+/// Dynamic sampling over the in-memory storage (§3.4.4): scans a bounded
+/// sample of an unanalyzed table to estimate its cardinality.
+struct StorageSampler<'a> {
+    catalog: &'a Catalog,
+    storage: &'a Storage,
+}
+
+impl DynamicSampler for StorageSampler<'_> {
+    fn sample(&self, table: TableId, _conjuncts_key: &str) -> Option<(f64, f64)> {
+        let _ = self.catalog.table(table).ok()?;
+        let rows = self.storage.row_count(table);
+        Some((rows as f64, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_db() -> Database {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE departments (dept_id INT PRIMARY KEY, name VARCHAR(30) NOT NULL);
+             CREATE TABLE employees (emp_id INT PRIMARY KEY,
+                 dept_id INT REFERENCES departments(dept_id), salary INT);
+             CREATE INDEX i_emp_dept ON employees (dept_id);",
+        )
+        .unwrap();
+        let mut emp_rows = Vec::new();
+        for i in 0..100i64 {
+            emp_rows.push(vec![
+                Value::Int(i),
+                if i == 99 { Value::Null } else { Value::Int(i % 10) },
+                Value::Int(1000 + i * 10),
+            ]);
+        }
+        let mut dept_rows = Vec::new();
+        for d in 0..10i64 {
+            dept_rows.push(vec![Value::Int(d), Value::str(format!("dept{d}"))]);
+        }
+        db.load_rows("departments", dept_rows).unwrap();
+        db.load_rows("employees", emp_rows).unwrap();
+        db.analyze().unwrap();
+        db
+    }
+
+    #[test]
+    fn ddl_and_insert_roundtrip() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(10));
+             INSERT INTO t VALUES (1, 'x'), (2, NULL), (-3, 'y');
+             ANALYZE;",
+        )
+        .unwrap();
+        let r = db.query("SELECT a, b FROM t ORDER BY a").unwrap();
+        assert_eq!(r.columns, vec!["a", "b"]);
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][0], Value::Int(-3));
+        assert!(r.rows[2][1].is_null());
+    }
+
+    #[test]
+    fn correlated_subquery_end_to_end() {
+        let mut db = demo_db();
+        let r = db
+            .query(
+                "SELECT e1.emp_id FROM employees e1 WHERE e1.salary > \
+                 (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id) \
+                 ORDER BY e1.emp_id",
+            )
+            .unwrap();
+        // each dept 0..9 has 10 members with salaries in arithmetic
+        // progression: exactly the top half beat the average, minus the
+        // null-dept employee 99
+        assert!(!r.rows.is_empty());
+        assert!(r.stats.estimated_cost > 0.0);
+        assert!(r.stats.states_explored > 0);
+    }
+
+    #[test]
+    fn cost_based_matches_heuristic_results() {
+        let mut db = demo_db();
+        let q = "SELECT d.name FROM departments d WHERE d.dept_id IN \
+                 (SELECT e.dept_id FROM employees e WHERE e.salary > 1500) ORDER BY d.name";
+        let cb = db.query(q).unwrap();
+        db.config_mut().cost_based = false;
+        let hr = db.query(q).unwrap();
+        assert_eq!(cb.rows, hr.rows);
+        assert_eq!(hr.stats.states_explored, 0);
+    }
+
+    #[test]
+    fn explain_shows_decisions_and_plan() {
+        let mut db = demo_db();
+        let text = db
+            .explain(
+                "SELECT e1.emp_id FROM employees e1 WHERE e1.salary > \
+                 (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id)",
+            )
+            .unwrap();
+        assert!(text.contains("transformed query"), "{text}");
+        assert!(text.contains("physical plan"), "{text}");
+    }
+
+    #[test]
+    fn explain_statement_via_sql() {
+        let mut db = demo_db();
+        let r = db.query("EXPLAIN SELECT emp_id FROM employees WHERE dept_id = 3").unwrap();
+        assert_eq!(r.columns, vec!["PLAN"]);
+        assert!(!r.rows.is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut db = demo_db();
+        let r = db.query("SELECT COUNT(*) FROM employees").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(100));
+        assert!(r.stats.work_units > 0.0);
+        assert!(r.stats.blocks_costed > 0);
+    }
+
+    #[test]
+    fn errors_surface_cleanly() {
+        let mut db = demo_db();
+        assert!(db.query("SELECT nope FROM employees").is_err());
+        assert!(db.execute("CREATE TABLE employees (x INT)").is_err());
+        assert!(db.execute("INSERT INTO employees VALUES (1)").is_err());
+        assert!(db.query("SELECT * FROM missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut db = demo_db();
+        assert!(db.execute("CREATE INDEX i_emp_dept ON employees (salary)").is_err());
+    }
+}

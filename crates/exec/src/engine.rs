@@ -1,0 +1,1135 @@
+//! Block execution: scans, joins, aggregation, windows, distinct, order,
+//! ROWNUM — plus the TIS subquery cache.
+
+use crate::eval::{compute_windows, AggAcc, Bindings, EvalCtx};
+use cbqt_catalog::Catalog;
+use cbqt_common::{Error, Result, Row, Value};
+use cbqt_optimizer::{
+    weights, AccessPath, BlockPlan, JoinMethod, Layout, PlanJoinKind, PlanNode, PlanRoot,
+    SelectPlan,
+};
+use cbqt_qgm::{BlockId, QExpr, RefId, SetOp};
+use cbqt_storage::Storage;
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::ops::Bound;
+use std::rc::Rc;
+
+/// TIS cache: (subquery block, correlation binding values) → rows.
+type SubqCache = HashMap<(BlockId, Vec<Value>), Rc<Vec<Row>>>;
+/// Outer column dependencies per block, memoized.
+type OuterColsCache = HashMap<BlockId, Rc<Vec<(RefId, usize)>>>;
+
+/// Execution statistics for one query run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Deterministic work units (same weights as the cost model).
+    pub work: f64,
+    /// Subquery / lateral-view cache hits (correlation caching).
+    pub cache_hits: u64,
+    /// Subquery / lateral-view executions (cache misses).
+    pub cache_misses: u64,
+}
+
+/// The execution engine. Create one per query execution; the TIS cache
+/// lives for the duration of the query.
+pub struct Engine<'a> {
+    pub catalog: &'a Catalog,
+    pub storage: &'a Storage,
+    work: Cell<f64>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+    subq_cache: RefCell<SubqCache>,
+    outer_cols: RefCell<OuterColsCache>,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(catalog: &'a Catalog, storage: &'a Storage) -> Engine<'a> {
+        Engine {
+            catalog,
+            storage,
+            work: Cell::new(0.0),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
+            subq_cache: RefCell::new(HashMap::new()),
+            outer_cols: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Executes a root plan and returns the projected rows.
+    pub fn run(&self, plan: &BlockPlan) -> Result<Vec<Row>> {
+        self.execute_block(plan, &Bindings::default())
+    }
+
+    pub fn stats(&self) -> ExecStats {
+        ExecStats {
+            work: self.work.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+        }
+    }
+
+    pub(crate) fn add_work(&self, w: f64) {
+        self.work.set(self.work.get() + w);
+    }
+
+    /// Burns CPU for the EXPENSIVE() stand-in UDF: deterministic work
+    /// proportional to `units`, visible both in wall time and in the work
+    /// counter.
+    pub(crate) fn burn(&self, units: f64) {
+        self.add_work(units);
+        let iters = (units.max(0.0) * 25.0) as u64;
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..iters {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        std::hint::black_box(x);
+    }
+
+    /// Executes a (possibly correlated) block plan with caching on the
+    /// values of its outer references — the TIS correlation cache.
+    pub(crate) fn execute_cached(
+        &self,
+        plan: &BlockPlan,
+        binds: &Bindings<'_>,
+    ) -> Result<Rc<Vec<Row>>> {
+        let cols = self.outer_cols_of(plan);
+        let mut key = Vec::with_capacity(cols.len());
+        for (r, c) in cols.iter() {
+            key.push(resolve_outer(binds, *r, *c)?);
+        }
+        let cache_key = (plan.block, key);
+        if let Some(hit) = self.subq_cache.borrow().get(&cache_key) {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+            self.add_work(weights::HASH_PROBE);
+            return Ok(Rc::clone(hit));
+        }
+        self.cache_misses.set(self.cache_misses.get() + 1);
+        let rows = Rc::new(self.execute_block(plan, binds)?);
+        self.subq_cache.borrow_mut().insert(cache_key, Rc::clone(&rows));
+        Ok(rows)
+    }
+
+    /// The outer `(RefId, column)` pairs a plan depends on (computed once
+    /// per block and cached).
+    fn outer_cols_of(&self, plan: &BlockPlan) -> Rc<Vec<(RefId, usize)>> {
+        if let Some(c) = self.outer_cols.borrow().get(&plan.block) {
+            return Rc::clone(c);
+        }
+        let mut defined: HashSet<RefId> = HashSet::new();
+        let mut referenced: Vec<(RefId, usize)> = Vec::new();
+        collect_plan_refs(plan, &mut defined, &mut referenced);
+        let mut outer: Vec<(RefId, usize)> = Vec::new();
+        for (r, c) in referenced {
+            if !defined.contains(&r) && !outer.contains(&(r, c)) {
+                outer.push((r, c));
+            }
+        }
+        let rc = Rc::new(outer);
+        self.outer_cols.borrow_mut().insert(plan.block, Rc::clone(&rc));
+        rc
+    }
+
+    fn execute_block(&self, plan: &BlockPlan, binds: &Bindings<'_>) -> Result<Vec<Row>> {
+        match &plan.root {
+            PlanRoot::Select(sp) => self.exec_select(sp, binds),
+            PlanRoot::SetOp(sop) => {
+                let mut inputs: Vec<Vec<Row>> = Vec::with_capacity(sop.inputs.len());
+                for i in &sop.inputs {
+                    inputs.push(self.execute_block(i, binds)?);
+                }
+                self.exec_setop(sop.op, inputs)
+            }
+        }
+    }
+
+    fn exec_setop(&self, op: SetOp, mut inputs: Vec<Vec<Row>>) -> Result<Vec<Row>> {
+        match op {
+            SetOp::UnionAll => {
+                let mut out = Vec::new();
+                for mut i in inputs {
+                    self.add_work(i.len() as f64 * weights::ROW);
+                    out.append(&mut i);
+                }
+                Ok(out)
+            }
+            SetOp::Union => {
+                let mut seen: HashSet<Row> = HashSet::new();
+                let mut out = Vec::new();
+                for i in inputs {
+                    for r in i {
+                        self.add_work(weights::DEDUP);
+                        if seen.insert(r.clone()) {
+                            out.push(r);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            SetOp::Intersect => {
+                let right: HashSet<Row> = inputs.pop().unwrap_or_default().into_iter().collect();
+                let left = inputs.pop().unwrap_or_default();
+                let mut seen: HashSet<Row> = HashSet::new();
+                let mut out = Vec::new();
+                for r in left {
+                    self.add_work(weights::DEDUP);
+                    if right.contains(&r) && seen.insert(r.clone()) {
+                        out.push(r);
+                    }
+                }
+                Ok(out)
+            }
+            SetOp::Minus => {
+                let right: HashSet<Row> = inputs.pop().unwrap_or_default().into_iter().collect();
+                let left = inputs.pop().unwrap_or_default();
+                let mut seen: HashSet<Row> = HashSet::new();
+                let mut out = Vec::new();
+                for r in left {
+                    self.add_work(weights::DEDUP);
+                    if !right.contains(&r) && seen.insert(r.clone()) {
+                        out.push(r);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn exec_select(&self, sp: &SelectPlan, binds: &Bindings<'_>) -> Result<Vec<Row>> {
+        let rows = self.exec_node(&sp.join, binds)?;
+        let base_ctx = EvalCtx {
+            engine: self,
+            layout: &sp.layout,
+            aggs: &sp.aggs,
+            agg_base: sp.layout.width,
+            windows: &sp.windows,
+            win_base: sp.layout.width + sp.aggs.len(),
+            subplans: &sp.subplans,
+            outer: binds.clone(),
+        };
+
+        // WHERE residue (TIS subquery filters etc.) + ROWNUM, with early
+        // exit once the limit is reached
+        let mut filtered: Vec<Row> = Vec::new();
+        for r in rows {
+            let mut pass = true;
+            for c in &sp.post_filter {
+                self.add_work(weights::PRED);
+                if !base_ctx.eval_truth(c, &r)?.passes() {
+                    pass = false;
+                    break;
+                }
+            }
+            if pass {
+                filtered.push(r);
+                if let Some(lim) = sp.rownum_limit {
+                    if filtered.len() as u64 >= lim {
+                        break;
+                    }
+                }
+            }
+        }
+        let mut rows = filtered;
+
+        // aggregation
+        let aggregated = !sp.group_by.is_empty()
+            || sp.grouping_sets.is_some()
+            || !sp.aggs.is_empty()
+            || !sp.having.is_empty();
+        if aggregated {
+            rows = self.aggregate(sp, &base_ctx, rows)?;
+            // HAVING
+            let mut kept = Vec::new();
+            for r in rows {
+                let mut pass = true;
+                for h in &sp.having {
+                    self.add_work(weights::PRED);
+                    if !base_ctx.eval_truth(h, &r)?.passes() {
+                        pass = false;
+                        break;
+                    }
+                }
+                if pass {
+                    kept.push(r);
+                }
+            }
+            rows = kept;
+        }
+
+        // window functions
+        if !sp.windows.is_empty() {
+            compute_windows(&base_ctx, &mut rows, &sp.windows)?;
+        }
+
+        // distinct / distinct-on
+        if sp.distinct || sp.distinct_keys.is_some() {
+            let keys: Vec<QExpr> = match &sp.distinct_keys {
+                Some(k) => k.clone(),
+                None => sp.select.clone(),
+            };
+            let mut seen: HashSet<Vec<Value>> = HashSet::new();
+            let mut kept = Vec::new();
+            for r in rows {
+                self.add_work(weights::DEDUP);
+                let key: Vec<Value> =
+                    keys.iter().map(|e| base_ctx.eval(e, &r)).collect::<Result<_>>()?;
+                if seen.insert(key) {
+                    kept.push(r);
+                }
+            }
+            rows = kept;
+        }
+
+        // order by
+        if !sp.order_by.is_empty() {
+            let n = rows.len().max(2) as f64;
+            self.add_work(weights::SORT * n * n.log2());
+            let mut keyed: Vec<(Vec<Value>, Row)> = rows
+                .into_iter()
+                .map(|r| {
+                    let k: Vec<Value> = sp
+                        .order_by
+                        .iter()
+                        .map(|o| base_ctx.eval(&o.expr, &r))
+                        .collect::<Result<_>>()?;
+                    Ok((k, r))
+                })
+                .collect::<Result<_>>()?;
+            keyed.sort_by(|a, b| {
+                for (j, o) in sp.order_by.iter().enumerate() {
+                    let ord = order_cmp(&a.0[j], &b.0[j], o.desc, o.nulls_first);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+            rows = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+
+        // projection
+        let mut out = Vec::with_capacity(rows.len());
+        for r in &rows {
+            self.add_work(weights::ROW);
+            let proj: Row =
+                sp.select.iter().map(|e| base_ctx.eval(e, r)).collect::<Result<_>>()?;
+            out.push(proj);
+        }
+        Ok(out)
+    }
+
+    /// Hash aggregation with representative-row semantics and grouping
+    /// sets. Output rows are `representative wide row ++ agg values`.
+    fn aggregate(&self, sp: &SelectPlan, ctx: &EvalCtx<'_>, rows: Vec<Row>) -> Result<Vec<Row>> {
+        let sets: Vec<Vec<usize>> = match &sp.grouping_sets {
+            Some(s) => s.clone(),
+            None => vec![(0..sp.group_by.len()).collect()],
+        };
+        // distinct aggregates need distinct accumulators
+        let make_accs = || -> Result<Vec<AggAcc>> {
+            sp.aggs
+                .iter()
+                .map(|a| match a {
+                    QExpr::Agg { func, distinct, .. } => Ok(if *distinct {
+                        AggAcc::new_distinct(*func)
+                    } else {
+                        AggAcc::new(*func)
+                    }),
+                    _ => Err(Error::execution("non-aggregate in agg slot list")),
+                })
+                .collect()
+        };
+
+        let mut out: Vec<Row> = Vec::new();
+        for set in &sets {
+            let mut groups: HashMap<Vec<Value>, (Row, Vec<AggAcc>)> = HashMap::new();
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            for r in &rows {
+                self.add_work(weights::AGG);
+                let key: Vec<Value> = set
+                    .iter()
+                    .map(|&i| ctx.eval(&sp.group_by[i], r))
+                    .collect::<Result<_>>()?;
+                let entry = match groups.get_mut(&key) {
+                    Some(e) => e,
+                    None => {
+                        order.push(key.clone());
+                        groups.entry(key.clone()).or_insert((r.clone(), make_accs()?))
+                    }
+                };
+                for (acc, agg) in entry.1.iter_mut().zip(sp.aggs.iter()) {
+                    let QExpr::Agg { arg, .. } = agg else { unreachable!() };
+                    let v = match arg {
+                        Some(a) => ctx.eval(a, r)?,
+                        None => Value::Int(1),
+                    };
+                    acc.add(&v);
+                }
+            }
+            // scalar aggregate over empty input: one all-NULL group
+            if groups.is_empty() && sp.group_by.is_empty() && sets.len() == 1 {
+                let rep: Row = vec![Value::Null; sp.layout.width];
+                let accs = make_accs()?;
+                let mut row = rep;
+                for acc in &accs {
+                    row.push(acc.finish());
+                }
+                out.push(row);
+                continue;
+            }
+            let full_set: HashSet<usize> = set.iter().copied().collect();
+            for key in order {
+                let (mut rep, accs) = groups.remove(&key).unwrap();
+                // grouping-set semantics: group-by columns not in this
+                // set read as NULL (requires simple column group-bys,
+                // which is all the builder produces for ROLLUP)
+                if sp.grouping_sets.is_some() {
+                    for (i, g) in sp.group_by.iter().enumerate() {
+                        if !full_set.contains(&i) {
+                            if let QExpr::Col { table, column } = g {
+                                if let Some((off, w)) = sp.layout.offset_of(*table) {
+                                    if *column < w {
+                                        rep[off + column] = Value::Null;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                for acc in &accs {
+                    rep.push(acc.finish());
+                }
+                out.push(rep);
+            }
+        }
+        Ok(out)
+    }
+
+    fn exec_node(&self, node: &PlanNode, binds: &Bindings<'_>) -> Result<Vec<Row>> {
+        match node {
+            PlanNode::OneRow => {
+                self.add_work(weights::ROW);
+                Ok(vec![Vec::new()])
+            }
+            PlanNode::ScanBase { table, refid, width, access, filter } => {
+                let layout =
+                    Layout { slots: vec![(*refid, 0, *width)], width: *width };
+                let ctx = EvalCtx {
+                    engine: self,
+                    layout: &layout,
+                    aggs: &[],
+                    agg_base: 0,
+                    windows: &[],
+                    win_base: 0,
+                    subplans: &[],
+                    outer: binds.clone(),
+                };
+                let data = self.storage.table(*table)?;
+                let mut out = Vec::new();
+                let mut emit = |ordinal: usize, engine: &Engine<'_>| -> Result<()> {
+                    let mut row = data.rows[ordinal].clone();
+                    row.push(Value::Int(ordinal as i64));
+                    let mut pass = true;
+                    for c in filter {
+                        engine.add_work(weights::PRED);
+                        if !ctx.eval_truth(c, &row)?.passes() {
+                            pass = false;
+                            break;
+                        }
+                    }
+                    if pass {
+                        out.push(row);
+                    }
+                    Ok(())
+                };
+                match access {
+                    AccessPath::FullScan => {
+                        self.add_work(data.rows.len() as f64 * weights::ROW);
+                        for ordinal in 0..data.rows.len() {
+                            emit(ordinal, self)?;
+                        }
+                    }
+                    AccessPath::IndexEq { index, key } => {
+                        self.add_work(weights::INDEX_PROBE);
+                        // key expressions reference only outer bindings
+                        let empty = Layout::default();
+                        let kctx = EvalCtx { layout: &empty, ..ctx_clone(&ctx) };
+                        let keyvals: Vec<Value> = key
+                            .iter()
+                            .map(|e| kctx.eval(e, &[]))
+                            .collect::<Result<_>>()?;
+                        let ix = self.storage.index(*index)?;
+                        let hits: Vec<usize> = if ix.columns.len() == keyvals.len() {
+                            ix.lookup_eq(&keyvals).to_vec()
+                        } else {
+                            // prefix probe: range over the leading column
+                            let mut v = Vec::new();
+                            if let Some(first) = keyvals.first() {
+                                ix.lookup_range(
+                                    Bound::Included(first),
+                                    Bound::Included(first),
+                                    &mut v,
+                                );
+                            }
+                            v
+                        };
+                        self.add_work(hits.len() as f64 * weights::INDEX_FETCH);
+                        for ordinal in hits {
+                            emit(ordinal, self)?;
+                        }
+                    }
+                    AccessPath::IndexRange { index, lo, hi } => {
+                        self.add_work(weights::INDEX_PROBE);
+                        let empty = Layout::default();
+                        let kctx = EvalCtx { layout: &empty, ..ctx_clone(&ctx) };
+                        let lo_v = match lo {
+                            Some((e, inc)) => {
+                                let v = kctx.eval(e, &[])?;
+                                if *inc {
+                                    Bound::Included(v)
+                                } else {
+                                    Bound::Excluded(v)
+                                }
+                            }
+                            None => Bound::Unbounded,
+                        };
+                        let hi_v = match hi {
+                            Some((e, inc)) => {
+                                let v = kctx.eval(e, &[])?;
+                                if *inc {
+                                    Bound::Included(v)
+                                } else {
+                                    Bound::Excluded(v)
+                                }
+                            }
+                            None => Bound::Unbounded,
+                        };
+                        let ix = self.storage.index(*index)?;
+                        let mut hits = Vec::new();
+                        ix.lookup_range(as_ref_bound(&lo_v), as_ref_bound(&hi_v), &mut hits);
+                        self.add_work(hits.len() as f64 * weights::INDEX_FETCH);
+                        for ordinal in hits {
+                            emit(ordinal, self)?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            PlanNode::ScanView { refid, width, plan, filter, .. } => {
+                let rows = self.execute_cached(plan, binds)?;
+                let layout = Layout { slots: vec![(*refid, 0, *width)], width: *width };
+                let ctx = EvalCtx {
+                    engine: self,
+                    layout: &layout,
+                    aggs: &[],
+                    agg_base: 0,
+                    windows: &[],
+                    win_base: 0,
+                    subplans: &[],
+                    outer: binds.clone(),
+                };
+                let mut out = Vec::new();
+                for r in rows.iter() {
+                    self.add_work(weights::ROW);
+                    let mut pass = true;
+                    for c in filter {
+                        self.add_work(weights::PRED);
+                        if !ctx.eval_truth(c, r)?.passes() {
+                            pass = false;
+                            break;
+                        }
+                    }
+                    if pass {
+                        out.push(r.clone());
+                    }
+                }
+                Ok(out)
+            }
+            PlanNode::Join { left, right, kind, method, equi, residual, lateral, .. } => {
+                self.exec_join(left, right, *kind, *method, equi, residual, *lateral, binds)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_join(
+        &self,
+        left: &PlanNode,
+        right: &PlanNode,
+        kind: PlanJoinKind,
+        method: JoinMethod,
+        equi: &[(QExpr, QExpr)],
+        residual: &[QExpr],
+        lateral: bool,
+        binds: &Bindings<'_>,
+    ) -> Result<Vec<Row>> {
+        let lrows = self.exec_node(left, binds)?;
+        let llayout = Layout::from_node(left);
+        let rlayout_node = Layout::from_node(right);
+        let combined = combined_layout(&llayout, &rlayout_node);
+        let rwidth = right.width();
+
+        let lctx = self.simple_ctx(&llayout, binds);
+        let cctx = self.simple_ctx(&combined, binds);
+
+        if lateral {
+            // right side re-executed per left row
+            let mut out = Vec::new();
+            for lrow in &lrows {
+                let b2 = binds.push(&llayout, lrow);
+                let rrows = self.exec_node(right, &b2)?;
+                let rctx = self.simple_ctx_b(&rlayout_node, &b2);
+                let mut matched = false;
+                for rrow in &rrows {
+                    self.add_work(
+                        (equi.len() + residual.len()).max(1) as f64 * weights::PRED,
+                    );
+                    if !self.pair_matches(
+                        &lctx, &rctx, &cctx, lrow, rrow, equi, residual,
+                    )? {
+                        continue;
+                    }
+                    matched = true;
+                    match kind {
+                        PlanJoinKind::Inner | PlanJoinKind::LeftOuter => {
+                            out.push(concat(lrow, rrow));
+                        }
+                        PlanJoinKind::Semi => {
+                            out.push(lrow.clone());
+                            break;
+                        }
+                        PlanJoinKind::Anti { .. } => break,
+                    }
+                }
+                match kind {
+                    PlanJoinKind::LeftOuter if !matched => {
+                        out.push(null_pad(lrow, rwidth));
+                    }
+                    PlanJoinKind::Anti { null_aware } if !matched => {
+                        if null_aware {
+                            // NOT IN: a NULL probe key never qualifies
+                            // unless the right side is empty
+                            let keys: Vec<Value> = equi
+                                .iter()
+                                .map(|(l, _)| lctx.eval(l, lrow))
+                                .collect::<Result<_>>()?;
+                            if rrows.is_empty() || !keys.iter().any(Value::is_null) {
+                                out.push(lrow.clone());
+                            }
+                        } else {
+                            out.push(lrow.clone());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.add_work(out.len() as f64 * weights::ROW);
+            return Ok(out);
+        }
+
+        let rrows = self.exec_node(right, binds)?;
+        let rctx = self.simple_ctx(&rlayout_node, binds);
+
+        match method {
+            JoinMethod::Hash => {
+                self.hash_join(&lrows, &rrows, kind, equi, residual, &lctx, &rctx, &cctx, rwidth)
+            }
+            JoinMethod::Merge => {
+                self.merge_join(&lrows, &rrows, equi, residual, &lctx, &rctx, &cctx)
+            }
+            JoinMethod::NestedLoop => {
+                self.nl_join(&lrows, &rrows, kind, equi, residual, &lctx, &rctx, &cctx, rwidth)
+            }
+        }
+    }
+
+    fn simple_ctx<'b>(&'b self, layout: &'b Layout, binds: &Bindings<'b>) -> EvalCtx<'b> {
+        EvalCtx {
+            engine: self,
+            layout,
+            aggs: &[],
+            agg_base: 0,
+            windows: &[],
+            win_base: 0,
+            subplans: &[],
+            outer: binds.clone(),
+        }
+    }
+
+    fn simple_ctx_b<'b>(&'b self, layout: &'b Layout, binds: &Bindings<'b>) -> EvalCtx<'b> {
+        self.simple_ctx(layout, binds)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn pair_matches(
+        &self,
+        lctx: &EvalCtx<'_>,
+        rctx: &EvalCtx<'_>,
+        cctx: &EvalCtx<'_>,
+        lrow: &[Value],
+        rrow: &[Value],
+        equi: &[(QExpr, QExpr)],
+        residual: &[QExpr],
+    ) -> Result<bool> {
+        for (le, re) in equi {
+            let lv = lctx.eval(le, lrow)?;
+            let rv = rctx.eval(re, rrow)?;
+            if lv.sql_eq(&rv) != Some(true) {
+                return Ok(false);
+            }
+        }
+        if !residual.is_empty() {
+            let crow = concat(lrow, rrow);
+            for c in residual {
+                if !cctx.eval_truth(c, &crow)?.passes() {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn hash_join(
+        &self,
+        lrows: &[Row],
+        rrows: &[Row],
+        kind: PlanJoinKind,
+        equi: &[(QExpr, QExpr)],
+        residual: &[QExpr],
+        lctx: &EvalCtx<'_>,
+        rctx: &EvalCtx<'_>,
+        cctx: &EvalCtx<'_>,
+        rwidth: usize,
+    ) -> Result<Vec<Row>> {
+        // build on right
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        let mut right_has_null_key = false;
+        for (i, r) in rrows.iter().enumerate() {
+            self.add_work(weights::HASH_BUILD);
+            let key: Vec<Value> =
+                equi.iter().map(|(_, re)| rctx.eval(re, r)).collect::<Result<_>>()?;
+            if key.iter().any(Value::is_null) {
+                right_has_null_key = true;
+                continue;
+            }
+            table.entry(key).or_default().push(i);
+        }
+        let mut out = Vec::new();
+        for lrow in lrows {
+            self.add_work(weights::HASH_PROBE);
+            let key: Vec<Value> =
+                equi.iter().map(|(le, _)| lctx.eval(le, lrow)).collect::<Result<_>>()?;
+            let null_key = key.iter().any(Value::is_null);
+            let hits = if null_key { None } else { table.get(&key) };
+            let mut matched = false;
+            if let Some(idxs) = hits {
+                for &i in idxs {
+                    let rrow = &rrows[i];
+                    if !residual.is_empty() {
+                        self.add_work(residual.len() as f64 * weights::PRED);
+                        let crow = concat(lrow, rrow);
+                        let mut pass = true;
+                        for c in residual {
+                            if !cctx.eval_truth(c, &crow)?.passes() {
+                                pass = false;
+                                break;
+                            }
+                        }
+                        if !pass {
+                            continue;
+                        }
+                    }
+                    matched = true;
+                    match kind {
+                        PlanJoinKind::Inner | PlanJoinKind::LeftOuter => {
+                            out.push(concat(lrow, rrow));
+                        }
+                        PlanJoinKind::Semi => {
+                            out.push(lrow.clone());
+                            break;
+                        }
+                        PlanJoinKind::Anti { .. } => break,
+                    }
+                }
+            }
+            if !matched {
+                match kind {
+                    PlanJoinKind::LeftOuter => out.push(null_pad(lrow, rwidth)),
+                    PlanJoinKind::Anti { null_aware } => {
+                        if null_aware {
+                            if rrows.is_empty() || (!null_key && !right_has_null_key) {
+                                out.push(lrow.clone());
+                            }
+                        } else {
+                            out.push(lrow.clone());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.add_work(out.len() as f64 * weights::ROW);
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn merge_join(
+        &self,
+        lrows: &[Row],
+        rrows: &[Row],
+        equi: &[(QExpr, QExpr)],
+        residual: &[QExpr],
+        lctx: &EvalCtx<'_>,
+        rctx: &EvalCtx<'_>,
+        cctx: &EvalCtx<'_>,
+    ) -> Result<Vec<Row>> {
+        let ln = lrows.len().max(2) as f64;
+        let rn = rrows.len().max(2) as f64;
+        self.add_work(weights::SORT * (ln * ln.log2() + rn * rn.log2()));
+        let mut lk: Vec<(Vec<Value>, usize)> = lrows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let k: Vec<Value> =
+                    equi.iter().map(|(le, _)| lctx.eval(le, r)).collect::<Result<_>>()?;
+                Ok((k, i))
+            })
+            .collect::<Result<_>>()?;
+        let mut rk: Vec<(Vec<Value>, usize)> = rrows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let k: Vec<Value> =
+                    equi.iter().map(|(_, re)| rctx.eval(re, r)).collect::<Result<_>>()?;
+                Ok((k, i))
+            })
+            .collect::<Result<_>>()?;
+        lk.sort_by(|a, b| a.0.cmp(&b.0));
+        rk.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < lk.len() && j < rk.len() {
+            self.add_work(weights::ROW);
+            // NULL keys never join
+            if lk[i].0.iter().any(Value::is_null) {
+                i += 1;
+                continue;
+            }
+            if rk[j].0.iter().any(Value::is_null) {
+                j += 1;
+                continue;
+            }
+            match lk[i].0.cmp(&rk[j].0) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    // cross-combine the two equal-key groups
+                    let key = lk[i].0.clone();
+                    let li0 = i;
+                    while i < lk.len() && lk[i].0 == key {
+                        i += 1;
+                    }
+                    let rj0 = j;
+                    while j < rk.len() && rk[j].0 == key {
+                        j += 1;
+                    }
+                    for li in li0..i {
+                        for rj in rj0..j {
+                            let lrow = &lrows[lk[li].1];
+                            let rrow = &rrows[rk[rj].1];
+                            if !residual.is_empty() {
+                                self.add_work(residual.len() as f64 * weights::PRED);
+                                let crow = concat(lrow, rrow);
+                                let mut pass = true;
+                                for c in residual {
+                                    if !cctx.eval_truth(c, &crow)?.passes() {
+                                        pass = false;
+                                        break;
+                                    }
+                                }
+                                if !pass {
+                                    continue;
+                                }
+                            }
+                            out.push(concat(lrow, rrow));
+                        }
+                    }
+                }
+            }
+        }
+        self.add_work(out.len() as f64 * weights::ROW);
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn nl_join(
+        &self,
+        lrows: &[Row],
+        rrows: &[Row],
+        kind: PlanJoinKind,
+        equi: &[(QExpr, QExpr)],
+        residual: &[QExpr],
+        lctx: &EvalCtx<'_>,
+        rctx: &EvalCtx<'_>,
+        cctx: &EvalCtx<'_>,
+        rwidth: usize,
+    ) -> Result<Vec<Row>> {
+        let mut out = Vec::new();
+        // semijoin/antijoin caching on the left key values (§2.1.1)
+        let cacheable = matches!(kind, PlanJoinKind::Semi | PlanJoinKind::Anti { .. })
+            && !equi.is_empty()
+            && residual.is_empty();
+        let mut match_cache: HashMap<Vec<Value>, bool> = HashMap::new();
+        for lrow in lrows {
+            let lkey: Option<Vec<Value>> = if cacheable {
+                Some(equi.iter().map(|(le, _)| lctx.eval(le, lrow)).collect::<Result<_>>()?)
+            } else {
+                None
+            };
+            let cached = lkey.as_ref().and_then(|k| match_cache.get(k)).copied();
+            let matched = match cached {
+                Some(m) => {
+                    self.add_work(weights::HASH_PROBE);
+                    m
+                }
+                None => {
+                    let mut m = false;
+                    for rrow in rrows {
+                        self.add_work(
+                            (equi.len() + residual.len()).max(1) as f64 * weights::PRED,
+                        );
+                        if self.pair_matches(lctx, rctx, cctx, lrow, rrow, equi, residual)? {
+                            m = true;
+                            match kind {
+                                PlanJoinKind::Inner | PlanJoinKind::LeftOuter => {
+                                    out.push(concat(lrow, rrow));
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    if let Some(k) = lkey {
+                        match_cache.insert(k, m);
+                    }
+                    m
+                }
+            };
+            match kind {
+                PlanJoinKind::Semi if matched => out.push(lrow.clone()),
+                PlanJoinKind::Anti { null_aware } if !matched => {
+                    if null_aware {
+                        let keys: Vec<Value> = equi
+                            .iter()
+                            .map(|(le, _)| lctx.eval(le, lrow))
+                            .collect::<Result<_>>()?;
+                        let right_nullish = rrows.iter().any(|r| {
+                            equi.iter().any(|(_, re)| {
+                                rctx.eval(re, r).map(|v| v.is_null()).unwrap_or(false)
+                            })
+                        });
+                        if rrows.is_empty() || (!keys.iter().any(Value::is_null) && !right_nullish)
+                        {
+                            out.push(lrow.clone());
+                        }
+                    } else {
+                        out.push(lrow.clone());
+                    }
+                }
+                PlanJoinKind::LeftOuter if !matched => out.push(null_pad(lrow, rwidth)),
+                _ => {}
+            }
+        }
+        self.add_work(out.len() as f64 * weights::ROW);
+        Ok(out)
+    }
+}
+
+/// Resolves an outer column reference through the binding frames
+/// (innermost first).
+fn resolve_outer(binds: &Bindings<'_>, refid: RefId, col: usize) -> Result<Value> {
+    for f in binds.frames.iter().rev() {
+        if let Some((off, w)) = f.layout.offset_of(refid) {
+            if col < w {
+                return Ok(f.row[off + col].clone());
+            }
+            return Err(Error::execution(format!(
+                "outer column {col} out of range for r{}",
+                refid.0
+            )));
+        }
+    }
+    Err(Error::execution(format!("unbound outer reference r{}", refid.0)))
+}
+
+fn ctx_clone<'b>(ctx: &EvalCtx<'b>) -> EvalCtx<'b> {
+    EvalCtx {
+        engine: ctx.engine,
+        layout: ctx.layout,
+        aggs: ctx.aggs,
+        agg_base: ctx.agg_base,
+        windows: ctx.windows,
+        win_base: ctx.win_base,
+        subplans: ctx.subplans,
+        outer: ctx.outer.clone(),
+    }
+}
+
+fn as_ref_bound(b: &Bound<Value>) -> Bound<&Value> {
+    match b {
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+fn concat(l: &[Value], r: &[Value]) -> Row {
+    let mut row = Vec::with_capacity(l.len() + r.len());
+    row.extend_from_slice(l);
+    row.extend_from_slice(r);
+    row
+}
+
+fn null_pad(l: &[Value], rwidth: usize) -> Row {
+    let mut row = Vec::with_capacity(l.len() + rwidth);
+    row.extend_from_slice(l);
+    row.extend(std::iter::repeat_n(Value::Null, rwidth));
+    row
+}
+
+fn combined_layout(l: &Layout, r: &Layout) -> Layout {
+    let mut slots = l.slots.clone();
+    for (rr, off, w) in &r.slots {
+        slots.push((*rr, off + l.width, *w));
+    }
+    Layout { slots, width: l.width + r.width }
+}
+
+/// Comparison for ORDER BY with configurable direction and null placement.
+pub fn order_cmp(a: &Value, b: &Value, desc: bool, nulls_first: bool) -> Ordering {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => {
+            if nulls_first {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        }
+        (false, true) => {
+            if nulls_first {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            }
+        }
+        (false, false) => {
+            let ord = a.total_cmp(b);
+            if desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        }
+    }
+}
+
+fn collect_plan_refs(
+    plan: &BlockPlan,
+    defined: &mut HashSet<RefId>,
+    referenced: &mut Vec<(RefId, usize)>,
+) {
+    match &plan.root {
+        PlanRoot::Select(sp) => {
+            collect_node_refs(&sp.join, defined, referenced);
+            let mut push_expr = |e: &QExpr| {
+                let mut cols = Vec::new();
+                e.collect_cols(&mut cols);
+                referenced.extend(cols);
+            };
+            for e in sp
+                .post_filter
+                .iter()
+                .chain(sp.group_by.iter())
+                .chain(sp.having.iter())
+                .chain(sp.select.iter())
+                .chain(sp.aggs.iter())
+                .chain(sp.windows.iter())
+            {
+                push_expr(e);
+            }
+            for o in &sp.order_by {
+                push_expr(&o.expr);
+            }
+            if let Some(keys) = &sp.distinct_keys {
+                for e in keys {
+                    push_expr(e);
+                }
+            }
+            for (_, p) in &sp.subplans {
+                collect_plan_refs(p, defined, referenced);
+            }
+        }
+        PlanRoot::SetOp(sop) => {
+            for i in &sop.inputs {
+                collect_plan_refs(i, defined, referenced);
+            }
+        }
+    }
+}
+
+fn collect_node_refs(
+    node: &PlanNode,
+    defined: &mut HashSet<RefId>,
+    referenced: &mut Vec<(RefId, usize)>,
+) {
+    let push_expr = |e: &QExpr, referenced: &mut Vec<(RefId, usize)>| {
+        let mut cols = Vec::new();
+        e.collect_cols(&mut cols);
+        referenced.extend(cols);
+    };
+    match node {
+        PlanNode::OneRow => {}
+        PlanNode::ScanBase { refid, filter, access, .. } => {
+            defined.insert(*refid);
+            for c in filter {
+                push_expr(c, referenced);
+            }
+            match access {
+                AccessPath::IndexEq { key, .. } => {
+                    for e in key {
+                        push_expr(e, referenced);
+                    }
+                }
+                AccessPath::IndexRange { lo, hi, .. } => {
+                    if let Some((e, _)) = lo {
+                        push_expr(e, referenced);
+                    }
+                    if let Some((e, _)) = hi {
+                        push_expr(e, referenced);
+                    }
+                }
+                AccessPath::FullScan => {}
+            }
+        }
+        PlanNode::ScanView { refid, plan, filter, .. } => {
+            defined.insert(*refid);
+            for c in filter {
+                push_expr(c, referenced);
+            }
+            collect_plan_refs(plan, defined, referenced);
+        }
+        PlanNode::Join { left, right, equi, residual, .. } => {
+            collect_node_refs(left, defined, referenced);
+            collect_node_refs(right, defined, referenced);
+            for (l, r) in equi {
+                push_expr(l, referenced);
+                push_expr(r, referenced);
+            }
+            for c in residual {
+                push_expr(c, referenced);
+            }
+        }
+    }
+}

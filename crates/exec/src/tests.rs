@@ -1,0 +1,478 @@
+//! End-to-end engine tests: SQL → QGM → physical plan → execution over
+//! a small in-memory database.
+
+use crate::Engine;
+use cbqt_catalog::{Catalog, Column, Constraint, ForeignKey};
+use cbqt_common::{DataType, Value};
+use cbqt_optimizer::{CostAnnotations, Optimizer, SamplingCache};
+use cbqt_qgm::build_query_tree;
+use cbqt_sql::parse_query;
+use cbqt_storage::Storage;
+
+/// departments(dept_id PK, loc_id), employees(emp_id PK, name, dept_id FK,
+/// salary, mgr_id) with small deterministic contents:
+/// * 4 departments, loc 0/0/1/1
+/// * 12 employees: emp i in dept i%4 (dept NULL for emp 11), salary 1000*(i+1)
+fn setup() -> (Catalog, Storage) {
+    let mut cat = Catalog::new();
+    let icol = |n: &str| Column { name: n.into(), data_type: DataType::Int, not_null: false };
+    let scol = |n: &str| Column { name: n.into(), data_type: DataType::Str, not_null: false };
+    let dept = cat
+        .add_table(
+            "departments",
+            vec![icol("dept_id"), icol("loc_id")],
+            vec![Constraint::PrimaryKey(vec![0])],
+        )
+        .unwrap();
+    let emp = cat
+        .add_table(
+            "employees",
+            vec![icol("emp_id"), scol("name"), icol("dept_id"), icol("salary"), icol("mgr_id")],
+            vec![
+                Constraint::PrimaryKey(vec![0]),
+                Constraint::ForeignKey(ForeignKey {
+                    columns: vec![2],
+                    parent: dept,
+                    parent_columns: vec![0],
+                }),
+            ],
+        )
+        .unwrap();
+    let mut st = Storage::new();
+    st.create_table(dept);
+    st.create_table(emp);
+    for d in 0..4i64 {
+        st.insert(dept, vec![Value::Int(d), Value::Int(d / 2)]).unwrap();
+    }
+    for i in 0..12i64 {
+        let dept_id = if i == 11 { Value::Null } else { Value::Int(i % 4) };
+        st.insert(
+            emp,
+            vec![
+                Value::Int(i),
+                Value::str(format!("emp{i}")),
+                dept_id,
+                Value::Int(1000 * (i + 1)),
+                if i == 0 { Value::Null } else { Value::Int(0) },
+            ],
+        )
+        .unwrap();
+    }
+    let ie = cat.add_index("i_emp_dept", emp, vec![2], false).unwrap();
+    st.build_index(ie, emp, vec![2]).unwrap();
+    let pe = cat.add_index("pk_emp", emp, vec![0], true).unwrap();
+    st.build_index(pe, emp, vec![0]).unwrap();
+    st.analyze(&mut cat).unwrap();
+    (cat, st)
+}
+
+fn run(cat: &Catalog, st: &Storage, sql: &str) -> Vec<Vec<Value>> {
+    let tree = build_query_tree(cat, &parse_query(sql).unwrap()).unwrap();
+    let mut ann = CostAnnotations::new();
+    let cache = SamplingCache::default();
+    let mut opt = Optimizer::new(cat, &mut ann, &cache);
+    let plan = opt.optimize(&tree, None).unwrap();
+    let eng = Engine::new(cat, st);
+    eng.run(&plan).unwrap()
+}
+
+fn ints(rows: &[Vec<Value>]) -> Vec<i64> {
+    rows.iter().map(|r| r[0].as_i64().unwrap()).collect()
+}
+
+#[test]
+fn simple_filter_scan() {
+    let (cat, st) = setup();
+    let rows = run(&cat, &st, "SELECT emp_id FROM employees WHERE salary > 10000");
+    let mut ids = ints(&rows);
+    ids.sort();
+    assert_eq!(ids, vec![10, 11]);
+}
+
+#[test]
+fn index_eq_access() {
+    let (cat, st) = setup();
+    let rows = run(&cat, &st, "SELECT emp_id FROM employees WHERE dept_id = 2 ORDER BY emp_id");
+    assert_eq!(ints(&rows), vec![2, 6, 10]);
+}
+
+#[test]
+fn inner_join_fk() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT e.emp_id, d.loc_id FROM employees e, departments d \
+         WHERE e.dept_id = d.dept_id ORDER BY e.emp_id",
+    );
+    // emp 11 has NULL dept, drops out
+    assert_eq!(rows.len(), 11);
+    assert_eq!(rows[0][1], Value::Int(0));
+}
+
+#[test]
+fn left_outer_join_pads_nulls() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT e.emp_id, d.loc_id FROM employees e LEFT JOIN departments d \
+         ON e.dept_id = d.dept_id ORDER BY e.emp_id",
+    );
+    assert_eq!(rows.len(), 12);
+    assert!(rows[11][1].is_null());
+}
+
+#[test]
+fn group_by_aggregates() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT dept_id, COUNT(*), AVG(salary), MIN(salary), MAX(salary) \
+         FROM employees GROUP BY dept_id ORDER BY dept_id",
+    );
+    assert_eq!(rows.len(), 5); // depts 0..3 plus the NULL group
+    // dept 0: emps 0,4,8 → salaries 1000,5000,9000
+    assert_eq!(rows[0][1], Value::Int(3));
+    assert_eq!(rows[0][2], Value::Double(5000.0));
+    assert_eq!(rows[0][3], Value::Int(1000));
+    assert_eq!(rows[0][4], Value::Int(9000));
+    // NULL group is last (nulls last in ASC)
+    assert!(rows[4][0].is_null());
+    assert_eq!(rows[4][1], Value::Int(1));
+}
+
+#[test]
+fn having_filters_groups() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT dept_id FROM employees GROUP BY dept_id HAVING COUNT(*) > 2 ORDER BY dept_id",
+    );
+    // depts 0..2 have 3 members; dept 3 has 2 (emp 11's dept is NULL)
+    assert_eq!(ints(&rows), vec![0, 1, 2]);
+}
+
+#[test]
+fn scalar_aggregate_empty_input() {
+    let (cat, st) = setup();
+    let rows = run(&cat, &st, "SELECT COUNT(*), SUM(salary) FROM employees WHERE salary > 99999");
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::Int(0));
+    assert!(rows[0][1].is_null());
+}
+
+#[test]
+fn correlated_scalar_subquery_tis() {
+    let (cat, st) = setup();
+    // employees above their department average
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT e1.emp_id FROM employees e1 WHERE e1.salary > \
+         (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id) \
+         ORDER BY e1.emp_id",
+    );
+    // dept avg: d0: 5000 (1k,5k,9k) → emp 8 (9k); d1: 6000 → emp 9 (10k);
+    // d2: 7000 → emp 10; d3: 8000 → emp 11? no — emp 11 has NULL dept.
+    // d3 members: 3,7 → salaries 4000,8000, avg 6000 → emp 7 (8000)
+    assert_eq!(ints(&rows), vec![7, 8, 9, 10]);
+}
+
+#[test]
+fn exists_subquery() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT d.dept_id FROM departments d WHERE EXISTS \
+         (SELECT 1 FROM employees e WHERE e.dept_id = d.dept_id AND e.salary > 9500) \
+         ORDER BY d.dept_id",
+    );
+    // salaries > 9500: emp 9 (d1), 10 (d2), 11 (null)
+    assert_eq!(ints(&rows), vec![1, 2]);
+}
+
+#[test]
+fn not_exists_subquery() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT d.dept_id FROM departments d WHERE NOT EXISTS \
+         (SELECT 1 FROM employees e WHERE e.dept_id = d.dept_id AND e.salary > 9500) \
+         ORDER BY d.dept_id",
+    );
+    assert_eq!(ints(&rows), vec![0, 3]);
+}
+
+#[test]
+fn in_subquery_and_not_in_null_semantics() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT d.dept_id FROM departments d WHERE d.dept_id IN \
+         (SELECT e.dept_id FROM employees e WHERE e.salary > 9500)",
+    );
+    let mut ids = ints(&rows);
+    ids.sort();
+    assert_eq!(ids, vec![1, 2]);
+    // NOT IN with a NULL in the subquery result → empty
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT d.dept_id FROM departments d WHERE d.dept_id NOT IN \
+         (SELECT e.dept_id FROM employees e WHERE e.salary > 9500)",
+    );
+    assert!(rows.is_empty(), "NOT IN with NULLs must yield nothing: {rows:?}");
+    // excluding the NULL makes NOT IN behave like anti-join
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT d.dept_id FROM departments d WHERE d.dept_id NOT IN \
+         (SELECT e.dept_id FROM employees e WHERE e.salary > 9500 AND e.dept_id IS NOT NULL)",
+    );
+    let mut ids = ints(&rows);
+    ids.sort();
+    assert_eq!(ids, vec![0, 3]);
+}
+
+#[test]
+fn quantified_all_any() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT e.emp_id FROM employees e WHERE e.salary > ALL \
+         (SELECT e2.salary FROM employees e2 WHERE e2.dept_id = 0)",
+    );
+    // max salary in dept 0 is 9000 (emp 8) → salaries > 9000: emps 9,10,11
+    let mut ids = ints(&rows);
+    ids.sort();
+    assert_eq!(ids, vec![9, 10, 11]);
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT e.emp_id FROM employees e WHERE e.salary < ANY \
+         (SELECT e2.salary FROM employees e2 WHERE e2.dept_id = 0)",
+    );
+    // less than 9000: emps 0..7
+    assert_eq!(rows.len(), 8);
+}
+
+#[test]
+fn union_all_and_union() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT dept_id FROM departments UNION ALL SELECT dept_id FROM departments",
+    );
+    assert_eq!(rows.len(), 8);
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT dept_id FROM departments UNION SELECT dept_id FROM departments",
+    );
+    assert_eq!(rows.len(), 4);
+}
+
+#[test]
+fn intersect_and_minus() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT dept_id FROM departments WHERE dept_id < 3 \
+         INTERSECT SELECT dept_id FROM departments WHERE dept_id > 0",
+    );
+    let mut ids = ints(&rows);
+    ids.sort();
+    assert_eq!(ids, vec![1, 2]);
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT dept_id FROM departments MINUS SELECT dept_id FROM departments WHERE dept_id > 1",
+    );
+    let mut ids = ints(&rows);
+    ids.sort();
+    assert_eq!(ids, vec![0, 1]);
+}
+
+#[test]
+fn distinct_dedups() {
+    let (cat, st) = setup();
+    let rows = run(&cat, &st, "SELECT DISTINCT dept_id FROM employees WHERE dept_id IS NOT NULL");
+    assert_eq!(rows.len(), 4);
+}
+
+#[test]
+fn rownum_limits_and_stops_early() {
+    let (cat, st) = setup();
+    let rows = run(&cat, &st, "SELECT emp_id FROM employees WHERE rownum <= 5");
+    assert_eq!(rows.len(), 5);
+}
+
+#[test]
+fn order_by_desc_nulls() {
+    let (cat, st) = setup();
+    let rows = run(&cat, &st, "SELECT dept_id FROM employees ORDER BY dept_id DESC");
+    // DESC default = nulls first (Oracle)
+    assert!(rows[0][0].is_null());
+    assert_eq!(rows[1][0], Value::Int(3));
+}
+
+#[test]
+fn window_running_avg() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT emp_id, AVG(salary) OVER (PARTITION BY dept_id ORDER BY emp_id) \
+         FROM employees WHERE dept_id = 0 ORDER BY emp_id",
+    );
+    // dept 0: emps 0 (1000), 4 (5000), 8 (9000): running avgs 1000, 3000, 5000
+    assert_eq!(rows[0][1], Value::Double(1000.0));
+    assert_eq!(rows[1][1], Value::Double(3000.0));
+    assert_eq!(rows[2][1], Value::Double(5000.0));
+}
+
+#[test]
+fn window_row_number() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT emp_id, ROW_NUMBER() OVER (ORDER BY salary DESC) rn FROM employees \
+         ORDER BY rn",
+    );
+    assert_eq!(rows[0][0], Value::Int(11)); // highest salary
+    assert_eq!(rows[0][1], Value::Int(1));
+}
+
+#[test]
+fn rollup_grouping_sets() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT d.loc_id, d.dept_id, COUNT(*) FROM departments d \
+         GROUP BY ROLLUP (d.loc_id, d.dept_id)",
+    );
+    // sets: (loc,dept): 4 rows; (loc): 2 rows; (): 1 row → 7
+    assert_eq!(rows.len(), 7);
+    let grand = rows.iter().find(|r| r[0].is_null() && r[1].is_null()).unwrap();
+    assert_eq!(grand[2], Value::Int(4));
+}
+
+#[test]
+fn expensive_function_burns_work() {
+    let (cat, st) = setup();
+    let tree = build_query_tree(
+        &cat,
+        &parse_query("SELECT emp_id FROM employees WHERE EXPENSIVE(salary, 100) > 0").unwrap(),
+    )
+    .unwrap();
+    let mut ann = CostAnnotations::new();
+    let cache = SamplingCache::default();
+    let mut opt = Optimizer::new(&cat, &mut ann, &cache);
+    let plan = opt.optimize(&tree, None).unwrap();
+    let eng = Engine::new(&cat, &st);
+    let rows = eng.run(&plan).unwrap();
+    assert_eq!(rows.len(), 12);
+    // 12 rows × 100 units burned, plus scan work
+    assert!(eng.stats().work >= 1200.0, "{}", eng.stats().work);
+}
+
+#[test]
+fn correlation_cache_hits() {
+    let (cat, st) = setup();
+    let tree = build_query_tree(
+        &cat,
+        &parse_query(
+            "SELECT e1.emp_id FROM employees e1 WHERE e1.salary > \
+             (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id)",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let mut ann = CostAnnotations::new();
+    let cache = SamplingCache::default();
+    let mut opt = Optimizer::new(&cat, &mut ann, &cache);
+    let plan = opt.optimize(&tree, None).unwrap();
+    let eng = Engine::new(&cat, &st);
+    eng.run(&plan).unwrap();
+    let stats = eng.stats();
+    // 12 probes over 5 distinct dept bindings (incl NULL)
+    assert_eq!(stats.cache_misses, 5, "{stats:?}");
+    assert_eq!(stats.cache_hits, 7, "{stats:?}");
+}
+
+#[test]
+fn case_expression() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT CASE WHEN salary > 9000 THEN 'high' ELSE 'low' END FROM employees \
+         WHERE emp_id = 11",
+    );
+    assert_eq!(rows[0][0], Value::str("high"));
+}
+
+#[test]
+fn arithmetic_and_functions() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT salary * 2 + 1, MOD(emp_id, 3), ABS(0 - salary), NVL(mgr_id, 0 - 1) \
+         FROM employees WHERE emp_id = 0",
+    );
+    assert_eq!(rows[0][0], Value::Int(2001));
+    assert_eq!(rows[0][1], Value::Int(0));
+    assert_eq!(rows[0][2], Value::Int(1000));
+    assert_eq!(rows[0][3], Value::Int(-1)); // mgr is NULL for emp 0
+}
+
+#[test]
+fn derived_table_executes() {
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT v.dept_id, v.avg_sal FROM \
+         (SELECT dept_id, AVG(salary) avg_sal FROM employees GROUP BY dept_id) v \
+         WHERE v.avg_sal > 5500 ORDER BY v.dept_id",
+    );
+    // avgs: d0 5000, d1 6000, d2 7000, d3 6000, null 12000
+    assert_eq!(rows.len(), 4);
+    assert_eq!(rows[0][0], Value::Int(1));
+}
+
+#[test]
+fn like_predicate() {
+    let (cat, st) = setup();
+    let rows = run(&cat, &st, "SELECT name FROM employees WHERE name LIKE 'emp1%' ORDER BY name");
+    // emp1, emp10, emp11
+    assert_eq!(rows.len(), 3);
+}
+
+#[test]
+fn semijoin_caching_in_nl() {
+    // construct a plan with semi join manually through unnesting-shaped
+    // SQL is not possible pre-transform; validated indirectly via the
+    // EXISTS TIS path (cache stats) above. Here check hash-join inner.
+    let (cat, st) = setup();
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT e.emp_id FROM employees e JOIN departments d ON e.dept_id = d.dept_id \
+         WHERE d.loc_id = 1 ORDER BY e.emp_id",
+    );
+    // depts 2,3 → emps 2,3,6,7,10
+    assert_eq!(ints(&rows), vec![2, 3, 6, 7, 10]);
+}

@@ -1,0 +1,394 @@
+//! Cardinality and selectivity estimation.
+
+use cbqt_catalog::{Catalog, ColumnStats};
+use cbqt_common::Value;
+use cbqt_qgm::{BinOp, QExpr, RefId, SubqKind};
+use std::collections::HashMap;
+
+/// Default row count assumed for tables without statistics (when dynamic
+/// sampling is unavailable).
+pub const DEFAULT_ROWS: f64 = 1000.0;
+/// Default NDV as a fraction of row count for columns without stats.
+pub const DEFAULT_NDV_FRAC: f64 = 0.1;
+/// Default selectivity of a predicate we cannot analyze.
+pub const DEFAULT_SEL: f64 = 0.25;
+/// Default selectivity of an EXISTS / IN subquery filter.
+pub const SUBQ_SEL: f64 = 0.5;
+/// Default selectivity of a comparison against a scalar subquery.
+pub const SCALAR_CMP_SEL: f64 = 0.33;
+
+/// Statistics for one relation (base table reference or view output)
+/// as seen by the estimator.
+#[derive(Debug, Clone)]
+pub struct RelStats {
+    pub rows: f64,
+    /// Per-column NDV (for base tables the last entry is the ROWID).
+    pub ndv: Vec<f64>,
+}
+
+impl RelStats {
+    pub fn ndv_of(&self, col: usize) -> f64 {
+        self.ndv.get(col).copied().unwrap_or(self.rows * DEFAULT_NDV_FRAC).max(1.0)
+    }
+}
+
+/// Information the estimator can recover about one column reference.
+#[derive(Debug, Clone, Copy)]
+pub struct ColInfo<'a> {
+    pub ndv: f64,
+    pub rows: f64,
+    pub stats: Option<&'a ColumnStats>,
+}
+
+/// Estimator over a set of in-scope relations.
+///
+/// `rels` maps every table reference that is *local* to the join being
+/// estimated; references not present (correlated outer columns) are
+/// treated as bound scalars.
+pub struct Estimator<'a> {
+    pub catalog: &'a Catalog,
+    pub rels: &'a HashMap<RefId, RelStats>,
+    /// Base-table identity for refs that scan catalog tables, to recover
+    /// full `ColumnStats` (histograms etc.).
+    pub base: &'a HashMap<RefId, cbqt_catalog::TableId>,
+}
+
+impl<'a> Estimator<'a> {
+    pub fn col_info(&self, refid: RefId, col: usize) -> Option<ColInfo<'a>> {
+        let rel = self.rels.get(&refid)?;
+        let stats = self.base.get(&refid).and_then(|tid| {
+            let t = self.catalog.table(*tid).ok()?;
+            if t.stats.analyzed {
+                t.stats.column(col)
+            } else {
+                None
+            }
+        });
+        Some(ColInfo { ndv: rel.ndv_of(col), rows: rel.rows, stats })
+    }
+
+    fn expr_col(&self, e: &QExpr) -> Option<(RefId, usize)> {
+        match e {
+            QExpr::Col { table, column } => Some((*table, *column)),
+            _ => None,
+        }
+    }
+
+    /// Whether an expression is "bound" at evaluation time: constant or
+    /// referencing only out-of-scope (outer) tables.
+    pub fn is_bound(&self, e: &QExpr) -> bool {
+        if e.contains_subquery() {
+            return false;
+        }
+        e.referenced_tables().iter().all(|r| !self.rels.contains_key(r))
+    }
+
+    fn literal_of<'b>(&self, e: &'b QExpr) -> Option<&'b Value> {
+        match e {
+            QExpr::Lit(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Selectivity of a single conjunct over the in-scope relations.
+    pub fn selectivity(&self, e: &QExpr) -> f64 {
+        match e {
+            QExpr::Bin { op: BinOp::And, left, right } => {
+                self.selectivity(left) * self.selectivity(right)
+            }
+            QExpr::Bin { op: BinOp::Or, left, right } => {
+                let (a, b) = (self.selectivity(left), self.selectivity(right));
+                (a + b - a * b).clamp(0.0, 1.0)
+            }
+            QExpr::Bin { op, left, right } if op.is_comparison() => {
+                self.comparison_sel(*op, left, right)
+            }
+            QExpr::Not(inner) => (1.0 - self.selectivity(inner)).clamp(0.01, 1.0),
+            QExpr::IsNull { expr, negated } => {
+                let s = match self.expr_col(expr).and_then(|(r, c)| self.col_info(r, c)) {
+                    Some(ci) => match ci.stats {
+                        Some(cs) if ci.rows > 0.0 => (cs.nulls as f64 / ci.rows).clamp(0.0, 1.0),
+                        _ => 0.05,
+                    },
+                    None => 0.05,
+                };
+                if *negated {
+                    1.0 - s
+                } else {
+                    s
+                }
+            }
+            QExpr::InList { expr, list, negated } => {
+                let eq = self.eq_sel_for(expr, None);
+                let s = (eq * list.len() as f64).clamp(0.0, 1.0);
+                if *negated {
+                    (1.0 - s).max(0.01)
+                } else {
+                    s.max(0.001)
+                }
+            }
+            QExpr::Like { negated, .. } => {
+                if *negated {
+                    0.9
+                } else {
+                    0.1
+                }
+            }
+            QExpr::Subq { kind, .. } => match kind {
+                SubqKind::Exists { .. } | SubqKind::In { .. } => SUBQ_SEL,
+                SubqKind::Quant { .. } => SUBQ_SEL,
+                SubqKind::Scalar => SCALAR_CMP_SEL,
+            },
+            QExpr::Bin { left, right, .. } => {
+                // non-comparison binary (arith) used as predicate: unknown
+                let _ = (left, right);
+                DEFAULT_SEL
+            }
+            QExpr::Lit(Value::Bool(true)) => 1.0,
+            QExpr::Lit(Value::Bool(false)) => 0.0,
+            _ => DEFAULT_SEL,
+        }
+    }
+
+    fn comparison_sel(&self, op: BinOp, left: &QExpr, right: &QExpr) -> f64 {
+        // scalar-subquery comparisons get the classic default
+        if left.contains_subquery() || right.contains_subquery() {
+            return SCALAR_CMP_SEL;
+        }
+        let lcol = self.expr_col(left).and_then(|(r, c)| self.col_info(r, c).map(|i| (r, c, i)));
+        let rcol = self.expr_col(right).and_then(|(r, c)| self.col_info(r, c).map(|i| (r, c, i)));
+        match op {
+            BinOp::Eq => match (&lcol, &rcol) {
+                (Some((_, _, li)), Some((_, _, ri))) => 1.0 / li.ndv.max(ri.ndv),
+                (Some((_, _, li)), None) if self.is_bound(right) => {
+                    self.eq_with_stats(li, self.literal_of(right))
+                }
+                (None, Some((_, _, ri))) if self.is_bound(left) => {
+                    self.eq_with_stats(ri, self.literal_of(left))
+                }
+                (Some((_, _, li)), None) => 1.0 / li.ndv,
+                (None, Some((_, _, ri))) => 1.0 / ri.ndv,
+                _ => DEFAULT_SEL,
+            },
+            BinOp::NotEq => {
+                let eq = self.comparison_sel(BinOp::Eq, left, right);
+                (1.0 - eq).max(0.01)
+            }
+            BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                // range predicate against a bound value
+                if let (Some((_, _, ci)), true) = (&lcol, self.is_bound(right)) {
+                    if let (Some(cs), Some(v)) = (ci.stats, self.literal_of(right)) {
+                        let lt = matches!(op, BinOp::Lt | BinOp::LtEq);
+                        return cs
+                            .range_selectivity(v, lt, matches!(op, BinOp::LtEq | BinOp::GtEq))
+                            .clamp(0.0001, 1.0);
+                    }
+                    return 0.33;
+                }
+                if let (Some((_, _, ci)), true) = (&rcol, self.is_bound(left)) {
+                    if let (Some(cs), Some(v)) = (ci.stats, self.literal_of(left)) {
+                        // v < col  ==  col > v
+                        let lt = matches!(op, BinOp::Gt | BinOp::GtEq);
+                        return cs
+                            .range_selectivity(v, lt, matches!(op, BinOp::LtEq | BinOp::GtEq))
+                            .clamp(0.0001, 1.0);
+                    }
+                    return 0.33;
+                }
+                0.33
+            }
+            _ => DEFAULT_SEL,
+        }
+    }
+
+    fn eq_with_stats(&self, ci: &ColInfo<'_>, lit: Option<&Value>) -> f64 {
+        match ci.stats {
+            Some(cs) => cs.eq_selectivity(ci.rows.max(1.0) as u64, lit).clamp(0.000001, 1.0),
+            None => (1.0 / ci.ndv).clamp(0.000001, 1.0),
+        }
+    }
+
+    /// Equality selectivity against an expression (for IN-list sizing).
+    fn eq_sel_for(&self, e: &QExpr, lit: Option<&Value>) -> f64 {
+        match self.expr_col(e).and_then(|(r, c)| self.col_info(r, c)) {
+            Some(ci) => self.eq_with_stats(&ci, lit),
+            None => 0.05,
+        }
+    }
+
+    /// Estimated number of groups for a set of grouping expressions over
+    /// `input_rows`.
+    pub fn group_count(&self, keys: &[QExpr], input_rows: f64) -> f64 {
+        if keys.is_empty() {
+            return 1.0;
+        }
+        let mut prod = 1.0_f64;
+        for k in keys {
+            let ndv = match self.expr_col(k).and_then(|(r, c)| self.col_info(r, c)) {
+                Some(ci) => ci.ndv,
+                None => (input_rows * DEFAULT_NDV_FRAC).max(1.0),
+            };
+            prod *= ndv;
+            if prod > input_rows {
+                return input_rows.max(1.0);
+            }
+        }
+        prod.min(input_rows).max(1.0)
+    }
+
+    /// Number of *distinct bindings* of the bound (outer) columns
+    /// mentioned by the expressions — caps the number of distinct
+    /// executions of a correlated subplan under correlation caching.
+    pub fn distinct_bindings(&self, exprs: &[QExpr], outer_rels: &HashMap<RefId, RelStats>) -> f64 {
+        let mut prod = 1.0_f64;
+        let mut seen = std::collections::HashSet::new();
+        for e in exprs {
+            let mut cols = Vec::new();
+            e.collect_cols(&mut cols);
+            for (r, c) in cols {
+                if self.rels.contains_key(&r) {
+                    continue; // local, not a binding
+                }
+                if !seen.insert((r, c)) {
+                    continue;
+                }
+                let ndv = outer_rels.get(&r).map(|rs| rs.ndv_of(c)).unwrap_or(DEFAULT_ROWS);
+                prod = (prod * ndv).min(1e15);
+            }
+        }
+        prod
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbqt_catalog::{Column, Constraint};
+    use cbqt_common::DataType;
+
+    fn setup() -> (Catalog, HashMap<RefId, RelStats>, HashMap<RefId, cbqt_catalog::TableId>) {
+        let mut cat = Catalog::new();
+        let icol = |n: &str| Column { name: n.into(), data_type: DataType::Int, not_null: false };
+        let t = cat
+            .add_table("t", vec![icol("a"), icol("b")], vec![Constraint::PrimaryKey(vec![0])])
+            .unwrap();
+        // fake analyzed stats
+        {
+            let tbl = cat.table_mut(t).unwrap();
+            tbl.stats.analyzed = true;
+            tbl.stats.rows = 1000;
+            tbl.stats.columns = vec![
+                ColumnStats {
+                    ndv: 1000,
+                    nulls: 0,
+                    min: Some(Value::Int(0)),
+                    max: Some(Value::Int(999)),
+                    histogram: None,
+                },
+                ColumnStats {
+                    ndv: 10,
+                    nulls: 100,
+                    min: Some(Value::Int(0)),
+                    max: Some(Value::Int(9)),
+                    histogram: None,
+                },
+            ];
+        }
+        let mut rels = HashMap::new();
+        rels.insert(RefId(0), RelStats { rows: 1000.0, ndv: vec![1000.0, 10.0, 1000.0] });
+        let mut base = HashMap::new();
+        base.insert(RefId(0), t);
+        (cat, rels, base)
+    }
+
+    #[test]
+    fn eq_literal_uses_ndv() {
+        let (cat, rels, base) = setup();
+        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let e = QExpr::eq(QExpr::col(RefId(0), 1), QExpr::lit(3i64));
+        let s = est.selectivity(&e);
+        // ndv 10, 10% nulls -> 0.09
+        assert!((s - 0.09).abs() < 0.001, "{s}");
+    }
+
+    #[test]
+    fn col_col_eq_uses_larger_ndv() {
+        let (cat, mut rels, base) = setup();
+        rels.insert(RefId(1), RelStats { rows: 100.0, ndv: vec![50.0] });
+        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let e = QExpr::eq(QExpr::col(RefId(0), 0), QExpr::col(RefId(1), 0));
+        assert!((est.selectivity(&e) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_interpolation() {
+        let (cat, rels, base) = setup();
+        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let e = QExpr::bin(BinOp::Lt, QExpr::col(RefId(0), 0), QExpr::lit(500i64));
+        let s = est.selectivity(&e);
+        assert!((s - 0.5).abs() < 0.05, "{s}");
+        // reversed: 500 < a  ==  a > 500
+        let e = QExpr::bin(BinOp::Lt, QExpr::lit(500i64), QExpr::col(RefId(0), 0));
+        let s = est.selectivity(&e);
+        assert!((s - 0.5).abs() < 0.05, "{s}");
+    }
+
+    #[test]
+    fn correlated_eq_is_bound() {
+        let (cat, rels, base) = setup();
+        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        // RefId(7) is not local — treated as a bound outer scalar
+        let outer = QExpr::col(RefId(7), 0);
+        assert!(est.is_bound(&outer));
+        let e = QExpr::eq(QExpr::col(RefId(0), 1), outer);
+        let s = est.selectivity(&e);
+        assert!(s > 0.0 && s < 0.2, "{s}");
+    }
+
+    #[test]
+    fn and_or_combine() {
+        let (cat, rels, base) = setup();
+        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let p = QExpr::eq(QExpr::col(RefId(0), 1), QExpr::lit(3i64));
+        let and = QExpr::bin(BinOp::And, p.clone(), p.clone());
+        assert!(est.selectivity(&and) < est.selectivity(&p));
+        let or = QExpr::bin(BinOp::Or, p.clone(), p.clone());
+        assert!(est.selectivity(&or) > est.selectivity(&p));
+    }
+
+    #[test]
+    fn group_count_capped_by_rows() {
+        let (cat, rels, base) = setup();
+        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let g = est.group_count(&[QExpr::col(RefId(0), 1)], 1000.0);
+        assert!((g - 10.0).abs() < 1e-9);
+        let g2 = est.group_count(
+            &[QExpr::col(RefId(0), 0), QExpr::col(RefId(0), 1)],
+            500.0,
+        );
+        assert!((g2 - 500.0).abs() < 1e-9);
+        assert!((est.group_count(&[], 500.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subquery_defaults() {
+        let (cat, rels, base) = setup();
+        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let e = QExpr::Subq {
+            block: cbqt_qgm::BlockId(5),
+            kind: SubqKind::Exists { negated: false },
+        };
+        assert_eq!(est.selectivity(&e), SUBQ_SEL);
+    }
+
+    #[test]
+    fn distinct_bindings_product() {
+        let (cat, rels, base) = setup();
+        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let mut outer = HashMap::new();
+        outer.insert(RefId(9), RelStats { rows: 100.0, ndv: vec![20.0] });
+        let e = QExpr::eq(QExpr::col(RefId(0), 1), QExpr::col(RefId(9), 0));
+        let n = est.distinct_bindings(&[e], &outer);
+        assert!((n - 20.0).abs() < 1e-9);
+    }
+}

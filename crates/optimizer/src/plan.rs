@@ -1,0 +1,403 @@
+//! Physical plan structures produced by the optimizer and interpreted by
+//! the execution engine.
+
+use cbqt_catalog::{IndexId, TableId};
+use cbqt_qgm::{BlockId, QExpr, QOrder, RefId, SetOp};
+
+/// Cost-model constants. The execution engine counts *work units* with
+/// the same weights, so estimated cost and measured work are in the same
+/// currency; estimation error then comes from cardinality estimation —
+/// exactly the error source the paper attributes degradations to (§4.2).
+pub mod weights {
+    /// Touching one row in a scan or join output.
+    pub const ROW: f64 = 1.0;
+    /// Evaluating one predicate conjunct on one row.
+    pub const PRED: f64 = 0.2;
+    /// Descending a B-tree index once.
+    pub const INDEX_PROBE: f64 = 8.0;
+    /// Fetching one row through an index entry.
+    pub const INDEX_FETCH: f64 = 1.5;
+    /// Inserting one row into a hash table.
+    pub const HASH_BUILD: f64 = 1.5;
+    /// Probing a hash table once.
+    pub const HASH_PROBE: f64 = 1.2;
+    /// Per-row sort weight; total sort cost is `SORT * n * log2(n)`.
+    pub const SORT: f64 = 2.0;
+    /// Per-row aggregation weight.
+    pub const AGG: f64 = 2.0;
+    /// Per-row projection/distinct hashing weight.
+    pub const DEDUP: f64 = 1.2;
+    /// Default per-call cost of the EXPENSIVE() stand-in UDF when the
+    /// call site does not pass an explicit unit count.
+    pub const EXPENSIVE_DEFAULT: f64 = 50.0;
+}
+
+/// How a base-table scan locates its rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    FullScan,
+    /// Equality probe on an index; `key` expressions are evaluated
+    /// against bindings available at probe time (literals, correlated
+    /// outer columns, or left-side join columns).
+    IndexEq { index: IndexId, key: Vec<QExpr> },
+    /// Single-column range scan on the index's leading column.
+    IndexRange {
+        index: IndexId,
+        lo: Option<(QExpr, bool)>,
+        hi: Option<(QExpr, bool)>,
+    },
+}
+
+impl AccessPath {
+    pub fn describe(&self) -> String {
+        match self {
+            AccessPath::FullScan => "FULL SCAN".to_string(),
+            AccessPath::IndexEq { index, .. } => format!("INDEX EQ (ix{})", index.0),
+            AccessPath::IndexRange { index, .. } => format!("INDEX RANGE (ix{})", index.0),
+        }
+    }
+}
+
+/// Physical join methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinMethod {
+    /// Materialized block nested loop; the right side may be an indexed
+    /// probe or a correlated (lateral) re-execution.
+    NestedLoop,
+    /// Build the right side into a hash table, probe with the left.
+    Hash,
+    /// Sort both sides on the equi-key and merge.
+    Merge,
+}
+
+/// Join semantics at a join node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanJoinKind {
+    Inner,
+    /// Left rows with at least one match (stop-at-first-match).
+    Semi,
+    /// Left rows with no match; `null_aware` selects NOT IN semantics.
+    Anti { null_aware: bool },
+    LeftOuter,
+}
+
+/// A node of the join tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Produces exactly one zero-width row (FROM-less SELECT).
+    OneRow,
+    ScanBase {
+        table: TableId,
+        refid: RefId,
+        /// Output width including the virtual ROWID column.
+        width: usize,
+        access: AccessPath,
+        /// Residual filter conjuncts evaluated per fetched row.
+        filter: Vec<QExpr>,
+    },
+    ScanView {
+        block: BlockId,
+        refid: RefId,
+        width: usize,
+        plan: Box<BlockPlan>,
+        /// True when the view references columns bound outside it
+        /// (correlated / JPPD lateral view): it is re-executed per outer
+        /// row with result caching on the correlation values.
+        correlated: bool,
+        filter: Vec<QExpr>,
+    },
+    Join {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        kind: PlanJoinKind,
+        method: JoinMethod,
+        /// Equi-join pairs `(left_expr, right_expr)`.
+        equi: Vec<(QExpr, QExpr)>,
+        /// Other join conjuncts evaluated on the concatenated row.
+        residual: Vec<QExpr>,
+        /// Right side is re-evaluated per left row (index NL probe or
+        /// lateral view).
+        lateral: bool,
+        /// Estimated output rows (for EXPLAIN).
+        rows: f64,
+    },
+}
+
+impl PlanNode {
+    pub fn width(&self) -> usize {
+        match self {
+            PlanNode::OneRow => 0,
+            PlanNode::ScanBase { width, .. } | PlanNode::ScanView { width, .. } => *width,
+            PlanNode::Join { left, right, kind, .. } => match kind {
+                PlanJoinKind::Semi | PlanJoinKind::Anti { .. } => left.width(),
+                _ => left.width() + right.width(),
+            },
+        }
+    }
+
+    /// Leaf refids in join order (left-deep: the order tables appear in
+    /// the output row).
+    pub fn leaf_refs(&self, out: &mut Vec<(RefId, usize)>) {
+        match self {
+            PlanNode::OneRow => {}
+            PlanNode::ScanBase { refid, width, .. } | PlanNode::ScanView { refid, width, .. } => {
+                out.push((*refid, *width));
+            }
+            PlanNode::Join { left, right, kind, .. } => {
+                left.leaf_refs(out);
+                if !matches!(kind, PlanJoinKind::Semi | PlanJoinKind::Anti { .. }) {
+                    right.leaf_refs(out);
+                }
+            }
+        }
+    }
+}
+
+/// Maps table references to their slice of the concatenated executor row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Layout {
+    /// `(refid, offset, width)`.
+    pub slots: Vec<(RefId, usize, usize)>,
+    pub width: usize,
+}
+
+impl Layout {
+    pub fn from_node(node: &PlanNode) -> Layout {
+        let mut leaves = Vec::new();
+        node.leaf_refs(&mut leaves);
+        let mut slots = Vec::new();
+        let mut off = 0;
+        for (r, w) in leaves {
+            slots.push((r, off, w));
+            off += w;
+        }
+        Layout { slots, width: off }
+    }
+
+    pub fn offset_of(&self, refid: RefId) -> Option<(usize, usize)> {
+        self.slots.iter().find(|(r, _, _)| *r == refid).map(|(_, o, w)| (*o, *w))
+    }
+}
+
+/// Plan for a SELECT block: join tree plus the post-join pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectPlan {
+    pub join: PlanNode,
+    pub layout: Layout,
+    /// Conjuncts evaluated on the joined row (subquery filters — the
+    /// tuple-iteration-semantics operator — and predicates on outer-join
+    /// results).
+    pub post_filter: Vec<QExpr>,
+    /// Canonical list of aggregate expressions computed by this block;
+    /// the executor appends their values after the wide row.
+    pub aggs: Vec<QExpr>,
+    pub group_by: Vec<QExpr>,
+    pub grouping_sets: Option<Vec<Vec<usize>>>,
+    pub having: Vec<QExpr>,
+    /// Canonical list of window expressions, appended after aggregates.
+    pub windows: Vec<QExpr>,
+    pub select: Vec<QExpr>,
+    pub distinct: bool,
+    pub distinct_keys: Option<Vec<QExpr>>,
+    pub order_by: Vec<QOrder>,
+    pub rownum_limit: Option<u64>,
+    /// Plans for non-unnested subqueries referenced by this block's
+    /// expressions.
+    pub subplans: Vec<(BlockId, BlockPlan)>,
+}
+
+/// Plan for a set-operation block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetOpPlan {
+    pub op: SetOp,
+    pub inputs: Vec<BlockPlan>,
+}
+
+/// A fully-costed plan for one query block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockPlan {
+    pub block: BlockId,
+    pub root: PlanRoot,
+    /// Estimated cost of one execution of this block.
+    pub cost: f64,
+    /// Estimated output cardinality.
+    pub rows: f64,
+    /// Estimated number of distinct values per output column.
+    pub out_ndv: Vec<f64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanRoot {
+    Select(Box<SelectPlan>),
+    SetOp(SetOpPlan),
+}
+
+impl BlockPlan {
+    pub fn as_select(&self) -> Option<&SelectPlan> {
+        match &self.root {
+            PlanRoot::Select(s) => Some(s),
+            PlanRoot::SetOp(_) => None,
+        }
+    }
+
+    /// Indented EXPLAIN text.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match &self.root {
+            PlanRoot::Select(sp) => {
+                writeln!(
+                    out,
+                    "{pad}SELECT {} (cost={:.0} rows={:.0}{}{}{})",
+                    self.block,
+                    self.cost,
+                    self.rows,
+                    if sp.group_by.is_empty() && sp.aggs.is_empty() { "" } else { " agg" },
+                    if sp.distinct || sp.distinct_keys.is_some() { " distinct" } else { "" },
+                    match sp.rownum_limit {
+                        Some(_) => " limit",
+                        None => "",
+                    },
+                )
+                .unwrap();
+                explain_node(&sp.join, out, depth + 1);
+                for (b, p) in &sp.subplans {
+                    writeln!(out, "{pad}  SUBQUERY {b}:").unwrap();
+                    p.explain_into(out, depth + 2);
+                }
+            }
+            PlanRoot::SetOp(sp) => {
+                writeln!(out, "{pad}{:?} (cost={:.0} rows={:.0})", sp.op, self.cost, self.rows)
+                    .unwrap();
+                for i in &sp.inputs {
+                    i.explain_into(out, depth + 1);
+                }
+            }
+        }
+    }
+}
+
+fn explain_node(n: &PlanNode, out: &mut String, depth: usize) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(depth);
+    match n {
+        PlanNode::OneRow => {
+            writeln!(out, "{pad}ONE ROW").unwrap();
+        }
+        PlanNode::ScanBase { table, refid, access, filter, .. } => {
+            writeln!(
+                out,
+                "{pad}SCAN t{} (r{}) {}{}",
+                table.0,
+                refid.0,
+                access.describe(),
+                if filter.is_empty() { String::new() } else { format!(" filter x{}", filter.len()) }
+            )
+            .unwrap();
+        }
+        PlanNode::ScanView { block, refid, correlated, plan, .. } => {
+            writeln!(
+                out,
+                "{pad}VIEW {block} (r{}){}",
+                refid.0,
+                if *correlated { " LATERAL" } else { "" }
+            )
+            .unwrap();
+            plan.explain_into(out, depth + 1);
+        }
+        PlanNode::Join { left, right, kind, method, lateral, rows, .. } => {
+            writeln!(
+                out,
+                "{pad}{:?} {:?} JOIN{} (rows={rows:.0})",
+                method,
+                kind,
+                if *lateral { " LATERAL" } else { "" }
+            )
+            .unwrap();
+            explain_node(left, out, depth + 1);
+            explain_node(right, out, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(r: u32, w: usize) -> PlanNode {
+        PlanNode::ScanBase {
+            table: TableId(0),
+            refid: RefId(r),
+            width: w,
+            access: AccessPath::FullScan,
+            filter: vec![],
+        }
+    }
+
+    #[test]
+    fn layout_from_left_deep_tree() {
+        let j = PlanNode::Join {
+            left: Box::new(PlanNode::Join {
+                left: Box::new(scan(0, 3)),
+                right: Box::new(scan(1, 2)),
+                kind: PlanJoinKind::Inner,
+                method: JoinMethod::Hash,
+                equi: vec![],
+                residual: vec![],
+                lateral: false,
+                rows: 0.0,
+            }),
+            right: Box::new(scan(2, 4)),
+            kind: PlanJoinKind::Inner,
+            method: JoinMethod::Hash,
+            equi: vec![],
+            residual: vec![],
+            lateral: false,
+            rows: 0.0,
+        };
+        let l = Layout::from_node(&j);
+        assert_eq!(l.width, 9);
+        assert_eq!(l.offset_of(RefId(0)), Some((0, 3)));
+        assert_eq!(l.offset_of(RefId(1)), Some((3, 2)));
+        assert_eq!(l.offset_of(RefId(2)), Some((5, 4)));
+        assert_eq!(l.offset_of(RefId(9)), None);
+    }
+
+    #[test]
+    fn semi_join_does_not_widen() {
+        let j = PlanNode::Join {
+            left: Box::new(scan(0, 3)),
+            right: Box::new(scan(1, 2)),
+            kind: PlanJoinKind::Semi,
+            method: JoinMethod::Hash,
+            equi: vec![],
+            residual: vec![],
+            lateral: false,
+            rows: 0.0,
+        };
+        assert_eq!(j.width(), 3);
+        let l = Layout::from_node(&j);
+        assert_eq!(l.slots.len(), 1);
+    }
+
+    #[test]
+    fn outer_join_widens() {
+        let j = PlanNode::Join {
+            left: Box::new(scan(0, 3)),
+            right: Box::new(scan(1, 2)),
+            kind: PlanJoinKind::LeftOuter,
+            method: JoinMethod::Hash,
+            equi: vec![],
+            residual: vec![],
+            lateral: false,
+            rows: 0.0,
+        };
+        assert_eq!(j.width(), 5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests on QGM expression utilities and tree operations.
+
+use cbqt_catalog::{Catalog, Column, Constraint};
+use cbqt_common::{DataType, Value};
+use cbqt_qgm::{build_query_tree, render_tree, BinOp, QExpr};
+use cbqt_sql::parse_query;
+use proptest::prelude::*;
+
+fn arb_expr() -> impl Strategy<Value = QExpr> {
+    let leaf = prop_oneof![
+        (0u32..4, 0usize..3).prop_map(|(r, c)| QExpr::col(cbqt_qgm::RefId(r), c)),
+        any::<i64>().prop_map(QExpr::lit),
+        Just(QExpr::Lit(Value::Null)),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| QExpr::bin(BinOp::And, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| QExpr::bin(BinOp::Or, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| QExpr::eq(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| QExpr::bin(BinOp::Add, a, b)),
+            inner.clone().prop_map(|a| QExpr::Not(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn split_then_conjoin_preserves_conjuncts(e in arb_expr()) {
+        let mut parts = Vec::new();
+        e.clone().split_conjuncts(&mut parts);
+        prop_assert!(!parts.is_empty());
+        let rejoined = QExpr::conjoin(parts.clone()).unwrap();
+        let mut parts2 = Vec::new();
+        rejoined.split_conjuncts(&mut parts2);
+        prop_assert_eq!(parts, parts2);
+    }
+
+    #[test]
+    fn identity_rewrite_is_noop(e in arb_expr()) {
+        let mut e2 = e.clone();
+        e2.rewrite(&mut |_| None);
+        prop_assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn walk_visits_at_least_every_col(e in arb_expr()) {
+        let mut cols = Vec::new();
+        e.collect_cols(&mut cols);
+        let mut visits = 0usize;
+        e.walk(&mut |n| {
+            if matches!(n, QExpr::Col { .. }) {
+                visits += 1;
+            }
+        });
+        prop_assert_eq!(visits, cols.len());
+    }
+
+    #[test]
+    fn referenced_tables_closed_under_rewrite_to_lit(e in arb_expr()) {
+        let mut e2 = e.clone();
+        e2.rewrite(&mut |n| match n {
+            QExpr::Col { .. } => Some(QExpr::lit(0i64)),
+            _ => None,
+        });
+        prop_assert!(e2.referenced_tables().is_empty());
+    }
+}
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let icol = |n: &str| Column { name: n.into(), data_type: DataType::Int, not_null: false };
+    cat.add_table(
+        "t",
+        vec![icol("a"), icol("b"), icol("c")],
+        vec![Constraint::PrimaryKey(vec![0])],
+    )
+    .unwrap();
+    cat.add_table("u", vec![icol("x"), icol("y")], vec![]).unwrap();
+    cat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn import_subtree_preserves_rendering(
+        a_lo in -50i64..50,
+        use_sub in any::<bool>(),
+        order in any::<bool>(),
+    ) {
+        // deep-copying a whole tree into a fresh arena must preserve the
+        // canonical rendering (the annotation-reuse key)
+        let cat = catalog();
+        let sql = format!(
+            "SELECT t.a, t.b FROM t WHERE t.c > {a_lo}{}{}",
+            if use_sub {
+                " AND EXISTS (SELECT 1 FROM u WHERE u.x = t.a)"
+            } else {
+                ""
+            },
+            if order { " ORDER BY t.a DESC" } else { "" },
+        );
+        let tree = build_query_tree(&cat, &parse_query(&sql).unwrap()).unwrap();
+        let mut fresh = cbqt_qgm::QueryTree::new();
+        fresh.new_ref(); // shift ids so remapping is observable
+        let root = fresh.import_subtree(&tree, tree.root).unwrap();
+        fresh.root = root;
+        fresh.validate().unwrap();
+        prop_assert_eq!(render_tree(&tree, &cat), render_tree(&fresh, &cat));
+    }
+
+    #[test]
+    fn build_is_deterministic(
+        lo in -100i64..100,
+        hi in -100i64..100,
+    ) {
+        let cat = catalog();
+        let sql = format!("SELECT t.a FROM t, u WHERE t.a = u.x AND t.b BETWEEN {lo} AND {hi}");
+        let t1 = build_query_tree(&cat, &parse_query(&sql).unwrap()).unwrap();
+        let t2 = build_query_tree(&cat, &parse_query(&sql).unwrap()).unwrap();
+        prop_assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,470 @@
+//! Abstract syntax tree for the supported SQL dialect.
+//!
+//! The AST is deliberately close to SQL text (it is *declarative*, like
+//! the paper's query trees); all normalization happens when the AST is
+//! lowered into the query-graph model in `cbqt-qgm`.
+
+use cbqt_common::value::Value;
+use std::fmt;
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Box<Query>),
+    CreateTable(CreateTable),
+    CreateIndex(CreateIndex),
+    Insert(Insert),
+    /// `EXPLAIN <query>` — show transformation decisions and the plan.
+    Explain(Box<Query>),
+    /// `ANALYZE` — recompute optimizer statistics for all tables.
+    Analyze,
+}
+
+/// A query expression plus its (outermost) ORDER BY.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub body: SetExpr,
+    pub order_by: Vec<OrderItem>,
+}
+
+/// Body of a query: a plain SELECT or a set operation tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    Select(Box<Select>),
+    SetOp { op: SetOp, left: Box<SetExpr>, right: Box<SetExpr> },
+}
+
+/// SQL set operators. `Union`/`Intersect`/`Minus` are duplicate-free;
+/// `UnionAll` preserves duplicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetOp {
+    UnionAll,
+    Union,
+    Intersect,
+    Minus,
+}
+
+impl fmt::Display for SetOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetOp::UnionAll => write!(f, "UNION ALL"),
+            SetOp::Union => write!(f, "UNION"),
+            SetOp::Intersect => write!(f, "INTERSECT"),
+            SetOp::Minus => write!(f, "MINUS"),
+        }
+    }
+}
+
+/// A single SELECT query block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Option<GroupBy>,
+    pub having: Option<Expr>,
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// GROUP BY clause; `rollup` corresponds to `GROUP BY ROLLUP (...)`,
+/// which expands into grouping sets and is the target of the paper's
+/// *group pruning* transformation (§2.1.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupBy {
+    pub rollup: bool,
+    pub exprs: Vec<Expr>,
+}
+
+/// A FROM-clause table reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    Table {
+        name: String,
+        alias: Option<String>,
+    },
+    /// Inline view (derived table).
+    Derived {
+        query: Box<Query>,
+        alias: String,
+    },
+    /// ANSI join syntax.
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        on: Option<Expr>,
+    },
+}
+
+impl TableRef {
+    /// The alias (or base name) this reference is known by, when it has
+    /// one ("join" nodes do not).
+    pub fn binding_name(&self) -> Option<&str> {
+        match self {
+            TableRef::Table { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Derived { alias, .. } => Some(alias),
+            TableRef::Join { .. } => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+    RightOuter,
+    Cross,
+}
+
+/// `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+    /// NULLS FIRST/LAST; `None` means the dialect default (nulls last for
+    /// ascending, first for descending — Oracle's behaviour).
+    pub nulls_first: Option<bool>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Concat,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Concat => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Quantifier for `expr op ANY/ALL (subquery)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quant {
+    Any,
+    All,
+}
+
+/// Window specification for `fn(...) OVER (...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSpec {
+    pub partition_by: Vec<Expr>,
+    pub order_by: Vec<OrderItem>,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Literal(Value),
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `(a[, b...]) [NOT] IN (subquery)`
+    InSubquery {
+        exprs: Vec<Expr>,
+        query: Box<Query>,
+        negated: bool,
+    },
+    Exists {
+        query: Box<Query>,
+        negated: bool,
+    },
+    /// `a op ANY|ALL (subquery)`
+    Quantified {
+        op: BinOp,
+        quant: Quant,
+        left: Box<Expr>,
+        query: Box<Query>,
+    },
+    ScalarSubquery(Box<Query>),
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    /// Function call: aggregate, scalar, or windowed.
+    Func {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+        window: Option<WindowSpec>,
+    },
+    /// Oracle ROWNUM pseudo-column.
+    Rownum,
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { qualifier: None, name: name.to_string() }
+    }
+
+    pub fn qcol(q: &str, name: &str) -> Expr {
+        Expr::Column { qualifier: Some(q.to_string()), name: name.to_string() }
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn binary(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    /// True iff the expression (ignoring subquery bodies) contains an
+    /// aggregate function call that is not windowed.
+    pub fn contains_aggregate(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if let Expr::Func { name, window: None, .. } = e {
+                if is_aggregate_name(name) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// Calls `f` on this expression and all sub-expressions (not
+    /// descending into subquery bodies).
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::InSubquery { exprs, .. } => {
+                for e in exprs {
+                    e.walk(f);
+                }
+            }
+            Expr::Quantified { left, .. } => left.walk(f),
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            Expr::Case { operand, branches, else_expr } => {
+                if let Some(o) = operand {
+                    o.walk(f);
+                }
+                for (w, t) in branches {
+                    w.walk(f);
+                    t.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            Expr::Func { args, window, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+                if let Some(w) = window {
+                    for e in &w.partition_by {
+                        e.walk(f);
+                    }
+                    for o in &w.order_by {
+                        o.expr.walk(f);
+                    }
+                }
+            }
+            Expr::Column { .. }
+            | Expr::Literal(_)
+            | Expr::Exists { .. }
+            | Expr::ScalarSubquery(_)
+            | Expr::Rownum => {}
+        }
+    }
+}
+
+/// Recognized aggregate function names.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(
+        name.to_ascii_uppercase().as_str(),
+        "COUNT" | "SUM" | "AVG" | "MIN" | "MAX"
+    )
+}
+
+// ---------------------------------------------------------------------
+// DDL / DML
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    pub constraints: Vec<TableConstraint>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: cbqt_common::DataType,
+    pub not_null: bool,
+    pub primary_key: bool,
+    pub unique: bool,
+    /// Inline `REFERENCES parent(col)`.
+    pub references: Option<(String, String)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableConstraint {
+    PrimaryKey(Vec<String>),
+    Unique(Vec<String>),
+    ForeignKey { columns: Vec<String>, parent: String, parent_columns: Vec<String> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    pub name: String,
+    pub table: String,
+    pub columns: Vec<String>,
+    pub unique: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    pub columns: Option<Vec<String>>,
+    pub rows: Vec<Vec<Expr>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_detects_plain_aggs() {
+        let e = Expr::Func {
+            name: "AVG".into(),
+            args: vec![Expr::col("salary")],
+            distinct: false,
+            window: None,
+        };
+        assert!(e.contains_aggregate());
+        let wrapped = Expr::binary(BinOp::Gt, Expr::col("x"), e);
+        assert!(wrapped.contains_aggregate());
+    }
+
+    #[test]
+    fn windowed_agg_is_not_plain_aggregate() {
+        let e = Expr::Func {
+            name: "AVG".into(),
+            args: vec![Expr::col("balance")],
+            distinct: false,
+            window: Some(WindowSpec { partition_by: vec![Expr::col("acct")], order_by: vec![] }),
+        };
+        assert!(!e.contains_aggregate());
+    }
+
+    #[test]
+    fn binding_names() {
+        let t = TableRef::Table { name: "employees".into(), alias: Some("e".into()) };
+        assert_eq!(t.binding_name(), Some("e"));
+        let t2 = TableRef::Table { name: "dept".into(), alias: None };
+        assert_eq!(t2.binding_name(), Some("dept"));
+    }
+
+    #[test]
+    fn aggregate_names() {
+        assert!(is_aggregate_name("count"));
+        assert!(is_aggregate_name("Sum"));
+        assert!(!is_aggregate_name("upper"));
+    }
+}

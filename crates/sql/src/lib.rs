@@ -1,0 +1,19 @@
+//! SQL frontend: lexer, abstract syntax tree, and a recursive-descent
+//! parser for the SQL dialect the CBQT engine understands.
+//!
+//! The dialect covers everything the paper's transformations need:
+//! `SELECT` with comma joins and ANSI `JOIN ... ON`, nested subqueries
+//! (`EXISTS`, `IN`, `ANY`/`ALL`, scalar), set operators (`UNION [ALL]`,
+//! `INTERSECT`, `MINUS`), `GROUP BY [ROLLUP]` / `HAVING`, `DISTINCT`,
+//! `ORDER BY`, window functions (`OVER (PARTITION BY ... ORDER BY ...)`),
+//! Oracle-style `ROWNUM`, plus the DDL/DML needed to build test databases
+//! (`CREATE TABLE` with PK/FK/UNIQUE/NOT NULL constraints, `CREATE
+//! [UNIQUE] INDEX`, `INSERT ... VALUES`).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse_expression, parse_query, parse_statement, parse_statements};

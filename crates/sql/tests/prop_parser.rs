@@ -1,0 +1,74 @@
+//! Parser robustness: arbitrary input must never panic — it either
+//! parses or returns a clean error — and valid query skeletons always
+//! parse.
+
+use cbqt_sql::{parse_expression, parse_query, parse_statements};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(s in "\\PC{0,120}") {
+        let _ = parse_statements(&s);
+        let _ = parse_query(&s);
+        let _ = parse_expression(&s);
+    }
+
+    #[test]
+    fn sqlish_token_soup_never_panics(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"), Just("BY"),
+                Just("AND"), Just("OR"), Just("NOT"), Just("IN"), Just("EXISTS"),
+                Just("("), Just(")"), Just(","), Just("="), Just("<"), Just(">"),
+                Just("*"), Just("+"), Just("-"), Just("t"), Just("a"), Just("b"),
+                Just("1"), Just("2.5"), Just("'s'"), Just("NULL"), Just("UNION"),
+                Just("ALL"), Just("ORDER"), Just("HAVING"), Just("AS"), Just("JOIN"),
+                Just("ON"), Just("LEFT"), Just("BETWEEN"), Just("LIKE"), Just("CASE"),
+                Just("WHEN"), Just("THEN"), Just("END"), Just("DISTINCT"),
+            ],
+            0..24,
+        )
+    ) {
+        let s = toks.join(" ");
+        let _ = parse_statements(&s);
+    }
+
+    #[test]
+    fn generated_selects_parse(
+        cols in proptest::collection::vec("c_[a-z]{1,6}", 1..4),
+        tbl in "t_[a-z]{1,8}",
+        lit in -1000i64..1000,
+        distinct in any::<bool>(),
+        order in any::<bool>(),
+    ) {
+        let sql = format!(
+            "SELECT {}{} FROM {tbl} WHERE {} > {lit}{}",
+            if distinct { "DISTINCT " } else { "" },
+            cols.join(", "),
+            cols[0],
+            if order { format!(" ORDER BY {} DESC", cols[0]) } else { String::new() },
+        );
+        parse_query(&sql).unwrap();
+    }
+
+    #[test]
+    fn numeric_literals_roundtrip(v in -1_000_000_000i64..1_000_000_000) {
+        let e = parse_expression(&v.to_string()).unwrap();
+        match e {
+            cbqt_sql::ast::Expr::Literal(cbqt_common::Value::Int(i)) => prop_assert_eq!(i, v),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn string_literals_with_quotes_roundtrip(s in "[a-z' ]{0,20}") {
+        let quoted = format!("'{}'", s.replace('\'', "''"));
+        let e = parse_expression(&quoted).unwrap();
+        match e {
+            cbqt_sql::ast::Expr::Literal(v) => {
+                prop_assert_eq!(v.as_str().unwrap(), s.as_str());
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! In-memory storage substrate: row tables, multi-column B-tree indexes,
+//! statistics collection (ANALYZE), and synthetic data generators used by
+//! the workload harness.
+
+pub mod datagen;
+pub mod store;
+
+pub use datagen::{ColumnGen, RowGenerator};
+pub use store::{BTreeIndex, Storage, TableData};

@@ -1,0 +1,335 @@
+//! Row tables and B-tree indexes.
+
+use cbqt_catalog::{Catalog, ColumnStats, Histogram, IndexId, TableId, TableStats};
+use cbqt_common::{Error, Result, Row, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Bound;
+
+/// Heap of rows for one table.
+#[derive(Debug, Default, Clone)]
+pub struct TableData {
+    pub rows: Vec<Row>,
+}
+
+/// A multi-column B-tree index mapping key tuples to row ordinals.
+///
+/// NULL key components are stored (sorted last by `Value`'s total order)
+/// but equality probes skip NULL keys, matching SQL index semantics.
+#[derive(Debug, Clone)]
+pub struct BTreeIndex {
+    pub table: TableId,
+    pub columns: Vec<usize>,
+    map: BTreeMap<Vec<Value>, Vec<usize>>,
+}
+
+impl BTreeIndex {
+    fn key_of(&self, row: &Row) -> Vec<Value> {
+        self.columns.iter().map(|&c| row[c].clone()).collect()
+    }
+
+    /// Row ordinals whose key equals `key` (NULL components never match).
+    pub fn lookup_eq(&self, key: &[Value]) -> &[usize] {
+        if key.iter().any(Value::is_null) {
+            return &[];
+        }
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Row ordinals whose *leading column* lies in the given bounds.
+    /// Only single-column ranges are supported (that is all the planner
+    /// generates); NULL keys are excluded.
+    pub fn lookup_range(
+        &self,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+        out: &mut Vec<usize>,
+    ) {
+        let lo_key = match lo {
+            Bound::Included(v) => Bound::Included(vec![v.clone()]),
+            Bound::Excluded(v) => {
+                // exclusive lower bound must skip all composite keys with
+                // the same leading value, so bump to "value, +inf" — we
+                // emulate by including and filtering below
+                Bound::Included(vec![v.clone()])
+            }
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let excl_lo = matches!(lo, Bound::Excluded(_));
+        for (k, rows) in self.map.range((lo_key, Bound::Unbounded)) {
+            let lead = &k[0];
+            if lead.is_null() {
+                break; // nulls sort last
+            }
+            if excl_lo {
+                if let Bound::Excluded(v) = lo {
+                    if lead.sql_eq(v) == Some(true) {
+                        continue;
+                    }
+                }
+            }
+            match hi {
+                Bound::Included(v) => {
+                    if lead.sql_cmp(v).map(|o| o == std::cmp::Ordering::Greater).unwrap_or(true) {
+                        break;
+                    }
+                }
+                Bound::Excluded(v) => {
+                    if lead.sql_cmp(v).map(|o| o != std::cmp::Ordering::Less).unwrap_or(true) {
+                        break;
+                    }
+                }
+                Bound::Unbounded => {}
+            }
+            out.extend_from_slice(rows);
+        }
+    }
+
+    /// Number of distinct keys (used to report index statistics).
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// All table data and index structures.
+#[derive(Debug, Default, Clone)]
+pub struct Storage {
+    tables: HashMap<TableId, TableData>,
+    indexes: HashMap<IndexId, BTreeIndex>,
+}
+
+impl Storage {
+    pub fn new() -> Storage {
+        Storage::default()
+    }
+
+    /// Ensures a heap exists for `table`.
+    pub fn create_table(&mut self, table: TableId) {
+        self.tables.entry(table).or_default();
+    }
+
+    pub fn table(&self, table: TableId) -> Result<&TableData> {
+        self.tables
+            .get(&table)
+            .ok_or_else(|| Error::execution(format!("no data for table id {}", table.0)))
+    }
+
+    pub fn row_count(&self, table: TableId) -> usize {
+        self.tables.get(&table).map(|t| t.rows.len()).unwrap_or(0)
+    }
+
+    /// Appends a row, maintaining any indexes on the table.
+    pub fn insert(&mut self, table: TableId, row: Row) -> Result<()> {
+        let data = self.tables.entry(table).or_default();
+        let ordinal = data.rows.len();
+        data.rows.push(row);
+        let row_ref = &self.tables[&table].rows[ordinal];
+        let keys: Vec<(IndexId, Vec<Value>)> = self
+            .indexes
+            .iter()
+            .filter(|(_, ix)| ix.table == table)
+            .map(|(id, ix)| (*id, ix.key_of(row_ref)))
+            .collect();
+        for (id, key) in keys {
+            self.indexes.get_mut(&id).unwrap().map.entry(key).or_default().push(ordinal);
+        }
+        Ok(())
+    }
+
+    /// Bulk-appends rows (faster than repeated `insert`).
+    pub fn insert_many(&mut self, table: TableId, rows: Vec<Row>) -> Result<()> {
+        for r in rows {
+            self.insert(table, r)?;
+        }
+        Ok(())
+    }
+
+    /// Builds (or rebuilds) the physical structure for a catalog index.
+    pub fn build_index(&mut self, id: IndexId, table: TableId, columns: Vec<usize>) -> Result<()> {
+        let data = self.table(table)?;
+        let mut map: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+        for (ordinal, row) in data.rows.iter().enumerate() {
+            let key: Vec<Value> = columns.iter().map(|&c| row[c].clone()).collect();
+            map.entry(key).or_default().push(ordinal);
+        }
+        self.indexes.insert(id, BTreeIndex { table, columns, map });
+        Ok(())
+    }
+
+    pub fn index(&self, id: IndexId) -> Result<&BTreeIndex> {
+        self.indexes
+            .get(&id)
+            .ok_or_else(|| Error::execution(format!("index id {} not built", id.0)))
+    }
+
+    /// Recomputes optimizer statistics for every table in the catalog
+    /// (the engine's ANALYZE).
+    pub fn analyze(&self, catalog: &mut Catalog) -> Result<()> {
+        let ids: Vec<TableId> = catalog.tables().map(|t| t.id).collect();
+        for id in ids {
+            let ncols = catalog.table(id)?.columns.len();
+            let stats = match self.tables.get(&id) {
+                Some(data) => compute_stats(data, ncols),
+                None => TableStats { analyzed: true, rows: 0, columns: vec![ColumnStats::default(); ncols] },
+            };
+            catalog.table_mut(id)?.stats = stats;
+        }
+        Ok(())
+    }
+}
+
+const HISTOGRAM_BUCKETS: usize = 32;
+/// Histograms are only collected for columns with at least this many rows
+/// (cheap guard against noise on tiny tables).
+const HISTOGRAM_MIN_ROWS: usize = 64;
+
+fn compute_stats(data: &TableData, ncols: usize) -> TableStats {
+    let rows = data.rows.len() as u64;
+    let mut columns = Vec::with_capacity(ncols);
+    for c in 0..ncols {
+        let mut distinct: HashSet<Value> = HashSet::new();
+        let mut nulls = 0u64;
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        let mut numeric: Vec<f64> = Vec::new();
+        for row in &data.rows {
+            let v = &row[c];
+            if v.is_null() {
+                nulls += 1;
+                continue;
+            }
+            if min.as_ref().map(|m| v.total_cmp(m).is_lt()).unwrap_or(true) {
+                min = Some(v.clone());
+            }
+            if max.as_ref().map(|m| v.total_cmp(m).is_gt()).unwrap_or(true) {
+                max = Some(v.clone());
+            }
+            if let Some(f) = v.as_f64() {
+                numeric.push(f);
+            }
+            distinct.insert(v.clone());
+        }
+        let histogram = if numeric.len() >= HISTOGRAM_MIN_ROWS && numeric.len() == (rows - nulls) as usize {
+            Histogram::build(numeric.into_iter(), HISTOGRAM_BUCKETS)
+        } else {
+            None
+        };
+        columns.push(ColumnStats { ndv: distinct.len() as u64, nulls, min, max, histogram });
+    }
+    TableStats { analyzed: true, rows, columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbqt_catalog::{Column, Constraint};
+    use cbqt_common::DataType;
+
+    fn setup() -> (Catalog, Storage, TableId) {
+        let mut cat = Catalog::new();
+        let t = cat
+            .add_table(
+                "t",
+                vec![
+                    Column { name: "id".into(), data_type: DataType::Int, not_null: true },
+                    Column { name: "grp".into(), data_type: DataType::Int, not_null: false },
+                ],
+                vec![Constraint::PrimaryKey(vec![0])],
+            )
+            .unwrap();
+        let mut st = Storage::new();
+        st.create_table(t);
+        (cat, st, t)
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let (_, mut st, t) = setup();
+        st.insert(t, vec![Value::Int(1), Value::Int(10)]).unwrap();
+        st.insert(t, vec![Value::Int(2), Value::Null]).unwrap();
+        assert_eq!(st.row_count(t), 2);
+        assert_eq!(st.table(t).unwrap().rows[1][1], Value::Null);
+    }
+
+    #[test]
+    fn index_eq_lookup() {
+        let (mut cat, mut st, t) = setup();
+        for i in 0..100 {
+            st.insert(t, vec![Value::Int(i), Value::Int(i % 7)]).unwrap();
+        }
+        let ix = cat.add_index("i_grp", t, vec![1], false).unwrap();
+        st.build_index(ix, t, vec![1]).unwrap();
+        let idx = st.index(ix).unwrap();
+        let hits = idx.lookup_eq(&[Value::Int(3)]);
+        assert_eq!(hits.len(), 14); // 3, 10, ..., 94
+        assert!(idx.lookup_eq(&[Value::Null]).is_empty());
+    }
+
+    #[test]
+    fn index_maintained_on_insert() {
+        let (mut cat, mut st, t) = setup();
+        let ix = cat.add_index("i_grp", t, vec![1], false).unwrap();
+        st.build_index(ix, t, vec![1]).unwrap();
+        st.insert(t, vec![Value::Int(1), Value::Int(42)]).unwrap();
+        st.insert(t, vec![Value::Int(2), Value::Int(42)]).unwrap();
+        assert_eq!(st.index(ix).unwrap().lookup_eq(&[Value::Int(42)]).len(), 2);
+    }
+
+    #[test]
+    fn index_range_scan() {
+        let (mut cat, mut st, t) = setup();
+        for i in 0..50 {
+            st.insert(t, vec![Value::Int(i), Value::Int(i)]).unwrap();
+        }
+        st.insert(t, vec![Value::Int(50), Value::Null]).unwrap();
+        let ix = cat.add_index("i_grp", t, vec![1], false).unwrap();
+        st.build_index(ix, t, vec![1]).unwrap();
+        let idx = st.index(ix).unwrap();
+        let mut out = Vec::new();
+        idx.lookup_range(Bound::Included(&Value::Int(10)), Bound::Excluded(&Value::Int(20)), &mut out);
+        assert_eq!(out.len(), 10);
+        out.clear();
+        idx.lookup_range(Bound::Excluded(&Value::Int(47)), Bound::Unbounded, &mut out);
+        assert_eq!(out.len(), 2); // 48, 49 — the NULL key must not appear
+    }
+
+    #[test]
+    fn composite_index_lookup() {
+        let (mut cat, mut st, t) = setup();
+        for i in 0..20 {
+            st.insert(t, vec![Value::Int(i % 4), Value::Int(i % 5)]).unwrap();
+        }
+        let ix = cat.add_index("i_both", t, vec![0, 1], false).unwrap();
+        st.build_index(ix, t, vec![0, 1]).unwrap();
+        let hits = st.index(ix).unwrap().lookup_eq(&[Value::Int(1), Value::Int(1)]);
+        assert_eq!(hits.len(), 1); // i=1, i%4==1 && i%5==1 only at i=1 within 0..20... i=1 and i=21(no)
+    }
+
+    #[test]
+    fn analyze_populates_stats() {
+        let (mut cat, mut st, t) = setup();
+        for i in 0..200 {
+            let grp = if i % 10 == 0 { Value::Null } else { Value::Int(i % 7) };
+            st.insert(t, vec![Value::Int(i), grp]).unwrap();
+        }
+        st.analyze(&mut cat).unwrap();
+        let s = &cat.table(t).unwrap().stats;
+        assert!(s.analyzed);
+        assert_eq!(s.rows, 200);
+        assert_eq!(s.columns[0].ndv, 200);
+        assert_eq!(s.columns[1].nulls, 20);
+        assert_eq!(s.columns[1].ndv, 7); // i%7 takes all of 0..=6 among non-null rows
+        assert!(s.columns[0].histogram.is_some());
+        assert_eq!(s.columns[0].min, Some(Value::Int(0)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(199)));
+    }
+
+    #[test]
+    fn analyze_empty_table() {
+        let (mut cat, st, t) = setup();
+        st.analyze(&mut cat).unwrap();
+        let s = &cat.table(t).unwrap().stats;
+        assert!(s.analyzed);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.columns.len(), 2);
+    }
+}

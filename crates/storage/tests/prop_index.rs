@@ -1,0 +1,119 @@
+//! Property: B-tree index lookups agree with filtered full scans.
+
+use cbqt_catalog::{Catalog, Column, Constraint};
+use cbqt_common::{DataType, Value};
+use cbqt_storage::Storage;
+use proptest::prelude::*;
+use std::ops::Bound;
+
+fn setup(vals: &[Option<i64>]) -> (Storage, cbqt_catalog::IndexId) {
+    let mut cat = Catalog::new();
+    let t = cat
+        .add_table(
+            "t",
+            vec![
+                Column { name: "id".into(), data_type: DataType::Int, not_null: true },
+                Column { name: "k".into(), data_type: DataType::Int, not_null: false },
+            ],
+            vec![Constraint::PrimaryKey(vec![0])],
+        )
+        .unwrap();
+    let mut st = Storage::new();
+    st.create_table(t);
+    for (i, v) in vals.iter().enumerate() {
+        let k = v.map(Value::Int).unwrap_or(Value::Null);
+        st.insert(t, vec![Value::Int(i as i64), k]).unwrap();
+    }
+    let ix = cat.add_index("i_k", t, vec![1], false).unwrap();
+    st.build_index(ix, t, vec![1]).unwrap();
+    (st, ix)
+}
+
+proptest! {
+    #[test]
+    fn eq_lookup_matches_scan(
+        vals in proptest::collection::vec(proptest::option::of(-20i64..20), 0..200),
+        probe in -25i64..25,
+    ) {
+        let (st, ix) = setup(&vals);
+        let hits = st.index(ix).unwrap().lookup_eq(&[Value::Int(probe)]);
+        let expected: Vec<usize> = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v == Some(probe))
+            .map(|(i, _)| i)
+            .collect();
+        let mut got = hits.to_vec();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn range_lookup_matches_scan(
+        vals in proptest::collection::vec(proptest::option::of(-20i64..20), 0..200),
+        lo in -25i64..25,
+        span in 0i64..20,
+        inc_lo in any::<bool>(),
+        inc_hi in any::<bool>(),
+    ) {
+        let hi = lo + span;
+        let (st, ix) = setup(&vals);
+        let lov = Value::Int(lo);
+        let hiv = Value::Int(hi);
+        let lob = if inc_lo { Bound::Included(&lov) } else { Bound::Excluded(&lov) };
+        let hib = if inc_hi { Bound::Included(&hiv) } else { Bound::Excluded(&hiv) };
+        let mut got = Vec::new();
+        st.index(ix).unwrap().lookup_range(lob, hib, &mut got);
+        got.sort_unstable();
+        let expected: Vec<usize> = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| {
+                v.map(|x| {
+                    (if inc_lo { x >= lo } else { x > lo })
+                        && (if inc_hi { x <= hi } else { x < hi })
+                })
+                .unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn incremental_insert_equals_bulk_build(
+        vals in proptest::collection::vec(proptest::option::of(-10i64..10), 1..100),
+        probe in -12i64..12,
+    ) {
+        // maintaining the index on insert must equal rebuilding it
+        let (st, ix) = setup(&vals);
+        let bulk = {
+            let mut cat = Catalog::new();
+            let t = cat
+                .add_table(
+                    "t",
+                    vec![
+                        Column { name: "id".into(), data_type: DataType::Int, not_null: true },
+                        Column { name: "k".into(), data_type: DataType::Int, not_null: false },
+                    ],
+                    vec![],
+                )
+                .unwrap();
+            let mut st2 = Storage::new();
+            st2.create_table(t);
+            let ix2 = cat.add_index("i_k", t, vec![1], false).unwrap();
+            st2.build_index(ix2, t, vec![1]).unwrap(); // build EMPTY first
+            for (i, v) in vals.iter().enumerate() {
+                let k = v.map(Value::Int).unwrap_or(Value::Null);
+                st2.insert(t, vec![Value::Int(i as i64), k]).unwrap();
+            }
+            st2.index(ix2).unwrap().lookup_eq(&[Value::Int(probe)]).to_vec()
+        };
+        let rebuilt = st.index(ix).unwrap().lookup_eq(&[Value::Int(probe)]).to_vec();
+        let mut a = bulk;
+        let mut b = rebuilt;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,216 @@
+//! Predicate pullup (§2.2.6): expensive filter predicates inside a view
+//! are pulled into the containing query, which evaluates them lazily —
+//! profitable when the containing query has a ROWNUM limit and the view
+//! has a blocking operator (ORDER BY), so only the first k surviving
+//! rows ever pay for the predicate (Q16 → Q17).
+
+use super::{ApplyEffect, CbTransform, Target};
+use cbqt_catalog::Catalog;
+use cbqt_common::{Error, Result};
+use cbqt_qgm::{
+    BlockId, JoinInfo, OutputItem, QExpr, QTableSource, QueryBlock, QueryTree, RefId,
+};
+
+pub struct CbPredicatePullup;
+
+impl CbTransform for CbPredicatePullup {
+    fn name(&self) -> &'static str {
+        "predicate pullup"
+    }
+
+    fn find_targets(&self, tree: &QueryTree, _catalog: &Catalog) -> Vec<Target> {
+        let mut out = Vec::new();
+        for id in tree.bottom_up() {
+            let Ok(QueryBlock::Select(p)) = tree.block(id) else { continue };
+            // only considered when the containing query has a ROWNUM limit
+            if p.rownum_limit.is_none() {
+                continue;
+            }
+            for t in &p.tables {
+                if !matches!(t.join, JoinInfo::Inner) {
+                    continue;
+                }
+                let QTableSource::View(v) = t.source else { continue };
+                let Ok(QueryBlock::Select(vs)) = tree.block(v) else { continue };
+                // the view must contain a blocking operator
+                if vs.order_by.is_empty() && !vs.is_aggregated() && !vs.distinct {
+                    continue;
+                }
+                for (ci, c) in vs.where_conjuncts.iter().enumerate() {
+                    if c.is_expensive() && !c.contains_subquery() && liftable(vs, c) {
+                        out.push(Target::PullupPred { parent: id, view: v, conjunct: ci });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(
+        &self,
+        tree: &mut QueryTree,
+        _catalog: &Catalog,
+        target: &Target,
+        _choice: usize,
+    ) -> Result<ApplyEffect> {
+        let Target::PullupPred { parent, view, conjunct } = target else {
+            return Err(Error::transform("wrong target kind"));
+        };
+        pull_up(tree, *parent, *view, *conjunct)
+    }
+}
+
+/// A conjunct can be lifted if it references only the view's own tables
+/// (no deeper correlation) and contains no aggregates.
+fn liftable(vs: &cbqt_qgm::SelectBlock, c: &QExpr) -> bool {
+    let declared = vs.declared_refs();
+    !c.contains_agg() && c.referenced_tables().iter().all(|r| declared.contains(r))
+}
+
+fn pull_up(
+    tree: &mut QueryTree,
+    parent: BlockId,
+    view: BlockId,
+    conjunct: usize,
+) -> Result<ApplyEffect> {
+    let view_ref: RefId = {
+        let p = tree.select(parent)?;
+        p.tables
+            .iter()
+            .find(|t| t.source == QTableSource::View(view))
+            .map(|t| t.refid)
+            .ok_or_else(|| Error::transform("view ref vanished"))?
+    };
+    let mut pred = {
+        let vs = tree.select_mut(view)?;
+        if conjunct >= vs.where_conjuncts.len() {
+            return Err(Error::transform("conjunct index out of date"));
+        }
+        vs.where_conjuncts.remove(conjunct)
+    };
+    // every inner column the predicate uses must be exposed as an output
+    let mut cols = Vec::new();
+    pred.collect_cols(&mut cols);
+    let mut mapping: Vec<((RefId, usize), usize)> = Vec::new();
+    {
+        let vs = tree.select_mut(view)?;
+        for (r, c) in cols {
+            if mapping.iter().any(|(k, _)| *k == (r, c)) {
+                continue;
+            }
+            let existing =
+                vs.select.iter().position(|item| item.expr == QExpr::col(r, c));
+            let idx = match existing {
+                Some(i) => i,
+                None => {
+                    vs.select.push(OutputItem {
+                        expr: QExpr::col(r, c),
+                        name: format!("PU{}", vs.select.len()),
+                    });
+                    vs.select.len() - 1
+                }
+            };
+            mapping.push(((r, c), idx));
+        }
+    }
+    pred.rewrite(&mut |n| {
+        if let QExpr::Col { table, column } = n {
+            if let Some((_, idx)) = mapping.iter().find(|(k, _)| *k == (*table, *column)) {
+                return Some(QExpr::col(view_ref, *idx));
+            }
+        }
+        None
+    });
+    tree.select_mut(parent)?.where_conjuncts.push(pred);
+    Ok(ApplyEffect::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::testutil::{build, catalog};
+
+    /// The paper's Q16 shape: a blocking view with two expensive
+    /// predicates under a ROWNUM < 20 outer query.
+    const Q16ISH: &str = "SELECT v.employee_name FROM \
+        (SELECT employee_name, salary FROM employees \
+         WHERE EXPENSIVE(salary, 200) > 1000 AND EXPENSIVE(emp_id, 100) > 0 \
+         ORDER BY employee_name) v \
+        WHERE rownum < 20";
+
+    #[test]
+    fn two_targets_one_per_expensive_predicate() {
+        let cat = catalog();
+        let tree = build(&cat, Q16ISH);
+        let targets = CbPredicatePullup.find_targets(&tree, &cat);
+        assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    fn pullup_moves_predicate_and_exposes_columns() {
+        let cat = catalog();
+        let mut tree = build(&cat, Q16ISH);
+        let targets = CbPredicatePullup.find_targets(&tree, &cat);
+        // pull the second predicate (references emp_id, not an output)
+        CbPredicatePullup.apply(&mut tree, &cat, &targets[1], 1).unwrap();
+        tree.validate().unwrap();
+        let root = tree.select(tree.root).unwrap();
+        assert_eq!(root.where_conjuncts.len(), 1);
+        assert!(root.where_conjuncts[0].is_expensive());
+        let QTableSource::View(v) = root.tables[0].source else { panic!() };
+        let vs = tree.select(v).unwrap();
+        assert_eq!(vs.where_conjuncts.len(), 1);
+        // emp_id was appended as a new output
+        assert_eq!(vs.select.len(), 3);
+    }
+
+    #[test]
+    fn both_predicates_can_pull() {
+        let cat = catalog();
+        let mut tree = build(&cat, Q16ISH);
+        // indices shift after the first pull: re-find targets
+        let t1 = CbPredicatePullup.find_targets(&tree, &cat)[0].clone();
+        CbPredicatePullup.apply(&mut tree, &cat, &t1, 1).unwrap();
+        let t2 = CbPredicatePullup.find_targets(&tree, &cat)[0].clone();
+        CbPredicatePullup.apply(&mut tree, &cat, &t2, 1).unwrap();
+        tree.validate().unwrap();
+        let root = tree.select(tree.root).unwrap();
+        assert_eq!(root.where_conjuncts.len(), 2);
+    }
+
+    #[test]
+    fn no_target_without_rownum() {
+        let cat = catalog();
+        let tree = build(
+            &cat,
+            "SELECT v.employee_name FROM \
+             (SELECT employee_name FROM employees WHERE EXPENSIVE(salary, 200) > 1000 \
+              ORDER BY employee_name) v",
+        );
+        assert!(CbPredicatePullup.find_targets(&tree, &cat).is_empty());
+    }
+
+    #[test]
+    fn no_target_without_blocking_operator() {
+        let cat = catalog();
+        let tree = build(
+            &cat,
+            "SELECT v.employee_name FROM \
+             (SELECT employee_name FROM employees WHERE EXPENSIVE(salary, 200) > 1000) v \
+             WHERE rownum < 20",
+        );
+        assert!(CbPredicatePullup.find_targets(&tree, &cat).is_empty());
+    }
+
+    #[test]
+    fn cheap_predicates_not_lifted() {
+        let cat = catalog();
+        let tree = build(
+            &cat,
+            "SELECT v.employee_name FROM \
+             (SELECT employee_name FROM employees WHERE salary > 1000 ORDER BY employee_name) v \
+             WHERE rownum < 20",
+        );
+        assert!(CbPredicatePullup.find_targets(&tree, &cat).is_empty());
+    }
+}

@@ -1,0 +1,815 @@
+//! The cost-based transformation framework (§3).
+//!
+//! Transformations are applied **sequentially** in the paper's order
+//! (§3.1): each transformation enumerates a state space over its targets
+//! in the current query tree, costs candidate states on *deep copies* of
+//! the tree with the physical optimizer, and the winning state is
+//! applied to the main tree before the next transformation runs.
+//!
+//! State-space machinery (§3.2):
+//! * a state is a vector of per-target choices (bits generalized to
+//!   small arities so juxtaposed alternatives fit, §3.3.2/§3.3.3);
+//! * four search strategies — exhaustive (2^N), iterative improvement,
+//!   linear (N+1), two-pass (2) — with automatic selection based on the
+//!   number of transformation objects;
+//! * interleaving (§3.3.1): when unnesting creates a view, the merge of
+//!   that view is evaluated *within* the same state, so "unnest + merge"
+//!   can win even when "unnest" alone loses;
+//! * cost annotations are shared across all states (§3.4.2) and the best
+//!   cost so far is passed as a cut-off budget (§3.4.1).
+
+use crate::costbased::view_transform::{can_merge_view, merge_view};
+use crate::costbased::{default_transforms, ApplyEffect, CbTransform, Target};
+use crate::heuristic::{apply_heuristics_with, HeuristicReport};
+use cbqt_catalog::Catalog;
+use cbqt_common::{Error, Result};
+use cbqt_optimizer::{
+    is_cutoff, BlockPlan, CostAnnotations, DynamicSampler, Optimizer, OptimizerConfig,
+    OptimizerStats, SamplingCache,
+};
+use cbqt_qgm::{QTableSource, QueryTree};
+
+/// Search strategies of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Pick automatically from the object counts (the paper's default).
+    Auto,
+    /// All states of the space.
+    Exhaustive,
+    /// Iterative improvement: random restarts + greedy descent.
+    Iterative,
+    /// Linear: fix one coordinate at a time (N+1 states).
+    Linear,
+    /// Two states: nothing transformed vs. everything transformed.
+    TwoPass,
+}
+
+/// Which transformations are enabled — used by the experiments to turn
+/// individual transformations off or force heuristic behaviour.
+#[derive(Debug, Clone)]
+pub struct TransformSet {
+    pub unnest: bool,
+    pub view_merge: bool,
+    /// Join predicate pushdown (disable independently of view merging —
+    /// the paper's Figure 4 experiment).
+    pub jppd: bool,
+    pub setop_to_join: bool,
+    pub group_by_placement: bool,
+    pub predicate_pullup: bool,
+    pub join_factorization: bool,
+    pub or_expansion: bool,
+}
+
+impl Default for TransformSet {
+    fn default() -> Self {
+        TransformSet {
+            unnest: true,
+            view_merge: true,
+            jppd: true,
+            setop_to_join: true,
+            group_by_placement: true,
+            predicate_pullup: true,
+            join_factorization: true,
+            or_expansion: true,
+        }
+    }
+}
+
+impl TransformSet {
+    fn enabled(&self, name: &str) -> bool {
+        match name {
+            "subquery unnesting (inline view)" => self.unnest,
+            "view merging / join predicate pushdown" => self.view_merge || self.jppd,
+            "MINUS/INTERSECT into join" => self.setop_to_join,
+            "group-by placement" => self.group_by_placement,
+            "predicate pullup" => self.predicate_pullup,
+            "join factorization" => self.join_factorization,
+            "disjunction into UNION ALL" => self.or_expansion,
+            _ => true,
+        }
+    }
+}
+
+/// Framework configuration.
+#[derive(Debug, Clone)]
+pub struct CbqtConfig {
+    /// Master switch: `false` = heuristic-only mode. Cost-based
+    /// transformations are then applied by fixed rules (the pre-10g
+    /// behaviour the paper compares against in §4.1).
+    pub cost_based: bool,
+    pub search: SearchStrategy,
+    /// Per-transformation: up to this many targets → exhaustive search.
+    pub exhaustive_threshold: usize,
+    /// Per-transformation: above the exhaustive threshold and up to this
+    /// many targets → linear; beyond → two-pass for everything.
+    pub linear_threshold: usize,
+    /// Total targets in the whole query beyond which every
+    /// transformation uses two-pass (§3.2).
+    pub total_two_pass_threshold: usize,
+    /// Enable §3.3.1 interleaving of unnesting with view merging.
+    pub interleave: bool,
+    /// Heuristic unnesting-by-merging (§2.1.1). Disabled together with
+    /// `transforms.unnest` to reproduce the paper's "unnesting completely
+    /// disabled" baseline (Figure 3).
+    pub heuristic_unnest_merge: bool,
+    /// §3.4.1 cost cut-off during state evaluation.
+    pub cost_cutoff: bool,
+    pub transforms: TransformSet,
+    pub optimizer: OptimizerConfig,
+    /// Iterative improvement: number of restarts.
+    pub iterative_restarts: usize,
+    /// Iterative improvement: max states explored.
+    pub iterative_max_states: usize,
+}
+
+impl Default for CbqtConfig {
+    fn default() -> Self {
+        CbqtConfig {
+            cost_based: true,
+            search: SearchStrategy::Auto,
+            exhaustive_threshold: 5,
+            linear_threshold: 12,
+            total_two_pass_threshold: 16,
+            interleave: true,
+            heuristic_unnest_merge: true,
+            cost_cutoff: true,
+            transforms: TransformSet::default(),
+            optimizer: OptimizerConfig::default(),
+            iterative_restarts: 3,
+            iterative_max_states: 24,
+        }
+    }
+}
+
+/// Result of the full optimization: the transformed tree, its physical
+/// plan, and bookkeeping for the experiments.
+#[derive(Debug)]
+pub struct CbqtOutcome {
+    pub tree: QueryTree,
+    pub plan: BlockPlan,
+    pub heuristics: HeuristicReport,
+    /// `(transformation name, human-readable decision)` log.
+    pub decisions: Vec<(String, String)>,
+    /// States costed across all cost-based transformations.
+    pub states_explored: u64,
+    pub optimizer_stats: OptimizerStats,
+}
+
+/// Runs the full pipeline: heuristic transformations, then each
+/// cost-based transformation over its state space, then final physical
+/// optimization.
+pub fn optimize_query(
+    tree: &QueryTree,
+    catalog: &Catalog,
+    config: &CbqtConfig,
+    sampling_cache: &SamplingCache,
+) -> Result<CbqtOutcome> {
+    optimize_query_with_sampler(tree, catalog, config, sampling_cache, None)
+}
+
+/// [`optimize_query`] with a dynamic sampler for tables without
+/// statistics (§3.4.4); sampling results are cached in `sampling_cache`
+/// across states and across queries.
+pub fn optimize_query_with_sampler(
+    tree: &QueryTree,
+    catalog: &Catalog,
+    config: &CbqtConfig,
+    sampling_cache: &SamplingCache,
+    sampler: Option<&dyn DynamicSampler>,
+) -> Result<CbqtOutcome> {
+    let mut tree = tree.clone();
+    let heuristics = apply_heuristics_with(&mut tree, catalog, config.heuristic_unnest_merge)?;
+
+    let mut annotations = CostAnnotations::new();
+    let mut states_explored = 0u64;
+    let mut decisions: Vec<(String, String)> = Vec::new();
+    let mut opt_stats = OptimizerStats::default();
+
+    let transforms = default_transforms();
+    for t in &transforms {
+        if !config.transforms.enabled(t.name()) {
+            continue;
+        }
+        if config.cost_based {
+            let session = TransformSession {
+                catalog,
+                config,
+                annotations: &mut annotations,
+                sampling_cache,
+                sampler,
+                states: &mut states_explored,
+                stats: &mut opt_stats,
+            };
+            let decision = session.run(&mut tree, t.as_ref())?;
+            if let Some(d) = decision {
+                decisions.push((t.name().to_string(), d));
+            }
+            // transformations can expose heuristic work (e.g. SPJ views
+            // from set-op conversion) — §3.1
+            apply_heuristics_with(&mut tree, catalog, config.heuristic_unnest_merge)?;
+        } else {
+            let applied = apply_heuristic_rule(&mut tree, catalog, t.as_ref())?;
+            if applied > 0 {
+                decisions.push((
+                    t.name().to_string(),
+                    format!("applied by heuristic rule on {applied} object(s)"),
+                ));
+                apply_heuristics_with(&mut tree, catalog, config.heuristic_unnest_merge)?;
+            }
+        }
+    }
+
+    // final physical optimization of the winning tree
+    let mut opt = Optimizer::new(catalog, &mut annotations, sampling_cache);
+    opt.sampler = sampler;
+    opt.config = config.optimizer.clone();
+    let plan = opt.optimize(&tree, None)?;
+    opt_stats.blocks_costed += opt.stats.blocks_costed;
+    opt_stats.annotation_hits += opt.stats.annotation_hits;
+    Ok(CbqtOutcome {
+        tree,
+        plan,
+        heuristics,
+        decisions,
+        states_explored,
+        optimizer_stats: opt_stats,
+    })
+}
+
+/// Heuristic-mode stand-in for the cost-based decisions (§4.1 compares
+/// against this): unnesting always fires unless the pre-10g index rule
+/// says otherwise; view merging always fires; the rest never fire
+/// (group-by placement "is never applied using heuristics").
+fn apply_heuristic_rule(
+    tree: &mut QueryTree,
+    catalog: &Catalog,
+    t: &dyn CbTransform,
+) -> Result<usize> {
+    let mut applied = 0;
+    match t.name() {
+        "subquery unnesting (inline view)" => loop {
+            let targets = t.find_targets(tree, catalog);
+            let Some(target) = targets.into_iter().find(|tg| {
+                let Target::Subquery { block, subq } = tg else { return false };
+                crate::costbased::unnest_view::heuristic_would_unnest(
+                    tree, catalog, *block, *subq,
+                )
+            }) else {
+                return Ok(applied);
+            };
+            t.apply(tree, catalog, &target, 1)?;
+            applied += 1;
+        },
+        "view merging / join predicate pushdown" => loop {
+            // heuristic: always merge; never JPPD (the paper introduces
+            // JPPD as a cost-based-only transformation)
+            let targets = t.find_targets(tree, catalog);
+            let Some(target) = targets
+                .into_iter()
+                .find(|tg| matches!(tg, Target::View { can_merge: true, .. }))
+            else {
+                return Ok(applied);
+            };
+            t.apply(tree, catalog, &target, 1)?;
+            applied += 1;
+        },
+        _ => Ok(applied),
+    }
+}
+
+struct TransformSession<'a> {
+    catalog: &'a Catalog,
+    config: &'a CbqtConfig,
+    annotations: &'a mut CostAnnotations,
+    sampling_cache: &'a SamplingCache,
+    sampler: Option<&'a dyn DynamicSampler>,
+    states: &'a mut u64,
+    stats: &'a mut OptimizerStats,
+}
+
+impl<'a> TransformSession<'a> {
+    /// Runs one cost-based transformation over its state space on `tree`,
+    /// applying the winning state in place. Returns a decision string if
+    /// the transformation had targets.
+    fn run(mut self, tree: &mut QueryTree, t: &dyn CbTransform) -> Result<Option<String>> {
+        let mut targets = t.find_targets(tree, self.catalog);
+        // the split view-merge / JPPD switches restrict the juxtaposed
+        // alternatives of view targets
+        if t.name() == "view merging / join predicate pushdown" {
+            let set = &self.config.transforms;
+            targets = targets
+                .into_iter()
+                .filter_map(|tg| match tg {
+                    Target::View { block, view_ref, can_merge, can_jppd } => {
+                        let m = can_merge && set.view_merge;
+                        let j = can_jppd && set.jppd;
+                        if m || j {
+                            Some(Target::View { block, view_ref, can_merge: m, can_jppd: j })
+                        } else {
+                            None
+                        }
+                    }
+                    other => Some(other),
+                })
+                .collect();
+        }
+        if targets.is_empty() {
+            return Ok(None);
+        }
+        let arities: Vec<usize> = targets.iter().map(|tg| t.arity(tg)).collect();
+        let strategy = self.pick_strategy(tree, t, targets.len());
+        let space = StateSpace { arities: &arities };
+
+        let mut best_state = vec![0usize; targets.len()];
+        let mut best_sub: Vec<bool> = Vec::new();
+        let mut best_cost = f64::INFINITY;
+
+        let evaluate = |state: &[usize],
+                        session: &mut TransformSession<'_>,
+                        best_cost: f64|
+         -> Result<Option<(f64, Vec<bool>)>> {
+            session.cost_state(tree, t, &targets, state, best_cost)
+        };
+
+        match strategy {
+            SearchStrategy::Exhaustive => {
+                for state in space.all_states() {
+                    if let Some((cost, sub)) = evaluate(&state, &mut self, best_cost)? {
+                        if cost < best_cost {
+                            best_cost = cost;
+                            best_state = state;
+                            best_sub = sub;
+                        }
+                    }
+                }
+            }
+            SearchStrategy::TwoPass => {
+                for state in [space.zero_state(), space.one_state()] {
+                    if let Some((cost, sub)) = evaluate(&state, &mut self, best_cost)? {
+                        if cost < best_cost {
+                            best_cost = cost;
+                            best_state = state;
+                            best_sub = sub;
+                        }
+                    }
+                }
+            }
+            SearchStrategy::Linear => {
+                // dynamic-programming flavoured: start from all-zero and
+                // greedily fix each coordinate at its best alternative
+                let mut current = space.zero_state();
+                if let Some((cost, sub)) = evaluate(&current, &mut self, best_cost)? {
+                    best_cost = cost;
+                    best_state = current.clone();
+                    best_sub = sub;
+                }
+                for i in 0..targets.len() {
+                    let mut local_best = current[i];
+                    for c in 1..arities[i] {
+                        let mut cand = current.clone();
+                        cand[i] = c;
+                        if let Some((cost, sub)) = evaluate(&cand, &mut self, best_cost)? {
+                            if cost < best_cost {
+                                best_cost = cost;
+                                best_state = cand.clone();
+                                best_sub = sub;
+                                local_best = c;
+                            }
+                        }
+                    }
+                    current[i] = local_best;
+                }
+            }
+            SearchStrategy::Iterative => {
+                let mut rng = Lcg::new(0x5DEECE66D ^ targets.len() as u64);
+                let mut explored = 0usize;
+                for restart in 0..self.config.iterative_restarts.max(1) {
+                    let mut current: Vec<usize> = if restart == 0 {
+                        space.zero_state()
+                    } else {
+                        arities.iter().map(|&a| rng.below(a)).collect()
+                    };
+                    let mut current_cost = match evaluate(&current, &mut self, best_cost)? {
+                        Some((c, sub)) => {
+                            if c < best_cost {
+                                best_cost = c;
+                                best_state = current.clone();
+                                best_sub = sub;
+                            }
+                            c
+                        }
+                        None => f64::INFINITY,
+                    };
+                    explored += 1;
+                    // greedy descent over single-coordinate moves
+                    let mut improved = true;
+                    while improved && explored < self.config.iterative_max_states {
+                        improved = false;
+                        for i in 0..targets.len() {
+                            for c in 0..arities[i] {
+                                if c == current[i] {
+                                    continue;
+                                }
+                                let mut cand = current.clone();
+                                cand[i] = c;
+                                explored += 1;
+                                if let Some((cost, sub)) = evaluate(&cand, &mut self, best_cost)? {
+                                    if cost < current_cost {
+                                        current = cand.clone();
+                                        current_cost = cost;
+                                        improved = true;
+                                        if cost < best_cost {
+                                            best_cost = cost;
+                                            best_state = cand;
+                                            best_sub = sub;
+                                        }
+                                        break;
+                                    }
+                                }
+                                if explored >= self.config.iterative_max_states {
+                                    break;
+                                }
+                            }
+                            if improved || explored >= self.config.iterative_max_states {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            SearchStrategy::Auto => unreachable!("resolved in pick_strategy"),
+        }
+
+        // apply the winning state to the main tree
+        if best_state.iter().any(|&c| c > 0) {
+            let effects = apply_state(tree, self.catalog, t, &targets, &best_state)?;
+            // interleaved merges chosen during costing
+            let created: Vec<_> =
+                effects.iter().flat_map(|e| e.created_views.iter().copied()).collect();
+            for (k, (parent, view_ref)) in created.iter().enumerate() {
+                if best_sub.get(k).copied().unwrap_or(false) {
+                    merge_view(tree, self.catalog, *parent, *view_ref)?;
+                }
+            }
+            debug_assert!(tree.validate().is_ok(), "{:?} broke the tree", t.name());
+        }
+        Ok(Some(format!(
+            "{} target(s), strategy {:?}, best state {:?}{}, cost {:.0}",
+            targets.len(),
+            strategy,
+            best_state,
+            if best_sub.iter().any(|&b| b) { " + interleaved merge" } else { "" },
+            best_cost,
+        )))
+    }
+
+    fn pick_strategy(
+        &self,
+        tree: &QueryTree,
+        _t: &dyn CbTransform,
+        n_targets: usize,
+    ) -> SearchStrategy {
+        match self.config.search {
+            SearchStrategy::Auto => {
+                // total transformation objects across the whole query
+                let total: usize = default_transforms()
+                    .iter()
+                    .map(|tt| tt.find_targets(tree, self.catalog).len())
+                    .sum();
+                if total > self.config.total_two_pass_threshold {
+                    SearchStrategy::TwoPass
+                } else if n_targets <= self.config.exhaustive_threshold {
+                    SearchStrategy::Exhaustive
+                } else if n_targets <= self.config.linear_threshold {
+                    SearchStrategy::Linear
+                } else {
+                    SearchStrategy::TwoPass
+                }
+            }
+            s => s,
+        }
+    }
+
+    /// Costs one state: clone the tree, apply the choices, optimize.
+    /// With interleaving, every subset of "merge the created views" is
+    /// also costed and the best sub-choice returned (§3.3.1).
+    fn cost_state(
+        &mut self,
+        tree: &QueryTree,
+        t: &dyn CbTransform,
+        targets: &[Target],
+        state: &[usize],
+        budget: f64,
+    ) -> Result<Option<(f64, Vec<bool>)>> {
+        let mut copy = tree.clone(); // the deep copy of §3.1
+        let effects = match apply_state(&mut copy, self.catalog, t, targets, state) {
+            Ok(e) => e,
+            Err(_) => return Ok(None), // state not applicable
+        };
+        let created: Vec<_> =
+            effects.iter().flat_map(|e| e.created_views.iter().copied()).collect();
+
+        let mut best: Option<(f64, Vec<bool>)> = None;
+        let budget_of = |best: &Option<(f64, Vec<bool>)>| -> f64 {
+            best.as_ref().map(|(c, _)| *c).unwrap_or(budget)
+        };
+
+        // base state (no interleaved merges)
+        if let Some(cost) = self.optimize_copy(&copy, budget_of(&best))? {
+            best = Some((cost, vec![false; created.len()]));
+        }
+
+        if self.config.interleave && !created.is_empty() && created.len() <= 3 {
+            let n = created.len();
+            for mask in 1..(1u32 << n) {
+                let mut merged_copy = copy.clone();
+                let mut sub = vec![false; n];
+                let mut ok = true;
+                for (k, (parent, view_ref)) in created.iter().enumerate() {
+                    if mask & (1 << k) != 0 {
+                        let vid = {
+                            let Ok(p) = merged_copy.select(*parent) else {
+                                ok = false;
+                                break;
+                            };
+                            match p.table(*view_ref).map(|x| &x.source) {
+                                Some(QTableSource::View(v)) => *v,
+                                _ => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        };
+                        if !can_merge_view(&merged_copy, self.catalog, *parent, *view_ref, vid) {
+                            ok = false;
+                            break;
+                        }
+                        if merge_view(&mut merged_copy, self.catalog, *parent, *view_ref)
+                            .is_err()
+                        {
+                            ok = false;
+                            break;
+                        }
+                        sub[k] = true;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                if let Some(cost) = self.optimize_copy(&merged_copy, budget_of(&best))? {
+                    if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+                        best = Some((cost, sub));
+                    }
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    fn optimize_copy(&mut self, copy: &QueryTree, budget: f64) -> Result<Option<f64>> {
+        *self.states += 1;
+        let mut opt = Optimizer::new(self.catalog, self.annotations, self.sampling_cache);
+        opt.sampler = self.sampler;
+        opt.config = self.config.optimizer.clone();
+        let budget = if self.config.cost_cutoff && budget.is_finite() {
+            Some(budget)
+        } else {
+            None
+        };
+        let res = opt.optimize(copy, budget);
+        self.stats.blocks_costed += opt.stats.blocks_costed;
+        self.stats.annotation_hits += opt.stats.annotation_hits;
+        match res {
+            Ok(plan) => Ok(Some(plan.cost)),
+            Err(e) if is_cutoff(&e) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Applies a state (choice per target) to a tree.
+fn apply_state(
+    tree: &mut QueryTree,
+    catalog: &Catalog,
+    t: &dyn CbTransform,
+    targets: &[Target],
+    state: &[usize],
+) -> Result<Vec<ApplyEffect>> {
+    let mut effects = Vec::new();
+    for (target, &choice) in targets.iter().zip(state.iter()) {
+        if choice == 0 {
+            continue;
+        }
+        effects.push(t.apply(tree, catalog, target, choice)?);
+    }
+    if tree.validate().is_err() {
+        return Err(Error::transform("state application produced invalid tree"));
+    }
+    Ok(effects)
+}
+
+/// The state space over per-target arities.
+struct StateSpace<'a> {
+    arities: &'a [usize],
+}
+
+impl<'a> StateSpace<'a> {
+    fn zero_state(&self) -> Vec<usize> {
+        vec![0; self.arities.len()]
+    }
+
+    /// "Transform everything": the first alternative of every target.
+    fn one_state(&self) -> Vec<usize> {
+        self.arities.iter().map(|&a| usize::from(a > 1)).collect()
+    }
+
+    /// Cartesian product of all choices.
+    fn all_states(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new()];
+        for &a in self.arities {
+            let mut next = Vec::with_capacity(out.len() * a);
+            for prefix in &out {
+                for c in 0..a {
+                    let mut s = prefix.clone();
+                    s.push(c);
+                    next.push(s);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+/// Tiny deterministic LCG so iterative improvement needs no external
+/// randomness (reproducible experiments).
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::testutil::{build, catalog};
+
+    fn outcome(sql: &str, config: &CbqtConfig) -> CbqtOutcome {
+        let cat = catalog();
+        let tree = build(&cat, sql);
+        let cache = SamplingCache::default();
+        optimize_query(&tree, &cat, config, &cache).unwrap()
+    }
+
+    const PAPER_Q1: &str = "SELECT e1.employee_name, j.job_title \
+        FROM employees e1, job_history j \
+        WHERE e1.emp_id = j.emp_id AND j.start_date > 19980101 AND \
+              e1.salary > (SELECT AVG(e2.salary) FROM employees e2 \
+                           WHERE e2.dept_id = e1.dept_id) AND \
+              e1.dept_id IN (SELECT d.dept_id FROM departments d, locations l \
+                             WHERE d.loc_id = l.loc_id AND l.country_id = 'US')";
+
+    #[test]
+    fn q1_exhaustive_explores_state_space() {
+        let config = CbqtConfig { interleave: false, ..Default::default() };
+        let out = outcome(PAPER_Q1, &config);
+        // 2 unnesting targets → exhaustive = 4 states (plus later passes)
+        assert!(out.states_explored >= 4, "{}", out.states_explored);
+        assert!(out.plan.cost > 0.0);
+        out.tree.validate().unwrap();
+    }
+
+    #[test]
+    fn q1_two_pass_explores_two_states() {
+        let config = CbqtConfig {
+            search: SearchStrategy::TwoPass,
+            interleave: false,
+            transforms: TransformSet {
+                view_merge: false,
+                jppd: false,
+                setop_to_join: false,
+                group_by_placement: false,
+                predicate_pullup: false,
+                join_factorization: false,
+                or_expansion: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = outcome(PAPER_Q1, &config);
+        assert_eq!(out.states_explored, 2);
+    }
+
+    #[test]
+    fn q1_linear_explores_n_plus_one() {
+        let config = CbqtConfig {
+            search: SearchStrategy::Linear,
+            interleave: false,
+            transforms: TransformSet {
+                view_merge: false,
+                jppd: false,
+                setop_to_join: false,
+                group_by_placement: false,
+                predicate_pullup: false,
+                join_factorization: false,
+                or_expansion: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = outcome(PAPER_Q1, &config);
+        assert_eq!(out.states_explored, 3); // N+1 with N=2
+    }
+
+    #[test]
+    fn q1_iterative_bounded() {
+        let config = CbqtConfig {
+            search: SearchStrategy::Iterative,
+            interleave: false,
+            iterative_max_states: 6,
+            transforms: TransformSet {
+                view_merge: false,
+                jppd: false,
+                setop_to_join: false,
+                group_by_placement: false,
+                predicate_pullup: false,
+                join_factorization: false,
+                or_expansion: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = outcome(PAPER_Q1, &config);
+        assert!(out.states_explored >= 2 && out.states_explored <= 12, "{}", out.states_explored);
+    }
+
+    #[test]
+    fn heuristic_mode_applies_rules_without_costing() {
+        let config = CbqtConfig { cost_based: false, ..Default::default() };
+        let out = outcome(PAPER_Q1, &config);
+        assert_eq!(out.states_explored, 0);
+        out.tree.validate().unwrap();
+    }
+
+    #[test]
+    fn interleaving_costs_merge_of_created_view() {
+        let config = CbqtConfig { interleave: true, ..Default::default() };
+        let out = outcome(PAPER_Q1, &config);
+        // with interleaving, more states than the plain 4 are costed
+        assert!(out.states_explored > 4, "{}", out.states_explored);
+        out.tree.validate().unwrap();
+    }
+
+    #[test]
+    fn decisions_are_logged() {
+        let out = outcome(PAPER_Q1, &CbqtConfig::default());
+        assert!(out
+            .decisions
+            .iter()
+            .any(|(n, _)| n.contains("unnesting")), "{:?}", out.decisions);
+    }
+
+    #[test]
+    fn annotation_reuse_across_states() {
+        // Table 1: exhaustive over Q1's two subqueries — the unchanged
+        // subquery blocks are reused across states
+        let config = CbqtConfig { interleave: false, ..Default::default() };
+        let out = outcome(PAPER_Q1, &config);
+        assert!(out.optimizer_stats.annotation_hits > 0, "{:?}", out.optimizer_stats);
+    }
+
+    #[test]
+    fn juxtaposed_view_decision_runs() {
+        let q12 = "SELECT e1.employee_name, j.job_title \
+            FROM employees e1, job_history j, \
+                 (SELECT DISTINCT d.dept_id FROM departments d, locations l \
+                  WHERE d.loc_id = l.loc_id AND l.country_id IN ('UK', 'US')) v \
+            WHERE e1.dept_id = v.dept_id AND e1.emp_id = j.emp_id AND \
+                  j.start_date > 19980101";
+        let out = outcome(q12, &CbqtConfig::default());
+        assert!(out
+            .decisions
+            .iter()
+            .any(|(n, _)| n.contains("view merging")), "{:?}", out.decisions);
+        out.tree.validate().unwrap();
+    }
+
+    #[test]
+    fn state_space_enumeration() {
+        let space = StateSpace { arities: &[2, 3] };
+        assert_eq!(space.all_states().len(), 6);
+        assert_eq!(space.zero_state(), vec![0, 0]);
+        assert_eq!(space.one_state(), vec![1, 1]);
+    }
+}

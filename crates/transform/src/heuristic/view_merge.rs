@@ -1,0 +1,157 @@
+//! SPJ view merging (§2.1, §3.1 ordering): inline views without
+//! distinct / grouping / windows / limits are merged into their parent
+//! block, removing query-block boundaries so the join enumerator can
+//! reorder across them.
+
+use crate::util::{dedup_aliases, is_spj, substitute_view_columns};
+use cbqt_catalog::Catalog;
+use cbqt_common::Result;
+use cbqt_qgm::{JoinInfo, QTableSource, QueryBlock, QueryTree};
+
+/// Merges every mergeable SPJ view, bottom-up, until none remain.
+/// Returns the number of views merged.
+pub fn merge_spj_views(tree: &mut QueryTree, _catalog: &Catalog) -> Result<usize> {
+    let mut merged = 0;
+    loop {
+        let Some((parent, view_ref, view_block)) = find_candidate(tree)? else {
+            return Ok(merged);
+        };
+        // detach the view block
+        let QueryBlock::Select(mut v) = tree.take_block(view_block)? else {
+            unreachable!("candidate is checked to be a SELECT block");
+        };
+        {
+            let p = tree.select(parent)?;
+            dedup_aliases(p, &mut v.tables, view_block);
+        }
+        let outputs: Vec<_> = v.select.iter().map(|i| i.expr.clone()).collect();
+        {
+            let p = tree.select_mut(parent)?;
+            let pos = p
+                .tables
+                .iter()
+                .position(|t| t.refid == view_ref)
+                .expect("view ref must exist in parent");
+            p.tables.remove(pos);
+            // keep join order roughly stable: splice at the same spot
+            for (i, t) in v.tables.drain(..).enumerate() {
+                p.tables.insert(pos + i, t);
+            }
+            p.where_conjuncts.append(&mut v.where_conjuncts);
+        }
+        substitute_view_columns(tree, view_ref, &outputs);
+        merged += 1;
+    }
+}
+
+/// Finds `(parent_block, view_refid, view_block)` for one mergeable view.
+fn find_candidate(
+    tree: &QueryTree,
+) -> Result<Option<(cbqt_qgm::BlockId, cbqt_qgm::RefId, cbqt_qgm::BlockId)>> {
+    for id in tree.bottom_up() {
+        let Ok(QueryBlock::Select(s)) = tree.block(id) else { continue };
+        for t in &s.tables {
+            if !matches!(t.join, JoinInfo::Inner) {
+                continue;
+            }
+            let QTableSource::View(v) = t.source else { continue };
+            let Ok(QueryBlock::Select(vs)) = tree.block(v) else { continue };
+            if !is_spj(vs) {
+                continue;
+            }
+            // a view that the parent's sibling blocks are correlated to is
+            // still fine — refids are stable under merging
+            return Ok(Some((id, t.refid, v)));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::testutil::{build, catalog};
+
+    #[test]
+    fn merges_simple_spj_view() {
+        let cat = catalog();
+        let mut tree = build(
+            &cat,
+            "SELECT v.n FROM (SELECT e.employee_name n, e.dept_id d FROM employees e \
+             WHERE e.salary > 1000) v WHERE v.d = 3",
+        );
+        let n = merge_spj_views(&mut tree, &cat).unwrap();
+        assert_eq!(n, 1);
+        tree.validate().unwrap();
+        let s = tree.select(tree.root).unwrap();
+        assert_eq!(s.tables.len(), 1);
+        assert!(matches!(s.tables[0].source, QTableSource::Base(_)));
+        // both predicates now in the merged block
+        assert_eq!(s.where_conjuncts.len(), 2);
+    }
+
+    #[test]
+    fn merges_nested_views() {
+        let cat = catalog();
+        let mut tree = build(
+            &cat,
+            "SELECT w.n FROM (SELECT v.n n FROM (SELECT employee_name n FROM employees) v) w",
+        );
+        let n = merge_spj_views(&mut tree, &cat).unwrap();
+        assert_eq!(n, 2);
+        tree.validate().unwrap();
+        assert_eq!(tree.select(tree.root).unwrap().tables.len(), 1);
+    }
+
+    #[test]
+    fn does_not_merge_group_by_view() {
+        let cat = catalog();
+        let mut tree = build(
+            &cat,
+            "SELECT v.a FROM (SELECT AVG(salary) a, dept_id FROM employees GROUP BY dept_id) v",
+        );
+        let n = merge_spj_views(&mut tree, &cat).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn does_not_merge_distinct_view() {
+        let cat = catalog();
+        let mut tree = build(
+            &cat,
+            "SELECT v.dept_id FROM (SELECT DISTINCT dept_id FROM employees) v",
+        );
+        assert_eq!(merge_spj_views(&mut tree, &cat).unwrap(), 0);
+    }
+
+    #[test]
+    fn merge_handles_alias_collision() {
+        let cat = catalog();
+        let mut tree = build(
+            &cat,
+            "SELECT e.employee_name, v.n FROM employees e, \
+             (SELECT e.employee_name n FROM employees e) v",
+        );
+        assert_eq!(merge_spj_views(&mut tree, &cat).unwrap(), 1);
+        tree.validate().unwrap();
+        let s = tree.select(tree.root).unwrap();
+        assert_eq!(s.tables.len(), 2);
+        assert_ne!(
+            s.tables[0].alias.to_ascii_lowercase(),
+            s.tables[1].alias.to_ascii_lowercase()
+        );
+    }
+
+    #[test]
+    fn merged_view_exposes_correlation_targets() {
+        // a subquery correlated to the view's output keeps working
+        let cat = catalog();
+        let mut tree = build(
+            &cat,
+            "SELECT v.d FROM (SELECT dept_id d FROM employees) v WHERE EXISTS \
+             (SELECT 1 FROM departments x WHERE x.dept_id = v.d)",
+        );
+        assert_eq!(merge_spj_views(&mut tree, &cat).unwrap(), 1);
+        tree.validate().unwrap();
+    }
+}

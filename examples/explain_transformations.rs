@@ -1,0 +1,87 @@
+//! A tour of the transformation framework: prints the transformed query
+//! tree and the decisions for each of the paper's Section 2 examples,
+//! under each of the four state-space search strategies (§3.2).
+//!
+//! Run with: `cargo run --release --example explain_transformations`
+
+use cbqt::{Database, SearchStrategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE locations (loc_id INT PRIMARY KEY, country_id VARCHAR(2) NOT NULL);
+         CREATE TABLE departments (dept_id INT PRIMARY KEY,
+             department_name VARCHAR(30), loc_id INT REFERENCES locations(loc_id));
+         CREATE TABLE employees (emp_id INT PRIMARY KEY, employee_name VARCHAR(30),
+             dept_id INT REFERENCES departments(dept_id), salary INT);
+         CREATE TABLE job_history (emp_id INT, job_title VARCHAR(30),
+             start_date INT, dept_id INT);
+         CREATE INDEX i_emp_dept ON employees (dept_id);",
+    )?;
+    for l in 0..6i64 {
+        db.execute(&format!(
+            "INSERT INTO locations VALUES ({l}, '{}')",
+            if l % 2 == 0 { "US" } else { "UK" }
+        ))?;
+    }
+    for d in 0..12i64 {
+        db.execute(&format!("INSERT INTO departments VALUES ({d}, 'd{d}', {})", d % 6))?;
+    }
+    for e in 0..600i64 {
+        db.execute(&format!(
+            "INSERT INTO employees VALUES ({e}, 'e{e}', {}, {})",
+            e % 12,
+            500 + (e * 77) % 4000
+        ))?;
+    }
+    for j in 0..300i64 {
+        db.execute(&format!(
+            "INSERT INTO job_history VALUES ({}, 't{}', {}, {})",
+            j % 600,
+            j % 5,
+            19980000 + j,
+            j % 12
+        ))?;
+    }
+    db.execute("ANALYZE")?;
+
+    let q1 = "SELECT e1.employee_name, j.job_title
+              FROM employees e1, job_history j
+              WHERE e1.emp_id = j.emp_id AND j.start_date > 19980101 AND
+                    e1.salary > (SELECT AVG(e2.salary) FROM employees e2
+                                 WHERE e2.dept_id = e1.dept_id) AND
+                    e1.dept_id IN (SELECT d.dept_id FROM departments d, locations l
+                                   WHERE d.loc_id = l.loc_id AND l.country_id = 'US')";
+
+    println!("################ the paper's Q1 ################\n");
+    println!("{}\n", db.explain(q1)?);
+
+    println!("######## search strategies on the same query ########\n");
+    for (name, strategy) in [
+        ("exhaustive", SearchStrategy::Exhaustive),
+        ("linear", SearchStrategy::Linear),
+        ("iterative", SearchStrategy::Iterative),
+        ("two-pass", SearchStrategy::TwoPass),
+    ] {
+        db.config_mut().search = strategy;
+        let r = db.query(q1)?;
+        println!(
+            "{name:<12} states={:<4} optimize={:?} blocks costed={} (reused {})",
+            r.stats.states_explored,
+            r.stats.optimize_time,
+            r.stats.blocks_costed,
+            r.stats.annotation_hits
+        );
+    }
+    db.config_mut().search = SearchStrategy::Auto;
+
+    println!("\n################ Q12: merge vs JPPD (juxtaposition) ################\n");
+    let q12 = "SELECT e1.employee_name, j.job_title
+               FROM employees e1, job_history j,
+                    (SELECT DISTINCT d.dept_id FROM departments d, locations l
+                     WHERE d.loc_id = l.loc_id AND l.country_id IN ('UK', 'US')) v
+               WHERE e1.dept_id = v.dept_id AND e1.emp_id = j.emp_id AND
+                     j.start_date > 19980101";
+    println!("{}", db.explain(q12)?);
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: create a schema, load data, run queries, and look at the
+//! transformation decisions the optimizer made.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cbqt::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+
+    // DDL with constraints — the constraints drive join elimination and
+    // null-aware antijoin decisions.
+    db.execute_script(
+        "CREATE TABLE departments (
+             dept_id INT PRIMARY KEY,
+             department_name VARCHAR(30) NOT NULL,
+             loc_id INT);
+         CREATE TABLE employees (
+             emp_id INT PRIMARY KEY,
+             employee_name VARCHAR(30),
+             dept_id INT REFERENCES departments(dept_id),
+             salary INT);
+         CREATE INDEX i_emp_dept ON employees (dept_id);",
+    )?;
+
+    // a little data
+    for d in 0..8 {
+        db.execute(&format!(
+            "INSERT INTO departments VALUES ({d}, 'dept{d}', {})",
+            d % 3
+        ))?;
+    }
+    for e in 0..200 {
+        db.execute(&format!(
+            "INSERT INTO employees VALUES ({e}, 'emp{e}', {}, {})",
+            e % 8,
+            1000 + (e * 37) % 5000
+        ))?;
+    }
+    db.execute("ANALYZE")?;
+
+    // a correlated aggregate subquery — the paper's flagship example:
+    // should this be evaluated row-by-row (with an index on the
+    // correlation column) or unnested into a group-by view?
+    let sql = "SELECT e1.employee_name, e1.salary
+               FROM employees e1
+               WHERE e1.salary > (SELECT AVG(e2.salary) FROM employees e2
+                                  WHERE e2.dept_id = e1.dept_id)
+               ORDER BY e1.salary DESC";
+
+    println!("=== EXPLAIN ===\n{}", db.explain(sql)?);
+
+    let result = db.query(sql)?;
+    println!("\n=== results: {} employees above their dept average ===", result.rows.len());
+    for row in result.rows.iter().take(5) {
+        println!("  {} earns {}", row[0], row[1]);
+    }
+    println!(
+        "\noptimizer: {} transformation states costed, {} blocks optimized ({} reused), \
+         plan cost {:.0}",
+        result.stats.states_explored,
+        result.stats.blocks_costed,
+        result.stats.annotation_hits,
+        result.stats.estimated_cost
+    );
+    println!(
+        "executor: {:.0} work units, TIS cache {} hits / {} misses",
+        result.stats.work_units,
+        result.stats.subquery_cache_hits,
+        result.stats.subquery_cache_misses
+    );
+    Ok(())
+}

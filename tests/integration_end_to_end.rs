@@ -1,0 +1,294 @@
+//! End-to-end integration: DDL → data → queries spanning every feature
+//! of the engine over one realistic schema.
+
+use cbqt::common::Value;
+use cbqt::Database;
+
+fn hr_database() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE locations (loc_id INT PRIMARY KEY, country_id VARCHAR(2) NOT NULL,
+             city VARCHAR(20));
+         CREATE TABLE departments (dept_id INT PRIMARY KEY,
+             department_name VARCHAR(30) NOT NULL,
+             loc_id INT REFERENCES locations(loc_id));
+         CREATE TABLE employees (emp_id INT PRIMARY KEY, employee_name VARCHAR(30) NOT NULL,
+             dept_id INT REFERENCES departments(dept_id), salary INT, mgr_id INT);
+         CREATE TABLE job_history (emp_id INT NOT NULL, job_title VARCHAR(30) NOT NULL,
+             start_date INT NOT NULL, dept_id INT);
+         CREATE INDEX i_emp_dept ON employees (dept_id);
+         CREATE INDEX i_emp_sal ON employees (salary);
+         CREATE INDEX i_jh_emp ON job_history (emp_id);",
+    )
+    .unwrap();
+    let countries = ["US", "UK", "DE"];
+    for l in 0..9i64 {
+        db.execute(&format!(
+            "INSERT INTO locations VALUES ({l}, '{}', 'city{l}')",
+            countries[(l % 3) as usize]
+        ))
+        .unwrap();
+    }
+    for d in 0..15i64 {
+        db.execute(&format!("INSERT INTO departments VALUES ({d}, 'dept{d}', {})", d % 9))
+            .unwrap();
+    }
+    let mut emp_rows = Vec::new();
+    for e in 0..400i64 {
+        emp_rows.push(vec![
+            Value::Int(e),
+            Value::str(format!("emp{e}")),
+            if e % 50 == 49 { Value::Null } else { Value::Int(e % 15) },
+            Value::Int(1000 + (e * 83) % 7000),
+            if e == 0 { Value::Null } else { Value::Int(e / 10) },
+        ]);
+    }
+    db.load_rows("employees", emp_rows).unwrap();
+    let mut jh_rows = Vec::new();
+    for j in 0..250i64 {
+        jh_rows.push(vec![
+            Value::Int(j % 400),
+            Value::str(format!("title{}", j % 6)),
+            Value::Int(19900000 + j * 37),
+            Value::Int(j % 15),
+        ]);
+    }
+    db.load_rows("job_history", jh_rows).unwrap();
+    db.analyze().unwrap();
+    db
+}
+
+/// Rows rendered to sortable strings (order-insensitive comparison).
+fn canon(rows: &[Vec<Value>]) -> Vec<String> {
+    let mut v: Vec<String> = rows
+        .iter()
+        .map(|r| r.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn paper_q1_runs_and_is_stable_across_modes() {
+    let mut db = hr_database();
+    let q1 = "SELECT e1.employee_name, j.job_title
+              FROM employees e1, job_history j
+              WHERE e1.emp_id = j.emp_id AND j.start_date > 19901000 AND
+                    e1.salary > (SELECT AVG(e2.salary) FROM employees e2
+                                 WHERE e2.dept_id = e1.dept_id) AND
+                    e1.dept_id IN (SELECT d.dept_id FROM departments d, locations l
+                                   WHERE d.loc_id = l.loc_id AND l.country_id = 'US')";
+    let cb = db.query(q1).unwrap();
+    assert!(cb.stats.states_explored >= 4, "exhaustive over 2 subqueries");
+    db.config_mut().cost_based = false;
+    let heuristic = db.query(q1).unwrap();
+    assert_eq!(canon(&cb.rows), canon(&heuristic.rows));
+    assert!(!cb.rows.is_empty());
+}
+
+#[test]
+fn aggregations_and_rollup() {
+    let mut db = hr_database();
+    let r = db
+        .query(
+            "SELECT v.country_id, v.dept_id, v.total FROM
+               (SELECT l.country_id, d.dept_id, SUM(e.salary) total
+                FROM employees e, departments d, locations l
+                WHERE e.dept_id = d.dept_id AND d.loc_id = l.loc_id
+                GROUP BY ROLLUP (l.country_id, d.dept_id)) v
+             WHERE v.country_id = 'US' AND v.dept_id IS NOT NULL
+             ORDER BY v.dept_id",
+        )
+        .unwrap();
+    // US locations are loc 0,3,6 → depts with loc_id in {0,3,6}
+    assert!(!r.rows.is_empty());
+    for row in &r.rows {
+        assert_eq!(row[0], Value::str("US"));
+        assert!(!row[1].is_null());
+    }
+}
+
+#[test]
+fn outer_join_and_elimination() {
+    let mut db = hr_database();
+    // join elimination: departments contributes nothing
+    let elim = db
+        .query("SELECT e.employee_name FROM employees e LEFT JOIN departments d \
+                ON e.dept_id = d.dept_id")
+        .unwrap();
+    assert_eq!(elim.rows.len(), 400);
+    let explain = db
+        .explain("SELECT e.employee_name FROM employees e LEFT JOIN departments d \
+                  ON e.dept_id = d.dept_id")
+        .unwrap();
+    assert!(explain.contains("1 join(s) eliminated"), "{explain}");
+    // kept when columns are used
+    let kept = db
+        .query(
+            "SELECT e.employee_name, d.department_name FROM employees e \
+             LEFT JOIN departments d ON e.dept_id = d.dept_id WHERE e.emp_id < 60",
+        )
+        .unwrap();
+    assert_eq!(kept.rows.len(), 60);
+    let null_dept = kept.rows.iter().filter(|r| r[1].is_null()).count();
+    assert_eq!(null_dept, 1); // emp 49
+}
+
+#[test]
+fn set_operations() {
+    let mut db = hr_database();
+    let minus = db
+        .query(
+            "SELECT d.dept_id FROM departments d MINUS \
+             SELECT e.dept_id FROM employees e WHERE e.salary > 2000",
+        )
+        .unwrap();
+    let intersect = db
+        .query(
+            "SELECT d.dept_id FROM departments d INTERSECT \
+             SELECT e.dept_id FROM employees e WHERE e.salary > 2000",
+        )
+        .unwrap();
+    // every department either has or lacks a high earner
+    assert_eq!(minus.rows.len() + intersect.rows.len(), 15);
+}
+
+#[test]
+fn window_functions_over_groups() {
+    let mut db = hr_database();
+    let r = db
+        .query(
+            "SELECT dept_id, total, SUM(total) OVER (ORDER BY dept_id) cumulative FROM
+               (SELECT dept_id, SUM(salary) total FROM employees
+                WHERE dept_id IS NOT NULL GROUP BY dept_id) v
+             ORDER BY dept_id",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 15);
+    // cumulative is monotone
+    let mut last = 0i64;
+    for row in &r.rows {
+        let c = row[2].as_i64().unwrap();
+        assert!(c >= last);
+        last = c;
+    }
+}
+
+#[test]
+fn rownum_topk_semantics() {
+    let mut db = hr_database();
+    let r = db
+        .query(
+            "SELECT v.employee_name, v.salary FROM
+               (SELECT employee_name, salary FROM employees ORDER BY salary DESC) v
+             WHERE rownum <= 10",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 10);
+    // top salaries in descending order
+    let mut prev = i64::MAX;
+    for row in &r.rows {
+        let s = row[1].as_i64().unwrap();
+        assert!(s <= prev);
+        prev = s;
+    }
+}
+
+#[test]
+fn multi_level_nesting() {
+    let mut db = hr_database();
+    let r = db
+        .query(
+            "SELECT d.department_name FROM departments d
+             WHERE EXISTS (SELECT 1 FROM employees e
+                           WHERE e.dept_id = d.dept_id AND e.salary >
+                                 (SELECT AVG(e2.salary) FROM employees e2))",
+        )
+        .unwrap();
+    assert!(!r.rows.is_empty());
+}
+
+#[test]
+fn not_in_null_trap() {
+    let mut db = hr_database();
+    // dept_id of employees contains NULLs → NOT IN yields nothing
+    let r = db
+        .query("SELECT d.dept_id FROM departments d WHERE d.dept_id NOT IN \
+                (SELECT e.dept_id FROM employees e)")
+        .unwrap();
+    assert!(r.rows.is_empty());
+    // filtering the NULLs restores antijoin behaviour
+    let r = db
+        .query(
+            "SELECT d.dept_id FROM departments d WHERE d.dept_id NOT IN \
+             (SELECT e.dept_id FROM employees e WHERE e.dept_id IS NOT NULL)",
+        )
+        .unwrap();
+    assert!(r.rows.is_empty()); // every dept 0..14 has employees
+}
+
+#[test]
+fn quantified_comparisons() {
+    let mut db = hr_database();
+    let all = db
+        .query(
+            "SELECT e.emp_id FROM employees e WHERE e.salary >= ALL \
+             (SELECT e2.salary FROM employees e2 WHERE e2.dept_id IS NOT NULL)",
+        )
+        .unwrap();
+    assert!(!all.rows.is_empty());
+    let any = db
+        .query(
+            "SELECT COUNT(*) FROM employees e WHERE e.salary < ANY \
+             (SELECT e2.salary FROM employees e2)",
+        )
+        .unwrap();
+    let n = any.rows[0][0].as_i64().unwrap();
+    assert!(n > 300 && n < 400, "{n}"); // all but the max-salary ties
+}
+
+#[test]
+fn union_all_with_order_by() {
+    let mut db = hr_database();
+    let r = db
+        .query(
+            "SELECT emp_id id FROM employees WHERE salary > 7500
+             UNION ALL
+             SELECT emp_id id FROM job_history WHERE start_date > 19908000
+             ORDER BY id",
+        )
+        .unwrap();
+    // ordered output across the union
+    let mut prev = i64::MIN;
+    for row in &r.rows {
+        let v = row[0].as_i64().unwrap();
+        assert!(v >= prev);
+        prev = v;
+    }
+}
+
+#[test]
+fn explain_is_consistent_with_execution() {
+    let mut db = hr_database();
+    let sql = "SELECT e.employee_name FROM employees e WHERE e.dept_id = 3";
+    let plan = db.explain(sql).unwrap();
+    assert!(plan.contains("INDEX EQ"), "index access expected:\n{plan}");
+    let r = db.query(sql).unwrap();
+    assert!(!r.rows.is_empty());
+}
+
+#[test]
+fn estimated_cost_correlates_with_work() {
+    // the cost model and the work counter share weights: across queries of
+    // very different sizes, ordering by cost must order by work
+    let mut db = hr_database();
+    let small = db.query("SELECT emp_id FROM employees WHERE emp_id = 7").unwrap();
+    let large = db
+        .query(
+            "SELECT e.emp_id, j.job_title FROM employees e, job_history j \
+             WHERE e.emp_id = j.emp_id",
+        )
+        .unwrap();
+    assert!(small.stats.estimated_cost < large.stats.estimated_cost);
+    assert!(small.stats.work_units < large.stats.work_units);
+}

@@ -1,0 +1,178 @@
+//! Exercises optimizer paths off the happy path: forced join methods,
+//! greedy enumeration beyond the DP limit, dynamic sampling on
+//! unanalyzed tables, and empty-table behaviour.
+
+use cbqt::common::Value;
+use cbqt::Database;
+
+fn canon(rows: &[Vec<Value>]) -> Vec<String> {
+    let mut v: Vec<String> = rows
+        .iter()
+        .map(|r| r.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+        .collect();
+    v.sort();
+    v
+}
+
+fn join_db() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE a (id INT PRIMARY KEY, k INT);
+         CREATE TABLE b (id INT PRIMARY KEY, k INT);",
+    )
+    .unwrap();
+    let mut ra = Vec::new();
+    let mut rb = Vec::new();
+    for i in 0..400i64 {
+        ra.push(vec![Value::Int(i), Value::Int(i % 10)]);
+        rb.push(vec![Value::Int(i), Value::Int(i % 12)]);
+    }
+    db.load_rows("a", ra).unwrap();
+    db.load_rows("b", rb).unwrap();
+    db.analyze().unwrap();
+    db
+}
+
+#[test]
+fn all_join_methods_agree() {
+    let sql = "SELECT a.id, b.id FROM a, b WHERE a.k = b.k";
+    let mut reference = None;
+    for (hash, merge, inl) in
+        [(true, true, true), (true, false, false), (false, true, false), (false, false, true),
+         (false, false, false)]
+    {
+        let mut db = join_db();
+        let cfg = db.config_mut();
+        cfg.optimizer.enable_hash_join = hash;
+        cfg.optimizer.enable_merge_join = merge;
+        cfg.optimizer.enable_index_nl = inl;
+        let r = canon(&db.query(sql).unwrap().rows);
+        match &reference {
+            None => reference = Some(r),
+            Some(base) => assert_eq!(
+                *base, r,
+                "join methods hash={hash} merge={merge} inl={inl} diverged"
+            ),
+        }
+    }
+}
+
+#[test]
+fn merge_join_appears_in_plan_when_forced() {
+    let mut db = join_db();
+    let cfg = db.config_mut();
+    cfg.optimizer.enable_hash_join = false;
+    cfg.optimizer.enable_index_nl = false;
+    let plan = db.explain("SELECT a.id FROM a, b WHERE a.k = b.k").unwrap();
+    assert!(plan.contains("Merge"), "{plan}");
+}
+
+#[test]
+fn greedy_enumeration_beyond_dp_limit() {
+    // a 6-table chain with dp_max_items lowered to 3 exercises the
+    // greedy fallback; results must match the DP plan's results
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t0 (id INT PRIMARY KEY, nxt INT)").unwrap();
+    for i in 1..6 {
+        db.execute(&format!("CREATE TABLE t{i} (id INT PRIMARY KEY, nxt INT)")).unwrap();
+    }
+    for t in 0..6 {
+        let mut rows = Vec::new();
+        for i in 0..40i64 {
+            rows.push(vec![Value::Int(i), Value::Int((i + 1) % 40)]);
+        }
+        db.load_rows(&format!("t{t}"), rows).unwrap();
+    }
+    db.analyze().unwrap();
+    let sql = "SELECT t0.id FROM t0, t1, t2, t3, t4, t5 \
+               WHERE t0.nxt = t1.id AND t1.nxt = t2.id AND t2.nxt = t3.id \
+                 AND t3.nxt = t4.id AND t4.nxt = t5.id AND t0.id < 5";
+    let dp = canon(&db.query(sql).unwrap().rows);
+    db.config_mut().optimizer.dp_max_items = 3;
+    let greedy = canon(&db.query(sql).unwrap().rows);
+    assert_eq!(dp, greedy);
+    assert_eq!(dp.len(), 5);
+}
+
+#[test]
+fn unanalyzed_tables_use_dynamic_sampling() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE big (id INT PRIMARY KEY, k INT)").unwrap();
+    db.execute("CREATE TABLE small (id INT PRIMARY KEY, k INT)").unwrap();
+    let mut rows = Vec::new();
+    for i in 0..5000i64 {
+        rows.push(vec![Value::Int(i), Value::Int(i % 100)]);
+    }
+    db.load_rows("big", rows).unwrap();
+    db.load_rows("small", (0..10i64).map(|i| vec![Value::Int(i), Value::Int(i)]).collect())
+        .unwrap();
+    // NO ANALYZE: without sampling both tables would be assumed equal
+    // (1000 rows); the sampler must discover big is 500x larger so the
+    // planner builds the hash table on small
+    let r = db
+        .query("SELECT big.id FROM big, small WHERE big.k = small.k")
+        .unwrap();
+    assert_eq!(r.rows.len(), 500);
+    let plan = db.explain("SELECT big.id FROM big, small WHERE big.k = small.k").unwrap();
+    // with sampled sizes, the big table drives (left side of the join)
+    let big_pos = plan.find("SCAN t0").unwrap_or(usize::MAX);
+    let small_pos = plan.find("SCAN t1").unwrap_or(0);
+    assert!(big_pos < small_pos, "sampling should order big before small:\n{plan}");
+}
+
+#[test]
+fn empty_tables_everywhere() {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE e1 (a INT PRIMARY KEY, b INT);
+         CREATE TABLE e2 (a INT PRIMARY KEY, b INT);
+         ANALYZE;",
+    )
+    .unwrap();
+    assert!(db.query("SELECT * FROM e1").unwrap().rows.is_empty());
+    assert!(db
+        .query("SELECT e1.a FROM e1, e2 WHERE e1.a = e2.a")
+        .unwrap()
+        .rows
+        .is_empty());
+    // scalar aggregate over empty input yields one row
+    let r = db.query("SELECT COUNT(*), MAX(a) FROM e1").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(0));
+    assert!(r.rows[0][1].is_null());
+    // outer join of empty to empty
+    assert!(db
+        .query("SELECT e1.a FROM e1 LEFT JOIN e2 ON e1.a = e2.a")
+        .unwrap()
+        .rows
+        .is_empty());
+    // set ops over empties
+    assert!(db.query("SELECT a FROM e1 MINUS SELECT a FROM e2").unwrap().rows.is_empty());
+    assert!(db
+        .query("SELECT a FROM e1 UNION ALL SELECT a FROM e2")
+        .unwrap()
+        .rows
+        .is_empty());
+    // NOT IN over an empty subquery keeps every (zero) row
+    assert!(db
+        .query("SELECT a FROM e1 WHERE a NOT IN (SELECT a FROM e2)")
+        .unwrap()
+        .rows
+        .is_empty());
+}
+
+#[test]
+fn cross_join_without_predicates() {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE x (a INT PRIMARY KEY);
+         CREATE TABLE y (b INT PRIMARY KEY);",
+    )
+    .unwrap();
+    db.load_rows("x", (0..4i64).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+    db.load_rows("y", (0..5i64).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+    db.analyze().unwrap();
+    let r = db.query("SELECT x.a, y.b FROM x, y").unwrap();
+    assert_eq!(r.rows.len(), 20);
+    let r = db.query("SELECT x.a, y.b FROM x CROSS JOIN y WHERE x.a = y.b").unwrap();
+    assert_eq!(r.rows.len(), 4);
+}

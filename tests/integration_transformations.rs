@@ -1,0 +1,266 @@
+//! Semantic-equivalence integration tests: for every cost-based
+//! transformation, queries return identical results with the
+//! transformation enabled, disabled, and in heuristic-only mode.
+
+use cbqt::common::Value;
+use cbqt::{Database, TransformSet};
+
+fn db_with_data(seed: i64) -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE locations (loc_id INT PRIMARY KEY, country_id VARCHAR(2) NOT NULL);
+         CREATE TABLE departments (dept_id INT PRIMARY KEY, department_name VARCHAR(30),
+             loc_id INT REFERENCES locations(loc_id));
+         CREATE TABLE employees (emp_id INT PRIMARY KEY, employee_name VARCHAR(30),
+             dept_id INT REFERENCES departments(dept_id), salary INT, mgr_id INT);
+         CREATE TABLE job_history (emp_id INT NOT NULL, job_title VARCHAR(30),
+             start_date INT, dept_id INT);
+         CREATE INDEX i_emp_dept ON employees (dept_id);",
+    )
+    .unwrap();
+    for l in 0..8i64 {
+        db.execute(&format!(
+            "INSERT INTO locations VALUES ({l}, '{}')",
+            if (l + seed) % 2 == 0 { "US" } else { "UK" }
+        ))
+        .unwrap();
+    }
+    for d in 0..20i64 {
+        db.execute(&format!("INSERT INTO departments VALUES ({d}, 'dept{d}', {})", (d + seed) % 8))
+            .unwrap();
+    }
+    let mut rows = Vec::new();
+    for e in 0..500i64 {
+        rows.push(vec![
+            Value::Int(e),
+            Value::str(format!("e{e}")),
+            if (e + seed) % 33 == 0 { Value::Null } else { Value::Int((e * 7 + seed) % 20) },
+            Value::Int(500 + (e * 131 + seed * 17) % 6000),
+            Value::Int(e % 50),
+        ]);
+    }
+    db.load_rows("employees", rows).unwrap();
+    let mut rows = Vec::new();
+    for j in 0..300i64 {
+        rows.push(vec![
+            Value::Int((j * 3 + seed) % 500),
+            Value::str(format!("t{}", j % 5)),
+            Value::Int(19900000 + j * 11),
+            Value::Int(j % 20),
+        ]);
+    }
+    db.load_rows("job_history", rows).unwrap();
+    db.analyze().unwrap();
+    db
+}
+
+fn canon(rows: &[Vec<Value>]) -> Vec<String> {
+    let mut v: Vec<String> = rows
+        .iter()
+        .map(|r| r.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Runs `sql` with the transformation set variations and asserts equal
+/// result sets.
+fn assert_equivalent(sql: &str, disable: impl Fn(&mut TransformSet)) {
+    for seed in [0i64, 5] {
+        let mut db = db_with_data(seed);
+        let on = db.query(sql).expect("cost-based mode");
+        let mut disabled_set = TransformSet::default();
+        disable(&mut disabled_set);
+        db.config_mut().transforms = disabled_set;
+        let off = db.query(sql).expect("transformation disabled");
+        db.config_mut().transforms = TransformSet::default();
+        db.config_mut().cost_based = false;
+        let heuristic = db.query(sql).expect("heuristic mode");
+        assert_eq!(canon(&on.rows), canon(&off.rows), "on vs off for {sql}");
+        assert_eq!(canon(&on.rows), canon(&heuristic.rows), "on vs heuristic for {sql}");
+    }
+}
+
+#[test]
+fn unnesting_equivalence() {
+    assert_equivalent(
+        "SELECT e1.employee_name FROM employees e1
+         WHERE e1.salary > (SELECT AVG(e2.salary) FROM employees e2
+                            WHERE e2.dept_id = e1.dept_id)",
+        |t| t.unnest = false,
+    );
+    assert_equivalent(
+        "SELECT e.employee_name FROM employees e
+         WHERE e.dept_id IN (SELECT d.dept_id FROM departments d, locations l
+                             WHERE d.loc_id = l.loc_id AND l.country_id = 'US')",
+        |t| t.unnest = false,
+    );
+    assert_equivalent(
+        "SELECT e.employee_name FROM employees e
+         WHERE NOT EXISTS (SELECT 1 FROM departments d, locations l
+                           WHERE d.loc_id = l.loc_id AND d.dept_id = e.dept_id
+                             AND l.country_id = 'UK')",
+        |t| t.unnest = false,
+    );
+}
+
+#[test]
+fn unnesting_respects_null_semantics() {
+    // MIN over a department that does not exist: TIS yields NULL, the
+    // transformed plan must not fabricate matches
+    assert_equivalent(
+        "SELECT e1.emp_id FROM employees e1
+         WHERE e1.salary < (SELECT MIN(e2.salary) FROM employees e2
+                            WHERE e2.dept_id = e1.dept_id AND e2.salary > 6000)",
+        |t| t.unnest = false,
+    );
+}
+
+#[test]
+fn view_merge_and_jppd_equivalence() {
+    assert_equivalent(
+        "SELECT e1.employee_name, j.job_title
+         FROM employees e1, job_history j,
+              (SELECT DISTINCT d.dept_id FROM departments d, locations l
+               WHERE d.loc_id = l.loc_id AND l.country_id IN ('UK', 'US')) v
+         WHERE e1.dept_id = v.dept_id AND e1.emp_id = j.emp_id",
+        |t| { t.view_merge = false; t.jppd = false; },
+    );
+    assert_equivalent(
+        "SELECT e1.employee_name, v.avg_sal
+         FROM employees e1,
+              (SELECT dept_id, AVG(salary) avg_sal FROM employees GROUP BY dept_id) v
+         WHERE e1.dept_id = v.dept_id AND e1.salary > 4000",
+        |t| { t.view_merge = false; t.jppd = false; },
+    );
+}
+
+#[test]
+fn group_by_placement_equivalence() {
+    assert_equivalent(
+        "SELECT d.department_name, SUM(e.salary), COUNT(*), AVG(e.salary),
+                MIN(e.salary), MAX(e.salary)
+         FROM employees e, departments d
+         WHERE e.dept_id = d.dept_id
+         GROUP BY d.department_name",
+        |t| t.group_by_placement = false,
+    );
+}
+
+#[test]
+fn join_factorization_equivalence() {
+    assert_equivalent(
+        "SELECT e.employee_name, d.department_name
+         FROM employees e, departments d WHERE e.dept_id = d.dept_id
+         UNION ALL
+         SELECT j.job_title, d.department_name
+         FROM job_history j, departments d WHERE j.dept_id = d.dept_id",
+        |t| t.join_factorization = false,
+    );
+}
+
+#[test]
+fn setop_conversion_equivalence() {
+    assert_equivalent(
+        "SELECT d.dept_id FROM departments d
+         MINUS SELECT e.dept_id FROM employees e WHERE e.salary > 5000",
+        |t| t.setop_to_join = false,
+    );
+    assert_equivalent(
+        "SELECT d.dept_id FROM departments d
+         INTERSECT SELECT e.dept_id FROM employees e WHERE e.salary > 5000",
+        |t| t.setop_to_join = false,
+    );
+    // NULL-matching semantics: dept_id of employees has NULLs; MINUS and
+    // INTERSECT treat NULL = NULL as a match
+    assert_equivalent(
+        "SELECT e.dept_id FROM employees e
+         INTERSECT SELECT e2.dept_id FROM employees e2 WHERE e2.salary > 3000",
+        |t| t.setop_to_join = false,
+    );
+}
+
+#[test]
+fn or_expansion_equivalence() {
+    assert_equivalent(
+        "SELECT e.employee_name FROM employees e
+         WHERE e.emp_id = 42 OR e.salary > 6200",
+        |t| t.or_expansion = false,
+    );
+    // overlapping disjuncts must not duplicate rows
+    assert_equivalent(
+        "SELECT e.emp_id FROM employees e
+         WHERE e.salary > 3000 OR e.salary > 5000 OR e.emp_id < 10",
+        |t| t.or_expansion = false,
+    );
+}
+
+#[test]
+fn predicate_pullup_equivalence() {
+    assert_equivalent(
+        "SELECT v.employee_name FROM
+           (SELECT employee_name, salary FROM employees
+            WHERE EXPENSIVE(salary, 30) > 2000 ORDER BY salary DESC) v
+         WHERE rownum <= 15",
+        |t| t.predicate_pullup = false,
+    );
+}
+
+#[test]
+fn pullup_improves_work_under_limit() {
+    let mut db = db_with_data(0);
+    let sql = "SELECT v.employee_name FROM
+                 (SELECT employee_name, salary FROM employees
+                  WHERE EXPENSIVE(salary, 200) > 2000 ORDER BY salary DESC) v
+               WHERE rownum <= 10";
+    let on = db.query(sql).unwrap();
+    db.config_mut().transforms.predicate_pullup = false;
+    let off = db.query(sql).unwrap();
+    assert_eq!(canon(&on.rows), canon(&off.rows));
+    assert!(
+        on.stats.work_units < off.stats.work_units,
+        "pullup should reduce work: {} vs {}",
+        on.stats.work_units,
+        off.stats.work_units
+    );
+}
+
+#[test]
+fn all_quantifier_with_nullable_lhs_not_unnested() {
+    // regression (found by fuzzing): `x > ALL (multi-table subquery)`
+    // with a nullable x must NOT unnest into an antijoin — NULL x makes
+    // the ALL comparison UNKNOWN (row filtered), but an antijoin would
+    // keep the row.
+    for seed in [0i64, 3, 9] {
+        let mut db = db_with_data(seed);
+        let sql = "SELECT e.emp_id FROM employees e WHERE e.salary > ALL \
+                   (SELECT j.emp_id FROM job_history j, departments d \
+                    WHERE j.dept_id = d.dept_id)"; // salary is nullable
+        let cb = db.query(sql).unwrap();
+        db.config_mut().cost_based = false;
+        db.config_mut().heuristic_unnest_merge = false;
+        db.config_mut().transforms = TransformSet {
+            unnest: false,
+            view_merge: false,
+            jppd: false,
+            setop_to_join: false,
+            group_by_placement: false,
+            predicate_pullup: false,
+            join_factorization: false,
+            or_expansion: false,
+        };
+        let reference = db.query(sql).unwrap();
+        assert_eq!(canon(&cb.rows), canon(&reference.rows), "seed {seed}");
+    }
+}
+
+#[test]
+fn all_quantifier_with_non_null_lhs_still_unnests() {
+    let mut db = db_with_data(0);
+    // emp_id is the NOT NULL primary key on both sides → unnestable
+    let sql = "SELECT e.emp_id FROM employees e WHERE e.emp_id > ALL \
+               (SELECT j.emp_id FROM job_history j, departments d \
+                WHERE j.dept_id = d.dept_id AND d.dept_id < 3)";
+    let plan = db.explain(sql).unwrap();
+    assert!(plan.contains("ANTI JOIN") || plan.contains("Anti"), "{plan}");
+}
