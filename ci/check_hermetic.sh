@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Hermeticity gate: the workspace must build from path dependencies only.
+#
+# `cargo metadata` lists every package in the resolved dependency graph;
+# packages that come from a registry or git remote carry a "source" field
+# ("registry+https://...", "git+https://..."), while in-tree path
+# dependencies have "source": null. Any non-null source is a build-time
+# download and fails this check.
+#
+# Kept free of jq so the gate itself stays dependency-free.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+meta=$(CARGO_NET_OFFLINE=true cargo metadata --format-version 1 --locked 2>/dev/null \
+    || CARGO_NET_OFFLINE=true cargo metadata --format-version 1)
+
+external=$(printf '%s' "$meta" \
+    | tr ',' '\n' \
+    | grep -o '"source":"[^"]*"' \
+    | grep -v '"source":""' \
+    || true)
+
+if [ -n "$external" ]; then
+    echo "ERROR: non-path dependencies found in the cargo metadata graph:" >&2
+    echo "$external" | sort -u >&2
+    echo "The build must stay hermetic: vendor the code into crates/ instead." >&2
+    exit 1
+fi
+
+echo "hermetic: OK (every dependency source in the graph is path-local)"

@@ -2,11 +2,11 @@
 //! multi-subquery query with the cut-off budget on vs off (results are
 //! identical; the cut-off only prunes doomed states early).
 
-use cbqt_bench::workload::{Family, WorkloadGen};
 use cbqt::SearchStrategy;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cbqt_bench::workload::{Family, WorkloadGen};
+use cbqt_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let mut gen = WorkloadGen::new(42);
     gen.scale = 0.2;
     let mut inst = gen.generate(Family::Unnest, 1).pop().unwrap();
@@ -22,5 +22,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+cbqt_testkit::bench_main!(bench);

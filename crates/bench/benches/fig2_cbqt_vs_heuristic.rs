@@ -1,10 +1,10 @@
-//! Criterion bench for Figure 2: a mixed-family batch executed under
+//! Bench for Figure 2: a mixed-family batch executed under
 //! heuristic-only vs cost-based transformation.
 
 use cbqt_bench::workload::WorkloadGen;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cbqt_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let mut gen = WorkloadGen::new(42);
     gen.scale = 0.15;
     let mut batch = gen.generate_mixed(8);
@@ -38,5 +38,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+cbqt_testkit::bench_main!(bench);

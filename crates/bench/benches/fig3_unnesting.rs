@@ -1,11 +1,11 @@
-//! Criterion bench for Figure 3: one fixed unnesting-family instance,
+//! Bench for Figure 3: one fixed unnesting-family instance,
 //! unnesting disabled vs cost-based (the full figure comes from
 //! `cargo run -p cbqt-bench --release --bin experiments -- fig3`).
 
 use cbqt_bench::workload::{Family, WorkloadGen};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cbqt_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let mut gen = WorkloadGen::new(6);
     gen.scale = 0.4;
     let mut inst = gen.generate(Family::Unnest, 1).pop().unwrap();
@@ -14,11 +14,14 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
     inst.db.config_mut().transforms.unnest = false;
     inst.db.config_mut().heuristic_unnest_merge = false;
-    g.bench_function("unnesting_disabled", |b| b.iter(|| inst.db.query(&sql).unwrap().rows.len()));
+    g.bench_function("unnesting_disabled", |b| {
+        b.iter(|| inst.db.query(&sql).unwrap().rows.len())
+    });
     *inst.db.config_mut() = Default::default();
-    g.bench_function("cost_based_unnesting", |b| b.iter(|| inst.db.query(&sql).unwrap().rows.len()));
+    g.bench_function("cost_based_unnesting", |b| {
+        b.iter(|| inst.db.query(&sql).unwrap().rows.len())
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+cbqt_testkit::bench_main!(bench);

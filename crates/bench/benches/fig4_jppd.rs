@@ -1,10 +1,10 @@
-//! Criterion bench for Figure 4: one fixed JPPD-family instance (a
+//! Bench for Figure 4: one fixed JPPD-family instance (a
 //! selective outer over an expensive view), JPPD disabled vs cost-based.
 
 use cbqt_bench::workload::{Family, WorkloadGen};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cbqt_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let mut gen = WorkloadGen::new(14);
     gen.scale = 0.4;
     let mut inst = gen.generate(Family::Jppd, 1).pop().unwrap();
@@ -12,11 +12,14 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_jppd");
     g.sample_size(20);
     inst.db.config_mut().transforms.jppd = false;
-    g.bench_function("jppd_disabled", |b| b.iter(|| inst.db.query(&sql).unwrap().rows.len()));
+    g.bench_function("jppd_disabled", |b| {
+        b.iter(|| inst.db.query(&sql).unwrap().rows.len())
+    });
     *inst.db.config_mut() = Default::default();
-    g.bench_function("cost_based_jppd", |b| b.iter(|| inst.db.query(&sql).unwrap().rows.len()));
+    g.bench_function("cost_based_jppd", |b| {
+        b.iter(|| inst.db.query(&sql).unwrap().rows.len())
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+cbqt_testkit::bench_main!(bench);

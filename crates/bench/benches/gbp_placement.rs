@@ -1,10 +1,10 @@
-//! Criterion bench for §4.3: group-by placement off vs on, on a high
+//! Bench for §4.3: group-by placement off vs on, on a high
 //! join-fan-out instance.
 
 use cbqt_bench::workload::{Family, WorkloadGen};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cbqt_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let mut gen = WorkloadGen::new(15);
     gen.scale = 0.4;
     let mut inst = gen.generate(Family::GroupByPlacement, 1).pop().unwrap();
@@ -12,11 +12,14 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("gbp_placement");
     g.sample_size(20);
     inst.db.config_mut().transforms.group_by_placement = false;
-    g.bench_function("gbp_off", |b| b.iter(|| inst.db.query(&sql).unwrap().rows.len()));
+    g.bench_function("gbp_off", |b| {
+        b.iter(|| inst.db.query(&sql).unwrap().rows.len())
+    });
     *inst.db.config_mut() = Default::default();
-    g.bench_function("gbp_on", |b| b.iter(|| inst.db.query(&sql).unwrap().rows.len()));
+    g.bench_function("gbp_on", |b| {
+        b.iter(|| inst.db.query(&sql).unwrap().rows.len())
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+cbqt_testkit::bench_main!(bench);

@@ -1,12 +1,12 @@
-//! Criterion bench for Table 1: optimization (not execution) of the Q1
+//! Bench for Table 1: optimization (not execution) of the Q1
 //! shape with cost-annotation reuse on vs off — the ablation for the
 //! §3.4.2 design decision.
 
-use cbqt_bench::workload::{Family, WorkloadGen};
 use cbqt::SearchStrategy;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cbqt_bench::workload::{Family, WorkloadGen};
+use cbqt_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let mut gen = WorkloadGen::new(42);
     gen.scale = 0.2;
     let mut inst = gen.generate(Family::Unnest, 1).pop().unwrap();
@@ -17,12 +17,9 @@ fn bench(c: &mut Criterion) {
         let cfg = inst.db.config_mut();
         cfg.search = SearchStrategy::Exhaustive;
         cfg.optimizer.reuse_annotations = reuse;
-        g.bench_function(name, |b| {
-            b.iter(|| inst.db.explain(&sql).unwrap().len())
-        });
+        g.bench_function(name, |b| b.iter(|| inst.db.explain(&sql).unwrap().len()));
     }
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+cbqt_testkit::bench_main!(bench);

@@ -1,9 +1,9 @@
-//! Criterion bench for Table 2: optimization time of the four search
+//! Bench for Table 2: optimization time of the four search
 //! strategies on the 3-table / 4-subquery query.
 
-use cbqt_bench::workload::{Family, WorkloadGen};
 use cbqt::SearchStrategy;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cbqt_bench::workload::{Family, WorkloadGen};
+use cbqt_testkit::bench::Harness;
 
 const SQL: &str = "SELECT e1.employee_name \
     FROM employees e1, job_history j, departments d0 \
@@ -20,7 +20,7 @@ const SQL: &str = "SELECT e1.employee_name \
           e1.emp_id IN (SELECT j2.emp_id FROM job_history j2, departments d2 \
                         WHERE j2.dept_id = d2.dept_id AND j2.start_date > 19950000)";
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let mut gen = WorkloadGen::new(42);
     gen.scale = 0.2;
     let mut inst = gen.generate(Family::Unnest, 1).pop().unwrap();
@@ -41,5 +41,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+cbqt_testkit::bench_main!(bench);

@@ -17,7 +17,13 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { which: "all".into(), n: 80, seed: 42, scale: 1.0, reps: 2 };
+    let mut args = Args {
+        which: "all".into(),
+        n: 80,
+        seed: 42,
+        scale: 1.0,
+        reps: 2,
+    };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {

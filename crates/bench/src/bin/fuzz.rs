@@ -4,10 +4,9 @@
 
 use cbqt::common::Value;
 use cbqt::{Database, SearchStrategy, TransformSet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cbqt_testkit::Rng;
 
-fn random_db(rng: &mut StdRng) -> Database {
+fn random_db(rng: &mut Rng) -> Database {
     let mut db = Database::new();
     db.execute_script(
         "CREATE TABLE locations (loc_id INT PRIMARY KEY, country_id VARCHAR(2) NOT NULL);
@@ -27,12 +26,19 @@ fn random_db(rng: &mut StdRng) -> Database {
     let nf = rng.gen_range(0.0..0.4);
     let mut rows = Vec::new();
     for l in 0..nloc {
-        rows.push(vec![Value::Int(l), Value::str(["US","UK","DE"][rng.gen_range(0..3)])]);
+        rows.push(vec![
+            Value::Int(l),
+            Value::str(["US", "UK", "DE"][rng.gen_range(0usize..3)]),
+        ]);
     }
     db.load_rows("locations", rows).unwrap();
     let mut rows = Vec::new();
     for d in 0..ndept {
-        rows.push(vec![Value::Int(d), Value::str(format!("d{d}")), Value::Int(rng.gen_range(0..nloc))]);
+        rows.push(vec![
+            Value::Int(d),
+            Value::str(format!("d{d}")),
+            Value::Int(rng.gen_range(0..nloc)),
+        ]);
     }
     db.load_rows("departments", rows).unwrap();
     let mut rows = Vec::new();
@@ -40,8 +46,16 @@ fn random_db(rng: &mut StdRng) -> Database {
         rows.push(vec![
             Value::Int(e),
             Value::str(format!("e{e}")),
-            if rng.gen_bool(nf) { Value::Null } else { Value::Int(rng.gen_range(0..ndept)) },
-            if rng.gen_bool(nf/2.0) { Value::Null } else { Value::Int(rng.gen_range(0..8000)) },
+            if rng.gen_bool(nf) {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(0..ndept))
+            },
+            if rng.gen_bool(nf / 2.0) {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(0..8000))
+            },
             Value::Int(rng.gen_range(0..nemp.max(1))),
         ]);
     }
@@ -51,19 +65,25 @@ fn random_db(rng: &mut StdRng) -> Database {
         rows.push(vec![
             Value::Int(rng.gen_range(0..nemp.max(1))),
             Value::str(format!("t{}", rng.gen_range(0..4))),
-            Value::Int(19_900_000 + rng.gen_range(0..50_000)),
-            if rng.gen_bool(nf) { Value::Null } else { Value::Int(rng.gen_range(0..ndept)) },
+            Value::Int(19_900_000 + rng.gen_range(0i64..50_000)),
+            if rng.gen_bool(nf) {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(0..ndept))
+            },
         ]);
     }
     db.load_rows("job_history", rows).unwrap();
-    if rng.gen_bool(0.7) { db.analyze().unwrap(); }
+    if rng.gen_bool(0.7) {
+        db.analyze().unwrap();
+    }
     db
 }
 
-fn random_query(rng: &mut StdRng) -> String {
+fn random_query(rng: &mut Rng) -> String {
     let sal = rng.gen_range(0..8000);
     let date = 19_900_000 + rng.gen_range(0..50_000);
-    let c = ["US","UK","DE"][rng.gen_range(0..3)];
+    let c = ["US", "UK", "DE"][rng.gen_range(0usize..3)];
     let k = rng.gen_range(0..20);
     match rng.gen_range(0..22) {
         0 => "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id)".to_string(),
@@ -92,32 +112,91 @@ fn random_query(rng: &mut StdRng) -> String {
 }
 
 fn canon(rows: &[Vec<Value>]) -> Vec<String> {
-    let mut v: Vec<String> = rows.iter()
-        .map(|r| r.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+    let mut v: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
         .collect();
     v.sort();
     v
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz [--iters N] [--seed S] [N]\n\
+         \n\
+         Runs N differential-fuzz rounds (default 300). Round i uses seed\n\
+         S + i (S defaults to 0), so any reported failure reproduces with\n\
+         `fuzz --iters 1 --seed <failing seed>`."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (u64, u64) {
+    let mut iters: u64 = 300;
+    let mut base_seed: u64 = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--iters" | "-n" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" | "-s" => {
+                base_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            // bare positional N, the pre-CLI invocation style
+            other => match other.parse() {
+                Ok(n) => iters = n,
+                Err(_) => usage(),
+            },
+        }
+    }
+    (iters, base_seed)
+}
+
 fn main() {
-    let rounds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let (rounds, base_seed) = parse_args();
     let mut failures = 0;
-    for seed in 0..rounds {
-        let mut rng = StdRng::seed_from_u64(seed);
+    for seed in base_seed..base_seed + rounds {
+        let mut rng = Rng::seed_from_u64(seed);
         let mut db = random_db(&mut rng);
         let sql = random_query(&mut rng);
         db.config_mut().cost_based = false;
         db.config_mut().transforms = TransformSet {
-            unnest: false, view_merge: false, jppd: false, setop_to_join: false,
-            group_by_placement: false, predicate_pullup: false,
-            join_factorization: false, or_expansion: false,
+            unnest: false,
+            view_merge: false,
+            jppd: false,
+            setop_to_join: false,
+            group_by_placement: false,
+            predicate_pullup: false,
+            join_factorization: false,
+            or_expansion: false,
         };
         db.config_mut().heuristic_unnest_merge = false;
         let reference = match db.query(&sql) {
             Ok(r) => canon(&r.rows),
-            Err(e) => { println!("seed {seed}: REF ERROR {e}\n{sql}"); failures += 1; continue; }
+            Err(e) => {
+                println!("seed {seed}: REF ERROR {e}\n{sql}");
+                failures += 1;
+                continue;
+            }
         };
-        for strategy in [SearchStrategy::Exhaustive, SearchStrategy::TwoPass, SearchStrategy::Iterative] {
+        for strategy in [
+            SearchStrategy::Exhaustive,
+            SearchStrategy::TwoPass,
+            SearchStrategy::Iterative,
+        ] {
             db.config_mut().cost_based = true;
             db.config_mut().transforms = TransformSet::default();
             db.config_mut().heuristic_unnest_merge = true;
@@ -126,12 +205,18 @@ fn main() {
                 Ok(r) => {
                     let got = canon(&r.rows);
                     if got != reference {
-                        println!("seed {seed} {strategy:?}: MISMATCH ({} vs {} rows)\n{sql}",
-                                 reference.len(), got.len());
+                        println!(
+                            "seed {seed} {strategy:?}: MISMATCH ({} vs {} rows)\n{sql}",
+                            reference.len(),
+                            got.len()
+                        );
                         failures += 1;
                     }
                 }
-                Err(e) => { println!("seed {seed} {strategy:?}: ERROR {e}\n{sql}"); failures += 1; }
+                Err(e) => {
+                    println!("seed {seed} {strategy:?}: ERROR {e}\n{sql}");
+                    failures += 1;
+                }
             }
         }
     }

@@ -68,7 +68,12 @@ fn measure(db: &mut Database, sql: &str, reps: usize) -> (Measurement, Vec<Strin
 fn canon(rows: &[Vec<Value>]) -> Vec<String> {
     let mut v: Vec<String> = rows
         .iter()
-        .map(|r| r.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+        .map(|r| {
+            r.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
         .collect();
     v.sort();
     v
@@ -117,7 +122,10 @@ impl ExperimentReport {
         // rank by baseline expense ("top N longest running without the
         // transformation", as in the paper)
         results.sort_by(|a, b| {
-            b.base.total_units().partial_cmp(&a.base.total_units()).unwrap()
+            b.base
+                .total_units()
+                .partial_cmp(&a.base.total_units())
+                .unwrap()
         });
         let n = results.len().max(1);
         let mut buckets = Vec::new();
@@ -134,8 +142,11 @@ impl ExperimentReport {
         let base: f64 = results.iter().map(|r| r.base.total_units()).sum();
         let treat: f64 = results.iter().map(|r| r.treat.total_units()).sum();
         let avg_improvement_pct = (base / treat.max(1e-9) - 1.0) * 100.0;
-        let degraded: Vec<f64> =
-            results.iter().map(|r| r.improvement_pct()).filter(|&i| i < -1.0).collect();
+        let degraded: Vec<f64> = results
+            .iter()
+            .map(|r| r.improvement_pct())
+            .filter(|&i| i < -1.0)
+            .collect();
         let degraded_count = degraded.len();
         let degraded_avg_pct = if degraded.is_empty() {
             0.0
@@ -210,7 +221,8 @@ fn run_paired(
         treatment(&mut inst.db);
         let (treat, treat_rows) = measure(&mut inst.db, &inst.sql, reps);
         assert_eq!(
-            base_rows, treat_rows,
+            base_rows,
+            treat_rows,
             "instance {} ({}) diverged between configurations:\n{}",
             inst.id,
             inst.family.name(),
@@ -301,8 +313,16 @@ pub fn run_gbp(seed: u64, n: usize, scale: f64, reps: usize) -> (ExperimentRepor
         default_config,
         reps,
     );
-    let over_200 = report.results.iter().filter(|r| r.improvement_pct() > 200.0).count();
-    let over_1000 = report.results.iter().filter(|r| r.improvement_pct() > 1000.0).count();
+    let over_200 = report
+        .results
+        .iter()
+        .filter(|r| r.improvement_pct() > 200.0)
+        .count();
+    let over_1000 = report
+        .results
+        .iter()
+        .filter(|r| r.improvement_pct() > 1000.0)
+        .count();
     let extra = format!(
         "queries improved by more than 200%: {over_200}\n\
          queries improved by more than 1000%: {over_1000}\n"
@@ -347,7 +367,11 @@ pub fn run_table1(seed: u64) -> String {
         with_reuse.stats.states_explored
     )
     .unwrap();
-    writeln!(out, "  configuration          query blocks optimized   reused from annotations").unwrap();
+    writeln!(
+        out,
+        "  configuration          query blocks optimized   reused from annotations"
+    )
+    .unwrap();
     writeln!(
         out,
         "  without reuse          {:>6}                   {:>6}",
@@ -438,7 +462,11 @@ pub fn run_table2(seed: u64, reps: usize) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "\npaper: 0.24s/1, 0.33s/2, 0.61s/5, 0.97s/16 (on 2006 hardware).").unwrap();
+    writeln!(
+        out,
+        "\npaper: 0.24s/1, 0.33s/2, 0.61s/5, 0.97s/16 (on 2006 hardware)."
+    )
+    .unwrap();
     out
 }
 

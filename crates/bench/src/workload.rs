@@ -3,8 +3,7 @@
 
 use cbqt::common::Value;
 use cbqt::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cbqt_testkit::Rng;
 
 /// Query families, named for the transformation they exercise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,7 +67,7 @@ pub struct Instance {
 
 /// Deterministic workload generator.
 pub struct WorkloadGen {
-    rng: StdRng,
+    rng: Rng,
     next_id: usize,
     /// Scale multiplier on table sizes (1.0 = the default laptop-sized
     /// instances).
@@ -77,7 +76,11 @@ pub struct WorkloadGen {
 
 impl WorkloadGen {
     pub fn new(seed: u64) -> WorkloadGen {
-        WorkloadGen { rng: StdRng::seed_from_u64(seed), next_id: 0, scale: 1.0 }
+        WorkloadGen {
+            rng: Rng::seed_from_u64(seed),
+            next_id: 0,
+            scale: 1.0,
+        }
     }
 
     /// Generates `n` instances of one family.
@@ -88,7 +91,9 @@ impl WorkloadGen {
     /// Generates a mixed workload covering all families.
     pub fn generate_mixed(&mut self, n: usize) -> Vec<Instance> {
         let fams = Family::all();
-        (0..n).map(|i| self.instance(fams[i % fams.len()])).collect()
+        (0..n)
+            .map(|i| self.instance(fams[i % fams.len()]))
+            .collect()
     }
 
     fn instance(&mut self, family: Family) -> Instance {
@@ -111,7 +116,7 @@ impl WorkloadGen {
         };
         let with_corr_index = self.rng.gen_bool(0.5);
         let outer_filter_sel = *[0.005, 0.02, 0.1, 0.3, 0.8]
-            .get(self.rng.gen_range(0..5))
+            .get(self.rng.gen_range(0usize..5))
             .unwrap();
         let null_frac = self.rng.gen_range(0.0..0.15);
         let salary_max = 10_000i64;
@@ -129,10 +134,12 @@ impl WorkloadGen {
         )
         .expect("schema");
         if with_corr_index {
-            db.execute("CREATE INDEX i_emp_dept ON employees (dept_id)").unwrap();
+            db.execute("CREATE INDEX i_emp_dept ON employees (dept_id)")
+                .unwrap();
         }
         if self.rng.gen_bool(0.5) {
-            db.execute("CREATE INDEX i_jh_dept ON job_history (dept_id)").unwrap();
+            db.execute("CREATE INDEX i_jh_dept ON job_history (dept_id)")
+                .unwrap();
         }
         let countries = ["US", "UK", "DE", "JP"];
         let mut rows = Vec::new();
@@ -172,7 +179,7 @@ impl WorkloadGen {
             rows.push(vec![
                 Value::Int(self.rng.gen_range(0..jh_emp_range)),
                 Value::str(format!("t{}", j % 9)),
-                Value::Int(19_900_000 + self.rng.gen_range(0..95_000)),
+                Value::Int(19_900_000 + self.rng.gen_range(0i64..95_000)),
                 Value::Int(self.rng.gen_range(0..n_dept)),
             ]);
         }
@@ -187,7 +194,13 @@ impl WorkloadGen {
             "emp={n_emp} dept={n_dept} jh={n_jh} corr_index={with_corr_index} \
              outer_sel={outer_filter_sel} nulls={null_frac:.2}"
         );
-        Instance { id, family, db, sql, traits_desc }
+        Instance {
+            id,
+            family,
+            db,
+            sql,
+            traits_desc,
+        }
     }
 
     fn query_for(&mut self, family: Family, sal_cut: i64, country: &str) -> String {
@@ -269,7 +282,11 @@ impl WorkloadGen {
                  FROM job_history j, departments d WHERE j.dept_id = d.dept_id"
             ),
             Family::SetOp => {
-                let op = if self.rng.gen_bool(0.5) { "MINUS" } else { "INTERSECT" };
+                let op = if self.rng.gen_bool(0.5) {
+                    "MINUS"
+                } else {
+                    "INTERSECT"
+                };
                 format!(
                     "SELECT d.dept_id FROM departments d \
                      {op} \
@@ -318,9 +335,10 @@ mod tests {
         g.scale = 0.1; // keep the test fast
         for &f in Family::all() {
             let mut inst = g.generate(f, 1).pop().unwrap();
-            let r = inst.db.query(&inst.sql).unwrap_or_else(|e| {
-                panic!("family {} failed: {e}\n{}", f.name(), inst.sql)
-            });
+            let r = inst
+                .db
+                .query(&inst.sql)
+                .unwrap_or_else(|e| panic!("family {} failed: {e}\n{}", f.name(), inst.sql));
             // results must also be stable vs heuristic mode
             inst.db.config_mut().cost_based = false;
             let h = inst.db.query(&inst.sql).unwrap();
@@ -333,8 +351,7 @@ mod tests {
         let mut g = WorkloadGen::new(1);
         g.scale = 0.05;
         let batch = g.generate_mixed(8);
-        let fams: std::collections::HashSet<&str> =
-            batch.iter().map(|i| i.family.name()).collect();
+        let fams: std::collections::HashSet<&str> = batch.iter().map(|i| i.family.name()).collect();
         assert_eq!(fams.len(), 8);
     }
 }

@@ -68,7 +68,9 @@ pub struct Table {
 impl Table {
     /// Finds a column ordinal by (case-insensitive) name.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// The primary-key column set, if declared.
@@ -152,7 +154,9 @@ impl Catalog {
                 check(&fk.columns)?;
                 let parent = self.table(fk.parent)?;
                 if fk.parent_columns.iter().any(|&c| c >= parent.columns.len()) {
-                    return Err(Error::catalog("foreign key references unknown parent column"));
+                    return Err(Error::catalog(
+                        "foreign key references unknown parent column",
+                    ));
                 }
                 if fk.columns.len() != fk.parent_columns.len() {
                     return Err(Error::catalog("foreign key arity mismatch"));
@@ -170,7 +174,11 @@ impl Catalog {
         columns: Vec<usize>,
         unique: bool,
     ) -> Result<IndexId> {
-        if self.indexes.iter().any(|i| i.name.eq_ignore_ascii_case(name)) {
+        if self
+            .indexes
+            .iter()
+            .any(|i| i.name.eq_ignore_ascii_case(name))
+        {
             return Err(Error::catalog(format!("index {name} already exists")));
         }
         let t = self.table(table)?;
@@ -178,7 +186,13 @@ impl Catalog {
             return Err(Error::catalog("index references unknown column"));
         }
         let id = IndexId(self.indexes.len() as u32);
-        self.indexes.push(Index { id, name: name.to_string(), table, columns, unique });
+        self.indexes.push(Index {
+            id,
+            name: name.to_string(),
+            table,
+            columns,
+            unique,
+        });
         Ok(id)
     }
 
@@ -195,7 +209,9 @@ impl Catalog {
     }
 
     pub fn table_by_name(&self, name: &str) -> Option<&Table> {
-        self.by_name.get(&name.to_ascii_lowercase()).map(|id| &self.tables[id.0 as usize])
+        self.by_name
+            .get(&name.to_ascii_lowercase())
+            .map(|id| &self.tables[id.0 as usize])
     }
 
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
@@ -229,7 +245,8 @@ impl Catalog {
     /// True if there is any index whose *leading* column is `col` — the
     /// condition the paper's pre-10g heuristic unnesting rule checks.
     pub fn has_index_with_leading(&self, table: TableId, col: usize) -> bool {
-        self.indexes_on(table).any(|ix| ix.columns.first() == Some(&col))
+        self.indexes_on(table)
+            .any(|ix| ix.columns.first() == Some(&col))
     }
 }
 
@@ -239,7 +256,11 @@ mod tests {
     use cbqt_common::DataType;
 
     fn col(name: &str) -> Column {
-        Column { name: name.into(), data_type: DataType::Int, not_null: false }
+        Column {
+            name: name.into(),
+            data_type: DataType::Int,
+            not_null: false,
+        }
     }
 
     fn sample() -> (Catalog, TableId, TableId) {

@@ -45,13 +45,20 @@ impl ColumnStats {
                 return s;
             }
         }
-        match (self.min.as_ref().and_then(|v| v.as_f64()), self.max.as_ref().and_then(|v| v.as_f64()), value.as_f64())
-        {
+        match (
+            self.min.as_ref().and_then(|v| v.as_f64()),
+            self.max.as_ref().and_then(|v| v.as_f64()),
+            value.as_f64(),
+        ) {
             (Some(lo), Some(hi), Some(v)) if hi > lo => {
                 let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
                 let s = if op_lt { frac } else { 1.0 - frac };
                 // nudge for inclusivity on discrete domains
-                let s = if inclusive { s + 1.0 / self.ndv.max(1) as f64 } else { s };
+                let s = if inclusive {
+                    s + 1.0 / self.ndv.max(1) as f64
+                } else {
+                    s
+                };
                 s.clamp(0.0, 1.0)
             }
             _ => 0.33, // the classic System-R default for an unknown range
@@ -87,7 +94,12 @@ impl Histogram {
             }
             buckets[b] += 1;
         }
-        Some(Histogram { lo, hi, buckets, total: vals.len() as u64 })
+        Some(Histogram {
+            lo,
+            hi,
+            buckets,
+            total: vals.len() as u64,
+        })
     }
 
     /// Selectivity of equality against this histogram (approximated as
@@ -155,13 +167,25 @@ mod tests {
 
     #[test]
     fn eq_selectivity_uses_ndv() {
-        let cs = ColumnStats { ndv: 10, nulls: 0, min: None, max: None, histogram: None };
+        let cs = ColumnStats {
+            ndv: 10,
+            nulls: 0,
+            min: None,
+            max: None,
+            histogram: None,
+        };
         assert!((cs.eq_selectivity(100, None) - 0.1).abs() < 1e-9);
     }
 
     #[test]
     fn eq_selectivity_accounts_for_nulls() {
-        let cs = ColumnStats { ndv: 10, nulls: 50, min: None, max: None, histogram: None };
+        let cs = ColumnStats {
+            ndv: 10,
+            nulls: 50,
+            min: None,
+            max: None,
+            histogram: None,
+        };
         assert!((cs.eq_selectivity(100, None) - 0.05).abs() < 1e-9);
     }
 
@@ -206,7 +230,9 @@ mod tests {
     #[test]
     fn histogram_skewed_range() {
         // 90% of the data below 10, the rest spread to 100
-        let vals = (0..900).map(|i| (i % 10) as f64).chain((0..100).map(|i| 10.0 + i as f64 * 0.9));
+        let vals = (0..900)
+            .map(|i| (i % 10) as f64)
+            .chain((0..100).map(|i| 10.0 + i as f64 * 0.9));
         let h = Histogram::build(vals, 20).unwrap();
         let s = h.range_selectivity(&Value::Int(10), true).unwrap();
         assert!(s > 0.8, "skew should be visible: {s}");

@@ -79,8 +79,14 @@ mod tests {
             Error::parse("unexpected token").to_string(),
             "parse error: unexpected token"
         );
-        assert_eq!(Error::execution("div by zero").to_string(), "execution error: div by zero");
-        assert_eq!(Error::unsupported("MODEL clause").to_string(), "unsupported: MODEL clause");
+        assert_eq!(
+            Error::execution("div by zero").to_string(),
+            "execution error: div by zero"
+        );
+        assert_eq!(
+            Error::unsupported("MODEL clause").to_string(),
+            "unsupported: MODEL clause"
+        );
     }
 
     #[test]

@@ -204,8 +204,11 @@ impl Value {
             return Ok(Value::Null);
         }
         let (a, b) = (
-            self.as_f64().ok_or_else(|| Error::execution("non-numeric operand to /"))?,
-            other.as_f64().ok_or_else(|| Error::execution("non-numeric operand to /"))?,
+            self.as_f64()
+                .ok_or_else(|| Error::execution("non-numeric operand to /"))?,
+            other
+                .as_f64()
+                .ok_or_else(|| Error::execution("non-numeric operand to /"))?,
         );
         if b == 0.0 {
             return Err(Error::execution("division by zero"));
@@ -346,9 +349,18 @@ mod tests {
 
     #[test]
     fn sql_cmp_cross_numeric() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.5)), Some(Ordering::Less));
-        assert_eq!(Value::Double(3.0).sql_cmp(&Value::Int(2)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Double(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Double(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Double(3.0).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -382,12 +394,18 @@ mod tests {
 
     #[test]
     fn arithmetic_int_and_mixed() {
-        assert_eq!(Value::Int(2).numeric_add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            Value::Int(2).numeric_add(&Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
         assert_eq!(
             Value::Int(2).numeric_add(&Value::Double(0.5)).unwrap(),
             Value::Double(2.5)
         );
-        assert_eq!(Value::Int(7).numeric_div(&Value::Int(2)).unwrap(), Value::Double(3.5));
+        assert_eq!(
+            Value::Int(7).numeric_div(&Value::Int(2)).unwrap(),
+            Value::Double(3.5)
+        );
     }
 
     #[test]

@@ -2,24 +2,26 @@
 //! consistency, three-valued logic, arithmetic NULL propagation.
 
 use cbqt_common::{Truth, Value};
-use proptest::prelude::*;
+use cbqt_testkit::prop::{any_bool, any_i64, just, string_of, vec_of, SBox, Strategy, ALPHA_LOWER};
+use cbqt_testkit::{one_of, props};
 use std::cmp::Ordering;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Int),
+fn arb_value() -> SBox<Value> {
+    one_of![
+        just(Value::Null),
+        any_i64().prop_map(Value::Int),
         (-1.0e12..1.0e12f64).prop_map(Value::Double),
-        "[a-z]{0,8}".prop_map(Value::str),
-        any::<bool>().prop_map(Value::Bool),
-        (-100000..100000i32).prop_map(Value::Date),
+        string_of(ALPHA_LOWER, 0..=8).prop_map(Value::str),
+        any_bool().prop_map(Value::Bool),
+        (-100_000..100_000i32).prop_map(Value::Date),
     ]
+    .boxed()
 }
 
-fn arb_truth() -> impl Strategy<Value = Truth> {
-    prop_oneof![Just(Truth::True), Just(Truth::False), Just(Truth::Unknown)]
+fn arb_truth() -> SBox<Truth> {
+    one_of![just(Truth::True), just(Truth::False), just(Truth::Unknown)].boxed()
 }
 
 fn hash_of(v: &Value) -> u64 {
@@ -28,78 +30,70 @@ fn hash_of(v: &Value) -> u64 {
     h.finish()
 }
 
-proptest! {
-    #[test]
+props! {
     fn total_cmp_is_total_order(a in arb_value(), b in arb_value(), c in arb_value()) {
         // antisymmetry
         let ab = a.total_cmp(&b);
         let ba = b.total_cmp(&a);
-        prop_assert_eq!(ab, ba.reverse());
+        assert_eq!(ab, ba.reverse());
         // transitivity
         if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+            assert_ne!(a.total_cmp(&c), Ordering::Greater);
         }
         // reflexivity
-        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+        assert_eq!(a.total_cmp(&a), Ordering::Equal);
     }
 
-    #[test]
     fn eq_implies_same_hash(a in arb_value(), b in arb_value()) {
         if a == b {
-            prop_assert_eq!(hash_of(&a), hash_of(&b));
+            assert_eq!(hash_of(&a), hash_of(&b));
         }
     }
 
-    #[test]
     fn sql_eq_none_iff_null(a in arb_value(), b in arb_value()) {
         if a.is_null() || b.is_null() {
-            prop_assert_eq!(a.sql_cmp(&b), None);
+            assert_eq!(a.sql_cmp(&b), None);
         }
         // and symmetric when defined
         if let Some(t) = a.sql_eq(&b) {
-            prop_assert_eq!(b.sql_eq(&a), Some(t));
+            assert_eq!(b.sql_eq(&a), Some(t));
         }
     }
 
-    #[test]
     fn null_safe_eq_is_reflexive_and_symmetric(a in arb_value(), b in arb_value()) {
-        prop_assert!(a.null_safe_eq(&a));
-        prop_assert_eq!(a.null_safe_eq(&b), b.null_safe_eq(&a));
+        assert!(a.null_safe_eq(&a));
+        assert_eq!(a.null_safe_eq(&b), b.null_safe_eq(&a));
     }
 
-    #[test]
     fn arithmetic_null_propagates(a in arb_value()) {
-        prop_assert!(Value::Null.numeric_add(&a).unwrap().is_null());
-        prop_assert!(a.numeric_mul(&Value::Null).unwrap().is_null());
-        prop_assert!(Value::Null.numeric_sub(&a).unwrap().is_null());
+        assert!(Value::Null.numeric_add(&a).unwrap().is_null());
+        assert!(a.numeric_mul(&Value::Null).unwrap().is_null());
+        assert!(Value::Null.numeric_sub(&a).unwrap().is_null());
     }
 
-    #[test]
     fn int_add_commutes(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
         let x = Value::Int(a).numeric_add(&Value::Int(b)).unwrap();
         let y = Value::Int(b).numeric_add(&Value::Int(a)).unwrap();
-        prop_assert_eq!(x, y);
+        assert_eq!(x, y);
     }
 
-    #[test]
     fn truth_de_morgan(a in arb_truth(), b in arb_truth()) {
-        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
-        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+        assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        assert_eq!(a.or(b).not(), a.not().and(b.not()));
     }
 
-    #[test]
     fn truth_and_or_commute(a in arb_truth(), b in arb_truth()) {
-        prop_assert_eq!(a.and(b), b.and(a));
-        prop_assert_eq!(a.or(b), b.or(a));
+        assert_eq!(a.and(b), b.and(a));
+        assert_eq!(a.or(b), b.or(a));
     }
 
-    #[test]
-    fn sort_with_total_cmp_never_panics(mut vs in proptest::collection::vec(arb_value(), 0..40)) {
+    fn sort_with_total_cmp_never_panics(vs in vec_of(arb_value(), 0..=40)) {
+        let mut vs = vs;
         vs.sort_by(|a, b| a.total_cmp(b));
         // nulls must be a suffix
         let first_null = vs.iter().position(Value::is_null);
         if let Some(i) = first_null {
-            prop_assert!(vs[i..].iter().all(Value::is_null));
+            assert!(vs[i..].iter().all(Value::is_null));
         }
     }
 }

@@ -245,7 +245,10 @@ impl Database {
     fn optimize(&self, tree: &QueryTree) -> Result<CbqtOutcome> {
         // dynamic sampling (§3.4.4): tables without statistics are sized
         // by probing storage, with results cached across optimizer calls
-        let sampler = StorageSampler { catalog: &self.catalog, storage: &self.storage };
+        let sampler = StorageSampler {
+            catalog: &self.catalog,
+            storage: &self.storage,
+        };
         optimize_query_with_sampler(
             tree,
             &self.catalog,
@@ -332,7 +335,11 @@ impl Database {
                         cols.iter().map(|c| col_index(c)).collect::<Result<_>>()?;
                     constraints.push(Constraint::Unique(idx));
                 }
-                ast::TableConstraint::ForeignKey { columns: cols, parent, parent_columns } => {
+                ast::TableConstraint::ForeignKey {
+                    columns: cols,
+                    parent,
+                    parent_columns,
+                } => {
                     let parent_t = self
                         .catalog
                         .table_by_name(parent)
@@ -340,9 +347,9 @@ impl Database {
                     let pidx: Vec<usize> = parent_columns
                         .iter()
                         .map(|c| {
-                            parent_t.column_index(c).ok_or_else(|| {
-                                Error::catalog(format!("unknown parent column {c}"))
-                            })
+                            parent_t
+                                .column_index(c)
+                                .ok_or_else(|| Error::catalog(format!("unknown parent column {c}")))
                         })
                         .collect::<Result<_>>()?;
                     let idx: Vec<usize> =
@@ -394,7 +401,9 @@ impl Database {
                     .ok_or_else(|| Error::catalog(format!("unknown column {c}")))
             })
             .collect::<Result<_>>()?;
-        let ix = self.catalog.add_index(&ci.name, tid, cols.clone(), ci.unique)?;
+        let ix = self
+            .catalog
+            .add_index(&ci.name, tid, cols.clone(), ci.unique)?;
         self.storage.build_index(ix, tid, cols)?;
         Ok(())
     }
@@ -435,7 +444,10 @@ impl Database {
 fn eval_const(e: &ast::Expr) -> Result<Value> {
     match e {
         ast::Expr::Literal(v) => Ok(v.clone()),
-        ast::Expr::Unary { op: ast::UnOp::Neg, expr } => {
+        ast::Expr::Unary {
+            op: ast::UnOp::Neg,
+            expr,
+        } => {
             let v = eval_const(expr)?;
             match v {
                 Value::Int(i) => Ok(Value::Int(-i)),
@@ -479,7 +491,11 @@ mod tests {
         for i in 0..100i64 {
             emp_rows.push(vec![
                 Value::Int(i),
-                if i == 99 { Value::Null } else { Value::Int(i % 10) },
+                if i == 99 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 10)
+                },
                 Value::Int(1000 + i * 10),
             ]);
         }
@@ -555,7 +571,9 @@ mod tests {
     #[test]
     fn explain_statement_via_sql() {
         let mut db = demo_db();
-        let r = db.query("EXPLAIN SELECT emp_id FROM employees WHERE dept_id = 3").unwrap();
+        let r = db
+            .query("EXPLAIN SELECT emp_id FROM employees WHERE dept_id = 3")
+            .unwrap();
         assert_eq!(r.columns, vec!["PLAN"]);
         assert!(!r.rows.is_empty());
     }
@@ -581,6 +599,8 @@ mod tests {
     #[test]
     fn duplicate_index_rejected() {
         let mut db = demo_db();
-        assert!(db.execute("CREATE INDEX i_emp_dept ON employees (salary)").is_err());
+        assert!(db
+            .execute("CREATE INDEX i_emp_dept ON employees (salary)")
+            .is_err());
     }
 }

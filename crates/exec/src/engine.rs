@@ -82,7 +82,9 @@ impl<'a> Engine<'a> {
         let iters = (units.max(0.0) * 25.0) as u64;
         let mut x: u64 = 0x9E3779B97F4A7C15;
         for _ in 0..iters {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
         std::hint::black_box(x);
     }
@@ -107,7 +109,9 @@ impl<'a> Engine<'a> {
         }
         self.cache_misses.set(self.cache_misses.get() + 1);
         let rows = Rc::new(self.execute_block(plan, binds)?);
-        self.subq_cache.borrow_mut().insert(cache_key, Rc::clone(&rows));
+        self.subq_cache
+            .borrow_mut()
+            .insert(cache_key, Rc::clone(&rows));
         Ok(rows)
     }
 
@@ -127,7 +131,9 @@ impl<'a> Engine<'a> {
             }
         }
         let rc = Rc::new(outer);
-        self.outer_cols.borrow_mut().insert(plan.block, Rc::clone(&rc));
+        self.outer_cols
+            .borrow_mut()
+            .insert(plan.block, Rc::clone(&rc));
         rc
     }
 
@@ -272,8 +278,10 @@ impl<'a> Engine<'a> {
             let mut kept = Vec::new();
             for r in rows {
                 self.add_work(weights::DEDUP);
-                let key: Vec<Value> =
-                    keys.iter().map(|e| base_ctx.eval(e, &r)).collect::<Result<_>>()?;
+                let key: Vec<Value> = keys
+                    .iter()
+                    .map(|e| base_ctx.eval(e, &r))
+                    .collect::<Result<_>>()?;
                 if seen.insert(key) {
                     kept.push(r);
                 }
@@ -312,8 +320,11 @@ impl<'a> Engine<'a> {
         let mut out = Vec::with_capacity(rows.len());
         for r in &rows {
             self.add_work(weights::ROW);
-            let proj: Row =
-                sp.select.iter().map(|e| base_ctx.eval(e, r)).collect::<Result<_>>()?;
+            let proj: Row = sp
+                .select
+                .iter()
+                .map(|e| base_ctx.eval(e, r))
+                .collect::<Result<_>>()?;
             out.push(proj);
         }
         Ok(out)
@@ -355,11 +366,15 @@ impl<'a> Engine<'a> {
                     Some(e) => e,
                     None => {
                         order.push(key.clone());
-                        groups.entry(key.clone()).or_insert((r.clone(), make_accs()?))
+                        groups
+                            .entry(key.clone())
+                            .or_insert((r.clone(), make_accs()?))
                     }
                 };
                 for (acc, agg) in entry.1.iter_mut().zip(sp.aggs.iter()) {
-                    let QExpr::Agg { arg, .. } = agg else { unreachable!() };
+                    let QExpr::Agg { arg, .. } = agg else {
+                        unreachable!()
+                    };
                     let v = match arg {
                         Some(a) => ctx.eval(a, r)?,
                         None => Value::Int(1),
@@ -412,9 +427,17 @@ impl<'a> Engine<'a> {
                 self.add_work(weights::ROW);
                 Ok(vec![Vec::new()])
             }
-            PlanNode::ScanBase { table, refid, width, access, filter } => {
-                let layout =
-                    Layout { slots: vec![(*refid, 0, *width)], width: *width };
+            PlanNode::ScanBase {
+                table,
+                refid,
+                width,
+                access,
+                filter,
+            } => {
+                let layout = Layout {
+                    slots: vec![(*refid, 0, *width)],
+                    width: *width,
+                };
                 let ctx = EvalCtx {
                     engine: self,
                     layout: &layout,
@@ -454,7 +477,10 @@ impl<'a> Engine<'a> {
                         self.add_work(weights::INDEX_PROBE);
                         // key expressions reference only outer bindings
                         let empty = Layout::default();
-                        let kctx = EvalCtx { layout: &empty, ..ctx_clone(&ctx) };
+                        let kctx = EvalCtx {
+                            layout: &empty,
+                            ..ctx_clone(&ctx)
+                        };
                         let keyvals: Vec<Value> = key
                             .iter()
                             .map(|e| kctx.eval(e, &[]))
@@ -482,7 +508,10 @@ impl<'a> Engine<'a> {
                     AccessPath::IndexRange { index, lo, hi } => {
                         self.add_work(weights::INDEX_PROBE);
                         let empty = Layout::default();
-                        let kctx = EvalCtx { layout: &empty, ..ctx_clone(&ctx) };
+                        let kctx = EvalCtx {
+                            layout: &empty,
+                            ..ctx_clone(&ctx)
+                        };
                         let lo_v = match lo {
                             Some((e, inc)) => {
                                 let v = kctx.eval(e, &[])?;
@@ -516,9 +545,18 @@ impl<'a> Engine<'a> {
                 }
                 Ok(out)
             }
-            PlanNode::ScanView { refid, width, plan, filter, .. } => {
+            PlanNode::ScanView {
+                refid,
+                width,
+                plan,
+                filter,
+                ..
+            } => {
                 let rows = self.execute_cached(plan, binds)?;
-                let layout = Layout { slots: vec![(*refid, 0, *width)], width: *width };
+                let layout = Layout {
+                    slots: vec![(*refid, 0, *width)],
+                    width: *width,
+                };
                 let ctx = EvalCtx {
                     engine: self,
                     layout: &layout,
@@ -546,9 +584,16 @@ impl<'a> Engine<'a> {
                 }
                 Ok(out)
             }
-            PlanNode::Join { left, right, kind, method, equi, residual, lateral, .. } => {
-                self.exec_join(left, right, *kind, *method, equi, residual, *lateral, binds)
-            }
+            PlanNode::Join {
+                left,
+                right,
+                kind,
+                method,
+                equi,
+                residual,
+                lateral,
+                ..
+            } => self.exec_join(left, right, *kind, *method, equi, residual, *lateral, binds),
         }
     }
 
@@ -582,12 +627,8 @@ impl<'a> Engine<'a> {
                 let rctx = self.simple_ctx_b(&rlayout_node, &b2);
                 let mut matched = false;
                 for rrow in &rrows {
-                    self.add_work(
-                        (equi.len() + residual.len()).max(1) as f64 * weights::PRED,
-                    );
-                    if !self.pair_matches(
-                        &lctx, &rctx, &cctx, lrow, rrow, equi, residual,
-                    )? {
+                    self.add_work((equi.len() + residual.len()).max(1) as f64 * weights::PRED);
+                    if !self.pair_matches(&lctx, &rctx, &cctx, lrow, rrow, equi, residual)? {
                         continue;
                     }
                     matched = true;
@@ -632,15 +673,15 @@ impl<'a> Engine<'a> {
         let rctx = self.simple_ctx(&rlayout_node, binds);
 
         match method {
-            JoinMethod::Hash => {
-                self.hash_join(&lrows, &rrows, kind, equi, residual, &lctx, &rctx, &cctx, rwidth)
-            }
+            JoinMethod::Hash => self.hash_join(
+                &lrows, &rrows, kind, equi, residual, &lctx, &rctx, &cctx, rwidth,
+            ),
             JoinMethod::Merge => {
                 self.merge_join(&lrows, &rrows, equi, residual, &lctx, &rctx, &cctx)
             }
-            JoinMethod::NestedLoop => {
-                self.nl_join(&lrows, &rrows, kind, equi, residual, &lctx, &rctx, &cctx, rwidth)
-            }
+            JoinMethod::NestedLoop => self.nl_join(
+                &lrows, &rrows, kind, equi, residual, &lctx, &rctx, &cctx, rwidth,
+            ),
         }
     }
 
@@ -708,8 +749,10 @@ impl<'a> Engine<'a> {
         let mut right_has_null_key = false;
         for (i, r) in rrows.iter().enumerate() {
             self.add_work(weights::HASH_BUILD);
-            let key: Vec<Value> =
-                equi.iter().map(|(_, re)| rctx.eval(re, r)).collect::<Result<_>>()?;
+            let key: Vec<Value> = equi
+                .iter()
+                .map(|(_, re)| rctx.eval(re, r))
+                .collect::<Result<_>>()?;
             if key.iter().any(Value::is_null) {
                 right_has_null_key = true;
                 continue;
@@ -719,8 +762,10 @@ impl<'a> Engine<'a> {
         let mut out = Vec::new();
         for lrow in lrows {
             self.add_work(weights::HASH_PROBE);
-            let key: Vec<Value> =
-                equi.iter().map(|(le, _)| lctx.eval(le, lrow)).collect::<Result<_>>()?;
+            let key: Vec<Value> = equi
+                .iter()
+                .map(|(le, _)| lctx.eval(le, lrow))
+                .collect::<Result<_>>()?;
             let null_key = key.iter().any(Value::is_null);
             let hits = if null_key { None } else { table.get(&key) };
             let mut matched = false;
@@ -792,8 +837,10 @@ impl<'a> Engine<'a> {
             .iter()
             .enumerate()
             .map(|(i, r)| {
-                let k: Vec<Value> =
-                    equi.iter().map(|(le, _)| lctx.eval(le, r)).collect::<Result<_>>()?;
+                let k: Vec<Value> = equi
+                    .iter()
+                    .map(|(le, _)| lctx.eval(le, r))
+                    .collect::<Result<_>>()?;
                 Ok((k, i))
             })
             .collect::<Result<_>>()?;
@@ -801,8 +848,10 @@ impl<'a> Engine<'a> {
             .iter()
             .enumerate()
             .map(|(i, r)| {
-                let k: Vec<Value> =
-                    equi.iter().map(|(_, re)| rctx.eval(re, r)).collect::<Result<_>>()?;
+                let k: Vec<Value> = equi
+                    .iter()
+                    .map(|(_, re)| rctx.eval(re, r))
+                    .collect::<Result<_>>()?;
                 Ok((k, i))
             })
             .collect::<Result<_>>()?;
@@ -884,7 +933,11 @@ impl<'a> Engine<'a> {
         let mut match_cache: HashMap<Vec<Value>, bool> = HashMap::new();
         for lrow in lrows {
             let lkey: Option<Vec<Value>> = if cacheable {
-                Some(equi.iter().map(|(le, _)| lctx.eval(le, lrow)).collect::<Result<_>>()?)
+                Some(
+                    equi.iter()
+                        .map(|(le, _)| lctx.eval(le, lrow))
+                        .collect::<Result<_>>()?,
+                )
             } else {
                 None
             };
@@ -897,9 +950,7 @@ impl<'a> Engine<'a> {
                 None => {
                     let mut m = false;
                     for rrow in rrows {
-                        self.add_work(
-                            (equi.len() + residual.len()).max(1) as f64 * weights::PRED,
-                        );
+                        self.add_work((equi.len() + residual.len()).max(1) as f64 * weights::PRED);
                         if self.pair_matches(lctx, rctx, cctx, lrow, rrow, equi, residual)? {
                             m = true;
                             match kind {
@@ -960,7 +1011,10 @@ fn resolve_outer(binds: &Bindings<'_>, refid: RefId, col: usize) -> Result<Value
             )));
         }
     }
-    Err(Error::execution(format!("unbound outer reference r{}", refid.0)))
+    Err(Error::execution(format!(
+        "unbound outer reference r{}",
+        refid.0
+    )))
 }
 
 fn ctx_clone<'b>(ctx: &EvalCtx<'b>) -> EvalCtx<'b> {
@@ -1003,7 +1057,10 @@ fn combined_layout(l: &Layout, r: &Layout) -> Layout {
     for (rr, off, w) in &r.slots {
         slots.push((*rr, off + l.width, *w));
     }
-    Layout { slots, width: l.width + r.width }
+    Layout {
+        slots,
+        width: l.width + r.width,
+    }
 }
 
 /// Comparison for ORDER BY with configurable direction and null placement.
@@ -1091,7 +1148,12 @@ fn collect_node_refs(
     };
     match node {
         PlanNode::OneRow => {}
-        PlanNode::ScanBase { refid, filter, access, .. } => {
+        PlanNode::ScanBase {
+            refid,
+            filter,
+            access,
+            ..
+        } => {
             defined.insert(*refid);
             for c in filter {
                 push_expr(c, referenced);
@@ -1113,14 +1175,25 @@ fn collect_node_refs(
                 AccessPath::FullScan => {}
             }
         }
-        PlanNode::ScanView { refid, plan, filter, .. } => {
+        PlanNode::ScanView {
+            refid,
+            plan,
+            filter,
+            ..
+        } => {
             defined.insert(*refid);
             for c in filter {
                 push_expr(c, referenced);
             }
             collect_plan_refs(plan, defined, referenced);
         }
-        PlanNode::Join { left, right, equi, residual, .. } => {
+        PlanNode::Join {
+            left,
+            right,
+            equi,
+            residual,
+            ..
+        } => {
             collect_node_refs(left, defined, referenced);
             collect_node_refs(right, defined, referenced);
             for (l, r) in equi {

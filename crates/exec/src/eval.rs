@@ -51,7 +51,10 @@ impl<'a> EvalCtx<'a> {
             if col < w {
                 return Ok(row[off + col].clone());
             }
-            return Err(Error::execution(format!("column {col} out of range for r{}", refid.0)));
+            return Err(Error::execution(format!(
+                "column {col} out of range for r{}",
+                refid.0
+            )));
         }
         for f in self.outer.frames.iter().rev() {
             if let Some((off, w)) = f.layout.offset_of(refid) {
@@ -64,7 +67,10 @@ impl<'a> EvalCtx<'a> {
                 )));
             }
         }
-        Err(Error::execution(format!("unbound table reference r{}", refid.0)))
+        Err(Error::execution(format!(
+            "unbound table reference r{}",
+            refid.0
+        )))
     }
 
     /// Evaluates an expression to a value (`NULL` represents UNKNOWN for
@@ -88,7 +94,11 @@ impl<'a> EvalCtx<'a> {
                 let v = self.eval(expr, row)?;
                 Ok(Value::Bool(v.is_null() != *negated))
             }
-            QExpr::InList { expr, list, negated } => {
+            QExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = self.eval(expr, row)?;
                 let mut unknown = false;
                 let mut found = false;
@@ -112,7 +122,11 @@ impl<'a> EvalCtx<'a> {
                 };
                 Ok(truth_value(if *negated { t.not() } else { t }))
             }
-            QExpr::Like { expr, pattern, negated } => {
+            QExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let v = self.eval(expr, row)?;
                 let p = self.eval(pattern, row)?;
                 match (v.as_str(), p.as_str()) {
@@ -123,7 +137,11 @@ impl<'a> EvalCtx<'a> {
                     _ => Ok(Value::Null),
                 }
             }
-            QExpr::Case { operand, branches, else_expr } => {
+            QExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 for (w, t) in branches {
                     let fire = match operand {
                         Some(op) => {
@@ -143,15 +161,15 @@ impl<'a> EvalCtx<'a> {
                 }
             }
             QExpr::Func { name, args } => self.eval_func(name, args, row),
-            QExpr::Agg { .. } => {
-                match self.aggs.iter().position(|a| a == e) {
-                    Some(i) => Ok(row
-                        .get(self.agg_base + i)
-                        .cloned()
-                        .ok_or_else(|| Error::execution("aggregate slot out of range"))?),
-                    None => Err(Error::execution("aggregate used outside aggregation context")),
-                }
-            }
+            QExpr::Agg { .. } => match self.aggs.iter().position(|a| a == e) {
+                Some(i) => Ok(row
+                    .get(self.agg_base + i)
+                    .cloned()
+                    .ok_or_else(|| Error::execution("aggregate slot out of range"))?),
+                None => Err(Error::execution(
+                    "aggregate used outside aggregation context",
+                )),
+            },
             QExpr::Win { .. } => match self.windows.iter().position(|w| w == e) {
                 Some(i) => Ok(row
                     .get(self.win_base + i)
@@ -166,14 +184,22 @@ impl<'a> EvalCtx<'a> {
     /// Evaluates an expression as a three-valued truth.
     pub fn eval_truth(&self, e: &QExpr, row: &[Value]) -> Result<Truth> {
         match e {
-            QExpr::Bin { op: BinOp::And, left, right } => {
+            QExpr::Bin {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
                 let l = self.eval_truth(left, row)?;
                 if l == Truth::False {
                     return Ok(Truth::False);
                 }
                 Ok(l.and(self.eval_truth(right, row)?))
             }
-            QExpr::Bin { op: BinOp::Or, left, right } => {
+            QExpr::Bin {
+                op: BinOp::Or,
+                left,
+                right,
+            } => {
                 let l = self.eval_truth(left, row)?;
                 if l == Truth::True {
                     return Ok(Truth::True);
@@ -199,7 +225,11 @@ impl<'a> EvalCtx<'a> {
         match op {
             BinOp::And | BinOp::Or => {
                 let t = self.eval_truth(
-                    &QExpr::Bin { op, left: Box::new(left.clone()), right: Box::new(right.clone()) },
+                    &QExpr::Bin {
+                        op,
+                        left: Box::new(left.clone()),
+                        right: Box::new(right.clone()),
+                    },
                     row,
                 )?;
                 Ok(truth_value(t))
@@ -213,7 +243,11 @@ impl<'a> EvalCtx<'a> {
                 if l.is_null() || r.is_null() {
                     return Ok(Value::Null);
                 }
-                Ok(Value::str(format!("{}{}", display_raw(&l), display_raw(&r))))
+                Ok(Value::str(format!(
+                    "{}{}",
+                    display_raw(&l),
+                    display_raw(&r)
+                )))
             }
             BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
                 let (l, r) = (self.eval(left, row)?, self.eval(right, row)?);
@@ -237,7 +271,10 @@ impl<'a> EvalCtx<'a> {
         match name {
             "EXPENSIVE" => {
                 let units = match args.get(1) {
-                    Some(u) => self.eval(u, row)?.as_f64().unwrap_or(weights::EXPENSIVE_DEFAULT),
+                    Some(u) => self
+                        .eval(u, row)?
+                        .as_f64()
+                        .unwrap_or(weights::EXPENSIVE_DEFAULT),
                     None => weights::EXPENSIVE_DEFAULT,
                 };
                 self.engine.burn(units);
@@ -316,11 +353,18 @@ impl<'a> EvalCtx<'a> {
                     None => Value::Null,
                 })
             }
-            other => Err(Error::execution(format!("unknown function {other} at runtime"))),
+            other => Err(Error::execution(format!(
+                "unknown function {other} at runtime"
+            ))),
         }
     }
 
-    fn eval_subquery(&self, block: cbqt_qgm::BlockId, kind: &SubqKind, row: &[Value]) -> Result<Value> {
+    fn eval_subquery(
+        &self,
+        block: cbqt_qgm::BlockId,
+        kind: &SubqKind,
+        row: &[Value],
+    ) -> Result<Value> {
         let plan = self
             .subplans
             .iter()
@@ -333,12 +377,16 @@ impl<'a> EvalCtx<'a> {
             SubqKind::Scalar => match rows.len() {
                 0 => Ok(Value::Null),
                 1 => Ok(rows[0][0].clone()),
-                _ => Err(Error::execution("single-row subquery returns more than one row")),
+                _ => Err(Error::execution(
+                    "single-row subquery returns more than one row",
+                )),
             },
             SubqKind::Exists { negated } => Ok(Value::Bool(rows.is_empty() == *negated)),
             SubqKind::In { lhs, negated } => {
-                let keys: Vec<Value> =
-                    lhs.iter().map(|e| self.eval(e, row)).collect::<Result<_>>()?;
+                let keys: Vec<Value> = lhs
+                    .iter()
+                    .map(|e| self.eval(e, row))
+                    .collect::<Result<_>>()?;
                 let mut unknown = false;
                 let mut found = false;
                 for r in rows.iter() {
@@ -424,9 +472,7 @@ fn display_raw(v: &Value) -> String {
 pub fn like_match(s: &[u8], p: &[u8]) -> bool {
     match p.first() {
         None => s.is_empty(),
-        Some(b'%') => {
-            (0..=s.len()).any(|i| like_match(&s[i..], &p[1..]))
-        }
+        Some(b'%') => (0..=s.len()).any(|i| like_match(&s[i..], &p[1..])),
         Some(b'_') => !s.is_empty() && like_match(&s[1..], &p[1..]),
         Some(c) => s.first() == Some(c) && like_match(&s[1..], &p[1..]),
     }
@@ -438,15 +484,23 @@ pub fn like_match(s: &[u8], p: &[u8]) -> bool {
 /// onto every row (in `windows` order).
 pub fn compute_windows(ctx: &EvalCtx<'_>, rows: &mut [Row], windows: &[QExpr]) -> Result<()> {
     for w in windows {
-        let QExpr::Win { func, arg, partition_by, order_by } = w else {
+        let QExpr::Win {
+            func,
+            arg,
+            partition_by,
+            order_by,
+        } = w
+        else {
             return Err(Error::execution("non-window expr in window list"));
         };
         // partition rows by key
         let mut parts: std::collections::HashMap<Vec<Value>, Vec<usize>> =
             std::collections::HashMap::new();
         for (i, r) in rows.iter().enumerate() {
-            let key: Vec<Value> =
-                partition_by.iter().map(|e| ctx.eval(e, r)).collect::<Result<_>>()?;
+            let key: Vec<Value> = partition_by
+                .iter()
+                .map(|e| ctx.eval(e, r))
+                .collect::<Result<_>>()?;
             parts.entry(key).or_default().push(i);
         }
         let mut values: Vec<Value> = vec![Value::Null; rows.len()];
@@ -473,7 +527,9 @@ pub fn compute_windows(ctx: &EvalCtx<'_>, rows: &mut [Row], windows: &[QExpr]) -
                     std::cmp::Ordering::Equal
                 });
                 idxs = keyed.into_iter().map(|(_, i)| i).collect();
-                ctx.engine.add_work(weights::SORT * (idxs.len().max(2) as f64).log2() * idxs.len() as f64);
+                ctx.engine.add_work(
+                    weights::SORT * (idxs.len().max(2) as f64).log2() * idxs.len() as f64,
+                );
             }
             match func {
                 WinFunc::RowNumber => {
@@ -568,25 +624,33 @@ impl AggAcc {
         }
         self.count += 1;
         match self.func {
-            Sum | Avg => {
-                match v {
-                    Value::Int(i) => {
-                        self.isum = self.isum.wrapping_add(*i);
-                        self.sum += *i as f64;
-                    }
-                    _ => {
-                        self.sum_is_int = false;
-                        self.sum += v.as_f64().unwrap_or(0.0);
-                    }
+            Sum | Avg => match v {
+                Value::Int(i) => {
+                    self.isum = self.isum.wrapping_add(*i);
+                    self.sum += *i as f64;
                 }
-            }
+                _ => {
+                    self.sum_is_int = false;
+                    self.sum += v.as_f64().unwrap_or(0.0);
+                }
+            },
             Min => {
-                if self.min.as_ref().map(|m| v.total_cmp(m).is_lt()).unwrap_or(true) {
+                if self
+                    .min
+                    .as_ref()
+                    .map(|m| v.total_cmp(m).is_lt())
+                    .unwrap_or(true)
+                {
                     self.min = Some(v.clone());
                 }
             }
             Max => {
-                if self.max.as_ref().map(|m| v.total_cmp(m).is_gt()).unwrap_or(true) {
+                if self
+                    .max
+                    .as_ref()
+                    .map(|m| v.total_cmp(m).is_gt())
+                    .unwrap_or(true)
+                {
                     self.max = Some(v.clone());
                 }
             }

@@ -15,8 +15,16 @@ use cbqt_storage::Storage;
 /// * 12 employees: emp i in dept i%4 (dept NULL for emp 11), salary 1000*(i+1)
 fn setup() -> (Catalog, Storage) {
     let mut cat = Catalog::new();
-    let icol = |n: &str| Column { name: n.into(), data_type: DataType::Int, not_null: false };
-    let scol = |n: &str| Column { name: n.into(), data_type: DataType::Str, not_null: false };
+    let icol = |n: &str| Column {
+        name: n.into(),
+        data_type: DataType::Int,
+        not_null: false,
+    };
+    let scol = |n: &str| Column {
+        name: n.into(),
+        data_type: DataType::Str,
+        not_null: false,
+    };
     let dept = cat
         .add_table(
             "departments",
@@ -27,7 +35,13 @@ fn setup() -> (Catalog, Storage) {
     let emp = cat
         .add_table(
             "employees",
-            vec![icol("emp_id"), scol("name"), icol("dept_id"), icol("salary"), icol("mgr_id")],
+            vec![
+                icol("emp_id"),
+                scol("name"),
+                icol("dept_id"),
+                icol("salary"),
+                icol("mgr_id"),
+            ],
             vec![
                 Constraint::PrimaryKey(vec![0]),
                 Constraint::ForeignKey(ForeignKey {
@@ -42,10 +56,15 @@ fn setup() -> (Catalog, Storage) {
     st.create_table(dept);
     st.create_table(emp);
     for d in 0..4i64 {
-        st.insert(dept, vec![Value::Int(d), Value::Int(d / 2)]).unwrap();
+        st.insert(dept, vec![Value::Int(d), Value::Int(d / 2)])
+            .unwrap();
     }
     for i in 0..12i64 {
-        let dept_id = if i == 11 { Value::Null } else { Value::Int(i % 4) };
+        let dept_id = if i == 11 {
+            Value::Null
+        } else {
+            Value::Int(i % 4)
+        };
         st.insert(
             emp,
             vec![
@@ -83,7 +102,11 @@ fn ints(rows: &[Vec<Value>]) -> Vec<i64> {
 #[test]
 fn simple_filter_scan() {
     let (cat, st) = setup();
-    let rows = run(&cat, &st, "SELECT emp_id FROM employees WHERE salary > 10000");
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT emp_id FROM employees WHERE salary > 10000",
+    );
     let mut ids = ints(&rows);
     ids.sort();
     assert_eq!(ids, vec![10, 11]);
@@ -92,7 +115,11 @@ fn simple_filter_scan() {
 #[test]
 fn index_eq_access() {
     let (cat, st) = setup();
-    let rows = run(&cat, &st, "SELECT emp_id FROM employees WHERE dept_id = 2 ORDER BY emp_id");
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT emp_id FROM employees WHERE dept_id = 2 ORDER BY emp_id",
+    );
     assert_eq!(ints(&rows), vec![2, 6, 10]);
 }
 
@@ -133,7 +160,7 @@ fn group_by_aggregates() {
          FROM employees GROUP BY dept_id ORDER BY dept_id",
     );
     assert_eq!(rows.len(), 5); // depts 0..3 plus the NULL group
-    // dept 0: emps 0,4,8 → salaries 1000,5000,9000
+                               // dept 0: emps 0,4,8 → salaries 1000,5000,9000
     assert_eq!(rows[0][1], Value::Int(3));
     assert_eq!(rows[0][2], Value::Double(5000.0));
     assert_eq!(rows[0][3], Value::Int(1000));
@@ -158,7 +185,11 @@ fn having_filters_groups() {
 #[test]
 fn scalar_aggregate_empty_input() {
     let (cat, st) = setup();
-    let rows = run(&cat, &st, "SELECT COUNT(*), SUM(salary) FROM employees WHERE salary > 99999");
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT COUNT(*), SUM(salary) FROM employees WHERE salary > 99999",
+    );
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0][0], Value::Int(0));
     assert!(rows[0][1].is_null());
@@ -227,7 +258,10 @@ fn in_subquery_and_not_in_null_semantics() {
         "SELECT d.dept_id FROM departments d WHERE d.dept_id NOT IN \
          (SELECT e.dept_id FROM employees e WHERE e.salary > 9500)",
     );
-    assert!(rows.is_empty(), "NOT IN with NULLs must yield nothing: {rows:?}");
+    assert!(
+        rows.is_empty(),
+        "NOT IN with NULLs must yield nothing: {rows:?}"
+    );
     // excluding the NULL makes NOT IN behave like anti-join
     let rows = run(
         &cat,
@@ -305,7 +339,11 @@ fn intersect_and_minus() {
 #[test]
 fn distinct_dedups() {
     let (cat, st) = setup();
-    let rows = run(&cat, &st, "SELECT DISTINCT dept_id FROM employees WHERE dept_id IS NOT NULL");
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT DISTINCT dept_id FROM employees WHERE dept_id IS NOT NULL",
+    );
     assert_eq!(rows.len(), 4);
 }
 
@@ -319,7 +357,11 @@ fn rownum_limits_and_stops_early() {
 #[test]
 fn order_by_desc_nulls() {
     let (cat, st) = setup();
-    let rows = run(&cat, &st, "SELECT dept_id FROM employees ORDER BY dept_id DESC");
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT dept_id FROM employees ORDER BY dept_id DESC",
+    );
     // DESC default = nulls first (Oracle)
     assert!(rows[0][0].is_null());
     assert_eq!(rows[1][0], Value::Int(3));
@@ -364,7 +406,10 @@ fn rollup_grouping_sets() {
     );
     // sets: (loc,dept): 4 rows; (loc): 2 rows; (): 1 row → 7
     assert_eq!(rows.len(), 7);
-    let grand = rows.iter().find(|r| r[0].is_null() && r[1].is_null()).unwrap();
+    let grand = rows
+        .iter()
+        .find(|r| r[0].is_null() && r[1].is_null())
+        .unwrap();
     assert_eq!(grand[2], Value::Int(4));
 }
 
@@ -456,7 +501,11 @@ fn derived_table_executes() {
 #[test]
 fn like_predicate() {
     let (cat, st) = setup();
-    let rows = run(&cat, &st, "SELECT name FROM employees WHERE name LIKE 'emp1%' ORDER BY name");
+    let rows = run(
+        &cat,
+        &st,
+        "SELECT name FROM employees WHERE name LIKE 'emp1%' ORDER BY name",
+    );
     // emp1, emp10, emp11
     assert_eq!(rows.len(), 3);
 }

@@ -28,7 +28,11 @@ pub struct RelStats {
 
 impl RelStats {
     pub fn ndv_of(&self, col: usize) -> f64 {
-        self.ndv.get(col).copied().unwrap_or(self.rows * DEFAULT_NDV_FRAC).max(1.0)
+        self.ndv
+            .get(col)
+            .copied()
+            .unwrap_or(self.rows * DEFAULT_NDV_FRAC)
+            .max(1.0)
     }
 }
 
@@ -64,7 +68,11 @@ impl<'a> Estimator<'a> {
                 None
             }
         });
-        Some(ColInfo { ndv: rel.ndv_of(col), rows: rel.rows, stats })
+        Some(ColInfo {
+            ndv: rel.ndv_of(col),
+            rows: rel.rows,
+            stats,
+        })
     }
 
     fn expr_col(&self, e: &QExpr) -> Option<(RefId, usize)> {
@@ -80,7 +88,9 @@ impl<'a> Estimator<'a> {
         if e.contains_subquery() {
             return false;
         }
-        e.referenced_tables().iter().all(|r| !self.rels.contains_key(r))
+        e.referenced_tables()
+            .iter()
+            .all(|r| !self.rels.contains_key(r))
     }
 
     fn literal_of<'b>(&self, e: &'b QExpr) -> Option<&'b Value> {
@@ -93,10 +103,16 @@ impl<'a> Estimator<'a> {
     /// Selectivity of a single conjunct over the in-scope relations.
     pub fn selectivity(&self, e: &QExpr) -> f64 {
         match e {
-            QExpr::Bin { op: BinOp::And, left, right } => {
-                self.selectivity(left) * self.selectivity(right)
-            }
-            QExpr::Bin { op: BinOp::Or, left, right } => {
+            QExpr::Bin {
+                op: BinOp::And,
+                left,
+                right,
+            } => self.selectivity(left) * self.selectivity(right),
+            QExpr::Bin {
+                op: BinOp::Or,
+                left,
+                right,
+            } => {
                 let (a, b) = (self.selectivity(left), self.selectivity(right));
                 (a + b - a * b).clamp(0.0, 1.0)
             }
@@ -118,7 +134,11 @@ impl<'a> Estimator<'a> {
                     s
                 }
             }
-            QExpr::InList { expr, list, negated } => {
+            QExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let eq = self.eq_sel_for(expr, None);
                 let s = (eq * list.len() as f64).clamp(0.0, 1.0);
                 if *negated {
@@ -155,8 +175,12 @@ impl<'a> Estimator<'a> {
         if left.contains_subquery() || right.contains_subquery() {
             return SCALAR_CMP_SEL;
         }
-        let lcol = self.expr_col(left).and_then(|(r, c)| self.col_info(r, c).map(|i| (r, c, i)));
-        let rcol = self.expr_col(right).and_then(|(r, c)| self.col_info(r, c).map(|i| (r, c, i)));
+        let lcol = self
+            .expr_col(left)
+            .and_then(|(r, c)| self.col_info(r, c).map(|i| (r, c, i)));
+        let rcol = self
+            .expr_col(right)
+            .and_then(|(r, c)| self.col_info(r, c).map(|i| (r, c, i)));
         match op {
             BinOp::Eq => match (&lcol, &rcol) {
                 (Some((_, _, li)), Some((_, _, ri))) => 1.0 / li.ndv.max(ri.ndv),
@@ -203,7 +227,9 @@ impl<'a> Estimator<'a> {
 
     fn eq_with_stats(&self, ci: &ColInfo<'_>, lit: Option<&Value>) -> f64 {
         match ci.stats {
-            Some(cs) => cs.eq_selectivity(ci.rows.max(1.0) as u64, lit).clamp(0.000001, 1.0),
+            Some(cs) => cs
+                .eq_selectivity(ci.rows.max(1.0) as u64, lit)
+                .clamp(0.000001, 1.0),
             None => (1.0 / ci.ndv).clamp(0.000001, 1.0),
         }
     }
@@ -252,7 +278,10 @@ impl<'a> Estimator<'a> {
                 if !seen.insert((r, c)) {
                     continue;
                 }
-                let ndv = outer_rels.get(&r).map(|rs| rs.ndv_of(c)).unwrap_or(DEFAULT_ROWS);
+                let ndv = outer_rels
+                    .get(&r)
+                    .map(|rs| rs.ndv_of(c))
+                    .unwrap_or(DEFAULT_ROWS);
                 prod = (prod * ndv).min(1e15);
             }
         }
@@ -266,11 +295,23 @@ mod tests {
     use cbqt_catalog::{Column, Constraint};
     use cbqt_common::DataType;
 
-    fn setup() -> (Catalog, HashMap<RefId, RelStats>, HashMap<RefId, cbqt_catalog::TableId>) {
+    fn setup() -> (
+        Catalog,
+        HashMap<RefId, RelStats>,
+        HashMap<RefId, cbqt_catalog::TableId>,
+    ) {
         let mut cat = Catalog::new();
-        let icol = |n: &str| Column { name: n.into(), data_type: DataType::Int, not_null: false };
+        let icol = |n: &str| Column {
+            name: n.into(),
+            data_type: DataType::Int,
+            not_null: false,
+        };
         let t = cat
-            .add_table("t", vec![icol("a"), icol("b")], vec![Constraint::PrimaryKey(vec![0])])
+            .add_table(
+                "t",
+                vec![icol("a"), icol("b")],
+                vec![Constraint::PrimaryKey(vec![0])],
+            )
             .unwrap();
         // fake analyzed stats
         {
@@ -295,7 +336,13 @@ mod tests {
             ];
         }
         let mut rels = HashMap::new();
-        rels.insert(RefId(0), RelStats { rows: 1000.0, ndv: vec![1000.0, 10.0, 1000.0] });
+        rels.insert(
+            RefId(0),
+            RelStats {
+                rows: 1000.0,
+                ndv: vec![1000.0, 10.0, 1000.0],
+            },
+        );
         let mut base = HashMap::new();
         base.insert(RefId(0), t);
         (cat, rels, base)
@@ -304,7 +351,11 @@ mod tests {
     #[test]
     fn eq_literal_uses_ndv() {
         let (cat, rels, base) = setup();
-        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let est = Estimator {
+            catalog: &cat,
+            rels: &rels,
+            base: &base,
+        };
         let e = QExpr::eq(QExpr::col(RefId(0), 1), QExpr::lit(3i64));
         let s = est.selectivity(&e);
         // ndv 10, 10% nulls -> 0.09
@@ -314,8 +365,18 @@ mod tests {
     #[test]
     fn col_col_eq_uses_larger_ndv() {
         let (cat, mut rels, base) = setup();
-        rels.insert(RefId(1), RelStats { rows: 100.0, ndv: vec![50.0] });
-        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        rels.insert(
+            RefId(1),
+            RelStats {
+                rows: 100.0,
+                ndv: vec![50.0],
+            },
+        );
+        let est = Estimator {
+            catalog: &cat,
+            rels: &rels,
+            base: &base,
+        };
         let e = QExpr::eq(QExpr::col(RefId(0), 0), QExpr::col(RefId(1), 0));
         assert!((est.selectivity(&e) - 0.001).abs() < 1e-9);
     }
@@ -323,7 +384,11 @@ mod tests {
     #[test]
     fn range_interpolation() {
         let (cat, rels, base) = setup();
-        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let est = Estimator {
+            catalog: &cat,
+            rels: &rels,
+            base: &base,
+        };
         let e = QExpr::bin(BinOp::Lt, QExpr::col(RefId(0), 0), QExpr::lit(500i64));
         let s = est.selectivity(&e);
         assert!((s - 0.5).abs() < 0.05, "{s}");
@@ -336,7 +401,11 @@ mod tests {
     #[test]
     fn correlated_eq_is_bound() {
         let (cat, rels, base) = setup();
-        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let est = Estimator {
+            catalog: &cat,
+            rels: &rels,
+            base: &base,
+        };
         // RefId(7) is not local — treated as a bound outer scalar
         let outer = QExpr::col(RefId(7), 0);
         assert!(est.is_bound(&outer));
@@ -348,7 +417,11 @@ mod tests {
     #[test]
     fn and_or_combine() {
         let (cat, rels, base) = setup();
-        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let est = Estimator {
+            catalog: &cat,
+            rels: &rels,
+            base: &base,
+        };
         let p = QExpr::eq(QExpr::col(RefId(0), 1), QExpr::lit(3i64));
         let and = QExpr::bin(BinOp::And, p.clone(), p.clone());
         assert!(est.selectivity(&and) < est.selectivity(&p));
@@ -359,13 +432,14 @@ mod tests {
     #[test]
     fn group_count_capped_by_rows() {
         let (cat, rels, base) = setup();
-        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let est = Estimator {
+            catalog: &cat,
+            rels: &rels,
+            base: &base,
+        };
         let g = est.group_count(&[QExpr::col(RefId(0), 1)], 1000.0);
         assert!((g - 10.0).abs() < 1e-9);
-        let g2 = est.group_count(
-            &[QExpr::col(RefId(0), 0), QExpr::col(RefId(0), 1)],
-            500.0,
-        );
+        let g2 = est.group_count(&[QExpr::col(RefId(0), 0), QExpr::col(RefId(0), 1)], 500.0);
         assert!((g2 - 500.0).abs() < 1e-9);
         assert!((est.group_count(&[], 500.0) - 1.0).abs() < 1e-9);
     }
@@ -373,7 +447,11 @@ mod tests {
     #[test]
     fn subquery_defaults() {
         let (cat, rels, base) = setup();
-        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let est = Estimator {
+            catalog: &cat,
+            rels: &rels,
+            base: &base,
+        };
         let e = QExpr::Subq {
             block: cbqt_qgm::BlockId(5),
             kind: SubqKind::Exists { negated: false },
@@ -384,9 +462,19 @@ mod tests {
     #[test]
     fn distinct_bindings_product() {
         let (cat, rels, base) = setup();
-        let est = Estimator { catalog: &cat, rels: &rels, base: &base };
+        let est = Estimator {
+            catalog: &cat,
+            rels: &rels,
+            base: &base,
+        };
         let mut outer = HashMap::new();
-        outer.insert(RefId(9), RelStats { rows: 100.0, ndv: vec![20.0] });
+        outer.insert(
+            RefId(9),
+            RelStats {
+                rows: 100.0,
+                ndv: vec![20.0],
+            },
+        );
         let e = QExpr::eq(QExpr::col(RefId(0), 1), QExpr::col(RefId(9), 0));
         let n = est.distinct_bindings(&[e], &outer);
         assert!((n - 20.0).abs() < 1e-9);

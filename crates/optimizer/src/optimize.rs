@@ -10,10 +10,10 @@ use cbqt_qgm::{
     render, BlockId, JoinInfo, QExpr, QTableSource, QueryBlock, QueryTree, RefId, SelectBlock,
     SetOp,
 };
-use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 /// Tuning knobs of the physical optimizer.
 #[derive(Debug, Clone)]
@@ -189,9 +189,7 @@ impl<'a> Optimizer<'a> {
                         let m = inputs.iter().map(|p| p.rows).fold(f64::INFINITY, f64::min);
                         ((m * 0.5).max(1.0), total * weights::DEDUP)
                     }
-                    SetOp::Minus => {
-                        ((inputs[0].rows * 0.5).max(1.0), total * weights::DEDUP)
-                    }
+                    SetOp::Minus => ((inputs[0].rows * 0.5).max(1.0), total * weights::DEDUP),
                 };
                 cost += extra;
                 let arity = inputs[0].out_ndv.len();
@@ -234,11 +232,19 @@ impl<'a> Optimizer<'a> {
             match &t.source {
                 QTableSource::Base(tid) => {
                     let tbl = self.catalog.table(*tid)?;
-                    let rows = if tbl.stats.analyzed { tbl.stats.rows as f64 } else { DEFAULT_ROWS };
+                    let rows = if tbl.stats.analyzed {
+                        tbl.stats.rows as f64
+                    } else {
+                        DEFAULT_ROWS
+                    };
                     let mut ndv: Vec<f64> = (0..tbl.columns.len())
                         .map(|c| {
                             if tbl.stats.analyzed {
-                                tbl.stats.column(c).map(|cs| cs.ndv as f64).unwrap_or(1.0).max(1.0)
+                                tbl.stats
+                                    .column(c)
+                                    .map(|cs| cs.ndv as f64)
+                                    .unwrap_or(1.0)
+                                    .max(1.0)
                             } else {
                                 (rows * DEFAULT_NDV_FRAC).max(1.0)
                             }
@@ -252,7 +258,13 @@ impl<'a> Optimizer<'a> {
                     let p = plans
                         .get(b)
                         .ok_or_else(|| Error::plan(format!("missing view plan {b}")))?;
-                    rels.insert(t.refid, RelStats { rows: p.rows, ndv: p.out_ndv.clone() });
+                    rels.insert(
+                        t.refid,
+                        RelStats {
+                            rows: p.rows,
+                            ndv: p.out_ndv.clone(),
+                        },
+                    );
                 }
             }
         }
@@ -269,8 +281,11 @@ impl<'a> Optimizer<'a> {
             .collect();
         let has_limit = s.rownum_limit.is_some();
         for c in &s.where_conjuncts {
-            let locals: Vec<RefId> =
-                c.referenced_tables().into_iter().filter(|r| declared.contains(r)).collect();
+            let locals: Vec<RefId> = c
+                .referenced_tables()
+                .into_iter()
+                .filter(|r| declared.contains(r))
+                .collect();
             // expensive predicates under a ROWNUM limit stay above the
             // join so the early exit bounds their evaluations (§2.2.6)
             if c.contains_subquery()
@@ -296,14 +311,24 @@ impl<'a> Optimizer<'a> {
                         let preds = table_preds.get(&t.refid).cloned().unwrap_or_default();
                         let key_str = format!("{}|{}", tbl.name, preds.len());
                         let cached = {
-                            self.sampling_cache.lock().get(&(*tid, key_str.clone())).copied()
+                            // a poisoned cache only means another optimizer
+                            // thread panicked mid-insert; the map itself is
+                            // still a valid cache, so keep using it
+                            self.sampling_cache
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .get(&(*tid, key_str.clone()))
+                                .copied()
                         };
                         let sampled = match cached {
                             Some(v) => Some(v),
                             None => {
                                 let v = sampler.sample(*tid, &key_str);
                                 if let Some(v) = v {
-                                    self.sampling_cache.lock().insert((*tid, key_str), v);
+                                    self.sampling_cache
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .insert((*tid, key_str), v);
                                 }
                                 v
                             }
@@ -329,7 +354,11 @@ impl<'a> Optimizer<'a> {
             .map(|t| self.make_item(tree, t, &declared, &rels, plans))
             .collect::<Result<_>>()?;
 
-        let est = Estimator { catalog: self.catalog, rels: &rels, base: &base };
+        let est = Estimator {
+            catalog: self.catalog,
+            rels: &rels,
+            base: &base,
+        };
         let enumerator = JoinEnumerator {
             opt: self,
             est: &est,
@@ -393,7 +422,10 @@ impl<'a> Optimizer<'a> {
             } else {
                 let mut prod = 1.0_f64;
                 for (r, cidx) in &corr {
-                    let ndv = rels.get(r).map(|rs| rs.ndv_of(*cidx)).unwrap_or(DEFAULT_ROWS);
+                    let ndv = rels
+                        .get(r)
+                        .map(|rs| rs.ndv_of(*cidx))
+                        .unwrap_or(DEFAULT_ROWS);
                     prod = (prod * ndv).min(1e15);
                 }
                 prod.min(expected_filtered)
@@ -410,14 +442,12 @@ impl<'a> Optimizer<'a> {
         let mut windows: Vec<QExpr> = Vec::new();
         let scan_for_special = |e: &QExpr, aggs: &mut Vec<QExpr>, wins: &mut Vec<QExpr>| {
             e.walk(&mut |n| match n {
-                QExpr::Agg { .. }
-                    if !aggs.contains(n) => {
-                        aggs.push(n.clone());
-                    }
-                QExpr::Win { .. }
-                    if !wins.contains(n) => {
-                        wins.push(n.clone());
-                    }
+                QExpr::Agg { .. } if !aggs.contains(n) => {
+                    aggs.push(n.clone());
+                }
+                QExpr::Win { .. } if !wins.contains(n) => {
+                    wins.push(n.clone());
+                }
                 _ => {}
             });
         };
@@ -438,8 +468,7 @@ impl<'a> Optimizer<'a> {
             let groups = if let Some(sets) = &s.grouping_sets {
                 let mut total = 0.0;
                 for set in sets {
-                    let keys: Vec<QExpr> =
-                        set.iter().map(|&i| s.group_by[i].clone()).collect();
+                    let keys: Vec<QExpr> = set.iter().map(|&i| s.group_by[i].clone()).collect();
                     total += est.group_count(&keys, rows);
                 }
                 total
@@ -498,7 +527,11 @@ impl<'a> Optimizer<'a> {
         let select_expensive: f64 = s.select.iter().map(|i| expensive_cost(&i.expr)).sum();
         cost += rows * select_expensive;
 
-        rows = rows.max(if aggregated && s.group_by.is_empty() { 1.0 } else { 0.0 });
+        rows = rows.max(if aggregated && s.group_by.is_empty() {
+            1.0
+        } else {
+            0.0
+        });
 
         // output NDV per select item
         let out_ndv: Vec<f64> = s
@@ -551,7 +584,11 @@ impl<'a> Optimizer<'a> {
     ) -> Result<Item> {
         let mut deps: HashSet<RefId> = HashSet::new();
         for c in t.join.on_conjuncts() {
-            deps.extend(c.referenced_tables().into_iter().filter(|r| declared.contains(r) && *r != t.refid));
+            deps.extend(
+                c.referenced_tables()
+                    .into_iter()
+                    .filter(|r| declared.contains(r) && *r != t.refid),
+            );
         }
         let (kind, correlated, plan) = match &t.source {
             QTableSource::Base(tid) => (ItemKind::Base(*tid), false, None),
@@ -565,7 +602,11 @@ impl<'a> Optimizer<'a> {
                 let p = plans
                     .get(b)
                     .ok_or_else(|| Error::plan(format!("missing view plan {b}")))?;
-                (ItemKind::View(*b), !corr.is_empty(), Some(Box::new(p.clone())))
+                (
+                    ItemKind::View(*b),
+                    !corr.is_empty(),
+                    Some(Box::new(p.clone())),
+                )
             }
         };
         let rows = rels.get(&t.refid).map(|r| r.rows).unwrap_or(DEFAULT_ROWS);
@@ -672,11 +713,16 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
             }
         }
         if best.is_empty() {
-            return Err(Error::plan("no valid driving table (all tables are join-annotated)"));
+            return Err(Error::plan(
+                "no valid driving table (all tables are join-annotated)",
+            ));
         }
         for size in 1..n {
-            let masks: Vec<u32> =
-                best.keys().copied().filter(|m| m.count_ones() as usize == size).collect();
+            let masks: Vec<u32> = best
+                .keys()
+                .copied()
+                .filter(|m| m.count_ones() as usize == size)
+                .collect();
             for mask in masks {
                 let left = best.get(&mask).cloned().unwrap();
                 if let Some(b) = self.budget {
@@ -744,13 +790,16 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                     continue;
                 }
                 if let Some(cand) = self.extend(&cur, item)? {
-                    if bestc.as_ref().map(|(_, b)| cand.cost < b.cost).unwrap_or(true) {
+                    if bestc
+                        .as_ref()
+                        .map(|(_, b)| cand.cost < b.cost)
+                        .unwrap_or(true)
+                    {
                         bestc = Some((i, cand));
                     }
                 }
             }
-            let (i, p) =
-                bestc.ok_or_else(|| Error::plan("greedy join enumeration got stuck"))?;
+            let (i, p) = bestc.ok_or_else(|| Error::plan("greedy join enumeration got stuck"))?;
             included[i] = true;
             current = Some(p);
         }
@@ -760,7 +809,11 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
 
     /// Cost of scanning an item on its own (driving position).
     fn standalone(&self, item: &Item) -> Option<Partial> {
-        let preds = self.table_preds.get(&item.refid).cloned().unwrap_or_default();
+        let preds = self
+            .table_preds
+            .get(&item.refid)
+            .cloned()
+            .unwrap_or_default();
         match &item.kind {
             ItemKind::Base(tid) => {
                 let (node, cost, rows) = self.best_base_scan(item, *tid, &preds, &[]);
@@ -969,7 +1022,11 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                             table: tid,
                             refid: item.refid,
                             width: item.width,
-                            access: AccessPath::IndexRange { index: ix.id, lo, hi },
+                            access: AccessPath::IndexRange {
+                                index: ix.id,
+                                lo,
+                                hi,
+                            },
                             filter: filter.clone(),
                         },
                         cost,
@@ -1000,7 +1057,11 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
         for c in item.join.on_conjuncts() {
             applicable.push(c.clone());
         }
-        let local_preds = self.table_preds.get(&item.refid).cloned().unwrap_or_default();
+        let local_preds = self
+            .table_preds
+            .get(&item.refid)
+            .cloned()
+            .unwrap_or_default();
 
         // split applicable into equi (left side vs item side) and residual
         let mut equi: Vec<(QExpr, QExpr)> = Vec::new();
@@ -1010,12 +1071,18 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
             if let Some((l, r)) = c.as_equality() {
                 let lrefs = l.referenced_tables();
                 let rrefs = r.referenced_tables();
-                let l_on_left = lrefs.iter().all(|x| left.refs.contains(x) || !self.est.rels.contains_key(x));
-                let r_on_item =
-                    rrefs.iter().all(|x| *x == item.refid || !self.est.rels.contains_key(x));
-                let l_on_item =
-                    lrefs.iter().all(|x| *x == item.refid || !self.est.rels.contains_key(x));
-                let r_on_left = rrefs.iter().all(|x| left.refs.contains(x) || !self.est.rels.contains_key(x));
+                let l_on_left = lrefs
+                    .iter()
+                    .all(|x| left.refs.contains(x) || !self.est.rels.contains_key(x));
+                let r_on_item = rrefs
+                    .iter()
+                    .all(|x| *x == item.refid || !self.est.rels.contains_key(x));
+                let l_on_item = lrefs
+                    .iter()
+                    .all(|x| *x == item.refid || !self.est.rels.contains_key(x));
+                let r_on_left = rrefs
+                    .iter()
+                    .all(|x| left.refs.contains(x) || !self.est.rels.contains_key(x));
                 // require each side to actually touch its relation
                 let l_nonempty = !lrefs.is_empty();
                 let r_nonempty = !rrefs.is_empty();
@@ -1046,7 +1113,9 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
             JoinInfo::Inner | JoinInfo::Lateral { semi: false } => PlanJoinKind::Inner,
             JoinInfo::Lateral { semi: true } => PlanJoinKind::Semi,
             JoinInfo::Semi { .. } => PlanJoinKind::Semi,
-            JoinInfo::Anti { null_aware, .. } => PlanJoinKind::Anti { null_aware: *null_aware },
+            JoinInfo::Anti { null_aware, .. } => PlanJoinKind::Anti {
+                null_aware: *null_aware,
+            },
             JoinInfo::LeftOuter { .. } => PlanJoinKind::LeftOuter,
         };
         let inner_rows = (left.rows * item_rows * sel).max(0.0);
@@ -1072,11 +1141,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
             ItemKind::View(b) if item.correlated => {
                 // lateral view: per-left-row execution with binding cache
                 let p = item.plan.as_ref().unwrap();
-                let corr_cols: Vec<QExpr> = item
-                    .deps
-                    .iter()
-                    .map(|r| QExpr::col(*r, 0))
-                    .collect();
+                let corr_cols: Vec<QExpr> = item.deps.iter().map(|r| QExpr::col(*r, 0)).collect();
                 let _ = corr_cols;
                 let distinct_bindings = {
                     // distinct combinations of the left columns the view
@@ -1116,9 +1181,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
             _ => {
                 // materialized right side for hash / merge / block-NL
                 let right_standalone = match &item.kind {
-                    ItemKind::Base(tid) => {
-                        Some(self.best_base_scan(item, *tid, &local_preds, &[]))
-                    }
+                    ItemKind::Base(tid) => Some(self.best_base_scan(item, *tid, &local_preds, &[])),
                     ItemKind::View(b) => {
                         let p = item.plan.as_ref().unwrap();
                         let cost = p.cost + p.rows * local_preds.len() as f64 * weights::PRED;
@@ -1229,20 +1292,20 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                 // using the equi columns as probe keys
                 if let ItemKind::Base(tid) = &item.kind {
                     if self.opt.config.enable_index_nl && !equi.is_empty() {
-                        let bound: Vec<(QExpr, QExpr)> = equi
-                            .iter()
-                            .map(|(l, r)| (l.clone(), r.clone()))
-                            .collect();
+                        let bound: Vec<(QExpr, QExpr)> =
+                            equi.iter().map(|(l, r)| (l.clone(), r.clone())).collect();
                         let (pnode, pcost, prows) =
                             self.best_base_scan(item, *tid, &local_preds, &bound);
                         // only worthwhile when an index path was chosen
                         if matches!(
                             pnode,
-                            PlanNode::ScanBase { access: AccessPath::IndexEq { .. }, .. }
-                                | PlanNode::ScanBase {
-                                    access: AccessPath::IndexRange { .. },
-                                    ..
-                                }
+                            PlanNode::ScanBase {
+                                access: AccessPath::IndexEq { .. },
+                                ..
+                            } | PlanNode::ScanBase {
+                                access: AccessPath::IndexRange { .. },
+                                ..
+                            }
                         ) {
                             let effective_left = match kind {
                                 PlanJoinKind::Semi | PlanJoinKind::Anti { .. } => {
@@ -1278,19 +1341,23 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
             }
         }
 
-        let Some((node, cost)) =
-            candidates.into_iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        let Some((node, cost)) = candidates
+            .into_iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         else {
             return Ok(None);
         };
-        Ok(Some(Partial { node, cost, rows: out_rows, refs: scope }))
+        Ok(Some(Partial {
+            node,
+            cost,
+            rows: out_rows,
+            refs: scope,
+        }))
     }
 
     fn col_ndv(&self, e: &QExpr) -> Option<f64> {
         match e {
-            QExpr::Col { table, column } => {
-                self.est.rels.get(table).map(|rs| rs.ndv_of(*column))
-            }
+            QExpr::Col { table, column } => self.est.rels.get(table).map(|rs| rs.ndv_of(*column)),
             _ => None,
         }
     }
@@ -1306,7 +1373,11 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
-        let icol = |n: &str| Column { name: n.into(), data_type: DataType::Int, not_null: false };
+        let icol = |n: &str| Column {
+            name: n.into(),
+            data_type: DataType::Int,
+            not_null: false,
+        };
         let dept = cat
             .add_table(
                 "departments",
@@ -1334,8 +1405,20 @@ mod tests {
             t.stats.analyzed = true;
             t.stats.rows = 100;
             t.stats.columns = vec![
-                ColumnStats { ndv: 100, nulls: 0, min: Some(Value::Int(0)), max: Some(Value::Int(99)), histogram: None },
-                ColumnStats { ndv: 10, nulls: 0, min: Some(Value::Int(0)), max: Some(Value::Int(9)), histogram: None },
+                ColumnStats {
+                    ndv: 100,
+                    nulls: 0,
+                    min: Some(Value::Int(0)),
+                    max: Some(Value::Int(99)),
+                    histogram: None,
+                },
+                ColumnStats {
+                    ndv: 10,
+                    nulls: 0,
+                    min: Some(Value::Int(0)),
+                    max: Some(Value::Int(9)),
+                    histogram: None,
+                },
             ];
         }
         {
@@ -1343,9 +1426,27 @@ mod tests {
             t.stats.analyzed = true;
             t.stats.rows = 10_000;
             t.stats.columns = vec![
-                ColumnStats { ndv: 10_000, nulls: 0, min: Some(Value::Int(0)), max: Some(Value::Int(9999)), histogram: None },
-                ColumnStats { ndv: 100, nulls: 0, min: Some(Value::Int(0)), max: Some(Value::Int(99)), histogram: None },
-                ColumnStats { ndv: 5_000, nulls: 0, min: Some(Value::Int(0)), max: Some(Value::Int(200_000)), histogram: None },
+                ColumnStats {
+                    ndv: 10_000,
+                    nulls: 0,
+                    min: Some(Value::Int(0)),
+                    max: Some(Value::Int(9999)),
+                    histogram: None,
+                },
+                ColumnStats {
+                    ndv: 100,
+                    nulls: 0,
+                    min: Some(Value::Int(0)),
+                    max: Some(Value::Int(99)),
+                    histogram: None,
+                },
+                ColumnStats {
+                    ndv: 5_000,
+                    nulls: 0,
+                    min: Some(Value::Int(0)),
+                    max: Some(Value::Int(200_000)),
+                    histogram: None,
+                },
             ];
         }
         cat.add_index("pk_emp", emp, vec![0], true).unwrap();
@@ -1387,9 +1488,8 @@ mod tests {
 
     #[test]
     fn join_produces_two_leaf_plan() {
-        let (p, _) = plan(
-            "SELECT e.emp_id FROM employees e, departments d WHERE e.dept_id = d.dept_id",
-        );
+        let (p, _) =
+            plan("SELECT e.emp_id FROM employees e, departments d WHERE e.dept_id = d.dept_id");
         let sp = p.as_select().unwrap();
         match &sp.join {
             PlanNode::Join { rows, .. } => {
@@ -1414,7 +1514,9 @@ mod tests {
         );
         let sp = p.as_select().unwrap();
         match &sp.join {
-            PlanNode::Join { method, lateral, .. } => {
+            PlanNode::Join {
+                method, lateral, ..
+            } => {
                 assert_eq!(*method, JoinMethod::NestedLoop);
                 assert!(lateral);
             }
@@ -1436,7 +1538,12 @@ mod tests {
         // TIS runs capped by ndv(dept_id)=100, so total cost is far less
         // than rows * subplan_cost
         let sub_cost = sp.subplans[0].1.cost;
-        assert!(p.cost < 10_000.0 * sub_cost, "cost {} vs {}", p.cost, sub_cost);
+        assert!(
+            p.cost < 10_000.0 * sub_cost,
+            "cost {} vs {}",
+            p.cost,
+            sub_cost
+        );
     }
 
     #[test]
@@ -1533,9 +1640,8 @@ mod tests {
 
     #[test]
     fn explain_renders() {
-        let (p, _) = plan(
-            "SELECT e.emp_id FROM employees e, departments d WHERE e.dept_id = d.dept_id",
-        );
+        let (p, _) =
+            plan("SELECT e.emp_id FROM employees e, departments d WHERE e.dept_id = d.dept_id");
         let text = p.explain();
         assert!(text.contains("JOIN"), "{text}");
         assert!(text.contains("SCAN"), "{text}");

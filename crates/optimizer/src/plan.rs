@@ -39,7 +39,10 @@ pub enum AccessPath {
     /// Equality probe on an index; `key` expressions are evaluated
     /// against bindings available at probe time (literals, correlated
     /// outer columns, or left-side join columns).
-    IndexEq { index: IndexId, key: Vec<QExpr> },
+    IndexEq {
+        index: IndexId,
+        key: Vec<QExpr>,
+    },
     /// Single-column range scan on the index's leading column.
     IndexRange {
         index: IndexId,
@@ -77,7 +80,9 @@ pub enum PlanJoinKind {
     /// Left rows with at least one match (stop-at-first-match).
     Semi,
     /// Left rows with no match; `null_aware` selects NOT IN semantics.
-    Anti { null_aware: bool },
+    Anti {
+        null_aware: bool,
+    },
     LeftOuter,
 }
 
@@ -128,7 +133,9 @@ impl PlanNode {
         match self {
             PlanNode::OneRow => 0,
             PlanNode::ScanBase { width, .. } | PlanNode::ScanView { width, .. } => *width,
-            PlanNode::Join { left, right, kind, .. } => match kind {
+            PlanNode::Join {
+                left, right, kind, ..
+            } => match kind {
                 PlanJoinKind::Semi | PlanJoinKind::Anti { .. } => left.width(),
                 _ => left.width() + right.width(),
             },
@@ -143,7 +150,9 @@ impl PlanNode {
             PlanNode::ScanBase { refid, width, .. } | PlanNode::ScanView { refid, width, .. } => {
                 out.push((*refid, *width));
             }
-            PlanNode::Join { left, right, kind, .. } => {
+            PlanNode::Join {
+                left, right, kind, ..
+            } => {
                 left.leaf_refs(out);
                 if !matches!(kind, PlanJoinKind::Semi | PlanJoinKind::Anti { .. }) {
                     right.leaf_refs(out);
@@ -175,7 +184,10 @@ impl Layout {
     }
 
     pub fn offset_of(&self, refid: RefId) -> Option<(usize, usize)> {
-        self.slots.iter().find(|(r, _, _)| *r == refid).map(|(_, o, w)| (*o, *w))
+        self.slots
+            .iter()
+            .find(|(r, _, _)| *r == refid)
+            .map(|(_, o, w)| (*o, *w))
     }
 }
 
@@ -258,8 +270,16 @@ impl BlockPlan {
                     self.block,
                     self.cost,
                     self.rows,
-                    if sp.group_by.is_empty() && sp.aggs.is_empty() { "" } else { " agg" },
-                    if sp.distinct || sp.distinct_keys.is_some() { " distinct" } else { "" },
+                    if sp.group_by.is_empty() && sp.aggs.is_empty() {
+                        ""
+                    } else {
+                        " agg"
+                    },
+                    if sp.distinct || sp.distinct_keys.is_some() {
+                        " distinct"
+                    } else {
+                        ""
+                    },
                     match sp.rownum_limit {
                         Some(_) => " limit",
                         None => "",
@@ -273,8 +293,12 @@ impl BlockPlan {
                 }
             }
             PlanRoot::SetOp(sp) => {
-                writeln!(out, "{pad}{:?} (cost={:.0} rows={:.0})", sp.op, self.cost, self.rows)
-                    .unwrap();
+                writeln!(
+                    out,
+                    "{pad}{:?} (cost={:.0} rows={:.0})",
+                    sp.op, self.cost, self.rows
+                )
+                .unwrap();
                 for i in &sp.inputs {
                     i.explain_into(out, depth + 1);
                 }
@@ -290,18 +314,34 @@ fn explain_node(n: &PlanNode, out: &mut String, depth: usize) {
         PlanNode::OneRow => {
             writeln!(out, "{pad}ONE ROW").unwrap();
         }
-        PlanNode::ScanBase { table, refid, access, filter, .. } => {
+        PlanNode::ScanBase {
+            table,
+            refid,
+            access,
+            filter,
+            ..
+        } => {
             writeln!(
                 out,
                 "{pad}SCAN t{} (r{}) {}{}",
                 table.0,
                 refid.0,
                 access.describe(),
-                if filter.is_empty() { String::new() } else { format!(" filter x{}", filter.len()) }
+                if filter.is_empty() {
+                    String::new()
+                } else {
+                    format!(" filter x{}", filter.len())
+                }
             )
             .unwrap();
         }
-        PlanNode::ScanView { block, refid, correlated, plan, .. } => {
+        PlanNode::ScanView {
+            block,
+            refid,
+            correlated,
+            plan,
+            ..
+        } => {
             writeln!(
                 out,
                 "{pad}VIEW {block} (r{}){}",
@@ -311,7 +351,15 @@ fn explain_node(n: &PlanNode, out: &mut String, depth: usize) {
             .unwrap();
             plan.explain_into(out, depth + 1);
         }
-        PlanNode::Join { left, right, kind, method, lateral, rows, .. } => {
+        PlanNode::Join {
+            left,
+            right,
+            kind,
+            method,
+            lateral,
+            rows,
+            ..
+        } => {
             writeln!(
                 out,
                 "{pad}{:?} {:?} JOIN{} (rows={rows:.0})",

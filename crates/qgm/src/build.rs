@@ -19,7 +19,11 @@ use cbqt_sql::ast::{self, BinOp, Expr, JoinKind, SelectItem, SetExpr, SetOp, Tab
 
 /// Builds a query tree from an AST query.
 pub fn build_query_tree(catalog: &Catalog, query: &ast::Query) -> Result<QueryTree> {
-    let mut b = Builder { catalog, tree: QueryTree::new(), scopes: Vec::new() };
+    let mut b = Builder {
+        catalog,
+        tree: QueryTree::new(),
+        scopes: Vec::new(),
+    };
     let root = b.build_query(query)?;
     b.tree.root = root;
     b.tree.validate()?;
@@ -68,7 +72,10 @@ impl<'a> Builder<'a> {
                 let select: Vec<OutputItem> = names
                     .iter()
                     .enumerate()
-                    .map(|(i, n)| OutputItem { expr: QExpr::col(refid, i), name: n.clone() })
+                    .map(|(i, n)| OutputItem {
+                        expr: QExpr::col(refid, i),
+                        name: n.clone(),
+                    })
                     .collect();
                 let wrapper = SelectBlock {
                     tables: vec![QTable {
@@ -109,7 +116,12 @@ impl<'a> Builder<'a> {
             }
             QTableSource::View(b) => (self.tree.block(*b)?.output_names(&self.tree), false),
         };
-        Ok(ScopeEntry { alias: t.alias.clone(), refid: t.refid, columns, has_rowid })
+        Ok(ScopeEntry {
+            alias: t.alias.clone(),
+            refid: t.refid,
+            columns,
+            has_rowid,
+        })
     }
 
     fn build_set_expr(&mut self, se: &SetExpr) -> Result<BlockId> {
@@ -137,9 +149,11 @@ impl<'a> Builder<'a> {
 
     fn flatten_setop(&mut self, op: SetOp, se: &SetExpr, out: &mut Vec<BlockId>) -> Result<()> {
         match se {
-            SetExpr::SetOp { op: inner_op, left, right }
-                if *inner_op == op && matches!(op, SetOp::UnionAll | SetOp::Union) =>
-            {
+            SetExpr::SetOp {
+                op: inner_op,
+                left,
+                right,
+            } if *inner_op == op && matches!(op, SetOp::UnionAll | SetOp::Union) => {
                 self.flatten_setop(op, left, out)?;
                 self.flatten_setop(op, right, out)?;
                 Ok(())
@@ -152,7 +166,10 @@ impl<'a> Builder<'a> {
     }
 
     fn build_select(&mut self, sel: &ast::Select) -> Result<BlockId> {
-        let mut blk = SelectBlock { distinct: sel.distinct, ..Default::default() };
+        let mut blk = SelectBlock {
+            distinct: sel.distinct,
+            ..Default::default()
+        };
         let mut extra_where: Vec<Expr> = Vec::new();
 
         // FROM: flatten, building scope as we go
@@ -222,7 +239,9 @@ impl<'a> Builder<'a> {
                 }
                 SelectItem::Expr { expr, alias } => {
                     let e = self.resolve_expr(expr)?;
-                    let name = alias.clone().unwrap_or_else(|| derive_name(expr, blk.select.len()));
+                    let name = alias
+                        .clone()
+                        .unwrap_or_else(|| derive_name(expr, blk.select.len()));
                     blk.select.push(OutputItem { expr: e, name });
                 }
             }
@@ -249,7 +268,12 @@ impl<'a> Builder<'a> {
                 self.scopes.last_mut().unwrap().push(entry);
                 Ok(())
             }
-            TableRef::Join { left, right, kind, on } => match kind {
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => match kind {
                 JoinKind::Inner | JoinKind::Cross => {
                     self.flatten_table_ref(left, blk)?;
                     self.flatten_table_ref(right, blk)?;
@@ -317,7 +341,12 @@ impl<'a> Builder<'a> {
             TableRef::Derived { query, alias } => {
                 let block = self.build_query(query)?;
                 let refid = self.tree.new_ref();
-                Ok(QTable { refid, alias: alias.clone(), source: QTableSource::View(block), join })
+                Ok(QTable {
+                    refid,
+                    alias: alias.clone(),
+                    source: QTableSource::View(block),
+                    join,
+                })
             }
             TableRef::Join { .. } => Err(Error::analysis("nested join cannot be aliased")),
         }
@@ -334,10 +363,14 @@ impl<'a> Builder<'a> {
                 let r = self.resolve_expr(right)?;
                 Ok(QExpr::bin(*op, l, r))
             }
-            Expr::Unary { op: UnOp::Neg, expr } => {
-                Ok(QExpr::Neg(Box::new(self.resolve_expr(expr)?)))
-            }
-            Expr::Unary { op: UnOp::Not, expr } => {
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => Ok(QExpr::Neg(Box::new(self.resolve_expr(expr)?))),
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => {
                 let inner = self.resolve_expr(expr)?;
                 Ok(negate(inner))
             }
@@ -345,14 +378,31 @@ impl<'a> Builder<'a> {
                 expr: Box::new(self.resolve_expr(expr)?),
                 negated: *negated,
             }),
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let e = self.resolve_expr(expr)?;
-                let list = list.iter().map(|x| self.resolve_expr(x)).collect::<Result<_>>()?;
-                Ok(QExpr::InList { expr: Box::new(e), list, negated: *negated })
+                let list = list
+                    .iter()
+                    .map(|x| self.resolve_expr(x))
+                    .collect::<Result<_>>()?;
+                Ok(QExpr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: *negated,
+                })
             }
-            Expr::InSubquery { exprs, query, negated } => {
-                let lhs: Vec<QExpr> =
-                    exprs.iter().map(|x| self.resolve_expr(x)).collect::<Result<_>>()?;
+            Expr::InSubquery {
+                exprs,
+                query,
+                negated,
+            } => {
+                let lhs: Vec<QExpr> = exprs
+                    .iter()
+                    .map(|x| self.resolve_expr(x))
+                    .collect::<Result<_>>()?;
                 let block = self.build_query(query)?;
                 let arity = self.tree.block(block)?.output_arity(&self.tree);
                 if arity != lhs.len() {
@@ -361,21 +411,41 @@ impl<'a> Builder<'a> {
                         lhs.len()
                     )));
                 }
-                Ok(QExpr::Subq { block, kind: SubqKind::In { lhs, negated: *negated } })
+                Ok(QExpr::Subq {
+                    block,
+                    kind: SubqKind::In {
+                        lhs,
+                        negated: *negated,
+                    },
+                })
             }
             Expr::Exists { query, negated } => {
                 let block = self.build_query(query)?;
-                Ok(QExpr::Subq { block, kind: SubqKind::Exists { negated: *negated } })
+                Ok(QExpr::Subq {
+                    block,
+                    kind: SubqKind::Exists { negated: *negated },
+                })
             }
-            Expr::Quantified { op, quant, left, query } => {
+            Expr::Quantified {
+                op,
+                quant,
+                left,
+                query,
+            } => {
                 let lhs = self.resolve_expr(left)?;
                 let block = self.build_query(query)?;
                 if self.tree.block(block)?.output_arity(&self.tree) != 1 {
-                    return Err(Error::analysis("quantified subquery must return one column"));
+                    return Err(Error::analysis(
+                        "quantified subquery must return one column",
+                    ));
                 }
                 Ok(QExpr::Subq {
                     block,
-                    kind: SubqKind::Quant { op: *op, quant: *quant, lhs: Box::new(lhs) },
+                    kind: SubqKind::Quant {
+                        op: *op,
+                        quant: *quant,
+                        lhs: Box::new(lhs),
+                    },
                 })
             }
             Expr::ScalarSubquery(query) => {
@@ -383,9 +453,17 @@ impl<'a> Builder<'a> {
                 if self.tree.block(block)?.output_arity(&self.tree) != 1 {
                     return Err(Error::analysis("scalar subquery must return one column"));
                 }
-                Ok(QExpr::Subq { block, kind: SubqKind::Scalar })
+                Ok(QExpr::Subq {
+                    block,
+                    kind: SubqKind::Scalar,
+                })
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let e = self.resolve_expr(expr)?;
                 let lo = self.resolve_expr(low)?;
                 let hi = self.resolve_expr(high)?;
@@ -396,12 +474,20 @@ impl<'a> Builder<'a> {
                 );
                 Ok(if *negated { negate(both) } else { both })
             }
-            Expr::Like { expr, pattern, negated } => Ok(QExpr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Ok(QExpr::Like {
                 expr: Box::new(self.resolve_expr(expr)?),
                 pattern: Box::new(self.resolve_expr(pattern)?),
                 negated: *negated,
             }),
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 let operand = match operand {
                     Some(o) => Some(Box::new(self.resolve_expr(o)?)),
                     None => None,
@@ -414,12 +500,22 @@ impl<'a> Builder<'a> {
                     Some(o) => Some(Box::new(self.resolve_expr(o)?)),
                     None => None,
                 };
-                Ok(QExpr::Case { operand, branches, else_expr })
+                Ok(QExpr::Case {
+                    operand,
+                    branches,
+                    else_expr,
+                })
             }
-            Expr::Func { name, args, distinct, window } => {
-                self.resolve_func(name, args, *distinct, window.as_ref())
-            }
-            Expr::Rownum => Ok(QExpr::Func { name: "$ROWNUM".into(), args: vec![] }),
+            Expr::Func {
+                name,
+                args,
+                distinct,
+                window,
+            } => self.resolve_func(name, args, *distinct, window.as_ref()),
+            Expr::Rownum => Ok(QExpr::Func {
+                name: "$ROWNUM".into(),
+                args: vec![],
+            }),
         }
     }
 
@@ -432,7 +528,9 @@ impl<'a> Builder<'a> {
     ) -> Result<QExpr> {
         let upper = name.to_ascii_uppercase();
         if upper == "$ROW" {
-            return Err(Error::analysis("row expression is only valid before IN (subquery)"));
+            return Err(Error::analysis(
+                "row expression is only valid before IN (subquery)",
+            ));
         }
         let agg = match upper.as_str() {
             "COUNT" if args.is_empty() => Some(AggFunc::CountStar),
@@ -445,7 +543,9 @@ impl<'a> Builder<'a> {
         };
         if let Some(func) = agg {
             if args.len() > 1 {
-                return Err(Error::analysis(format!("{upper} takes at most one argument")));
+                return Err(Error::analysis(format!(
+                    "{upper} takes at most one argument"
+                )));
             }
             let arg = match args.first() {
                 Some(a) => Some(Box::new(self.resolve_expr(a)?)),
@@ -455,20 +555,39 @@ impl<'a> Builder<'a> {
                 return Err(Error::analysis(format!("{upper} requires an argument")));
             }
             if let Some(w) = window {
-                let partition_by =
-                    w.partition_by.iter().map(|e| self.resolve_expr(e)).collect::<Result<_>>()?;
+                let partition_by = w
+                    .partition_by
+                    .iter()
+                    .map(|e| self.resolve_expr(e))
+                    .collect::<Result<_>>()?;
                 let order_by = self.resolve_order_items(&w.order_by, None)?;
-                return Ok(QExpr::Win { func: WinFunc::Agg(func), arg, partition_by, order_by });
+                return Ok(QExpr::Win {
+                    func: WinFunc::Agg(func),
+                    arg,
+                    partition_by,
+                    order_by,
+                });
             }
-            return Ok(QExpr::Agg { func, arg, distinct });
+            return Ok(QExpr::Agg {
+                func,
+                arg,
+                distinct,
+            });
         }
         if upper == "ROW_NUMBER" {
-            let w = window
-                .ok_or_else(|| Error::analysis("ROW_NUMBER requires an OVER clause"))?;
-            let partition_by =
-                w.partition_by.iter().map(|e| self.resolve_expr(e)).collect::<Result<_>>()?;
+            let w = window.ok_or_else(|| Error::analysis("ROW_NUMBER requires an OVER clause"))?;
+            let partition_by = w
+                .partition_by
+                .iter()
+                .map(|e| self.resolve_expr(e))
+                .collect::<Result<_>>()?;
             let order_by = self.resolve_order_items(&w.order_by, None)?;
-            return Ok(QExpr::Win { func: WinFunc::RowNumber, arg: None, partition_by, order_by });
+            return Ok(QExpr::Win {
+                func: WinFunc::RowNumber,
+                arg: None,
+                partition_by,
+                order_by,
+            });
         }
         if window.is_some() {
             return Err(Error::unsupported(format!("window function {upper}")));
@@ -495,7 +614,10 @@ impl<'a> Builder<'a> {
         if args.len() < *lo || args.len() > *hi {
             return Err(Error::analysis(format!("wrong argument count for {upper}")));
         }
-        let args = args.iter().map(|a| self.resolve_expr(a)).collect::<Result<_>>()?;
+        let args = args
+            .iter()
+            .map(|a| self.resolve_expr(a))
+            .collect::<Result<_>>()?;
         Ok(QExpr::Func { name: upper, args })
     }
 
@@ -515,9 +637,20 @@ impl<'a> Builder<'a> {
                         .get(idx)
                         .map(|item| item.expr.clone())
                         .ok_or_else(|| Error::analysis(format!("ORDER BY position {i} invalid")))?
-                } else if let (Some(b), Expr::Column { qualifier: None, name }) = (block, &o.expr) {
+                } else if let (
+                    Some(b),
+                    Expr::Column {
+                        qualifier: None,
+                        name,
+                    },
+                ) = (block, &o.expr)
+                {
                     let s = self.tree.select(b)?;
-                    match s.select.iter().find(|it| it.name.eq_ignore_ascii_case(name)) {
+                    match s
+                        .select
+                        .iter()
+                        .find(|it| it.name.eq_ignore_ascii_case(name))
+                    {
                         Some(item) => item.expr.clone(),
                         None => self.resolve_expr(&o.expr)?,
                     }
@@ -538,9 +671,8 @@ impl<'a> Builder<'a> {
         if let Some(q) = qualifier {
             for scope in self.scopes.iter().rev() {
                 if let Some(entry) = scope.iter().find(|e| e.alias.eq_ignore_ascii_case(q)) {
-                    return column_in_entry(entry, name).ok_or_else(|| {
-                        Error::analysis(format!("column {name} not found in {q}"))
-                    });
+                    return column_in_entry(entry, name)
+                        .ok_or_else(|| Error::analysis(format!("column {name} not found in {q}")));
                 }
             }
             return Err(Error::analysis(format!("unknown table alias {q}")));
@@ -575,20 +707,37 @@ fn column_in_entry(entry: &ScopeEntry, name: &str) -> Option<QExpr> {
 
 fn expand_wildcard(entry: &ScopeEntry, blk: &mut SelectBlock) {
     for (i, c) in entry.columns.iter().enumerate() {
-        blk.select.push(OutputItem { expr: QExpr::col(entry.refid, i), name: c.clone() });
+        blk.select.push(OutputItem {
+            expr: QExpr::col(entry.refid, i),
+            name: c.clone(),
+        });
     }
 }
 
 /// Applies `NOT` with subquery-aware folding.
 fn negate(e: QExpr) -> QExpr {
     match e {
-        QExpr::Subq { block, kind: SubqKind::Exists { negated } } => {
-            QExpr::Subq { block, kind: SubqKind::Exists { negated: !negated } }
-        }
-        QExpr::Subq { block, kind: SubqKind::In { lhs, negated } } => {
-            QExpr::Subq { block, kind: SubqKind::In { lhs, negated: !negated } }
-        }
-        QExpr::IsNull { expr, negated } => QExpr::IsNull { expr, negated: !negated },
+        QExpr::Subq {
+            block,
+            kind: SubqKind::Exists { negated },
+        } => QExpr::Subq {
+            block,
+            kind: SubqKind::Exists { negated: !negated },
+        },
+        QExpr::Subq {
+            block,
+            kind: SubqKind::In { lhs, negated },
+        } => QExpr::Subq {
+            block,
+            kind: SubqKind::In {
+                lhs,
+                negated: !negated,
+            },
+        },
+        QExpr::IsNull { expr, negated } => QExpr::IsNull {
+            expr,
+            negated: !negated,
+        },
         QExpr::Not(inner) => *inner,
         other => QExpr::Not(Box::new(other)),
     }
@@ -635,7 +784,9 @@ fn extract_rownum_limit(blk: &mut SelectBlock) -> Result<()> {
 }
 
 fn rownum_bound(e: &QExpr) -> Option<u64> {
-    let QExpr::Bin { op, left, right } = e else { return None };
+    let QExpr::Bin { op, left, right } = e else {
+        return None;
+    };
     let is_rownum = |x: &QExpr| matches!(x, QExpr::Func { name, .. } if name == "$ROWNUM");
     let lit = |x: &QExpr| match x {
         QExpr::Lit(Value::Int(i)) => Some(*i),
@@ -669,8 +820,16 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
-        let icol = |n: &str| Column { name: n.into(), data_type: DataType::Int, not_null: false };
-        let scol = |n: &str| Column { name: n.into(), data_type: DataType::Str, not_null: false };
+        let icol = |n: &str| Column {
+            name: n.into(),
+            data_type: DataType::Int,
+            not_null: false,
+        };
+        let scol = |n: &str| Column {
+            name: n.into(),
+            data_type: DataType::Str,
+            not_null: false,
+        };
         let loc = cat
             .add_table(
                 "locations",
@@ -713,7 +872,12 @@ mod tests {
         .unwrap();
         cat.add_table(
             "job_history",
-            vec![icol("emp_id"), scol("job_title"), icol("start_date"), icol("dept_id")],
+            vec![
+                icol("emp_id"),
+                scol("job_title"),
+                icol("start_date"),
+                icol("dept_id"),
+            ],
             vec![],
         )
         .unwrap();
@@ -828,9 +992,7 @@ mod tests {
 
     #[test]
     fn rollup_grouping_sets() {
-        let t = build(
-            "SELECT dept_id, COUNT(*) FROM employees GROUP BY ROLLUP (dept_id, mgr_id)",
-        );
+        let t = build("SELECT dept_id, COUNT(*) FROM employees GROUP BY ROLLUP (dept_id, mgr_id)");
         let s = t.select(t.root).unwrap();
         assert_eq!(s.group_by.len(), 2);
         assert_eq!(s.grouping_sets, Some(vec![vec![0, 1], vec![0], vec![]]));
@@ -860,13 +1022,17 @@ mod tests {
 
     #[test]
     fn setop_arity_mismatch_rejected() {
-        let e = build_err("SELECT emp_id, salary FROM employees UNION ALL SELECT emp_id FROM job_history");
+        let e = build_err(
+            "SELECT emp_id, salary FROM employees UNION ALL SELECT emp_id FROM job_history",
+        );
         assert!(e.to_string().contains("column counts"));
     }
 
     #[test]
     fn setop_with_order_by_wrapped() {
-        let t = build("SELECT emp_id FROM employees UNION ALL SELECT emp_id FROM job_history ORDER BY emp_id");
+        let t = build(
+            "SELECT emp_id FROM employees UNION ALL SELECT emp_id FROM job_history ORDER BY emp_id",
+        );
         let s = t.select(t.root).unwrap();
         assert_eq!(s.tables.len(), 1);
         assert!(matches!(s.tables[0].source, QTableSource::View(_)));
@@ -901,7 +1067,10 @@ mod tests {
         let s = t.select(t.root).unwrap();
         assert!(matches!(
             &s.where_conjuncts[0],
-            QExpr::Subq { kind: SubqKind::Exists { negated: true }, .. }
+            QExpr::Subq {
+                kind: SubqKind::Exists { negated: true },
+                ..
+            }
         ));
     }
 

@@ -63,9 +63,18 @@ pub struct QOrder {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SubqKind {
     Scalar,
-    Exists { negated: bool },
-    In { lhs: Vec<QExpr>, negated: bool },
-    Quant { op: BinOp, quant: Quant, lhs: Box<QExpr> },
+    Exists {
+        negated: bool,
+    },
+    In {
+        lhs: Vec<QExpr>,
+        negated: bool,
+    },
+    Quant {
+        op: BinOp,
+        quant: Quant,
+        lhs: Box<QExpr>,
+    },
 }
 
 /// QGM scalar expression.
@@ -75,23 +84,60 @@ pub enum QExpr {
     /// For base tables, `column` is the catalog ordinal (the ordinal just
     /// past the last column is the virtual ROWID); for views it is the
     /// position in the view's select list.
-    Col { table: RefId, column: usize },
+    Col {
+        table: RefId,
+        column: usize,
+    },
     Lit(Value),
-    Bin { op: BinOp, left: Box<QExpr>, right: Box<QExpr> },
+    Bin {
+        op: BinOp,
+        left: Box<QExpr>,
+        right: Box<QExpr>,
+    },
     Not(Box<QExpr>),
     Neg(Box<QExpr>),
-    IsNull { expr: Box<QExpr>, negated: bool },
-    InList { expr: Box<QExpr>, list: Vec<QExpr>, negated: bool },
-    Like { expr: Box<QExpr>, pattern: Box<QExpr>, negated: bool },
-    Case { operand: Option<Box<QExpr>>, branches: Vec<(QExpr, QExpr)>, else_expr: Option<Box<QExpr>> },
+    IsNull {
+        expr: Box<QExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<QExpr>,
+        list: Vec<QExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<QExpr>,
+        pattern: Box<QExpr>,
+        negated: bool,
+    },
+    Case {
+        operand: Option<Box<QExpr>>,
+        branches: Vec<(QExpr, QExpr)>,
+        else_expr: Option<Box<QExpr>>,
+    },
     /// Scalar function call (UPPER, ABS, MOD, EXPENSIVE, ...).
-    Func { name: String, args: Vec<QExpr> },
+    Func {
+        name: String,
+        args: Vec<QExpr>,
+    },
     /// Plain (non-windowed) aggregate.
-    Agg { func: AggFunc, arg: Option<Box<QExpr>>, distinct: bool },
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<QExpr>>,
+        distinct: bool,
+    },
     /// Window function.
-    Win { func: WinFunc, arg: Option<Box<QExpr>>, partition_by: Vec<QExpr>, order_by: Vec<QOrder> },
+    Win {
+        func: WinFunc,
+        arg: Option<Box<QExpr>>,
+        partition_by: Vec<QExpr>,
+        order_by: Vec<QOrder>,
+    },
     /// Subquery reference.
-    Subq { block: BlockId, kind: SubqKind },
+    Subq {
+        block: BlockId,
+        kind: SubqKind,
+    },
 }
 
 impl QExpr {
@@ -104,7 +150,11 @@ impl QExpr {
     }
 
     pub fn bin(op: BinOp, l: QExpr, r: QExpr) -> QExpr {
-        QExpr::Bin { op, left: Box::new(l), right: Box::new(r) }
+        QExpr::Bin {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     pub fn eq(l: QExpr, r: QExpr) -> QExpr {
@@ -133,7 +183,11 @@ impl QExpr {
                 expr.walk(f);
                 pattern.walk(f);
             }
-            QExpr::Case { operand, branches, else_expr } => {
+            QExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 if let Some(o) = operand {
                     o.walk(f);
                 }
@@ -155,7 +209,12 @@ impl QExpr {
                     a.walk(f);
                 }
             }
-            QExpr::Win { arg, partition_by, order_by, .. } => {
+            QExpr::Win {
+                arg,
+                partition_by,
+                order_by,
+                ..
+            } => {
                 if let Some(a) = arg {
                     a.walk(f);
                 }
@@ -199,7 +258,11 @@ impl QExpr {
                 expr.walk_mut(f);
                 pattern.walk_mut(f);
             }
-            QExpr::Case { operand, branches, else_expr } => {
+            QExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 if let Some(o) = operand {
                     o.walk_mut(f);
                 }
@@ -221,7 +284,12 @@ impl QExpr {
                     a.walk_mut(f);
                 }
             }
-            QExpr::Win { arg, partition_by, order_by, .. } => {
+            QExpr::Win {
+                arg,
+                partition_by,
+                order_by,
+                ..
+            } => {
                 if let Some(a) = arg {
                     a.walk_mut(f);
                 }
@@ -275,7 +343,11 @@ impl QExpr {
                 f(expr);
                 f(pattern);
             }
-            QExpr::Case { operand, branches, else_expr } => {
+            QExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 if let Some(o) = operand {
                     f(o);
                 }
@@ -297,7 +369,12 @@ impl QExpr {
                     f(a);
                 }
             }
-            QExpr::Win { arg, partition_by, order_by, .. } => {
+            QExpr::Win {
+                arg,
+                partition_by,
+                order_by,
+                ..
+            } => {
                 if let Some(a) = arg {
                     f(a);
                 }
@@ -415,7 +492,11 @@ impl QExpr {
     /// Splits a conjunction into its conjuncts.
     pub fn split_conjuncts(self, out: &mut Vec<QExpr>) {
         match self {
-            QExpr::Bin { op: BinOp::And, left, right } => {
+            QExpr::Bin {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
                 left.split_conjuncts(out);
                 right.split_conjuncts(out);
             }
@@ -433,7 +514,11 @@ impl QExpr {
     /// If this is `a = b` returns the two sides.
     pub fn as_equality(&self) -> Option<(&QExpr, &QExpr)> {
         match self {
-            QExpr::Bin { op: BinOp::Eq, left, right } => Some((left, right)),
+            QExpr::Bin {
+                op: BinOp::Eq,
+                left,
+                right,
+            } => Some((left, right)),
             _ => None,
         }
     }
@@ -443,9 +528,16 @@ impl QExpr {
     pub fn as_col_equality(&self) -> Option<((RefId, usize), (RefId, usize))> {
         let (l, r) = self.as_equality()?;
         match (l, r) {
-            (QExpr::Col { table: t1, column: c1 }, QExpr::Col { table: t2, column: c2 }) => {
-                Some(((*t1, *c1), (*t2, *c2)))
-            }
+            (
+                QExpr::Col {
+                    table: t1,
+                    column: c1,
+                },
+                QExpr::Col {
+                    table: t2,
+                    column: c2,
+                },
+            ) => Some(((*t1, *c1), (*t2, *c2))),
             _ => None,
         }
     }
@@ -467,17 +559,26 @@ pub enum QTableSource {
 pub enum JoinInfo {
     Inner,
     /// This reference is the right side of a semijoin with `on`.
-    Semi { on: Vec<QExpr> },
+    Semi {
+        on: Vec<QExpr>,
+    },
     /// Right side of an antijoin; `null_aware` selects the NOT IN
     /// semantics where NULLs in the connecting columns poison matches.
-    Anti { on: Vec<QExpr>, null_aware: bool },
+    Anti {
+        on: Vec<QExpr>,
+        null_aware: bool,
+    },
     /// Right (null-producing) side of a left outer join.
-    LeftOuter { on: Vec<QExpr> },
+    LeftOuter {
+        on: Vec<QExpr>,
+    },
     /// A view correlated to sibling tables (produced by join predicate
     /// pushdown): must be evaluated per outer row, nested-loop only.
     /// `semi` marks the JPPD variant where the view's distinct was
     /// removed and the join degenerates to a semijoin (§2.2.3).
-    Lateral { semi: bool },
+    Lateral {
+        semi: bool,
+    },
 }
 
 impl JoinInfo {
@@ -704,7 +805,11 @@ pub struct QueryTree {
 
 impl QueryTree {
     pub fn new() -> QueryTree {
-        QueryTree { blocks: Vec::new(), root: BlockId(0), next_ref: 0 }
+        QueryTree {
+            blocks: Vec::new(),
+            root: BlockId(0),
+            next_ref: 0,
+        }
     }
 
     pub fn add_block(&mut self, b: QueryBlock) -> BlockId {
@@ -970,12 +1075,14 @@ impl QueryTree {
             if let QueryBlock::Select(s) = self.block_mut(nb)? {
                 s.for_each_expr_mut(&mut |e| {
                     e.rewrite(&mut |n| match n {
-                        QExpr::Col { table, column } => ref_map
-                            .get(table)
-                            .map(|nr| QExpr::Col { table: *nr, column: *column }),
-                        QExpr::Subq { block, kind } => block_map
-                            .get(block)
-                            .map(|nb| QExpr::Subq { block: *nb, kind: kind.clone() }),
+                        QExpr::Col { table, column } => ref_map.get(table).map(|nr| QExpr::Col {
+                            table: *nr,
+                            column: *column,
+                        }),
+                        QExpr::Subq { block, kind } => block_map.get(block).map(|nb| QExpr::Subq {
+                            block: *nb,
+                            kind: kind.clone(),
+                        }),
                         _ => None,
                     })
                 });
@@ -1078,7 +1185,10 @@ mod tests {
                 source: QTableSource::Base(TableId(0)),
                 join: JoinInfo::Inner,
             }],
-            select: vec![OutputItem { expr: QExpr::col(r, 0), name: "c0".into() }],
+            select: vec![OutputItem {
+                expr: QExpr::col(r, 0),
+                name: "c0".into(),
+            }],
             where_conjuncts: vec![QExpr::eq(QExpr::col(r, 1), QExpr::lit(5i64))],
             ..Default::default()
         };
@@ -1154,7 +1264,10 @@ mod tests {
                 source: QTableSource::Base(TableId(1)),
                 join: JoinInfo::Inner,
             }],
-            select: vec![OutputItem { expr: QExpr::lit(1i64), name: "one".into() }],
+            select: vec![OutputItem {
+                expr: QExpr::lit(1i64),
+                name: "one".into(),
+            }],
             where_conjuncts: vec![QExpr::eq(QExpr::col(r1, 0), QExpr::col(r0, 0))],
             ..Default::default()
         }));
@@ -1165,7 +1278,10 @@ mod tests {
                 source: QTableSource::Base(TableId(0)),
                 join: JoinInfo::Inner,
             }],
-            select: vec![OutputItem { expr: QExpr::col(r0, 0), name: "c0".into() }],
+            select: vec![OutputItem {
+                expr: QExpr::col(r0, 0),
+                name: "c0".into(),
+            }],
             where_conjuncts: vec![QExpr::Subq {
                 block: sub,
                 kind: SubqKind::Exists { negated: false },
@@ -1175,7 +1291,10 @@ mod tests {
         tree.root = root;
         tree.validate().unwrap();
         assert!(tree.is_correlated(sub));
-        assert_eq!(tree.correlated_refs(sub).into_iter().collect::<Vec<_>>(), vec![r0]);
+        assert_eq!(
+            tree.correlated_refs(sub).into_iter().collect::<Vec<_>>(),
+            vec![r0]
+        );
         assert!(!tree.is_correlated(root));
         assert_eq!(tree.parent_of(sub), Some(root));
         assert_eq!(tree.ref_owner(r1), Some(sub));
@@ -1215,18 +1334,31 @@ mod tests {
 
     #[test]
     fn expensive_detection() {
-        let e = QExpr::Func { name: "EXPENSIVE".into(), args: vec![QExpr::lit(1i64)] };
+        let e = QExpr::Func {
+            name: "EXPENSIVE".into(),
+            args: vec![QExpr::lit(1i64)],
+        };
         assert!(e.is_expensive());
-        let e2 = QExpr::Func { name: "UPPER".into(), args: vec![QExpr::lit("x")] };
+        let e2 = QExpr::Func {
+            name: "UPPER".into(),
+            args: vec![QExpr::lit("x")],
+        };
         assert!(!e2.is_expensive());
     }
 
     #[test]
     fn is_aggregated_checks() {
         let mut s = SelectBlock::default();
-        s.select.push(OutputItem { expr: QExpr::lit(1i64), name: "x".into() });
+        s.select.push(OutputItem {
+            expr: QExpr::lit(1i64),
+            name: "x".into(),
+        });
         assert!(!s.is_aggregated());
-        s.select[0].expr = QExpr::Agg { func: AggFunc::CountStar, arg: None, distinct: false };
+        s.select[0].expr = QExpr::Agg {
+            func: AggFunc::CountStar,
+            arg: None,
+            distinct: false,
+        };
         assert!(s.is_aggregated());
     }
 }

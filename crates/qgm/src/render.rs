@@ -40,7 +40,11 @@ impl<'a> Renderer<'a> {
                 }
             }
         }
-        Renderer { tree, catalog, refs }
+        Renderer {
+            tree,
+            catalog,
+            refs,
+        }
     }
 
     fn indent(depth: usize) -> String {
@@ -91,11 +95,18 @@ impl<'a> Renderer<'a> {
         out.push_str(&items.join(", "));
         if !s.tables.is_empty() {
             write!(out, "\n{pad}FROM ").unwrap();
-            let tbls: Vec<String> = s.tables.iter().map(|t| self.render_table(t, depth)).collect();
+            let tbls: Vec<String> = s
+                .tables
+                .iter()
+                .map(|t| self.render_table(t, depth))
+                .collect();
             out.push_str(&tbls.join(", "));
         }
-        let mut conjuncts: Vec<String> =
-            s.where_conjuncts.iter().map(|c| self.render_expr(c)).collect();
+        let mut conjuncts: Vec<String> = s
+            .where_conjuncts
+            .iter()
+            .map(|c| self.render_expr(c))
+            .collect();
         if let Some(limit) = s.rownum_limit {
             conjuncts.push(format!("ROWNUM <= {limit}"));
         }
@@ -108,8 +119,7 @@ impl<'a> Renderer<'a> {
                 let sets_s: Vec<String> = sets
                     .iter()
                     .map(|set| {
-                        let cols: Vec<&str> =
-                            set.iter().map(|&i| keys[i].as_str()).collect();
+                        let cols: Vec<&str> = set.iter().map(|&i| keys[i].as_str()).collect();
                         format!("({})", cols.join(", "))
                     })
                     .collect();
@@ -151,7 +161,11 @@ impl<'a> Renderer<'a> {
                 .map(|tb| tb.name.clone())
                 .unwrap_or_else(|_| format!("<table {}>", tid.0)),
             QTableSource::View(b) => {
-                format!("(\n{}\n{})", self.render_block(*b, depth + 1), Self::indent(depth))
+                format!(
+                    "(\n{}\n{})",
+                    self.render_block(*b, depth + 1),
+                    Self::indent(depth)
+                )
             }
         };
         let base = format!("{src} {}", t.alias);
@@ -168,7 +182,11 @@ impl<'a> Renderer<'a> {
                 format!("SEMI JOIN {base} ON ({})", self.render_conj(on))
             }
             JoinInfo::Anti { on, null_aware } => {
-                let kw = if *null_aware { "NULL-AWARE ANTI JOIN" } else { "ANTI JOIN" };
+                let kw = if *null_aware {
+                    "NULL-AWARE ANTI JOIN"
+                } else {
+                    "ANTI JOIN"
+                };
                 format!("{kw} {base} ON ({})", self.render_conj(on))
             }
             JoinInfo::LeftOuter { on } => {
@@ -178,7 +196,10 @@ impl<'a> Renderer<'a> {
     }
 
     fn render_conj(&self, cs: &[QExpr]) -> String {
-        cs.iter().map(|c| self.render_expr(c)).collect::<Vec<_>>().join(" AND ")
+        cs.iter()
+            .map(|c| self.render_expr(c))
+            .collect::<Vec<_>>()
+            .join(" AND ")
     }
 
     fn render_col(&self, r: RefId, c: usize) -> String {
@@ -208,7 +229,11 @@ impl<'a> Renderer<'a> {
             QExpr::Col { table, column } => self.render_col(*table, *column),
             QExpr::Lit(v) => v.to_string(),
             QExpr::Bin { op, left, right } => {
-                format!("({} {op} {})", self.render_expr(left), self.render_expr(right))
+                format!(
+                    "({} {op} {})",
+                    self.render_expr(left),
+                    self.render_expr(right)
+                )
             }
             QExpr::Not(x) => format!("NOT ({})", self.render_expr(x)),
             QExpr::Neg(x) => format!("-({})", self.render_expr(x)),
@@ -217,26 +242,46 @@ impl<'a> Renderer<'a> {
                 self.render_expr(expr),
                 if *negated { "NOT " } else { "" }
             ),
-            QExpr::InList { expr, list, negated } => format!(
+            QExpr::InList {
+                expr,
+                list,
+                negated,
+            } => format!(
                 "{} {}IN ({})",
                 self.render_expr(expr),
                 if *negated { "NOT " } else { "" },
-                list.iter().map(|x| self.render_expr(x)).collect::<Vec<_>>().join(", ")
+                list.iter()
+                    .map(|x| self.render_expr(x))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
-            QExpr::Like { expr, pattern, negated } => format!(
+            QExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => format!(
                 "{} {}LIKE {}",
                 self.render_expr(expr),
                 if *negated { "NOT " } else { "" },
                 self.render_expr(pattern)
             ),
-            QExpr::Case { operand, branches, else_expr } => {
+            QExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 let mut s = String::from("CASE");
                 if let Some(o) = operand {
                     write!(s, " {}", self.render_expr(o)).unwrap();
                 }
                 for (w, t) in branches {
-                    write!(s, " WHEN {} THEN {}", self.render_expr(w), self.render_expr(t))
-                        .unwrap();
+                    write!(
+                        s,
+                        " WHEN {} THEN {}",
+                        self.render_expr(w),
+                        self.render_expr(t)
+                    )
+                    .unwrap();
                 }
                 if let Some(x) = else_expr {
                     write!(s, " ELSE {}", self.render_expr(x)).unwrap();
@@ -246,9 +291,16 @@ impl<'a> Renderer<'a> {
             }
             QExpr::Func { name, args } => format!(
                 "{name}({})",
-                args.iter().map(|x| self.render_expr(x)).collect::<Vec<_>>().join(", ")
+                args.iter()
+                    .map(|x| self.render_expr(x))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
-            QExpr::Agg { func, arg, distinct } => {
+            QExpr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
                 let inner = match arg {
                     Some(a) => format!(
                         "{}{}",
@@ -259,12 +311,20 @@ impl<'a> Renderer<'a> {
                 };
                 format!("{}({inner})", func.name())
             }
-            QExpr::Win { func, arg, partition_by, order_by } => {
+            QExpr::Win {
+                func,
+                arg,
+                partition_by,
+                order_by,
+            } => {
                 let fname = match func {
                     WinFunc::Agg(a) => a.name(),
                     WinFunc::RowNumber => "ROW_NUMBER",
                 };
-                let inner = arg.as_ref().map(|a| self.render_expr(a)).unwrap_or_default();
+                let inner = arg
+                    .as_ref()
+                    .map(|a| self.render_expr(a))
+                    .unwrap_or_default();
                 let mut over = String::new();
                 if !partition_by.is_empty() {
                     write!(
@@ -303,10 +363,9 @@ impl<'a> Renderer<'a> {
                 let body = self.render_block(*block, 1);
                 match kind {
                     SubqKind::Scalar => format!("(\n{body})"),
-                    SubqKind::Exists { negated } => format!(
-                        "{}EXISTS (\n{body})",
-                        if *negated { "NOT " } else { "" }
-                    ),
+                    SubqKind::Exists { negated } => {
+                        format!("{}EXISTS (\n{body})", if *negated { "NOT " } else { "" })
+                    }
                     SubqKind::In { lhs, negated } => {
                         let l: Vec<String> = lhs.iter().map(|x| self.render_expr(x)).collect();
                         format!(
@@ -339,14 +398,19 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
-        let icol = |n: &str| Column { name: n.into(), data_type: DataType::Int, not_null: false };
+        let icol = |n: &str| Column {
+            name: n.into(),
+            data_type: DataType::Int,
+            not_null: false,
+        };
         cat.add_table(
             "t",
             vec![icol("a"), icol("b")],
             vec![Constraint::PrimaryKey(vec![0])],
         )
         .unwrap();
-        cat.add_table("u", vec![icol("x"), icol("y")], vec![]).unwrap();
+        cat.add_table("u", vec![icol("x"), icol("y")], vec![])
+            .unwrap();
         cat
     }
 
@@ -388,10 +452,10 @@ mod tests {
     #[test]
     fn equivalent_blocks_render_identically() {
         let cat = catalog();
-        let t1 = build_query_tree(&cat, &parse_query("SELECT a FROM t WHERE b = 3").unwrap())
-            .unwrap();
-        let t2 = build_query_tree(&cat, &parse_query("SELECT a FROM t WHERE b = 3").unwrap())
-            .unwrap();
+        let t1 =
+            build_query_tree(&cat, &parse_query("SELECT a FROM t WHERE b = 3").unwrap()).unwrap();
+        let t2 =
+            build_query_tree(&cat, &parse_query("SELECT a FROM t WHERE b = 3").unwrap()).unwrap();
         assert_eq!(render_tree(&t1, &cat), render_tree(&t2, &cat));
     }
 

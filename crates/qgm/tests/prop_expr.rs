@@ -4,45 +4,45 @@ use cbqt_catalog::{Catalog, Column, Constraint};
 use cbqt_common::{DataType, Value};
 use cbqt_qgm::{build_query_tree, render_tree, BinOp, QExpr};
 use cbqt_sql::parse_query;
-use proptest::prelude::*;
+use cbqt_testkit::prop::{any_bool, any_i64, just, recursive, SBox, Strategy};
+use cbqt_testkit::{one_of, props};
 
-fn arb_expr() -> impl Strategy<Value = QExpr> {
-    let leaf = prop_oneof![
+fn arb_expr() -> SBox<QExpr> {
+    let leaf = one_of![
         (0u32..4, 0usize..3).prop_map(|(r, c)| QExpr::col(cbqt_qgm::RefId(r), c)),
-        any::<i64>().prop_map(QExpr::lit),
-        Just(QExpr::Lit(Value::Null)),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
+        any_i64().prop_map(QExpr::lit),
+        just(QExpr::Lit(Value::Null)),
+    ]
+    .boxed();
+    recursive(leaf, 4, |inner| {
+        one_of![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| QExpr::bin(BinOp::And, a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| QExpr::bin(BinOp::Or, a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| QExpr::eq(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| QExpr::bin(BinOp::Add, a, b)),
             inner.clone().prop_map(|a| QExpr::Not(Box::new(a))),
         ]
+        .boxed()
     })
 }
 
-proptest! {
-    #[test]
+props! {
     fn split_then_conjoin_preserves_conjuncts(e in arb_expr()) {
         let mut parts = Vec::new();
         e.clone().split_conjuncts(&mut parts);
-        prop_assert!(!parts.is_empty());
+        assert!(!parts.is_empty());
         let rejoined = QExpr::conjoin(parts.clone()).unwrap();
         let mut parts2 = Vec::new();
         rejoined.split_conjuncts(&mut parts2);
-        prop_assert_eq!(parts, parts2);
+        assert_eq!(parts, parts2);
     }
 
-    #[test]
     fn identity_rewrite_is_noop(e in arb_expr()) {
         let mut e2 = e.clone();
         e2.rewrite(&mut |_| None);
-        prop_assert_eq!(e, e2);
+        assert_eq!(e, e2);
     }
 
-    #[test]
     fn walk_visits_at_least_every_col(e in arb_expr()) {
         let mut cols = Vec::new();
         e.collect_cols(&mut cols);
@@ -52,40 +52,43 @@ proptest! {
                 visits += 1;
             }
         });
-        prop_assert_eq!(visits, cols.len());
+        assert_eq!(visits, cols.len());
     }
 
-    #[test]
     fn referenced_tables_closed_under_rewrite_to_lit(e in arb_expr()) {
         let mut e2 = e.clone();
         e2.rewrite(&mut |n| match n {
             QExpr::Col { .. } => Some(QExpr::lit(0i64)),
             _ => None,
         });
-        prop_assert!(e2.referenced_tables().is_empty());
+        assert!(e2.referenced_tables().is_empty());
     }
 }
 
 fn catalog() -> Catalog {
     let mut cat = Catalog::new();
-    let icol = |n: &str| Column { name: n.into(), data_type: DataType::Int, not_null: false };
+    let icol = |n: &str| Column {
+        name: n.into(),
+        data_type: DataType::Int,
+        not_null: false,
+    };
     cat.add_table(
         "t",
         vec![icol("a"), icol("b"), icol("c")],
         vec![Constraint::PrimaryKey(vec![0])],
     )
     .unwrap();
-    cat.add_table("u", vec![icol("x"), icol("y")], vec![]).unwrap();
+    cat.add_table("u", vec![icol("x"), icol("y")], vec![])
+        .unwrap();
     cat
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
+props! {
+    #[cases(64)]
     fn import_subtree_preserves_rendering(
         a_lo in -50i64..50,
-        use_sub in any::<bool>(),
-        order in any::<bool>(),
+        use_sub in any_bool(),
+        order in any_bool(),
     ) {
         // deep-copying a whole tree into a fresh arena must preserve the
         // canonical rendering (the annotation-reuse key)
@@ -105,10 +108,10 @@ proptest! {
         let root = fresh.import_subtree(&tree, tree.root).unwrap();
         fresh.root = root;
         fresh.validate().unwrap();
-        prop_assert_eq!(render_tree(&tree, &cat), render_tree(&fresh, &cat));
+        assert_eq!(render_tree(&tree, &cat), render_tree(&fresh, &cat));
     }
 
-    #[test]
+    #[cases(64)]
     fn build_is_deterministic(
         lo in -100i64..100,
         hi in -100i64..100,
@@ -117,6 +120,6 @@ proptest! {
         let sql = format!("SELECT t.a FROM t, u WHERE t.a = u.x AND t.b BETWEEN {lo} AND {hi}");
         let t1 = build_query_tree(&cat, &parse_query(&sql).unwrap()).unwrap();
         let t2 = build_query_tree(&cat, &parse_query(&sql).unwrap()).unwrap();
-        prop_assert_eq!(t1, t2);
+        assert_eq!(t1, t2);
     }
 }

@@ -31,7 +31,11 @@ pub struct Query {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SetExpr {
     Select(Box<Select>),
-    SetOp { op: SetOp, left: Box<SetExpr>, right: Box<SetExpr> },
+    SetOp {
+        op: SetOp,
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+    },
 }
 
 /// SQL set operators. `Union`/`Intersect`/`Minus` are duplicate-free;
@@ -279,11 +283,17 @@ pub enum Expr {
 
 impl Expr {
     pub fn col(name: &str) -> Expr {
-        Expr::Column { qualifier: None, name: name.to_string() }
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
     }
 
     pub fn qcol(q: &str, name: &str) -> Expr {
-        Expr::Column { qualifier: Some(q.to_string()), name: name.to_string() }
+        Expr::Column {
+            qualifier: Some(q.to_string()),
+            name: name.to_string(),
+        }
     }
 
     pub fn lit(v: impl Into<Value>) -> Expr {
@@ -291,7 +301,11 @@ impl Expr {
     }
 
     pub fn binary(op: BinOp, l: Expr, r: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        Expr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     /// True iff the expression (ignoring subquery bodies) contains an
@@ -299,7 +313,10 @@ impl Expr {
     pub fn contains_aggregate(&self) -> bool {
         let mut found = false;
         self.walk(&mut |e| {
-            if let Expr::Func { name, window: None, .. } = e {
+            if let Expr::Func {
+                name, window: None, ..
+            } = e
+            {
                 if is_aggregate_name(name) {
                     found = true;
                 }
@@ -330,7 +347,9 @@ impl Expr {
                 }
             }
             Expr::Quantified { left, .. } => left.walk(f),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.walk(f);
                 low.walk(f);
                 high.walk(f);
@@ -339,7 +358,11 @@ impl Expr {
                 expr.walk(f);
                 pattern.walk(f);
             }
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 if let Some(o) = operand {
                     o.walk(f);
                 }
@@ -407,7 +430,11 @@ pub struct ColumnDef {
 pub enum TableConstraint {
     PrimaryKey(Vec<String>),
     Unique(Vec<String>),
-    ForeignKey { columns: Vec<String>, parent: String, parent_columns: Vec<String> },
+    ForeignKey {
+        columns: Vec<String>,
+        parent: String,
+        parent_columns: Vec<String>,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -448,16 +475,25 @@ mod tests {
             name: "AVG".into(),
             args: vec![Expr::col("balance")],
             distinct: false,
-            window: Some(WindowSpec { partition_by: vec![Expr::col("acct")], order_by: vec![] }),
+            window: Some(WindowSpec {
+                partition_by: vec![Expr::col("acct")],
+                order_by: vec![],
+            }),
         };
         assert!(!e.contains_aggregate());
     }
 
     #[test]
     fn binding_names() {
-        let t = TableRef::Table { name: "employees".into(), alias: Some("e".into()) };
+        let t = TableRef::Table {
+            name: "employees".into(),
+            alias: Some("e".into()),
+        };
         assert_eq!(t.binding_name(), Some("e"));
-        let t2 = TableRef::Table { name: "dept".into(), alias: None };
+        let t2 = TableRef::Table {
+            name: "dept".into(),
+            alias: None,
+        };
         assert_eq!(t2.binding_name(), Some("dept"));
     }
 

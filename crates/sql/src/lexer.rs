@@ -77,7 +77,10 @@ pub struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     pub fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Lexes the whole input into a token vector (terminated by `Eof`).
@@ -239,7 +242,11 @@ impl<'a> Lexer<'a> {
         let mut s = String::new();
         loop {
             match self.bump() {
-                0 => return Err(Error::parse(format!("unterminated string at offset {start}"))),
+                0 => {
+                    return Err(Error::parse(format!(
+                        "unterminated string at offset {start}"
+                    )))
+                }
                 b'\'' => {
                     if self.peek() == b'\'' {
                         self.bump();
@@ -308,7 +315,9 @@ impl<'a> Lexer<'a> {
         } {
             self.bump();
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_string();
         TokenKind::Ident(text)
     }
 }
@@ -318,7 +327,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -373,7 +386,11 @@ mod tests {
     fn lex_comments() {
         assert_eq!(
             kinds("a -- line comment\n /* block\ncomment */ b"),
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

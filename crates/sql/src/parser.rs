@@ -50,9 +50,36 @@ pub fn parse_expression(src: &str) -> Result<Expr> {
 
 /// Keywords that terminate an implicit alias position.
 const RESERVED: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "ON", "JOIN", "LEFT", "RIGHT",
-    "INNER", "CROSS", "OUTER", "UNION", "INTERSECT", "MINUS", "EXCEPT", "AND", "OR", "NOT",
-    "AS", "SET", "VALUES", "USING", "LIMIT", "BY", "DESC", "ASC", "NULLS", "INTO",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "HAVING",
+    "ORDER",
+    "ON",
+    "JOIN",
+    "LEFT",
+    "RIGHT",
+    "INNER",
+    "CROSS",
+    "OUTER",
+    "UNION",
+    "INTERSECT",
+    "MINUS",
+    "EXCEPT",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "SET",
+    "VALUES",
+    "USING",
+    "LIMIT",
+    "BY",
+    "DESC",
+    "ASC",
+    "NULLS",
+    "INTO",
 ];
 
 struct Parser {
@@ -62,7 +89,10 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Result<Parser> {
-        Ok(Parser { tokens: Lexer::tokenize(src)?, pos: 0 })
+        Ok(Parser {
+            tokens: Lexer::tokenize(src)?,
+            pos: 0,
+        })
     }
 
     // -- token helpers ------------------------------------------------
@@ -76,7 +106,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -114,7 +146,12 @@ impl Parser {
 
     fn err(&self, msg: impl Into<String>) -> Error {
         let tok = &self.tokens[self.pos.min(self.tokens.len() - 1)];
-        Error::parse(format!("{} but found '{}' at offset {}", msg.into(), tok.kind, tok.offset))
+        Error::parse(format!(
+            "{} but found '{}' at offset {}",
+            msg.into(),
+            tok.kind,
+            tok.offset
+        ))
     }
 
     /// True if the current token is the given keyword (case-insensitive).
@@ -215,7 +252,8 @@ impl Parser {
         let mut columns = Vec::new();
         let mut constraints = Vec::new();
         loop {
-            if self.at_kw("PRIMARY") || self.at_kw("UNIQUE") && *self.peek_n(1) == TokenKind::LParen
+            if self.at_kw("PRIMARY")
+                || self.at_kw("UNIQUE") && *self.peek_n(1) == TokenKind::LParen
                 || self.at_kw("FOREIGN")
                 || self.at_kw("CONSTRAINT")
             {
@@ -228,7 +266,11 @@ impl Parser {
             }
         }
         self.expect(&TokenKind::RParen)?;
-        Ok(CreateTable { name, columns, constraints })
+        Ok(CreateTable {
+            name,
+            columns,
+            constraints,
+        })
     }
 
     fn parse_table_constraint(&mut self) -> Result<TableConstraint> {
@@ -248,7 +290,11 @@ impl Parser {
             self.expect_kw("REFERENCES")?;
             let parent = self.ident()?;
             let parent_columns = self.paren_ident_list()?;
-            return Ok(TableConstraint::ForeignKey { columns, parent, parent_columns });
+            return Ok(TableConstraint::ForeignKey {
+                columns,
+                parent,
+                parent_columns,
+            });
         }
         Err(self.err("expected table constraint"))
     }
@@ -310,7 +356,12 @@ impl Parser {
         self.expect_kw("ON")?;
         let table = self.ident()?;
         let columns = self.paren_ident_list()?;
-        Ok(CreateIndex { name, table, columns, unique })
+        Ok(CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+        })
     }
 
     fn parse_insert(&mut self) -> Result<Insert> {
@@ -335,7 +386,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Insert { table, columns, rows })
+        Ok(Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     // -- queries ------------------------------------------------------
@@ -378,7 +433,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(OrderItem { expr, desc, nulls_first })
+        Ok(OrderItem {
+            expr,
+            desc,
+            nulls_first,
+        })
     }
 
     /// UNION/MINUS level (lowest set-operator precedence).
@@ -399,7 +458,11 @@ impl Parser {
                 return Ok(left);
             };
             let right = self.parse_intersect_expr()?;
-            left = SetExpr::SetOp { op, left: Box::new(left), right: Box::new(right) };
+            left = SetExpr::SetOp {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
     }
 
@@ -407,7 +470,11 @@ impl Parser {
         let mut left = self.parse_set_primary()?;
         while self.eat_kw("INTERSECT") {
             let right = self.parse_set_primary()?;
-            left = SetExpr::SetOp { op: SetOp::Intersect, left: Box::new(left), right: Box::new(right) };
+            left = SetExpr::SetOp {
+                op: SetOp::Intersect,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -445,7 +512,11 @@ impl Parser {
         } else {
             Vec::new()
         };
-        let where_clause = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let group_by = if self.at_kw("GROUP") {
             self.bump();
             self.expect_kw("BY")?;
@@ -469,8 +540,19 @@ impl Parser {
         } else {
             None
         };
-        let having = if self.eat_kw("HAVING") { Some(self.parse_expr()?) } else { None };
-        Ok(Select { distinct, items, from, where_clause, group_by, having })
+        let having = if self.eat_kw("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+        })
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem> {
@@ -525,7 +607,12 @@ impl Parser {
             } else {
                 None
             };
-            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
         }
     }
 
@@ -537,7 +624,10 @@ impl Parser {
             let alias = self
                 .opt_alias()?
                 .ok_or_else(|| self.err("derived table requires an alias"))?;
-            return Ok(TableRef::Derived { query: Box::new(q), alias });
+            return Ok(TableRef::Derived {
+                query: Box::new(q),
+                alias,
+            });
         }
         let name = self.ident()?;
         let alias = self.opt_alias()?;
@@ -577,11 +667,17 @@ impl Parser {
                 self.expect(&TokenKind::LParen)?;
                 let q = self.parse_query()?;
                 self.expect(&TokenKind::RParen)?;
-                return Ok(Expr::Exists { query: Box::new(q), negated: true });
+                return Ok(Expr::Exists {
+                    query: Box::new(q),
+                    negated: true,
+                });
             }
             self.bump();
             let inner = self.parse_not()?;
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.parse_predicate()
     }
@@ -626,7 +722,10 @@ impl Parser {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
 
         let negated = self.eat_kw("NOT");
@@ -637,14 +736,22 @@ impl Parser {
                 let q = self.parse_query()?;
                 self.expect(&TokenKind::RParen)?;
                 let exprs = unwrap_row(left);
-                return Ok(Expr::InSubquery { exprs, query: Box::new(q), negated });
+                return Ok(Expr::InSubquery {
+                    exprs,
+                    query: Box::new(q),
+                    negated,
+                });
             }
             let mut list = vec![self.parse_expr()?];
             while self.eat(&TokenKind::Comma) {
                 list.push(self.parse_expr()?);
             }
             self.expect(&TokenKind::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
 
         if self.eat_kw("BETWEEN") {
@@ -661,7 +768,11 @@ impl Parser {
 
         if self.eat_kw("LIKE") {
             let pattern = self.parse_additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
 
         if negated {
@@ -709,7 +820,10 @@ impl Parser {
             if let Expr::Literal(Value::Double(d)) = e {
                 return Ok(Expr::Literal(Value::Double(-d)));
             }
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(e) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            });
         }
         if self.eat(&TokenKind::Plus) {
             return self.parse_unary();
@@ -722,8 +836,9 @@ impl Parser {
             TokenKind::Number(text) => {
                 self.bump();
                 if text.contains('.') || text.contains('e') || text.contains('E') {
-                    let d: f64 =
-                        text.parse().map_err(|_| self.err(format!("bad number {text}")))?;
+                    let d: f64 = text
+                        .parse()
+                        .map_err(|_| self.err(format!("bad number {text}")))?;
                     Ok(Expr::Literal(Value::Double(d)))
                 } else {
                     match text.parse::<i64>() {
@@ -774,9 +889,15 @@ impl Parser {
                 self.bump();
                 if self.eat(&TokenKind::Dot) {
                     let col = self.ident()?;
-                    return Ok(Expr::Column { qualifier: Some(name), name: col });
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
                 }
-                Ok(Expr::Column { qualifier: None, name })
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
             }
             other => Err(self.err(format!("unexpected token '{other}' in expression"))),
         }
@@ -807,15 +928,12 @@ impl Parser {
                     self.bump();
                     match self.bump() {
                         TokenKind::Number(n) => {
-                            let d: i32 =
-                                n.parse().map_err(|_| self.err("bad DATE literal"))?;
+                            let d: i32 = n.parse().map_err(|_| self.err("bad DATE literal"))?;
                             return Ok(Expr::Literal(Value::Date(d)));
                         }
                         TokenKind::StringLit(s) => {
-                            let d: i32 = s
-                                .trim()
-                                .parse()
-                                .map_err(|_| self.err("bad DATE literal"))?;
+                            let d: i32 =
+                                s.trim().parse().map_err(|_| self.err("bad DATE literal"))?;
                             return Ok(Expr::Literal(Value::Date(d)));
                         }
                         _ => unreachable!(),
@@ -827,7 +945,10 @@ impl Parser {
                 self.expect(&TokenKind::LParen)?;
                 let q = self.parse_query()?;
                 self.expect(&TokenKind::RParen)?;
-                return Ok(Expr::Exists { query: Box::new(q), negated: false });
+                return Ok(Expr::Exists {
+                    query: Box::new(q),
+                    negated: false,
+                });
             }
             "CASE" => {
                 self.bump();
@@ -858,7 +979,12 @@ impl Parser {
             } else {
                 None
             };
-            return Ok(Expr::Func { name: upper, args, distinct, window });
+            return Ok(Expr::Func {
+                name: upper,
+                args,
+                distinct,
+                window,
+            });
         }
 
         // plain or qualified column
@@ -868,14 +994,23 @@ impl Parser {
         self.bump();
         if self.eat(&TokenKind::Dot) {
             let col = self.ident()?;
-            return Ok(Expr::Column { qualifier: Some(word), name: col });
+            return Ok(Expr::Column {
+                qualifier: Some(word),
+                name: col,
+            });
         }
-        Ok(Expr::Column { qualifier: None, name: word })
+        Ok(Expr::Column {
+            qualifier: None,
+            name: word,
+        })
     }
 
     fn parse_window_spec(&mut self) -> Result<WindowSpec> {
         self.expect(&TokenKind::LParen)?;
-        let mut spec = WindowSpec { partition_by: Vec::new(), order_by: Vec::new() };
+        let mut spec = WindowSpec {
+            partition_by: Vec::new(),
+            order_by: Vec::new(),
+        };
         if self.eat_kw("PARTITION") {
             self.expect_kw("BY")?;
             spec.partition_by.push(self.parse_expr()?);
@@ -924,7 +1059,11 @@ impl Parser {
     }
 
     fn parse_case(&mut self) -> Result<Expr> {
-        let operand = if !self.at_kw("WHEN") { Some(Box::new(self.parse_expr()?)) } else { None };
+        let operand = if !self.at_kw("WHEN") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
         let mut branches = Vec::new();
         while self.eat_kw("WHEN") {
             let w = self.parse_expr()?;
@@ -935,10 +1074,17 @@ impl Parser {
         if branches.is_empty() {
             return Err(self.err("CASE requires at least one WHEN branch"));
         }
-        let else_expr =
-            if self.eat_kw("ELSE") { Some(Box::new(self.parse_expr()?)) } else { None };
+        let else_expr = if self.eat_kw("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
         self.expect_kw("END")?;
-        Ok(Expr::Case { operand, branches, else_expr })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
     }
 }
 
@@ -1020,7 +1166,10 @@ mod tests {
     #[test]
     fn parse_not_exists() {
         let s = sel("SELECT 1 FROM d WHERE NOT EXISTS (SELECT 1 FROM e)");
-        assert!(matches!(s.where_clause.unwrap(), Expr::Exists { negated: true, .. }));
+        assert!(matches!(
+            s.where_clause.unwrap(),
+            Expr::Exists { negated: true, .. }
+        ));
     }
 
     #[test]
@@ -1038,7 +1187,10 @@ mod tests {
     #[test]
     fn parse_not_in_list() {
         let s = sel("SELECT 1 FROM t WHERE c NOT IN (1, 2, 3)");
-        assert!(matches!(s.where_clause.unwrap(), Expr::InList { negated: true, .. }));
+        assert!(matches!(
+            s.where_clause.unwrap(),
+            Expr::InList { negated: true, .. }
+        ));
     }
 
     #[test]
@@ -1052,7 +1204,13 @@ mod tests {
             other => panic!("expected quantified, got {other:?}"),
         }
         let s = sel("SELECT 1 FROM t WHERE sal = ANY (SELECT sal FROM u)");
-        assert!(matches!(s.where_clause.unwrap(), Expr::Quantified { quant: Quant::Any, .. }));
+        assert!(matches!(
+            s.where_clause.unwrap(),
+            Expr::Quantified {
+                quant: Quant::Any,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1069,12 +1227,18 @@ mod tests {
     #[test]
     fn parse_set_ops_precedence() {
         // INTERSECT binds tighter than UNION
-        let q = parse_query("SELECT a FROM t UNION SELECT b FROM u INTERSECT SELECT c FROM v")
-            .unwrap();
+        let q =
+            parse_query("SELECT a FROM t UNION SELECT b FROM u INTERSECT SELECT c FROM v").unwrap();
         match q.body {
             SetExpr::SetOp { op, right, .. } => {
                 assert_eq!(op, SetOp::Union);
-                assert!(matches!(*right, SetExpr::SetOp { op: SetOp::Intersect, .. }));
+                assert!(matches!(
+                    *right,
+                    SetExpr::SetOp {
+                        op: SetOp::Intersect,
+                        ..
+                    }
+                ));
             }
             other => panic!("expected set op, got {other:?}"),
         }
@@ -1083,7 +1247,13 @@ mod tests {
     #[test]
     fn parse_minus() {
         let q = parse_query("SELECT a FROM t MINUS SELECT a FROM u").unwrap();
-        assert!(matches!(q.body, SetExpr::SetOp { op: SetOp::Minus, .. }));
+        assert!(matches!(
+            q.body,
+            SetExpr::SetOp {
+                op: SetOp::Minus,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1099,7 +1269,12 @@ mod tests {
              RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) ravg FROM accounts",
         );
         match &s.items[1] {
-            SelectItem::Expr { expr: Expr::Func { window: Some(w), .. }, alias } => {
+            SelectItem::Expr {
+                expr: Expr::Func {
+                    window: Some(w), ..
+                },
+                alias,
+            } => {
                 assert_eq!(w.partition_by.len(), 1);
                 assert_eq!(w.order_by.len(), 1);
                 assert_eq!(alias.as_deref(), Some("ravg"));
@@ -1122,7 +1297,11 @@ mod tests {
         let e = parse_expression("CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END")
             .unwrap();
         match e {
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 assert!(operand.is_none());
                 assert_eq!(branches.len(), 2);
                 assert!(else_expr.is_some());
@@ -1143,7 +1322,11 @@ mod tests {
     fn parse_arith_precedence() {
         let e = parse_expression("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -1152,7 +1335,10 @@ mod tests {
 
     #[test]
     fn parse_negative_literal_folded() {
-        assert_eq!(parse_expression("-5").unwrap(), Expr::Literal(Value::Int(-5)));
+        assert_eq!(
+            parse_expression("-5").unwrap(),
+            Expr::Literal(Value::Int(-5))
+        );
     }
 
     #[test]
@@ -1181,8 +1367,8 @@ mod tests {
 
     #[test]
     fn parse_create_index() {
-        let stmt = parse_statement("CREATE UNIQUE INDEX i_emp ON employees (emp_id, dept_id)")
-            .unwrap();
+        let stmt =
+            parse_statement("CREATE UNIQUE INDEX i_emp ON employees (emp_id, dept_id)").unwrap();
         match stmt {
             Statement::CreateIndex(ci) => {
                 assert!(ci.unique);
@@ -1194,8 +1380,7 @@ mod tests {
 
     #[test]
     fn parse_insert_multi_row() {
-        let stmt =
-            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
         match stmt {
             Statement::Insert(ins) => {
                 assert_eq!(ins.rows.len(), 2);
@@ -1207,10 +1392,9 @@ mod tests {
 
     #[test]
     fn parse_script() {
-        let stmts = parse_statements(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -1274,7 +1458,9 @@ mod tests {
     #[test]
     fn parse_count_star_and_distinct_agg() {
         let e = parse_expression("COUNT(*)").unwrap();
-        assert!(matches!(e, Expr::Func { ref name, ref args, .. } if name == "COUNT" && args.is_empty()));
+        assert!(
+            matches!(e, Expr::Func { ref name, ref args, .. } if name == "COUNT" && args.is_empty())
+        );
         let e = parse_expression("COUNT(DISTINCT x)").unwrap();
         assert!(matches!(e, Expr::Func { distinct: true, .. }));
     }

@@ -6,8 +6,7 @@
 //! central premise).
 
 use cbqt_common::{Row, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cbqt_testkit::Rng;
 
 /// Generator for one column's values.
 #[derive(Debug, Clone)]
@@ -27,13 +26,16 @@ pub enum ColumnGen {
     /// A foreign key referencing serial keys `[0, parent_rows)`.
     Fk { parent_rows: u64 },
     /// Wraps another generator, replacing a fraction of values by NULL.
-    Nullable { inner: Box<ColumnGen>, null_frac: f64 },
+    Nullable {
+        inner: Box<ColumnGen>,
+        null_frac: f64,
+    },
     /// Constant value.
     Const(Value),
 }
 
 impl ColumnGen {
-    fn generate(&self, row: u64, rng: &mut StdRng, zipf_cache: &mut Vec<f64>) -> Value {
+    fn generate(&self, row: u64, rng: &mut Rng, zipf_cache: &mut Vec<f64>) -> Value {
         match self {
             ColumnGen::Serial => Value::Int(row as i64),
             ColumnGen::UniformInt { lo, hi } => Value::Int(rng.gen_range(*lo..=*hi)),
@@ -59,7 +61,7 @@ impl ColumnGen {
 
 /// Draws from a Zipf(θ) distribution over `[0, n)` using the standard
 /// CDF-inversion over harmonic weights (cached per generator run).
-fn zipf_sample(n: u64, theta: f64, rng: &mut StdRng, cache: &mut Vec<f64>) -> u64 {
+fn zipf_sample(n: u64, theta: f64, rng: &mut Rng, cache: &mut Vec<f64>) -> u64 {
     let n = n.max(1) as usize;
     if cache.len() != n {
         cache.clear();
@@ -73,7 +75,7 @@ fn zipf_sample(n: u64, theta: f64, rng: &mut StdRng, cache: &mut Vec<f64>) -> u6
             *v /= total;
         }
     }
-    let u: f64 = rng.gen();
+    let u: f64 = rng.gen_f64();
     match cache.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
         Ok(i) | Err(i) => i.min(n - 1) as u64,
     }
@@ -89,12 +91,16 @@ pub struct RowGenerator {
 
 impl RowGenerator {
     pub fn new(rows: u64, columns: Vec<ColumnGen>, seed: u64) -> RowGenerator {
-        RowGenerator { rows, columns, seed }
+        RowGenerator {
+            rows,
+            columns,
+            seed,
+        }
     }
 
     /// Generates all rows.
     pub fn generate(&self) -> Vec<Row> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut caches: Vec<Vec<f64>> = vec![Vec::new(); self.columns.len()];
         let mut out = Vec::with_capacity(self.rows as usize);
         for r in 0..self.rows {
@@ -119,8 +125,16 @@ mod tests {
     fn serial_is_dense() {
         let g = RowGenerator::new(5, vec![ColumnGen::Serial], 1);
         let rows = g.generate();
-        assert_eq!(rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
-            vec![Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)]);
+        assert_eq!(
+            rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![
+                Value::Int(0),
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3),
+                Value::Int(4)
+            ]
+        );
     }
 
     #[test]
@@ -180,7 +194,10 @@ mod tests {
     fn choice_and_const() {
         let g = RowGenerator::new(
             50,
-            vec![ColumnGen::Choice(vec!["US", "UK"]), ColumnGen::Const(Value::Int(9))],
+            vec![
+                ColumnGen::Choice(vec!["US", "UK"]),
+                ColumnGen::Const(Value::Int(9)),
+            ],
             2,
         );
         for r in g.generate() {

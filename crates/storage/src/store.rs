@@ -38,12 +38,7 @@ impl BTreeIndex {
     /// Row ordinals whose *leading column* lies in the given bounds.
     /// Only single-column ranges are supported (that is all the planner
     /// generates); NULL keys are excluded.
-    pub fn lookup_range(
-        &self,
-        lo: Bound<&Value>,
-        hi: Bound<&Value>,
-        out: &mut Vec<usize>,
-    ) {
+    pub fn lookup_range(&self, lo: Bound<&Value>, hi: Bound<&Value>, out: &mut Vec<usize>) {
         let lo_key = match lo {
             Bound::Included(v) => Bound::Included(vec![v.clone()]),
             Bound::Excluded(v) => {
@@ -69,12 +64,20 @@ impl BTreeIndex {
             }
             match hi {
                 Bound::Included(v) => {
-                    if lead.sql_cmp(v).map(|o| o == std::cmp::Ordering::Greater).unwrap_or(true) {
+                    if lead
+                        .sql_cmp(v)
+                        .map(|o| o == std::cmp::Ordering::Greater)
+                        .unwrap_or(true)
+                    {
                         break;
                     }
                 }
                 Bound::Excluded(v) => {
-                    if lead.sql_cmp(v).map(|o| o != std::cmp::Ordering::Less).unwrap_or(true) {
+                    if lead
+                        .sql_cmp(v)
+                        .map(|o| o != std::cmp::Ordering::Less)
+                        .unwrap_or(true)
+                    {
                         break;
                     }
                 }
@@ -130,7 +133,13 @@ impl Storage {
             .map(|(id, ix)| (*id, ix.key_of(row_ref)))
             .collect();
         for (id, key) in keys {
-            self.indexes.get_mut(&id).unwrap().map.entry(key).or_default().push(ordinal);
+            self.indexes
+                .get_mut(&id)
+                .unwrap()
+                .map
+                .entry(key)
+                .or_default()
+                .push(ordinal);
         }
         Ok(())
     }
@@ -151,7 +160,14 @@ impl Storage {
             let key: Vec<Value> = columns.iter().map(|&c| row[c].clone()).collect();
             map.entry(key).or_default().push(ordinal);
         }
-        self.indexes.insert(id, BTreeIndex { table, columns, map });
+        self.indexes.insert(
+            id,
+            BTreeIndex {
+                table,
+                columns,
+                map,
+            },
+        );
         Ok(())
     }
 
@@ -169,7 +185,11 @@ impl Storage {
             let ncols = catalog.table(id)?.columns.len();
             let stats = match self.tables.get(&id) {
                 Some(data) => compute_stats(data, ncols),
-                None => TableStats { analyzed: true, rows: 0, columns: vec![ColumnStats::default(); ncols] },
+                None => TableStats {
+                    analyzed: true,
+                    rows: 0,
+                    columns: vec![ColumnStats::default(); ncols],
+                },
             };
             catalog.table_mut(id)?.stats = stats;
         }
@@ -208,14 +228,25 @@ fn compute_stats(data: &TableData, ncols: usize) -> TableStats {
             }
             distinct.insert(v.clone());
         }
-        let histogram = if numeric.len() >= HISTOGRAM_MIN_ROWS && numeric.len() == (rows - nulls) as usize {
-            Histogram::build(numeric.into_iter(), HISTOGRAM_BUCKETS)
-        } else {
-            None
-        };
-        columns.push(ColumnStats { ndv: distinct.len() as u64, nulls, min, max, histogram });
+        let histogram =
+            if numeric.len() >= HISTOGRAM_MIN_ROWS && numeric.len() == (rows - nulls) as usize {
+                Histogram::build(numeric.into_iter(), HISTOGRAM_BUCKETS)
+            } else {
+                None
+            };
+        columns.push(ColumnStats {
+            ndv: distinct.len() as u64,
+            nulls,
+            min,
+            max,
+            histogram,
+        });
     }
-    TableStats { analyzed: true, rows, columns }
+    TableStats {
+        analyzed: true,
+        rows,
+        columns,
+    }
 }
 
 #[cfg(test)]
@@ -230,8 +261,16 @@ mod tests {
             .add_table(
                 "t",
                 vec![
-                    Column { name: "id".into(), data_type: DataType::Int, not_null: true },
-                    Column { name: "grp".into(), data_type: DataType::Int, not_null: false },
+                    Column {
+                        name: "id".into(),
+                        data_type: DataType::Int,
+                        not_null: true,
+                    },
+                    Column {
+                        name: "grp".into(),
+                        data_type: DataType::Int,
+                        not_null: false,
+                    },
                 ],
                 vec![Constraint::PrimaryKey(vec![0])],
             )
@@ -254,7 +293,8 @@ mod tests {
     fn index_eq_lookup() {
         let (mut cat, mut st, t) = setup();
         for i in 0..100 {
-            st.insert(t, vec![Value::Int(i), Value::Int(i % 7)]).unwrap();
+            st.insert(t, vec![Value::Int(i), Value::Int(i % 7)])
+                .unwrap();
         }
         let ix = cat.add_index("i_grp", t, vec![1], false).unwrap();
         st.build_index(ix, t, vec![1]).unwrap();
@@ -285,7 +325,11 @@ mod tests {
         st.build_index(ix, t, vec![1]).unwrap();
         let idx = st.index(ix).unwrap();
         let mut out = Vec::new();
-        idx.lookup_range(Bound::Included(&Value::Int(10)), Bound::Excluded(&Value::Int(20)), &mut out);
+        idx.lookup_range(
+            Bound::Included(&Value::Int(10)),
+            Bound::Excluded(&Value::Int(20)),
+            &mut out,
+        );
         assert_eq!(out.len(), 10);
         out.clear();
         idx.lookup_range(Bound::Excluded(&Value::Int(47)), Bound::Unbounded, &mut out);
@@ -296,11 +340,15 @@ mod tests {
     fn composite_index_lookup() {
         let (mut cat, mut st, t) = setup();
         for i in 0..20 {
-            st.insert(t, vec![Value::Int(i % 4), Value::Int(i % 5)]).unwrap();
+            st.insert(t, vec![Value::Int(i % 4), Value::Int(i % 5)])
+                .unwrap();
         }
         let ix = cat.add_index("i_both", t, vec![0, 1], false).unwrap();
         st.build_index(ix, t, vec![0, 1]).unwrap();
-        let hits = st.index(ix).unwrap().lookup_eq(&[Value::Int(1), Value::Int(1)]);
+        let hits = st
+            .index(ix)
+            .unwrap()
+            .lookup_eq(&[Value::Int(1), Value::Int(1)]);
         assert_eq!(hits.len(), 1); // i=1, i%4==1 && i%5==1 only at i=1 within 0..20... i=1 and i=21(no)
     }
 
@@ -308,7 +356,11 @@ mod tests {
     fn analyze_populates_stats() {
         let (mut cat, mut st, t) = setup();
         for i in 0..200 {
-            let grp = if i % 10 == 0 { Value::Null } else { Value::Int(i % 7) };
+            let grp = if i % 10 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 7)
+            };
             st.insert(t, vec![Value::Int(i), grp]).unwrap();
         }
         st.analyze(&mut cat).unwrap();

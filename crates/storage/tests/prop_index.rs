@@ -3,7 +3,8 @@
 use cbqt_catalog::{Catalog, Column, Constraint};
 use cbqt_common::{DataType, Value};
 use cbqt_storage::Storage;
-use proptest::prelude::*;
+use cbqt_testkit::prop::{any_bool, option_of, vec_of};
+use cbqt_testkit::props;
 use std::ops::Bound;
 
 fn setup(vals: &[Option<i64>]) -> (Storage, cbqt_catalog::IndexId) {
@@ -12,8 +13,16 @@ fn setup(vals: &[Option<i64>]) -> (Storage, cbqt_catalog::IndexId) {
         .add_table(
             "t",
             vec![
-                Column { name: "id".into(), data_type: DataType::Int, not_null: true },
-                Column { name: "k".into(), data_type: DataType::Int, not_null: false },
+                Column {
+                    name: "id".into(),
+                    data_type: DataType::Int,
+                    not_null: true,
+                },
+                Column {
+                    name: "k".into(),
+                    data_type: DataType::Int,
+                    not_null: false,
+                },
             ],
             vec![Constraint::PrimaryKey(vec![0])],
         )
@@ -29,10 +38,9 @@ fn setup(vals: &[Option<i64>]) -> (Storage, cbqt_catalog::IndexId) {
     (st, ix)
 }
 
-proptest! {
-    #[test]
+props! {
     fn eq_lookup_matches_scan(
-        vals in proptest::collection::vec(proptest::option::of(-20i64..20), 0..200),
+        vals in vec_of(option_of(-20i64..20), 0..=199),
         probe in -25i64..25,
     ) {
         let (st, ix) = setup(&vals);
@@ -45,16 +53,15 @@ proptest! {
             .collect();
         let mut got = hits.to_vec();
         got.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 
-    #[test]
     fn range_lookup_matches_scan(
-        vals in proptest::collection::vec(proptest::option::of(-20i64..20), 0..200),
+        vals in vec_of(option_of(-20i64..20), 0..=199),
         lo in -25i64..25,
         span in 0i64..20,
-        inc_lo in any::<bool>(),
-        inc_hi in any::<bool>(),
+        inc_lo in any_bool(),
+        inc_hi in any_bool(),
     ) {
         let hi = lo + span;
         let (st, ix) = setup(&vals);
@@ -77,12 +84,11 @@ proptest! {
             })
             .map(|(i, _)| i)
             .collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 
-    #[test]
     fn incremental_insert_equals_bulk_build(
-        vals in proptest::collection::vec(proptest::option::of(-10i64..10), 1..100),
+        vals in vec_of(option_of(-10i64..10), 1..=99),
         probe in -12i64..12,
     ) {
         // maintaining the index on insert must equal rebuilding it
@@ -114,6 +120,6 @@ proptest! {
         let mut b = rebuilt;
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,211 @@
+//! Minimal benchmark harness replacing the `criterion` dependency for the
+//! seven harness-false benches under `crates/bench/benches/`.
+//!
+//! The API intentionally mirrors the criterion subset those benches used
+//! (`benchmark_group` / `sample_size` / `bench_function` / `iter`), so the
+//! migration is mechanical. Each bench function:
+//!
+//! 1. warms up (`TESTKIT_BENCH_WARMUP` invocations, default 3), then
+//! 2. times `sample_size` invocations individually
+//!    (`TESTKIT_BENCH_SAMPLES` overrides, e.g. `=2` for a CI smoke run),
+//! 3. prints one machine-readable JSON line to **stdout** (so future
+//!    `BENCH_*.json` trajectories can be captured by piping stdout) and a
+//!    human-readable summary line to **stderr**.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|s| s.trim().parse().ok())
+}
+
+/// Top-level harness handed to each registered bench function by
+/// [`bench_main!`](crate::bench_main).
+pub struct Harness {
+    samples_override: Option<usize>,
+    warmup: usize,
+}
+
+impl Harness {
+    pub fn from_env() -> Harness {
+        Harness {
+            samples_override: env_usize("TESTKIT_BENCH_SAMPLES"),
+            warmup: env_usize("TESTKIT_BENCH_WARMUP").unwrap_or(3),
+        }
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A named group of related measurements (one figure or table).
+pub struct Group<'a> {
+    harness: &'a Harness,
+    name: String,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Default number of timed samples per bench (env override wins).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let samples = self
+            .harness
+            .samples_override
+            .unwrap_or(self.sample_size)
+            .max(1);
+        let mut b = Bencher {
+            samples,
+            warmup: self.harness.warmup,
+            times_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&self.name, id);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the bench closure; `iter` performs the measurement.
+pub struct Bencher {
+    samples: usize,
+    warmup: usize,
+    times_ns: Vec<u64>,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per invocation. The return value is
+    /// passed through [`black_box`] so the work is not optimized away.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        for _ in 0..self.warmup {
+            black_box(routine());
+        }
+        self.times_ns.clear();
+        self.times_ns.reserve(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.times_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let mut sorted = self.times_ns.clone();
+        if sorted.is_empty() {
+            eprintln!("{group}/{id}: bench closure never called iter()");
+            return;
+        }
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let min = sorted[0];
+        let max = sorted[n - 1];
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+        };
+        let p95 = sorted[(((n as f64) * 0.95).ceil() as usize).clamp(1, n) - 1];
+        let mean = sorted.iter().sum::<u64>() / n as u64;
+        println!(
+            "{{\"type\":\"bench\",\"group\":\"{group}\",\"bench\":\"{id}\",\
+             \"samples\":{n},\"min_ns\":{min},\"median_ns\":{median},\
+             \"mean_ns\":{mean},\"p95_ns\":{p95},\"max_ns\":{max}}}"
+        );
+        eprintln!(
+            "{group}/{id}: median {} p95 {} ({n} samples)",
+            fmt_ns(median),
+            fmt_ns(p95)
+        );
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Entry point for a harness-false bench target: takes the bench functions
+/// (`fn(&mut Harness)`) to run, replacing criterion's
+/// `criterion_group!` + `criterion_main!` pair.
+#[macro_export]
+macro_rules! bench_main {
+    ($($f:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::bench::Harness::from_env();
+            $($f(&mut harness);)+
+            harness.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_computed_over_requested_samples() {
+        let mut h = Harness {
+            samples_override: None,
+            warmup: 1,
+        };
+        let mut ran = 0usize;
+        {
+            let mut g = h.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("b", |b| {
+                b.iter(|| {
+                    ran += 1;
+                    std::hint::black_box(3 * 7)
+                })
+            });
+            g.finish();
+        }
+        // 1 warmup + 5 samples
+        assert_eq!(ran, 6);
+    }
+
+    #[test]
+    fn env_override_shrinks_sample_count() {
+        let mut h = Harness {
+            samples_override: Some(2),
+            warmup: 0,
+        };
+        let mut ran = 0usize;
+        let mut g = h.benchmark_group("g");
+        g.sample_size(50);
+        g.bench_function("b", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -1,0 +1,21 @@
+//! In-tree test infrastructure for the cbqt workspace — the hermetic
+//! replacement for the `rand`, `proptest` and `criterion` dependencies.
+//!
+//! Three modules:
+//! - [`rng`]: seedable SplitMix64 / xoshiro256** PRNG with the
+//!   `gen_range` / `gen_bool` surface the data and workload generators
+//!   use; golden-value tests pin its output per seed across platforms.
+//! - [`prop`]: property-based testing with tape-based shrinking (see the
+//!   [`props!`] macro).
+//! - [`bench`]: a criterion-shaped benchmark harness that emits JSON
+//!   lines to stdout (see the [`bench_main!`] macro).
+//!
+//! This crate must never grow a dependency — the CI hermeticity guard
+//! (`ci/check_hermetic.sh`) fails the build if any crate in the workspace
+//! resolves a registry or git dependency.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::{Rng, SplitMix64};

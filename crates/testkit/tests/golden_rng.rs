@@ -1,0 +1,74 @@
+//! Golden-value tests pinning the PRNG output per seed.
+//!
+//! These sequences are part of the repository's compatibility surface:
+//! workload seeds, fuzz seeds and recorded experiment trajectories all
+//! assume seed `S` produces identical data on every platform/toolchain.
+//! If any of these tests fail, the PRNG changed — which silently
+//! invalidates every recorded benchmark and regression seed.
+//!
+//! Cross-checks: the SplitMix64 values for seeds 0 and 1 match the
+//! published reference implementation (Steele et al.), and the
+//! xoshiro256** value for seed 0 matches the de-facto reference of
+//! SplitMix64-expanded seeding (first output `0x99ec5f36cb75f2b4`).
+
+use cbqt_testkit::{Rng, SplitMix64};
+
+#[test]
+fn splitmix64_reference_vectors() {
+    let mut sm = SplitMix64::new(0);
+    assert_eq!(sm.next_u64(), 0xe220_a839_7b1d_cdaf);
+    assert_eq!(sm.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+    assert_eq!(sm.next_u64(), 0x06c4_5d18_8009_454f);
+    assert_eq!(sm.next_u64(), 0xf88b_b8a8_724c_81ec);
+
+    let mut sm = SplitMix64::new(1);
+    assert_eq!(sm.next_u64(), 0x910a_2dec_8902_5cc1);
+    assert_eq!(sm.next_u64(), 0xbeeb_8da1_658e_ec67);
+}
+
+#[test]
+fn xoshiro256ss_seed0_reference() {
+    let mut r = Rng::seed_from_u64(0);
+    assert_eq!(r.next_u64(), 0x99ec_5f36_cb75_f2b4);
+    assert_eq!(r.next_u64(), 0xbf6e_1f78_4956_452a);
+    assert_eq!(r.next_u64(), 0x1a5f_849d_4933_e6e0);
+    assert_eq!(r.next_u64(), 0x6aa5_94f1_262d_2d2c);
+}
+
+#[test]
+fn xoshiro256ss_golden_seeds() {
+    let mut r = Rng::seed_from_u64(1);
+    assert_eq!(r.next_u64(), 0xb3f2_af6d_0fc7_10c5);
+    assert_eq!(r.next_u64(), 0x853b_5596_4736_4cea);
+
+    let mut r = Rng::seed_from_u64(42);
+    assert_eq!(r.next_u64(), 0x1578_0b2e_0c2e_c716);
+    assert_eq!(r.next_u64(), 0x6104_d986_6d11_3a7e);
+
+    let mut r = Rng::seed_from_u64(0xDEAD_BEEF);
+    assert_eq!(r.next_u64(), 0xc555_5444_a74d_7e83);
+    assert_eq!(r.next_u64(), 0x65c3_0d37_b4b1_6e38);
+}
+
+#[test]
+fn gen_range_golden_sequence() {
+    // pins the multiply-shift range reduction, not just the raw stream
+    let mut r = Rng::seed_from_u64(0);
+    let ints: Vec<i64> = (0..8).map(|_| r.gen_range(0i64..1000)).collect();
+    assert_eq!(ints, vec![601, 747, 103, 416, 732, 999, 422, 535]);
+    let bools: Vec<bool> = (0..6).map(|_| r.gen_bool(0.5)).collect();
+    assert_eq!(bools, vec![false, false, true, true, true, false]);
+
+    let mut r = Rng::seed_from_u64(42);
+    let ints: Vec<i64> = (0..8).map(|_| r.gen_range(0i64..1000)).collect();
+    assert_eq!(ints, vec![83, 378, 680, 924, 991, 769, 719, 850]);
+}
+
+#[test]
+fn gen_f64_golden_sequence() {
+    let mut r = Rng::seed_from_u64(1);
+    // 53-bit mantissa conversion is exact; compare decimal renderings to
+    // keep the expectation readable
+    let f: Vec<String> = (0..4).map(|_| format!("{:.6}", r.gen_f64())).collect();
+    assert_eq!(f, vec!["0.702922", "0.520437", "0.574106", "0.391329"]);
+}

@@ -1,0 +1,70 @@
+//! Integration tests of the property harness: a seeded failing property
+//! must shrink to a minimal counterexample, and the runner must be
+//! deterministic and reproducible via `TESTKIT_SEED`-style seeds.
+
+use cbqt_testkit::prop::{check, vec_of, Strategy};
+use std::cell::RefCell;
+
+#[test]
+fn failing_scalar_shrinks_to_boundary() {
+    // property: x < 750 over x in [0, 10000) — minimal counterexample 750
+    let f = check("shrink::scalar", Some(300), |g| {
+        let x = (0i64..10_000).generate(g);
+        g.note("x", &x);
+        assert!(x < 750, "x exceeded bound");
+    })
+    .expect_err("must fail");
+    assert_eq!(
+        f.notes,
+        vec!["  x = 750".to_string()],
+        "shrunk to the exact boundary"
+    );
+    assert!(f.shrink_steps > 0, "shrinking must have made progress");
+    assert!(f.message.contains("x exceeded bound"));
+}
+
+#[test]
+fn failing_vec_shrinks_to_minimal_witness() {
+    // property: no vector contains an element >= 100. The minimal
+    // counterexample is a single-element vector [100].
+    let f = check("shrink::vec", Some(300), |g| {
+        let v = vec_of(0i64..1000, 0..=20).generate(g);
+        g.note("v", &v);
+        assert!(v.iter().all(|&x| x < 100), "element out of range");
+    })
+    .expect_err("must fail");
+    assert_eq!(
+        f.notes,
+        vec!["  v = [100]".to_string()],
+        "minimal witness is [100]"
+    );
+}
+
+#[test]
+fn failure_case_and_tape_are_deterministic() {
+    let run = || {
+        check("shrink::det", Some(200), |g| {
+            let x = (0i64..100_000).generate(g);
+            let y = (0i64..100_000).generate(g);
+            assert!(x + y < 120_000);
+        })
+        .expect_err("must fail")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.case, b.case);
+    assert_eq!(a.seed, b.seed);
+    assert_eq!(a.tape_len, b.tape_len);
+    assert_eq!(a.notes, b.notes);
+}
+
+#[test]
+fn passing_property_runs_requested_cases() {
+    let count = RefCell::new(0u32);
+    check("shrink::count", Some(37), |g| {
+        let _ = (0i64..10).generate(g);
+        *count.borrow_mut() += 1;
+    })
+    .expect("must pass");
+    assert_eq!(*count.borrow(), 37);
+}

@@ -26,7 +26,9 @@ impl CbTransform for CbGroupByPlacement {
     fn find_targets(&self, tree: &QueryTree, _catalog: &Catalog) -> Vec<Target> {
         let mut out = Vec::new();
         for id in tree.bottom_up() {
-            let Ok(QueryBlock::Select(s)) = tree.block(id) else { continue };
+            let Ok(QueryBlock::Select(s)) = tree.block(id) else {
+                continue;
+            };
             if !eligible_block(s) {
                 continue;
             }
@@ -38,7 +40,10 @@ impl CbTransform for CbGroupByPlacement {
                     continue;
                 }
                 if aggs_all_on(s, t.refid) {
-                    out.push(Target::GroupByPush { block: id, table_ref: t.refid });
+                    out.push(Target::GroupByPush {
+                        block: id,
+                        table_ref: t.refid,
+                    });
                 }
             }
         }
@@ -100,7 +105,9 @@ fn aggs_of(s: &SelectBlock) -> Vec<QExpr> {
 /// DISTINCT, and functions are decomposable.
 fn aggs_all_on(s: &SelectBlock, table: RefId) -> bool {
     for a in aggs_of(s) {
-        let QExpr::Agg { arg, distinct, .. } = &a else { return false };
+        let QExpr::Agg { arg, distinct, .. } = &a else {
+            return false;
+        };
         if *distinct {
             return false;
         }
@@ -169,10 +176,7 @@ fn push_group_by(tree: &mut QueryTree, block: BlockId, table_ref: RefId) -> Resu
         let mut kept = Vec::new();
         for c in s.where_conjuncts.drain(..) {
             let refs = c.referenced_tables();
-            if !c.contains_subquery()
-                && !refs.is_empty()
-                && refs.iter().all(|r| *r == table_ref)
-            {
+            if !c.contains_subquery() && !refs.is_empty() && refs.iter().all(|r| *r == table_ref) {
                 moved.push(c);
             } else {
                 kept.push(c);
@@ -183,24 +187,39 @@ fn push_group_by(tree: &mut QueryTree, block: BlockId, table_ref: RefId) -> Resu
     };
 
     let mut view = SelectBlock {
-        tables: vec![QTable { join: JoinInfo::Inner, ..table_entry }],
+        tables: vec![QTable {
+            join: JoinInfo::Inner,
+            ..table_entry
+        }],
         where_conjuncts: moved_preds,
         ..Default::default()
     };
     for &c in &needed {
-        view.select.push(OutputItem { expr: QExpr::col(table_ref, c), name: format!("K{c}") });
+        view.select.push(OutputItem {
+            expr: QExpr::col(table_ref, c),
+            name: format!("K{c}"),
+        });
         view.group_by.push(QExpr::col(table_ref, c));
     }
     // partial aggregates; record how each original agg is rebuilt
     let mut rebuild: Vec<(QExpr, QExpr)> = Vec::new(); // (original, outer replacement)
     let rv = tree.new_ref();
     for a in &aggs {
-        let QExpr::Agg { func, arg, .. } = a else { unreachable!() };
+        let QExpr::Agg { func, arg, .. } = a else {
+            unreachable!()
+        };
         let slot = view.select.len();
         match func {
             AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
-                view.select.push(OutputItem { expr: a.clone(), name: format!("P{slot}") });
-                let outer_func = if *func == AggFunc::Sum { AggFunc::Sum } else { *func };
+                view.select.push(OutputItem {
+                    expr: a.clone(),
+                    name: format!("P{slot}"),
+                });
+                let outer_func = if *func == AggFunc::Sum {
+                    AggFunc::Sum
+                } else {
+                    *func
+                };
                 rebuild.push((
                     a.clone(),
                     QExpr::Agg {
@@ -211,7 +230,10 @@ fn push_group_by(tree: &mut QueryTree, block: BlockId, table_ref: RefId) -> Resu
                 ));
             }
             AggFunc::Count | AggFunc::CountStar => {
-                view.select.push(OutputItem { expr: a.clone(), name: format!("P{slot}") });
+                view.select.push(OutputItem {
+                    expr: a.clone(),
+                    name: format!("P{slot}"),
+                });
                 rebuild.push((
                     a.clone(),
                     QExpr::Agg {
@@ -224,11 +246,19 @@ fn push_group_by(tree: &mut QueryTree, block: BlockId, table_ref: RefId) -> Resu
             AggFunc::Avg => {
                 let arg = arg.clone().expect("AVG has an argument");
                 view.select.push(OutputItem {
-                    expr: QExpr::Agg { func: AggFunc::Sum, arg: Some(arg.clone()), distinct: false },
+                    expr: QExpr::Agg {
+                        func: AggFunc::Sum,
+                        arg: Some(arg.clone()),
+                        distinct: false,
+                    },
                     name: format!("P{slot}S"),
                 });
                 view.select.push(OutputItem {
-                    expr: QExpr::Agg { func: AggFunc::Count, arg: Some(arg), distinct: false },
+                    expr: QExpr::Agg {
+                        func: AggFunc::Count,
+                        arg: Some(arg),
+                        distinct: false,
+                    },
                     name: format!("P{slot}C"),
                 });
                 let sum = QExpr::Agg {
@@ -307,7 +337,9 @@ mod tests {
         let tree = build(&cat, GB_QUERY);
         let targets = CbGroupByPlacement.find_targets(&tree, &cat);
         assert_eq!(targets.len(), 1);
-        let Target::GroupByPush { table_ref, .. } = &targets[0] else { panic!() };
+        let Target::GroupByPush { table_ref, .. } = &targets[0] else {
+            panic!()
+        };
         let root = tree.select(tree.root).unwrap();
         assert_eq!(root.table(*table_ref).unwrap().alias, "e");
     }
@@ -317,13 +349,24 @@ mod tests {
         let cat = catalog();
         let mut tree = build(&cat, GB_QUERY);
         let targets = CbGroupByPlacement.find_targets(&tree, &cat);
-        CbGroupByPlacement.apply(&mut tree, &cat, &targets[0], 1).unwrap();
+        CbGroupByPlacement
+            .apply(&mut tree, &cat, &targets[0], 1)
+            .unwrap();
         tree.validate().unwrap();
         let root = tree.select(tree.root).unwrap();
         // employees replaced by a view
-        assert!(root.tables.iter().any(|t| matches!(t.source, QTableSource::View(_))));
-        let vt = root.tables.iter().find(|t| matches!(t.source, QTableSource::View(_))).unwrap();
-        let QTableSource::View(vb) = vt.source else { panic!() };
+        assert!(root
+            .tables
+            .iter()
+            .any(|t| matches!(t.source, QTableSource::View(_))));
+        let vt = root
+            .tables
+            .iter()
+            .find(|t| matches!(t.source, QTableSource::View(_)))
+            .unwrap();
+        let QTableSource::View(vb) = vt.source else {
+            panic!()
+        };
         let v = tree.select(vb).unwrap();
         // view groups by e.dept_id and carries SUM, SUM+COUNT (avg), COUNT(*)
         assert_eq!(v.group_by.len(), 1);
@@ -331,7 +374,10 @@ mod tests {
         // outer aggregates re-aggregate the partials
         assert!(root.select[1].expr.contains_agg());
         // outer AVG became SUM/SUM
-        assert!(matches!(root.select[2].expr, QExpr::Bin { op: BinOp::Div, .. }));
+        assert!(matches!(
+            root.select[2].expr,
+            QExpr::Bin { op: BinOp::Div, .. }
+        ));
     }
 
     #[test]
@@ -365,11 +411,19 @@ mod tests {
              WHERE e.dept_id = d.dept_id AND e.salary > 100 GROUP BY d.department_name",
         );
         let targets = CbGroupByPlacement.find_targets(&tree, &cat);
-        CbGroupByPlacement.apply(&mut tree, &cat, &targets[0], 1).unwrap();
+        CbGroupByPlacement
+            .apply(&mut tree, &cat, &targets[0], 1)
+            .unwrap();
         tree.validate().unwrap();
         let root = tree.select(tree.root).unwrap();
-        let vt = root.tables.iter().find(|t| matches!(t.source, QTableSource::View(_))).unwrap();
-        let QTableSource::View(vb) = vt.source else { panic!() };
+        let vt = root
+            .tables
+            .iter()
+            .find(|t| matches!(t.source, QTableSource::View(_)))
+            .unwrap();
+        let QTableSource::View(vb) = vt.source else {
+            panic!()
+        };
         assert_eq!(tree.select(vb).unwrap().where_conjuncts.len(), 1);
         // join predicate stays outside
         assert_eq!(root.where_conjuncts.len(), 1);

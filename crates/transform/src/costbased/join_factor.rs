@@ -21,14 +21,21 @@ impl CbTransform for CbJoinFactorization {
     fn find_targets(&self, tree: &QueryTree, catalog: &Catalog) -> Vec<Target> {
         let mut out = Vec::new();
         for id in tree.bottom_up() {
-            let Ok(QueryBlock::SetOp(so)) = tree.block(id) else { continue };
+            let Ok(QueryBlock::SetOp(so)) = tree.block(id) else {
+                continue;
+            };
             if so.op != SetOp::UnionAll || so.inputs.len() < 2 {
                 continue;
             }
-            let Some(candidates) = common_tables(tree, &so.inputs) else { continue };
+            let Some(candidates) = common_tables(tree, &so.inputs) else {
+                continue;
+            };
             for tid in candidates {
                 if plan_factorization(tree, id, tid).is_some() {
-                    out.push(Target::Factorize { setop: id, table: tid });
+                    out.push(Target::Factorize {
+                        setop: id,
+                        table: tid,
+                    });
                 }
             }
         }
@@ -56,7 +63,9 @@ impl CbTransform for CbJoinFactorization {
 fn common_tables(tree: &QueryTree, inputs: &[BlockId]) -> Option<Vec<TableId>> {
     let mut common: Option<Vec<TableId>> = None;
     for b in inputs {
-        let Ok(QueryBlock::Select(s)) = tree.block(*b) else { return None };
+        let Ok(QueryBlock::Select(s)) = tree.block(*b) else {
+            return None;
+        };
         if s.is_aggregated()
             || s.distinct
             || s.distinct_keys.is_some()
@@ -100,7 +109,9 @@ struct FactorPlan {
 }
 
 fn plan_factorization(tree: &QueryTree, setop: BlockId, tid: TableId) -> Option<FactorPlan> {
-    let Ok(QueryBlock::SetOp(so)) = tree.block(setop) else { return None };
+    let Ok(QueryBlock::SetOp(so)) = tree.block(setop) else {
+        return None;
+    };
     let inputs = so.inputs.clone();
     let mut branch_refs = Vec::new();
     let mut passthrough: Option<Vec<(usize, usize)>> = None;
@@ -201,13 +212,19 @@ fn execute_factorization(
         let tref = plan.branch_refs[bi];
         let s = tree.select_mut(*b)?;
         s.tables.retain(|t| t.refid != tref);
-        s.where_conjuncts.retain(|c| !c.referenced_tables().contains(&tref));
+        s.where_conjuncts
+            .retain(|c| !c.referenced_tables().contains(&tref));
         for (p, _) in &plan.passthrough {
-            s.select[*p] =
-                OutputItem { expr: QExpr::Lit(Value::Null), name: format!("PRUNED{p}") };
+            s.select[*p] = OutputItem {
+                expr: QExpr::Lit(Value::Null),
+                name: format!("PRUNED{p}"),
+            };
         }
         for (k, e) in plan.branch_join_exprs[bi].iter().enumerate() {
-            s.select.push(OutputItem { expr: e.clone(), name: format!("FJ{k}") });
+            s.select.push(OutputItem {
+                expr: e.clone(),
+                name: format!("FJ{k}"),
+            });
         }
     }
 
@@ -232,10 +249,14 @@ fn execute_factorization(
             Some((_, col)) => QExpr::col(rt, *col),
             None => QExpr::col(rv, p),
         };
-        f.select.push(OutputItem { expr, name: format!("C{p}") });
+        f.select.push(OutputItem {
+            expr,
+            name: format!("C{p}"),
+        });
     }
     for (k, col) in plan.join_cols.iter().enumerate() {
-        f.where_conjuncts.push(QExpr::eq(QExpr::col(rt, *col), QExpr::col(rv, arity + k)));
+        f.where_conjuncts
+            .push(QExpr::eq(QExpr::col(rt, *col), QExpr::col(rv, arity + k)));
     }
     let fid = tree.add_block(QueryBlock::Select(f));
 
@@ -247,7 +268,9 @@ fn execute_factorization(
         let t = p.table_mut(pref).expect("parent view ref");
         t.source = QTableSource::View(fid);
     }
-    Ok(ApplyEffect { created_views: vec![] })
+    Ok(ApplyEffect {
+        created_views: vec![],
+    })
 }
 
 #[cfg(test)]
@@ -269,7 +292,9 @@ mod tests {
         let tree = build(&cat, Q14ISH);
         let targets = CbJoinFactorization.find_targets(&tree, &cat);
         assert_eq!(targets.len(), 1, "{targets:?}");
-        let Target::Factorize { table, .. } = &targets[0] else { panic!() };
+        let Target::Factorize { table, .. } = &targets[0] else {
+            panic!()
+        };
         assert_eq!(cat.table(*table).unwrap().name, "departments");
     }
 
@@ -278,7 +303,9 @@ mod tests {
         let cat = catalog();
         let mut tree = build(&cat, Q14ISH);
         let targets = CbJoinFactorization.find_targets(&tree, &cat);
-        CbJoinFactorization.apply(&mut tree, &cat, &targets[0], 1).unwrap();
+        CbJoinFactorization
+            .apply(&mut tree, &cat, &targets[0], 1)
+            .unwrap();
         tree.validate().unwrap();
         // the new root joins departments to a UNION ALL view
         let root = tree.select(tree.root).unwrap();
@@ -287,8 +314,12 @@ mod tests {
         assert!(matches!(root.tables[1].source, QTableSource::View(_)));
         assert_eq!(root.where_conjuncts.len(), 1);
         // branches no longer contain departments
-        let QTableSource::View(u) = root.tables[1].source else { panic!() };
-        let QueryBlock::SetOp(so) = tree.block(u).unwrap() else { panic!() };
+        let QTableSource::View(u) = root.tables[1].source else {
+            panic!()
+        };
+        let QueryBlock::SetOp(so) = tree.block(u).unwrap() else {
+            panic!()
+        };
         for b in &so.inputs {
             let s = tree.select(*b).unwrap();
             assert_eq!(s.tables.len(), 1);
@@ -327,7 +358,9 @@ mod tests {
         let mut tree = build(&cat, &format!("SELECT w.employee_name FROM ({Q14ISH}) w"));
         let targets = CbJoinFactorization.find_targets(&tree, &cat);
         assert_eq!(targets.len(), 1);
-        CbJoinFactorization.apply(&mut tree, &cat, &targets[0], 1).unwrap();
+        CbJoinFactorization
+            .apply(&mut tree, &cat, &targets[0], 1)
+            .unwrap();
         tree.validate().unwrap();
     }
 }

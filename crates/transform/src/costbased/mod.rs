@@ -31,14 +31,26 @@ pub enum Target {
     Subquery { block: BlockId, subq: BlockId },
     /// A group-by / distinct / set-op view eligible for merging and/or
     /// join predicate pushdown.
-    View { block: BlockId, view_ref: RefId, can_merge: bool, can_jppd: bool },
+    View {
+        block: BlockId,
+        view_ref: RefId,
+        can_merge: bool,
+        can_jppd: bool,
+    },
     /// A group-by block and the table to push aggregation into.
     GroupByPush { block: BlockId, table_ref: RefId },
     /// A UNION ALL block and a base table common to all branches.
-    Factorize { setop: BlockId, table: cbqt_catalog::TableId },
+    Factorize {
+        setop: BlockId,
+        table: cbqt_catalog::TableId,
+    },
     /// An expensive predicate (by conjunct index) in a blocking view
     /// under a ROWNUM-limited parent.
-    PullupPred { parent: BlockId, view: BlockId, conjunct: usize },
+    PullupPred {
+        parent: BlockId,
+        view: BlockId,
+        conjunct: usize,
+    },
     /// An INTERSECT / MINUS block to convert into a join.
     SetOpJoin { setop: BlockId },
     /// A disjunctive WHERE conjunct to expand into UNION ALL branches.

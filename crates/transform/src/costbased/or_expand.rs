@@ -8,8 +8,8 @@ use super::{ApplyEffect, CbTransform, Target};
 use cbqt_catalog::Catalog;
 use cbqt_common::{Error, Result};
 use cbqt_qgm::{
-    BinOp, BlockId, OutputItem, QExpr, QTable, QTableSource, QueryBlock, QueryTree, SelectBlock,
-    SetOpBlock, JoinInfo, SetOp,
+    BinOp, BlockId, JoinInfo, OutputItem, QExpr, QTable, QTableSource, QueryBlock, QueryTree,
+    SelectBlock, SetOp, SetOpBlock,
 };
 
 /// Branch-count cap: wider disjunctions are left as post-filters.
@@ -25,7 +25,9 @@ impl CbTransform for CbOrExpansion {
     fn find_targets(&self, tree: &QueryTree, _catalog: &Catalog) -> Vec<Target> {
         let mut out = Vec::new();
         for id in tree.bottom_up() {
-            let Ok(QueryBlock::Select(s)) = tree.block(id) else { continue };
+            let Ok(QueryBlock::Select(s)) = tree.block(id) else {
+                continue;
+            };
             if s.is_aggregated()
                 || s.distinct
                 || s.distinct_keys.is_some()
@@ -41,7 +43,10 @@ impl CbTransform for CbOrExpansion {
             for (ci, c) in s.where_conjuncts.iter().enumerate() {
                 let ds = disjuncts(c);
                 if ds.len() >= 2 && ds.len() <= MAX_BRANCHES && !c.contains_subquery() {
-                    out.push(Target::OrExpand { block: id, conjunct: ci });
+                    out.push(Target::OrExpand {
+                        block: id,
+                        conjunct: ci,
+                    });
                 }
             }
         }
@@ -66,7 +71,11 @@ fn disjuncts(e: &QExpr) -> Vec<QExpr> {
     let mut out = Vec::new();
     fn rec(e: &QExpr, out: &mut Vec<QExpr>) {
         match e {
-            QExpr::Bin { op: BinOp::Or, left, right } => {
+            QExpr::Bin {
+                op: BinOp::Or,
+                left,
+                right,
+            } => {
                 rec(left, out);
                 rec(right, out);
             }
@@ -100,13 +109,15 @@ fn expand(tree: &mut QueryTree, block: BlockId, conjunct: usize) -> Result<Apply
         {
             let s = tree.select_mut(copy)?;
             s.order_by.clear(); // ordering happens above the UNION ALL
-            // replace the disjunction with: d_j AND LNNVL(d_0..j-1)
+                                // replace the disjunction with: d_j AND LNNVL(d_0..j-1)
             let copied = s.where_conjuncts.remove(conjunct);
             let copied_ds = disjuncts(&copied);
             s.where_conjuncts.push(copied_ds[j].clone());
             for prev in copied_ds.iter().take(j) {
-                s.where_conjuncts
-                    .push(QExpr::Func { name: "LNNVL".into(), args: vec![prev.clone()] });
+                s.where_conjuncts.push(QExpr::Func {
+                    name: "LNNVL".into(),
+                    args: vec![prev.clone()],
+                });
             }
         }
         branches.push(copy);
@@ -126,7 +137,10 @@ fn expand(tree: &mut QueryTree, block: BlockId, conjunct: usize) -> Result<Apply
         let select: Vec<OutputItem> = names
             .iter()
             .enumerate()
-            .map(|(i, n)| OutputItem { expr: QExpr::col(rw, i), name: n.clone() })
+            .map(|(i, n)| OutputItem {
+                expr: QExpr::col(rw, i),
+                name: n.clone(),
+            })
             .collect();
         // re-express the order keys over the wrapper outputs: they must
         // be among the select items (checked here)
@@ -226,7 +240,9 @@ mod tests {
         );
         let t = CbOrExpansion.find_targets(&tree, &cat)[0].clone();
         CbOrExpansion.apply(&mut tree, &cat, &t, 1).unwrap();
-        let QueryBlock::SetOp(so) = tree.block(tree.root).unwrap() else { panic!() };
+        let QueryBlock::SetOp(so) = tree.block(tree.root).unwrap() else {
+            panic!()
+        };
         assert_eq!(so.inputs.len(), 3);
         // last branch has two LNNVL guards
         let b3 = tree.select(so.inputs[2]).unwrap();

@@ -7,9 +7,7 @@
 use super::{ApplyEffect, CbTransform, Target};
 use cbqt_catalog::Catalog;
 use cbqt_common::{Error, Result};
-use cbqt_qgm::{
-    BlockId, JoinInfo, OutputItem, QExpr, QTableSource, QueryBlock, QueryTree, RefId,
-};
+use cbqt_qgm::{BlockId, JoinInfo, OutputItem, QExpr, QTableSource, QueryBlock, QueryTree, RefId};
 
 pub struct CbPredicatePullup;
 
@@ -21,7 +19,9 @@ impl CbTransform for CbPredicatePullup {
     fn find_targets(&self, tree: &QueryTree, _catalog: &Catalog) -> Vec<Target> {
         let mut out = Vec::new();
         for id in tree.bottom_up() {
-            let Ok(QueryBlock::Select(p)) = tree.block(id) else { continue };
+            let Ok(QueryBlock::Select(p)) = tree.block(id) else {
+                continue;
+            };
             // only considered when the containing query has a ROWNUM limit
             if p.rownum_limit.is_none() {
                 continue;
@@ -30,15 +30,23 @@ impl CbTransform for CbPredicatePullup {
                 if !matches!(t.join, JoinInfo::Inner) {
                     continue;
                 }
-                let QTableSource::View(v) = t.source else { continue };
-                let Ok(QueryBlock::Select(vs)) = tree.block(v) else { continue };
+                let QTableSource::View(v) = t.source else {
+                    continue;
+                };
+                let Ok(QueryBlock::Select(vs)) = tree.block(v) else {
+                    continue;
+                };
                 // the view must contain a blocking operator
                 if vs.order_by.is_empty() && !vs.is_aggregated() && !vs.distinct {
                     continue;
                 }
                 for (ci, c) in vs.where_conjuncts.iter().enumerate() {
                     if c.is_expensive() && !c.contains_subquery() && liftable(vs, c) {
-                        out.push(Target::PullupPred { parent: id, view: v, conjunct: ci });
+                        out.push(Target::PullupPred {
+                            parent: id,
+                            view: v,
+                            conjunct: ci,
+                        });
                     }
                 }
             }
@@ -53,7 +61,12 @@ impl CbTransform for CbPredicatePullup {
         target: &Target,
         _choice: usize,
     ) -> Result<ApplyEffect> {
-        let Target::PullupPred { parent, view, conjunct } = target else {
+        let Target::PullupPred {
+            parent,
+            view,
+            conjunct,
+        } = target
+        else {
             return Err(Error::transform("wrong target kind"));
         };
         pull_up(tree, *parent, *view, *conjunct)
@@ -98,8 +111,10 @@ fn pull_up(
             if mapping.iter().any(|(k, _)| *k == (r, c)) {
                 continue;
             }
-            let existing =
-                vs.select.iter().position(|item| item.expr == QExpr::col(r, c));
+            let existing = vs
+                .select
+                .iter()
+                .position(|item| item.expr == QExpr::col(r, c));
             let idx = match existing {
                 Some(i) => i,
                 None => {
@@ -152,12 +167,16 @@ mod tests {
         let mut tree = build(&cat, Q16ISH);
         let targets = CbPredicatePullup.find_targets(&tree, &cat);
         // pull the second predicate (references emp_id, not an output)
-        CbPredicatePullup.apply(&mut tree, &cat, &targets[1], 1).unwrap();
+        CbPredicatePullup
+            .apply(&mut tree, &cat, &targets[1], 1)
+            .unwrap();
         tree.validate().unwrap();
         let root = tree.select(tree.root).unwrap();
         assert_eq!(root.where_conjuncts.len(), 1);
         assert!(root.where_conjuncts[0].is_expensive());
-        let QTableSource::View(v) = root.tables[0].source else { panic!() };
+        let QTableSource::View(v) = root.tables[0].source else {
+            panic!()
+        };
         let vs = tree.select(v).unwrap();
         assert_eq!(vs.where_conjuncts.len(), 1);
         // emp_id was appended as a new output

@@ -24,7 +24,9 @@ impl CbTransform for CbSetOpToJoin {
     fn find_targets(&self, tree: &QueryTree, _catalog: &Catalog) -> Vec<Target> {
         let mut out = Vec::new();
         for id in tree.bottom_up() {
-            let Ok(QueryBlock::SetOp(so)) = tree.block(id) else { continue };
+            let Ok(QueryBlock::SetOp(so)) = tree.block(id) else {
+                continue;
+            };
             if !matches!(so.op, SetOp::Intersect | SetOp::Minus) || so.inputs.len() != 2 {
                 continue;
             }
@@ -77,23 +79,32 @@ fn convert(
     // null-safe join conditions column by column
     let mut on = Vec::with_capacity(arity);
     for i in 0..arity {
-        let plain_ok = output_not_null(tree, catalog, left, i)
-            && output_not_null(tree, catalog, right, i);
+        let plain_ok =
+            output_not_null(tree, catalog, left, i) && output_not_null(tree, catalog, right, i);
         let eq = QExpr::eq(QExpr::col(rl, i), QExpr::col(rr, i));
         if plain_ok {
             on.push(eq);
         } else {
             let both_null = QExpr::bin(
                 BinOp::And,
-                QExpr::IsNull { expr: Box::new(QExpr::col(rl, i)), negated: false },
-                QExpr::IsNull { expr: Box::new(QExpr::col(rr, i)), negated: false },
+                QExpr::IsNull {
+                    expr: Box::new(QExpr::col(rl, i)),
+                    negated: false,
+                },
+                QExpr::IsNull {
+                    expr: Box::new(QExpr::col(rr, i)),
+                    negated: false,
+                },
             );
             on.push(QExpr::bin(BinOp::Or, eq, both_null));
         }
     }
     let join = match op {
         SetOp::Intersect => JoinInfo::Semi { on },
-        SetOp::Minus => JoinInfo::Anti { on, null_aware: false },
+        SetOp::Minus => JoinInfo::Anti {
+            on,
+            null_aware: false,
+        },
         _ => unreachable!("filtered in find_targets"),
     };
     let mut j = SelectBlock::default();
@@ -110,7 +121,10 @@ fn convert(
         join,
     });
     for (i, n) in names.iter().enumerate() {
-        j.select.push(OutputItem { expr: QExpr::col(rl, i), name: n.clone() });
+        j.select.push(OutputItem {
+            expr: QExpr::col(rl, i),
+            name: n.clone(),
+        });
     }
     match choice {
         1 => j.distinct = true,
@@ -141,9 +155,10 @@ fn output_not_null(tree: &QueryTree, catalog: &Catalog, block: BlockId, col: usi
             Some(item) => crate::util::provably_not_null(tree, catalog, s, &item.expr),
             None => false,
         },
-        Ok(QueryBlock::SetOp(so)) => {
-            so.inputs.iter().all(|b| output_not_null(tree, catalog, *b, col))
-        }
+        Ok(QueryBlock::SetOp(so)) => so
+            .inputs
+            .iter()
+            .all(|b| output_not_null(tree, catalog, *b, col)),
         Err(_) => false,
     }
 }
@@ -166,8 +181,10 @@ mod tests {
             "SELECT dept_id FROM departments INTERSECT SELECT dept_id FROM employees",
         );
         assert_eq!(CbSetOpToJoin.find_targets(&tree, &cat).len(), 1);
-        let tree =
-            build(&cat, "SELECT dept_id FROM departments UNION SELECT dept_id FROM employees");
+        let tree = build(
+            &cat,
+            "SELECT dept_id FROM departments UNION SELECT dept_id FROM employees",
+        );
         assert!(CbSetOpToJoin.find_targets(&tree, &cat).is_empty());
     }
 
@@ -183,7 +200,9 @@ mod tests {
         assert!(matches!(root.tables[1].join, JoinInfo::Anti { .. }));
         // departments.dept_id is NOT NULL; employees.dept_id nullable →
         // null-safe OR condition
-        let JoinInfo::Anti { on, .. } = &root.tables[1].join else { panic!() };
+        let JoinInfo::Anti { on, .. } = &root.tables[1].join else {
+            panic!()
+        };
         assert!(matches!(on[0], QExpr::Bin { op: BinOp::Or, .. }));
     }
 
@@ -201,10 +220,14 @@ mod tests {
         assert!(!root.distinct);
         assert!(matches!(root.tables[1].join, JoinInfo::Semi { .. }));
         // plain equality: both sides NOT NULL
-        let JoinInfo::Semi { on } = &root.tables[1].join else { panic!() };
+        let JoinInfo::Semi { on } = &root.tables[1].join else {
+            panic!()
+        };
         assert!(matches!(on[0], QExpr::Bin { op: BinOp::Eq, .. }));
         // left input got distinct
-        let QTableSource::View(l) = root.tables[0].source else { panic!() };
+        let QTableSource::View(l) = root.tables[0].source else {
+            panic!()
+        };
         assert!(tree.select(l).unwrap().distinct);
     }
 

@@ -33,7 +33,9 @@ impl CbTransform for CbUnnestView {
     fn find_targets(&self, tree: &QueryTree, catalog: &Catalog) -> Vec<Target> {
         let mut out = Vec::new();
         for id in tree.bottom_up() {
-            let Ok(QueryBlock::Select(s)) = tree.block(id) else { continue };
+            let Ok(QueryBlock::Select(s)) = tree.block(id) else {
+                continue;
+            };
             for c in &s.where_conjuncts {
                 for subq in c.subquery_blocks() {
                     if classify(tree, catalog, id, subq, c).is_some()
@@ -81,11 +83,7 @@ enum Shape {
 }
 
 /// A correlated conjunct usable for unnesting: `inner = outer` equality.
-fn split_correlation(
-    tree: &QueryTree,
-    sub: BlockId,
-    c: &QExpr,
-) -> Option<(QExpr, QExpr)> {
+fn split_correlation(tree: &QueryTree, sub: BlockId, c: &QExpr) -> Option<(QExpr, QExpr)> {
     let (l, r) = c.as_equality()?;
     let declared = collect_subtree_refs(tree, sub);
     let l_inner = !l.referenced_tables().is_empty()
@@ -132,11 +130,17 @@ fn classify(
     sub: BlockId,
     conj: &QExpr,
 ) -> Option<Shape> {
-    let Ok(QueryBlock::Select(s)) = tree.block(sub) else { return None };
+    let Ok(QueryBlock::Select(s)) = tree.block(sub) else {
+        return None;
+    };
     let outer_s = tree.select(outer).ok()?;
     // correlation must resolve to the outer block's own tables
     let outer_declared = outer_s.declared_refs();
-    if !tree.correlated_refs(sub).iter().all(|r| outer_declared.contains(r)) {
+    if !tree
+        .correlated_refs(sub)
+        .iter()
+        .all(|r| outer_declared.contains(r))
+    {
         return None;
     }
     if s.rownum_limit.is_some()
@@ -149,8 +153,7 @@ fn classify(
     // every correlated conjunct must be extractable as inner = outer
     let declared = collect_subtree_refs(tree, sub);
     for c in &s.where_conjuncts {
-        let is_correlated =
-            c.referenced_tables().iter().any(|t| !declared.contains(t));
+        let is_correlated = c.referenced_tables().iter().any(|t| !declared.contains(t));
         if is_correlated && split_correlation(tree, sub, c).is_none() {
             return None;
         }
@@ -189,7 +192,12 @@ fn classify(
             && s.select.len() == 1
             && s.tables.iter().all(|t| t.join.is_inner())
         {
-            if let QExpr::Agg { func, distinct: false, .. } = &s.select[0].expr {
+            if let QExpr::Agg {
+                func,
+                distinct: false,
+                ..
+            } = &s.select[0].expr
+            {
                 // COUNT over an empty group would have to produce 0, which
                 // an inner join back cannot (the classic COUNT bug): skip
                 if !matches!(func, AggFunc::Count | AggFunc::CountStar) {
@@ -202,7 +210,9 @@ fn classify(
 
     // semi/anti shape: the conjunct IS the subquery reference and the
     // merging heuristic could not handle it
-    let QExpr::Subq { block, kind } = conj else { return None };
+    let QExpr::Subq { block, kind } = conj else {
+        return None;
+    };
     if block != &sub || is_mergeable_subquery(tree, sub) {
         return None;
     }
@@ -237,14 +247,9 @@ fn classify(
                     // ALL needs BOTH connecting sides provably non-null
                     // (§2.1.1): a NULL on either side makes the ALL
                     // comparison UNKNOWN, which an antijoin cannot model
-                    let out_ok = crate::util::provably_not_null(
-                        tree,
-                        catalog,
-                        s,
-                        &s.select[0].expr,
-                    );
-                    let lhs_ok =
-                        crate::util::provably_not_null(tree, catalog, outer_s, lhs);
+                    let out_ok =
+                        crate::util::provably_not_null(tree, catalog, s, &s.select[0].expr);
+                    let lhs_ok = crate::util::provably_not_null(tree, catalog, outer_s, lhs);
                     if out_ok && lhs_ok {
                         Some(Shape::SemiAnti)
                     } else {
@@ -301,7 +306,10 @@ fn unnest_aggregate(
         s.where_conjuncts = kept;
         // expose correlation columns and group by them
         for (k, (inner, _)) in correlations.iter().enumerate() {
-            s.select.push(OutputItem { expr: inner.clone(), name: format!("GK{k}") });
+            s.select.push(OutputItem {
+                expr: inner.clone(),
+                name: format!("GK{k}"),
+            });
             s.group_by.push(inner.clone());
         }
     }
@@ -319,16 +327,20 @@ fn unnest_aggregate(
         // replace the Subq node inside the conjunct with the view's
         // aggregate output
         p.where_conjuncts[conj_idx].rewrite(&mut |e| match e {
-            QExpr::Subq { block, kind: SubqKind::Scalar } if *block == sub => {
-                Some(QExpr::col(rv, 0))
-            }
+            QExpr::Subq {
+                block,
+                kind: SubqKind::Scalar,
+            } if *block == sub => Some(QExpr::col(rv, 0)),
             _ => None,
         });
         for (k, (_, outer_expr)) in correlations.iter().enumerate() {
-            p.where_conjuncts.push(QExpr::eq(outer_expr.clone(), QExpr::col(rv, 1 + k)));
+            p.where_conjuncts
+                .push(QExpr::eq(outer_expr.clone(), QExpr::col(rv, 1 + k)));
         }
     }
-    Ok(ApplyEffect { created_views: vec![(outer, rv)] })
+    Ok(ApplyEffect {
+        created_views: vec![(outer, rv)],
+    })
 }
 
 /// Multi-table EXISTS / IN / quantified subquery becomes an inline view
@@ -371,21 +383,25 @@ fn unnest_semi_anti(
     {
         let s = tree.select_mut(sub)?;
         for (k, (inner, _)) in correlations.iter().enumerate() {
-            s.select.push(OutputItem { expr: inner.clone(), name: format!("JK{k}") });
+            s.select.push(OutputItem {
+                expr: inner.clone(),
+                name: format!("JK{k}"),
+            });
         }
     }
     let rv = tree.new_ref();
     let mut on: Vec<QExpr> = correlations
         .iter()
         .enumerate()
-        .map(|(k, (_, outer_expr))| {
-            QExpr::eq(QExpr::col(rv, base_arity + k), outer_expr.clone())
-        })
+        .map(|(k, (_, outer_expr))| QExpr::eq(QExpr::col(rv, base_arity + k), outer_expr.clone()))
         .collect();
     let join = match kind {
         SubqKind::Exists { negated } => {
             if negated {
-                JoinInfo::Anti { on, null_aware: false }
+                JoinInfo::Anti {
+                    on,
+                    null_aware: false,
+                }
             } else {
                 JoinInfo::Semi { on }
             }
@@ -403,7 +419,10 @@ fn unnest_semi_anti(
                     && sub_s.select[..lhs.len()].iter().all(|item| {
                         crate::util::provably_not_null(tree, catalog, sub_s, &item.expr)
                     });
-                JoinInfo::Anti { on, null_aware: !all_nn }
+                JoinInfo::Anti {
+                    on,
+                    null_aware: !all_nn,
+                }
             } else {
                 JoinInfo::Semi { on }
             }
@@ -417,7 +436,10 @@ fn unnest_semi_anti(
                 let inv = crate::util::invert_comparison(op)
                     .ok_or_else(|| Error::transform("bad ALL operator"))?;
                 on.push(QExpr::bin(inv, (*lhs).clone(), QExpr::col(rv, 0)));
-                JoinInfo::Anti { on, null_aware: false }
+                JoinInfo::Anti {
+                    on,
+                    null_aware: false,
+                }
             }
         },
         SubqKind::Scalar => return Err(Error::transform("scalar subquery in semi/anti shape")),
@@ -443,11 +465,17 @@ pub fn heuristic_would_unnest(
     outer: BlockId,
     sub: BlockId,
 ) -> bool {
-    let Ok(outer_s) = tree.select(outer) else { return false };
-    let Ok(sub_s) = tree.select(sub) else { return false };
+    let Ok(outer_s) = tree.select(outer) else {
+        return false;
+    };
+    let Ok(sub_s) = tree.select(sub) else {
+        return false;
+    };
     let has_outer_filters = outer_s.where_conjuncts.iter().any(|c| {
         !c.contains_subquery()
-            && c.referenced_tables().iter().all(|r| outer_s.table(*r).is_some())
+            && c.referenced_tables()
+                .iter()
+                .all(|r| outer_s.table(*r).is_some())
     });
     // indexes on the local (inner) columns of the correlation?
     let declared = collect_subtree_refs(tree, sub);
@@ -460,7 +488,11 @@ pub fn heuristic_would_unnest(
         let Some((QExpr::Col { table, column }, _)) = split_correlation(tree, sub, c) else {
             continue;
         };
-        if let Some(QTable { source: QTableSource::Base(tid), .. }) = sub_s.table(table) {
+        if let Some(QTable {
+            source: QTableSource::Base(tid),
+            ..
+        }) = sub_s.table(table)
+        {
             if catalog.has_index_with_leading(*tid, column) {
                 has_index_on_correlation = true;
             }
@@ -500,8 +532,12 @@ mod tests {
         let agg_target = targets
             .iter()
             .find(|t| {
-                let Target::Subquery { subq, .. } = t else { return false };
-                tree.select(*subq).map(|s| s.is_aggregated()).unwrap_or(false)
+                let Target::Subquery { subq, .. } = t else {
+                    return false;
+                };
+                tree.select(*subq)
+                    .map(|s| s.is_aggregated())
+                    .unwrap_or(false)
             })
             .unwrap();
         let eff = CbUnnestView.apply(&mut tree, &cat, agg_target, 1).unwrap();
@@ -512,7 +548,9 @@ mod tests {
         assert_eq!(root.tables.len(), 3);
         let (_, rv) = eff.created_views[0];
         let vt = root.table(rv).unwrap();
-        let QTableSource::View(vb) = vt.source else { panic!() };
+        let QTableSource::View(vb) = vt.source else {
+            panic!()
+        };
         let v = tree.select(vb).unwrap();
         // AVG + the exposed correlation column, grouped
         assert_eq!(v.select.len(), 2);
@@ -532,15 +570,22 @@ mod tests {
         let in_target = targets
             .iter()
             .find(|t| {
-                let Target::Subquery { subq, .. } = t else { return false };
-                tree.select(*subq).map(|s| !s.is_aggregated()).unwrap_or(false)
+                let Target::Subquery { subq, .. } = t else {
+                    return false;
+                };
+                tree.select(*subq)
+                    .map(|s| !s.is_aggregated())
+                    .unwrap_or(false)
             })
             .unwrap();
         CbUnnestView.apply(&mut tree, &cat, in_target, 1).unwrap();
         tree.validate().unwrap();
         let root = tree.select(tree.root).unwrap();
         assert_eq!(root.tables.len(), 3);
-        assert!(root.tables.iter().any(|t| matches!(t.join, JoinInfo::Semi { .. })));
+        assert!(root
+            .tables
+            .iter()
+            .any(|t| matches!(t.join, JoinInfo::Semi { .. })));
     }
 
     #[test]
@@ -582,10 +627,13 @@ mod tests {
         CbUnnestView.apply(&mut tree, &cat, &targets[0], 1).unwrap();
         tree.validate().unwrap();
         let root = tree.select(tree.root).unwrap();
-        assert!(root
-            .tables
-            .iter()
-            .any(|t| matches!(t.join, JoinInfo::Anti { null_aware: false, .. })));
+        assert!(root.tables.iter().any(|t| matches!(
+            t.join,
+            JoinInfo::Anti {
+                null_aware: false,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -608,8 +656,12 @@ mod tests {
         let Target::Subquery { subq, .. } = targets
             .iter()
             .find(|t| {
-                let Target::Subquery { subq, .. } = t else { return false };
-                tree.select(*subq).map(|s| s.is_aggregated()).unwrap_or(false)
+                let Target::Subquery { subq, .. } = t else {
+                    return false;
+                };
+                tree.select(*subq)
+                    .map(|s| s.is_aggregated())
+                    .unwrap_or(false)
             })
             .unwrap()
         else {

@@ -8,9 +8,7 @@ use super::{ApplyEffect, CbTransform, Target};
 use crate::util::{dedup_aliases, substitute_view_columns, table_used_elsewhere};
 use cbqt_catalog::Catalog;
 use cbqt_common::{Error, Result};
-use cbqt_qgm::{
-    BlockId, JoinInfo, QExpr, QTableSource, QueryBlock, QueryTree, RefId,
-};
+use cbqt_qgm::{BlockId, JoinInfo, QExpr, QTableSource, QueryBlock, QueryTree, RefId};
 use std::collections::HashSet;
 
 pub struct CbViewTransform;
@@ -23,16 +21,25 @@ impl CbTransform for CbViewTransform {
     fn find_targets(&self, tree: &QueryTree, catalog: &Catalog) -> Vec<Target> {
         let mut out = Vec::new();
         for id in tree.bottom_up() {
-            let Ok(QueryBlock::Select(s)) = tree.block(id) else { continue };
+            let Ok(QueryBlock::Select(s)) = tree.block(id) else {
+                continue;
+            };
             for t in &s.tables {
                 if !matches!(t.join, JoinInfo::Inner) {
                     continue;
                 }
-                let QTableSource::View(v) = t.source else { continue };
+                let QTableSource::View(v) = t.source else {
+                    continue;
+                };
                 let can_merge = can_merge_view(tree, catalog, id, t.refid, v);
                 let can_jppd = can_jppd_view(tree, id, t.refid, v);
                 if can_merge || can_jppd {
-                    out.push(Target::View { block: id, view_ref: t.refid, can_merge, can_jppd });
+                    out.push(Target::View {
+                        block: id,
+                        view_ref: t.refid,
+                        can_merge,
+                        can_jppd,
+                    });
                 }
             }
         }
@@ -40,7 +47,14 @@ impl CbTransform for CbViewTransform {
     }
 
     fn arity(&self, target: &Target) -> usize {
-        let Target::View { can_merge, can_jppd, .. } = target else { return 2 };
+        let Target::View {
+            can_merge,
+            can_jppd,
+            ..
+        } = target
+        else {
+            return 2;
+        };
         1 + usize::from(*can_merge) + usize::from(*can_jppd)
     }
 
@@ -51,7 +65,13 @@ impl CbTransform for CbViewTransform {
         target: &Target,
         choice: usize,
     ) -> Result<ApplyEffect> {
-        let Target::View { block, view_ref, can_merge, can_jppd } = target else {
+        let Target::View {
+            block,
+            view_ref,
+            can_merge,
+            can_jppd,
+        } = target
+        else {
             return Err(Error::transform("wrong target kind"));
         };
         let do_merge = *can_merge && choice == 1;
@@ -103,9 +123,7 @@ pub fn merge_view(
         p.tables
             .iter()
             .filter(|t| t.refid != view_ref)
-            .filter(|t| {
-                matches!(t.join, JoinInfo::Inner | JoinInfo::LeftOuter { .. })
-            })
+            .filter(|t| matches!(t.join, JoinInfo::Inner | JoinInfo::LeftOuter { .. }))
             .filter_map(|t| match t.source {
                 QTableSource::Base(tid) => {
                     let n = catalog.table(tid).ok()?.columns.len();
@@ -167,8 +185,12 @@ pub fn can_merge_view(
     view_ref: RefId,
     vid: BlockId,
 ) -> bool {
-    let Ok(p) = tree.select(parent) else { return false };
-    let Ok(QueryBlock::Select(v)) = tree.block(vid) else { return false };
+    let Ok(p) = tree.select(parent) else {
+        return false;
+    };
+    let Ok(QueryBlock::Select(v)) = tree.block(vid) else {
+        return false;
+    };
     // parent must be a plain (non-aggregated, unlimited) block
     if p.is_aggregated()
         || p.distinct_keys.is_some()
@@ -234,11 +256,15 @@ fn pushable_conjuncts(
     view_ref: RefId,
     vid: BlockId,
 ) -> Vec<usize> {
-    let Ok(p) = tree.select(parent) else { return Vec::new() };
+    let Ok(p) = tree.select(parent) else {
+        return Vec::new();
+    };
     let declared = p.declared_refs();
     let mut out = Vec::new();
     for (i, c) in p.where_conjuncts.iter().enumerate() {
-        let Some(out_idx) = pushable_output(c, view_ref, &declared) else { continue };
+        let Some(out_idx) = pushable_output(c, view_ref, &declared) else {
+            continue;
+        };
         if !push_target_ok(tree, vid, out_idx) {
             out.clear();
             return out; // one unpushable reference blocks the whole view
@@ -253,7 +279,9 @@ fn pushable_conjuncts(
 fn pushable_output(c: &QExpr, view_ref: RefId, declared: &HashSet<RefId>) -> Option<usize> {
     let (l, r) = c.as_equality()?;
     let side = |a: &QExpr, b: &QExpr| -> Option<usize> {
-        let QExpr::Col { table, column } = a else { return None };
+        let QExpr::Col { table, column } = a else {
+            return None;
+        };
         if *table != view_ref {
             return None;
         }
@@ -283,7 +311,9 @@ fn push_target_ok(tree: &QueryTree, vid: BlockId, out_idx: usize) -> bool {
             {
                 return false;
             }
-            let Some(item) = v.select.get(out_idx) else { return false };
+            let Some(item) = v.select.get(out_idx) else {
+                return false;
+            };
             if v.is_aggregated() {
                 // must land on a grouping expression
                 v.group_by.contains(&item.expr)
@@ -327,8 +357,7 @@ pub fn jppd_view(tree: &mut QueryTree, parent: BlockId, view_ref: RefId) -> Resu
         for (i, c) in p.where_conjuncts.drain(..).enumerate() {
             if idxs.contains(&i) {
                 kept.push(QExpr::Lit(cbqt_common::Value::Bool(true))); // placeholder
-                let out_idx = pushable_output(&c, view_ref, &declared)
-                    .expect("validated pushable");
+                let out_idx = pushable_output(&c, view_ref, &declared).expect("validated pushable");
                 let (l, r) = c.as_equality().expect("validated equality");
                 let outer = if matches!(l, QExpr::Col { table, .. } if *table == view_ref) {
                     r.clone()
@@ -381,7 +410,8 @@ fn push_into_view(tree: &mut QueryTree, vid: BlockId, pushed: &[(usize, QExpr)])
             };
             let v = tree.select_mut(vid)?;
             for (idx, outer) in pushed {
-                v.where_conjuncts.push(QExpr::eq(outputs[*idx].clone(), outer.clone()));
+                v.where_conjuncts
+                    .push(QExpr::eq(outputs[*idx].clone(), outer.clone()));
             }
             Ok(())
         }
@@ -415,7 +445,14 @@ mod tests {
         let tree = build(&cat, PAPER_Q12);
         let targets = CbViewTransform.find_targets(&tree, &cat);
         assert_eq!(targets.len(), 1);
-        let Target::View { can_merge, can_jppd, .. } = &targets[0] else { panic!() };
+        let Target::View {
+            can_merge,
+            can_jppd,
+            ..
+        } = &targets[0]
+        else {
+            panic!()
+        };
         assert!(can_merge);
         assert!(can_jppd);
         assert_eq!(CbViewTransform.arity(&targets[0]), 3);
@@ -427,12 +464,20 @@ mod tests {
         let mut tree = build(&cat, PAPER_Q12);
         let targets = CbViewTransform.find_targets(&tree, &cat);
         // choice 2 = JPPD (merge is choice 1)
-        CbViewTransform.apply(&mut tree, &cat, &targets[0], 2).unwrap();
+        CbViewTransform
+            .apply(&mut tree, &cat, &targets[0], 2)
+            .unwrap();
         tree.validate().unwrap();
         let root = tree.select(tree.root).unwrap();
-        let vt = root.tables.iter().find(|t| matches!(t.source, QTableSource::View(_))).unwrap();
+        let vt = root
+            .tables
+            .iter()
+            .find(|t| matches!(t.source, QTableSource::View(_)))
+            .unwrap();
         assert!(matches!(vt.join, JoinInfo::Lateral { semi: true }));
-        let QTableSource::View(vb) = vt.source else { panic!() };
+        let QTableSource::View(vb) = vt.source else {
+            panic!()
+        };
         let v = tree.select(vb).unwrap();
         assert!(!v.distinct, "distinct must be removed");
         // the join predicate is now correlated inside the view
@@ -444,7 +489,9 @@ mod tests {
         let cat = catalog();
         let mut tree = build(&cat, PAPER_Q12);
         let targets = CbViewTransform.find_targets(&tree, &cat);
-        CbViewTransform.apply(&mut tree, &cat, &targets[0], 1).unwrap();
+        CbViewTransform
+            .apply(&mut tree, &cat, &targets[0], 1)
+            .unwrap();
         tree.validate().unwrap();
         let root = tree.select(tree.root).unwrap();
         // all four tables in one block
@@ -468,7 +515,15 @@ mod tests {
         let targets = CbViewTransform.find_targets(&tree, &cat);
         let t = targets
             .iter()
-            .find(|t| matches!(t, Target::View { can_merge: true, .. }))
+            .find(|t| {
+                matches!(
+                    t,
+                    Target::View {
+                        can_merge: true,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         CbViewTransform.apply(&mut tree, &cat, t, 1).unwrap();
         tree.validate().unwrap();
@@ -491,16 +546,29 @@ mod tests {
              WHERE e1.dept_id = v.dept_id",
         );
         let targets = CbViewTransform.find_targets(&tree, &cat);
-        let t = targets.iter().find(|t| matches!(t, Target::View { can_jppd: true, .. })).unwrap();
-        let Target::View { can_merge, .. } = t else { panic!() };
+        let t = targets
+            .iter()
+            .find(|t| matches!(t, Target::View { can_jppd: true, .. }))
+            .unwrap();
+        let Target::View { can_merge, .. } = t else {
+            panic!()
+        };
         let jppd_choice = 1 + usize::from(*can_merge);
-        CbViewTransform.apply(&mut tree, &cat, t, jppd_choice).unwrap();
+        CbViewTransform
+            .apply(&mut tree, &cat, t, jppd_choice)
+            .unwrap();
         tree.validate().unwrap();
         let root = tree.select(tree.root).unwrap();
-        let vt = root.tables.iter().find(|t| matches!(t.source, QTableSource::View(_))).unwrap();
+        let vt = root
+            .tables
+            .iter()
+            .find(|t| matches!(t.source, QTableSource::View(_)))
+            .unwrap();
         // aggregate outputs are referenced → plain lateral, group-by kept
         assert!(matches!(vt.join, JoinInfo::Lateral { semi: false }));
-        let QTableSource::View(vb) = vt.source else { panic!() };
+        let QTableSource::View(vb) = vt.source else {
+            panic!()
+        };
         assert_eq!(tree.select(vb).unwrap().group_by.len(), 1);
     }
 
@@ -516,16 +584,33 @@ mod tests {
         );
         let targets = CbViewTransform.find_targets(&tree, &cat);
         assert_eq!(targets.len(), 1);
-        let Target::View { can_merge, can_jppd, .. } = &targets[0] else { panic!() };
+        let Target::View {
+            can_merge,
+            can_jppd,
+            ..
+        } = &targets[0]
+        else {
+            panic!()
+        };
         assert!(!can_merge);
         assert!(can_jppd);
-        CbViewTransform.apply(&mut tree, &cat, &targets[0], 1).unwrap();
+        CbViewTransform
+            .apply(&mut tree, &cat, &targets[0], 1)
+            .unwrap();
         tree.validate().unwrap();
         // predicate landed in both branches
         let root = tree.select(tree.root).unwrap();
-        let vt = root.tables.iter().find(|t| matches!(t.source, QTableSource::View(_))).unwrap();
-        let QTableSource::View(vb) = vt.source else { panic!() };
-        let QueryBlock::SetOp(so) = tree.block(vb).unwrap() else { panic!() };
+        let vt = root
+            .tables
+            .iter()
+            .find(|t| matches!(t.source, QTableSource::View(_)))
+            .unwrap();
+        let QTableSource::View(vb) = vt.source else {
+            panic!()
+        };
+        let QueryBlock::SetOp(so) = tree.block(vb).unwrap() else {
+            panic!()
+        };
         for b in &so.inputs {
             assert_eq!(tree.select(*b).unwrap().where_conjuncts.len(), 1);
         }
@@ -543,7 +628,9 @@ mod tests {
         let targets = CbViewTransform.find_targets(&tree, &cat);
         // JPPD may still apply, but merge must not
         for t in &targets {
-            let Target::View { can_merge, .. } = t else { panic!() };
+            let Target::View { can_merge, .. } = t else {
+                panic!()
+            };
             assert!(!can_merge);
         }
     }

@@ -250,10 +250,10 @@ fn apply_heuristic_rule(
         "subquery unnesting (inline view)" => loop {
             let targets = t.find_targets(tree, catalog);
             let Some(target) = targets.into_iter().find(|tg| {
-                let Target::Subquery { block, subq } = tg else { return false };
-                crate::costbased::unnest_view::heuristic_would_unnest(
-                    tree, catalog, *block, *subq,
-                )
+                let Target::Subquery { block, subq } = tg else {
+                    return false;
+                };
+                crate::costbased::unnest_view::heuristic_would_unnest(tree, catalog, *block, *subq)
             }) else {
                 return Ok(applied);
             };
@@ -264,10 +264,15 @@ fn apply_heuristic_rule(
             // heuristic: always merge; never JPPD (the paper introduces
             // JPPD as a cost-based-only transformation)
             let targets = t.find_targets(tree, catalog);
-            let Some(target) = targets
-                .into_iter()
-                .find(|tg| matches!(tg, Target::View { can_merge: true, .. }))
-            else {
+            let Some(target) = targets.into_iter().find(|tg| {
+                matches!(
+                    tg,
+                    Target::View {
+                        can_merge: true,
+                        ..
+                    }
+                )
+            }) else {
                 return Ok(applied);
             };
             t.apply(tree, catalog, &target, 1)?;
@@ -300,11 +305,21 @@ impl<'a> TransformSession<'a> {
             targets = targets
                 .into_iter()
                 .filter_map(|tg| match tg {
-                    Target::View { block, view_ref, can_merge, can_jppd } => {
+                    Target::View {
+                        block,
+                        view_ref,
+                        can_merge,
+                        can_jppd,
+                    } => {
                         let m = can_merge && set.view_merge;
                         let j = can_jppd && set.jppd;
                         if m || j {
-                            Some(Target::View { block, view_ref, can_merge: m, can_jppd: j })
+                            Some(Target::View {
+                                block,
+                                view_ref,
+                                can_merge: m,
+                                can_jppd: j,
+                            })
                         } else {
                             None
                         }
@@ -444,8 +459,10 @@ impl<'a> TransformSession<'a> {
         if best_state.iter().any(|&c| c > 0) {
             let effects = apply_state(tree, self.catalog, t, &targets, &best_state)?;
             // interleaved merges chosen during costing
-            let created: Vec<_> =
-                effects.iter().flat_map(|e| e.created_views.iter().copied()).collect();
+            let created: Vec<_> = effects
+                .iter()
+                .flat_map(|e| e.created_views.iter().copied())
+                .collect();
             for (k, (parent, view_ref)) in created.iter().enumerate() {
                 if best_sub.get(k).copied().unwrap_or(false) {
                     merge_view(tree, self.catalog, *parent, *view_ref)?;
@@ -458,7 +475,11 @@ impl<'a> TransformSession<'a> {
             targets.len(),
             strategy,
             best_state,
-            if best_sub.iter().any(|&b| b) { " + interleaved merge" } else { "" },
+            if best_sub.iter().any(|&b| b) {
+                " + interleaved merge"
+            } else {
+                ""
+            },
             best_cost,
         )))
     }
@@ -506,8 +527,10 @@ impl<'a> TransformSession<'a> {
             Ok(e) => e,
             Err(_) => return Ok(None), // state not applicable
         };
-        let created: Vec<_> =
-            effects.iter().flat_map(|e| e.created_views.iter().copied()).collect();
+        let created: Vec<_> = effects
+            .iter()
+            .flat_map(|e| e.created_views.iter().copied())
+            .collect();
 
         let mut best: Option<(f64, Vec<bool>)> = None;
         let budget_of = |best: &Option<(f64, Vec<bool>)>| -> f64 {
@@ -544,9 +567,7 @@ impl<'a> TransformSession<'a> {
                             ok = false;
                             break;
                         }
-                        if merge_view(&mut merged_copy, self.catalog, *parent, *view_ref)
-                            .is_err()
-                        {
+                        if merge_view(&mut merged_copy, self.catalog, *parent, *view_ref).is_err() {
                             ok = false;
                             break;
                         }
@@ -647,11 +668,16 @@ struct Lcg(u64);
 
 impl Lcg {
     fn new(seed: u64) -> Lcg {
-        Lcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+        Lcg(seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407))
     }
 
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 33
     }
 
@@ -682,7 +708,10 @@ mod tests {
 
     #[test]
     fn q1_exhaustive_explores_state_space() {
-        let config = CbqtConfig { interleave: false, ..Default::default() };
+        let config = CbqtConfig {
+            interleave: false,
+            ..Default::default()
+        };
         let out = outcome(PAPER_Q1, &config);
         // 2 unnesting targets → exhaustive = 4 states (plus later passes)
         assert!(out.states_explored >= 4, "{}", out.states_explored);
@@ -751,12 +780,19 @@ mod tests {
             ..Default::default()
         };
         let out = outcome(PAPER_Q1, &config);
-        assert!(out.states_explored >= 2 && out.states_explored <= 12, "{}", out.states_explored);
+        assert!(
+            out.states_explored >= 2 && out.states_explored <= 12,
+            "{}",
+            out.states_explored
+        );
     }
 
     #[test]
     fn heuristic_mode_applies_rules_without_costing() {
-        let config = CbqtConfig { cost_based: false, ..Default::default() };
+        let config = CbqtConfig {
+            cost_based: false,
+            ..Default::default()
+        };
         let out = outcome(PAPER_Q1, &config);
         assert_eq!(out.states_explored, 0);
         out.tree.validate().unwrap();
@@ -764,7 +800,10 @@ mod tests {
 
     #[test]
     fn interleaving_costs_merge_of_created_view() {
-        let config = CbqtConfig { interleave: true, ..Default::default() };
+        let config = CbqtConfig {
+            interleave: true,
+            ..Default::default()
+        };
         let out = outcome(PAPER_Q1, &config);
         // with interleaving, more states than the plain 4 are costed
         assert!(out.states_explored > 4, "{}", out.states_explored);
@@ -774,19 +813,27 @@ mod tests {
     #[test]
     fn decisions_are_logged() {
         let out = outcome(PAPER_Q1, &CbqtConfig::default());
-        assert!(out
-            .decisions
-            .iter()
-            .any(|(n, _)| n.contains("unnesting")), "{:?}", out.decisions);
+        assert!(
+            out.decisions.iter().any(|(n, _)| n.contains("unnesting")),
+            "{:?}",
+            out.decisions
+        );
     }
 
     #[test]
     fn annotation_reuse_across_states() {
         // Table 1: exhaustive over Q1's two subqueries — the unchanged
         // subquery blocks are reused across states
-        let config = CbqtConfig { interleave: false, ..Default::default() };
+        let config = CbqtConfig {
+            interleave: false,
+            ..Default::default()
+        };
         let out = outcome(PAPER_Q1, &config);
-        assert!(out.optimizer_stats.annotation_hits > 0, "{:?}", out.optimizer_stats);
+        assert!(
+            out.optimizer_stats.annotation_hits > 0,
+            "{:?}",
+            out.optimizer_stats
+        );
     }
 
     #[test]
@@ -798,10 +845,13 @@ mod tests {
             WHERE e1.dept_id = v.dept_id AND e1.emp_id = j.emp_id AND \
                   j.start_date > 19980101";
         let out = outcome(q12, &CbqtConfig::default());
-        assert!(out
-            .decisions
-            .iter()
-            .any(|(n, _)| n.contains("view merging")), "{:?}", out.decisions);
+        assert!(
+            out.decisions
+                .iter()
+                .any(|(n, _)| n.contains("view merging")),
+            "{:?}",
+            out.decisions
+        );
         out.tree.validate().unwrap();
     }
 

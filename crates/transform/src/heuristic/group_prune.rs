@@ -15,7 +15,9 @@ use cbqt_qgm::{BlockId, JoinInfo, QExpr, QTableSource, QueryBlock, QueryTree, Re
 pub fn prune_groups(tree: &mut QueryTree, _catalog: &Catalog) -> Result<usize> {
     let mut pruned = 0;
     for id in tree.bottom_up() {
-        let Ok(QueryBlock::Select(s)) = tree.block(id) else { continue };
+        let Ok(QueryBlock::Select(s)) = tree.block(id) else {
+            continue;
+        };
         let mut jobs: Vec<(BlockId, RefId)> = Vec::new();
         for t in &s.tables {
             if !matches!(t.join, JoinInfo::Inner) {
@@ -72,7 +74,9 @@ fn prune_view(
         return Ok(0);
     }
     let v = tree.select_mut(vid)?;
-    let Some(sets) = &mut v.grouping_sets else { return Ok(0) };
+    let Some(sets) = &mut v.grouping_sets else {
+        return Ok(0);
+    };
     let before = sets.len();
     sets.retain(|set| required.iter().all(|gi| set.contains(gi)));
     let removed = before - sets.len();

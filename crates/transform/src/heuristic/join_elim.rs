@@ -34,20 +34,28 @@ pub fn eliminate_joins(tree: &mut QueryTree, catalog: &Catalog) -> Result<usize>
 
 fn eliminate_one_pk_fk(tree: &mut QueryTree, catalog: &Catalog) -> Result<Option<()>> {
     for id in tree.bottom_up() {
-        let Ok(QueryBlock::Select(s)) = tree.block(id) else { continue };
+        let Ok(QueryBlock::Select(s)) = tree.block(id) else {
+            continue;
+        };
         for parent_t in &s.tables {
             if !matches!(parent_t.join, JoinInfo::Inner) {
                 continue;
             }
-            let QTableSource::Base(ptid) = parent_t.source else { continue };
+            let QTableSource::Base(ptid) = parent_t.source else {
+                continue;
+            };
             let ptable = catalog.table(ptid)?;
-            let Some(pk) = ptable.primary_key() else { continue };
+            let Some(pk) = ptable.primary_key() else {
+                continue;
+            };
             // find a child table joining its FK to this PK
             for child_t in &s.tables {
                 if child_t.refid == parent_t.refid {
                     continue;
                 }
-                let QTableSource::Base(ctid) = child_t.source else { continue };
+                let QTableSource::Base(ctid) = child_t.source else {
+                    continue;
+                };
                 let ctable = catalog.table(ctid)?;
                 for fk in ctable.foreign_keys() {
                     if fk.parent != ptid || fk.parent_columns != pk {
@@ -66,9 +74,7 @@ fn eliminate_one_pk_fk(tree: &mut QueryTree, catalog: &Catalog) -> Result<Option
                                 None
                             };
                             if let Some((fk_col, pk_col)) = pair {
-                                if let Some(k) =
-                                    fk.columns.iter().position(|&fc| fc == fk_col)
-                                {
+                                if let Some(k) = fk.columns.iter().position(|&fc| fc == fk_col) {
                                     if fk.parent_columns[k] == pk_col {
                                         join_idx.push(i);
                                         matched_pairs += 1;
@@ -104,10 +110,16 @@ fn eliminate_one_pk_fk(tree: &mut QueryTree, catalog: &Catalog) -> Result<Option
 
 fn eliminate_one_outer_unique(tree: &mut QueryTree, catalog: &Catalog) -> Result<Option<()>> {
     for id in tree.bottom_up() {
-        let Ok(QueryBlock::Select(s)) = tree.block(id) else { continue };
+        let Ok(QueryBlock::Select(s)) = tree.block(id) else {
+            continue;
+        };
         for t in &s.tables {
-            let JoinInfo::LeftOuter { on } = &t.join else { continue };
-            let QTableSource::Base(tid) = t.source else { continue };
+            let JoinInfo::LeftOuter { on } = &t.join else {
+                continue;
+            };
+            let QTableSource::Base(tid) = t.source else {
+                continue;
+            };
             let table = catalog.table(tid)?;
             // every ON conjunct must be an equality with t's column on one
             // side; the equated t-columns must form a unique key
@@ -159,7 +171,10 @@ fn apply_removal(
         }
     }
     for &c in nullable_fk_cols {
-        kept.push(QExpr::IsNull { expr: Box::new(QExpr::col(child_ref, c)), negated: true });
+        kept.push(QExpr::IsNull {
+            expr: Box::new(QExpr::col(child_ref, c)),
+            negated: true,
+        });
     }
     blk.where_conjuncts = kept;
     Ok(())
@@ -185,7 +200,10 @@ mod tests {
         assert_eq!(s.tables.len(), 1);
         // employees.dept_id is nullable → IS NOT NULL added
         assert_eq!(s.where_conjuncts.len(), 1);
-        assert!(matches!(s.where_conjuncts[0], QExpr::IsNull { negated: true, .. }));
+        assert!(matches!(
+            s.where_conjuncts[0],
+            QExpr::IsNull { negated: true, .. }
+        ));
     }
 
     #[test]

@@ -52,8 +52,14 @@ pub fn apply_heuristics_with(
     // view was merged).
     for _ in 0..3 {
         let mut changed = 0;
-        changed += add(&mut report.spj_views_merged, view_merge::merge_spj_views(tree, catalog)?);
-        changed += add(&mut report.joins_eliminated, join_elim::eliminate_joins(tree, catalog)?);
+        changed += add(
+            &mut report.spj_views_merged,
+            view_merge::merge_spj_views(tree, catalog)?,
+        );
+        changed += add(
+            &mut report.joins_eliminated,
+            join_elim::eliminate_joins(tree, catalog)?,
+        );
         if unnest_merge {
             changed += add(
                 &mut report.subqueries_merged,
@@ -64,12 +70,19 @@ pub fn apply_heuristics_with(
             &mut report.predicates_pushed,
             predicate_move::push_filter_predicates(tree, catalog)?,
         );
-        changed += add(&mut report.groups_pruned, group_prune::prune_groups(tree, catalog)?);
+        changed += add(
+            &mut report.groups_pruned,
+            group_prune::prune_groups(tree, catalog)?,
+        );
         if changed == 0 {
             break;
         }
     }
-    debug_assert!(tree.validate().is_ok(), "heuristics broke the tree: {:?}", tree.validate());
+    debug_assert!(
+        tree.validate().is_ok(),
+        "heuristics broke the tree: {:?}",
+        tree.validate()
+    );
     Ok(report)
 }
 
@@ -89,9 +102,21 @@ pub(crate) mod testutil {
     /// job_history (+ a small accounts table for window examples).
     pub fn catalog() -> Catalog {
         let mut cat = Catalog::new();
-        let icol = |n: &str| Column { name: n.into(), data_type: DataType::Int, not_null: false };
-        let nncol = |n: &str| Column { name: n.into(), data_type: DataType::Int, not_null: true };
-        let scol = |n: &str| Column { name: n.into(), data_type: DataType::Str, not_null: false };
+        let icol = |n: &str| Column {
+            name: n.into(),
+            data_type: DataType::Int,
+            not_null: false,
+        };
+        let nncol = |n: &str| Column {
+            name: n.into(),
+            data_type: DataType::Int,
+            not_null: true,
+        };
+        let scol = |n: &str| Column {
+            name: n.into(),
+            data_type: DataType::Str,
+            not_null: false,
+        };
         let loc = cat
             .add_table(
                 "locations",
@@ -135,7 +160,12 @@ pub(crate) mod testutil {
             .unwrap();
         cat.add_table(
             "job_history",
-            vec![nncol("emp_id"), scol("job_title"), icol("start_date"), icol("dept_id")],
+            vec![
+                nncol("emp_id"),
+                scol("job_title"),
+                icol("start_date"),
+                icol("dept_id"),
+            ],
             vec![Constraint::ForeignKey(ForeignKey {
                 columns: vec![0],
                 parent: emp,

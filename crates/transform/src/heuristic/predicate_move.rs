@@ -42,7 +42,9 @@ pub fn push_filter_predicates(tree: &mut QueryTree, catalog: &Catalog) -> Result
 fn push_once(tree: &mut QueryTree, _catalog: &Catalog) -> Result<usize> {
     let mut moved = 0;
     for id in tree.bottom_up() {
-        let Ok(QueryBlock::Select(_)) = tree.block(id) else { continue };
+        let Ok(QueryBlock::Select(_)) = tree.block(id) else {
+            continue;
+        };
         // iterate conjuncts by index; rebuild the kept list
         let conjuncts = tree.select(id)?.where_conjuncts.clone();
         let mut kept = Vec::with_capacity(conjuncts.len());
@@ -67,16 +69,24 @@ fn try_push_conjunct(tree: &mut QueryTree, id: BlockId, c: &QExpr) -> Result<boo
     let refs = c.referenced_tables();
     let s = tree.select(id)?;
     let declared = s.declared_refs();
-    let local: Vec<RefId> = refs.iter().copied().filter(|r| declared.contains(r)).collect();
+    let local: Vec<RefId> = refs
+        .iter()
+        .copied()
+        .filter(|r| declared.contains(r))
+        .collect();
     if local.len() != 1 {
         return Ok(false);
     }
     let target = local[0];
-    let Some(t) = s.table(target) else { return Ok(false) };
+    let Some(t) = s.table(target) else {
+        return Ok(false);
+    };
     if !matches!(t.join, JoinInfo::Inner) {
         return Ok(false);
     }
-    let QTableSource::View(vid) = t.source else { return Ok(false) };
+    let QTableSource::View(vid) = t.source else {
+        return Ok(false);
+    };
     push_into_block(tree, vid, target, c)
 }
 
@@ -95,15 +105,13 @@ fn push_into_block(tree: &mut QueryTree, vid: BlockId, view_ref: RefId, c: &QExp
             let mut pushed = c.clone();
             let mut failed = false;
             pushed.rewrite(&mut |n| match n {
-                QExpr::Col { table, column } if *table == view_ref => {
-                    match outputs.get(*column) {
-                        Some(e) => Some(e.clone()),
-                        None => {
-                            failed = true;
-                            None
-                        }
+                QExpr::Col { table, column } if *table == view_ref => match outputs.get(*column) {
+                    Some(e) => Some(e.clone()),
+                    None => {
+                        failed = true;
+                        None
                     }
-                }
+                },
                 _ => None,
             });
             if failed {
@@ -180,7 +188,8 @@ fn push_into_block(tree: &mut QueryTree, vid: BlockId, view_ref: RefId, c: &QExp
 fn exprs_within(e: &QExpr, allowed: &[QExpr]) -> bool {
     let mut cols = Vec::new();
     e.collect_cols(&mut cols);
-    cols.iter().all(|(r, c)| allowed.iter().any(|a| *a == QExpr::col(*r, *c)))
+    cols.iter()
+        .all(|(r, c)| allowed.iter().any(|a| *a == QExpr::col(*r, *c)))
 }
 
 fn exprs_within_outputs(c: &QExpr, bs: &SelectBlock, view_ref: RefId) -> bool {
@@ -207,7 +216,12 @@ fn window_push_ok(v: &SelectBlock, pushed: &QExpr, _orig: &QExpr) -> bool {
     let mut ok = true;
     for item in &v.select {
         item.expr.walk(&mut |e| {
-            if let QExpr::Win { partition_by, order_by, .. } = e {
+            if let QExpr::Win {
+                partition_by,
+                order_by,
+                ..
+            } = e
+            {
                 let in_pby = col_exprs.iter().all(|ce| partition_by.contains(ce));
                 if in_pby {
                     return;
@@ -220,7 +234,10 @@ fn window_push_ok(v: &SelectBlock, pushed: &QExpr, _orig: &QExpr) -> bool {
                     && order_by[0].expr == col_exprs[0]
                     && matches!(
                         pushed,
-                        QExpr::Bin { op: BinOp::Lt | BinOp::LtEq, .. }
+                        QExpr::Bin {
+                            op: BinOp::Lt | BinOp::LtEq,
+                            ..
+                        }
                     );
                 if !upper_bound_ok {
                     ok = false;
@@ -238,7 +255,9 @@ fn window_push_ok(v: &SelectBlock, pushed: &QExpr, _orig: &QExpr) -> bool {
 fn generate_transitive(tree: &mut QueryTree) -> Result<usize> {
     let mut added = 0;
     for id in tree.bottom_up() {
-        let Ok(QueryBlock::Select(s)) = tree.block(id) else { continue };
+        let Ok(QueryBlock::Select(s)) = tree.block(id) else {
+            continue;
+        };
         let declared = s.declared_refs();
         let inner: std::collections::HashSet<RefId> = s
             .tables
@@ -270,7 +289,9 @@ fn generate_transitive(tree: &mut QueryTree) -> Result<usize> {
         // literal comparisons on class members
         let mut new_conjuncts: Vec<QExpr> = Vec::new();
         for c in &s.where_conjuncts {
-            let QExpr::Bin { op, left, right } = c else { continue };
+            let QExpr::Bin { op, left, right } = c else {
+                continue;
+            };
             if !op.is_comparison() {
                 continue;
             }
@@ -282,7 +303,9 @@ fn generate_transitive(tree: &mut QueryTree) -> Result<usize> {
             if !declared.contains(&col.0) {
                 continue;
             }
-            let Some(class) = classes.iter().find(|cl| cl.contains(&col)) else { continue };
+            let Some(class) = classes.iter().find(|cl| cl.contains(&col)) else {
+                continue;
+            };
             for &(r, cc) in class {
                 if (r, cc) == col {
                     continue;
@@ -389,7 +412,9 @@ mod tests {
         tree.validate().unwrap();
         let root = tree.select(tree.root).unwrap();
         let vid = root.view_blocks()[0];
-        let QueryBlock::SetOp(so) = tree.block(vid).unwrap() else { panic!() };
+        let QueryBlock::SetOp(so) = tree.block(vid).unwrap() else {
+            panic!()
+        };
         for b in &so.inputs {
             assert_eq!(tree.select(*b).unwrap().where_conjuncts.len(), 1);
         }

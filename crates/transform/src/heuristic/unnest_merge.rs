@@ -9,9 +9,7 @@
 use crate::util::{dedup_aliases, invert_comparison, provably_not_null};
 use cbqt_catalog::Catalog;
 use cbqt_common::Result;
-use cbqt_qgm::{
-    BlockId, JoinInfo, QExpr, Quant, QueryBlock, QueryTree, SelectBlock, SubqKind,
-};
+use cbqt_qgm::{BlockId, JoinInfo, QExpr, Quant, QueryBlock, QueryTree, SelectBlock, SubqKind};
 
 /// Applies merging unnesting everywhere; returns the number of
 /// subqueries unnested.
@@ -29,7 +27,9 @@ pub fn unnest_by_merging(tree: &mut QueryTree, catalog: &Catalog) -> Result<usiz
 /// Is this subquery block mergeable (single table, SPJ, no nested
 /// subqueries, correlations only via its WHERE)?
 fn mergeable(tree: &QueryTree, sub: BlockId) -> bool {
-    let Ok(QueryBlock::Select(s)) = tree.block(sub) else { return false };
+    let Ok(QueryBlock::Select(s)) = tree.block(sub) else {
+        return false;
+    };
     if s.tables.len() != 1 || !matches!(s.tables[0].join, JoinInfo::Inner) {
         return false;
     }
@@ -37,7 +37,9 @@ fn mergeable(tree: &QueryTree, sub: BlockId) -> bool {
         || s.grouping_sets.is_some()
         || !s.having.is_empty()
         || s.rownum_limit.is_some()
-        || s.select.iter().any(|i| i.expr.contains_agg() || i.expr.contains_window())
+        || s.select
+            .iter()
+            .any(|i| i.expr.contains_agg() || i.expr.contains_window())
     {
         return false;
     }
@@ -54,9 +56,13 @@ fn mergeable(tree: &QueryTree, sub: BlockId) -> bool {
 
 fn find_candidate(tree: &QueryTree, catalog: &Catalog) -> Result<Option<(BlockId, usize)>> {
     for id in tree.bottom_up() {
-        let Ok(QueryBlock::Select(s)) = tree.block(id) else { continue };
+        let Ok(QueryBlock::Select(s)) = tree.block(id) else {
+            continue;
+        };
         for (i, c) in s.where_conjuncts.iter().enumerate() {
-            let QExpr::Subq { block, kind } = c else { continue };
+            let QExpr::Subq { block, kind } = c else {
+                continue;
+            };
             if !mergeable(tree, *block) {
                 continue;
             }
@@ -123,7 +129,10 @@ fn apply(tree: &mut QueryTree, block: BlockId, conj_idx: usize, catalog: &Catalo
     let (join, extra_on) = match kind {
         SubqKind::Exists { negated } => {
             let j = if negated {
-                JoinInfo::Anti { on: vec![], null_aware: false }
+                JoinInfo::Anti {
+                    on: vec![],
+                    null_aware: false,
+                }
             } else {
                 JoinInfo::Semi { on: vec![] }
             };
@@ -138,11 +147,19 @@ fn apply(tree: &mut QueryTree, block: BlockId, conj_idx: usize, catalog: &Catalo
             if negated {
                 // null-aware unless both sides are provably non-null
                 let outer_s = tree.select(block)?;
-                let all_nn = lhs.iter().all(|l| provably_not_null(tree, catalog, outer_s, l))
+                let all_nn = lhs
+                    .iter()
+                    .all(|l| provably_not_null(tree, catalog, outer_s, l))
                     && s.select
                         .iter()
                         .all(|item| provably_not_null(tree, catalog, &s, &item.expr));
-                (JoinInfo::Anti { on: vec![], null_aware: !all_nn }, conds)
+                (
+                    JoinInfo::Anti {
+                        on: vec![],
+                        null_aware: !all_nn,
+                    },
+                    conds,
+                )
             } else {
                 (JoinInfo::Semi { on: vec![] }, conds)
             }
@@ -158,12 +175,17 @@ fn apply(tree: &mut QueryTree, block: BlockId, conj_idx: usize, catalog: &Catalo
             };
             let j = match quant {
                 Quant::Any => JoinInfo::Semi { on: vec![] },
-                Quant::All => JoinInfo::Anti { on: vec![], null_aware: false },
+                Quant::All => JoinInfo::Anti {
+                    on: vec![],
+                    null_aware: false,
+                },
             };
             (j, vec![cond])
         }
         SubqKind::Scalar => {
-            return Err(cbqt_common::Error::transform("scalar subquery cannot merge"))
+            return Err(cbqt_common::Error::transform(
+                "scalar subquery cannot merge",
+            ))
         }
     };
     on.extend(extra_on);
@@ -227,7 +249,13 @@ mod tests {
         );
         assert_eq!(unnest_by_merging(&mut tree, &cat).unwrap(), 1);
         let s = tree.select(tree.root).unwrap();
-        assert!(matches!(s.tables[1].join, JoinInfo::Anti { null_aware: false, .. }));
+        assert!(matches!(
+            s.tables[1].join,
+            JoinInfo::Anti {
+                null_aware: false,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -257,7 +285,13 @@ mod tests {
         assert_eq!(unnest_by_merging(&mut tree, &cat).unwrap(), 1);
         let s = tree.select(tree.root).unwrap();
         // employees.dept_id is nullable → null-aware antijoin
-        assert!(matches!(s.tables[1].join, JoinInfo::Anti { null_aware: true, .. }));
+        assert!(matches!(
+            s.tables[1].join,
+            JoinInfo::Anti {
+                null_aware: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -270,7 +304,13 @@ mod tests {
         );
         assert_eq!(unnest_by_merging(&mut tree, &cat).unwrap(), 1);
         let s = tree.select(tree.root).unwrap();
-        assert!(matches!(s.tables[1].join, JoinInfo::Anti { null_aware: false, .. }));
+        assert!(matches!(
+            s.tables[1].join,
+            JoinInfo::Anti {
+                null_aware: false,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -310,7 +350,13 @@ mod tests {
         match &s.tables[1].join {
             JoinInfo::Anti { on, .. } => {
                 // inverted: emp_id <= j.emp_id
-                assert!(matches!(on[0], QExpr::Bin { op: BinOp::LtEq, .. }));
+                assert!(matches!(
+                    on[0],
+                    QExpr::Bin {
+                        op: BinOp::LtEq,
+                        ..
+                    }
+                ));
             }
             other => panic!("expected anti, got {other:?}"),
         }

@@ -49,13 +49,19 @@ fn find_candidate(
     tree: &QueryTree,
 ) -> Result<Option<(cbqt_qgm::BlockId, cbqt_qgm::RefId, cbqt_qgm::BlockId)>> {
     for id in tree.bottom_up() {
-        let Ok(QueryBlock::Select(s)) = tree.block(id) else { continue };
+        let Ok(QueryBlock::Select(s)) = tree.block(id) else {
+            continue;
+        };
         for t in &s.tables {
             if !matches!(t.join, JoinInfo::Inner) {
                 continue;
             }
-            let QTableSource::View(v) = t.source else { continue };
-            let Ok(QueryBlock::Select(vs)) = tree.block(v) else { continue };
+            let QTableSource::View(v) = t.source else {
+                continue;
+            };
+            let Ok(QueryBlock::Select(vs)) = tree.block(v) else {
+                continue;
+            };
             if !is_spj(vs) {
                 continue;
             }

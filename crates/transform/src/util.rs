@@ -37,7 +37,9 @@ pub fn table_used_elsewhere(
 ) -> bool {
     let mut used = false;
     for id in tree.block_ids() {
-        let Ok(QueryBlock::Select(s)) = tree.block(id) else { continue };
+        let Ok(QueryBlock::Select(s)) = tree.block(id) else {
+            continue;
+        };
         // select, group by, having, order by, distinct keys, join conds
         for t in &s.tables {
             if t.refid == refid {
@@ -89,8 +91,11 @@ pub fn table_used_elsewhere(
 /// equivalent transformation states render identically for annotation
 /// reuse.
 pub fn dedup_aliases(parent: &SelectBlock, incoming: &mut [QTable], src_block: BlockId) {
-    let taken: HashSet<String> =
-        parent.tables.iter().map(|t| t.alias.to_ascii_lowercase()).collect();
+    let taken: HashSet<String> = parent
+        .tables
+        .iter()
+        .map(|t| t.alias.to_ascii_lowercase())
+        .collect();
     for t in incoming.iter_mut() {
         if taken.contains(&t.alias.to_ascii_lowercase()) {
             t.alias = format!("{}_{}", t.alias, src_block.0);
@@ -108,7 +113,10 @@ pub fn is_spj(s: &SelectBlock) -> bool {
         && s.having.is_empty()
         && s.rownum_limit.is_none()
         && s.order_by.is_empty()
-        && !s.select.iter().any(|i| i.expr.contains_agg() || i.expr.contains_window())
+        && !s
+            .select
+            .iter()
+            .any(|i| i.expr.contains_agg() || i.expr.contains_window())
 }
 
 /// True if the block's expressions contain any subquery reference.
@@ -152,7 +160,9 @@ pub fn provably_not_null(
                     .ok()
                     .and_then(|tbl| tbl.columns.get(*column))
                     .map(|c| c.not_null)
-                    .unwrap_or(*column >= catalog.table(*tid).map(|t| t.columns.len()).unwrap_or(0)),
+                    .unwrap_or(
+                        *column >= catalog.table(*tid).map(|t| t.columns.len()).unwrap_or(0),
+                    ),
                 QTableSource::View(_) => false,
             }
         }
@@ -194,9 +204,10 @@ pub fn repoint_block(tree: &mut QueryTree, old_block: BlockId, new_block: BlockI
                 }
                 s.for_each_expr_mut(&mut |e| {
                     e.rewrite(&mut |n| match n {
-                        QExpr::Subq { block, kind } if *block == old_block => {
-                            Some(QExpr::Subq { block: new_block, kind: kind.clone() })
-                        }
+                        QExpr::Subq { block, kind } if *block == old_block => Some(QExpr::Subq {
+                            block: new_block,
+                            kind: kind.clone(),
+                        }),
                         _ => None,
                     })
                 });
@@ -244,7 +255,10 @@ mod tests {
     #[test]
     fn spj_detection() {
         let mut s = SelectBlock::default();
-        s.select.push(OutputItem { expr: QExpr::lit(1i64), name: "x".into() });
+        s.select.push(OutputItem {
+            expr: QExpr::lit(1i64),
+            name: "x".into(),
+        });
         assert!(is_spj(&s));
         s.distinct = true;
         assert!(!is_spj(&s));

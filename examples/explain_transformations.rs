@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))?;
     }
     for d in 0..12i64 {
-        db.execute(&format!("INSERT INTO departments VALUES ({d}, 'd{d}', {})", d % 6))?;
+        db.execute(&format!(
+            "INSERT INTO departments VALUES ({d}, 'd{d}', {})",
+            d % 6
+        ))?;
     }
     for e in 0..600i64 {
         db.execute(&format!(

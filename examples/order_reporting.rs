@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r2.stats.work_units,
         r2.stats.states_explored
     );
-    println!("--- explain (unfactored input) ---\n{}", db.explain(unfactored)?);
+    println!(
+        "--- explain (unfactored input) ---\n{}",
+        db.explain(unfactored)?
+    );
 
     // 2. running totals through a window, with predicate pushdown
     //    through the PARTITION BY (the paper's Q7 → Q8)

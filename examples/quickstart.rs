@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== EXPLAIN ===\n{}", db.explain(sql)?);
 
     let result = db.query(sql)?;
-    println!("\n=== results: {} employees above their dept average ===", result.rows.len());
+    println!(
+        "\n=== results: {} employees above their dept average ===",
+        result.rows.len()
+    );
     for row in result.rows.iter().take(5) {
         println!("  {} earns {}", row[0], row[1]);
     }

@@ -30,7 +30,10 @@ fn setup() -> Result<Database, Box<dyn std::error::Error>> {
         ))?;
     }
     for d in 0..30i64 {
-        db.execute(&format!("INSERT INTO departments VALUES ({d}, 'dept{d}', {})", d % 12))?;
+        db.execute(&format!(
+            "INSERT INTO departments VALUES ({d}, 'dept{d}', {})",
+            d % 12
+        ))?;
     }
     for e in 0..1500i64 {
         db.execute(&format!(
@@ -60,7 +63,8 @@ fn compare(db: &mut Database, label: &str, sql: &str) -> Result<(), Box<dyn std:
     let heuristic: QueryResult = db.query(sql)?;
     db.config_mut().cost_based = true;
     assert_eq!(
-        sorted(&cb), sorted(&heuristic),
+        sorted(&cb),
+        sorted(&heuristic),
         "cost-based and heuristic modes must agree on results for {label}"
     );
     println!(
@@ -77,7 +81,12 @@ fn sorted(r: &QueryResult) -> Vec<String> {
     let mut v: Vec<String> = r
         .rows
         .iter()
-        .map(|row| row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("|"))
+        .map(|row| {
+            row.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
         .collect();
     v.sort();
     v

@@ -8,10 +8,9 @@
 
 use cbqt::common::Value;
 use cbqt::{Database, SearchStrategy, TransformSet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cbqt_testkit::Rng;
 
-fn random_db(rng: &mut StdRng) -> Database {
+fn random_db(rng: &mut Rng) -> Database {
     let mut db = Database::new();
     db.execute_script(
         "CREATE TABLE locations (loc_id INT PRIMARY KEY, country_id VARCHAR(2) NOT NULL);
@@ -33,7 +32,10 @@ fn random_db(rng: &mut StdRng) -> Database {
     let countries = ["US", "UK", "DE"];
     let mut rows = Vec::new();
     for l in 0..nloc {
-        rows.push(vec![Value::Int(l), Value::str(countries[rng.gen_range(0..3)])]);
+        rows.push(vec![
+            Value::Int(l),
+            Value::str(countries[rng.gen_range(0usize..3)]),
+        ]);
     }
     db.load_rows("locations", rows).unwrap();
     let mut rows = Vec::new();
@@ -50,7 +52,11 @@ fn random_db(rng: &mut StdRng) -> Database {
         rows.push(vec![
             Value::Int(e),
             Value::str(format!("e{e}")),
-            if rng.gen_bool(null_frac) { Value::Null } else { Value::Int(rng.gen_range(0..ndept)) },
+            if rng.gen_bool(null_frac) {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(0..ndept))
+            },
             if rng.gen_bool(null_frac / 2.0) {
                 Value::Null
             } else {
@@ -65,7 +71,7 @@ fn random_db(rng: &mut StdRng) -> Database {
         rows.push(vec![
             Value::Int(rng.gen_range(0..nemp.max(1))),
             Value::str(format!("t{}", rng.gen_range(0..6))),
-            Value::Int(19_900_000 + rng.gen_range(0..90_000)),
+            Value::Int(19_900_000 + rng.gen_range(0i64..90_000)),
             Value::Int(rng.gen_range(0..ndept)),
         ]);
     }
@@ -75,14 +81,15 @@ fn random_db(rng: &mut StdRng) -> Database {
 }
 
 /// Query templates with random parameters, one per transformation family.
-fn random_query(rng: &mut StdRng) -> String {
+fn random_query(rng: &mut Rng) -> String {
     let sal = rng.gen_range(1000..7000);
     let date = 19_900_000 + rng.gen_range(0..90_000);
-    let country = ["US", "UK", "DE"][rng.gen_range(0..3)];
+    let country = ["US", "UK", "DE"][rng.gen_range(0usize..3)];
     match rng.gen_range(0..8) {
         0 => "SELECT e1.employee_name FROM employees e1 \
              WHERE e1.salary > (SELECT AVG(e2.salary) FROM employees e2 \
-                                WHERE e2.dept_id = e1.dept_id)".to_string(),
+                                WHERE e2.dept_id = e1.dept_id)"
+            .to_string(),
         1 => format!(
             "SELECT e.employee_name FROM employees e \
              WHERE e.dept_id IN (SELECT d.dept_id FROM departments d, locations l \
@@ -131,7 +138,12 @@ fn random_query(rng: &mut StdRng) -> String {
 fn canon(rows: &[Vec<Value>]) -> Vec<String> {
     let mut v: Vec<String> = rows
         .iter()
-        .map(|r| r.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+        .map(|r| {
+            r.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
         .collect();
     v.sort();
     v
@@ -139,7 +151,7 @@ fn canon(rows: &[Vec<Value>]) -> Vec<String> {
 
 #[test]
 fn differential_random_instances() {
-    let mut rng = StdRng::seed_from_u64(0xCB97_2006);
+    let mut rng = Rng::seed_from_u64(0xCB97_2006);
     for round in 0..25 {
         let mut db = random_db(&mut rng);
         let sql = random_query(&mut rng);
@@ -148,14 +160,19 @@ fn differential_random_instances() {
             db.config_mut().cost_based = false;
             db.config_mut().transforms = TransformSet {
                 unnest: false,
-                view_merge: false, jppd: false,
+                view_merge: false,
+                jppd: false,
                 setop_to_join: false,
                 group_by_placement: false,
                 predicate_pullup: false,
                 join_factorization: false,
                 or_expansion: false,
             };
-            canon(&db.query(&sql).unwrap_or_else(|e| panic!("round {round}: {e}\n{sql}")).rows)
+            canon(
+                &db.query(&sql)
+                    .unwrap_or_else(|e| panic!("round {round}: {e}\n{sql}"))
+                    .rows,
+            )
         };
         for (label, strategy) in [
             ("exhaustive", SearchStrategy::Exhaustive),
@@ -177,7 +194,7 @@ fn differential_random_instances() {
 
 #[test]
 fn differential_heuristic_vs_cost_based() {
-    let mut rng = StdRng::seed_from_u64(0x51B2_1995);
+    let mut rng = Rng::seed_from_u64(0x51B2_1995);
     for round in 0..15 {
         let mut db = random_db(&mut rng);
         let sql = random_query(&mut rng);

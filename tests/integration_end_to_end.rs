@@ -30,17 +30,28 @@ fn hr_database() -> Database {
         .unwrap();
     }
     for d in 0..15i64 {
-        db.execute(&format!("INSERT INTO departments VALUES ({d}, 'dept{d}', {})", d % 9))
-            .unwrap();
+        db.execute(&format!(
+            "INSERT INTO departments VALUES ({d}, 'dept{d}', {})",
+            d % 9
+        ))
+        .unwrap();
     }
     let mut emp_rows = Vec::new();
     for e in 0..400i64 {
         emp_rows.push(vec![
             Value::Int(e),
             Value::str(format!("emp{e}")),
-            if e % 50 == 49 { Value::Null } else { Value::Int(e % 15) },
+            if e % 50 == 49 {
+                Value::Null
+            } else {
+                Value::Int(e % 15)
+            },
             Value::Int(1000 + (e * 83) % 7000),
-            if e == 0 { Value::Null } else { Value::Int(e / 10) },
+            if e == 0 {
+                Value::Null
+            } else {
+                Value::Int(e / 10)
+            },
         ]);
     }
     db.load_rows("employees", emp_rows).unwrap();
@@ -62,7 +73,12 @@ fn hr_database() -> Database {
 fn canon(rows: &[Vec<Value>]) -> Vec<String> {
     let mut v: Vec<String> = rows
         .iter()
-        .map(|r| r.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+        .map(|r| {
+            r.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
         .collect();
     v.sort();
     v
@@ -79,7 +95,10 @@ fn paper_q1_runs_and_is_stable_across_modes() {
                     e1.dept_id IN (SELECT d.dept_id FROM departments d, locations l
                                    WHERE d.loc_id = l.loc_id AND l.country_id = 'US')";
     let cb = db.query(q1).unwrap();
-    assert!(cb.stats.states_explored >= 4, "exhaustive over 2 subqueries");
+    assert!(
+        cb.stats.states_explored >= 4,
+        "exhaustive over 2 subqueries"
+    );
     db.config_mut().cost_based = false;
     let heuristic = db.query(q1).unwrap();
     assert_eq!(canon(&cb.rows), canon(&heuristic.rows));
@@ -113,13 +132,17 @@ fn outer_join_and_elimination() {
     let mut db = hr_database();
     // join elimination: departments contributes nothing
     let elim = db
-        .query("SELECT e.employee_name FROM employees e LEFT JOIN departments d \
-                ON e.dept_id = d.dept_id")
+        .query(
+            "SELECT e.employee_name FROM employees e LEFT JOIN departments d \
+                ON e.dept_id = d.dept_id",
+        )
         .unwrap();
     assert_eq!(elim.rows.len(), 400);
     let explain = db
-        .explain("SELECT e.employee_name FROM employees e LEFT JOIN departments d \
-                  ON e.dept_id = d.dept_id")
+        .explain(
+            "SELECT e.employee_name FROM employees e LEFT JOIN departments d \
+                  ON e.dept_id = d.dept_id",
+        )
         .unwrap();
     assert!(explain.contains("1 join(s) eliminated"), "{explain}");
     // kept when columns are used
@@ -213,8 +236,10 @@ fn not_in_null_trap() {
     let mut db = hr_database();
     // dept_id of employees contains NULLs → NOT IN yields nothing
     let r = db
-        .query("SELECT d.dept_id FROM departments d WHERE d.dept_id NOT IN \
-                (SELECT e.dept_id FROM employees e)")
+        .query(
+            "SELECT d.dept_id FROM departments d WHERE d.dept_id NOT IN \
+                (SELECT e.dept_id FROM employees e)",
+        )
         .unwrap();
     assert!(r.rows.is_empty());
     // filtering the NULLs restores antijoin behaviour
@@ -282,7 +307,9 @@ fn estimated_cost_correlates_with_work() {
     // the cost model and the work counter share weights: across queries of
     // very different sizes, ordering by cost must order by work
     let mut db = hr_database();
-    let small = db.query("SELECT emp_id FROM employees WHERE emp_id = 7").unwrap();
+    let small = db
+        .query("SELECT emp_id FROM employees WHERE emp_id = 7")
+        .unwrap();
     let large = db
         .query(
             "SELECT e.emp_id, j.job_title FROM employees e, job_history j \

@@ -42,7 +42,12 @@ const TABLE2_QUERY: &str = "SELECT t1.a FROM t1, t2, t3
 fn canon(rows: &[Vec<Value>]) -> Vec<String> {
     let mut v: Vec<String> = rows
         .iter()
-        .map(|r| r.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+        .map(|r| {
+            r.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
         .collect();
     v.sort();
     v
@@ -196,7 +201,9 @@ fn cost_based_decisions_flip_with_data() {
         }
         d.load_rows(
             "outer_t",
-            (0..outer_rows).map(|i| vec![Value::Int(i), Value::Int(i % 50)]).collect(),
+            (0..outer_rows)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 50)])
+                .collect(),
         )
         .unwrap();
         d.load_rows(

@@ -8,7 +8,12 @@ use cbqt::Database;
 fn canon(rows: &[Vec<Value>]) -> Vec<String> {
     let mut v: Vec<String> = rows
         .iter()
-        .map(|r| r.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+        .map(|r| {
+            r.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
         .collect();
     v.sort();
     v
@@ -37,10 +42,13 @@ fn join_db() -> Database {
 fn all_join_methods_agree() {
     let sql = "SELECT a.id, b.id FROM a, b WHERE a.k = b.k";
     let mut reference = None;
-    for (hash, merge, inl) in
-        [(true, true, true), (true, false, false), (false, true, false), (false, false, true),
-         (false, false, false)]
-    {
+    for (hash, merge, inl) in [
+        (true, true, true),
+        (true, false, false),
+        (false, true, false),
+        (false, false, true),
+        (false, false, false),
+    ] {
         let mut db = join_db();
         let cfg = db.config_mut();
         cfg.optimizer.enable_hash_join = hash;
@@ -72,9 +80,11 @@ fn greedy_enumeration_beyond_dp_limit() {
     // a 6-table chain with dp_max_items lowered to 3 exercises the
     // greedy fallback; results must match the DP plan's results
     let mut db = Database::new();
-    db.execute("CREATE TABLE t0 (id INT PRIMARY KEY, nxt INT)").unwrap();
+    db.execute("CREATE TABLE t0 (id INT PRIMARY KEY, nxt INT)")
+        .unwrap();
     for i in 1..6 {
-        db.execute(&format!("CREATE TABLE t{i} (id INT PRIMARY KEY, nxt INT)")).unwrap();
+        db.execute(&format!("CREATE TABLE t{i} (id INT PRIMARY KEY, nxt INT)"))
+            .unwrap();
     }
     for t in 0..6 {
         let mut rows = Vec::new();
@@ -97,15 +107,22 @@ fn greedy_enumeration_beyond_dp_limit() {
 #[test]
 fn unanalyzed_tables_use_dynamic_sampling() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE big (id INT PRIMARY KEY, k INT)").unwrap();
-    db.execute("CREATE TABLE small (id INT PRIMARY KEY, k INT)").unwrap();
+    db.execute("CREATE TABLE big (id INT PRIMARY KEY, k INT)")
+        .unwrap();
+    db.execute("CREATE TABLE small (id INT PRIMARY KEY, k INT)")
+        .unwrap();
     let mut rows = Vec::new();
     for i in 0..5000i64 {
         rows.push(vec![Value::Int(i), Value::Int(i % 100)]);
     }
     db.load_rows("big", rows).unwrap();
-    db.load_rows("small", (0..10i64).map(|i| vec![Value::Int(i), Value::Int(i)]).collect())
-        .unwrap();
+    db.load_rows(
+        "small",
+        (0..10i64)
+            .map(|i| vec![Value::Int(i), Value::Int(i)])
+            .collect(),
+    )
+    .unwrap();
     // NO ANALYZE: without sampling both tables would be assumed equal
     // (1000 rows); the sampler must discover big is 500x larger so the
     // planner builds the hash table on small
@@ -113,11 +130,16 @@ fn unanalyzed_tables_use_dynamic_sampling() {
         .query("SELECT big.id FROM big, small WHERE big.k = small.k")
         .unwrap();
     assert_eq!(r.rows.len(), 500);
-    let plan = db.explain("SELECT big.id FROM big, small WHERE big.k = small.k").unwrap();
+    let plan = db
+        .explain("SELECT big.id FROM big, small WHERE big.k = small.k")
+        .unwrap();
     // with sampled sizes, the big table drives (left side of the join)
     let big_pos = plan.find("SCAN t0").unwrap_or(usize::MAX);
     let small_pos = plan.find("SCAN t1").unwrap_or(0);
-    assert!(big_pos < small_pos, "sampling should order big before small:\n{plan}");
+    assert!(
+        big_pos < small_pos,
+        "sampling should order big before small:\n{plan}"
+    );
 }
 
 #[test]
@@ -146,7 +168,11 @@ fn empty_tables_everywhere() {
         .rows
         .is_empty());
     // set ops over empties
-    assert!(db.query("SELECT a FROM e1 MINUS SELECT a FROM e2").unwrap().rows.is_empty());
+    assert!(db
+        .query("SELECT a FROM e1 MINUS SELECT a FROM e2")
+        .unwrap()
+        .rows
+        .is_empty());
     assert!(db
         .query("SELECT a FROM e1 UNION ALL SELECT a FROM e2")
         .unwrap()
@@ -168,11 +194,15 @@ fn cross_join_without_predicates() {
          CREATE TABLE y (b INT PRIMARY KEY);",
     )
     .unwrap();
-    db.load_rows("x", (0..4i64).map(|i| vec![Value::Int(i)]).collect()).unwrap();
-    db.load_rows("y", (0..5i64).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+    db.load_rows("x", (0..4i64).map(|i| vec![Value::Int(i)]).collect())
+        .unwrap();
+    db.load_rows("y", (0..5i64).map(|i| vec![Value::Int(i)]).collect())
+        .unwrap();
     db.analyze().unwrap();
     let r = db.query("SELECT x.a, y.b FROM x, y").unwrap();
     assert_eq!(r.rows.len(), 20);
-    let r = db.query("SELECT x.a, y.b FROM x CROSS JOIN y WHERE x.a = y.b").unwrap();
+    let r = db
+        .query("SELECT x.a, y.b FROM x CROSS JOIN y WHERE x.a = y.b")
+        .unwrap();
     assert_eq!(r.rows.len(), 4);
 }

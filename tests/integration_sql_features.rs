@@ -17,7 +17,11 @@ fn db() -> Database {
     for i in 0..60i64 {
         rows.push(vec![
             Value::Int(i),
-            if i % 13 == 0 { Value::Null } else { Value::Int(i % 5) },
+            if i % 13 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 5)
+            },
             Value::str(if i % 2 == 0 { "east" } else { "west" }),
             Value::Int((i * 17) % 100),
             Value::Int(i % 10),
@@ -150,7 +154,9 @@ fn deeply_nested_views_merge_away() {
 #[test]
 fn distinct_count_aggregate() {
     let mut d = db();
-    let r = d.query("SELECT COUNT(DISTINCT region), COUNT(region) FROM sales").unwrap();
+    let r = d
+        .query("SELECT COUNT(DISTINCT region), COUNT(region) FROM sales")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(2));
     assert_eq!(r.rows[0][1], Value::Int(60));
 }
@@ -170,20 +176,30 @@ fn group_by_expression_key() {
 fn in_list_with_null_semantics() {
     let mut d = db();
     // rep IN (0, NULL): matches rep=0; NULL rep rows are unknown → out
-    let with_null = d.query("SELECT COUNT(*) FROM sales WHERE rep IN (0, NULL)").unwrap();
-    let without = d.query("SELECT COUNT(*) FROM sales WHERE rep IN (0)").unwrap();
+    let with_null = d
+        .query("SELECT COUNT(*) FROM sales WHERE rep IN (0, NULL)")
+        .unwrap();
+    let without = d
+        .query("SELECT COUNT(*) FROM sales WHERE rep IN (0)")
+        .unwrap();
     assert_eq!(with_null.rows[0][0], without.rows[0][0]);
     // NOT IN (0, NULL) filters everything (unknown for all non-0 rows)
-    let not_in = d.query("SELECT COUNT(*) FROM sales WHERE rep NOT IN (0, NULL)").unwrap();
+    let not_in = d
+        .query("SELECT COUNT(*) FROM sales WHERE rep NOT IN (0, NULL)")
+        .unwrap();
     assert_eq!(not_in.rows[0][0], Value::Int(0));
 }
 
 #[test]
 fn order_by_nulls_first_and_last() {
     let mut d = db();
-    let first = d.query("SELECT rep FROM sales ORDER BY rep ASC NULLS FIRST").unwrap();
+    let first = d
+        .query("SELECT rep FROM sales ORDER BY rep ASC NULLS FIRST")
+        .unwrap();
     assert!(first.rows[0][0].is_null());
-    let last = d.query("SELECT rep FROM sales ORDER BY rep ASC NULLS LAST").unwrap();
+    let last = d
+        .query("SELECT rep FROM sales ORDER BY rep ASC NULLS LAST")
+        .unwrap();
     assert!(last.rows.last().unwrap()[0].is_null());
 }
 
@@ -205,24 +221,43 @@ fn scalar_subquery_in_select_list() {
 #[test]
 fn having_without_group_by() {
     let mut d = db();
-    let r = d.query("SELECT COUNT(*) FROM sales HAVING COUNT(*) > 10").unwrap();
+    let r = d
+        .query("SELECT COUNT(*) FROM sales HAVING COUNT(*) > 10")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
-    let r = d.query("SELECT COUNT(*) FROM sales HAVING COUNT(*) > 100").unwrap();
+    let r = d
+        .query("SELECT COUNT(*) FROM sales HAVING COUNT(*) > 100")
+        .unwrap();
     assert!(r.rows.is_empty());
 }
-#[test] fn fromless_select() { let mut db = cbqt::Database::new(); let r = db.query("SELECT 1, 2 + 3").unwrap(); assert_eq!(r.rows, vec![vec![cbqt::common::Value::Int(1), cbqt::common::Value::Int(5)]]); }
+#[test]
+fn fromless_select() {
+    let mut db = cbqt::Database::new();
+    let r = db.query("SELECT 1, 2 + 3").unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![
+            cbqt::common::Value::Int(1),
+            cbqt::common::Value::Int(5)
+        ]]
+    );
+}
 
 #[test]
 fn quantifiers_over_empty_sets() {
     let mut d = db();
     // ALL over the empty set is TRUE for every row
     let r = d
-        .query("SELECT COUNT(*) FROM sales WHERE amount > ALL (SELECT amount FROM sales WHERE id < 0)")
+        .query(
+            "SELECT COUNT(*) FROM sales WHERE amount > ALL (SELECT amount FROM sales WHERE id < 0)",
+        )
         .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(60));
     // ANY over the empty set is FALSE for every row
     let r = d
-        .query("SELECT COUNT(*) FROM sales WHERE amount < ANY (SELECT amount FROM sales WHERE id < 0)")
+        .query(
+            "SELECT COUNT(*) FROM sales WHERE amount < ANY (SELECT amount FROM sales WHERE id < 0)",
+        )
         .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(0));
     // EXISTS over the empty set

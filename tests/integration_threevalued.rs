@@ -7,7 +7,8 @@
 
 use cbqt::common::Value;
 use cbqt::Database;
-use proptest::prelude::*;
+use cbqt_testkit::prop::{just, recursive, SBox, Strategy};
+use cbqt_testkit::{one_of, props};
 
 fn db() -> Database {
     let mut db = Database::new();
@@ -20,9 +21,21 @@ fn db() -> Database {
     for i in 0..250i64 {
         rows.push(vec![
             Value::Int(i),
-            if i % 7 == 0 { Value::Null } else { Value::Int(i % 13) },
-            if i % 11 == 0 { Value::Null } else { Value::Int((i * 3) % 17) },
-            if i % 5 == 0 { Value::Null } else { Value::str(format!("s{}", i % 4)) },
+            if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 13)
+            },
+            if i % 11 == 0 {
+                Value::Null
+            } else {
+                Value::Int((i * 3) % 17)
+            },
+            if i % 5 == 0 {
+                Value::Null
+            } else {
+                Value::str(format!("s{}", i % 4))
+            },
         ]);
     }
     db.load_rows("t", rows).unwrap();
@@ -31,25 +44,27 @@ fn db() -> Database {
 }
 
 /// Random SQL predicate over t's columns, NULL-aware constructs included.
-fn arb_pred() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
+fn arb_pred() -> SBox<String> {
+    let leaf = one_of![
         (-2i64..20).prop_map(|k| format!("a = {k}")),
         (-2i64..20).prop_map(|k| format!("b > {k}")),
         (-2i64..20).prop_map(|k| format!("a <= {k}")),
         (0i64..5).prop_map(|k| format!("s = 's{k}'")),
-        Just("a IS NULL".to_string()),
-        Just("b IS NOT NULL".to_string()),
+        just("a IS NULL".to_string()),
+        just("b IS NOT NULL".to_string()),
         (0i64..20).prop_map(|k| format!("a IN ({k}, {}, NULL)", k + 2)),
         (0i64..15).prop_map(|k| format!("b BETWEEN {k} AND {}", k + 4)),
-        Just("s LIKE 's%'".to_string()),
+        just("s LIKE 's%'".to_string()),
         (0i64..12).prop_map(|k| format!("a <> {k}")),
-    ];
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
+    ]
+    .boxed();
+    recursive(leaf, 3, |inner| {
+        one_of![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
             inner.clone().prop_map(|a| format!("NOT ({a})")),
         ]
+        .boxed()
     })
 }
 
@@ -60,26 +75,25 @@ fn count(db: &mut Database, pred: &str) -> i64 {
     r.rows[0][0].as_i64().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
+props! {
+    #[cases(48)]
     fn partition_property(p in arb_pred()) {
         let mut d = db();
         let total = count(&mut d, "1 = 1");
         let yes = count(&mut d, &p);
         let no_or_unknown = count(&mut d, &format!("LNNVL({p})"));
-        prop_assert_eq!(yes + no_or_unknown, total, "predicate: {}", p);
+        assert_eq!(yes + no_or_unknown, total, "predicate: {p}");
     }
 
-    #[test]
+    #[cases(48)]
     fn not_not_is_identity_for_counts(p in arb_pred()) {
         let mut d = db();
         let yes = count(&mut d, &p);
         let double_neg = count(&mut d, &format!("NOT (NOT ({p}))"));
-        prop_assert_eq!(yes, double_neg, "predicate: {}", p);
+        assert_eq!(yes, double_neg, "predicate: {p}");
     }
 
-    #[test]
+    #[cases(48)]
     fn or_expansion_agrees_on_random_disjunction(
         a in -2i64..20,
         b in -2i64..20,
@@ -91,7 +105,7 @@ proptest! {
         let on = count(&mut d, &pred);
         d.config_mut().transforms.or_expansion = false;
         let off = count(&mut d, &pred);
-        prop_assert_eq!(on, off);
+        assert_eq!(on, off);
     }
 }
 

@@ -26,15 +26,22 @@ fn db_with_data(seed: i64) -> Database {
         .unwrap();
     }
     for d in 0..20i64 {
-        db.execute(&format!("INSERT INTO departments VALUES ({d}, 'dept{d}', {})", (d + seed) % 8))
-            .unwrap();
+        db.execute(&format!(
+            "INSERT INTO departments VALUES ({d}, 'dept{d}', {})",
+            (d + seed) % 8
+        ))
+        .unwrap();
     }
     let mut rows = Vec::new();
     for e in 0..500i64 {
         rows.push(vec![
             Value::Int(e),
             Value::str(format!("e{e}")),
-            if (e + seed) % 33 == 0 { Value::Null } else { Value::Int((e * 7 + seed) % 20) },
+            if (e + seed) % 33 == 0 {
+                Value::Null
+            } else {
+                Value::Int((e * 7 + seed) % 20)
+            },
             Value::Int(500 + (e * 131 + seed * 17) % 6000),
             Value::Int(e % 50),
         ]);
@@ -57,7 +64,12 @@ fn db_with_data(seed: i64) -> Database {
 fn canon(rows: &[Vec<Value>]) -> Vec<String> {
     let mut v: Vec<String> = rows
         .iter()
-        .map(|r| r.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+        .map(|r| {
+            r.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
         .collect();
     v.sort();
     v
@@ -77,7 +89,11 @@ fn assert_equivalent(sql: &str, disable: impl Fn(&mut TransformSet)) {
         db.config_mut().cost_based = false;
         let heuristic = db.query(sql).expect("heuristic mode");
         assert_eq!(canon(&on.rows), canon(&off.rows), "on vs off for {sql}");
-        assert_eq!(canon(&on.rows), canon(&heuristic.rows), "on vs heuristic for {sql}");
+        assert_eq!(
+            canon(&on.rows),
+            canon(&heuristic.rows),
+            "on vs heuristic for {sql}"
+        );
     }
 }
 
@@ -124,14 +140,20 @@ fn view_merge_and_jppd_equivalence() {
               (SELECT DISTINCT d.dept_id FROM departments d, locations l
                WHERE d.loc_id = l.loc_id AND l.country_id IN ('UK', 'US')) v
          WHERE e1.dept_id = v.dept_id AND e1.emp_id = j.emp_id",
-        |t| { t.view_merge = false; t.jppd = false; },
+        |t| {
+            t.view_merge = false;
+            t.jppd = false;
+        },
     );
     assert_equivalent(
         "SELECT e1.employee_name, v.avg_sal
          FROM employees e1,
               (SELECT dept_id, AVG(salary) avg_sal FROM employees GROUP BY dept_id) v
          WHERE e1.dept_id = v.dept_id AND e1.salary > 4000",
-        |t| { t.view_merge = false; t.jppd = false; },
+        |t| {
+            t.view_merge = false;
+            t.jppd = false;
+        },
     );
 }
 
@@ -262,5 +284,8 @@ fn all_quantifier_with_non_null_lhs_still_unnests() {
                (SELECT j.emp_id FROM job_history j, departments d \
                 WHERE j.dept_id = d.dept_id AND d.dept_id < 3)";
     let plan = db.explain(sql).unwrap();
-    assert!(plan.contains("ANTI JOIN") || plan.contains("Anti"), "{plan}");
+    assert!(
+        plan.contains("ANTI JOIN") || plan.contains("Anti"),
+        "{plan}"
+    );
 }
