@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run -p cbqt-bench --release --bin experiments -- all
 //! cargo run -p cbqt-bench --release --bin experiments -- fig3 --n 120 --scale 1.5
+//! cargo run -p cbqt-bench --release --bin experiments -- fig3 --trace
 //! ```
 
 use cbqt_bench::experiments;
@@ -14,6 +15,7 @@ struct Args {
     seed: u64,
     scale: f64,
     reps: usize,
+    trace: bool,
 }
 
 fn parse_args() -> Args {
@@ -23,6 +25,7 @@ fn parse_args() -> Args {
         seed: 42,
         scale: 1.0,
         reps: 2,
+        trace: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -44,6 +47,7 @@ fn parse_args() -> Args {
                 i += 1;
                 args.reps = argv[i].parse().expect("--reps takes a number");
             }
+            "--trace" => args.trace = true,
             other if !other.starts_with("--") => args.which = other.to_string(),
             other => panic!("unknown flag {other}"),
         }
@@ -80,5 +84,8 @@ fn main() {
     }
     if run_all || args.which == "table2" {
         println!("{}", experiments::run_table2(args.seed, args.reps.max(3)));
+    }
+    if args.trace {
+        println!("{}", experiments::run_trace(args.seed, args.scale));
     }
 }

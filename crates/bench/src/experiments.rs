@@ -470,6 +470,34 @@ pub fn run_table2(seed: u64, reps: usize) -> String {
     out
 }
 
+/// `--trace`: the structured optimizer trace (the event log behind
+/// `Database::trace`) for one Figure-3 unnesting instance, so the state
+/// space the experiments walk can be inspected by eye.
+pub fn run_trace(seed: u64, scale: f64) -> String {
+    let mut gen = WorkloadGen::new(seed);
+    gen.scale = scale;
+    let inst = gen.generate(Family::Unnest, 1).pop().unwrap();
+    let report = inst.db.trace(&inst.sql).expect("trace query must run");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "=== optimizer trace: one Figure-3 unnesting instance ===\n{}\n",
+        inst.sql.trim()
+    )
+    .unwrap();
+    out.push_str(&report.render());
+    writeln!(
+        out,
+        "\nstates costed: {}  cut-offs: {}  blocks optimized: {}  annotation hits: {}",
+        report.states_explored(),
+        report.cutoffs(),
+        report.blocks_costed(),
+        report.annotation_hits()
+    )
+    .unwrap();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,5 +540,13 @@ mod tests {
         let text = run_table2(19, 1);
         assert!(text.contains("Heuristic"), "{text}");
         assert!(text.contains("Exhaustive"), "{text}");
+    }
+
+    #[test]
+    fn trace_dump_shows_state_space() {
+        let text = run_trace(23, 0.3);
+        assert!(text.contains("STATE"), "{text}");
+        assert!(text.contains("FINAL PLAN"), "{text}");
+        assert!(text.contains("states costed:"), "{text}");
     }
 }

@@ -134,11 +134,11 @@ impl WorkloadGen {
         )
         .expect("schema");
         if with_corr_index {
-            db.execute("CREATE INDEX i_emp_dept ON employees (dept_id)")
+            db.execute_mut("CREATE INDEX i_emp_dept ON employees (dept_id)")
                 .unwrap();
         }
         if self.rng.gen_bool(0.5) {
-            db.execute("CREATE INDEX i_jh_dept ON job_history (dept_id)")
+            db.execute_mut("CREATE INDEX i_jh_dept ON job_history (dept_id)")
                 .unwrap();
         }
         let countries = ["US", "UK", "DE", "JP"];

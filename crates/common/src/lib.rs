@@ -7,9 +7,11 @@
 //! executor simple and fast.
 
 pub mod error;
+pub mod trace;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use trace::{TraceBuffer, TraceEvent, TraceSink, Tracer};
 pub use value::{DataType, Datum, Row, Value};
 
 /// Truth value of SQL three-valued logic.

@@ -1,0 +1,276 @@
+//! Structured optimizer tracing — the 10053-event idiom.
+//!
+//! Oracle practitioners debug the cost-based transformation framework
+//! through event 10053, a text trace of every decision the optimizer
+//! takes. This module is the structured equivalent for this engine: the
+//! transformation framework and the physical optimizer emit one
+//! [`TraceEvent`] per transformation examined, per state costed, per
+//! cost cut-off taken (§3.4.1) and per cost-annotation hit or miss
+//! (§3.4.2), plus the before/after SQL of the winning state.
+//!
+//! Tracing is **off by default and free when off**: producers hold a
+//! [`Tracer`] handle (a copyable `Option<&dyn TraceSink>`) and build
+//! events inside a closure that [`Tracer::emit`] never calls while the
+//! tracer is disabled. Enabling costs one sink call per event.
+//!
+//! The crate deliberately has no dependencies: a sink is anything
+//! implementing [`TraceSink`], and [`TraceBuffer`] is the bundled
+//! collecting sink (interior mutability via `Mutex`, so a shared
+//! `&Database` can trace concurrently).
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// One optimizer trace event.
+///
+/// Events appear in emission order: heuristic phase first, then per
+/// cost-based transformation a `TransformBegin`, its `StateCosted` /
+/// `CutoffTaken` stream and a `TransformEnd`, interspersed with
+/// `AnnotationHit` / `BlockCosted` from the physical optimizer, and
+/// finally `QueryRewritten` + `FinalPlan`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Summary of the heuristic (always-beneficial) rewrites of §2.
+    Heuristics { summary: String },
+    /// A cost-based transformation started enumerating its state space
+    /// over `targets` transformation objects with the given §3.2 search
+    /// strategy.
+    TransformBegin {
+        transform: String,
+        targets: usize,
+        strategy: String,
+    },
+    /// One state was costed on a deep copy of the query tree. `merges`
+    /// is the §3.3.1 interleaving sub-choice (one flag per view created
+    /// by the state; empty when the state creates no views); `cost` is
+    /// `None` when the §3.4.1 cost cut-off aborted the evaluation.
+    StateCosted {
+        transform: String,
+        state: Vec<usize>,
+        merges: Vec<bool>,
+        cost: Option<f64>,
+    },
+    /// The §3.4.1 cost cut-off aborted the state above: its partial cost
+    /// already exceeded the best complete state.
+    CutoffTaken {
+        transform: String,
+        state: Vec<usize>,
+    },
+    /// The winning state of the transformation was applied to the main
+    /// query tree.
+    TransformEnd {
+        transform: String,
+        best_state: Vec<usize>,
+        interleaved: bool,
+        cost: f64,
+    },
+    /// §3.4.2 cost-annotation reuse: the block's plan was served from
+    /// the annotation cache instead of being re-optimized.
+    AnnotationHit { block: String },
+    /// Annotation miss: the block was optimized from scratch.
+    BlockCosted { block: String },
+    /// The query text before any transformation and after the winning
+    /// states of every transformation were applied.
+    QueryRewritten { before: String, after: String },
+    /// Final physical plan summary for the transformed query.
+    FinalPlan { cost: f64, est_rows: f64 },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Heuristics { summary } => write!(f, "HEURISTICS {summary}"),
+            TraceEvent::TransformBegin {
+                transform,
+                targets,
+                strategy,
+            } => write!(f, "TRANSFORM {transform}: {targets} target(s), {strategy}"),
+            TraceEvent::StateCosted {
+                transform,
+                state,
+                merges,
+                cost,
+            } => {
+                write!(f, "STATE {transform} {state:?}")?;
+                if merges.iter().any(|&m| m) {
+                    write!(f, " interleaved {merges:?}")?;
+                }
+                match cost {
+                    Some(c) => write!(f, " cost={c:.0}"),
+                    None => write!(f, " cost=CUTOFF"),
+                }
+            }
+            TraceEvent::CutoffTaken { transform, state } => {
+                write!(f, "CUTOFF {transform} {state:?}")
+            }
+            TraceEvent::TransformEnd {
+                transform,
+                best_state,
+                interleaved,
+                cost,
+            } => write!(
+                f,
+                "DECISION {transform}: best {best_state:?}{} cost={cost:.0}",
+                if *interleaved {
+                    " + interleaved merge"
+                } else {
+                    ""
+                }
+            ),
+            TraceEvent::AnnotationHit { block } => write!(f, "ANNOTATION HIT {block}"),
+            TraceEvent::BlockCosted { block } => write!(f, "BLOCK COSTED {block}"),
+            TraceEvent::QueryRewritten { before, after } => {
+                write!(f, "REWRITE\n  before: {before}\n  after:  {after}")
+            }
+            TraceEvent::FinalPlan { cost, est_rows } => {
+                write!(f, "FINAL PLAN cost={cost:.0} est_rows={est_rows:.0}")
+            }
+        }
+    }
+}
+
+/// Receives trace events. `record` takes `&self` so a sink can be shared
+/// by reference across the whole optimization pipeline.
+pub trait TraceSink {
+    fn record(&self, event: TraceEvent);
+}
+
+/// A copyable handle producers carry; `Tracer::disabled()` makes every
+/// [`Tracer::emit`] a no-op that never even constructs its event.
+#[derive(Clone, Copy, Default)]
+pub struct Tracer<'a> {
+    sink: Option<&'a dyn TraceSink>,
+}
+
+impl<'a> Tracer<'a> {
+    /// The no-op tracer: zero overhead beyond one pointer-null test.
+    pub const fn disabled() -> Tracer<'a> {
+        Tracer { sink: None }
+    }
+
+    pub fn new(sink: &'a dyn TraceSink) -> Tracer<'a> {
+        Tracer { sink: Some(sink) }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records the event built by `f`, which is only called when the
+    /// tracer is enabled — callers can format strings inside the closure
+    /// without paying for them in the disabled case.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink {
+            sink.record(f());
+        }
+    }
+}
+
+impl fmt::Debug for Tracer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// The bundled collecting sink: appends every event to an in-memory
+/// list. Interior mutability lets a `&Database` (possibly shared behind
+/// `Arc`) trace without a mutable borrow.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceBuffer {
+    pub fn new() -> TraceBuffer {
+        TraceBuffer::default()
+    }
+
+    /// Removes and returns all recorded events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock().unwrap())
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().unwrap().push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let tracer = Tracer::disabled();
+        let mut built = false;
+        tracer.emit(|| {
+            built = true;
+            TraceEvent::FinalPlan {
+                cost: 0.0,
+                est_rows: 0.0,
+            }
+        });
+        assert!(!built);
+        assert!(!tracer.enabled());
+    }
+
+    #[test]
+    fn buffer_collects_in_order() {
+        let buf = TraceBuffer::new();
+        let tracer = Tracer::new(&buf);
+        assert!(tracer.enabled());
+        tracer.emit(|| TraceEvent::AnnotationHit {
+            block: "QB1".into(),
+        });
+        tracer.emit(|| TraceEvent::BlockCosted {
+            block: "QB2".into(),
+        });
+        assert_eq!(buf.len(), 2);
+        let events = buf.take();
+        assert!(buf.is_empty());
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::AnnotationHit {
+                    block: "QB1".into()
+                },
+                TraceEvent::BlockCosted {
+                    block: "QB2".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn display_is_one_line_per_event() {
+        let e = TraceEvent::StateCosted {
+            transform: "subquery unnesting (inline view)".into(),
+            state: vec![1, 0],
+            merges: vec![true],
+            cost: Some(42.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("interleaved"), "{s}");
+        assert!(s.contains("cost=42"), "{s}");
+        let cut = TraceEvent::StateCosted {
+            transform: "x".into(),
+            state: vec![1],
+            merges: vec![],
+            cost: None,
+        };
+        assert!(cut.to_string().contains("CUTOFF"));
+    }
+}

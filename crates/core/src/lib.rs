@@ -33,14 +33,14 @@
 //! ```
 
 use cbqt_catalog::{Catalog, Column, Constraint, ForeignKey, TableId};
-use cbqt_common::{Error, Result, Row, Value};
+use cbqt_common::{Error, Result, Row, TraceBuffer, TraceEvent, Tracer, Value};
 use cbqt_exec::Engine;
 use cbqt_optimizer::{DynamicSampler, SamplingCache};
 use cbqt_qgm::{build_query_tree, render_tree, QueryTree};
 use cbqt_sql::ast::{self, Statement};
 use cbqt_sql::{parse_statement, parse_statements};
 use cbqt_storage::Storage;
-use cbqt_transform::{optimize_query_with_sampler, CbqtConfig, CbqtOutcome};
+use cbqt_transform::{optimize_query_traced, CbqtConfig, CbqtOutcome};
 use std::time::{Duration, Instant};
 
 pub use cbqt_catalog as catalog;
@@ -53,6 +53,7 @@ pub use cbqt_storage as storage;
 pub use cbqt_transform as transform;
 
 pub use cbqt_common::DataType;
+pub use cbqt_common::{TraceEvent as OptimizerEvent, TraceSink};
 pub use cbqt_transform::{CbqtConfig as OptimizerSettings, SearchStrategy, TransformSet};
 
 /// Result of one query execution, including the measurements the
@@ -77,6 +78,8 @@ pub struct QueryStats {
     pub estimated_cost: f64,
     /// Transformation states costed by the CBQT framework.
     pub states_explored: u64,
+    /// §3.4.1 cost cut-offs taken while costing states.
+    pub cutoffs: u64,
     /// Query blocks optimized / reused via cost annotations.
     pub blocks_costed: u64,
     pub annotation_hits: u64,
@@ -85,7 +88,111 @@ pub struct QueryStats {
     pub subquery_cache_misses: u64,
 }
 
+/// Result of one statement of a script (see [`Database::execute_script`]).
+#[derive(Debug, Clone)]
+pub enum StatementResult {
+    /// A query (or EXPLAIN) produced rows.
+    Rows(QueryResult),
+    /// DML completed; the number of rows affected.
+    RowsAffected(u64),
+    /// DDL (CREATE TABLE / CREATE INDEX) completed.
+    Ddl,
+    /// ANALYZE recomputed optimizer statistics.
+    Analyzed,
+}
+
+impl StatementResult {
+    /// The produced rows, if this statement was a query.
+    pub fn into_rows(self) -> Option<QueryResult> {
+        match self {
+            StatementResult::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    pub fn rows(&self) -> Option<&QueryResult> {
+        match self {
+            StatementResult::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Structured optimizer trace of one query (see [`Database::trace`]):
+/// the raw event list plus the same [`QueryStats`] a normal run reports,
+/// with helpers that derive the paper's counters from the events.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Events in emission order (see `cbqt_common::trace`).
+    pub events: Vec<TraceEvent>,
+    /// Stats of the traced run — event-derived counters match these.
+    pub stats: QueryStats,
+}
+
+impl TraceReport {
+    /// States costed, counted from the events (one `StateCosted` per
+    /// optimizer invocation — equals `stats.states_explored`).
+    pub fn states_explored(&self) -> u64 {
+        self.count(|e| matches!(e, TraceEvent::StateCosted { .. }))
+    }
+
+    /// §3.4.1 cut-offs taken, counted from the events.
+    pub fn cutoffs(&self) -> u64 {
+        self.count(|e| matches!(e, TraceEvent::CutoffTaken { .. }))
+    }
+
+    /// §3.4.2 annotation hits, counted from the events.
+    pub fn annotation_hits(&self) -> u64 {
+        self.count(|e| matches!(e, TraceEvent::AnnotationHit { .. }))
+    }
+
+    /// Blocks optimized from scratch, counted from the events.
+    pub fn blocks_costed(&self) -> u64 {
+        self.count(|e| matches!(e, TraceEvent::BlockCosted { .. }))
+    }
+
+    /// States whose §3.3.1 interleaved view-merge sub-choice merged at
+    /// least one created view.
+    pub fn interleaved_states(&self) -> u64 {
+        self.count(
+            |e| matches!(e, TraceEvent::StateCosted { merges, .. } if merges.iter().any(|&m| m)),
+        )
+    }
+
+    /// The query text before and after transformation, if recorded.
+    pub fn rewrite(&self) -> Option<(&str, &str)> {
+        self.events.iter().find_map(|e| match e {
+            TraceEvent::QueryRewritten { before, after } => Some((before.as_str(), after.as_str())),
+            _ => None,
+        })
+    }
+
+    /// Human-readable rendering, one line per event — the 10053-style
+    /// text trace.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> u64 {
+        self.events.iter().filter(|e| pred(e)).count() as u64
+    }
+}
+
 /// An embedded CBQT database: catalog + storage + optimizer + engine.
+///
+/// Read-only entry points ([`query`](Database::query),
+/// [`execute`](Database::execute), [`explain`](Database::explain),
+/// [`explain_analyze`](Database::explain_analyze),
+/// [`trace`](Database::trace)) take `&self`; only DDL / DML / ANALYZE
+/// ([`execute_mut`](Database::execute_mut),
+/// [`execute_script`](Database::execute_script), …) need `&mut self`, so
+/// a populated database can be shared behind `Arc` by read-only
+/// sessions.
 pub struct Database {
     catalog: Catalog,
     storage: Storage,
@@ -127,37 +234,124 @@ impl Database {
         &self.storage
     }
 
-    /// Runs a semicolon-separated DDL/DML/query script; returns the
-    /// result of the *last* query statement, if any.
-    pub fn execute_script(&mut self, script: &str) -> Result<Option<QueryResult>> {
+    /// Runs a semicolon-separated DDL/DML/query script and returns one
+    /// [`StatementResult`] per statement, in order.
+    pub fn execute_script(&mut self, script: &str) -> Result<Vec<StatementResult>> {
+        parse_statements(script)?
+            .into_iter()
+            .map(|stmt| self.run_statement(stmt))
+            .collect()
+    }
+
+    /// Convenience over [`execute_script`](Database::execute_script)
+    /// preserving the historical behaviour: the rows of the *last*
+    /// statement, if that statement was a query.
+    pub fn query_script(&mut self, script: &str) -> Result<Option<QueryResult>> {
         let mut last = None;
-        for stmt in parse_statements(script)? {
-            last = self.run_statement(stmt)?;
+        for r in self.execute_script(script)? {
+            last = r.into_rows();
         }
         Ok(last)
     }
 
-    /// Executes a single SQL statement.
-    pub fn execute(&mut self, sql: &str) -> Result<Option<QueryResult>> {
+    /// Executes a single *read-only* SQL statement (a query or an
+    /// `EXPLAIN [ANALYZE]`). Statements that mutate the database — DDL,
+    /// INSERT, ANALYZE — are rejected; run those through
+    /// [`execute_mut`](Database::execute_mut).
+    pub fn execute(&self, sql: &str) -> Result<Option<QueryResult>> {
         let stmt = parse_statement(sql)?;
-        self.run_statement(stmt)
+        match stmt {
+            Statement::Query(q) => Ok(Some(self.run_query(&q)?)),
+            Statement::Explain { query, analyze } => {
+                Ok(Some(self.explain_result(&query, analyze)?))
+            }
+            other => Err(Error::unsupported(format!(
+                "{} mutates the database; use execute_mut",
+                statement_kind(&other)
+            ))),
+        }
+    }
+
+    /// Executes any single SQL statement, including DDL / DML / ANALYZE.
+    pub fn execute_mut(&mut self, sql: &str) -> Result<Option<QueryResult>> {
+        let stmt = parse_statement(sql)?;
+        Ok(self.run_statement(stmt)?.into_rows())
     }
 
     /// Executes a query and returns its rows.
-    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
         self.execute(sql)?
             .ok_or_else(|| Error::analysis("statement did not produce rows"))
     }
 
     /// EXPLAIN: the transformed query text, transformation decisions,
     /// and the physical plan — without executing.
-    pub fn explain(&mut self, sql: &str) -> Result<String> {
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        self.explain_sql(sql, false)
+    }
+
+    /// EXPLAIN ANALYZE: like [`explain`](Database::explain), but also
+    /// executes the query and interleaves the actual per-operator row
+    /// counts, execution counts, work units and wall time with the
+    /// optimizer's estimates.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        self.explain_sql(sql, true)
+    }
+
+    /// Optimizes *and executes* `sql` with the structured optimizer
+    /// trace enabled, returning every event the transformation framework
+    /// and physical optimizer emitted plus the run's [`QueryStats`].
+    pub fn trace(&self, sql: &str) -> Result<TraceReport> {
         let stmt = parse_statement(sql)?;
         let query = match stmt {
-            Statement::Query(q) | Statement::Explain(q) => q,
-            _ => return Err(Error::analysis("EXPLAIN requires a query")),
+            Statement::Query(q) | Statement::Explain { query: q, .. } => q,
+            _ => return Err(Error::analysis("trace requires a query")),
         };
         let tree = build_query_tree(&self.catalog, &query)?;
+        let buffer = TraceBuffer::new();
+
+        let t0 = Instant::now();
+        let outcome = self.optimize_traced(&tree, Tracer::new(&buffer))?;
+        let optimize_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let engine = Engine::new(&self.catalog, &self.storage);
+        engine.run(&outcome.plan)?;
+        let execute_time = t1.elapsed();
+        let exec_stats = engine.stats();
+
+        Ok(TraceReport {
+            events: buffer.take(),
+            stats: QueryStats {
+                optimize_time,
+                execute_time,
+                work_units: exec_stats.work,
+                estimated_cost: outcome.plan.cost,
+                states_explored: outcome.states_explored,
+                cutoffs: outcome.cutoffs,
+                blocks_costed: outcome.optimizer_stats.blocks_costed,
+                annotation_hits: outcome.optimizer_stats.annotation_hits,
+                subquery_cache_hits: exec_stats.cache_hits,
+                subquery_cache_misses: exec_stats.cache_misses,
+            },
+        })
+    }
+
+    fn explain_sql(&self, sql: &str, analyze: bool) -> Result<String> {
+        let stmt = parse_statement(sql)?;
+        let (query, analyze) = match stmt {
+            Statement::Query(q) => (q, analyze),
+            Statement::Explain { query, analyze: a } => (query, analyze || a),
+            _ => return Err(Error::analysis("EXPLAIN requires a query")),
+        };
+        self.explain_query(&query, analyze)
+    }
+
+    /// The single EXPLAIN formatter behind [`explain`](Database::explain),
+    /// [`explain_analyze`](Database::explain_analyze) and the SQL
+    /// `EXPLAIN [ANALYZE]` statement.
+    fn explain_query(&self, query: &ast::Query, analyze: bool) -> Result<String> {
+        let tree = build_query_tree(&self.catalog, query)?;
         let outcome = self.optimize(&tree)?;
         let mut out = String::new();
         out.push_str("== transformed query ==\n");
@@ -169,18 +363,36 @@ impl Database {
         for (name, d) in &outcome.decisions {
             out.push_str(&format!("{name}: {d}\n"));
         }
-        out.push_str(&format!(
-            "heuristics: {} SPJ view merge(s), {} join(s) eliminated, {} subquery merge(s), \
-             {} predicate move(s), {} grouping set(s) pruned\n",
-            outcome.heuristics.spj_views_merged,
-            outcome.heuristics.joins_eliminated,
-            outcome.heuristics.subqueries_merged,
-            outcome.heuristics.predicates_pushed,
-            outcome.heuristics.groups_pruned,
-        ));
-        out.push_str("\n== physical plan ==\n");
-        out.push_str(&outcome.plan.explain());
+        out.push_str(&format!("heuristics: {}\n", outcome.heuristics.summary()));
+        if analyze {
+            let engine = Engine::new(&self.catalog, &self.storage);
+            engine.enable_metrics();
+            let t0 = Instant::now();
+            let rows = engine.run(&outcome.plan)?;
+            let execute_time = t0.elapsed();
+            let metrics = engine.take_metrics().unwrap_or_default();
+            out.push_str("\n== physical plan (analyzed) ==\n");
+            out.push_str(&outcome.plan.explain_annotated(&mut |e| metrics.annotate(e)));
+            out.push_str(&format!(
+                "\nexecution: {} row(s), {:.0} work unit(s), {:.3} ms\n",
+                rows.len(),
+                engine.stats().work,
+                execute_time.as_secs_f64() * 1e3,
+            ));
+        } else {
+            out.push_str("\n== physical plan ==\n");
+            out.push_str(&outcome.plan.explain());
+        }
         Ok(out)
+    }
+
+    fn explain_result(&self, query: &ast::Query, analyze: bool) -> Result<QueryResult> {
+        let text = self.explain_query(query, analyze)?;
+        Ok(QueryResult {
+            columns: vec!["PLAN".to_string()],
+            rows: text.lines().map(|l| vec![Value::str(l)]).collect(),
+            stats: QueryStats::default(),
+        })
     }
 
     /// Recomputes optimizer statistics from the stored data.
@@ -208,57 +420,50 @@ impl Database {
         self.storage.insert_many(tid, rows)
     }
 
-    fn run_statement(&mut self, stmt: Statement) -> Result<Option<QueryResult>> {
+    fn run_statement(&mut self, stmt: Statement) -> Result<StatementResult> {
         match stmt {
-            Statement::Query(q) => Ok(Some(self.run_query(&q)?)),
-            Statement::Explain(q) => {
-                let text = {
-                    let tree = build_query_tree(&self.catalog, &q)?;
-                    let outcome = self.optimize(&tree)?;
-                    outcome.plan.explain()
-                };
-                Ok(Some(QueryResult {
-                    columns: vec!["PLAN".to_string()],
-                    rows: text.lines().map(|l| vec![Value::str(l)]).collect(),
-                    stats: QueryStats::default(),
-                }))
+            Statement::Query(q) => Ok(StatementResult::Rows(self.run_query(&q)?)),
+            Statement::Explain { query, analyze } => {
+                Ok(StatementResult::Rows(self.explain_result(&query, analyze)?))
             }
             Statement::Analyze => {
                 self.analyze()?;
-                Ok(None)
+                Ok(StatementResult::Analyzed)
             }
             Statement::CreateTable(ct) => {
                 self.create_table(ct)?;
-                Ok(None)
+                Ok(StatementResult::Ddl)
             }
             Statement::CreateIndex(ci) => {
                 self.create_index(ci)?;
-                Ok(None)
+                Ok(StatementResult::Ddl)
             }
-            Statement::Insert(ins) => {
-                self.insert(ins)?;
-                Ok(None)
-            }
+            Statement::Insert(ins) => Ok(StatementResult::RowsAffected(self.insert(ins)?)),
         }
     }
 
     fn optimize(&self, tree: &QueryTree) -> Result<CbqtOutcome> {
+        self.optimize_traced(tree, Tracer::disabled())
+    }
+
+    fn optimize_traced(&self, tree: &QueryTree, tracer: Tracer<'_>) -> Result<CbqtOutcome> {
         // dynamic sampling (§3.4.4): tables without statistics are sized
         // by probing storage, with results cached across optimizer calls
         let sampler = StorageSampler {
             catalog: &self.catalog,
             storage: &self.storage,
         };
-        optimize_query_with_sampler(
+        optimize_query_traced(
             tree,
             &self.catalog,
             &self.config,
             &self.sampling_cache,
             Some(&sampler),
+            tracer,
         )
     }
 
-    fn run_query(&mut self, q: &ast::Query) -> Result<QueryResult> {
+    fn run_query(&self, q: &ast::Query) -> Result<QueryResult> {
         let tree = build_query_tree(&self.catalog, q)?;
         let columns = tree.block(tree.root)?.output_names(&tree);
 
@@ -281,6 +486,7 @@ impl Database {
                 work_units: exec_stats.work,
                 estimated_cost: outcome.plan.cost,
                 states_explored: outcome.states_explored,
+                cutoffs: outcome.cutoffs,
                 blocks_costed: outcome.optimizer_stats.blocks_costed,
                 annotation_hits: outcome.optimizer_stats.annotation_hits,
                 subquery_cache_hits: exec_stats.cache_hits,
@@ -408,7 +614,7 @@ impl Database {
         Ok(())
     }
 
-    fn insert(&mut self, ins: ast::Insert) -> Result<()> {
+    fn insert(&mut self, ins: ast::Insert) -> Result<u64> {
         let t = self
             .catalog
             .table_by_name(&ins.table)
@@ -436,11 +642,26 @@ impl Database {
             }
             rows.push(row);
         }
-        self.storage.insert_many(tid, rows)
+        let n = rows.len() as u64;
+        self.storage.insert_many(tid, rows)?;
+        Ok(n)
     }
 }
 
-/// Evaluates a constant INSERT expression.
+/// Human-readable kind of a statement, for error messages.
+fn statement_kind(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Query(_) => "SELECT",
+        Statement::Explain { .. } => "EXPLAIN",
+        Statement::CreateTable(_) => "CREATE TABLE",
+        Statement::CreateIndex(_) => "CREATE INDEX",
+        Statement::Insert(_) => "INSERT",
+        Statement::Analyze => "ANALYZE",
+    }
+}
+
+/// Evaluates a constant INSERT expression: literals, `NULL`, and the
+/// unary `+`/`-` signs (SQL semantics: negating NULL yields NULL).
 fn eval_const(e: &ast::Expr) -> Result<Value> {
     match e {
         ast::Expr::Literal(v) => Ok(v.clone()),
@@ -450,12 +671,17 @@ fn eval_const(e: &ast::Expr) -> Result<Value> {
         } => {
             let v = eval_const(expr)?;
             match v {
+                Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(-i)),
                 Value::Double(d) => Ok(Value::Double(-d)),
-                other => Err(Error::analysis(format!("cannot negate {other}"))),
+                other => Err(Error::analysis(format!(
+                    "cannot negate non-numeric INSERT value {e}: {other}"
+                ))),
             }
         }
-        _ => Err(Error::unsupported("INSERT values must be literals")),
+        other => Err(Error::unsupported(format!(
+            "INSERT values must be constant expressions, got {other}"
+        ))),
     }
 }
 
@@ -527,7 +753,7 @@ mod tests {
 
     #[test]
     fn correlated_subquery_end_to_end() {
-        let mut db = demo_db();
+        let db = demo_db();
         let r = db
             .query(
                 "SELECT e1.emp_id FROM employees e1 WHERE e1.salary > \
@@ -557,7 +783,7 @@ mod tests {
 
     #[test]
     fn explain_shows_decisions_and_plan() {
-        let mut db = demo_db();
+        let db = demo_db();
         let text = db
             .explain(
                 "SELECT e1.emp_id FROM employees e1 WHERE e1.salary > \
@@ -570,7 +796,7 @@ mod tests {
 
     #[test]
     fn explain_statement_via_sql() {
-        let mut db = demo_db();
+        let db = demo_db();
         let r = db
             .query("EXPLAIN SELECT emp_id FROM employees WHERE dept_id = 3")
             .unwrap();
@@ -580,7 +806,7 @@ mod tests {
 
     #[test]
     fn stats_are_populated() {
-        let mut db = demo_db();
+        let db = demo_db();
         let r = db.query("SELECT COUNT(*) FROM employees").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(100));
         assert!(r.stats.work_units > 0.0);
@@ -591,16 +817,112 @@ mod tests {
     fn errors_surface_cleanly() {
         let mut db = demo_db();
         assert!(db.query("SELECT nope FROM employees").is_err());
-        assert!(db.execute("CREATE TABLE employees (x INT)").is_err());
-        assert!(db.execute("INSERT INTO employees VALUES (1)").is_err());
+        assert!(db.execute_mut("CREATE TABLE employees (x INT)").is_err());
+        assert!(db
+            .execute_mut("INSERT INTO employees VALUES (1, 2)")
+            .is_err());
         assert!(db.query("SELECT * FROM missing").is_err());
+        // the read-only entry point refuses mutating statements with a
+        // pointer at the right method
+        let err = db
+            .execute("CREATE TABLE nope (x INT)")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("execute_mut"), "{err}");
     }
 
     #[test]
     fn duplicate_index_rejected() {
         let mut db = demo_db();
         assert!(db
-            .execute("CREATE INDEX i_emp_dept ON employees (salary)")
+            .execute_mut("CREATE INDEX i_emp_dept ON employees (salary)")
             .is_err());
+    }
+
+    #[test]
+    fn insert_accepts_signed_and_null_constants() {
+        let mut db = Database::new();
+        let results = db
+            .execute_script(
+                "CREATE TABLE t (a INT PRIMARY KEY, b INT);
+                 INSERT INTO t VALUES (1, -NULL), (+2, -5);",
+            )
+            .unwrap();
+        assert!(matches!(results[0], StatementResult::Ddl));
+        assert!(matches!(results[1], StatementResult::RowsAffected(2)));
+        let r = db.query("SELECT a, b FROM t ORDER BY a").unwrap();
+        assert!(r.rows[0][1].is_null());
+        assert_eq!(r.rows[1][1], Value::Int(-5));
+        // non-constant expressions are rejected with the offending text
+        let err = db
+            .execute_mut("INSERT INTO t VALUES (3, 1 + 2)")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("(1 + 2)"), "{err}");
+    }
+
+    #[test]
+    fn query_script_returns_last_result() {
+        let mut db = Database::new();
+        let r = db
+            .query_script(
+                "CREATE TABLE t (a INT PRIMARY KEY);
+                 INSERT INTO t VALUES (1), (2);
+                 SELECT a FROM t ORDER BY a",
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        // trailing non-query yields None, matching the historic contract
+        assert!(db.query_script("ANALYZE;").unwrap().is_none());
+    }
+
+    #[test]
+    fn shared_reference_queries() {
+        let db = demo_db();
+        let shared = &db;
+        let a = shared.query("SELECT COUNT(*) FROM employees").unwrap();
+        let b = shared
+            .explain("SELECT COUNT(*) FROM employees")
+            .map(|t| t.contains("physical plan"))
+            .unwrap();
+        assert_eq!(a.rows[0][0], Value::Int(100));
+        assert!(b);
+    }
+
+    #[test]
+    fn trace_reports_consistent_counts() {
+        let db = demo_db();
+        let report = db
+            .trace(
+                "SELECT d.name FROM departments d WHERE d.dept_id IN \
+                 (SELECT e.dept_id FROM employees e WHERE e.salary > 1500)",
+            )
+            .unwrap();
+        assert!(!report.events.is_empty());
+        assert_eq!(report.states_explored(), report.stats.states_explored);
+        assert_eq!(report.cutoffs(), report.stats.cutoffs);
+        assert_eq!(report.blocks_costed(), report.stats.blocks_costed);
+        assert_eq!(report.annotation_hits(), report.stats.annotation_hits);
+        let (before, after) = report.rewrite().expect("rewrite event");
+        assert!(before.contains("SELECT"), "{before}");
+        assert!(after.contains("SELECT"), "{after}");
+        assert!(
+            report.render().contains("FINAL PLAN"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn explain_analyze_shows_actual_rows() {
+        let db = demo_db();
+        let text = db
+            .explain_analyze("SELECT e.emp_id FROM employees e WHERE e.dept_id = 3")
+            .unwrap();
+        assert!(text.contains("physical plan (analyzed)"), "{text}");
+        assert!(text.contains("rows="), "{text}");
+        assert!(text.contains("actual rows=10"), "{text}");
+        assert!(text.contains("execution:"), "{text}");
     }
 }

@@ -2,6 +2,7 @@
 //! ROWNUM — plus the TIS subquery cache.
 
 use crate::eval::{compute_windows, AggAcc, Bindings, EvalCtx};
+use crate::metrics::ExecMetrics;
 use cbqt_catalog::Catalog;
 use cbqt_common::{Error, Result, Row, Value};
 use cbqt_optimizer::{
@@ -42,6 +43,9 @@ pub struct Engine<'a> {
     cache_misses: Cell<u64>,
     subq_cache: RefCell<SubqCache>,
     outer_cols: RefCell<OuterColsCache>,
+    /// Per-operator runtime counters; `None` (the default) keeps the
+    /// execution path free of timing calls.
+    metrics: RefCell<Option<ExecMetrics>>,
 }
 
 impl<'a> Engine<'a> {
@@ -54,7 +58,19 @@ impl<'a> Engine<'a> {
             cache_misses: Cell::new(0),
             subq_cache: RefCell::new(HashMap::new()),
             outer_cols: RefCell::new(HashMap::new()),
+            metrics: RefCell::new(None),
         }
+    }
+
+    /// Turns on per-operator metrics collection (EXPLAIN ANALYZE).
+    pub fn enable_metrics(&self) {
+        *self.metrics.borrow_mut() = Some(ExecMetrics::new());
+    }
+
+    /// Returns the metrics collected since [`Engine::enable_metrics`],
+    /// leaving collection enabled with a fresh table.
+    pub fn take_metrics(&self) -> Option<ExecMetrics> {
+        self.metrics.borrow_mut().as_mut().map(std::mem::take)
     }
 
     /// Executes a root plan and returns the projected rows.
@@ -138,6 +154,26 @@ impl<'a> Engine<'a> {
     }
 
     fn execute_block(&self, plan: &BlockPlan, binds: &Bindings<'_>) -> Result<Vec<Row>> {
+        if self.metrics.borrow().is_none() {
+            return self.execute_block_inner(plan, binds);
+        }
+        let work0 = self.work.get();
+        let start = std::time::Instant::now();
+        let out = self.execute_block_inner(plan, binds)?;
+        let elapsed = start.elapsed();
+        let work = self.work.get() - work0;
+        if let Some(m) = self.metrics.borrow_mut().as_mut() {
+            m.record(
+                plan as *const BlockPlan as usize,
+                out.len() as u64,
+                work,
+                elapsed,
+            );
+        }
+        Ok(out)
+    }
+
+    fn execute_block_inner(&self, plan: &BlockPlan, binds: &Bindings<'_>) -> Result<Vec<Row>> {
         match &plan.root {
             PlanRoot::Select(sp) => self.exec_select(sp, binds),
             PlanRoot::SetOp(sop) => {
@@ -422,6 +458,26 @@ impl<'a> Engine<'a> {
     }
 
     fn exec_node(&self, node: &PlanNode, binds: &Bindings<'_>) -> Result<Vec<Row>> {
+        if self.metrics.borrow().is_none() {
+            return self.exec_node_inner(node, binds);
+        }
+        let work0 = self.work.get();
+        let start = std::time::Instant::now();
+        let out = self.exec_node_inner(node, binds)?;
+        let elapsed = start.elapsed();
+        let work = self.work.get() - work0;
+        if let Some(m) = self.metrics.borrow_mut().as_mut() {
+            m.record(
+                node as *const PlanNode as usize,
+                out.len() as u64,
+                work,
+                elapsed,
+            );
+        }
+        Ok(out)
+    }
+
+    fn exec_node_inner(&self, node: &PlanNode, binds: &Bindings<'_>) -> Result<Vec<Row>> {
         match node {
             PlanNode::OneRow => {
                 self.add_work(weights::ROW);
@@ -433,6 +489,7 @@ impl<'a> Engine<'a> {
                 width,
                 access,
                 filter,
+                ..
             } => {
                 let layout = Layout {
                     slots: vec![(*refid, 0, *width)],

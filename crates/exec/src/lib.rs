@@ -21,8 +21,10 @@
 
 pub mod engine;
 pub mod eval;
+pub mod metrics;
 
 pub use engine::{Engine, ExecStats};
+pub use metrics::{ExecMetrics, OpMetrics};
 
 #[cfg(test)]
 mod tests;

@@ -5,7 +5,7 @@
 use crate::est::{Estimator, RelStats, DEFAULT_NDV_FRAC, DEFAULT_ROWS};
 use crate::plan::{weights, *};
 use cbqt_catalog::{Catalog, TableId};
-use cbqt_common::{Error, Result, Value};
+use cbqt_common::{Error, Result, TraceEvent, Tracer, Value};
 use cbqt_qgm::{
     render, BlockId, JoinInfo, QExpr, QTableSource, QueryBlock, QueryTree, RefId, SelectBlock,
     SetOp,
@@ -96,6 +96,8 @@ pub struct Optimizer<'a> {
     pub sampler: Option<&'a dyn DynamicSampler>,
     pub sampling_cache: &'a SamplingCache,
     pub stats: OptimizerStats,
+    /// Optimizer trace sink (disabled by default; see `cbqt_common::trace`).
+    pub tracer: Tracer<'a>,
 }
 
 impl<'a> Optimizer<'a> {
@@ -111,6 +113,7 @@ impl<'a> Optimizer<'a> {
             sampler: None,
             sampling_cache,
             stats: OptimizerStats::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -158,6 +161,9 @@ impl<'a> Optimizer<'a> {
             let key = h.finish();
             if let Some(p) = self.annotations.map.get(&key) {
                 self.stats.annotation_hits += 1;
+                self.tracer.emit(|| TraceEvent::AnnotationHit {
+                    block: id.to_string(),
+                });
                 let mut reused = p.clone();
                 reused.block = id;
                 return Ok(reused);
@@ -167,6 +173,9 @@ impl<'a> Optimizer<'a> {
             None
         };
         self.stats.blocks_costed += 1;
+        self.tracer.emit(|| TraceEvent::BlockCosted {
+            block: id.to_string(),
+        });
         let plan = match tree.block(id)? {
             QueryBlock::Select(s) => self.plan_select(tree, id, s, plans, budget)?,
             QueryBlock::SetOp(s) => {
@@ -718,11 +727,14 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
             ));
         }
         for size in 1..n {
-            let masks: Vec<u32> = best
+            let mut masks: Vec<u32> = best
                 .keys()
                 .copied()
                 .filter(|m| m.count_ones() as usize == size)
                 .collect();
+            // fixed expansion order so cost ties always break the same
+            // way — EXPLAIN output must be deterministic
+            masks.sort_unstable();
             for mask in masks {
                 let left = best.get(&mask).cloned().unwrap();
                 if let Some(b) = self.budget {
@@ -843,6 +855,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                         plan: p.clone(),
                         correlated: false,
                         filter: preds,
+                        rows,
                     },
                     cost,
                     rows,
@@ -888,6 +901,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                 width: item.width,
                 access: AccessPath::FullScan,
                 filter: filter.clone(),
+                rows: out_rows,
             },
             full_cost,
             out_rows,
@@ -965,6 +979,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                                 width: item.width,
                                 access: AccessPath::IndexEq { index: ix.id, key },
                                 filter: filter.clone(),
+                                rows: out_rows,
                             },
                             cost,
                             out_rows,
@@ -1028,6 +1043,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                                 hi,
                             },
                             filter: filter.clone(),
+                            rows: out_rows,
                         },
                         cost,
                         out_rows,
@@ -1168,6 +1184,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                         plan: p.clone(),
                         correlated: true,
                         filter: local_preds.clone(),
+                        rows: (p.rows * local_sel).max(0.0),
                     }),
                     kind,
                     method: JoinMethod::NestedLoop,
@@ -1193,6 +1210,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                                 plan: p.clone(),
                                 correlated: false,
                                 filter: local_preds.clone(),
+                                rows: (p.rows * local_sel).max(0.0),
                             },
                             cost,
                             (p.rows * local_sel).max(0.0),

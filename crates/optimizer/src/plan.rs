@@ -99,6 +99,8 @@ pub enum PlanNode {
         access: AccessPath,
         /// Residual filter conjuncts evaluated per fetched row.
         filter: Vec<QExpr>,
+        /// Estimated output rows (for EXPLAIN).
+        rows: f64,
     },
     ScanView {
         block: BlockId,
@@ -110,6 +112,8 @@ pub enum PlanNode {
         /// row with result caching on the correlation values.
         correlated: bool,
         filter: Vec<QExpr>,
+        /// Estimated output rows (for EXPLAIN).
+        rows: f64,
     },
     Join {
         left: Box<PlanNode>,
@@ -244,6 +248,33 @@ pub enum PlanRoot {
     SetOp(SetOpPlan),
 }
 
+/// A plan element handed to an EXPLAIN annotator: either one block root
+/// or one node of a join tree. The borrowed reference is into the plan
+/// being explained, so annotators can key side tables (e.g. runtime
+/// metrics collected during execution of the *same* plan value) by the
+/// element's address.
+#[derive(Clone, Copy)]
+pub enum PlanEntity<'a> {
+    Block(&'a BlockPlan),
+    Node(&'a PlanNode),
+}
+
+impl PlanEntity<'_> {
+    /// Stable address key of the referenced element for the lifetime of
+    /// the plan. Blocks and nodes are distinct allocations, so the two
+    /// namespaces never collide.
+    pub fn addr(&self) -> usize {
+        match self {
+            PlanEntity::Block(b) => *b as *const BlockPlan as usize,
+            PlanEntity::Node(n) => *n as *const PlanNode as usize,
+        }
+    }
+}
+
+/// Callback appending per-element detail (e.g. actual row counts) to
+/// EXPLAIN lines; return `None` for no annotation.
+pub type Annotator<'a> = dyn FnMut(PlanEntity<'_>) -> Option<String> + 'a;
+
 impl BlockPlan {
     pub fn as_select(&self) -> Option<&SelectPlan> {
         match &self.root {
@@ -254,19 +285,27 @@ impl BlockPlan {
 
     /// Indented EXPLAIN text.
     pub fn explain(&self) -> String {
+        self.explain_annotated(&mut |_| None)
+    }
+
+    /// Indented EXPLAIN text with a per-element annotation appended to
+    /// each line — the single formatter behind both plain `EXPLAIN` and
+    /// `EXPLAIN ANALYZE`.
+    pub fn explain_annotated(&self, annotate: &mut Annotator<'_>) -> String {
         let mut s = String::new();
-        self.explain_into(&mut s, 0);
+        self.explain_into(&mut s, 0, annotate);
         s
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
+    fn explain_into(&self, out: &mut String, depth: usize, annotate: &mut Annotator<'_>) {
         use std::fmt::Write;
         let pad = "  ".repeat(depth);
+        let note = note_for(annotate(PlanEntity::Block(self)));
         match &self.root {
             PlanRoot::Select(sp) => {
                 writeln!(
                     out,
-                    "{pad}SELECT {} (cost={:.0} rows={:.0}{}{}{})",
+                    "{pad}SELECT {} (cost={:.0} rows={:.0}{}{}{}){note}",
                     self.block,
                     self.cost,
                     self.rows,
@@ -286,44 +325,53 @@ impl BlockPlan {
                     },
                 )
                 .unwrap();
-                explain_node(&sp.join, out, depth + 1);
+                explain_node(&sp.join, out, depth + 1, annotate);
                 for (b, p) in &sp.subplans {
                     writeln!(out, "{pad}  SUBQUERY {b}:").unwrap();
-                    p.explain_into(out, depth + 2);
+                    p.explain_into(out, depth + 2, annotate);
                 }
             }
             PlanRoot::SetOp(sp) => {
                 writeln!(
                     out,
-                    "{pad}{:?} (cost={:.0} rows={:.0})",
+                    "{pad}{:?} (cost={:.0} rows={:.0}){note}",
                     sp.op, self.cost, self.rows
                 )
                 .unwrap();
                 for i in &sp.inputs {
-                    i.explain_into(out, depth + 1);
+                    i.explain_into(out, depth + 1, annotate);
                 }
             }
         }
     }
 }
 
-fn explain_node(n: &PlanNode, out: &mut String, depth: usize) {
+fn note_for(a: Option<String>) -> String {
+    match a {
+        Some(a) => format!(" {a}"),
+        None => String::new(),
+    }
+}
+
+fn explain_node(n: &PlanNode, out: &mut String, depth: usize, annotate: &mut Annotator<'_>) {
     use std::fmt::Write;
     let pad = "  ".repeat(depth);
+    let note = note_for(annotate(PlanEntity::Node(n)));
     match n {
         PlanNode::OneRow => {
-            writeln!(out, "{pad}ONE ROW").unwrap();
+            writeln!(out, "{pad}ONE ROW{note}").unwrap();
         }
         PlanNode::ScanBase {
             table,
             refid,
             access,
             filter,
+            rows,
             ..
         } => {
             writeln!(
                 out,
-                "{pad}SCAN t{} (r{}) {}{}",
+                "{pad}SCAN t{} (r{}) {} (rows={rows:.0}){}{note}",
                 table.0,
                 refid.0,
                 access.describe(),
@@ -340,16 +388,17 @@ fn explain_node(n: &PlanNode, out: &mut String, depth: usize) {
             refid,
             correlated,
             plan,
+            rows,
             ..
         } => {
             writeln!(
                 out,
-                "{pad}VIEW {block} (r{}){}",
+                "{pad}VIEW {block} (r{}){} (rows={rows:.0}){note}",
                 refid.0,
                 if *correlated { " LATERAL" } else { "" }
             )
             .unwrap();
-            plan.explain_into(out, depth + 1);
+            plan.explain_into(out, depth + 1, annotate);
         }
         PlanNode::Join {
             left,
@@ -362,14 +411,14 @@ fn explain_node(n: &PlanNode, out: &mut String, depth: usize) {
         } => {
             writeln!(
                 out,
-                "{pad}{:?} {:?} JOIN{} (rows={rows:.0})",
+                "{pad}{:?} {:?} JOIN{} (rows={rows:.0}){note}",
                 method,
                 kind,
                 if *lateral { " LATERAL" } else { "" }
             )
             .unwrap();
-            explain_node(left, out, depth + 1);
-            explain_node(right, out, depth + 1);
+            explain_node(left, out, depth + 1, annotate);
+            explain_node(right, out, depth + 1, annotate);
         }
     }
 }
@@ -385,6 +434,7 @@ mod tests {
             width: w,
             access: AccessPath::FullScan,
             filter: vec![],
+            rows: 0.0,
         }
     }
 

@@ -14,8 +14,13 @@ pub enum Statement {
     CreateTable(CreateTable),
     CreateIndex(CreateIndex),
     Insert(Insert),
-    /// `EXPLAIN <query>` — show transformation decisions and the plan.
-    Explain(Box<Query>),
+    /// `EXPLAIN [ANALYZE] <query>` — show transformation decisions and
+    /// the plan; with ANALYZE, execute the query and interleave actual
+    /// per-operator row counts with the estimates.
+    Explain {
+        query: Box<Query>,
+        analyze: bool,
+    },
     /// `ANALYZE` — recompute optimizer statistics for all tables.
     Analyze,
 }
@@ -279,6 +284,115 @@ pub enum Expr {
     },
     /// Oracle ROWNUM pseudo-column.
     Rownum,
+}
+
+/// SQL-ish rendering, used in error messages (subquery bodies are
+/// abbreviated to `(subquery)`).
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(f: &mut fmt::Formatter<'_>, items: &[Expr]) -> fmt::Result {
+            for (i, e) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+            Ok(())
+        }
+        let not = |negated: &bool| if *negated { "NOT " } else { "" };
+        match self {
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Unary { op, expr } => match op {
+                UnOp::Neg => write!(f, "-{expr}"),
+                UnOp::Not => write!(f, "NOT {expr}"),
+            },
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", not(negated))
+            }
+            Expr::InList {
+                expr,
+                list: items,
+                negated,
+            } => {
+                write!(f, "{expr} {}IN (", not(negated))?;
+                list(f, items)?;
+                write!(f, ")")
+            }
+            Expr::InSubquery { exprs, negated, .. } => {
+                if let [single] = exprs.as_slice() {
+                    write!(f, "{single} {}IN (subquery)", not(negated))
+                } else {
+                    write!(f, "(")?;
+                    list(f, exprs)?;
+                    write!(f, ") {}IN (subquery)", not(negated))
+                }
+            }
+            Expr::Exists { negated, .. } => {
+                write!(f, "{}EXISTS (subquery)", not(negated))
+            }
+            Expr::Quantified {
+                op, quant, left, ..
+            } => {
+                let q = match quant {
+                    Quant::Any => "ANY",
+                    Quant::All => "ALL",
+                };
+                write!(f, "{left} {op} {q} (subquery)")
+            }
+            Expr::ScalarSubquery(_) => write!(f, "(subquery)"),
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(f, "{expr} {}BETWEEN {low} AND {high}", not(negated)),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(f, "{expr} {}LIKE {pattern}", not(negated)),
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                write!(f, "CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Func {
+                name,
+                args,
+                distinct,
+                window,
+            } => {
+                write!(f, "{name}(")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                list(f, args)?;
+                write!(f, ")")?;
+                if window.is_some() {
+                    write!(f, " OVER (...)")?;
+                }
+                Ok(())
+            }
+            Expr::Rownum => write!(f, "ROWNUM"),
+        }
+    }
 }
 
 impl Expr {

@@ -222,7 +222,11 @@ impl Parser {
         }
         if self.at_kw("EXPLAIN") {
             self.bump();
-            return Ok(Statement::Explain(Box::new(self.parse_query()?)));
+            let analyze = self.eat_kw("ANALYZE");
+            return Ok(Statement::Explain {
+                query: Box::new(self.parse_query()?),
+                analyze,
+            });
         }
         if self.at_kw("ANALYZE") {
             self.bump();

@@ -7,7 +7,7 @@
 //!   use; golden-value tests pin its output per seed across platforms.
 //! - [`prop`]: property-based testing with tape-based shrinking (see the
 //!   [`props!`] macro).
-//! - [`bench`]: a criterion-shaped benchmark harness that emits JSON
+//! - [`mod@bench`]: a criterion-shaped benchmark harness that emits JSON
 //!   lines to stdout (see the [`bench_main!`] macro).
 //!
 //! This crate must never grow a dependency — the CI hermeticity guard

@@ -12,7 +12,7 @@
 //!
 //! Knobs (environment variables):
 //! - `TESTKIT_CASES`:   cases per property (default 64; `#[cases(n)]` in
-//!   [`props!`] overrides per test)
+//!   [`crate::props!`] overrides per test)
 //! - `TESTKIT_SEED`:    base seed, for reproducing a reported failure
 //! - `TESTKIT_SHRINKS`: shrink-attempt budget on failure (default 1500)
 
@@ -97,7 +97,7 @@ impl Gen {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Records `name = value` for the failure report (used by [`props!`];
+    /// Records `name = value` for the failure report (used by [`crate::props!`];
     /// a no-op except on the final replay of a shrunk counterexample).
     pub fn note(&mut self, name: &str, value: &dyn Debug) {
         if self.capture {
@@ -247,7 +247,7 @@ impl_tuple_strategy! {
     (A.0, B.1, C.2, D.3, E.4)
 }
 
-/// Uniform choice among alternatives (see the [`one_of!`] macro). Earlier
+/// Uniform choice among alternatives (see the [`crate::one_of!`] macro). Earlier
 /// alternatives are "simpler": the choice index shrinks toward 0.
 pub struct Union<T> {
     options: Vec<SBox<T>>,
@@ -468,7 +468,7 @@ pub fn check(name: &str, cases: Option<u32>, prop: impl Fn(&mut Gen)) -> Result<
 }
 
 /// Panicking wrapper around [`check`], with a reproduction recipe in the
-/// failure text. This is what the [`props!`] macro calls.
+/// failure text. This is what the [`crate::props!`] macro calls.
 pub fn run(name: &str, cases: Option<u32>, prop: impl Fn(&mut Gen)) {
     if let Err(f) = check(name, cases, prop) {
         panic!(

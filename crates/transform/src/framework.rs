@@ -22,12 +22,12 @@ use crate::costbased::view_transform::{can_merge_view, merge_view};
 use crate::costbased::{default_transforms, ApplyEffect, CbTransform, Target};
 use crate::heuristic::{apply_heuristics_with, HeuristicReport};
 use cbqt_catalog::Catalog;
-use cbqt_common::{Error, Result};
+use cbqt_common::{Error, Result, TraceEvent, Tracer};
 use cbqt_optimizer::{
     is_cutoff, BlockPlan, CostAnnotations, DynamicSampler, Optimizer, OptimizerConfig,
     OptimizerStats, SamplingCache,
 };
-use cbqt_qgm::{QTableSource, QueryTree};
+use cbqt_qgm::{render, QTableSource, QueryTree};
 
 /// Search strategies of §3.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +152,8 @@ pub struct CbqtOutcome {
     pub decisions: Vec<(String, String)>,
     /// States costed across all cost-based transformations.
     pub states_explored: u64,
+    /// §3.4.1 cost cut-offs taken while costing states.
+    pub cutoffs: u64,
     pub optimizer_stats: OptimizerStats,
 }
 
@@ -177,11 +179,43 @@ pub fn optimize_query_with_sampler(
     sampling_cache: &SamplingCache,
     sampler: Option<&dyn DynamicSampler>,
 ) -> Result<CbqtOutcome> {
+    optimize_query_traced(
+        tree,
+        catalog,
+        config,
+        sampling_cache,
+        sampler,
+        Tracer::disabled(),
+    )
+}
+
+/// [`optimize_query_with_sampler`] with an optimizer trace: every
+/// transformation examined, state costed, cut-off taken and annotation
+/// hit/miss is emitted into `tracer`, plus the before/after rendered SQL
+/// of the winning states. With `Tracer::disabled()` (what the plain
+/// entry points pass) no event is ever constructed.
+pub fn optimize_query_traced(
+    tree: &QueryTree,
+    catalog: &Catalog,
+    config: &CbqtConfig,
+    sampling_cache: &SamplingCache,
+    sampler: Option<&dyn DynamicSampler>,
+    tracer: Tracer<'_>,
+) -> Result<CbqtOutcome> {
+    let before_sql = if tracer.enabled() {
+        render::render_tree(tree, catalog)
+    } else {
+        String::new()
+    };
     let mut tree = tree.clone();
     let heuristics = apply_heuristics_with(&mut tree, catalog, config.heuristic_unnest_merge)?;
+    tracer.emit(|| TraceEvent::Heuristics {
+        summary: heuristics.summary(),
+    });
 
     let mut annotations = CostAnnotations::new();
     let mut states_explored = 0u64;
+    let mut cutoffs = 0u64;
     let mut decisions: Vec<(String, String)> = Vec::new();
     let mut opt_stats = OptimizerStats::default();
 
@@ -198,7 +232,9 @@ pub fn optimize_query_with_sampler(
                 sampling_cache,
                 sampler,
                 states: &mut states_explored,
+                cutoffs: &mut cutoffs,
                 stats: &mut opt_stats,
+                tracer,
             };
             let decision = session.run(&mut tree, t.as_ref())?;
             if let Some(d) = decision {
@@ -223,15 +259,25 @@ pub fn optimize_query_with_sampler(
     let mut opt = Optimizer::new(catalog, &mut annotations, sampling_cache);
     opt.sampler = sampler;
     opt.config = config.optimizer.clone();
+    opt.tracer = tracer;
     let plan = opt.optimize(&tree, None)?;
     opt_stats.blocks_costed += opt.stats.blocks_costed;
     opt_stats.annotation_hits += opt.stats.annotation_hits;
+    tracer.emit(|| TraceEvent::QueryRewritten {
+        before: before_sql,
+        after: render::render_tree(&tree, catalog),
+    });
+    tracer.emit(|| TraceEvent::FinalPlan {
+        cost: plan.cost,
+        est_rows: plan.rows,
+    });
     Ok(CbqtOutcome {
         tree,
         plan,
         heuristics,
         decisions,
         states_explored,
+        cutoffs,
         optimizer_stats: opt_stats,
     })
 }
@@ -289,7 +335,9 @@ struct TransformSession<'a> {
     sampling_cache: &'a SamplingCache,
     sampler: Option<&'a dyn DynamicSampler>,
     states: &'a mut u64,
+    cutoffs: &'a mut u64,
     stats: &'a mut OptimizerStats,
+    tracer: Tracer<'a>,
 }
 
 impl<'a> TransformSession<'a> {
@@ -333,6 +381,11 @@ impl<'a> TransformSession<'a> {
         }
         let arities: Vec<usize> = targets.iter().map(|tg| t.arity(tg)).collect();
         let strategy = self.pick_strategy(tree, t, targets.len());
+        self.tracer.emit(|| TraceEvent::TransformBegin {
+            transform: t.name().to_string(),
+            targets: targets.len(),
+            strategy: format!("{strategy:?}"),
+        });
         let space = StateSpace { arities: &arities };
 
         let mut best_state = vec![0usize; targets.len()];
@@ -470,6 +523,12 @@ impl<'a> TransformSession<'a> {
             }
             debug_assert!(tree.validate().is_ok(), "{:?} broke the tree", t.name());
         }
+        self.tracer.emit(|| TraceEvent::TransformEnd {
+            transform: t.name().to_string(),
+            best_state: best_state.clone(),
+            interleaved: best_sub.iter().any(|&b| b),
+            cost: best_cost,
+        });
         Ok(Some(format!(
             "{} target(s), strategy {:?}, best state {:?}{}, cost {:.0}",
             targets.len(),
@@ -538,7 +597,9 @@ impl<'a> TransformSession<'a> {
         };
 
         // base state (no interleaved merges)
-        if let Some(cost) = self.optimize_copy(&copy, budget_of(&best))? {
+        let base_cost = self.optimize_copy(&copy, budget_of(&best))?;
+        self.trace_state(t, state, vec![false; created.len()], base_cost);
+        if let Some(cost) = base_cost {
             best = Some((cost, vec![false; created.len()]));
         }
 
@@ -577,7 +638,9 @@ impl<'a> TransformSession<'a> {
                 if !ok {
                     continue;
                 }
-                if let Some(cost) = self.optimize_copy(&merged_copy, budget_of(&best))? {
+                let merged_cost = self.optimize_copy(&merged_copy, budget_of(&best))?;
+                self.trace_state(t, state, sub.clone(), merged_cost);
+                if let Some(cost) = merged_cost {
                     if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
                         best = Some((cost, sub));
                     }
@@ -587,11 +650,35 @@ impl<'a> TransformSession<'a> {
         Ok(best)
     }
 
+    /// Emits one `StateCosted` event (and `CutoffTaken` when the cost
+    /// cut-off fired) for a just-costed `(state, merges)` combination.
+    fn trace_state(
+        &self,
+        t: &dyn CbTransform,
+        state: &[usize],
+        merges: Vec<bool>,
+        cost: Option<f64>,
+    ) {
+        self.tracer.emit(|| TraceEvent::StateCosted {
+            transform: t.name().to_string(),
+            state: state.to_vec(),
+            merges,
+            cost,
+        });
+        if cost.is_none() {
+            self.tracer.emit(|| TraceEvent::CutoffTaken {
+                transform: t.name().to_string(),
+                state: state.to_vec(),
+            });
+        }
+    }
+
     fn optimize_copy(&mut self, copy: &QueryTree, budget: f64) -> Result<Option<f64>> {
         *self.states += 1;
         let mut opt = Optimizer::new(self.catalog, self.annotations, self.sampling_cache);
         opt.sampler = self.sampler;
         opt.config = self.config.optimizer.clone();
+        opt.tracer = self.tracer;
         let budget = if self.config.cost_cutoff && budget.is_finite() {
             Some(budget)
         } else {
@@ -602,7 +689,10 @@ impl<'a> TransformSession<'a> {
         self.stats.annotation_hits += opt.stats.annotation_hits;
         match res {
             Ok(plan) => Ok(Some(plan.cost)),
-            Err(e) if is_cutoff(&e) => Ok(None),
+            Err(e) if is_cutoff(&e) => {
+                *self.cutoffs += 1;
+                Ok(None)
+            }
             Err(e) => Err(e),
         }
     }

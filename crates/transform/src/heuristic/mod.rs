@@ -32,6 +32,19 @@ impl HeuristicReport {
             + self.predicates_pushed
             + self.groups_pruned
     }
+
+    /// One-line human-readable summary (shared by EXPLAIN and the trace).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} SPJ view merge(s), {} join(s) eliminated, {} subquery merge(s), \
+             {} predicate move(s), {} grouping set(s) pruned",
+            self.spj_views_merged,
+            self.joins_eliminated,
+            self.subqueries_merged,
+            self.predicates_pushed,
+            self.groups_pruned,
+        )
+    }
 }
 
 /// Runs the full heuristic pipeline to a fixpoint (bounded).

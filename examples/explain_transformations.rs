@@ -19,26 +19,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          CREATE INDEX i_emp_dept ON employees (dept_id);",
     )?;
     for l in 0..6i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO locations VALUES ({l}, '{}')",
             if l % 2 == 0 { "US" } else { "UK" }
         ))?;
     }
     for d in 0..12i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO departments VALUES ({d}, 'd{d}', {})",
             d % 6
         ))?;
     }
     for e in 0..600i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO employees VALUES ({e}, 'e{e}', {}, {})",
             e % 12,
             500 + (e * 77) % 4000
         ))?;
     }
     for j in 0..300i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO job_history VALUES ({}, 't{}', {}, {})",
             j % 600,
             j % 5,
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             j % 12
         ))?;
     }
-    db.execute("ANALYZE")?;
+    db.execute_mut("ANALYZE")?;
 
     let q1 = "SELECT e1.employee_name, j.job_title
               FROM employees e1, job_history j

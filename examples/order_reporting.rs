@@ -21,17 +21,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          CREATE INDEX i_arch_cust ON archived_orders (cust_id);",
     )?;
     for r in 0..5i64 {
-        db.execute(&format!("INSERT INTO regions VALUES ({r}, 'region{r}')"))?;
+        db.execute_mut(&format!("INSERT INTO regions VALUES ({r}, 'region{r}')"))?;
     }
     for c in 0..120i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO customers VALUES ({c}, {}, '{}')",
             c % 5,
             if c % 3 == 0 { "corp" } else { "retail" }
         ))?;
     }
     for o in 0..2000i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO orders VALUES ({o}, {}, {}, {}, '{}')",
             o % 120,
             10 + (o * 97) % 990,
@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))?;
     }
     for o in 0..1200i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO archived_orders VALUES ({}, {}, {}, {}, 'filled')",
             10_000 + o,
             o % 120,
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             20230000 + o,
         ))?;
     }
-    db.execute("ANALYZE")?;
+    db.execute_mut("ANALYZE")?;
 
     // 1. join factorization: customers joined identically in both UNION
     //    ALL branches gets pulled out

@@ -25,19 +25,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // a little data
     for d in 0..8 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO departments VALUES ({d}, 'dept{d}', {})",
             d % 3
         ))?;
     }
     for e in 0..200 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO employees VALUES ({e}, 'emp{e}', {}, {})",
             e % 8,
             1000 + (e * 37) % 5000
         ))?;
     }
-    db.execute("ANALYZE")?;
+    db.execute_mut("ANALYZE")?;
 
     // a correlated aggregate subquery — the paper's flagship example:
     // should this be evaluated row-by-row (with an index on the

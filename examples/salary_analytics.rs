@@ -24,19 +24,19 @@ fn setup() -> Result<Database, Box<dyn std::error::Error>> {
     )?;
     let countries = ["US", "UK", "DE", "JP"];
     for l in 0..12i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO locations VALUES ({l}, '{}')",
             countries[(l % 4) as usize]
         ))?;
     }
     for d in 0..30i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO departments VALUES ({d}, 'dept{d}', {})",
             d % 12
         ))?;
     }
     for e in 0..1500i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO employees VALUES ({e}, 'emp{e}', {}, {}, {})",
             e % 30,
             800 + (e * 131) % 9000,
@@ -44,7 +44,7 @@ fn setup() -> Result<Database, Box<dyn std::error::Error>> {
         ))?;
     }
     for j in 0..900i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO job_history VALUES ({}, 'title{}', {}, {})",
             j % 1500,
             j % 7,
@@ -52,7 +52,7 @@ fn setup() -> Result<Database, Box<dyn std::error::Error>> {
             j % 30
         ))?;
     }
-    db.execute("ANALYZE")?;
+    db.execute_mut("ANALYZE")?;
     Ok(db)
 }
 

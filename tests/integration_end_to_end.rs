@@ -23,14 +23,14 @@ fn hr_database() -> Database {
     .unwrap();
     let countries = ["US", "UK", "DE"];
     for l in 0..9i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO locations VALUES ({l}, '{}', 'city{l}')",
             countries[(l % 3) as usize]
         ))
         .unwrap();
     }
     for d in 0..15i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO departments VALUES ({d}, 'dept{d}', {})",
             d % 9
         ))
@@ -107,7 +107,7 @@ fn paper_q1_runs_and_is_stable_across_modes() {
 
 #[test]
 fn aggregations_and_rollup() {
-    let mut db = hr_database();
+    let db = hr_database();
     let r = db
         .query(
             "SELECT v.country_id, v.dept_id, v.total FROM
@@ -129,7 +129,7 @@ fn aggregations_and_rollup() {
 
 #[test]
 fn outer_join_and_elimination() {
-    let mut db = hr_database();
+    let db = hr_database();
     // join elimination: departments contributes nothing
     let elim = db
         .query(
@@ -159,7 +159,7 @@ fn outer_join_and_elimination() {
 
 #[test]
 fn set_operations() {
-    let mut db = hr_database();
+    let db = hr_database();
     let minus = db
         .query(
             "SELECT d.dept_id FROM departments d MINUS \
@@ -178,7 +178,7 @@ fn set_operations() {
 
 #[test]
 fn window_functions_over_groups() {
-    let mut db = hr_database();
+    let db = hr_database();
     let r = db
         .query(
             "SELECT dept_id, total, SUM(total) OVER (ORDER BY dept_id) cumulative FROM
@@ -199,7 +199,7 @@ fn window_functions_over_groups() {
 
 #[test]
 fn rownum_topk_semantics() {
-    let mut db = hr_database();
+    let db = hr_database();
     let r = db
         .query(
             "SELECT v.employee_name, v.salary FROM
@@ -219,7 +219,7 @@ fn rownum_topk_semantics() {
 
 #[test]
 fn multi_level_nesting() {
-    let mut db = hr_database();
+    let db = hr_database();
     let r = db
         .query(
             "SELECT d.department_name FROM departments d
@@ -233,7 +233,7 @@ fn multi_level_nesting() {
 
 #[test]
 fn not_in_null_trap() {
-    let mut db = hr_database();
+    let db = hr_database();
     // dept_id of employees contains NULLs → NOT IN yields nothing
     let r = db
         .query(
@@ -254,7 +254,7 @@ fn not_in_null_trap() {
 
 #[test]
 fn quantified_comparisons() {
-    let mut db = hr_database();
+    let db = hr_database();
     let all = db
         .query(
             "SELECT e.emp_id FROM employees e WHERE e.salary >= ALL \
@@ -274,7 +274,7 @@ fn quantified_comparisons() {
 
 #[test]
 fn union_all_with_order_by() {
-    let mut db = hr_database();
+    let db = hr_database();
     let r = db
         .query(
             "SELECT emp_id id FROM employees WHERE salary > 7500
@@ -294,7 +294,7 @@ fn union_all_with_order_by() {
 
 #[test]
 fn explain_is_consistent_with_execution() {
-    let mut db = hr_database();
+    let db = hr_database();
     let sql = "SELECT e.employee_name FROM employees e WHERE e.dept_id = 3";
     let plan = db.explain(sql).unwrap();
     assert!(plan.contains("INDEX EQ"), "index access expected:\n{plan}");
@@ -306,7 +306,7 @@ fn explain_is_consistent_with_execution() {
 fn estimated_cost_correlates_with_work() {
     // the cost model and the work counter share weights: across queries of
     // very different sizes, ordering by cost must order by work
-    let mut db = hr_database();
+    let db = hr_database();
     let small = db
         .query("SELECT emp_id FROM employees WHERE emp_id = 7")
         .unwrap();

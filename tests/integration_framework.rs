@@ -197,7 +197,8 @@ fn cost_based_decisions_flip_with_data() {
         )
         .unwrap();
         if with_index {
-            d.execute("CREATE INDEX i_inner_k ON inner_t (k)").unwrap();
+            d.execute_mut("CREATE INDEX i_inner_k ON inner_t (k)")
+                .unwrap();
         }
         d.load_rows(
             "outer_t",
@@ -225,7 +226,7 @@ fn cost_based_decisions_flip_with_data() {
     // large outer, no index: unnesting should win
     let sql_big = "SELECT o.id FROM outer_t o WHERE o.k > \
                    (SELECT AVG(i.val) FROM inner_t i WHERE i.k = o.k)";
-    let mut unnest_db = build(2000, 4000, false);
+    let unnest_db = build(2000, 4000, false);
     let unnest_plan = unnest_db.explain(sql_big).unwrap();
     let tis_chose_unnest = tis_plan.contains("best state [1]");
     let big_chose_unnest = unnest_plan.contains("best state [1]");

@@ -80,10 +80,10 @@ fn greedy_enumeration_beyond_dp_limit() {
     // a 6-table chain with dp_max_items lowered to 3 exercises the
     // greedy fallback; results must match the DP plan's results
     let mut db = Database::new();
-    db.execute("CREATE TABLE t0 (id INT PRIMARY KEY, nxt INT)")
+    db.execute_mut("CREATE TABLE t0 (id INT PRIMARY KEY, nxt INT)")
         .unwrap();
     for i in 1..6 {
-        db.execute(&format!("CREATE TABLE t{i} (id INT PRIMARY KEY, nxt INT)"))
+        db.execute_mut(&format!("CREATE TABLE t{i} (id INT PRIMARY KEY, nxt INT)"))
             .unwrap();
     }
     for t in 0..6 {
@@ -107,9 +107,9 @@ fn greedy_enumeration_beyond_dp_limit() {
 #[test]
 fn unanalyzed_tables_use_dynamic_sampling() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE big (id INT PRIMARY KEY, k INT)")
+    db.execute_mut("CREATE TABLE big (id INT PRIMARY KEY, k INT)")
         .unwrap();
-    db.execute("CREATE TABLE small (id INT PRIMARY KEY, k INT)")
+    db.execute_mut("CREATE TABLE small (id INT PRIMARY KEY, k INT)")
         .unwrap();
     let mut rows = Vec::new();
     for i in 0..5000i64 {

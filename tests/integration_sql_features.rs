@@ -34,7 +34,7 @@ fn db() -> Database {
 
 #[test]
 fn window_desc_and_multiple_windows() {
-    let mut d = db();
+    let d = db();
     let r = d
         .query(
             "SELECT id,
@@ -61,7 +61,7 @@ fn window_desc_and_multiple_windows() {
 
 #[test]
 fn union_distinct_treats_null_rows_as_equal() {
-    let mut d = db();
+    let d = db();
     let r = d
         .query(
             "SELECT rep FROM sales WHERE rep IS NULL
@@ -75,7 +75,7 @@ fn union_distinct_treats_null_rows_as_equal() {
 
 #[test]
 fn intersect_matches_nulls() {
-    let mut d = db();
+    let d = db();
     let r = d
         .query(
             "SELECT rep FROM sales WHERE day = 0
@@ -90,7 +90,7 @@ fn intersect_matches_nulls() {
 
 #[test]
 fn case_with_operand_form() {
-    let mut d = db();
+    let d = db();
     let r = d
         .query(
             "SELECT CASE region WHEN 'east' THEN 1 WHEN 'west' THEN 2 ELSE 0 END
@@ -102,7 +102,7 @@ fn case_with_operand_form() {
 
 #[test]
 fn string_functions() {
-    let mut d = db();
+    let d = db();
     let r = d
         .query(
             "SELECT UPPER(region), LOWER(UPPER(region)), LENGTH(region),
@@ -118,7 +118,7 @@ fn string_functions() {
 
 #[test]
 fn multi_column_in_subquery() {
-    let mut d = db();
+    let d = db();
     let r = d
         .query(
             "SELECT COUNT(*) FROM sales s WHERE (s.rep, s.region) IN
@@ -131,7 +131,7 @@ fn multi_column_in_subquery() {
 
 #[test]
 fn deeply_nested_views_merge_away() {
-    let mut d = db();
+    let d = db();
     let plan = d
         .explain(
             "SELECT w.a FROM (SELECT v.a a FROM (SELECT u.a a FROM \
@@ -153,7 +153,7 @@ fn deeply_nested_views_merge_away() {
 
 #[test]
 fn distinct_count_aggregate() {
-    let mut d = db();
+    let d = db();
     let r = d
         .query("SELECT COUNT(DISTINCT region), COUNT(region) FROM sales")
         .unwrap();
@@ -163,7 +163,7 @@ fn distinct_count_aggregate() {
 
 #[test]
 fn group_by_expression_key() {
-    let mut d = db();
+    let d = db();
     let r = d
         .query("SELECT MOD(amount, 2), COUNT(*) FROM sales GROUP BY MOD(amount, 2) ORDER BY 1")
         .unwrap();
@@ -174,7 +174,7 @@ fn group_by_expression_key() {
 
 #[test]
 fn in_list_with_null_semantics() {
-    let mut d = db();
+    let d = db();
     // rep IN (0, NULL): matches rep=0; NULL rep rows are unknown → out
     let with_null = d
         .query("SELECT COUNT(*) FROM sales WHERE rep IN (0, NULL)")
@@ -192,7 +192,7 @@ fn in_list_with_null_semantics() {
 
 #[test]
 fn order_by_nulls_first_and_last() {
-    let mut d = db();
+    let d = db();
     let first = d
         .query("SELECT rep FROM sales ORDER BY rep ASC NULLS FIRST")
         .unwrap();
@@ -205,7 +205,7 @@ fn order_by_nulls_first_and_last() {
 
 #[test]
 fn scalar_subquery_in_select_list() {
-    let mut d = db();
+    let d = db();
     let r = d
         .query(
             "SELECT s.id, (SELECT MAX(s2.amount) FROM sales s2 WHERE s2.rep = s.rep) m
@@ -220,7 +220,7 @@ fn scalar_subquery_in_select_list() {
 
 #[test]
 fn having_without_group_by() {
-    let mut d = db();
+    let d = db();
     let r = d
         .query("SELECT COUNT(*) FROM sales HAVING COUNT(*) > 10")
         .unwrap();
@@ -232,7 +232,7 @@ fn having_without_group_by() {
 }
 #[test]
 fn fromless_select() {
-    let mut db = cbqt::Database::new();
+    let db = cbqt::Database::new();
     let r = db.query("SELECT 1, 2 + 3").unwrap();
     assert_eq!(
         r.rows,
@@ -245,7 +245,7 @@ fn fromless_select() {
 
 #[test]
 fn quantifiers_over_empty_sets() {
-    let mut d = db();
+    let d = db();
     // ALL over the empty set is TRUE for every row
     let r = d
         .query(

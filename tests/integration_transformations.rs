@@ -19,14 +19,14 @@ fn db_with_data(seed: i64) -> Database {
     )
     .unwrap();
     for l in 0..8i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO locations VALUES ({l}, '{}')",
             if (l + seed) % 2 == 0 { "US" } else { "UK" }
         ))
         .unwrap();
     }
     for d in 0..20i64 {
-        db.execute(&format!(
+        db.execute_mut(&format!(
             "INSERT INTO departments VALUES ({d}, 'dept{d}', {})",
             (d + seed) % 8
         ))
@@ -278,7 +278,7 @@ fn all_quantifier_with_nullable_lhs_not_unnested() {
 
 #[test]
 fn all_quantifier_with_non_null_lhs_still_unnests() {
-    let mut db = db_with_data(0);
+    let db = db_with_data(0);
     // emp_id is the NOT NULL primary key on both sides → unnestable
     let sql = "SELECT e.emp_id FROM employees e WHERE e.emp_id > ALL \
                (SELECT j.emp_id FROM job_history j, departments d \
