@@ -12,6 +12,7 @@ fn bench(c: &mut Harness) {
     let mut g = c.benchmark_group("fig2_cbqt_vs_heuristic");
     g.sample_size(10);
     for i in batch.iter_mut() {
+        i.db.set_plan_cache_enabled(false);
         i.db.config_mut().cost_based = false;
     }
     g.bench_function("heuristic_mode", |b| {

@@ -12,6 +12,7 @@ fn bench(c: &mut Harness) {
     let sql = inst.sql.clone();
     let mut g = c.benchmark_group("fig3_unnesting");
     g.sample_size(20);
+    inst.db.set_plan_cache_enabled(false);
     inst.db.config_mut().transforms.unnest = false;
     inst.db.config_mut().heuristic_unnest_merge = false;
     g.bench_function("unnesting_disabled", |b| {

@@ -11,6 +11,7 @@ fn bench(c: &mut Harness) {
     let sql = inst.sql.clone();
     let mut g = c.benchmark_group("fig4_jppd");
     g.sample_size(20);
+    inst.db.set_plan_cache_enabled(false);
     inst.db.config_mut().transforms.jppd = false;
     g.bench_function("jppd_disabled", |b| {
         b.iter(|| inst.db.query(&sql).unwrap().rows.len())

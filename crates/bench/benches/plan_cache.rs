@@ -1,0 +1,28 @@
+//! Repeated-query serving throughput: cold (plan cache cleared before
+//! every execution, so each rep pays the full CBQT search) vs warm
+//! (plan served from the shared cache). The acceptance bar for the
+//! cache is a ≥5× speedup on hits.
+
+use cbqt_bench::workload::{Family, WorkloadGen};
+use cbqt_testkit::bench::Harness;
+
+fn bench(c: &mut Harness) {
+    let mut gen = WorkloadGen::new(27);
+    gen.scale = 0.1;
+    let inst = gen.generate(Family::Unnest, 1).pop().unwrap();
+    let (db, sql) = (inst.db, inst.sql);
+    let mut g = c.benchmark_group("plan_cache");
+    g.sample_size(30);
+    g.bench_function("cold_compile_each_rep", |b| {
+        b.iter(|| {
+            db.clear_plan_cache();
+            db.query(&sql).unwrap().rows.len()
+        })
+    });
+    g.bench_function("warm_cache_hit", |b| {
+        b.iter(|| db.query(&sql).unwrap().rows.len())
+    });
+    g.finish();
+}
+
+cbqt_testkit::bench_main!(bench);

@@ -46,6 +46,9 @@ impl Measurement {
 }
 
 fn measure(db: &mut Database, sql: &str, reps: usize) -> (Measurement, Vec<String>) {
+    // these experiments time the optimizer itself: repeated reps must
+    // keep exercising the CBQT search, not the serving-path plan cache
+    db.set_plan_cache_enabled(false);
     let mut best: Option<Measurement> = None;
     let mut rows = Vec::new();
     for _ in 0..reps.max(1) {
@@ -121,12 +124,7 @@ impl ExperimentReport {
     fn build(name: &str, mut results: Vec<InstanceResult>) -> ExperimentReport {
         // rank by baseline expense ("top N longest running without the
         // transformation", as in the paper)
-        results.sort_by(|a, b| {
-            b.base
-                .total_units()
-                .partial_cmp(&a.base.total_units())
-                .unwrap()
-        });
+        results.sort_by(|a, b| b.base.total_units().total_cmp(&a.base.total_units()));
         let n = results.len().max(1);
         let mut buckets = Vec::new();
         for pct in [5.0, 10.0, 25.0, 50.0, 80.0, 100.0] {
@@ -404,6 +402,8 @@ pub fn run_table2(seed: u64, reps: usize) -> String {
     // NOT EXISTS, IN), all valid for unnesting
     let base = gen.generate(Family::Unnest, 1).pop().unwrap();
     let mut db = base.db;
+    // Table 2 times the search strategies; keep the plan cache out
+    db.set_plan_cache_enabled(false);
     let sql = "SELECT e1.employee_name \
         FROM employees e1, job_history j, departments d0 \
         WHERE e1.emp_id = j.emp_id AND e1.dept_id = d0.dept_id AND \

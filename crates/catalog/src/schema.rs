@@ -108,11 +108,29 @@ pub struct Catalog {
     tables: Vec<Table>,
     by_name: HashMap<String, TableId>,
     indexes: Vec<Index>,
+    /// Monotonic schema/statistics version (see [`Catalog::version`]).
+    version: u64,
 }
 
 impl Catalog {
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// The catalog's monotonic version counter: bumped by every DDL
+    /// (table/index creation) and every mutable table access (the path
+    /// statistics updates take). Plans compiled under an older version
+    /// may rely on schema or statistics that no longer hold — the plan
+    /// cache uses this counter as its invalidation guard.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Records a schema- or data-visible change that plans may depend
+    /// on (callers that mutate storage without touching the catalog —
+    /// DML — bump explicitly through this).
+    pub fn bump_version(&mut self) {
+        self.version += 1;
     }
 
     /// Registers a table; fails on duplicate name.
@@ -138,6 +156,7 @@ impl Catalog {
             stats: TableStats::default(),
         });
         self.by_name.insert(key, id);
+        self.bump_version();
         Ok(id)
     }
 
@@ -193,6 +212,7 @@ impl Catalog {
             columns,
             unique,
         });
+        self.bump_version();
         Ok(id)
     }
 
@@ -202,7 +222,10 @@ impl Catalog {
             .ok_or_else(|| Error::catalog(format!("unknown table id {}", id.0)))
     }
 
+    /// Mutable table access — the path statistics recomputation takes,
+    /// so it conservatively counts as a version bump.
     pub fn table_mut(&mut self, id: TableId) -> Result<&mut Table> {
+        self.bump_version();
         self.tables
             .get_mut(id.0 as usize)
             .ok_or_else(|| Error::catalog(format!("unknown table id {}", id.0)))
@@ -343,6 +366,24 @@ mod tests {
         assert!(cat.add_index("i_bad", emp, vec![9], false).is_err());
         assert!(cat.has_index_with_leading(emp, 1));
         assert!(!cat.has_index_with_leading(emp, 2));
+    }
+
+    #[test]
+    fn version_bumps_on_ddl_and_mutable_access() {
+        let (mut cat, _, emp) = sample();
+        let v0 = cat.version();
+        cat.add_index("i_emp_dept", emp, vec![1], false).unwrap();
+        let v1 = cat.version();
+        assert!(v1 > v0);
+        // the statistics-update path goes through table_mut
+        cat.table_mut(emp).unwrap().stats.rows = 7;
+        assert!(cat.version() > v1);
+        let v2 = cat.version();
+        cat.bump_version();
+        assert_eq!(cat.version(), v2 + 1);
+        // read-only access does not bump
+        let _ = cat.table(emp).unwrap();
+        assert_eq!(cat.version(), v2 + 1);
     }
 
     #[test]

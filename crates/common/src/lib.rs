@@ -14,6 +14,19 @@ pub use error::{Error, Result};
 pub use trace::{TraceBuffer, TraceEvent, TraceSink, Tracer};
 pub use value::{DataType, Datum, Row, Value};
 
+/// Total-order "strictly cheaper" comparison for plan costs.
+///
+/// Cost arithmetic can produce NaN (degenerate statistics, 0/0 in
+/// selectivity math); `f64::total_cmp` sorts NaN *above* `+∞`, so a NaN
+/// cost never wins against any finite or infinite alternative and never
+/// panics the way `partial_cmp().unwrap()` does. Every cost comparison
+/// in the optimizer and the transformation framework goes through this
+/// helper (or `total_cmp` directly for sorts).
+#[inline]
+pub fn cost_lt(a: f64, b: f64) -> bool {
+    a.total_cmp(&b) == std::cmp::Ordering::Less
+}
+
 /// Truth value of SQL three-valued logic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Truth {

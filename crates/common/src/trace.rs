@@ -74,6 +74,20 @@ pub enum TraceEvent {
     QueryRewritten { before: String, after: String },
     /// Final physical plan summary for the transformed query.
     FinalPlan { cost: f64, est_rows: f64 },
+    /// The shared plan cache served a fully optimized plan for this
+    /// normalized SQL text (compiled under the current catalog version).
+    PlanCacheHit { key: String, version: u64 },
+    /// No cached plan existed for this normalized SQL text; the query
+    /// goes through the full CBQT pipeline and the result is cached.
+    PlanCacheMiss { key: String },
+    /// A cached plan existed but was compiled under an older catalog
+    /// version (DDL or statistics changed since); it was evicted and the
+    /// query re-optimized.
+    PlanCacheInvalidated {
+        key: String,
+        cached_version: u64,
+        current_version: u64,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -125,6 +139,18 @@ impl fmt::Display for TraceEvent {
             TraceEvent::FinalPlan { cost, est_rows } => {
                 write!(f, "FINAL PLAN cost={cost:.0} est_rows={est_rows:.0}")
             }
+            TraceEvent::PlanCacheHit { key, version } => {
+                write!(f, "PLAN CACHE HIT v{version} {key}")
+            }
+            TraceEvent::PlanCacheMiss { key } => write!(f, "PLAN CACHE MISS {key}"),
+            TraceEvent::PlanCacheInvalidated {
+                key,
+                cached_version,
+                current_version,
+            } => write!(
+                f,
+                "PLAN CACHE INVALIDATED v{cached_version} -> v{current_version} {key}"
+            ),
         }
     }
 }

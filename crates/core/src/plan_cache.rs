@@ -1,0 +1,316 @@
+//! Shared plan cache: normalized SQL text → fully optimized plan.
+//!
+//! The paper's §3.4.2 cost annotations memoize query-block costs
+//! *within* one CBQT search; this module memoizes the *whole* search
+//! across queries — the analogue of Oracle's shared cursor cache, and
+//! the piece a serving path needs once transformation cost dominates
+//! repeated traffic.
+//!
+//! Design:
+//!
+//! - **Keying**: the normalized query text ([`normalize_sql`] —
+//!   case-folded outside string literals, whitespace collapsed,
+//!   trailing semicolons stripped). The full normalized string is the
+//!   map key, so hash collisions can never serve the wrong plan.
+//! - **Invalidation**: every entry records the
+//!   [`Catalog::version`](cbqt_catalog::Catalog::version) it was
+//!   compiled under. DDL, statistics recomputation and DML all bump
+//!   that counter; a lookup under a newer version evicts the stale
+//!   entry and reports [`Lookup::Invalidated`]. Stale plans are never
+//!   served.
+//! - **Concurrency**: the cache is sharded over `std::sync::Mutex`es
+//!   (the build stays hermetic — no external lock crates) with atomic
+//!   hit/miss/invalidation counters, so `&self` lookups from many
+//!   threads contend only within a shard. Plans are stored behind
+//!   `Arc<BlockPlan>`: immutable, shareable, executed by a fresh
+//!   per-query [`Engine`](cbqt_exec::Engine) that owns all mutable
+//!   execution state.
+//! - **Bounding**: a stamp-based LRU per shard; inserting past capacity
+//!   evicts the least-recently-used entry of that shard.
+
+use cbqt_optimizer::BlockPlan;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards.
+pub const DEFAULT_SHARDS: usize = 8;
+/// Maximum entries per shard (cache-wide bound = shards × this).
+pub const DEFAULT_SHARD_CAPACITY: usize = 64;
+
+/// One cached compilation: the immutable physical plan plus the output
+/// column names (so a cache hit skips query-tree construction entirely).
+#[derive(Clone)]
+pub struct CachedPlan {
+    pub plan: Arc<BlockPlan>,
+    pub columns: Arc<Vec<String>>,
+    /// Catalog version the plan was compiled under.
+    pub version: u64,
+}
+
+struct Entry {
+    cached: CachedPlan,
+    /// Last-touch stamp from the shard clock (LRU order).
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<String, Entry>,
+    clock: u64,
+}
+
+/// Outcome of a cache probe.
+pub enum Lookup {
+    /// A plan compiled under the current catalog version was found.
+    Hit(CachedPlan),
+    /// No entry for this key.
+    Miss,
+    /// An entry existed but was compiled under an older catalog
+    /// version; it has been evicted.
+    Invalidated { cached_version: u64 },
+}
+
+/// Monotonic counters describing cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub invalidations: u64,
+    /// Current number of cached plans across all shards.
+    pub entries: usize,
+}
+
+/// A bounded, sharded, invalidation-correct plan cache. `Send + Sync`;
+/// all operations take `&self`.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_SHARDS, DEFAULT_SHARD_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    pub fn new(shards: usize, shard_capacity: usize) -> PlanCache {
+        PlanCache {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            shard_capacity: shard_capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Probes the cache under the caller's current catalog version. A
+    /// version mismatch evicts the entry and reports `Invalidated` — a
+    /// stale plan is never returned.
+    pub fn lookup(&self, key: &str, current_version: u64) -> Lookup {
+        let result = {
+            let mut shard = self.shard(key).lock().unwrap();
+            shard.clock += 1;
+            let stamp = shard.clock;
+            match shard.map.get_mut(key) {
+                Some(e) if e.cached.version == current_version => {
+                    e.stamp = stamp;
+                    Lookup::Hit(e.cached.clone())
+                }
+                Some(_) => {
+                    let stale = shard.map.remove(key).unwrap();
+                    Lookup::Invalidated {
+                        cached_version: stale.cached.version,
+                    }
+                }
+                None => Lookup::Miss,
+            }
+        };
+        match &result {
+            Lookup::Hit(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Lookup::Invalidated { .. } => {
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            Lookup::Miss => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Inserts a freshly compiled plan, evicting the shard's
+    /// least-recently-used entry if the shard is full.
+    pub fn insert(&self, key: String, cached: CachedPlan) {
+        let mut shard = self.shard(&key).lock().unwrap();
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&key) {
+            if let Some(lru) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&lru);
+            }
+        }
+        shard.map.insert(key, Entry { cached, stamp });
+    }
+
+    /// Drops every cached plan (configuration changes invalidate
+    /// everything: the same SQL can compile to a different plan).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut s = s.lock().unwrap();
+            s.map.clear();
+        }
+    }
+
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap().map.len())
+                .sum(),
+        }
+    }
+}
+
+/// Normalizes SQL text into a cache key: whitespace runs collapse to
+/// one space, everything outside single-quoted string literals is
+/// lowercased (`''` escapes respected), and trailing semicolons are
+/// stripped. `SELECT  1` and `select 1;` share a plan; `'ABC'` and
+/// `'abc'` do not.
+pub fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut chars = sql.chars().peekable();
+    let mut in_literal = false;
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        if in_literal {
+            out.push(c);
+            if c == '\'' {
+                if chars.peek() == Some(&'\'') {
+                    out.push(chars.next().unwrap());
+                } else {
+                    in_literal = false;
+                }
+            }
+            continue;
+        }
+        if c.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space && !out.is_empty() {
+            out.push(' ');
+        }
+        pending_space = false;
+        if c == '\'' {
+            in_literal = true;
+            out.push(c);
+        } else {
+            out.push(c.to_ascii_lowercase());
+        }
+    }
+    while matches!(out.chars().last(), Some(';') | Some(' ')) {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbqt_optimizer::PlanRoot;
+    use cbqt_qgm::{BlockId, SetOp};
+
+    fn plan(cost: f64) -> CachedPlan {
+        CachedPlan {
+            plan: Arc::new(BlockPlan {
+                block: BlockId(0),
+                root: PlanRoot::SetOp(cbqt_optimizer::SetOpPlan {
+                    op: SetOp::Union,
+                    inputs: vec![],
+                }),
+                cost,
+                rows: 0.0,
+                out_ndv: vec![],
+            }),
+            columns: Arc::new(vec![]),
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn normalization_rules() {
+        assert_eq!(normalize_sql("SELECT  1"), "select 1");
+        assert_eq!(normalize_sql("select 1;"), "select 1");
+        assert_eq!(normalize_sql("  SELECT\n\t1 ; "), "select 1");
+        assert_eq!(
+            normalize_sql("SELECT 'ABC''D'  FROM T"),
+            "select 'ABC''D' from t"
+        );
+        // literal casing is preserved, so these are distinct keys
+        assert_ne!(normalize_sql("SELECT 'A'"), normalize_sql("SELECT 'a'"));
+        assert_eq!(
+            normalize_sql("SELECT * FROM t WHERE a = 'x y  z'"),
+            "select * from t where a = 'x y  z'"
+        );
+    }
+
+    #[test]
+    fn hit_miss_invalidate() {
+        let cache = PlanCache::default();
+        assert!(matches!(cache.lookup("k", 0), Lookup::Miss));
+        let mut p = plan(10.0);
+        p.version = 3;
+        cache.insert("k".into(), p);
+        assert!(matches!(cache.lookup("k", 3), Lookup::Hit(c) if c.plan.cost == 10.0));
+        // newer catalog version evicts
+        assert!(matches!(
+            cache.lookup("k", 4),
+            Lookup::Invalidated { cached_version: 3 }
+        ));
+        // and the stale entry is gone, not served again
+        assert!(matches!(cache.lookup("k", 4), Lookup::Miss));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 3, 1));
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded() {
+        let cache = PlanCache::new(1, 3);
+        for i in 0..3 {
+            cache.insert(format!("q{i}"), plan(i as f64));
+        }
+        // touch q0 so q1 becomes the LRU
+        assert!(matches!(cache.lookup("q0", 0), Lookup::Hit(_)));
+        cache.insert("q3".into(), plan(3.0));
+        assert_eq!(cache.stats().entries, 3);
+        assert!(matches!(cache.lookup("q1", 0), Lookup::Miss));
+        assert!(matches!(cache.lookup("q0", 0), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup("q3", 0), Lookup::Hit(_)));
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

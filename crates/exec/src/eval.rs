@@ -131,7 +131,7 @@ impl<'a> EvalCtx<'a> {
                 let p = self.eval(pattern, row)?;
                 match (v.as_str(), p.as_str()) {
                     (Some(s), Some(pat)) => {
-                        let m = like_match(s.as_bytes(), pat.as_bytes());
+                        let m = like_match(s, pat);
                         Ok(Value::Bool(m != *negated))
                     }
                     _ => Ok(Value::Null),
@@ -468,14 +468,41 @@ fn display_raw(v: &Value) -> String {
     }
 }
 
-/// SQL LIKE matcher (`%` any run, `_` one char; no escape support).
-pub fn like_match(s: &[u8], p: &[u8]) -> bool {
-    match p.first() {
-        None => s.is_empty(),
-        Some(b'%') => (0..=s.len()).any(|i| like_match(&s[i..], &p[1..])),
-        Some(b'_') => !s.is_empty() && like_match(&s[1..], &p[1..]),
-        Some(c) => s.first() == Some(c) && like_match(&s[1..], &p[1..]),
+/// SQL LIKE matcher (`%` any run, `_` exactly one character; no escape
+/// support).
+///
+/// Iterative two-pointer scan with single-level `%` backtracking —
+/// O(len(s)·len(p)) worst case, unlike the naive recursive formulation
+/// whose `%` branch is exponential on patterns like `%a%a%a%…` — and it
+/// walks `char`s, so `_` consumes one whole character even in multi-byte
+/// UTF-8 text.
+pub fn like_match(s: &str, p: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = p.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    // position after the most recent `%`, and the input position its
+    // run currently extends to
+    let mut star: Option<(usize, usize)> = None;
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, si));
+            pi += 1;
+        } else if let Some((sp, ss)) = star {
+            // mismatch after a `%`: grow its run by one char and retry
+            star = Some((sp, ss + 1));
+            pi = sp;
+            si = ss + 1;
+        } else {
+            return false;
+        }
     }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 /// Window-function computation over a block's row set.
@@ -691,13 +718,43 @@ mod tests {
 
     #[test]
     fn like_matcher() {
-        assert!(like_match(b"hello", b"h%"));
-        assert!(like_match(b"hello", b"%llo"));
-        assert!(like_match(b"hello", b"h_llo"));
-        assert!(!like_match(b"hello", b"h_lo"));
-        assert!(like_match(b"", b"%"));
-        assert!(!like_match(b"abc", b""));
-        assert!(like_match(b"abc", b"%%c"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "h_lo"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", ""));
+        assert!(like_match("abc", "%%c"));
+        assert!(like_match("abc", "a%b%c"));
+        assert!(!like_match("abc", "a%b%d"));
+        assert!(like_match("mississippi", "%issi%ippi"));
+    }
+
+    #[test]
+    fn like_matcher_counts_chars_not_bytes() {
+        // `_` must consume one whole multi-byte character
+        assert!(like_match("déjà", "d_j_"));
+        assert!(like_match("日本語", "___"));
+        assert!(!like_match("日本語", "____"));
+        assert!(like_match("naïve", "na%ve"));
+        assert!(like_match("日本語", "日%"));
+    }
+
+    #[test]
+    fn like_matcher_pathological_pattern_is_fast() {
+        // the old recursive matcher was exponential on this shape; the
+        // iterative matcher is O(n·m) and finishes instantly
+        let s = "a".repeat(64);
+        let p = format!("{}b", "%a".repeat(24));
+        let t0 = std::time::Instant::now();
+        assert!(!like_match(&s, &p));
+        let q = format!("{}%", "%a".repeat(24));
+        assert!(like_match(&s, &q));
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "pathological LIKE took {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Property tests for the SQL LIKE matcher: the iterative two-pointer
+//! implementation must agree with the obviously-correct (but
+//! exponential) recursive reference on every generated string/pattern
+//! pair, and stay fast on adversarial `%`-heavy patterns.
+
+use cbqt_exec::eval::like_match;
+use cbqt_testkit::prop::string_of;
+use cbqt_testkit::props;
+
+/// The naive recursive definition of LIKE, over chars — correct by
+/// inspection, usable as an oracle only on short inputs because its `%`
+/// branch is exponential.
+fn like_reference(s: &[char], p: &[char]) -> bool {
+    match p.first() {
+        None => s.is_empty(),
+        Some('%') => (0..=s.len()).any(|i| like_reference(&s[i..], &p[1..])),
+        Some('_') => !s.is_empty() && like_reference(&s[1..], &p[1..]),
+        Some(c) => s.first() == Some(c) && like_reference(&s[1..], &p[1..]),
+    }
+}
+
+const SUBJECT: &str = "abcé日";
+const PATTERN: &str = "abcé日%_";
+
+props! {
+    fn like_matches_reference(s in string_of(SUBJECT, 0..=10), p in string_of(PATTERN, 0..=8)) {
+        let sc: Vec<char> = s.chars().collect();
+        let pc: Vec<char> = p.chars().collect();
+        assert_eq!(
+            like_match(&s, &p),
+            like_reference(&sc, &pc),
+            "s={s:?} p={p:?}"
+        );
+    }
+
+    fn literal_pattern_is_equality(s in string_of(SUBJECT, 0..=10)) {
+        // a pattern with no wildcards matches exactly itself
+        assert!(like_match(&s, &s));
+        assert!(like_match(&format!("x{s}"), &format!("_{s}")));
+        assert!(like_match(&s, &format!("{s}%")));
+        assert!(like_match(&s, &format!("%{s}")));
+    }
+}

@@ -101,7 +101,21 @@ impl<'a> Estimator<'a> {
     }
 
     /// Selectivity of a single conjunct over the in-scope relations.
+    ///
+    /// The result is always finite and in `[0, 1]`: degenerate
+    /// statistics (zero-NDV columns, zero-row tables, collapsed
+    /// min==max ranges) can drive the underlying math to NaN or ±∞, and
+    /// a non-finite selectivity would poison every cost downstream.
     pub fn selectivity(&self, e: &QExpr) -> f64 {
+        let s = self.selectivity_raw(e);
+        if s.is_finite() {
+            s.clamp(0.0, 1.0)
+        } else {
+            DEFAULT_SEL
+        }
+    }
+
+    fn selectivity_raw(&self, e: &QExpr) -> f64 {
         match e {
             QExpr::Bin {
                 op: BinOp::And,
@@ -457,6 +471,63 @@ mod tests {
             kind: SubqKind::Exists { negated: false },
         };
         assert_eq!(est.selectivity(&e), SUBQ_SEL);
+    }
+
+    #[test]
+    fn degenerate_stats_yield_finite_selectivity() {
+        // zero rows, zero NDV, collapsed min==max: every predicate must
+        // still get a finite selectivity in [0, 1]
+        let mut cat = Catalog::new();
+        let t = cat
+            .add_table(
+                "empty",
+                vec![Column {
+                    name: "a".into(),
+                    data_type: DataType::Int,
+                    not_null: false,
+                }],
+                vec![],
+            )
+            .unwrap();
+        {
+            let tbl = cat.table_mut(t).unwrap();
+            tbl.stats.analyzed = true;
+            tbl.stats.rows = 0;
+            tbl.stats.columns = vec![ColumnStats {
+                ndv: 0,
+                nulls: 0,
+                min: Some(Value::Int(5)),
+                max: Some(Value::Int(5)),
+                histogram: None,
+            }];
+        }
+        let mut rels = HashMap::new();
+        rels.insert(
+            RefId(0),
+            RelStats {
+                rows: 0.0,
+                ndv: vec![0.0],
+            },
+        );
+        let mut base = HashMap::new();
+        base.insert(RefId(0), t);
+        let est = Estimator {
+            catalog: &cat,
+            rels: &rels,
+            base: &base,
+        };
+        let col = || QExpr::col(RefId(0), 0);
+        for e in [
+            QExpr::eq(col(), QExpr::lit(5i64)),
+            QExpr::bin(BinOp::NotEq, col(), QExpr::lit(5i64)),
+            QExpr::bin(BinOp::Lt, col(), QExpr::lit(5i64)),
+            QExpr::bin(BinOp::GtEq, col(), QExpr::lit(5i64)),
+            QExpr::eq(col(), col()),
+            QExpr::Not(Box::new(QExpr::eq(col(), QExpr::lit(5i64)))),
+        ] {
+            let s = est.selectivity(&e);
+            assert!(s.is_finite() && (0.0..=1.0).contains(&s), "{e:?} -> {s}");
+        }
     }
 
     #[test]

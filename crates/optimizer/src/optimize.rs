@@ -5,7 +5,7 @@
 use crate::est::{Estimator, RelStats, DEFAULT_NDV_FRAC, DEFAULT_ROWS};
 use crate::plan::{weights, *};
 use cbqt_catalog::{Catalog, TableId};
-use cbqt_common::{Error, Result, TraceEvent, Tracer, Value};
+use cbqt_common::{cost_lt, Error, Result, TraceEvent, Tracer, Value};
 use cbqt_qgm::{
     render, BlockId, JoinInfo, QExpr, QTableSource, QueryBlock, QueryTree, RefId, SelectBlock,
     SetOp,
@@ -786,7 +786,11 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                 continue;
             }
             if let Some(p) = self.standalone(item) {
-                if start.as_ref().map(|(_, s)| p.cost < s.cost).unwrap_or(true) {
+                if start
+                    .as_ref()
+                    .map(|(_, s)| cost_lt(p.cost, s.cost))
+                    .unwrap_or(true)
+                {
                     start = Some((i, p));
                 }
             }
@@ -804,7 +808,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                 if let Some(cand) = self.extend(&cur, item)? {
                     if bestc
                         .as_ref()
-                        .map(|(_, b)| cand.cost < b.cost)
+                        .map(|(_, b)| cost_lt(cand.cost, b.cost))
                         .unwrap_or(true)
                     {
                         bestc = Some((i, cand));
@@ -971,7 +975,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                         + matched * weights::INDEX_FETCH
                         + matched * filter.len() as f64 * weights::PRED
                         + matched * expensive;
-                    if cost < best.1 {
+                    if cost_lt(cost, best.1) {
                         best = (
                             PlanNode::ScanBase {
                                 table: tid,
@@ -1023,7 +1027,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                     + matched * weights::INDEX_FETCH
                     + matched * filter.len() as f64 * weights::PRED
                     + matched * expensive;
-                if cost < best.1 {
+                if cost_lt(cost, best.1) {
                     // col < bound  => hi bound;  col > bound => lo bound
                     let inclusive = matches!(op, LtEq | GtEq);
                     let is_upper = matches!(op, Lt | LtEq) == col_is_left;
@@ -1359,10 +1363,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
             }
         }
 
-        let Some((node, cost)) = candidates
-            .into_iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        else {
+        let Some((node, cost)) = candidates.into_iter().min_by(|a, b| a.1.total_cmp(&b.1)) else {
             return Ok(None);
         };
         Ok(Some(Partial {

@@ -76,7 +76,7 @@ fn zipf_sample(n: u64, theta: f64, rng: &mut Rng, cache: &mut Vec<f64>) -> u64 {
         }
     }
     let u: f64 = rng.gen_f64();
-    match cache.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+    match cache.binary_search_by(|p| p.total_cmp(&u)) {
         Ok(i) | Err(i) => i.min(n - 1) as u64,
     }
 }

@@ -22,7 +22,7 @@ use crate::costbased::view_transform::{can_merge_view, merge_view};
 use crate::costbased::{default_transforms, ApplyEffect, CbTransform, Target};
 use crate::heuristic::{apply_heuristics_with, HeuristicReport};
 use cbqt_catalog::Catalog;
-use cbqt_common::{Error, Result, TraceEvent, Tracer};
+use cbqt_common::{cost_lt, Error, Result, TraceEvent, Tracer};
 use cbqt_optimizer::{
     is_cutoff, BlockPlan, CostAnnotations, DynamicSampler, Optimizer, OptimizerConfig,
     OptimizerStats, SamplingCache,
@@ -403,7 +403,7 @@ impl<'a> TransformSession<'a> {
             SearchStrategy::Exhaustive => {
                 for state in space.all_states() {
                     if let Some((cost, sub)) = evaluate(&state, &mut self, best_cost)? {
-                        if cost < best_cost {
+                        if cost_lt(cost, best_cost) {
                             best_cost = cost;
                             best_state = state;
                             best_sub = sub;
@@ -414,7 +414,7 @@ impl<'a> TransformSession<'a> {
             SearchStrategy::TwoPass => {
                 for state in [space.zero_state(), space.one_state()] {
                     if let Some((cost, sub)) = evaluate(&state, &mut self, best_cost)? {
-                        if cost < best_cost {
+                        if cost_lt(cost, best_cost) {
                             best_cost = cost;
                             best_state = state;
                             best_sub = sub;
@@ -437,7 +437,7 @@ impl<'a> TransformSession<'a> {
                         let mut cand = current.clone();
                         cand[i] = c;
                         if let Some((cost, sub)) = evaluate(&cand, &mut self, best_cost)? {
-                            if cost < best_cost {
+                            if cost_lt(cost, best_cost) {
                                 best_cost = cost;
                                 best_state = cand.clone();
                                 best_sub = sub;
@@ -459,7 +459,7 @@ impl<'a> TransformSession<'a> {
                     };
                     let mut current_cost = match evaluate(&current, &mut self, best_cost)? {
                         Some((c, sub)) => {
-                            if c < best_cost {
+                            if cost_lt(c, best_cost) {
                                 best_cost = c;
                                 best_state = current.clone();
                                 best_sub = sub;
@@ -482,11 +482,11 @@ impl<'a> TransformSession<'a> {
                                 cand[i] = c;
                                 explored += 1;
                                 if let Some((cost, sub)) = evaluate(&cand, &mut self, best_cost)? {
-                                    if cost < current_cost {
+                                    if cost_lt(cost, current_cost) {
                                         current = cand.clone();
                                         current_cost = cost;
                                         improved = true;
-                                        if cost < best_cost {
+                                        if cost_lt(cost, best_cost) {
                                             best_cost = cost;
                                             best_state = cand;
                                             best_sub = sub;
@@ -641,7 +641,11 @@ impl<'a> TransformSession<'a> {
                 let merged_cost = self.optimize_copy(&merged_copy, budget_of(&best))?;
                 self.trace_state(t, state, sub.clone(), merged_cost);
                 if let Some(cost) = merged_cost {
-                    if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+                    if best
+                        .as_ref()
+                        .map(|(c, _)| cost_lt(cost, *c))
+                        .unwrap_or(true)
+                    {
                         best = Some((cost, sub));
                     }
                 }

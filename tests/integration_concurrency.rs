@@ -1,0 +1,148 @@
+//! Concurrent serving through the shared plan cache: N threads fire
+//! mixed query traffic at one `Arc<Database>` and every result must
+//! match the single-threaded answer, with the cache absorbing the
+//! repeated compilations. Also covers the invalidation contract
+//! (post-DDL plan change) and the zero-NDV costing regression
+//! end-to-end.
+
+use cbqt::common::Value;
+use cbqt::Database;
+use cbqt_testkit::rng::Rng;
+use std::sync::Arc;
+
+/// `Database` must be shareable across threads for the serving path;
+/// this is the compile-time proof the stress test relies on.
+fn assert_send_sync<T: Send + Sync>(_: &T) {}
+
+fn fixture() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE departments (dept_id INT PRIMARY KEY, department_name VARCHAR(30) NOT NULL);
+         CREATE TABLE employees (emp_id INT PRIMARY KEY, employee_name VARCHAR(30) NOT NULL,
+             dept_id INT REFERENCES departments(dept_id), salary INT);
+         CREATE INDEX i_emp_dept ON employees (dept_id);",
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for d in 0..8i64 {
+        rows.push(vec![Value::Int(d), Value::str(format!("dept{d}"))]);
+    }
+    db.load_rows("departments", rows).unwrap();
+    let mut rows = Vec::new();
+    for e in 0..200i64 {
+        rows.push(vec![
+            Value::Int(e),
+            Value::str(format!("emp{e}")),
+            Value::Int(e % 8),
+            Value::Int(1000 + (e * 37) % 3000),
+        ]);
+    }
+    db.load_rows("employees", rows).unwrap();
+    db.analyze().unwrap();
+    db
+}
+
+/// Order-insensitive fingerprint of a result set.
+fn canon(r: &cbqt::QueryResult) -> Vec<String> {
+    let mut v: Vec<String> = r.rows.iter().map(|row| format!("{row:?}")).collect();
+    v.sort();
+    v
+}
+
+const POOL: &[&str] = &[
+    "SELECT employee_name FROM employees WHERE salary > 3500",
+    "SELECT d.department_name, COUNT(e.emp_id) FROM employees e, departments d \
+     WHERE e.dept_id = d.dept_id GROUP BY d.department_name",
+    "SELECT e.employee_name FROM employees e WHERE e.salary > \
+     (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e.dept_id)",
+    "SELECT employee_name FROM employees WHERE dept_id = 3 AND salary < 2000",
+    "SELECT d.department_name FROM departments d WHERE d.dept_id IN \
+     (SELECT e.dept_id FROM employees e WHERE e.salary > 3800)",
+    "SELECT employee_name FROM employees WHERE employee_name LIKE 'emp1%'",
+];
+
+#[test]
+fn concurrent_mixed_traffic_serves_correct_plans() {
+    let db = fixture();
+    assert_send_sync(&db);
+
+    // single-threaded ground truth (also warms the cache)
+    let expected: Vec<Vec<String>> = POOL.iter().map(|q| canon(&db.query(q).unwrap())).collect();
+
+    let db = Arc::new(db);
+    let threads: Vec<_> = (0..8u64)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut rng = Rng::seed_from_u64(0xC0FFEE ^ t);
+                for _ in 0..40 {
+                    let i = rng.gen_range(0..POOL.len());
+                    let r = db.query(POOL[i]).unwrap();
+                    assert_eq!(canon(&r), expected[i], "query {i} diverged on thread {t}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let s = db.plan_cache_stats();
+    // all 320 threaded executions were cache hits (warmed up front, no DDL)
+    assert!(s.hits >= 8 * 40, "expected ≥320 hits, got {s:?}");
+    assert_eq!(s.entries, POOL.len());
+}
+
+#[test]
+fn create_index_invalidates_cache_and_changes_plan() {
+    let mut db = fixture();
+    let sql = "SELECT employee_name FROM employees WHERE salary = 2110";
+
+    let cold = db.query(sql).unwrap();
+    assert!(!cold.stats.plan_cache_hit);
+    let warm = db.query(sql).unwrap();
+    assert!(warm.stats.plan_cache_hit);
+    assert_eq!(warm.stats.estimated_cost, cold.stats.estimated_cost);
+    assert_eq!(warm.stats.states_explored, 0);
+
+    db.execute_mut("CREATE INDEX i_emp_sal ON employees (salary)")
+        .unwrap();
+    db.analyze().unwrap();
+
+    // the cached full-scan plan must not survive the DDL: the query is
+    // re-optimized and now picks the new index
+    let fresh = db.query(sql).unwrap();
+    assert!(!fresh.stats.plan_cache_hit);
+    assert!(
+        fresh.stats.estimated_cost < cold.stats.estimated_cost,
+        "index plan should be cheaper: {} vs {}",
+        fresh.stats.estimated_cost,
+        cold.stats.estimated_cost
+    );
+    assert!(db.explain(sql).unwrap().contains("INDEX EQ"));
+    assert!(db.plan_cache_stats().invalidations >= 1);
+    assert_eq!(canon(&fresh), canon(&cold));
+}
+
+#[test]
+fn zero_ndv_table_optimizes_without_panic() {
+    let mut db = Database::new();
+    db.execute_script("CREATE TABLE empty_t (a INT PRIMARY KEY, b INT, c VARCHAR(10))")
+        .unwrap();
+    // analyzed with zero rows: every column has rows=0, ndv=0
+    db.analyze().unwrap();
+    for sql in [
+        "SELECT a FROM empty_t WHERE b = 5",
+        "SELECT a FROM empty_t WHERE b > 5 AND c = 'x'",
+        "SELECT t1.a FROM empty_t t1, empty_t t2 WHERE t1.b = t2.b",
+        "SELECT a FROM empty_t WHERE b IN (SELECT b FROM empty_t WHERE c <> 'y')",
+    ] {
+        let r = db.query(sql).unwrap();
+        assert!(r.rows.is_empty());
+        assert!(
+            r.stats.estimated_cost.is_finite(),
+            "non-finite cost for {sql}"
+        );
+    }
+}

@@ -243,11 +243,54 @@ fn trace_counts_match_query_stats() {
     assert_eq!(report.cutoffs(), report.stats.cutoffs);
     assert_eq!(report.blocks_costed(), report.stats.blocks_costed);
     assert_eq!(report.annotation_hits(), report.stats.annotation_hits);
-    // the same query executed through the ordinary path reports the same
-    // optimizer counters
+    // the traced run populated the plan cache, so the same query through
+    // the ordinary path is served from it: no optimizer work, same plan
     let r = db.query(FIG3_SQL).unwrap();
-    assert_eq!(r.stats.states_explored, report.stats.states_explored);
-    assert_eq!(r.stats.blocks_costed, report.stats.blocks_costed);
+    assert!(r.stats.plan_cache_hit);
+    assert_eq!(r.stats.states_explored, 0);
+    assert_eq!(r.stats.estimated_cost, report.stats.estimated_cost);
+    // on a fresh database the ordinary path reports the same counters as
+    // the traced run
+    let r2 = golden_db().query(FIG3_SQL).unwrap();
+    assert_eq!(r2.stats.states_explored, report.stats.states_explored);
+    assert_eq!(r2.stats.blocks_costed, report.stats.blocks_costed);
+}
+
+#[test]
+fn golden_trace_plan_cache_events() {
+    let mut db = golden_db();
+    let cache_lines = |db: &cbqt::Database| -> Vec<String> {
+        db.trace(GBP_SQL)
+            .unwrap()
+            .render()
+            .lines()
+            .filter(|l| l.starts_with("PLAN CACHE"))
+            .map(str::to_string)
+            .collect()
+    };
+    let key = cbqt::normalize_sql(GBP_SQL);
+    // cold: a miss, followed by the full event stream
+    assert_eq!(cache_lines(&db), vec![format!("PLAN CACHE MISS {key}")]);
+    // warm: a hit is the *only* optimizer event
+    let v = db.catalog().version();
+    let report = db.trace(GBP_SQL).unwrap();
+    assert_eq!(report.render(), format!("PLAN CACHE HIT v{v} {key}\n"));
+    assert!(report.stats.plan_cache_hit);
+    assert_eq!(report.states_explored(), 0);
+    // DDL bumps the catalog version: the stale plan is evicted, the
+    // query re-optimized and re-cached
+    db.execute_mut("CREATE INDEX i_emp_sal ON employees (salary)")
+        .unwrap();
+    let v2 = db.catalog().version();
+    assert!(v2 > v);
+    assert_eq!(
+        cache_lines(&db)[0],
+        format!("PLAN CACHE INVALIDATED v{v} -> v{v2} {key}")
+    );
+    assert_eq!(
+        cache_lines(&db),
+        vec![format!("PLAN CACHE HIT v{v2} {key}")]
+    );
 }
 
 #[test]
