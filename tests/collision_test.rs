@@ -1,0 +1,21 @@
+use cbqt::Database;
+
+#[test]
+fn comment_collision_serves_wrong_plan() {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE t (a INT, b INT);
+         INSERT INTO t VALUES (1, 10);
+         INSERT INTO t VALUES (2, 20);",
+    )
+    .unwrap();
+    let filtered = "SELECT t.a FROM t -- note\nWHERE t.a = 1";
+    let unfiltered = "SELECT t.a FROM t -- note WHERE t.a = 1";
+    eprintln!("key1 = {:?}", cbqt::normalize_sql(filtered));
+    eprintln!("key2 = {:?}", cbqt::normalize_sql(unfiltered));
+    let r1 = db.query(filtered).unwrap();
+    eprintln!("filtered rows: {}", r1.rows.len());
+    let r2 = db.query(unfiltered).unwrap();
+    eprintln!("unfiltered rows: {} (expected 2), cache_hit={}", r2.rows.len(), r2.stats.plan_cache_hit);
+    assert_eq!(r2.rows.len(), 2, "wrong results served from plan cache");
+}
