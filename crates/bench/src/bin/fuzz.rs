@@ -3,8 +3,10 @@
 //! several strategies.
 
 use cbqt::common::Value;
-use cbqt::{Database, SearchStrategy, TransformSet};
+use cbqt::{Database, SearchStrategy, StatementLimits, TransformSet};
+use cbqt_testkit::failpoints::{self, Fail};
 use cbqt_testkit::Rng;
+use std::time::Duration;
 
 fn random_db(rng: &mut Rng) -> Database {
     let mut db = Database::new();
@@ -127,18 +129,27 @@ fn canon(rows: &[Vec<Value>]) -> Vec<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz [--iters N] [--seed S] [N]\n\
+        "usage: fuzz [--iters N] [--seed S] [--failpoints] [N]\n\
          \n\
          Runs N differential-fuzz rounds (default 300). Round i uses seed\n\
          S + i (S defaults to 0), so any reported failure reproduces with\n\
-         `fuzz --iters 1 --seed <failing seed>`."
+         `fuzz --iters 1 --seed <failing seed>`.\n\
+         \n\
+         --failpoints switches to fault-injection fuzzing: each round arms\n\
+         random failpoints (error and panic modes) and random tight\n\
+         resource limits. Queries may fail, but must only ever fail with\n\
+         an Err — no panics escaping the statement boundary, no hangs —\n\
+         and the database must keep serving consistently afterwards.\n\
+         Result-row comparison is skipped (faults and limits legitimately\n\
+         abort statements)."
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> (u64, u64) {
+fn parse_args() -> (u64, u64, bool) {
     let mut iters: u64 = 300;
     let mut base_seed: u64 = 0;
+    let mut failpoints = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -154,6 +165,7 @@ fn parse_args() -> (u64, u64) {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--failpoints" => failpoints = true,
             "--help" | "-h" => usage(),
             // bare positional N, the pre-CLI invocation style
             other => match other.parse() {
@@ -162,12 +174,80 @@ fn parse_args() -> (u64, u64) {
             },
         }
     }
-    (iters, base_seed)
+    (iters, base_seed, failpoints)
+}
+
+/// One fault-injection round: random faults + random tight limits over
+/// random queries, then a sanity check that the database still serves
+/// and its plan cache is coherent. Returns the number of failures.
+fn failpoint_round(seed: u64) -> u64 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let db = random_db(&mut rng);
+    let names = failpoints::all();
+    for _ in 0..4 {
+        let sql = random_query(&mut rng);
+        let armed = if rng.gen_bool(0.7) {
+            let name = names[rng.gen_range(0usize..names.len())];
+            Some(if rng.gen_bool(0.3) {
+                Fail::panic(name)
+            } else {
+                Fail::error(name)
+            })
+        } else {
+            None
+        };
+        let mut limits = StatementLimits::none();
+        if rng.gen_bool(0.5) {
+            limits = limits.with_optimizer_states(rng.gen_range(0i64..6) as u64);
+        }
+        if rng.gen_bool(0.5) {
+            limits = limits.with_row_budget(rng.gen_range(1i64..2000) as u64);
+        }
+        if rng.gen_bool(0.3) {
+            limits = limits.with_work_budget(rng.gen_range(100i64..50_000) as f64);
+        }
+        if rng.gen_bool(0.3) {
+            limits = limits.with_deadline(Duration::from_millis(rng.gen_range(1i64..20) as u64));
+        }
+        // Ok and Err are both legitimate under faults; a panic would
+        // abort the whole process and fail the run.
+        let _ = db.query_with_limits(&sql, limits);
+        drop(armed);
+    }
+    let mut failures = 0;
+    let stats = db.plan_cache_stats();
+    if stats.bytes > stats.capacity_bytes || (stats.entries == 0) != (stats.bytes == 0) {
+        println!("seed {seed}: INCONSISTENT plan cache after faults: {stats:?}");
+        failures += 1;
+    }
+    match db.query("SELECT COUNT(*) FROM employees") {
+        Ok(r) => {
+            if r.rows.len() != 1 {
+                println!("seed {seed}: SANITY query returned {} rows", r.rows.len());
+                failures += 1;
+            }
+        }
+        Err(e) => {
+            println!("seed {seed}: SANITY query failed after faults: {e}");
+            failures += 1;
+        }
+    }
+    failures
 }
 
 fn main() {
-    let (rounds, base_seed) = parse_args();
+    let (rounds, base_seed, failpoint_mode) = parse_args();
     let mut failures = 0;
+    if failpoint_mode {
+        // injected panics are expected and caught at the statement
+        // boundary; keep them off stderr
+        std::panic::set_hook(Box::new(|_| {}));
+        for seed in base_seed..base_seed + rounds {
+            failures += failpoint_round(seed);
+        }
+        println!("failpoint fuzz complete: {rounds} rounds, {failures} failures");
+        std::process::exit(if failures > 0 { 1 } else { 0 });
+    }
     for seed in base_seed..base_seed + rounds {
         let mut rng = Rng::seed_from_u64(seed);
         let mut db = random_db(&mut rng);

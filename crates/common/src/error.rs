@@ -27,6 +27,16 @@ pub enum Error {
     Execution(String),
     /// Feature recognized but not supported by this engine.
     Unsupported(String),
+    /// A statement-level resource limit (wall-clock deadline, executor
+    /// row/work budget) was exceeded. See [`crate::governor`].
+    ResourceExhausted(String),
+    /// The statement was cancelled cooperatively via a
+    /// [`CancelToken`](crate::governor::CancelToken).
+    Cancelled,
+    /// An internal fault (a caught panic, an injected failure) was
+    /// contained at the `Database` boundary. The database and its plan
+    /// cache remain usable; the statement that hit the fault is lost.
+    Internal(String),
 }
 
 impl Error {
@@ -51,6 +61,12 @@ impl Error {
     pub fn unsupported(msg: impl Into<String>) -> Error {
         Error::Unsupported(msg.into())
     }
+    pub fn resource_exhausted(msg: impl Into<String>) -> Error {
+        Error::ResourceExhausted(msg.into())
+    }
+    pub fn internal(msg: impl Into<String>) -> Error {
+        Error::Internal(msg.into())
+    }
 }
 
 impl fmt::Display for Error {
@@ -63,6 +79,9 @@ impl fmt::Display for Error {
             Error::Plan(m) => write!(f, "plan error: {m}"),
             Error::Execution(m) => write!(f, "execution error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            Error::Cancelled => write!(f, "statement cancelled"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -86,6 +105,15 @@ mod tests {
         assert_eq!(
             Error::unsupported("MODEL clause").to_string(),
             "unsupported: MODEL clause"
+        );
+        assert_eq!(
+            Error::resource_exhausted("deadline").to_string(),
+            "resource exhausted: deadline"
+        );
+        assert_eq!(Error::Cancelled.to_string(), "statement cancelled");
+        assert_eq!(
+            Error::internal("caught panic").to_string(),
+            "internal error: caught panic"
         );
     }
 

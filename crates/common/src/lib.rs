@@ -7,10 +7,13 @@
 //! executor simple and fast.
 
 pub mod error;
+pub mod failpoint;
+pub mod governor;
 pub mod trace;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use governor::{CancelToken, ExecutionLimits, Governor, StateCharge};
 pub use trace::{TraceBuffer, TraceEvent, TraceSink, Tracer};
 pub use value::{DataType, Datum, Row, Value};
 

@@ -69,6 +69,11 @@ pub enum TraceEvent {
     AnnotationHit { block: String },
     /// Annotation miss: the block was optimized from scratch.
     BlockCosted { block: String },
+    /// The statement's optimizer-state budget ran out mid-search: the
+    /// framework stops costing states and keeps the best state found so
+    /// far (or the heuristic plan if none was costed). The statement
+    /// still executes, flagged `degraded`.
+    SearchDegraded { transform: String, states_used: u64 },
     /// The query text before any transformation and after the winning
     /// states of every transformation were applied.
     QueryRewritten { before: String, after: String },
@@ -130,6 +135,14 @@ impl fmt::Display for TraceEvent {
                 } else {
                     ""
                 }
+            ),
+            TraceEvent::SearchDegraded {
+                transform,
+                states_used,
+            } => write!(
+                f,
+                "SEARCH DEGRADED at {transform}: optimizer state budget exhausted \
+                 after {states_used} state(s), keeping best plan so far"
             ),
             TraceEvent::AnnotationHit { block } => write!(f, "ANNOTATION HIT {block}"),
             TraceEvent::BlockCosted { block } => write!(f, "BLOCK COSTED {block}"),
@@ -216,11 +229,11 @@ impl TraceBuffer {
 
     /// Removes and returns all recorded events.
     pub fn take(&self) -> Vec<TraceEvent> {
-        std::mem::take(&mut self.events.lock().unwrap())
+        std::mem::take(&mut self.events.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -230,7 +243,10 @@ impl TraceBuffer {
 
 impl TraceSink for TraceBuffer {
     fn record(&self, event: TraceEvent) {
-        self.events.lock().unwrap().push(event);
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
     }
 }
 

@@ -33,15 +33,19 @@
 //! ```
 
 use cbqt_catalog::{Catalog, Column, Constraint, ForeignKey, TableId};
-use cbqt_common::{Error, Result, Row, TraceBuffer, TraceEvent, Tracer, Value};
+use cbqt_common::{
+    CancelToken, Error, ExecutionLimits, Governor, Result, Row, TraceBuffer, TraceEvent, Tracer,
+    Value,
+};
 use cbqt_exec::Engine;
 use cbqt_optimizer::{DynamicSampler, SamplingCache};
 use cbqt_qgm::{build_query_tree, render_tree, QueryTree};
 use cbqt_sql::ast::{self, Statement};
 use cbqt_sql::{parse_statement, parse_statements};
 use cbqt_storage::Storage;
-use cbqt_transform::{optimize_query_traced, CbqtConfig, CbqtOutcome};
+use cbqt_transform::{optimize_query_governed, CbqtConfig, CbqtOutcome};
 use plan_cache::{CachedPlan, Lookup};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,6 +61,7 @@ pub use cbqt_storage as storage;
 pub use cbqt_transform as transform;
 
 pub use cbqt_common::DataType;
+pub use cbqt_common::{CancelToken as StatementCancelToken, ExecutionLimits as StatementLimits};
 pub use cbqt_common::{TraceEvent as OptimizerEvent, TraceSink};
 pub use cbqt_transform::{CbqtConfig as OptimizerSettings, SearchStrategy, TransformSet};
 pub use plan_cache::{normalize_sql, PlanCache, PlanCacheStats};
@@ -94,6 +99,12 @@ pub struct QueryStats {
     /// True when the plan was served from the shared plan cache (no
     /// optimizer work: `states_explored`/`blocks_costed` are 0).
     pub plan_cache_hit: bool,
+    /// True when the optimizer-state budget of
+    /// [`ExecutionLimits`](StatementLimits) ran out mid-search: the plan
+    /// executed is valid but reflects the best state costed before the
+    /// budget tripped, not the full CBQT search. Degraded plans are not
+    /// published to the plan cache.
+    pub degraded: bool,
 }
 
 /// Result of one statement of a script (see [`Database::execute_script`]).
@@ -214,6 +225,7 @@ pub struct Database {
     sampling_cache: SamplingCache,
     plan_cache: PlanCache,
     plan_cache_enabled: bool,
+    cancel: CancelToken,
 }
 
 impl Default for Database {
@@ -231,7 +243,18 @@ impl Database {
             sampling_cache: SamplingCache::default(),
             plan_cache: PlanCache::default(),
             plan_cache_enabled: true,
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// The database's cancellation token. Clone it into another thread
+    /// and call [`cancel`](StatementCancelToken::cancel) to stop every
+    /// in-flight statement at its next governor check point (statements
+    /// fail with `Error::Cancelled`). The flag is sticky — call
+    /// [`reset`](StatementCancelToken::reset) before issuing new
+    /// statements.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// The optimizer / framework configuration (mutable — experiments
@@ -281,7 +304,7 @@ impl Database {
     pub fn execute_script(&mut self, script: &str) -> Result<Vec<StatementResult>> {
         parse_statements(script)?
             .into_iter()
-            .map(|stmt| self.run_statement(stmt))
+            .map(|stmt| catch_internal(AssertUnwindSafe(|| self.run_statement(stmt))))
             .collect()
     }
 
@@ -301,29 +324,64 @@ impl Database {
     /// INSERT, ANALYZE — are rejected; run those through
     /// [`execute_mut`](Database::execute_mut).
     pub fn execute(&self, sql: &str) -> Result<Option<QueryResult>> {
-        let stmt = parse_statement(sql)?;
-        match stmt {
-            Statement::Query(q) => Ok(Some(self.run_query_cached(sql, &q, Tracer::disabled())?)),
-            Statement::Explain { query, analyze } => {
-                Ok(Some(self.explain_result(&query, analyze)?))
+        catch_internal(|| {
+            let stmt = parse_statement(sql)?;
+            match stmt {
+                Statement::Query(q) => Ok(Some(self.run_query_cached(
+                    sql,
+                    &q,
+                    Tracer::disabled(),
+                    &self.statement_governor(),
+                )?)),
+                Statement::Explain { query, analyze } => {
+                    Ok(Some(self.explain_result(&query, analyze)?))
+                }
+                other => Err(Error::unsupported(format!(
+                    "{} mutates the database; use execute_mut",
+                    statement_kind(&other)
+                ))),
             }
-            other => Err(Error::unsupported(format!(
-                "{} mutates the database; use execute_mut",
-                statement_kind(&other)
-            ))),
-        }
+        })
     }
 
     /// Executes any single SQL statement, including DDL / DML / ANALYZE.
     pub fn execute_mut(&mut self, sql: &str) -> Result<Option<QueryResult>> {
         let stmt = parse_statement(sql)?;
-        Ok(self.run_statement(stmt)?.into_rows())
+        catch_internal(AssertUnwindSafe(|| {
+            Ok(self.run_statement(stmt)?.into_rows())
+        }))
     }
 
     /// Executes a query and returns its rows.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         self.execute(sql)?
             .ok_or_else(|| Error::analysis("statement did not produce rows"))
+    }
+
+    /// Executes a query under explicit [resource limits](StatementLimits):
+    /// a wall-clock deadline, an optimizer-state budget, and executor
+    /// row/work budgets, all enforced by a per-statement governor.
+    ///
+    /// Exhausting the *optimizer* budget degrades the search gracefully —
+    /// the statement still runs, on the best plan found so far (or the
+    /// heuristic plan if nothing was costed), with
+    /// [`QueryStats::degraded`] set. The deadline, the executor budgets
+    /// and cancellation hard-fail with `Error::ResourceExhausted` /
+    /// `Error::Cancelled`.
+    pub fn query_with_limits(&self, sql: &str, limits: ExecutionLimits) -> Result<QueryResult> {
+        let governor = Governor::new(&limits, self.cancel.clone());
+        catch_internal(|| {
+            let q = match parse_statement(sql)? {
+                Statement::Query(q) => q,
+                other => {
+                    return Err(Error::unsupported(format!(
+                        "query_with_limits requires a query, got {}",
+                        statement_kind(&other)
+                    )))
+                }
+            };
+            self.run_query_cached(sql, &q, Tracer::disabled(), &governor)
+        })
     }
 
     /// EXPLAIN: the transformed query text, transformation decisions,
@@ -344,27 +402,49 @@ impl Database {
     /// trace enabled, returning every event the transformation framework
     /// and physical optimizer emitted plus the run's [`QueryStats`].
     pub fn trace(&self, sql: &str) -> Result<TraceReport> {
-        let stmt = parse_statement(sql)?;
-        let query = match stmt {
-            Statement::Query(q) | Statement::Explain { query: q, .. } => q,
-            _ => return Err(Error::analysis("trace requires a query")),
-        };
-        let buffer = TraceBuffer::new();
-        let result = self.run_query_cached(sql, &query, Tracer::new(&buffer))?;
-        Ok(TraceReport {
-            events: buffer.take(),
-            stats: result.stats,
+        self.trace_governed(sql, &self.statement_governor())
+    }
+
+    /// Like [`trace`](Database::trace), but governed by explicit
+    /// [resource limits](StatementLimits) — a degraded search leaves a
+    /// `SearchDegraded` event in the trace.
+    pub fn trace_with_limits(&self, sql: &str, limits: ExecutionLimits) -> Result<TraceReport> {
+        self.trace_governed(sql, &Governor::new(&limits, self.cancel.clone()))
+    }
+
+    fn trace_governed(&self, sql: &str, governor: &Governor) -> Result<TraceReport> {
+        catch_internal(|| {
+            let stmt = parse_statement(sql)?;
+            let query = match stmt {
+                Statement::Query(q) | Statement::Explain { query: q, .. } => q,
+                _ => return Err(Error::analysis("trace requires a query")),
+            };
+            let buffer = TraceBuffer::new();
+            let result = self.run_query_cached(sql, &query, Tracer::new(&buffer), governor)?;
+            Ok(TraceReport {
+                events: buffer.take(),
+                stats: result.stats,
+            })
         })
     }
 
+    /// The governor every implicit-limits entry point runs under: no
+    /// budgets, but the database's [cancel token](Database::cancel_token)
+    /// is still observed, so any in-flight statement can be stopped.
+    fn statement_governor(&self) -> Governor {
+        Governor::new(&ExecutionLimits::none(), self.cancel.clone())
+    }
+
     fn explain_sql(&self, sql: &str, analyze: bool) -> Result<String> {
-        let stmt = parse_statement(sql)?;
-        let (query, analyze) = match stmt {
-            Statement::Query(q) => (q, analyze),
-            Statement::Explain { query, analyze: a } => (query, analyze || a),
-            _ => return Err(Error::analysis("EXPLAIN requires a query")),
-        };
-        self.explain_query(&query, analyze)
+        catch_internal(|| {
+            let stmt = parse_statement(sql)?;
+            let (query, analyze) = match stmt {
+                Statement::Query(q) => (q, analyze),
+                Statement::Explain { query, analyze: a } => (query, analyze || a),
+                _ => return Err(Error::analysis("EXPLAIN requires a query")),
+            };
+            self.explain_query(&query, analyze)
+        })
     }
 
     /// The single EXPLAIN formatter behind [`explain`](Database::explain),
@@ -468,30 +548,36 @@ impl Database {
     }
 
     fn optimize(&self, tree: &QueryTree) -> Result<CbqtOutcome> {
-        self.optimize_traced(tree, Tracer::disabled())
+        self.optimize_governed(tree, Tracer::disabled(), &self.statement_governor())
     }
 
-    fn optimize_traced(&self, tree: &QueryTree, tracer: Tracer<'_>) -> Result<CbqtOutcome> {
+    fn optimize_governed(
+        &self,
+        tree: &QueryTree,
+        tracer: Tracer<'_>,
+        governor: &Governor,
+    ) -> Result<CbqtOutcome> {
         // dynamic sampling (§3.4.4): tables without statistics are sized
         // by probing storage, with results cached across optimizer calls
         let sampler = StorageSampler {
             catalog: &self.catalog,
             storage: &self.storage,
         };
-        optimize_query_traced(
+        optimize_query_governed(
             tree,
             &self.catalog,
             &self.config,
             &self.sampling_cache,
             Some(&sampler),
             tracer,
+            governor,
         )
     }
 
     /// Uncached query execution (script statements, which carry no
     /// per-statement SQL text to key the cache with).
     fn run_query(&self, q: &ast::Query) -> Result<QueryResult> {
-        self.run_query_pipeline(q, Tracer::disabled(), None)
+        self.run_query_pipeline(q, Tracer::disabled(), None, &self.statement_governor())
     }
 
     /// The serving path: probe the shared plan cache under the current
@@ -504,9 +590,10 @@ impl Database {
         sql: &str,
         q: &ast::Query,
         tracer: Tracer<'_>,
+        governor: &Governor,
     ) -> Result<QueryResult> {
         if !self.plan_cache_enabled {
-            return self.run_query_pipeline(q, tracer, None);
+            return self.run_query_pipeline(q, tracer, None, governor);
         }
         let key = plan_cache::normalize_sql(sql);
         let version = self.catalog.version();
@@ -517,7 +604,8 @@ impl Database {
                     version: cached.version,
                 });
                 let t1 = Instant::now();
-                let engine = Engine::new(&self.catalog, &self.storage);
+                let mut engine = Engine::new(&self.catalog, &self.storage);
+                engine.set_governor(governor.clone());
                 let rows = engine.run(&cached.plan)?;
                 let execute_time = t1.elapsed();
                 let exec_stats = engine.stats();
@@ -536,6 +624,7 @@ impl Database {
                         subquery_cache_hits: exec_stats.cache_hits,
                         subquery_cache_misses: exec_stats.cache_misses,
                         plan_cache_hit: true,
+                        degraded: false,
                     },
                 })
             }
@@ -545,11 +634,11 @@ impl Database {
                     cached_version,
                     current_version: version,
                 });
-                self.run_query_pipeline(q, tracer, Some((key, version)))
+                self.run_query_pipeline(q, tracer, Some((key, version)), governor)
             }
             Lookup::Miss => {
                 tracer.emit(|| TraceEvent::PlanCacheMiss { key: key.clone() });
-                self.run_query_pipeline(q, tracer, Some((key, version)))
+                self.run_query_pipeline(q, tracer, Some((key, version)), governor)
             }
         }
     }
@@ -563,37 +652,45 @@ impl Database {
         q: &ast::Query,
         tracer: Tracer<'_>,
         cache_as: Option<(String, u64)>,
+        governor: &Governor,
     ) -> Result<QueryResult> {
         let tree = build_query_tree(&self.catalog, q)?;
         let columns = tree.block(tree.root)?.output_names(&tree);
 
         let t0 = Instant::now();
-        let outcome = self.optimize_traced(&tree, tracer)?;
+        let outcome = self.optimize_governed(&tree, tracer, governor)?;
         let optimize_time = t0.elapsed();
         let CbqtOutcome {
             plan,
             states_explored,
             cutoffs,
             optimizer_stats,
+            degraded,
             ..
         } = outcome;
         let plan = Arc::new(plan);
 
         let t1 = Instant::now();
-        let engine = Engine::new(&self.catalog, &self.storage);
+        let mut engine = Engine::new(&self.catalog, &self.storage);
+        engine.set_governor(governor.clone());
         let rows = engine.run(&plan)?;
         let execute_time = t1.elapsed();
         let exec_stats = engine.stats();
 
-        if let Some((key, version)) = cache_as {
-            self.plan_cache.insert(
-                key,
-                CachedPlan {
-                    plan: Arc::clone(&plan),
-                    columns: Arc::new(columns.clone()),
-                    version,
-                },
-            );
+        // A degraded plan is valid but reflects a truncated search; keep
+        // it out of the shared cache so unbudgeted statements never pay
+        // for one statement's tight optimizer budget.
+        if !degraded {
+            if let Some((key, version)) = cache_as {
+                self.plan_cache.insert(
+                    key,
+                    CachedPlan {
+                        plan: Arc::clone(&plan),
+                        columns: Arc::new(columns.clone()),
+                        version,
+                    },
+                );
+            }
         }
 
         Ok(QueryResult {
@@ -611,6 +708,7 @@ impl Database {
                 subquery_cache_hits: exec_stats.cache_hits,
                 subquery_cache_misses: exec_stats.cache_misses,
                 plan_cache_hit: false,
+                degraded,
             },
         })
     }
@@ -778,6 +876,29 @@ const _: () = {
     _assert_send_sync::<Database>();
     _assert_send_sync::<PlanCache>();
 };
+
+/// Statement-level panic boundary: an unexpected panic inside parsing,
+/// optimization, or execution (a bug — or an injected fault, see
+/// `cbqt_common::failpoint`) is caught here and surfaced as
+/// `Error::Internal` instead of unwinding through the embedding
+/// application. All shared caches recover from lock poisoning (the plan
+/// cache clears a poisoned shard; the sampling cache and trace buffer
+/// keep their contents), so the database stays usable afterwards.
+fn catch_internal<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(Error::internal(format!("statement panicked: {msg}")))
+        }
+    }
+}
 
 /// Human-readable kind of a statement, for error messages.
 fn statement_kind(stmt: &Statement) -> &'static str {

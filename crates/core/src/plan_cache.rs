@@ -25,20 +25,30 @@
 //!   `Arc<BlockPlan>`: immutable, shareable, executed by a fresh
 //!   per-query [`Engine`](cbqt_exec::Engine) that owns all mutable
 //!   execution state.
-//! - **Bounding**: a stamp-based LRU per shard; inserting past capacity
-//!   evicts the least-recently-used entry of that shard.
+//! - **Bounding**: a stamp-based LRU per shard, bounded by *estimated
+//!   plan bytes* ([`BlockPlan::estimated_bytes`] plus key and column
+//!   overhead), not entry count — a hundred tiny plans and three huge
+//!   ones get comparable memory budgets. Inserting past the byte budget
+//!   evicts least-recently-used entries until the shard fits again; an
+//!   entry larger than the whole shard budget is simply not retained.
+//! - **Fault tolerance**: a panic while a shard lock is held (a bug, or
+//!   an injected fault — see `cbqt_common::failpoint`) poisons that
+//!   mutex. Every lock site recovers by clearing the poisoned shard —
+//!   its entries may be half-updated, and plans are always
+//!   recompilable — and continuing; the other shards are untouched.
 
 use cbqt_optimizer::BlockPlan;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::mem::size_of;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Number of independently locked shards.
 pub const DEFAULT_SHARDS: usize = 8;
-/// Maximum entries per shard (cache-wide bound = shards × this).
-pub const DEFAULT_SHARD_CAPACITY: usize = 64;
+/// Default byte budget per shard (cache-wide bound = shards × this).
+pub const DEFAULT_SHARD_BYTES: usize = 256 * 1024;
 
 /// One cached compilation: the immutable physical plan plus the output
 /// column names (so a cache hit skips query-tree construction entirely).
@@ -54,12 +64,28 @@ struct Entry {
     cached: CachedPlan,
     /// Last-touch stamp from the shard clock (LRU order).
     stamp: u64,
+    /// Estimated bytes this entry holds (plan + key + columns).
+    bytes: usize,
 }
 
 #[derive(Default)]
 struct Shard {
     map: HashMap<String, Entry>,
     clock: u64,
+    /// Sum of `Entry::bytes` over `map` (the LRU bound's currency).
+    bytes: usize,
+}
+
+/// Estimated bytes one cached compilation pins in memory.
+fn entry_bytes(key: &str, cached: &CachedPlan) -> usize {
+    size_of::<Entry>()
+        + key.len()
+        + cached.plan.estimated_bytes()
+        + cached
+            .columns
+            .iter()
+            .map(|c| size_of::<String>() + c.len())
+            .sum::<usize>()
 }
 
 /// Outcome of a cache probe.
@@ -81,32 +107,42 @@ pub struct PlanCacheStats {
     pub invalidations: u64,
     /// Current number of cached plans across all shards.
     pub entries: usize,
+    /// Current estimated bytes cached across all shards.
+    pub bytes: usize,
+    /// Total byte budget (shards × per-shard budget).
+    pub capacity_bytes: usize,
+    /// Shards cleared after a lock-poisoning panic.
+    pub poison_recoveries: u64,
 }
 
 /// A bounded, sharded, invalidation-correct plan cache. `Send + Sync`;
 /// all operations take `&self`.
 pub struct PlanCache {
     shards: Vec<Mutex<Shard>>,
-    shard_capacity: usize,
+    shard_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
 impl Default for PlanCache {
     fn default() -> Self {
-        PlanCache::new(DEFAULT_SHARDS, DEFAULT_SHARD_CAPACITY)
+        PlanCache::new(DEFAULT_SHARDS, DEFAULT_SHARD_BYTES)
     }
 }
 
 impl PlanCache {
-    pub fn new(shards: usize, shard_capacity: usize) -> PlanCache {
+    /// A cache with `shards` independently locked shards, each holding
+    /// at most `shard_bytes` estimated plan bytes.
+    pub fn new(shards: usize, shard_bytes: usize) -> PlanCache {
         PlanCache {
             shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
-            shard_capacity: shard_capacity.max(1),
+            shard_bytes: shard_bytes.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
         }
     }
 
@@ -116,12 +152,28 @@ impl PlanCache {
         &self.shards[(h.finish() % self.shards.len() as u64) as usize]
     }
 
+    /// Locks a shard, recovering from poisoning: a panic under the lock
+    /// may have left this shard's bookkeeping half-updated, so its
+    /// entries are dropped (they are only caches) and service continues.
+    fn lock_shard<'a>(&self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        shard.lock().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            // un-poison so later locks see a healthy (empty) shard
+            // instead of clearing it again on every access
+            shard.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.map.clear();
+            guard.bytes = 0;
+            guard
+        })
+    }
+
     /// Probes the cache under the caller's current catalog version. A
     /// version mismatch evicts the entry and reports `Invalidated` — a
     /// stale plan is never returned.
     pub fn lookup(&self, key: &str, current_version: u64) -> Lookup {
         let result = {
-            let mut shard = self.shard(key).lock().unwrap();
+            let mut shard = self.lock_shard(self.shard(key));
             shard.clock += 1;
             let stamp = shard.clock;
             match shard.map.get_mut(key) {
@@ -131,6 +183,7 @@ impl PlanCache {
                 }
                 Some(_) => {
                     let stale = shard.map.remove(key).unwrap();
+                    shard.bytes -= stale.bytes;
                     Lookup::Invalidated {
                         cached_version: stale.cached.version,
                     }
@@ -153,44 +206,65 @@ impl PlanCache {
         result
     }
 
-    /// Inserts a freshly compiled plan, evicting the shard's
-    /// least-recently-used entry if the shard is full.
+    /// Inserts a freshly compiled plan, then evicts least-recently-used
+    /// entries until the shard is back under its byte budget. A plan
+    /// whose own estimated size exceeds the whole budget is evicted
+    /// immediately (i.e. never retained).
     pub fn insert(&self, key: String, cached: CachedPlan) {
-        let mut shard = self.shard(&key).lock().unwrap();
+        let bytes = entry_bytes(&key, &cached);
+        let mut shard = self.lock_shard(self.shard(&key));
         shard.clock += 1;
         let stamp = shard.clock;
-        if shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&key) {
-            if let Some(lru) = shard
+        if let Some(old) = shard.map.insert(
+            key,
+            Entry {
+                cached,
+                stamp,
+                bytes,
+            },
+        ) {
+            shard.bytes -= old.bytes;
+        }
+        shard.bytes += bytes;
+        while shard.bytes > self.shard_bytes {
+            let Some(lru) = shard
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(k, _)| k.clone())
-            {
-                shard.map.remove(&lru);
-            }
+            else {
+                break;
+            };
+            let evicted = shard.map.remove(&lru).unwrap();
+            shard.bytes -= evicted.bytes;
         }
-        shard.map.insert(key, Entry { cached, stamp });
     }
 
     /// Drops every cached plan (configuration changes invalidate
     /// everything: the same SQL can compile to a different plan).
     pub fn clear(&self) {
         for s in &self.shards {
-            let mut s = s.lock().unwrap();
+            let mut s = self.lock_shard(s);
             s.map.clear();
+            s.bytes = 0;
         }
     }
 
     pub fn stats(&self) -> PlanCacheStats {
+        let (mut entries, mut bytes) = (0, 0);
+        for s in &self.shards {
+            let s = self.lock_shard(s);
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.lock().unwrap().map.len())
-                .sum(),
+            entries,
+            bytes,
+            capacity_bytes: self.shards.len() * self.shard_bytes,
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
         }
     }
 }
@@ -298,19 +372,68 @@ mod tests {
     }
 
     #[test]
-    fn lru_eviction_is_bounded() {
-        let cache = PlanCache::new(1, 3);
+    fn lru_eviction_is_byte_bounded() {
+        // budget sized for exactly three of these (identical) entries
+        let unit = entry_bytes("q0", &plan(0.0));
+        let cache = PlanCache::new(1, 3 * unit);
         for i in 0..3 {
             cache.insert(format!("q{i}"), plan(i as f64));
         }
+        assert_eq!(cache.stats().bytes, 3 * unit);
         // touch q0 so q1 becomes the LRU
         assert!(matches!(cache.lookup("q0", 0), Lookup::Hit(_)));
         cache.insert("q3".into(), plan(3.0));
-        assert_eq!(cache.stats().entries, 3);
+        let s = cache.stats();
+        assert_eq!(s.entries, 3);
+        assert!(s.bytes <= s.capacity_bytes, "{s:?}");
         assert!(matches!(cache.lookup("q1", 0), Lookup::Miss));
         assert!(matches!(cache.lookup("q0", 0), Lookup::Hit(_)));
         assert!(matches!(cache.lookup("q3", 0), Lookup::Hit(_)));
         cache.clear();
-        assert_eq!(cache.stats().entries, 0);
+        let s = cache.stats();
+        assert_eq!((s.entries, s.bytes), (0, 0));
+    }
+
+    #[test]
+    fn oversized_plan_is_not_retained() {
+        let unit = entry_bytes("big", &plan(1.0));
+        let cache = PlanCache::new(1, unit - 1);
+        cache.insert("big".into(), plan(1.0));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.bytes), (0, 0));
+        assert!(matches!(cache.lookup("big", 0), Lookup::Miss));
+    }
+
+    #[test]
+    fn invalidation_releases_bytes() {
+        let cache = PlanCache::default();
+        let mut p = plan(1.0);
+        p.version = 1;
+        cache.insert("k".into(), p);
+        assert!(cache.stats().bytes > 0);
+        assert!(matches!(cache.lookup("k", 2), Lookup::Invalidated { .. }));
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_by_clearing() {
+        let cache = Arc::new(PlanCache::new(1, DEFAULT_SHARD_BYTES));
+        cache.insert("k".into(), plan(1.0));
+        assert!(matches!(cache.lookup("k", 0), Lookup::Hit(_)));
+        // poison the single shard: panic while holding its lock
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.shards[0].lock().unwrap();
+            panic!("injected panic under the shard lock");
+        })
+        .join();
+        assert!(cache.shards[0].is_poisoned());
+        // every operation keeps working; the shard restarts empty
+        assert!(matches!(cache.lookup("k", 0), Lookup::Miss));
+        cache.insert("k2".into(), plan(2.0));
+        assert!(matches!(cache.lookup("k2", 0), Lookup::Hit(_)));
+        let s = cache.stats();
+        assert!(s.poison_recoveries >= 1, "{s:?}");
+        assert_eq!(s.entries, 1);
     }
 }

@@ -4,7 +4,8 @@
 use crate::eval::{compute_windows, AggAcc, Bindings, EvalCtx};
 use crate::metrics::ExecMetrics;
 use cbqt_catalog::Catalog;
-use cbqt_common::{Error, Result, Row, Value};
+use cbqt_common::failpoint;
+use cbqt_common::{Error, Governor, Result, Row, Value};
 use cbqt_optimizer::{
     weights, AccessPath, BlockPlan, JoinMethod, Layout, PlanJoinKind, PlanNode, PlanRoot,
     SelectPlan,
@@ -46,7 +47,19 @@ pub struct Engine<'a> {
     /// Per-operator runtime counters; `None` (the default) keeps the
     /// execution path free of timing calls.
     metrics: RefCell<Option<ExecMetrics>>,
+    /// Statement-level resource governor; `Governor::unlimited()` (the
+    /// default) makes every check a single `Option` test.
+    governor: Governor,
+    /// Rows processed since the governor was last consulted; batches
+    /// per-row [`Engine::tick`] calls into one governor charge per
+    /// [`GOVERNOR_BATCH`] rows.
+    ticks: Cell<u32>,
 }
+
+/// Rows processed between governor checks. Small enough that deadlines
+/// and budgets trip promptly, large enough to keep atomics off the
+/// per-row path.
+const GOVERNOR_BATCH: u32 = 128;
 
 impl<'a> Engine<'a> {
     pub fn new(catalog: &'a Catalog, storage: &'a Storage) -> Engine<'a> {
@@ -59,7 +72,31 @@ impl<'a> Engine<'a> {
             subq_cache: RefCell::new(HashMap::new()),
             outer_cols: RefCell::new(HashMap::new()),
             metrics: RefCell::new(None),
+            governor: Governor::unlimited(),
+            ticks: Cell::new(0),
         }
+    }
+
+    /// Installs the statement's resource governor: row/work budgets and
+    /// deadline/cancellation interrupts are observed by every operator
+    /// loop (batched per `GOVERNOR_BATCH` rows).
+    pub fn set_governor(&mut self, governor: Governor) {
+        self.governor = governor;
+    }
+
+    /// Charges one processed row against the governor, consulting it
+    /// every [`GOVERNOR_BATCH`] rows. Every `next()`-style operator loop
+    /// calls this, so a runaway statement is interrupted wherever its
+    /// time goes.
+    #[inline]
+    fn tick(&self) -> Result<()> {
+        let t = self.ticks.get().wrapping_add(1);
+        self.ticks.set(t);
+        if t.is_multiple_of(GOVERNOR_BATCH) {
+            self.governor
+                .charge_exec(GOVERNOR_BATCH as u64, self.work.get())?;
+        }
+        Ok(())
     }
 
     /// Turns on per-operator metrics collection (EXPLAIN ANALYZE).
@@ -187,6 +224,7 @@ impl<'a> Engine<'a> {
     }
 
     fn exec_setop(&self, op: SetOp, mut inputs: Vec<Vec<Row>>) -> Result<Vec<Row>> {
+        cbqt_common::failpoint!(failpoint::EXEC_SETOP);
         match op {
             SetOp::UnionAll => {
                 let mut out = Vec::new();
@@ -194,6 +232,8 @@ impl<'a> Engine<'a> {
                     self.add_work(i.len() as f64 * weights::ROW);
                     out.append(&mut i);
                 }
+                self.governor
+                    .charge_exec(out.len() as u64, self.work.get())?;
                 Ok(out)
             }
             SetOp::Union => {
@@ -201,6 +241,7 @@ impl<'a> Engine<'a> {
                 let mut out = Vec::new();
                 for i in inputs {
                     for r in i {
+                        self.tick()?;
                         self.add_work(weights::DEDUP);
                         if seen.insert(r.clone()) {
                             out.push(r);
@@ -215,6 +256,7 @@ impl<'a> Engine<'a> {
                 let mut seen: HashSet<Row> = HashSet::new();
                 let mut out = Vec::new();
                 for r in left {
+                    self.tick()?;
                     self.add_work(weights::DEDUP);
                     if right.contains(&r) && seen.insert(r.clone()) {
                         out.push(r);
@@ -228,6 +270,7 @@ impl<'a> Engine<'a> {
                 let mut seen: HashSet<Row> = HashSet::new();
                 let mut out = Vec::new();
                 for r in left {
+                    self.tick()?;
                     self.add_work(weights::DEDUP);
                     if !right.contains(&r) && seen.insert(r.clone()) {
                         out.push(r);
@@ -255,6 +298,7 @@ impl<'a> Engine<'a> {
         // exit once the limit is reached
         let mut filtered: Vec<Row> = Vec::new();
         for r in rows {
+            self.tick()?;
             let mut pass = true;
             for c in &sp.post_filter {
                 self.add_work(weights::PRED);
@@ -355,6 +399,7 @@ impl<'a> Engine<'a> {
         // projection
         let mut out = Vec::with_capacity(rows.len());
         for r in &rows {
+            self.tick()?;
             self.add_work(weights::ROW);
             let proj: Row = sp
                 .select
@@ -369,6 +414,7 @@ impl<'a> Engine<'a> {
     /// Hash aggregation with representative-row semantics and grouping
     /// sets. Output rows are `representative wide row ++ agg values`.
     fn aggregate(&self, sp: &SelectPlan, ctx: &EvalCtx<'_>, rows: Vec<Row>) -> Result<Vec<Row>> {
+        cbqt_common::failpoint!(failpoint::EXEC_AGG);
         let sets: Vec<Vec<usize>> = match &sp.grouping_sets {
             Some(s) => s.clone(),
             None => vec![(0..sp.group_by.len()).collect()],
@@ -393,6 +439,7 @@ impl<'a> Engine<'a> {
             let mut groups: HashMap<Vec<Value>, (Row, Vec<AggAcc>)> = HashMap::new();
             let mut order: Vec<Vec<Value>> = Vec::new();
             for r in &rows {
+                self.tick()?;
                 self.add_work(weights::AGG);
                 let key: Vec<Value> = set
                     .iter()
@@ -491,6 +538,7 @@ impl<'a> Engine<'a> {
                 filter,
                 ..
             } => {
+                cbqt_common::failpoint!(failpoint::EXEC_SCAN);
                 let layout = Layout {
                     slots: vec![(*refid, 0, *width)],
                     width: *width,
@@ -508,6 +556,7 @@ impl<'a> Engine<'a> {
                 let data = self.storage.table(*table)?;
                 let mut out = Vec::new();
                 let mut emit = |ordinal: usize, engine: &Engine<'_>| -> Result<()> {
+                    engine.tick()?;
                     let mut row = data.rows[ordinal].clone();
                     row.push(Value::Int(ordinal as i64));
                     let mut pass = true;
@@ -626,6 +675,7 @@ impl<'a> Engine<'a> {
                 };
                 let mut out = Vec::new();
                 for r in rows.iter() {
+                    self.tick()?;
                     self.add_work(weights::ROW);
                     let mut pass = true;
                     for c in filter {
@@ -666,6 +716,7 @@ impl<'a> Engine<'a> {
         lateral: bool,
         binds: &Bindings<'_>,
     ) -> Result<Vec<Row>> {
+        cbqt_common::failpoint!(failpoint::EXEC_JOIN);
         let lrows = self.exec_node(left, binds)?;
         let llayout = Layout::from_node(left);
         let rlayout_node = Layout::from_node(right);
@@ -684,6 +735,7 @@ impl<'a> Engine<'a> {
                 let rctx = self.simple_ctx_b(&rlayout_node, &b2);
                 let mut matched = false;
                 for rrow in &rrows {
+                    self.tick()?;
                     self.add_work((equi.len() + residual.len()).max(1) as f64 * weights::PRED);
                     if !self.pair_matches(&lctx, &rctx, &cctx, lrow, rrow, equi, residual)? {
                         continue;
@@ -805,6 +857,7 @@ impl<'a> Engine<'a> {
         let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         let mut right_has_null_key = false;
         for (i, r) in rrows.iter().enumerate() {
+            self.tick()?;
             self.add_work(weights::HASH_BUILD);
             let key: Vec<Value> = equi
                 .iter()
@@ -818,6 +871,7 @@ impl<'a> Engine<'a> {
         }
         let mut out = Vec::new();
         for lrow in lrows {
+            self.tick()?;
             self.add_work(weights::HASH_PROBE);
             let key: Vec<Value> = equi
                 .iter()
@@ -828,6 +882,7 @@ impl<'a> Engine<'a> {
             let mut matched = false;
             if let Some(idxs) = hits {
                 for &i in idxs {
+                    self.tick()?;
                     let rrow = &rrows[i];
                     if !residual.is_empty() {
                         self.add_work(residual.len() as f64 * weights::PRED);
@@ -917,6 +972,7 @@ impl<'a> Engine<'a> {
         let mut out = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
         while i < lk.len() && j < rk.len() {
+            self.tick()?;
             self.add_work(weights::ROW);
             // NULL keys never join
             if lk[i].0.iter().any(Value::is_null) {
@@ -943,6 +999,7 @@ impl<'a> Engine<'a> {
                     }
                     for li in li0..i {
                         for rj in rj0..j {
+                            self.tick()?;
                             let lrow = &lrows[lk[li].1];
                             let rrow = &rrows[rk[rj].1];
                             if !residual.is_empty() {
@@ -1007,6 +1064,7 @@ impl<'a> Engine<'a> {
                 None => {
                     let mut m = false;
                     for rrow in rrows {
+                        self.tick()?;
                         self.add_work((equi.len() + residual.len()).max(1) as f64 * weights::PRED);
                         if self.pair_matches(lctx, rctx, cctx, lrow, rrow, equi, residual)? {
                             m = true;

@@ -5,7 +5,8 @@
 use crate::est::{Estimator, RelStats, DEFAULT_NDV_FRAC, DEFAULT_ROWS};
 use crate::plan::{weights, *};
 use cbqt_catalog::{Catalog, TableId};
-use cbqt_common::{cost_lt, Error, Result, TraceEvent, Tracer, Value};
+use cbqt_common::failpoint;
+use cbqt_common::{cost_lt, Error, Governor, Result, TraceEvent, Tracer, Value};
 use cbqt_qgm::{
     render, BlockId, JoinInfo, QExpr, QTableSource, QueryBlock, QueryTree, RefId, SelectBlock,
     SetOp,
@@ -98,6 +99,10 @@ pub struct Optimizer<'a> {
     pub stats: OptimizerStats,
     /// Optimizer trace sink (disabled by default; see `cbqt_common::trace`).
     pub tracer: Tracer<'a>,
+    /// Statement-level resource governor. Deadline/cancellation are
+    /// observed inside join enumeration; an exhausted optimizer-state
+    /// budget degrades wide-block planning from DP to greedy.
+    pub governor: Governor,
 }
 
 impl<'a> Optimizer<'a> {
@@ -114,6 +119,7 @@ impl<'a> Optimizer<'a> {
             sampling_cache,
             stats: OptimizerStats::default(),
             tracer: Tracer::disabled(),
+            governor: Governor::unlimited(),
         }
     }
 
@@ -146,6 +152,8 @@ impl<'a> Optimizer<'a> {
         plans: &HashMap<BlockId, BlockPlan>,
         budget: Option<f64>,
     ) -> Result<BlockPlan> {
+        cbqt_common::failpoint!(failpoint::OPTIMIZER_PLAN);
+        self.governor.check_interrupt()?;
         let key = if self.config.reuse_annotations {
             let rendered = render::render_block(tree, self.catalog, id);
             let mut h = DefaultHasher::new();
@@ -379,9 +387,14 @@ impl<'a> Optimizer<'a> {
         let best = if items.is_empty() {
             // FROM-less SELECT: one constant row
             (PlanNode::OneRow, weights::ROW, 1.0)
-        } else if items.len() <= enumerator.opt.config.dp_max_items {
+        } else if items.len() <= enumerator.opt.config.dp_max_items
+            && !enumerator.opt.governor.optimizer_exhausted()
+        {
             enumerator.enumerate_dp()?
         } else {
+            // greedy fallback: very wide blocks, or the statement's
+            // optimizer budget ran out (degraded search keeps planning
+            // cheap but always yields a valid plan)
             enumerator.enumerate_greedy()?
         };
         let (join_node, mut cost, mut rows) = best;
@@ -736,6 +749,7 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
             // way — EXPLAIN output must be deterministic
             masks.sort_unstable();
             for mask in masks {
+                self.opt.governor.check_interrupt()?;
                 let left = best.get(&mask).cloned().unwrap();
                 if let Some(b) = self.budget {
                     if left.cost > b {

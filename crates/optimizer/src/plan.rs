@@ -346,6 +346,144 @@ impl BlockPlan {
     }
 }
 
+impl BlockPlan {
+    /// Estimated deep size of this plan in bytes (stems plus heap
+    /// allocations), the currency the plan cache's memory bound is
+    /// expressed in. An estimate, not an exact measurement: shared
+    /// `Arc<str>` literals are counted once per reference.
+    pub fn estimated_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut n = size_of::<BlockPlan>() + self.out_ndv.capacity() * size_of::<f64>();
+        match &self.root {
+            PlanRoot::Select(sp) => {
+                n += size_of::<SelectPlan>();
+                n += node_bytes(&sp.join);
+                n += sp.layout.slots.capacity() * size_of::<(RefId, usize, usize)>();
+                for e in sp
+                    .post_filter
+                    .iter()
+                    .chain(&sp.aggs)
+                    .chain(&sp.group_by)
+                    .chain(&sp.having)
+                    .chain(&sp.windows)
+                    .chain(&sp.select)
+                    .chain(sp.distinct_keys.iter().flatten())
+                {
+                    n += qexpr_bytes(e);
+                }
+                if let Some(sets) = &sp.grouping_sets {
+                    n += sets
+                        .iter()
+                        .map(|s| s.capacity() * size_of::<usize>())
+                        .sum::<usize>();
+                }
+                for o in &sp.order_by {
+                    n += size_of::<QOrder>() + qexpr_bytes(&o.expr);
+                }
+                for (_, p) in &sp.subplans {
+                    n += p.estimated_bytes();
+                }
+            }
+            PlanRoot::SetOp(sp) => {
+                n += sp
+                    .inputs
+                    .iter()
+                    .map(BlockPlan::estimated_bytes)
+                    .sum::<usize>();
+            }
+        }
+        n
+    }
+}
+
+fn node_bytes(node: &PlanNode) -> usize {
+    use std::mem::size_of;
+    let stem = size_of::<PlanNode>();
+    stem + match node {
+        PlanNode::OneRow => 0,
+        PlanNode::ScanBase { access, filter, .. } => {
+            access_bytes(access) + filter.iter().map(qexpr_bytes).sum::<usize>()
+        }
+        PlanNode::ScanView { plan, filter, .. } => {
+            plan.estimated_bytes() + filter.iter().map(qexpr_bytes).sum::<usize>()
+        }
+        PlanNode::Join {
+            left,
+            right,
+            equi,
+            residual,
+            ..
+        } => {
+            node_bytes(left)
+                + node_bytes(right)
+                + equi
+                    .iter()
+                    .map(|(l, r)| qexpr_bytes(l) + qexpr_bytes(r))
+                    .sum::<usize>()
+                + residual.iter().map(qexpr_bytes).sum::<usize>()
+        }
+    }
+}
+
+fn access_bytes(access: &AccessPath) -> usize {
+    match access {
+        AccessPath::FullScan => 0,
+        AccessPath::IndexEq { key, .. } => key.iter().map(qexpr_bytes).sum(),
+        AccessPath::IndexRange { lo, hi, .. } => lo
+            .iter()
+            .chain(hi.iter())
+            .map(|(e, _)| qexpr_bytes(e))
+            .sum(),
+    }
+}
+
+fn qexpr_bytes(e: &QExpr) -> usize {
+    use cbqt_common::Value;
+    use std::mem::size_of;
+    let stem = size_of::<QExpr>();
+    stem + match e {
+        QExpr::Col { .. } | QExpr::Subq { .. } => 0,
+        QExpr::Lit(v) => match v {
+            Value::Str(s) => s.len(),
+            _ => 0,
+        },
+        QExpr::Bin { left, right, .. } => qexpr_bytes(left) + qexpr_bytes(right),
+        QExpr::Not(x) | QExpr::Neg(x) => qexpr_bytes(x),
+        QExpr::IsNull { expr, .. } => qexpr_bytes(expr),
+        QExpr::InList { expr, list, .. } => {
+            qexpr_bytes(expr) + list.iter().map(qexpr_bytes).sum::<usize>()
+        }
+        QExpr::Like { expr, pattern, .. } => qexpr_bytes(expr) + qexpr_bytes(pattern),
+        QExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            operand.as_deref().map(qexpr_bytes).unwrap_or(0)
+                + branches
+                    .iter()
+                    .map(|(c, v)| qexpr_bytes(c) + qexpr_bytes(v))
+                    .sum::<usize>()
+                + else_expr.as_deref().map(qexpr_bytes).unwrap_or(0)
+        }
+        QExpr::Func { name, args } => name.len() + args.iter().map(qexpr_bytes).sum::<usize>(),
+        QExpr::Agg { arg, .. } => arg.as_deref().map(qexpr_bytes).unwrap_or(0),
+        QExpr::Win {
+            arg,
+            partition_by,
+            order_by,
+            ..
+        } => {
+            arg.as_deref().map(qexpr_bytes).unwrap_or(0)
+                + partition_by.iter().map(qexpr_bytes).sum::<usize>()
+                + order_by
+                    .iter()
+                    .map(|o| size_of::<QOrder>() + qexpr_bytes(&o.expr))
+                    .sum::<usize>()
+        }
+    }
+}
+
 fn note_for(a: Option<String>) -> String {
     match a {
         Some(a) => format!(" {a}"),
@@ -482,6 +620,49 @@ mod tests {
         assert_eq!(j.width(), 3);
         let l = Layout::from_node(&j);
         assert_eq!(l.slots.len(), 1);
+    }
+
+    #[test]
+    fn estimated_bytes_counts_the_tree() {
+        let leaf = BlockPlan {
+            block: BlockId(0),
+            root: PlanRoot::Select(Box::new(SelectPlan {
+                join: scan(0, 3),
+                layout: Layout::default(),
+                post_filter: vec![],
+                aggs: vec![],
+                group_by: vec![],
+                grouping_sets: None,
+                having: vec![],
+                windows: vec![],
+                select: vec![QExpr::Col {
+                    table: RefId(0),
+                    column: 1,
+                }],
+                distinct: false,
+                distinct_keys: None,
+                order_by: vec![],
+                rownum_limit: None,
+                subplans: vec![],
+            })),
+            cost: 1.0,
+            rows: 1.0,
+            out_ndv: vec![],
+        };
+        let small = leaf.estimated_bytes();
+        assert!(small > 0);
+        // a set-op over two copies is strictly bigger than one copy
+        let bigger = BlockPlan {
+            block: BlockId(1),
+            root: PlanRoot::SetOp(SetOpPlan {
+                op: SetOp::Union,
+                inputs: vec![leaf.clone(), leaf],
+            }),
+            cost: 2.0,
+            rows: 2.0,
+            out_ndv: vec![],
+        };
+        assert!(bigger.estimated_bytes() > 2 * small);
     }
 
     #[test]

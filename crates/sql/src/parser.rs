@@ -82,9 +82,18 @@ const RESERVED: &[&str] = &[
     "INTO",
 ];
 
+/// Maximum recursion depth across nested expressions, parenthesized
+/// table references and set-operation branches. The recursive-descent
+/// parser consumes native stack per nesting level; this bound turns a
+/// pathological input (e.g. 10 000 nested parentheses) into a parse
+/// error instead of a stack overflow.
+const MAX_NESTING_DEPTH: usize = 64;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current recursion depth (see [`MAX_NESTING_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -92,7 +101,24 @@ impl Parser {
         Ok(Parser {
             tokens: Lexer::tokenize(src)?,
             pos: 0,
+            depth: 0,
         })
+    }
+
+    /// Enters one recursion level; fails with a parse error past
+    /// [`MAX_NESTING_DEPTH`]. Paired with [`Parser::descend_end`].
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(Error::parse(format!(
+                "query nesting exceeds the maximum depth of {MAX_NESTING_DEPTH}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn descend_end(&mut self) {
+        self.depth -= 1;
     }
 
     // -- token helpers ------------------------------------------------
@@ -484,6 +510,13 @@ impl Parser {
     }
 
     fn parse_set_primary(&mut self) -> Result<SetExpr> {
+        self.descend()?;
+        let r = self.parse_set_primary_body();
+        self.descend_end();
+        r
+    }
+
+    fn parse_set_primary_body(&mut self) -> Result<SetExpr> {
         if self.eat(&TokenKind::LParen) {
             let q = self.parse_query()?;
             self.expect(&TokenKind::RParen)?;
@@ -621,6 +654,13 @@ impl Parser {
     }
 
     fn parse_table_primary(&mut self) -> Result<TableRef> {
+        self.descend()?;
+        let r = self.parse_table_primary_body();
+        self.descend_end();
+        r
+    }
+
+    fn parse_table_primary_body(&mut self) -> Result<TableRef> {
         if self.eat(&TokenKind::LParen) {
             // derived table
             let q = self.parse_query()?;
@@ -645,6 +685,13 @@ impl Parser {
     }
 
     fn parse_or(&mut self) -> Result<Expr> {
+        self.descend()?;
+        let r = self.parse_or_body();
+        self.descend_end();
+        r
+    }
+
+    fn parse_or_body(&mut self) -> Result<Expr> {
         let mut left = self.parse_and()?;
         while self.eat_kw("OR") {
             let right = self.parse_and()?;
@@ -1109,6 +1156,41 @@ mod tests {
             SetExpr::Select(s) => *s,
             other => panic!("expected select, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // without the depth guard these would exhaust the native stack
+        let expr = format!("{}1{}", "(".repeat(10_000), ")".repeat(10_000));
+        let err = parse_expression(&expr).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+
+        let mut q = String::new();
+        for _ in 0..10_000 {
+            q.push_str("SELECT * FROM (");
+        }
+        q.push_str("SELECT 1");
+        for _ in 0..10_000 {
+            q.push_str(") t");
+        }
+        let err = parse_statement(&q).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+
+        let mut s = "SELECT 1".to_string();
+        s.push_str(&" UNION (SELECT 2".repeat(10_000));
+        s.push_str(&")".repeat(10_000));
+        assert!(parse_statement(&s).is_err());
+
+        // reasonable nesting still parses, and the depth counter resets
+        // correctly between expressions of one statement
+        let ok = format!(
+            "SELECT {}1{} FROM t WHERE {}2{} > 0",
+            "(".repeat(50),
+            ")".repeat(50),
+            "(".repeat(50),
+            ")".repeat(50)
+        );
+        assert!(parse_statement(&ok).is_ok());
     }
 
     #[test]

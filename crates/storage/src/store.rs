@@ -111,6 +111,7 @@ impl Storage {
     }
 
     pub fn table(&self, table: TableId) -> Result<&TableData> {
+        cbqt_common::failpoint!(cbqt_common::failpoint::STORAGE_SCAN);
         self.tables
             .get(&table)
             .ok_or_else(|| Error::execution(format!("no data for table id {}", table.0)))
@@ -172,6 +173,7 @@ impl Storage {
     }
 
     pub fn index(&self, id: IndexId) -> Result<&BTreeIndex> {
+        cbqt_common::failpoint!(cbqt_common::failpoint::STORAGE_INDEX);
         self.indexes
             .get(&id)
             .ok_or_else(|| Error::execution(format!("index id {} not built", id.0)))

@@ -1,0 +1,112 @@
+//! Test-facing fault-injection harness over the engine's compiled-in
+//! failpoints ([`cbqt_common::failpoint`](mod@cbqt_common::failpoint)).
+//!
+//! Production code declares injection sites with
+//! `cbqt_common::failpoint!`; this module is how tests *arm* them:
+//!
+//! ```
+//! use cbqt_testkit::failpoints::{self, Fail};
+//! let _serial = failpoints::serial(); // failpoints are process-global
+//! {
+//!     let _fp = Fail::error(cbqt_common::failpoint::EXEC_SCAN);
+//!     // ... run a query; the scan operator returns Error::Internal ...
+//! } // disarmed on drop
+//! ```
+//!
+//! Failpoint state is process-global, and Rust runs tests in one process
+//! on many threads — every test that arms failpoints must hold the
+//! [`serial`] guard for its whole body so arming can't bleed into
+//! unrelated tests.
+
+use cbqt_common::failpoint::{self, FailAction};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// RAII guard: arms one failpoint on construction, disarms it on drop
+/// (including drop-during-unwind, so a failing assertion can't leave a
+/// site armed for the next test).
+pub struct Fail {
+    name: &'static str,
+}
+
+impl Fail {
+    /// Arms `name` to return `Error::Internal` when reached.
+    pub fn error(name: &'static str) -> Fail {
+        failpoint::arm(name, FailAction::Error);
+        Fail { name }
+    }
+
+    /// Arms `name` to panic when reached (exercising the `Database`
+    /// boundary's `catch_unwind` + lock-poison recovery).
+    pub fn panic(name: &'static str) -> Fail {
+        failpoint::arm(name, FailAction::Panic);
+        Fail { name }
+    }
+}
+
+impl Drop for Fail {
+    fn drop(&mut self) {
+        failpoint::disarm(self.name);
+    }
+}
+
+/// Every failpoint compiled into the engine, re-exported so suites can
+/// loop over the whole registry.
+pub fn all() -> &'static [&'static str] {
+    failpoint::ALL
+}
+
+/// Disarms every failpoint (belt-and-braces teardown for harnesses that
+/// arm without the [`Fail`] guard, like the fuzzer).
+pub fn disarm_all() {
+    failpoint::disarm_all();
+}
+
+/// Serializes fault-injection tests: hold the returned guard for the
+/// whole test body. Recovers from poisoning — a previous test failing
+/// mid-injection must not wedge the rest of the suite.
+pub fn serial() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = GATE
+        .get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    // A poisoned gate means a previous test died mid-injection; make
+    // sure it didn't leave sites armed.
+    disarm_all();
+    guard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_disarms_on_drop_even_on_unwind() {
+        let _serial = serial();
+        {
+            let _fp = Fail::error(failpoint::EXEC_SCAN);
+            assert!(failpoint::fire(failpoint::EXEC_SCAN).is_err());
+        }
+        assert!(failpoint::fire(failpoint::EXEC_SCAN).is_ok());
+
+        let unwound = std::panic::catch_unwind(|| {
+            let _fp = Fail::error(failpoint::EXEC_JOIN);
+            panic!("test body failed");
+        });
+        assert!(unwound.is_err());
+        assert!(failpoint::fire(failpoint::EXEC_JOIN).is_ok());
+    }
+
+    #[test]
+    fn registry_is_nonempty_and_armable() {
+        let _serial = serial();
+        assert!(!all().is_empty());
+        for name in all() {
+            let _fp = Fail::error(name);
+            assert!(failpoint::fire(name).is_err(), "{name} did not fire");
+        }
+        for name in all() {
+            assert!(failpoint::fire(name).is_ok(), "{name} left armed");
+        }
+    }
+}

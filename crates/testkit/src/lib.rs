@@ -9,12 +9,17 @@
 //!   [`props!`] macro).
 //! - [`mod@bench`]: a criterion-shaped benchmark harness that emits JSON
 //!   lines to stdout (see the [`bench_main!`] macro).
+//! - [`failpoints`]: the fault-injection harness arming the engine's
+//!   compiled-in `failpoint!` sites (see `cbqt_common::failpoint`).
 //!
-//! This crate must never grow a dependency — the CI hermeticity guard
-//! (`ci/check_hermetic.sh`) fails the build if any crate in the workspace
-//! resolves a registry or git dependency.
+//! This crate must never grow an *external* dependency — the CI
+//! hermeticity guard (`ci/check_hermetic.sh`) fails the build if any
+//! crate in the workspace resolves a registry or git dependency. Its
+//! only dependency is the in-tree `cbqt-common`, which itself depends
+//! on nothing.
 
 pub mod bench;
+pub mod failpoints;
 pub mod prop;
 pub mod rng;
 

@@ -22,7 +22,7 @@ use crate::costbased::view_transform::{can_merge_view, merge_view};
 use crate::costbased::{default_transforms, ApplyEffect, CbTransform, Target};
 use crate::heuristic::{apply_heuristics_with, HeuristicReport};
 use cbqt_catalog::Catalog;
-use cbqt_common::{cost_lt, Error, Result, TraceEvent, Tracer};
+use cbqt_common::{cost_lt, Error, Governor, Result, StateCharge, TraceEvent, Tracer};
 use cbqt_optimizer::{
     is_cutoff, BlockPlan, CostAnnotations, DynamicSampler, Optimizer, OptimizerConfig,
     OptimizerStats, SamplingCache,
@@ -155,6 +155,10 @@ pub struct CbqtOutcome {
     /// §3.4.1 cost cut-offs taken while costing states.
     pub cutoffs: u64,
     pub optimizer_stats: OptimizerStats,
+    /// True when the statement's optimizer-state budget ran out
+    /// mid-search: the plan is valid and executable but reflects the
+    /// best state found before the budget tripped, not the full search.
+    pub degraded: bool,
 }
 
 /// Runs the full pipeline: heuristic transformations, then each
@@ -202,6 +206,32 @@ pub fn optimize_query_traced(
     sampler: Option<&dyn DynamicSampler>,
     tracer: Tracer<'_>,
 ) -> Result<CbqtOutcome> {
+    optimize_query_governed(
+        tree,
+        catalog,
+        config,
+        sampling_cache,
+        sampler,
+        tracer,
+        &Governor::unlimited(),
+    )
+}
+
+/// [`optimize_query_traced`] under a statement-level resource
+/// [`Governor`]. Cancellation and the wall-clock deadline are observed
+/// between and inside state costings (hard failure); exhausting the
+/// optimizer-state budget *degrades* the search instead — remaining
+/// states are skipped, the best state found so far wins, and the
+/// outcome is flagged [`CbqtOutcome::degraded`].
+pub fn optimize_query_governed(
+    tree: &QueryTree,
+    catalog: &Catalog,
+    config: &CbqtConfig,
+    sampling_cache: &SamplingCache,
+    sampler: Option<&dyn DynamicSampler>,
+    tracer: Tracer<'_>,
+    governor: &Governor,
+) -> Result<CbqtOutcome> {
     let before_sql = if tracer.enabled() {
         render::render_tree(tree, catalog)
     } else {
@@ -235,6 +265,7 @@ pub fn optimize_query_traced(
                 cutoffs: &mut cutoffs,
                 stats: &mut opt_stats,
                 tracer,
+                governor,
             };
             let decision = session.run(&mut tree, t.as_ref())?;
             if let Some(d) = decision {
@@ -255,11 +286,14 @@ pub fn optimize_query_traced(
         }
     }
 
-    // final physical optimization of the winning tree
+    // final physical optimization of the winning tree; this always runs
+    // (even when the search degraded) so the statement gets a valid,
+    // executable plan. The governor's interrupts still apply inside.
     let mut opt = Optimizer::new(catalog, &mut annotations, sampling_cache);
     opt.sampler = sampler;
     opt.config = config.optimizer.clone();
     opt.tracer = tracer;
+    opt.governor = governor.clone();
     let plan = opt.optimize(&tree, None)?;
     opt_stats.blocks_costed += opt.stats.blocks_costed;
     opt_stats.annotation_hits += opt.stats.annotation_hits;
@@ -279,6 +313,7 @@ pub fn optimize_query_traced(
         states_explored,
         cutoffs,
         optimizer_stats: opt_stats,
+        degraded: governor.optimizer_exhausted(),
     })
 }
 
@@ -338,6 +373,7 @@ struct TransformSession<'a> {
     cutoffs: &'a mut u64,
     stats: &'a mut OptimizerStats,
     tracer: Tracer<'a>,
+    governor: &'a Governor,
 }
 
 impl<'a> TransformSession<'a> {
@@ -581,6 +617,23 @@ impl<'a> TransformSession<'a> {
         state: &[usize],
         budget: f64,
     ) -> Result<Option<(f64, Vec<bool>)>> {
+        // Statement-level optimizer budget (graceful degradation): once
+        // it runs out, remaining states are skipped as if cut off — the
+        // best state costed so far stands, or the all-zero state (the
+        // heuristic tree) if nothing was costed yet.
+        match self.governor.charge_state() {
+            StateCharge::Charged => {}
+            StateCharge::ExhaustedNow => {
+                self.tracer.emit(|| TraceEvent::SearchDegraded {
+                    transform: t.name().to_string(),
+                    states_used: self.governor.states_used().saturating_sub(1),
+                });
+                return Ok(None);
+            }
+            StateCharge::Exhausted => return Ok(None),
+        }
+        // cancellation / deadline are hard interrupts even mid-search
+        self.governor.check_interrupt()?;
         let mut copy = tree.clone(); // the deep copy of §3.1
         let effects = match apply_state(&mut copy, self.catalog, t, targets, state) {
             Ok(e) => e,
@@ -683,6 +736,7 @@ impl<'a> TransformSession<'a> {
         opt.sampler = self.sampler;
         opt.config = self.config.optimizer.clone();
         opt.tracer = self.tracer;
+        opt.governor = self.governor.clone();
         let budget = if self.config.cost_cutoff && budget.is_finite() {
             Some(budget)
         } else {

@@ -1,0 +1,272 @@
+//! Robustness end-to-end: the statement-level resource governor
+//! (deadlines, budgets, cooperative cancellation, graceful search
+//! degradation) and the fault-injection harness (every registered
+//! failpoint must surface as an `Err`, never a panic or a hang, and the
+//! database must keep serving afterwards).
+
+use cbqt::common::failpoint;
+use cbqt::common::{Error, Value};
+use cbqt::{Database, StatementLimits};
+use cbqt_testkit::failpoints::{self, Fail};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fixture() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE departments (dept_id INT PRIMARY KEY, department_name VARCHAR(30) NOT NULL);
+         CREATE TABLE employees (emp_id INT PRIMARY KEY, employee_name VARCHAR(30) NOT NULL,
+             dept_id INT REFERENCES departments(dept_id), salary INT);
+         CREATE INDEX i_emp_dept ON employees (dept_id);
+         CREATE TABLE nums (n INT PRIMARY KEY);",
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for d in 0..8i64 {
+        rows.push(vec![Value::Int(d), Value::str(format!("dept{d}"))]);
+    }
+    db.load_rows("departments", rows).unwrap();
+    let mut rows = Vec::new();
+    for e in 0..200i64 {
+        rows.push(vec![
+            Value::Int(e),
+            Value::str(format!("emp{e}")),
+            Value::Int(e % 8),
+            Value::Int(1000 + (e * 37) % 3000),
+        ]);
+    }
+    db.load_rows("employees", rows).unwrap();
+    let rows = (0..150i64).map(|n| vec![Value::Int(n)]).collect();
+    db.load_rows("nums", rows).unwrap();
+    db.analyze().unwrap();
+    db
+}
+
+/// A query whose full execution takes far longer than any limit used in
+/// these tests: a three-way cross join (150^3 = 3.4M output rows).
+const BIG_CROSS_JOIN: &str =
+    "SELECT COUNT(*) FROM (SELECT a.n FROM nums a, nums b, nums c WHERE a.n + b.n + c.n > -1) t";
+
+#[test]
+fn deadline_trips_within_twice_the_limit() {
+    let db = fixture();
+    let limit = Duration::from_millis(400);
+    let t0 = Instant::now();
+    let err = db
+        .query_with_limits(BIG_CROSS_JOIN, StatementLimits::none().with_deadline(limit))
+        .unwrap_err();
+    let elapsed = t0.elapsed();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+    assert!(err.to_string().contains("deadline"), "{err}");
+    assert!(
+        elapsed < 2 * limit,
+        "deadline of {limit:?} observed only after {elapsed:?}"
+    );
+    // the database keeps serving normally afterwards
+    let r = db.query("SELECT COUNT(*) FROM employees").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(200));
+}
+
+#[test]
+fn row_and_work_budgets_trip() {
+    let db = fixture();
+    let err = db
+        .query_with_limits(
+            BIG_CROSS_JOIN,
+            StatementLimits::none().with_row_budget(10_000),
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+    assert!(err.to_string().contains("row budget"), "{err}");
+
+    let err = db
+        .query_with_limits(
+            BIG_CROSS_JOIN,
+            StatementLimits::none().with_work_budget(50_000.0),
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+    assert!(err.to_string().contains("work budget"), "{err}");
+
+    // generous budgets leave results untouched
+    let r = db
+        .query_with_limits(
+            "SELECT COUNT(*) FROM employees",
+            StatementLimits::none()
+                .with_row_budget(1_000_000)
+                .with_work_budget(1e12),
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(200));
+    assert!(!r.stats.degraded);
+}
+
+#[test]
+fn cross_thread_cancellation_stops_a_running_query() {
+    let db = Arc::new(fixture());
+    let token = db.cancel_token();
+    let runner = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || db.query(BIG_CROSS_JOIN))
+    };
+    std::thread::sleep(Duration::from_millis(150));
+    token.cancel();
+    let result = runner.join().expect("query thread must not panic");
+    let err = result.unwrap_err();
+    assert!(matches!(err, Error::Cancelled), "{err}");
+    // the flag is sticky: new statements fail until reset
+    assert!(matches!(
+        db.query("SELECT COUNT(*) FROM employees"),
+        Err(Error::Cancelled)
+    ));
+    token.reset();
+    let r = db.query("SELECT COUNT(*) FROM employees").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(200));
+}
+
+/// A query the CBQT search spends several states on, so a tiny
+/// optimizer-state budget is guaranteed to trip mid-search.
+const SEARCHY: &str = "SELECT d.department_name FROM departments d WHERE d.dept_id IN \
+     (SELECT e.dept_id FROM employees e WHERE e.salary > \
+      (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e.dept_id)) \
+     ORDER BY d.department_name";
+
+#[test]
+fn optimizer_budget_degrades_gracefully() {
+    let db = fixture();
+    // degraded run first: a cached full plan would short-circuit the
+    // search and nothing would be left to degrade
+    let report = db
+        .trace_with_limits(SEARCHY, StatementLimits::none().with_optimizer_states(1))
+        .unwrap();
+    assert!(report.stats.degraded, "budget of 1 state must degrade");
+    let rendered = report.render();
+    assert!(rendered.contains("SEARCH DEGRADED"), "{rendered}");
+    assert!(rendered.contains("state budget exhausted"), "{rendered}");
+    // a degraded plan is never published to the shared plan cache
+    assert_eq!(db.plan_cache_stats().entries, 0);
+
+    // the degraded plan is valid: same rows as the full search's plan
+    let full = db.query(SEARCHY).unwrap();
+    assert!(!full.stats.degraded);
+    assert!(full.stats.states_explored > 1);
+    let degraded = db
+        .query_with_limits(SEARCHY, StatementLimits::none().with_optimizer_states(1))
+        .unwrap();
+    // second limited run hits the plan cache published by the full run —
+    // served plans are complete, so nothing degrades
+    assert!(degraded.stats.plan_cache_hit);
+    db.clear_plan_cache();
+    let degraded = db
+        .query_with_limits(SEARCHY, StatementLimits::none().with_optimizer_states(1))
+        .unwrap();
+    assert!(degraded.stats.degraded);
+    assert_eq!(degraded.rows, full.rows);
+    assert_eq!(degraded.columns, full.columns);
+}
+
+#[test]
+fn zero_state_budget_still_produces_a_plan() {
+    let db = fixture();
+    let r = db
+        .query_with_limits(SEARCHY, StatementLimits::none().with_optimizer_states(0))
+        .unwrap();
+    assert!(r.stats.degraded);
+    assert_eq!(r.rows, db.query(SEARCHY).unwrap().rows);
+}
+
+/// Per-failpoint probe: a query guaranteed to traverse the injected
+/// site when compiled fresh against the fixture schema.
+fn probe_sql(name: &str) -> &'static str {
+    match name {
+        failpoint::STORAGE_SCAN | failpoint::EXEC_SCAN | failpoint::OPTIMIZER_PLAN => {
+            "SELECT COUNT(*) FROM employees"
+        }
+        failpoint::STORAGE_INDEX => "SELECT employee_name FROM employees WHERE emp_id = 7",
+        failpoint::EXEC_JOIN => {
+            "SELECT e.employee_name, d.department_name FROM employees e, departments d \
+             WHERE e.dept_id = d.dept_id"
+        }
+        failpoint::EXEC_AGG => "SELECT dept_id, COUNT(*) FROM employees GROUP BY dept_id",
+        failpoint::EXEC_SETOP => {
+            "SELECT emp_id FROM employees UNION SELECT dept_id FROM departments"
+        }
+        other => panic!("no probe query for failpoint {other:?}"),
+    }
+}
+
+#[test]
+fn every_failpoint_errors_cleanly_and_service_resumes() {
+    let _serial = failpoints::serial();
+    let db = fixture();
+    for &name in failpoints::all() {
+        // fresh compilation each round so optimizer-side sites fire too
+        db.clear_plan_cache();
+        let sql = probe_sql(name);
+        {
+            let _fp = Fail::error(name);
+            let err = db.query(sql).unwrap_err();
+            assert!(
+                err.to_string().contains(name),
+                "failpoint {name}: unexpected error {err}"
+            );
+        }
+        // disarmed: the same statement succeeds and the cache is coherent
+        let cold = db
+            .query(sql)
+            .unwrap_or_else(|e| panic!("follow-up query after failpoint {name} failed: {e}"));
+        let warm = db.query(sql).unwrap();
+        assert!(warm.stats.plan_cache_hit, "failpoint {name}");
+        assert_eq!(warm.rows, cold.rows, "failpoint {name}");
+    }
+}
+
+#[test]
+fn every_failpoint_panic_is_contained() {
+    let _serial = failpoints::serial();
+    // silence the default per-panic stderr backtrace for this loop;
+    // panics are expected and caught at the statement boundary
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let db = fixture();
+    let mut checked = 0;
+    for &name in failpoints::all() {
+        db.clear_plan_cache();
+        let sql = probe_sql(name);
+        {
+            let _fp = Fail::panic(name);
+            let err = db.query(sql).unwrap_err();
+            assert!(matches!(err, Error::Internal(_)), "failpoint {name}: {err}");
+            assert!(
+                err.to_string().contains("panicked"),
+                "failpoint {name}: {err}"
+            );
+        }
+        let r = db
+            .query(sql)
+            .unwrap_or_else(|e| panic!("follow-up query after panic at {name} failed: {e}"));
+        assert!(!r.rows.is_empty() || sql.contains("COUNT"), "{name}");
+        checked += 1;
+    }
+    std::panic::set_hook(prev);
+    assert_eq!(checked, failpoints::all().len());
+    // after a whole round of injected panics the cache still works
+    let stats = db.plan_cache_stats();
+    assert!(stats.bytes <= stats.capacity_bytes, "{stats:?}");
+    let a = db.query("SELECT COUNT(*) FROM employees").unwrap();
+    assert_eq!(a.rows[0][0], Value::Int(200));
+}
+
+#[test]
+fn limits_on_cache_hits_are_still_enforced() {
+    let db = fixture();
+    let sql = "SELECT COUNT(*) FROM (SELECT a.n FROM nums a, nums b WHERE a.n + b.n > -1) t";
+    // compile + cache the plan with no limits (22.5k joined rows)
+    assert!(!db.query(sql).unwrap().stats.plan_cache_hit);
+    // a later limited execution of the cached plan must still trip
+    let err = db
+        .query_with_limits(sql, StatementLimits::none().with_row_budget(1_000))
+        .unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+    assert!(err.to_string().contains("row budget"), "{err}");
+}
