@@ -1,0 +1,46 @@
+//! Bench for the parallel state-space search: wall-clock optimization
+//! time of the Table-2 query shape at 1 vs N workers, exhaustive
+//! strategy (the largest per-transformation candidate sets, so the
+//! waves actually fill). On a multi-core host the N-worker rows should
+//! beat the serial row; on a single core they measure the wave
+//! machinery's overhead instead.
+
+use cbqt::SearchStrategy;
+use cbqt_bench::workload::{Family, WorkloadGen};
+use cbqt_testkit::bench::Harness;
+
+const SQL: &str = "SELECT e1.employee_name \
+    FROM employees e1, job_history j, departments d0 \
+    WHERE e1.emp_id = j.emp_id AND e1.dept_id = d0.dept_id AND \
+          e1.dept_id NOT IN (SELECT d.dept_id FROM departments d, locations l \
+                             WHERE d.loc_id = l.loc_id AND l.country_id = 'JP' \
+                               AND d.dept_id IS NOT NULL) AND \
+          EXISTS (SELECT 1 FROM departments d, locations l \
+                  WHERE d.loc_id = l.loc_id AND d.dept_id = e1.dept_id \
+                    AND l.country_id = 'US') AND \
+          NOT EXISTS (SELECT 1 FROM departments d, locations l \
+                      WHERE d.loc_id = l.loc_id AND d.dept_id = e1.dept_id \
+                        AND l.country_id = 'DE') AND \
+          e1.emp_id IN (SELECT j2.emp_id FROM job_history j2, departments d2 \
+                        WHERE j2.dept_id = d2.dept_id AND j2.start_date > 19950000)";
+
+fn bench(c: &mut Harness) {
+    let mut gen = WorkloadGen::new(42);
+    gen.scale = 0.2;
+    let mut inst = gen.generate(Family::Unnest, 1).pop().unwrap();
+    let mut g = c.benchmark_group("parallel_search");
+    g.sample_size(20);
+    for workers in [1usize, 2, 4, 8] {
+        let cfg = inst.db.config_mut();
+        cfg.cost_based = true;
+        cfg.search = SearchStrategy::Exhaustive;
+        cfg.interleave = true;
+        cfg.parallelism = workers;
+        g.bench_function(&format!("workers_{workers}"), |b| {
+            b.iter(|| inst.db.explain(SQL).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+cbqt_testkit::bench_main!(bench);

@@ -5,6 +5,7 @@
 //! cargo run -p cbqt-bench --release --bin experiments -- all
 //! cargo run -p cbqt-bench --release --bin experiments -- fig3 --n 120 --scale 1.5
 //! cargo run -p cbqt-bench --release --bin experiments -- fig3 --trace
+//! cargo run -p cbqt-bench --release --bin experiments -- table2 --parallelism 4
 //! ```
 
 use cbqt_bench::experiments;
@@ -16,6 +17,9 @@ struct Args {
     scale: f64,
     reps: usize,
     trace: bool,
+    /// Worker threads for the CBQT state-space search (table2); 0 =
+    /// auto, 1 = serial.
+    parallelism: usize,
 }
 
 fn parse_args() -> Args {
@@ -26,6 +30,7 @@ fn parse_args() -> Args {
         scale: 1.0,
         reps: 2,
         trace: false,
+        parallelism: 1,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -46,6 +51,10 @@ fn parse_args() -> Args {
             "--reps" => {
                 i += 1;
                 args.reps = argv[i].parse().expect("--reps takes a number");
+            }
+            "--parallelism" => {
+                i += 1;
+                args.parallelism = argv[i].parse().expect("--parallelism takes a number");
             }
             "--trace" => args.trace = true,
             other if !other.starts_with("--") => args.which = other.to_string(),
@@ -83,7 +92,10 @@ fn main() {
         println!("{}", experiments::run_table1(args.seed));
     }
     if run_all || args.which == "table2" {
-        println!("{}", experiments::run_table2(args.seed, args.reps.max(3)));
+        println!(
+            "{}",
+            experiments::run_table2(args.seed, args.reps.max(3), args.parallelism)
+        );
     }
     if args.trace {
         println!("{}", experiments::run_trace(args.seed, args.scale));

@@ -129,7 +129,7 @@ fn canon(rows: &[Vec<Value>]) -> Vec<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz [--iters N] [--seed S] [--failpoints] [N]\n\
+        "usage: fuzz [--iters N] [--seed S] [--parallelism P] [--failpoints] [N]\n\
          \n\
          Runs N differential-fuzz rounds (default 300). Round i uses seed\n\
          S + i (S defaults to 0), so any reported failure reproduces with\n\
@@ -141,15 +141,20 @@ fn usage() -> ! {
          an Err — no panics escaping the statement boundary, no hangs —\n\
          and the database must keep serving consistently afterwards.\n\
          Result-row comparison is skipped (faults and limits legitimately\n\
-         abort statements)."
+         abort statements).\n\
+         \n\
+         --parallelism P costs candidate transformation states on P\n\
+         worker threads (0 = auto, 1 = serial; the default). Results\n\
+         must be identical at any worker count."
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> (u64, u64, bool) {
+fn parse_args() -> (u64, u64, bool, usize) {
     let mut iters: u64 = 300;
     let mut base_seed: u64 = 0;
     let mut failpoints = false;
+    let mut parallelism: usize = 1;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -165,6 +170,12 @@ fn parse_args() -> (u64, u64, bool) {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--parallelism" | "-p" => {
+                parallelism = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--failpoints" => failpoints = true,
             "--help" | "-h" => usage(),
             // bare positional N, the pre-CLI invocation style
@@ -174,15 +185,17 @@ fn parse_args() -> (u64, u64, bool) {
             },
         }
     }
-    (iters, base_seed, failpoints)
+    (iters, base_seed, failpoints, parallelism)
 }
 
 /// One fault-injection round: random faults + random tight limits over
 /// random queries, then a sanity check that the database still serves
 /// and its plan cache is coherent. Returns the number of failures.
-fn failpoint_round(seed: u64) -> u64 {
+fn failpoint_round(seed: u64, parallelism: usize) -> u64 {
     let mut rng = Rng::seed_from_u64(seed);
-    let db = random_db(&mut rng);
+    let mut db = random_db(&mut rng);
+    db.config_mut().parallelism = parallelism;
+    let db = db;
     let names = failpoints::all();
     for _ in 0..4 {
         let sql = random_query(&mut rng);
@@ -236,14 +249,14 @@ fn failpoint_round(seed: u64) -> u64 {
 }
 
 fn main() {
-    let (rounds, base_seed, failpoint_mode) = parse_args();
+    let (rounds, base_seed, failpoint_mode, parallelism) = parse_args();
     let mut failures = 0;
     if failpoint_mode {
         // injected panics are expected and caught at the statement
         // boundary; keep them off stderr
         std::panic::set_hook(Box::new(|_| {}));
         for seed in base_seed..base_seed + rounds {
-            failures += failpoint_round(seed);
+            failures += failpoint_round(seed, parallelism);
         }
         println!("failpoint fuzz complete: {rounds} rounds, {failures} failures");
         std::process::exit(if failures > 0 { 1 } else { 0 });
@@ -252,6 +265,7 @@ fn main() {
         let mut rng = Rng::seed_from_u64(seed);
         let mut db = random_db(&mut rng);
         let sql = random_query(&mut rng);
+        db.config_mut().parallelism = parallelism;
         db.config_mut().cost_based = false;
         db.config_mut().transforms = TransformSet {
             unnest: false,

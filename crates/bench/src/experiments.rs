@@ -394,7 +394,10 @@ pub fn run_table1(seed: u64) -> String {
 
 /// Table 2: optimization time and number of states for the four search
 /// strategies on a 3-table query with four unnestable subqueries.
-pub fn run_table2(seed: u64, reps: usize) -> String {
+/// `parallelism` costs candidate states on that many worker threads
+/// (0 = auto, 1 = serial) — the timings change, the plans and row
+/// counts must not.
+pub fn run_table2(seed: u64, reps: usize, parallelism: usize) -> String {
     let mut gen = WorkloadGen::new(seed);
     gen.scale = 0.3;
     // build a dedicated instance with the paper's Table 2 query shape:
@@ -423,7 +426,8 @@ pub fn run_table2(seed: u64, reps: usize) -> String {
     writeln!(
         out,
         "=== Table 2: optimization time per search strategy ===\n\
-         query: 3 base tables + 4 unnestable multi-table subqueries\n"
+         query: 3 base tables + 4 unnestable multi-table subqueries\n\
+         search parallelism: {parallelism} (0 = auto, 1 = serial)\n"
     )
     .unwrap();
     writeln!(out, "  strategy     optimization time   #states").unwrap();
@@ -439,6 +443,7 @@ pub fn run_table2(seed: u64, reps: usize) -> String {
         c.cost_based = cost_based;
         c.search = strategy;
         c.interleave = false;
+        c.parallelism = parallelism;
         let mut best_opt = Duration::MAX;
         let mut states = 0;
         let mut rows = Vec::new();
@@ -537,7 +542,7 @@ mod tests {
 
     #[test]
     fn table2_strategies_ordered_by_states() {
-        let text = run_table2(19, 1);
+        let text = run_table2(19, 1, 1);
         assert!(text.contains("Heuristic"), "{text}");
         assert!(text.contains("Exhaustive"), "{text}");
     }

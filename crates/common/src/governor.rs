@@ -88,9 +88,15 @@ impl ExecutionLimits {
 /// Cooperative cancellation handle: cheap to clone (one `Arc`), safe to
 /// trigger from any thread. Statements governed by a [`Governor`] built
 /// over this token observe the flag at their next check point.
+///
+/// Tokens form a tree: [`CancelToken::child`] derives a token that also
+/// observes every ancestor, so a database-wide token can fence all
+/// sessions while cancelling one session's token leaves its siblings
+/// untouched.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
 }
 
 impl CancelToken {
@@ -98,19 +104,31 @@ impl CancelToken {
         CancelToken::default()
     }
 
-    /// Requests cancellation of every statement governed by this token.
-    /// The flag is sticky: call [`CancelToken::reset`] before reusing the
-    /// token for new statements.
+    /// A new token linked under this one: the child reports cancelled
+    /// when it — or any ancestor — is cancelled, but cancelling the
+    /// child never affects the parent or sibling children.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(self.clone())),
+        }
+    }
+
+    /// Requests cancellation of every statement governed by this token
+    /// or a [`child`](CancelToken::child) of it. The flag is sticky:
+    /// call [`CancelToken::reset`] before reusing the token for new
+    /// statements.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Relaxed);
     }
 
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        self.flag.load(Ordering::Relaxed) || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
     }
 
-    /// Clears a previous [`CancelToken::cancel`] so subsequent statements
-    /// run normally.
+    /// Clears a previous [`CancelToken::cancel`] on *this* token so
+    /// subsequent statements run normally. A cancelled ancestor must be
+    /// reset separately.
     pub fn reset(&self) {
         self.flag.store(false, Ordering::Relaxed);
     }
@@ -241,6 +259,27 @@ impl Governor {
         match &self.inner {
             None => 0,
             Some(inner) => inner.states_used.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns `n` state charges to the budget. The parallel CBQT search
+    /// pre-charges every state of a wave before costing it; when the
+    /// wave is cut short (an earlier state stopped the scan), the
+    /// charges of the discarded states are refunded so a parallel run
+    /// consumes exactly the budget a serial run would have.
+    pub fn refund_states(&self, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.states_used.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Clears the degraded flag. Only valid when the charge that tripped
+    /// [`StateCharge::ExhaustedNow`] was speculative and has just been
+    /// refunded (a serial run would never have made it), so the budget
+    /// is back under its limit and the search was not actually degraded.
+    pub fn clear_degraded(&self) {
+        if let Some(inner) = &self.inner {
+            inner.degraded.store(false, Ordering::Relaxed);
         }
     }
 }

@@ -41,7 +41,7 @@ use cbqt_exec::Engine;
 use cbqt_optimizer::{DynamicSampler, SamplingCache};
 use cbqt_qgm::{build_query_tree, render_tree, QueryTree};
 use cbqt_sql::ast::{self, Statement};
-use cbqt_sql::{parse_statement, parse_statements};
+use cbqt_sql::{parse_statement, parse_statements_spanned};
 use cbqt_storage::Storage;
 use cbqt_transform::{optimize_query_governed, CbqtConfig, CbqtOutcome};
 use plan_cache::{CachedPlan, Lookup};
@@ -247,14 +247,29 @@ impl Database {
         }
     }
 
-    /// The database's cancellation token. Clone it into another thread
-    /// and call [`cancel`](StatementCancelToken::cancel) to stop every
-    /// in-flight statement at its next governor check point (statements
-    /// fail with `Error::Cancelled`). The flag is sticky — call
-    /// [`reset`](StatementCancelToken::reset) before issuing new
-    /// statements.
+    /// The database-wide cancellation token — the root of the token
+    /// tree. Clone it into another thread and call
+    /// [`cancel`](StatementCancelToken::cancel) to stop every in-flight
+    /// statement *of every session* at its next governor check point
+    /// (statements fail with `Error::Cancelled`). The flag is sticky —
+    /// call [`reset`](StatementCancelToken::reset) before issuing new
+    /// statements. To cancel one caller without fencing the others,
+    /// give each caller its own [`session`](Database::session).
     pub fn cancel_token(&self) -> CancelToken {
         self.cancel.clone()
+    }
+
+    /// Opens a read-only session: a lightweight handle with its own
+    /// [cancel token](Session::cancel_token), derived as a child of the
+    /// database-wide token. Cancelling a session stops only that
+    /// session's in-flight and future statements; other sessions (and
+    /// the plain [`Database`] entry points) are unaffected. The
+    /// database-wide token still fences every session.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            db: self,
+            cancel: self.cancel.child(),
+        }
     }
 
     /// The optimizer / framework configuration (mutable — experiments
@@ -300,11 +315,18 @@ impl Database {
     }
 
     /// Runs a semicolon-separated DDL/DML/query script and returns one
-    /// [`StatementResult`] per statement, in order.
+    /// [`StatementResult`] per statement, in order. Each query
+    /// statement is keyed into the shared plan cache by its own SQL
+    /// text, carved out of the script source — re-running a script (or
+    /// issuing one of its queries through [`query`](Database::query))
+    /// reuses the cached plans.
     pub fn execute_script(&mut self, script: &str) -> Result<Vec<StatementResult>> {
-        parse_statements(script)?
+        parse_statements_spanned(script)?
             .into_iter()
-            .map(|stmt| catch_internal(AssertUnwindSafe(|| self.run_statement(stmt))))
+            .map(|(stmt, span)| {
+                let sql = &script[span];
+                catch_internal(AssertUnwindSafe(|| self.run_statement(stmt, sql)))
+            })
             .collect()
     }
 
@@ -324,6 +346,10 @@ impl Database {
     /// INSERT, ANALYZE — are rejected; run those through
     /// [`execute_mut`](Database::execute_mut).
     pub fn execute(&self, sql: &str) -> Result<Option<QueryResult>> {
+        self.execute_governed(sql, &self.statement_governor())
+    }
+
+    fn execute_governed(&self, sql: &str, governor: &Governor) -> Result<Option<QueryResult>> {
         catch_internal(|| {
             let stmt = parse_statement(sql)?;
             match stmt {
@@ -331,10 +357,10 @@ impl Database {
                     sql,
                     &q,
                     Tracer::disabled(),
-                    &self.statement_governor(),
+                    governor,
                 )?)),
                 Statement::Explain { query, analyze } => {
-                    Ok(Some(self.explain_result(&query, analyze)?))
+                    Ok(Some(self.explain_result(&query, analyze, governor)?))
                 }
                 other => Err(Error::unsupported(format!(
                     "{} mutates the database; use execute_mut",
@@ -348,7 +374,7 @@ impl Database {
     pub fn execute_mut(&mut self, sql: &str) -> Result<Option<QueryResult>> {
         let stmt = parse_statement(sql)?;
         catch_internal(AssertUnwindSafe(|| {
-            Ok(self.run_statement(stmt)?.into_rows())
+            Ok(self.run_statement(stmt, sql)?.into_rows())
         }))
     }
 
@@ -369,7 +395,10 @@ impl Database {
     /// and cancellation hard-fail with `Error::ResourceExhausted` /
     /// `Error::Cancelled`.
     pub fn query_with_limits(&self, sql: &str, limits: ExecutionLimits) -> Result<QueryResult> {
-        let governor = Governor::new(&limits, self.cancel.clone());
+        self.query_with_limits_governed(sql, Governor::new(&limits, self.cancel.clone()))
+    }
+
+    fn query_with_limits_governed(&self, sql: &str, governor: Governor) -> Result<QueryResult> {
         catch_internal(|| {
             let q = match parse_statement(sql)? {
                 Statement::Query(q) => q,
@@ -387,7 +416,7 @@ impl Database {
     /// EXPLAIN: the transformed query text, transformation decisions,
     /// and the physical plan — without executing.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        self.explain_sql(sql, false)
+        self.explain_sql(sql, false, &self.statement_governor())
     }
 
     /// EXPLAIN ANALYZE: like [`explain`](Database::explain), but also
@@ -395,7 +424,7 @@ impl Database {
     /// counts, execution counts, work units and wall time with the
     /// optimizer's estimates.
     pub fn explain_analyze(&self, sql: &str) -> Result<String> {
-        self.explain_sql(sql, true)
+        self.explain_sql(sql, true, &self.statement_governor())
     }
 
     /// Optimizes *and executes* `sql` with the structured optimizer
@@ -435,7 +464,7 @@ impl Database {
         Governor::new(&ExecutionLimits::none(), self.cancel.clone())
     }
 
-    fn explain_sql(&self, sql: &str, analyze: bool) -> Result<String> {
+    fn explain_sql(&self, sql: &str, analyze: bool, governor: &Governor) -> Result<String> {
         catch_internal(|| {
             let stmt = parse_statement(sql)?;
             let (query, analyze) = match stmt {
@@ -443,16 +472,21 @@ impl Database {
                 Statement::Explain { query, analyze: a } => (query, analyze || a),
                 _ => return Err(Error::analysis("EXPLAIN requires a query")),
             };
-            self.explain_query(&query, analyze)
+            self.explain_query(&query, analyze, governor)
         })
     }
 
     /// The single EXPLAIN formatter behind [`explain`](Database::explain),
     /// [`explain_analyze`](Database::explain_analyze) and the SQL
     /// `EXPLAIN [ANALYZE]` statement.
-    fn explain_query(&self, query: &ast::Query, analyze: bool) -> Result<String> {
+    fn explain_query(
+        &self,
+        query: &ast::Query,
+        analyze: bool,
+        governor: &Governor,
+    ) -> Result<String> {
         let tree = build_query_tree(&self.catalog, query)?;
-        let outcome = self.optimize(&tree)?;
+        let outcome = self.optimize_governed(&tree, Tracer::disabled(), governor)?;
         let mut out = String::new();
         out.push_str("== transformed query ==\n");
         out.push_str(&render_tree(&outcome.tree, &self.catalog));
@@ -486,8 +520,13 @@ impl Database {
         Ok(out)
     }
 
-    fn explain_result(&self, query: &ast::Query, analyze: bool) -> Result<QueryResult> {
-        let text = self.explain_query(query, analyze)?;
+    fn explain_result(
+        &self,
+        query: &ast::Query,
+        analyze: bool,
+        governor: &Governor,
+    ) -> Result<QueryResult> {
+        let text = self.explain_query(query, analyze, governor)?;
         Ok(QueryResult {
             columns: vec!["PLAN".to_string()],
             rows: text.lines().map(|l| vec![Value::str(l)]).collect(),
@@ -525,12 +564,17 @@ impl Database {
         Ok(())
     }
 
-    fn run_statement(&mut self, stmt: Statement) -> Result<StatementResult> {
+    fn run_statement(&mut self, stmt: Statement, sql: &str) -> Result<StatementResult> {
         match stmt {
-            Statement::Query(q) => Ok(StatementResult::Rows(self.run_query(&q)?)),
-            Statement::Explain { query, analyze } => {
-                Ok(StatementResult::Rows(self.explain_result(&query, analyze)?))
-            }
+            Statement::Query(q) => Ok(StatementResult::Rows(self.run_query_cached(
+                sql,
+                &q,
+                Tracer::disabled(),
+                &self.statement_governor(),
+            )?)),
+            Statement::Explain { query, analyze } => Ok(StatementResult::Rows(
+                self.explain_result(&query, analyze, &self.statement_governor())?,
+            )),
             Statement::Analyze => {
                 self.analyze()?;
                 Ok(StatementResult::Analyzed)
@@ -545,10 +589,6 @@ impl Database {
             }
             Statement::Insert(ins) => Ok(StatementResult::RowsAffected(self.insert(ins)?)),
         }
-    }
-
-    fn optimize(&self, tree: &QueryTree) -> Result<CbqtOutcome> {
-        self.optimize_governed(tree, Tracer::disabled(), &self.statement_governor())
     }
 
     fn optimize_governed(
@@ -572,12 +612,6 @@ impl Database {
             tracer,
             governor,
         )
-    }
-
-    /// Uncached query execution (script statements, which carry no
-    /// per-statement SQL text to key the cache with).
-    fn run_query(&self, q: &ast::Query) -> Result<QueryResult> {
-        self.run_query_pipeline(q, Tracer::disabled(), None, &self.statement_governor())
     }
 
     /// The serving path: probe the shared plan cache under the current
@@ -864,6 +898,73 @@ impl Database {
         self.storage.insert_many(tid, rows)?;
         self.catalog.bump_version();
         Ok(n)
+    }
+}
+
+/// A read-only session over a shared [`Database`] with its own
+/// cancellation scope (see [`Database::session`]).
+///
+/// Every statement issued through the session runs under a governor
+/// built over the session's [cancel token](Session::cancel_token) — a
+/// child of the database-wide token. Cancelling the session token stops
+/// this session's statements only; cancelling the database token stops
+/// every session. The session borrows the database immutably, so any
+/// number of sessions can serve queries concurrently.
+pub struct Session<'a> {
+    db: &'a Database,
+    cancel: CancelToken,
+}
+
+impl Session<'_> {
+    /// This session's cancellation token. Sticky like the database-wide
+    /// token, but scoped: [`reset`](StatementCancelToken::reset) on it
+    /// only unfences this session.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    fn governor(&self) -> Governor {
+        Governor::new(&ExecutionLimits::none(), self.cancel.clone())
+    }
+
+    /// [`Database::execute`] under this session's cancellation scope.
+    pub fn execute(&self, sql: &str) -> Result<Option<QueryResult>> {
+        self.db.execute_governed(sql, &self.governor())
+    }
+
+    /// [`Database::query`] under this session's cancellation scope.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.execute(sql)?
+            .ok_or_else(|| Error::analysis("statement did not produce rows"))
+    }
+
+    /// [`Database::query_with_limits`] with the limits' governor built
+    /// over this session's token.
+    pub fn query_with_limits(&self, sql: &str, limits: ExecutionLimits) -> Result<QueryResult> {
+        self.db
+            .query_with_limits_governed(sql, Governor::new(&limits, self.cancel.clone()))
+    }
+
+    /// [`Database::explain`] under this session's cancellation scope.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        self.db.explain_sql(sql, false, &self.governor())
+    }
+
+    /// [`Database::explain_analyze`] under this session's scope.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        self.db.explain_sql(sql, true, &self.governor())
+    }
+
+    /// [`Database::trace`] under this session's cancellation scope.
+    pub fn trace(&self, sql: &str) -> Result<TraceReport> {
+        self.db.trace_governed(sql, &self.governor())
+    }
+
+    /// [`Database::trace_with_limits`] with the limits' governor built
+    /// over this session's token.
+    pub fn trace_with_limits(&self, sql: &str, limits: ExecutionLimits) -> Result<TraceReport> {
+        self.db
+            .trace_governed(sql, &Governor::new(&limits, self.cancel.clone()))
     }
 }
 

@@ -87,9 +87,9 @@ fn setup() -> (Catalog, Storage) {
 
 fn run(cat: &Catalog, st: &Storage, sql: &str) -> Vec<Vec<Value>> {
     let tree = build_query_tree(cat, &parse_query(sql).unwrap()).unwrap();
-    let mut ann = CostAnnotations::new();
+    let ann = CostAnnotations::new();
     let cache = SamplingCache::default();
-    let mut opt = Optimizer::new(cat, &mut ann, &cache);
+    let mut opt = Optimizer::new(cat, &ann, &cache);
     let plan = opt.optimize(&tree, None).unwrap();
     let eng = Engine::new(cat, st);
     eng.run(&plan).unwrap()
@@ -421,9 +421,9 @@ fn expensive_function_burns_work() {
         &parse_query("SELECT emp_id FROM employees WHERE EXPENSIVE(salary, 100) > 0").unwrap(),
     )
     .unwrap();
-    let mut ann = CostAnnotations::new();
+    let ann = CostAnnotations::new();
     let cache = SamplingCache::default();
-    let mut opt = Optimizer::new(&cat, &mut ann, &cache);
+    let mut opt = Optimizer::new(&cat, &ann, &cache);
     let plan = opt.optimize(&tree, None).unwrap();
     let eng = Engine::new(&cat, &st);
     let rows = eng.run(&plan).unwrap();
@@ -444,9 +444,9 @@ fn correlation_cache_hits() {
         .unwrap(),
     )
     .unwrap();
-    let mut ann = CostAnnotations::new();
+    let ann = CostAnnotations::new();
     let cache = SamplingCache::default();
-    let mut opt = Optimizer::new(&cat, &mut ann, &cache);
+    let mut opt = Optimizer::new(&cat, &ann, &cache);
     let plan = opt.optimize(&tree, None).unwrap();
     let eng = Engine::new(&cat, &st);
     eng.run(&plan).unwrap();

@@ -50,11 +50,21 @@ pub struct OptimizerStats {
     pub annotation_hits: u64,
 }
 
+/// Number of lock shards in [`CostAnnotations`]. Keys are already
+/// uniform hashes, so the low bits pick the shard.
+const ANNOTATION_SHARDS: usize = 16;
+
 /// Cost-annotation store (§3.4.2): canonical block rendering → plan.
 /// Shared across all transformation states of one optimization session.
+///
+/// The store is a sharded-lock concurrent map so the parallel CBQT
+/// search can share annotations across worker threads: a `&CostAnnotations`
+/// is all any optimizer needs, and a hit produced by one worker is
+/// immediately visible to the others. Lock poisoning is ignored (a
+/// panicking worker leaves at worst a valid-but-partial cache).
 #[derive(Debug, Default)]
 pub struct CostAnnotations {
-    map: HashMap<u64, BlockPlan>,
+    shards: [Mutex<HashMap<u64, BlockPlan>>; ANNOTATION_SHARDS],
 }
 
 impl CostAnnotations {
@@ -62,19 +72,62 @@ impl CostAnnotations {
         Self::default()
     }
 
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, BlockPlan>> {
+        &self.shards[(key % ANNOTATION_SHARDS as u64) as usize]
+    }
+
+    /// Looks up the annotated plan for a canonical block key.
+    pub fn get(&self, key: u64) -> Option<BlockPlan> {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned()
+    }
+
+    /// Records the annotated plan for a canonical block key.
+    pub fn insert(&self, key: u64, plan: BlockPlan) {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, plan);
+    }
+
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
+    }
+
+    /// Absorbs every entry of `other` (typically a wave worker's private
+    /// overlay) into this store. Identical keys carry identical plans
+    /// (the key is a full canonical rendering and the optimizer is
+    /// deterministic), so merge order cannot change the contents.
+    pub fn merge(&self, other: CostAnnotations) {
+        for (i, shard) in other.shards.into_iter().enumerate() {
+            let src = shard.into_inner().unwrap_or_else(|e| e.into_inner());
+            if src.is_empty() {
+                continue;
+            }
+            self.shards[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(src);
+        }
     }
 }
 
 /// Dynamic sampling (§3.4.4): asks the storage layer for an estimate of
 /// `(rows, selectivity)` of single-table conjuncts on a table without
 /// statistics. Results are cached in a [`SamplingCache`].
-pub trait DynamicSampler {
+/// `Sync` because the parallel CBQT search samples from concurrent
+/// costing workers.
+pub trait DynamicSampler: Sync {
     fn sample(&self, table: TableId, conjuncts_key: &str) -> Option<(f64, f64)>;
 }
 
@@ -93,7 +146,13 @@ pub fn is_cutoff(e: &Error) -> bool {
 pub struct Optimizer<'a> {
     pub catalog: &'a Catalog,
     pub config: OptimizerConfig,
-    pub annotations: &'a mut CostAnnotations,
+    pub annotations: &'a CostAnnotations,
+    /// Private annotation write layer for parallel wave costing: when
+    /// set, reads consult the overlay first and then the shared store,
+    /// and writes land in the overlay only — the coordinator merges
+    /// overlays into the shared store in deterministic state order.
+    /// `None` (the default) reads and writes the shared store directly.
+    pub overlay: Option<&'a CostAnnotations>,
     pub sampler: Option<&'a dyn DynamicSampler>,
     pub sampling_cache: &'a SamplingCache,
     pub stats: OptimizerStats,
@@ -108,13 +167,14 @@ pub struct Optimizer<'a> {
 impl<'a> Optimizer<'a> {
     pub fn new(
         catalog: &'a Catalog,
-        annotations: &'a mut CostAnnotations,
+        annotations: &'a CostAnnotations,
         sampling_cache: &'a SamplingCache,
     ) -> Self {
         Optimizer {
             catalog,
             config: OptimizerConfig::default(),
             annotations,
+            overlay: None,
             sampler: None,
             sampling_cache,
             stats: OptimizerStats::default(),
@@ -167,12 +227,16 @@ impl<'a> Optimizer<'a> {
                 c.hash(&mut h);
             }
             let key = h.finish();
-            if let Some(p) = self.annotations.map.get(&key) {
+            let cached = self
+                .overlay
+                .and_then(|o| o.get(key))
+                .or_else(|| self.annotations.get(key));
+            if let Some(p) = cached {
                 self.stats.annotation_hits += 1;
                 self.tracer.emit(|| TraceEvent::AnnotationHit {
                     block: id.to_string(),
                 });
-                let mut reused = p.clone();
+                let mut reused = p;
                 reused.block = id;
                 return Ok(reused);
             }
@@ -227,7 +291,9 @@ impl<'a> Optimizer<'a> {
             }
         }
         if let Some(k) = key {
-            self.annotations.map.insert(k, plan.clone());
+            self.overlay
+                .unwrap_or(self.annotations)
+                .insert(k, plan.clone());
         }
         Ok(plan)
     }
@@ -1491,9 +1557,9 @@ mod tests {
     fn plan(sql: &str) -> (BlockPlan, Catalog) {
         let cat = catalog();
         let tree = build_query_tree(&cat, &parse_query(sql).unwrap()).unwrap();
-        let mut ann = CostAnnotations::new();
+        let ann = CostAnnotations::new();
         let cache = SamplingCache::default();
-        let mut opt = Optimizer::new(&cat, &mut ann, &cache);
+        let mut opt = Optimizer::new(&cat, &ann, &cache);
         let p = opt.optimize(&tree, None).unwrap();
         (p, cat)
     }
@@ -1593,9 +1659,9 @@ mod tests {
         )
         .unwrap();
         // (not unnested here — planner treats it as TIS filter)
-        let mut ann = CostAnnotations::new();
+        let ann = CostAnnotations::new();
         let cache = SamplingCache::default();
-        let mut opt = Optimizer::new(&cat, &mut ann, &cache);
+        let mut opt = Optimizer::new(&cat, &ann, &cache);
         let p = opt.optimize(&tree, None).unwrap();
         assert!(p.cost > 0.0);
     }
@@ -1608,9 +1674,9 @@ mod tests {
             &parse_query("SELECT emp_id FROM employees WHERE salary > 10").unwrap(),
         )
         .unwrap();
-        let mut ann = CostAnnotations::new();
+        let ann = CostAnnotations::new();
         let cache = SamplingCache::default();
-        let mut opt = Optimizer::new(&cat, &mut ann, &cache);
+        let mut opt = Optimizer::new(&cat, &ann, &cache);
         opt.optimize(&tree, None).unwrap();
         assert_eq!(opt.stats.blocks_costed, 1);
         assert_eq!(opt.stats.annotation_hits, 0);
@@ -1636,9 +1702,9 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        let mut ann = CostAnnotations::new();
+        let ann = CostAnnotations::new();
         let cache = SamplingCache::default();
-        let mut opt = Optimizer::new(&cat, &mut ann, &cache);
+        let mut opt = Optimizer::new(&cat, &ann, &cache);
         opt.config.reuse_annotations = false;
         let err = opt.optimize(&tree, Some(1.0)).unwrap_err();
         assert!(is_cutoff(&err));

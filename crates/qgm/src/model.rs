@@ -2,8 +2,34 @@
 
 use cbqt_catalog::TableId;
 use cbqt_common::{Error, Result, Value};
+use std::cell::Cell;
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread count of *deep* block materializations: the number of
+    /// times a shared `Arc<QueryBlock>` actually had to be cloned
+    /// because a writer touched it (`block_mut` on a shared block, or
+    /// `take_block` of a shared block). Tree clones themselves are
+    /// O(blocks) pointer bumps and never count. Thread-local so tests
+    /// can assert on before/after deltas without interference from
+    /// cargo's parallel test threads or search workers — see
+    /// [`deep_block_clones`].
+    static DEEP_BLOCK_CLONES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Monotonic counter of deep [`QueryBlock`] clones forced by
+/// copy-on-write on the *calling thread* (see [`QueryTree`]). Tests
+/// snapshot it before and after an operation and assert on the delta.
+pub fn deep_block_clones() -> u64 {
+    DEEP_BLOCK_CLONES.with(|c| c.get())
+}
+
+#[inline]
+fn note_deep_clone() {
+    DEEP_BLOCK_CLONES.with(|c| c.set(c.get() + 1));
+}
 
 pub use cbqt_sql::ast::{BinOp, Quant, SetOp};
 
@@ -796,9 +822,17 @@ impl QueryBlock {
 }
 
 /// The whole query tree: an arena of blocks plus the root id.
+///
+/// The arena is **copy-on-write**: each slot holds an `Arc<QueryBlock>`,
+/// so `QueryTree::clone` (the §3.1 per-state deep copy of the CBQT
+/// search) only bumps one refcount per block. A cloned tree lazily
+/// materializes a private copy of a block the first time a
+/// transformation mutates it ([`QueryTree::block_mut`] /
+/// [`QueryTree::take_block`] via `Arc::make_mut` semantics), so a
+/// candidate state pays only for the blocks it actually rewrites.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryTree {
-    blocks: Vec<Option<QueryBlock>>,
+    blocks: Vec<Option<Arc<QueryBlock>>>,
     pub root: BlockId,
     next_ref: u32,
 }
@@ -814,7 +848,7 @@ impl QueryTree {
 
     pub fn add_block(&mut self, b: QueryBlock) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Some(b));
+        self.blocks.push(Some(Arc::new(b)));
         id
     }
 
@@ -827,15 +861,23 @@ impl QueryTree {
     pub fn block(&self, id: BlockId) -> Result<&QueryBlock> {
         self.blocks
             .get(id.0 as usize)
-            .and_then(Option::as_ref)
+            .and_then(|slot| slot.as_deref())
             .ok_or_else(|| Error::transform(format!("dangling block {id}")))
     }
 
+    /// Mutable access to a block. If the block is shared with a cloned
+    /// tree (copy-on-write), this is the point where a private deep copy
+    /// is materialized.
     pub fn block_mut(&mut self, id: BlockId) -> Result<&mut QueryBlock> {
-        self.blocks
+        let arc = self
+            .blocks
             .get_mut(id.0 as usize)
             .and_then(Option::as_mut)
-            .ok_or_else(|| Error::transform(format!("dangling block {id}")))
+            .ok_or_else(|| Error::transform(format!("dangling block {id}")))?;
+        if Arc::strong_count(arc) > 1 {
+            note_deep_clone();
+        }
+        Ok(Arc::make_mut(arc))
     }
 
     pub fn select(&self, id: BlockId) -> Result<&SelectBlock> {
@@ -858,12 +900,18 @@ impl QueryTree {
         }
     }
 
-    /// Takes a block out of the arena, leaving the slot dead.
+    /// Takes a block out of the arena, leaving the slot dead. A block
+    /// still shared with another tree is deep-copied out (copy-on-write).
     pub fn take_block(&mut self, id: BlockId) -> Result<QueryBlock> {
-        self.blocks
+        let arc = self
+            .blocks
             .get_mut(id.0 as usize)
             .and_then(Option::take)
-            .ok_or_else(|| Error::transform(format!("dangling block {id}")))
+            .ok_or_else(|| Error::transform(format!("dangling block {id}")))?;
+        Ok(Arc::try_unwrap(arc).unwrap_or_else(|shared| {
+            note_deep_clone();
+            (*shared).clone()
+        }))
     }
 
     /// All live block ids.
@@ -1208,6 +1256,47 @@ mod tests {
         let (tree, _) = tiny_tree();
         let copy = tree.clone();
         assert_eq!(tree, copy);
+    }
+
+    #[test]
+    fn clone_shares_blocks_until_mutated() {
+        // Cloning the tree must not deep-copy any block; mutating one
+        // block of the clone must deep-copy exactly that block; and the
+        // original must be unaffected by the clone's mutation.
+        let (tree, _) = tiny_tree();
+        let before = deep_block_clones();
+        let mut copy = tree.clone();
+        assert_eq!(
+            deep_block_clones() - before,
+            0,
+            "tree clone must be O(1) per block (Arc bump), not a deep copy"
+        );
+        // read-only access never materializes
+        let _ = copy.block(copy.root).unwrap();
+        assert_eq!(deep_block_clones() - before, 0);
+        // first mutation of a shared block materializes exactly one copy
+        copy.select_mut(copy.root).unwrap().distinct = true;
+        assert_eq!(deep_block_clones() - before, 1);
+        // second mutation of the now-private block is free
+        copy.select_mut(copy.root).unwrap().distinct = false;
+        assert_eq!(deep_block_clones() - before, 1);
+        assert_eq!(tree, copy, "original must be untouched");
+    }
+
+    #[test]
+    fn take_block_deep_copies_only_when_shared() {
+        let (tree, _) = tiny_tree();
+        let mut copy = tree.clone();
+        let before = deep_block_clones();
+        // root is shared with `tree`, so taking it must clone out
+        let taken = copy.take_block(copy.root).unwrap();
+        assert_eq!(deep_block_clones() - before, 1);
+        assert_eq!(&taken, tree.block(tree.root).unwrap());
+        // an unshared tree gives its block away without copying
+        let (mut solo, _) = tiny_tree();
+        let before = deep_block_clones();
+        let _ = solo.take_block(solo.root).unwrap();
+        assert_eq!(deep_block_clones() - before, 0);
     }
 
     #[test]

@@ -16,4 +16,6 @@ pub mod parser;
 
 pub use ast::*;
 pub use lexer::{Lexer, Token, TokenKind};
-pub use parser::{parse_expression, parse_query, parse_statement, parse_statements};
+pub use parser::{
+    parse_expression, parse_query, parse_statement, parse_statements, parse_statements_spanned,
+};

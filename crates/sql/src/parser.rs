@@ -16,6 +16,18 @@ pub fn parse_statement(src: &str) -> Result<Statement> {
 
 /// Parses a semicolon-separated script.
 pub fn parse_statements(src: &str) -> Result<Vec<Statement>> {
+    Ok(parse_statements_spanned(src)?
+        .into_iter()
+        .map(|(stmt, _)| stmt)
+        .collect())
+}
+
+/// Parses a semicolon-separated script, pairing every statement with
+/// the byte range of its text in `src` (first token up to, but not
+/// including, the terminating semicolon). Callers use the range to
+/// carve per-statement SQL out of the script — e.g. to key a plan
+/// cache — without re-rendering the AST.
+pub fn parse_statements_spanned(src: &str) -> Result<Vec<(Statement, std::ops::Range<usize>)>> {
     let mut p = Parser::new(src)?;
     let mut out = Vec::new();
     loop {
@@ -23,7 +35,10 @@ pub fn parse_statements(src: &str) -> Result<Vec<Statement>> {
         if p.at_eof() {
             return Ok(out);
         }
-        out.push(p.parse_statement()?);
+        let start = p.current_offset();
+        let stmt = p.parse_statement()?;
+        let end = p.current_offset();
+        out.push((stmt, start..end));
         if !p.eat(&TokenKind::Semicolon) {
             p.expect_eof()?;
             return Ok(out);
@@ -125,6 +140,12 @@ impl Parser {
 
     fn peek(&self) -> &TokenKind {
         &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    /// Byte offset of the current token in the source (the `Eof`
+    /// token's offset is the end of the source).
+    fn current_offset(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].offset
     }
 
     fn peek_n(&self, n: usize) -> &TokenKind {

@@ -67,7 +67,9 @@ pub struct ApplyEffect {
 }
 
 /// A cost-based transformation.
-pub trait CbTransform {
+/// `Sync` because the parallel state-space search shares one
+/// transformation across its costing workers (they are stateless).
+pub trait CbTransform: Sync {
     fn name(&self) -> &'static str;
 
     /// Objects this transformation can apply to in the given tree.

@@ -146,3 +146,40 @@ fn zero_ndv_table_optimizes_without_panic() {
         );
     }
 }
+
+#[test]
+fn script_statements_key_into_the_plan_cache() {
+    let mut db = fixture();
+    let script = "SELECT employee_name FROM employees WHERE salary > 3500;
+                  SELECT d.department_name FROM departments d WHERE d.dept_id IN
+                  (SELECT e.dept_id FROM employees e WHERE e.salary > 3800);";
+    let first: Vec<_> = db
+        .execute_script(script)
+        .unwrap()
+        .into_iter()
+        .filter_map(|r| r.into_rows())
+        .collect();
+    assert_eq!(first.len(), 2);
+    assert!(first.iter().all(|q| !q.stats.plan_cache_hit));
+    let hits_before = db.plan_cache_stats().hits;
+    let second: Vec<_> = db
+        .execute_script(script)
+        .unwrap()
+        .into_iter()
+        .filter_map(|r| r.into_rows())
+        .collect();
+    assert!(
+        second.iter().all(|q| q.stats.plan_cache_hit),
+        "script rerun recompiled"
+    );
+    assert_eq!(db.plan_cache_stats().hits, hits_before + 2);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(canon(a), canon(b));
+    }
+    // the carved statement text keys the same cache entry as the
+    // ad-hoc form of the query
+    let adhoc = db
+        .query("SELECT employee_name FROM employees WHERE salary > 3500")
+        .unwrap();
+    assert!(adhoc.stats.plan_cache_hit);
+}

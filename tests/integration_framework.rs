@@ -92,10 +92,15 @@ fn strategy_state_counts_match_paper_shape() {
 
 #[test]
 fn annotation_reuse_reduces_blocks_costed() {
+    // serial search: workers inside a parallel wave deliberately don't
+    // see each other's annotations, which dilutes the hit/cost split
+    // this test pins down
     let mut with_reuse = db();
+    with_reuse.config_mut().parallelism = 1;
     with_reuse.config_mut().optimizer.reuse_annotations = true;
     let r1 = with_reuse.query(TABLE2_QUERY).unwrap();
     let mut without = db();
+    without.config_mut().parallelism = 1;
     without.config_mut().optimizer.reuse_annotations = false;
     let r2 = without.query(TABLE2_QUERY).unwrap();
     assert_eq!(canon(&r1.rows), canon(&r2.rows));

@@ -1,0 +1,236 @@
+//! Determinism of the parallel state-space search, end to end: for
+//! every search strategy, any worker count must produce the same
+//! EXPLAIN output, final cost, result rows, and `states_explored` as
+//! `parallelism = 1`, with cut-offs only ever *fewer* than serial (a
+//! wave is budgeted at the best cost entering it, so some states that
+//! serial pruned get costed to completion). A fixed worker count must
+//! additionally be fully deterministic run-to-run, including the trace.
+//!
+//! CI reruns this suite under `--release` as the race-stress pass: the
+//! same assertions at optimized speed, where lost updates or unordered
+//! commits would actually surface.
+
+use cbqt::common::Value;
+use cbqt::{Database, OptimizerEvent, SearchStrategy};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE t1 (a INT PRIMARY KEY, b INT, c INT);
+         CREATE TABLE t2 (a INT PRIMARY KEY, b INT, c INT);
+         CREATE TABLE t3 (a INT PRIMARY KEY, b INT, c INT);
+         CREATE INDEX i1 ON t1 (b); CREATE INDEX i2 ON t2 (b); CREATE INDEX i3 ON t3 (b);",
+    )
+    .unwrap();
+    for t in ["t1", "t2", "t3"] {
+        let mut rows = Vec::new();
+        for i in 0..300i64 {
+            rows.push(vec![Value::Int(i), Value::Int(i % 25), Value::Int(i % 7)]);
+        }
+        db.load_rows(t, rows).unwrap();
+    }
+    db.analyze().unwrap();
+    db.set_plan_cache_enabled(false); // every run exercises the search
+    db
+}
+
+/// The paper's Table 2 query shape: three base tables and four
+/// unnestable multi-table subqueries, so every strategy has a real
+/// state space to search.
+const TABLE2_QUERY: &str = "SELECT t1.a FROM t1, t2, t3
+    WHERE t1.b = t2.b AND t2.c = t3.c AND
+          t1.a NOT IN (SELECT x1.b FROM t1 x1, t2 y1 WHERE x1.a = y1.a
+                       AND x1.c = 3 AND x1.b IS NOT NULL) AND
+          EXISTS (SELECT 1 FROM t2 x2, t3 y2 WHERE x2.a = y2.a
+                  AND x2.b = t1.b AND x2.c = 5) AND
+          NOT EXISTS (SELECT 1 FROM t3 x3, t1 y3 WHERE x3.a = y3.a
+                      AND x3.b = t1.b AND x3.c = 6) AND
+          t1.c IN (SELECT x4.c FROM t2 x4, t3 y4 WHERE x4.a = y4.a AND x4.b = 10)";
+
+fn canon(rows: &[Vec<Value>]) -> Vec<String> {
+    let mut v: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+struct Run {
+    explain: String,
+    rows: Vec<String>,
+    cost: f64,
+    states: u64,
+    cutoffs: u64,
+}
+
+fn run(strategy: SearchStrategy, workers: usize) -> Run {
+    let mut d = db();
+    d.config_mut().search = strategy;
+    d.config_mut().parallelism = workers;
+    let explain = d.explain(TABLE2_QUERY).unwrap();
+    let r = d.query(TABLE2_QUERY).unwrap();
+    Run {
+        explain,
+        rows: canon(&r.rows),
+        cost: r.stats.estimated_cost,
+        states: r.stats.states_explored,
+        cutoffs: r.stats.cutoffs,
+    }
+}
+
+const STRATEGIES: [SearchStrategy; 4] = [
+    SearchStrategy::Exhaustive,
+    SearchStrategy::TwoPass,
+    SearchStrategy::Linear,
+    SearchStrategy::Iterative,
+];
+
+#[test]
+fn every_worker_count_matches_the_serial_search() {
+    for strategy in STRATEGIES {
+        let serial = run(strategy, 1);
+        for workers in [2usize, 4, 8] {
+            let par = run(strategy, workers);
+            assert_eq!(
+                serial.explain, par.explain,
+                "{strategy:?}: EXPLAIN diverged at {workers} workers"
+            );
+            assert_eq!(serial.rows, par.rows, "{strategy:?}/{workers}: rows");
+            assert_eq!(
+                serial.cost.to_bits(),
+                par.cost.to_bits(),
+                "{strategy:?}/{workers}: cost {} vs {}",
+                serial.cost,
+                par.cost
+            );
+            assert_eq!(
+                serial.states, par.states,
+                "{strategy:?}/{workers}: states_explored"
+            );
+            assert!(
+                par.cutoffs <= serial.cutoffs,
+                "{strategy:?}/{workers}: {} cutoffs > serial {}",
+                par.cutoffs,
+                serial.cutoffs
+            );
+        }
+    }
+}
+
+#[test]
+fn fixed_worker_count_is_deterministic_including_the_trace() {
+    for strategy in STRATEGIES {
+        let mut traces = Vec::new();
+        for _ in 0..2 {
+            let mut d = db();
+            d.config_mut().search = strategy;
+            d.config_mut().parallelism = 4;
+            traces.push(d.trace(TABLE2_QUERY).unwrap());
+        }
+        assert_eq!(
+            traces[0].render(),
+            traces[1].render(),
+            "{strategy:?}: trace not reproducible at 4 workers"
+        );
+        assert_eq!(traces[0].stats.cutoffs, traces[1].stats.cutoffs);
+        assert_eq!(
+            traces[0].stats.annotation_hits,
+            traces[1].stats.annotation_hits
+        );
+    }
+}
+
+/// The `StateCosted` skeleton — which `(transform, state, merges)`
+/// combinations the search examined, in commit order — must not depend
+/// on the worker count (costs may differ: a state serial pruned at the
+/// §3.4.1 cut-off can come back fully costed from a wave).
+#[test]
+fn visited_states_match_serial_in_commit_order() {
+    fn skeleton(d: &Database) -> Vec<String> {
+        d.trace(TABLE2_QUERY)
+            .unwrap()
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                OptimizerEvent::StateCosted {
+                    transform,
+                    state,
+                    merges,
+                    ..
+                } => Some(format!("{transform}:{state:?}:{merges:?}")),
+                _ => None,
+            })
+            .collect()
+    }
+    for strategy in STRATEGIES {
+        let mut d = db();
+        d.config_mut().search = strategy;
+        d.config_mut().parallelism = 1;
+        let serial = skeleton(&d);
+        for workers in [2usize, 4, 8] {
+            d.config_mut().parallelism = workers;
+            assert_eq!(
+                serial,
+                skeleton(&d),
+                "{strategy:?}: visited states diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+/// Seed sweep over the iterative strategy's restart/step knobs (its LCG
+/// stream is derived from them): every configuration must stay
+/// scheduling-independent.
+#[test]
+fn iterative_seed_sweep_matches_serial() {
+    for (restarts, max_states) in [(1usize, 8usize), (2, 16), (3, 24), (5, 40)] {
+        let make = |workers: usize| {
+            let mut d = db();
+            d.config_mut().search = SearchStrategy::Iterative;
+            d.config_mut().iterative_restarts = restarts;
+            d.config_mut().iterative_max_states = max_states;
+            d.config_mut().parallelism = workers;
+            let r = d.query(TABLE2_QUERY).unwrap();
+            (
+                canon(&r.rows),
+                r.stats.estimated_cost.to_bits(),
+                r.stats.states_explored,
+            )
+        };
+        let serial = make(1);
+        for workers in [2usize, 4, 8] {
+            assert_eq!(
+                serial,
+                make(workers),
+                "restarts={restarts} max_states={max_states} workers={workers}"
+            );
+        }
+    }
+}
+
+/// Work conservation: with the cost cut-off disabled every state costs
+/// every block to completion, so `blocks_costed + annotation_hits` is a
+/// pure function of the search, whatever the worker count.
+#[test]
+fn work_is_conserved_without_cost_cutoff() {
+    let measure = |workers: usize| {
+        let mut d = db();
+        d.config_mut().cost_cutoff = false;
+        d.config_mut().parallelism = workers;
+        let r = d.query(TABLE2_QUERY).unwrap();
+        (
+            r.stats.states_explored,
+            r.stats.blocks_costed + r.stats.annotation_hits,
+        )
+    };
+    let serial = measure(1);
+    for workers in [2usize, 4] {
+        assert_eq!(serial, measure(workers), "{workers} workers");
+    }
+}

@@ -270,3 +270,60 @@ fn limits_on_cache_hits_are_still_enforced() {
     assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
     assert!(err.to_string().contains("row budget"), "{err}");
 }
+
+#[test]
+fn session_cancel_scopes_to_one_session() {
+    let db = fixture();
+    std::thread::scope(|scope| {
+        let s1 = db.session();
+        let token = s1.cancel_token();
+        let runner = scope.spawn(move || s1.query(BIG_CROSS_JOIN));
+        std::thread::sleep(Duration::from_millis(150));
+        token.cancel();
+        let err = runner
+            .join()
+            .expect("query thread must not panic")
+            .unwrap_err();
+        assert!(matches!(err, Error::Cancelled), "{err}");
+    });
+    // a sibling session and the plain entry points keep serving — no
+    // database-wide fence, no reset() needed anywhere else
+    let s2 = db.session();
+    let r = s2.query("SELECT COUNT(*) FROM employees").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(200));
+    let r = db.query("SELECT COUNT(*) FROM employees").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(200));
+}
+
+#[test]
+fn cancelled_session_stays_fenced_until_its_own_reset() {
+    let db = fixture();
+    let s = db.session();
+    let token = s.cancel_token();
+    token.cancel();
+    assert!(matches!(
+        s.query("SELECT COUNT(*) FROM employees"),
+        Err(Error::Cancelled)
+    ));
+    token.reset();
+    let r = s.query("SELECT COUNT(*) FROM employees").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(200));
+}
+
+#[test]
+fn database_token_fences_every_session() {
+    let db = fixture();
+    let s = db.session();
+    db.cancel_token().cancel();
+    assert!(matches!(
+        s.query("SELECT COUNT(*) FROM employees"),
+        Err(Error::Cancelled)
+    ));
+    assert!(matches!(
+        db.query("SELECT COUNT(*) FROM employees"),
+        Err(Error::Cancelled)
+    ));
+    db.cancel_token().reset();
+    let r = s.query("SELECT COUNT(*) FROM employees").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(200));
+}
