@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Bench smoke: runs every benchmark target end to end and collects the
+# harness's machine-readable JSON lines into target/bench_results.json.
+#
+# The bench list is discovered from crates/bench/Cargo.toml's [[bench]]
+# entries rather than hand-maintained here, so adding a bench target
+# automatically adds it to CI.
+#
+# TESTKIT_BENCH_SAMPLES / TESTKIT_BENCH_WARMUP tune how much each bench
+# measures; CI sets small values to prove the harnesses run, local use
+# with the defaults produces statistically meaningful numbers for
+# `bench_check --write-baseline`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+results="${TESTKIT_BENCH_JSON:-$PWD/target/bench_results.json}"
+# cargo runs bench binaries from the package directory, so the collection
+# path must be absolute
+case "$results" in /*) ;; *) results="$PWD/$results" ;; esac
+mkdir -p "$(dirname "$results")"
+rm -f "$results"
+export TESTKIT_BENCH_JSON="$results"
+
+# [[bench]] entries look like:
+#   [[bench]]
+#   name = "fig3_unnesting"
+benches=$(awk '
+    /^\[\[bench\]\]/ { grab = 1; next }
+    grab && /^name *= *"/ {
+        line = $0
+        sub(/^name *= *"/, "", line); sub(/".*$/, "", line)
+        print line; grab = 0
+    }
+' crates/bench/Cargo.toml)
+
+if [ -z "$benches" ]; then
+    echo "bench_smoke: no [[bench]] targets found in crates/bench/Cargo.toml" >&2
+    exit 1
+fi
+
+for b in $benches; do
+    echo "== bench $b =="
+    cargo bench --bench "$b"
+done
+
+echo "bench_smoke: results collected in $results"

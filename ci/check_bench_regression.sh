@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Bench regression gate: compares the fresh target/bench_results.json
+# (produced by ci/bench_smoke.sh) against the committed
+# BENCH_baseline.json. See crates/bench/src/bin/bench_check.rs for the
+# check semantics (absolute medians within threshold_factor, plus
+# machine-speed-independent ratio invariants such as the vectorized
+# engine's required speedup over the Volcano engine).
+#
+# Refresh the baseline after an intentional perf change with:
+#   ./ci/bench_smoke.sh && cargo run --release -p cbqt-bench --bin bench_check -- --write-baseline
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p cbqt-bench --bin bench_check -- "$@"

@@ -129,7 +129,8 @@ fn canon(rows: &[Vec<Value>]) -> Vec<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz [--iters N] [--seed S] [--parallelism P] [--failpoints] [N]\n\
+        "usage: fuzz [--iters N] [--seed S] [--parallelism P] [--failpoints]\n\
+         \x20           [--differential-exec] [N]\n\
          \n\
          Runs N differential-fuzz rounds (default 300). Round i uses seed\n\
          S + i (S defaults to 0), so any reported failure reproduces with\n\
@@ -143,6 +144,14 @@ fn usage() -> ! {
          Result-row comparison is skipped (faults and limits legitimately\n\
          abort statements).\n\
          \n\
+         --differential-exec switches to the execution-engine oracle:\n\
+         each round optimizes random queries once and runs the same plan\n\
+         through both the vectorized and the Volcano engine, asserting\n\
+         identical result rows, per-operator metrics, and governor\n\
+         outcomes (see Database::differential_exec). Combine with\n\
+         --failpoints to also arm random faults during the paired runs —\n\
+         both engines must then fail with the same error class.\n\
+         \n\
          --parallelism P costs candidate transformation states on P\n\
          worker threads (0 = auto, 1 = serial; the default). Results\n\
          must be identical at any worker count."
@@ -150,42 +159,54 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn parse_args() -> (u64, u64, bool, usize) {
-    let mut iters: u64 = 300;
-    let mut base_seed: u64 = 0;
-    let mut failpoints = false;
-    let mut parallelism: usize = 1;
+struct Args {
+    iters: u64,
+    base_seed: u64,
+    failpoints: bool,
+    differential: bool,
+    parallelism: usize,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        iters: 300,
+        base_seed: 0,
+        failpoints: false,
+        differential: false,
+        parallelism: 1,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--iters" | "-n" => {
-                iters = args
+                parsed.iters = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
             "--seed" | "-s" => {
-                base_seed = args
+                parsed.base_seed = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
             "--parallelism" | "-p" => {
-                parallelism = args
+                parsed.parallelism = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
-            "--failpoints" => failpoints = true,
+            "--failpoints" => parsed.failpoints = true,
+            "--differential-exec" => parsed.differential = true,
             "--help" | "-h" => usage(),
             // bare positional N, the pre-CLI invocation style
             other => match other.parse() {
-                Ok(n) => iters = n,
+                Ok(n) => parsed.iters = n,
                 Err(_) => usage(),
             },
         }
     }
-    (iters, base_seed, failpoints, parallelism)
+    parsed
 }
 
 /// One fault-injection round: random faults + random tight limits over
@@ -248,9 +269,82 @@ fn failpoint_round(seed: u64, parallelism: usize) -> u64 {
     failures
 }
 
-fn main() {
-    let (rounds, base_seed, failpoint_mode, parallelism) = parse_args();
+/// One execution-differential round: random queries through
+/// [`Database::differential_exec`], which runs each optimized plan
+/// through both the vectorized and the Volcano engine and reports any
+/// divergence in rows, metrics, or governor outcome. With
+/// `with_faults`, random failpoints are armed around each paired run —
+/// both engines see the same armed faults, so the oracle still demands
+/// matching error classes. Returns the number of failures.
+fn differential_round(seed: u64, parallelism: usize, with_faults: bool) -> u64 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut db = random_db(&mut rng);
+    db.config_mut().parallelism = parallelism;
+    let db = db;
+    let names = failpoints::all();
     let mut failures = 0;
+    for _ in 0..3 {
+        let sql = random_query(&mut rng);
+        let armed = if with_faults && rng.gen_bool(0.6) {
+            let name = names[rng.gen_range(0usize..names.len())];
+            Some(if rng.gen_bool(0.3) {
+                Fail::panic(name)
+            } else {
+                Fail::error(name)
+            })
+        } else {
+            None
+        };
+        let mut limits = StatementLimits::none();
+        if rng.gen_bool(0.4) {
+            limits = limits.with_row_budget(rng.gen_range(1i64..2000) as u64);
+        }
+        if rng.gen_bool(0.3) {
+            limits = limits.with_work_budget(rng.gen_range(100i64..50_000) as f64);
+        }
+        // No deadlines here: wall-clock trips are timing-dependent and
+        // would flag spurious divergence between the two engines.
+        match db.differential_exec(&sql, &limits) {
+            Ok(mismatches) => {
+                for m in mismatches {
+                    println!("seed {seed}: DIVERGENCE {m}\n{sql}");
+                    failures += 1;
+                }
+            }
+            // An armed fault can fire during parsing/optimization,
+            // before either engine runs; that is not a divergence.
+            Err(_) if armed.is_some() => {}
+            Err(e) => {
+                println!("seed {seed}: PRE-EXEC ERROR {e}\n{sql}");
+                failures += 1;
+            }
+        }
+        drop(armed);
+    }
+    failures
+}
+
+fn main() {
+    let args = parse_args();
+    let (rounds, base_seed, failpoint_mode, parallelism) = (
+        args.iters,
+        args.base_seed,
+        args.failpoints,
+        args.parallelism,
+    );
+    let mut failures = 0;
+    if args.differential {
+        if failpoint_mode {
+            // injected panics are expected and caught inside
+            // differential_exec; keep them off stderr
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        for seed in base_seed..base_seed + rounds {
+            failures += differential_round(seed, parallelism, failpoint_mode);
+        }
+        println!("differential-exec fuzz complete: {rounds} rounds, {failures} failures");
+        std::process::exit(if failures > 0 { 1 } else { 0 });
+    }
     if failpoint_mode {
         // injected panics are expected and caught at the statement
         // boundary; keep them off stderr

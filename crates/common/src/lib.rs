@@ -30,6 +30,59 @@ pub fn cost_lt(a: f64, b: f64) -> bool {
     a.total_cmp(&b) == std::cmp::Ordering::Less
 }
 
+/// Which interpreter the engine uses to execute physical plans.
+///
+/// Both interpreters run the *same* plans and must produce identical
+/// results, per-operator row counts, and governor outcomes — the
+/// row-at-a-time engine is kept as the correctness oracle for the
+/// vectorized one (see the fuzzer's `--differential-exec` mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Columnar batch interpreter: operators exchange ~1024-row batches
+    /// and expressions are compiled once per operator instead of being
+    /// tree-walked per row. The default.
+    #[default]
+    Vectorized,
+    /// Row-at-a-time Volcano interpreter, kept as the differential
+    /// oracle and as a fallback.
+    Volcano,
+}
+
+impl ExecutionMode {
+    /// Parses a mode name (case-insensitive); anything other than
+    /// `volcano` / `row` selects the vectorized engine.
+    pub fn parse(s: &str) -> ExecutionMode {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "volcano" | "row" => ExecutionMode::Volcano,
+            _ => ExecutionMode::Vectorized,
+        }
+    }
+
+    /// The process-wide default, read once from `CBQT_EXEC_MODE`
+    /// (`volcano` selects the oracle engine; unset or anything else
+    /// selects the vectorized engine).
+    pub fn from_env() -> ExecutionMode {
+        static MODE: std::sync::OnceLock<ExecutionMode> = std::sync::OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("CBQT_EXEC_MODE") {
+            Ok(v) => ExecutionMode::parse(&v),
+            Err(_) => ExecutionMode::Vectorized,
+        })
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecutionMode::Vectorized => "vectorized",
+            ExecutionMode::Volcano => "volcano",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Truth value of SQL three-valued logic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Truth {

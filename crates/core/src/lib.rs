@@ -34,8 +34,8 @@
 
 use cbqt_catalog::{Catalog, Column, Constraint, ForeignKey, TableId};
 use cbqt_common::{
-    CancelToken, Error, ExecutionLimits, Governor, Result, Row, TraceBuffer, TraceEvent, Tracer,
-    Value,
+    CancelToken, Error, ExecutionLimits, ExecutionMode, Governor, Result, Row, TraceBuffer,
+    TraceEvent, Tracer, Value,
 };
 use cbqt_exec::Engine;
 use cbqt_optimizer::{DynamicSampler, SamplingCache};
@@ -413,6 +413,119 @@ impl Database {
         })
     }
 
+    /// Differential oracle: optimizes `sql` once, then executes the
+    /// *same* plan allocation through both engines — vectorized and
+    /// Volcano — each under a fresh governor built from `limits`, and
+    /// reports every observable divergence.
+    ///
+    /// Compared surfaces:
+    /// * result rows, in order (both engines are order-deterministic
+    ///   over the same plan, so this is an exact comparison);
+    /// * per-operator [`ExecMetrics`](exec::ExecMetrics) — operator
+    ///   set, row counts and execution counts exactly, work units to a
+    ///   relative tolerance (both engines charge the same weights, but
+    ///   accumulate in different association orders);
+    /// * aggregate [`ExecStats`](exec::ExecStats) — work to the same
+    ///   tolerance, subquery-cache hits/misses exactly;
+    /// * failure class (`Error` variant) when either run fails — which
+    ///   row of a batch trips a fault first is representation-dependent,
+    ///   so messages are allowed to differ, the variant is not. Caught
+    ///   panics (from armed failpoints) are folded into
+    ///   `Error::Internal`, same as the `Database` boundary does.
+    ///
+    /// Returns `Ok(mismatches)` — empty means the engines agree. `Err`
+    /// is reserved for failures *before* execution (parse, analysis,
+    /// optimization), which neither engine reached.
+    pub fn differential_exec(&self, sql: &str, limits: &ExecutionLimits) -> Result<Vec<String>> {
+        catch_internal(AssertUnwindSafe(|| {
+            self.differential_exec_inner(sql, limits)
+        }))
+    }
+
+    fn differential_exec_inner(&self, sql: &str, limits: &ExecutionLimits) -> Result<Vec<String>> {
+        let q = match parse_statement(sql)? {
+            Statement::Query(q) => q,
+            other => {
+                return Err(Error::unsupported(format!(
+                    "differential_exec requires a query, got {}",
+                    statement_kind(&other)
+                )))
+            }
+        };
+        let tree = build_query_tree(&self.catalog, &q)?;
+        let outcome =
+            self.optimize_governed(&tree, Tracer::disabled(), &self.statement_governor())?;
+
+        let mut runs = Vec::new();
+        for mode in [ExecutionMode::Vectorized, ExecutionMode::Volcano] {
+            let mut engine = Engine::new(&self.catalog, &self.storage);
+            engine.set_mode(mode);
+            engine.set_governor(Governor::new(limits, self.cancel.clone()));
+            engine.enable_metrics();
+            let result = catch_internal(AssertUnwindSafe(|| engine.run(&outcome.plan)));
+            let stats = engine.stats();
+            let metrics = engine.take_metrics().unwrap_or_default().snapshot();
+            runs.push((result, stats, metrics));
+        }
+        let (vec_run, volcano_run) = (&runs[0], &runs[1]);
+
+        let mut mismatches = Vec::new();
+        match (&vec_run.0, &volcano_run.0) {
+            (Ok(vrows), Ok(orows)) => {
+                if vrows != orows {
+                    mismatches.push(format!(
+                        "result rows differ: vectorized {} row(s), volcano {} row(s){}",
+                        vrows.len(),
+                        orows.len(),
+                        first_row_divergence(vrows, orows)
+                    ));
+                }
+            }
+            (Err(ve), Err(oe)) => {
+                if std::mem::discriminant(ve) != std::mem::discriminant(oe) {
+                    mismatches.push(format!(
+                        "error class differs: vectorized {ve:?}, volcano {oe:?}"
+                    ));
+                }
+            }
+            (Ok(vrows), Err(oe)) => mismatches.push(format!(
+                "vectorized succeeded ({} row(s)) but volcano failed: {oe:?}",
+                vrows.len()
+            )),
+            (Err(ve), Ok(orows)) => mismatches.push(format!(
+                "volcano succeeded ({} row(s)) but vectorized failed: {ve:?}",
+                orows.len()
+            )),
+        }
+
+        // Work, cache counters and per-operator metrics are only
+        // comparable when both runs finished: a fault or budget trip
+        // stops the two engines at representation-dependent points
+        // mid-plan (cumulative totals are identical, intermediate
+        // prefixes are not).
+        if vec_run.0.is_ok() && volcano_run.0.is_ok() {
+            if !approx_work(vec_run.1.work, volcano_run.1.work) {
+                mismatches.push(format!(
+                    "total work differs: vectorized {:.3}, volcano {:.3}",
+                    vec_run.1.work, volcano_run.1.work
+                ));
+            }
+            if (vec_run.1.cache_hits, vec_run.1.cache_misses)
+                != (volcano_run.1.cache_hits, volcano_run.1.cache_misses)
+            {
+                mismatches.push(format!(
+                    "subquery cache counters differ: vectorized {}h/{}m, volcano {}h/{}m",
+                    vec_run.1.cache_hits,
+                    vec_run.1.cache_misses,
+                    volcano_run.1.cache_hits,
+                    volcano_run.1.cache_misses
+                ));
+            }
+            compare_metrics(&vec_run.2, &volcano_run.2, &mut mismatches);
+        }
+        Ok(mismatches)
+    }
+
     /// EXPLAIN: the transformed query text, transformation decisions,
     /// and the physical plan — without executing.
     pub fn explain(&self, sql: &str) -> Result<String> {
@@ -499,7 +612,8 @@ impl Database {
         }
         out.push_str(&format!("heuristics: {}\n", outcome.heuristics.summary()));
         if analyze {
-            let engine = Engine::new(&self.catalog, &self.storage);
+            let mut engine = Engine::new(&self.catalog, &self.storage);
+            engine.set_mode(self.config.execution_mode);
             engine.enable_metrics();
             let t0 = Instant::now();
             let rows = engine.run(&outcome.plan)?;
@@ -508,10 +622,11 @@ impl Database {
             out.push_str("\n== physical plan (analyzed) ==\n");
             out.push_str(&outcome.plan.explain_annotated(&mut |e| metrics.annotate(e)));
             out.push_str(&format!(
-                "\nexecution: {} row(s), {:.0} work unit(s), {:.3} ms\n",
+                "\nexecution: {} row(s), {:.0} work unit(s), {:.3} ms, engine={}\n",
                 rows.len(),
                 engine.stats().work,
                 execute_time.as_secs_f64() * 1e3,
+                engine.mode(),
             ));
         } else {
             out.push_str("\n== physical plan ==\n");
@@ -639,6 +754,7 @@ impl Database {
                 });
                 let t1 = Instant::now();
                 let mut engine = Engine::new(&self.catalog, &self.storage);
+                engine.set_mode(self.config.execution_mode);
                 engine.set_governor(governor.clone());
                 let rows = engine.run(&cached.plan)?;
                 let execute_time = t1.elapsed();
@@ -706,6 +822,7 @@ impl Database {
 
         let t1 = Instant::now();
         let mut engine = Engine::new(&self.catalog, &self.storage);
+        engine.set_mode(self.config.execution_mode);
         engine.set_governor(governor.clone());
         let rows = engine.run(&plan)?;
         let execute_time = t1.elapsed();
@@ -985,6 +1102,58 @@ const _: () = {
 /// application. All shared caches recover from lock poisoning (the plan
 /// cache clears a poisoned shard; the sampling cache and trace buffer
 /// keep their contents), so the database stays usable afterwards.
+/// Work units accumulate identically in both engines up to float
+/// association order; compare with a relative tolerance.
+fn approx_work(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Points at the first differing row (or a length difference) so a
+/// fuzzer failure is actionable without re-running.
+fn first_row_divergence(a: &[Row], b: &[Row]) -> String {
+    for (i, (ra, rb)) in a.iter().zip(b.iter()).enumerate() {
+        if ra != rb {
+            return format!("; first divergence at row {i}: vectorized {ra:?}, volcano {rb:?}");
+        }
+    }
+    String::new()
+}
+
+/// Compares two [`ExecMetrics`](cbqt_exec::ExecMetrics) snapshots taken
+/// against the same plan allocation: identical operator (address) sets,
+/// exact rows/execs, work to tolerance.
+fn compare_metrics(
+    vec: &[(usize, cbqt_exec::OpMetrics)],
+    volcano: &[(usize, cbqt_exec::OpMetrics)],
+    mismatches: &mut Vec<String>,
+) {
+    let vec_addrs: Vec<usize> = vec.iter().map(|(a, _)| *a).collect();
+    let volcano_addrs: Vec<usize> = volcano.iter().map(|(a, _)| *a).collect();
+    if vec_addrs != volcano_addrs {
+        mismatches.push(format!(
+            "metrics operator sets differ: vectorized recorded {} op(s), volcano {} op(s)",
+            vec_addrs.len(),
+            volcano_addrs.len()
+        ));
+        return;
+    }
+    for ((addr, vm), (_, om)) in vec.iter().zip(volcano.iter()) {
+        if vm.rows != om.rows || vm.execs != om.execs {
+            mismatches.push(format!(
+                "op {addr:#x} counters differ: vectorized rows={} execs={}, \
+                 volcano rows={} execs={}",
+                vm.rows, vm.execs, om.rows, om.execs
+            ));
+        }
+        if !approx_work(vm.work, om.work) {
+            mismatches.push(format!(
+                "op {addr:#x} work differs: vectorized {:.3}, volcano {:.3}",
+                vm.work, om.work
+            ));
+        }
+    }
+}
+
 fn catch_internal<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
     match panic::catch_unwind(AssertUnwindSafe(f)) {
         Ok(r) => r,

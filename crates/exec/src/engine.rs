@@ -5,7 +5,7 @@ use crate::eval::{compute_windows, AggAcc, Bindings, EvalCtx};
 use crate::metrics::ExecMetrics;
 use cbqt_catalog::Catalog;
 use cbqt_common::failpoint;
-use cbqt_common::{Error, Governor, Result, Row, Value};
+use cbqt_common::{Error, ExecutionMode, Governor, Result, Row, Value};
 use cbqt_optimizer::{
     weights, AccessPath, BlockPlan, JoinMethod, Layout, PlanJoinKind, PlanNode, PlanRoot,
     SelectPlan,
@@ -53,13 +53,18 @@ pub struct Engine<'a> {
     /// Rows processed since the governor was last consulted; batches
     /// per-row [`Engine::tick`] calls into one governor charge per
     /// [`GOVERNOR_BATCH`] rows.
-    ticks: Cell<u32>,
+    ticks: Cell<u64>,
+    /// Which interpreter executes select blocks: the vectorized batch
+    /// engine or the row-at-a-time Volcano oracle.
+    mode: ExecutionMode,
 }
 
 /// Rows processed between governor checks. Small enough that deadlines
 /// and budgets trip promptly, large enough to keep atomics off the
-/// per-row path.
-const GOVERNOR_BATCH: u32 = 128;
+/// per-row path. The vectorized engine charges the same multiples of
+/// this quantum via [`Engine::tick_rows`], so row-budget outcomes are
+/// identical across engines.
+const GOVERNOR_BATCH: u64 = 128;
 
 impl<'a> Engine<'a> {
     pub fn new(catalog: &'a Catalog, storage: &'a Storage) -> Engine<'a> {
@@ -74,7 +79,18 @@ impl<'a> Engine<'a> {
             metrics: RefCell::new(None),
             governor: Governor::unlimited(),
             ticks: Cell::new(0),
+            mode: ExecutionMode::from_env(),
         }
+    }
+
+    /// Selects the interpreter for this engine (overriding the
+    /// process-wide `CBQT_EXEC_MODE` default).
+    pub fn set_mode(&mut self, mode: ExecutionMode) {
+        self.mode = mode;
+    }
+
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
     }
 
     /// Installs the statement's resource governor: row/work budgets and
@@ -89,12 +105,29 @@ impl<'a> Engine<'a> {
     /// calls this, so a runaway statement is interrupted wherever its
     /// time goes.
     #[inline]
-    fn tick(&self) -> Result<()> {
+    pub(crate) fn tick(&self) -> Result<()> {
         let t = self.ticks.get().wrapping_add(1);
         self.ticks.set(t);
         if t.is_multiple_of(GOVERNOR_BATCH) {
+            self.governor.charge_exec(GOVERNOR_BATCH, self.work.get())?;
+        }
+        Ok(())
+    }
+
+    /// Batch-granular [`Engine::tick`]: charges `n` processed rows in one
+    /// call, consulting the governor once per [`GOVERNOR_BATCH`] boundary
+    /// crossed. The cumulative charge totals are exactly those the
+    /// per-row `tick` path produces, so row-budget outcomes are
+    /// identical between the vectorized and Volcano engines.
+    #[inline]
+    pub(crate) fn tick_rows(&self, n: u64) -> Result<()> {
+        let t0 = self.ticks.get();
+        let t1 = t0.wrapping_add(n);
+        self.ticks.set(t1);
+        let blocks = t1 / GOVERNOR_BATCH - t0 / GOVERNOR_BATCH;
+        if blocks > 0 {
             self.governor
-                .charge_exec(GOVERNOR_BATCH as u64, self.work.get())?;
+                .charge_exec(blocks * GOVERNOR_BATCH, self.work.get())?;
         }
         Ok(())
     }
@@ -125,6 +158,26 @@ impl<'a> Engine<'a> {
 
     pub(crate) fn add_work(&self, w: f64) {
         self.work.set(self.work.get() + w);
+    }
+
+    pub(crate) fn work_now(&self) -> f64 {
+        self.work.get()
+    }
+
+    pub(crate) fn metrics_enabled(&self) -> bool {
+        self.metrics.borrow().is_some()
+    }
+
+    pub(crate) fn record_metric(
+        &self,
+        addr: usize,
+        rows: u64,
+        work: f64,
+        elapsed: std::time::Duration,
+    ) {
+        if let Some(m) = self.metrics.borrow_mut().as_mut() {
+            m.record(addr, rows, work, elapsed);
+        }
     }
 
     /// Burns CPU for the EXPENSIVE() stand-in UDF: deterministic work
@@ -212,13 +265,19 @@ impl<'a> Engine<'a> {
 
     fn execute_block_inner(&self, plan: &BlockPlan, binds: &Bindings<'_>) -> Result<Vec<Row>> {
         match &plan.root {
-            PlanRoot::Select(sp) => self.exec_select(sp, binds),
+            PlanRoot::Select(sp) => match self.mode {
+                ExecutionMode::Volcano => self.exec_select(sp, binds),
+                ExecutionMode::Vectorized => crate::batch::exec_select_batched(self, sp, binds),
+            },
             PlanRoot::SetOp(sop) => {
                 let mut inputs: Vec<Vec<Row>> = Vec::with_capacity(sop.inputs.len());
                 for i in &sop.inputs {
                     inputs.push(self.execute_block(i, binds)?);
                 }
-                self.exec_setop(sop.op, inputs)
+                match self.mode {
+                    ExecutionMode::Volcano => self.exec_setop(sop.op, inputs),
+                    ExecutionMode::Vectorized => self.exec_setop_batched(sop.op, inputs),
+                }
             }
         }
     }
@@ -281,6 +340,60 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Batch-granular set operations: identical dedup semantics and
+    /// first-occurrence output order as [`Engine::exec_setop`], with the
+    /// per-row governor ticks and DEDUP work charged once per
+    /// [`crate::batch::BATCH_SIZE`] chunk.
+    fn exec_setop_batched(&self, op: SetOp, mut inputs: Vec<Vec<Row>>) -> Result<Vec<Row>> {
+        cbqt_common::failpoint!(failpoint::EXEC_SETOP);
+        let chunked = |this: &Engine<'_>, rows: &[Row]| -> Result<()> {
+            for chunk in rows.chunks(crate::batch::BATCH_SIZE) {
+                this.tick_rows(chunk.len() as u64)?;
+                this.add_work(chunk.len() as f64 * weights::DEDUP);
+            }
+            Ok(())
+        };
+        match op {
+            SetOp::UnionAll => {
+                let mut out = Vec::new();
+                for mut i in inputs {
+                    self.add_work(i.len() as f64 * weights::ROW);
+                    out.append(&mut i);
+                }
+                self.governor
+                    .charge_exec(out.len() as u64, self.work.get())?;
+                Ok(out)
+            }
+            SetOp::Union => {
+                let mut seen: HashSet<Row> = HashSet::new();
+                let mut out = Vec::new();
+                for i in inputs {
+                    chunked(self, &i)?;
+                    for r in i {
+                        if seen.insert(r.clone()) {
+                            out.push(r);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            SetOp::Intersect | SetOp::Minus => {
+                let right: HashSet<Row> = inputs.pop().unwrap_or_default().into_iter().collect();
+                let left = inputs.pop().unwrap_or_default();
+                chunked(self, &left)?;
+                let keep_present = op == SetOp::Intersect;
+                let mut seen: HashSet<Row> = HashSet::new();
+                let mut out = Vec::new();
+                for r in left {
+                    if right.contains(&r) == keep_present && seen.insert(r.clone()) {
+                        out.push(r);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
     fn exec_select(&self, sp: &SelectPlan, binds: &Bindings<'_>) -> Result<Vec<Row>> {
         let rows = self.exec_node(&sp.join, binds)?;
         let base_ctx = EvalCtx {
@@ -294,29 +407,7 @@ impl<'a> Engine<'a> {
             outer: binds.clone(),
         };
 
-        // WHERE residue (TIS subquery filters etc.) + ROWNUM, with early
-        // exit once the limit is reached
-        let mut filtered: Vec<Row> = Vec::new();
-        for r in rows {
-            self.tick()?;
-            let mut pass = true;
-            for c in &sp.post_filter {
-                self.add_work(weights::PRED);
-                if !base_ctx.eval_truth(c, &r)?.passes() {
-                    pass = false;
-                    break;
-                }
-            }
-            if pass {
-                filtered.push(r);
-                if let Some(lim) = sp.rownum_limit {
-                    if filtered.len() as u64 >= lim {
-                        break;
-                    }
-                }
-            }
-        }
-        let mut rows = filtered;
+        let mut rows = self.post_filter_rows(sp, &base_ctx, rows)?;
 
         // aggregation
         let aggregated = !sp.group_by.is_empty()
@@ -411,9 +502,48 @@ impl<'a> Engine<'a> {
         Ok(out)
     }
 
+    /// WHERE residue (TIS subquery filters etc.) + ROWNUM, with early
+    /// exit once the limit is reached. Shared by both engines: the
+    /// vectorized path falls back to this row loop whenever a
+    /// `rownum_limit` is present, because the limit's early exit decides
+    /// exactly which rows ever get evaluated.
+    pub(crate) fn post_filter_rows(
+        &self,
+        sp: &SelectPlan,
+        ctx: &EvalCtx<'_>,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>> {
+        let mut filtered: Vec<Row> = Vec::new();
+        for r in rows {
+            self.tick()?;
+            let mut pass = true;
+            for c in &sp.post_filter {
+                self.add_work(weights::PRED);
+                if !ctx.eval_truth(c, &r)?.passes() {
+                    pass = false;
+                    break;
+                }
+            }
+            if pass {
+                filtered.push(r);
+                if let Some(lim) = sp.rownum_limit {
+                    if filtered.len() as u64 >= lim {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(filtered)
+    }
+
     /// Hash aggregation with representative-row semantics and grouping
     /// sets. Output rows are `representative wide row ++ agg values`.
-    fn aggregate(&self, sp: &SelectPlan, ctx: &EvalCtx<'_>, rows: Vec<Row>) -> Result<Vec<Row>> {
+    pub(crate) fn aggregate(
+        &self,
+        sp: &SelectPlan,
+        ctx: &EvalCtx<'_>,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>> {
         cbqt_common::failpoint!(failpoint::EXEC_AGG);
         let sets: Vec<Vec<usize>> = match &sp.grouping_sets {
             Some(s) => s.clone(),
@@ -504,7 +634,7 @@ impl<'a> Engine<'a> {
         Ok(out)
     }
 
-    fn exec_node(&self, node: &PlanNode, binds: &Bindings<'_>) -> Result<Vec<Row>> {
+    pub(crate) fn exec_node(&self, node: &PlanNode, binds: &Bindings<'_>) -> Result<Vec<Row>> {
         if self.metrics.borrow().is_none() {
             return self.exec_node_inner(node, binds);
         }
@@ -555,13 +685,13 @@ impl<'a> Engine<'a> {
                 };
                 let data = self.storage.table(*table)?;
                 let mut out = Vec::new();
-                let mut emit = |ordinal: usize, engine: &Engine<'_>| -> Result<()> {
-                    engine.tick()?;
+                for ordinal in self.scan_ordinals(access, &ctx, data)? {
+                    self.tick()?;
                     let mut row = data.rows[ordinal].clone();
                     row.push(Value::Int(ordinal as i64));
                     let mut pass = true;
                     for c in filter {
-                        engine.add_work(weights::PRED);
+                        self.add_work(weights::PRED);
                         if !ctx.eval_truth(c, &row)?.passes() {
                             pass = false;
                             break;
@@ -569,84 +699,6 @@ impl<'a> Engine<'a> {
                     }
                     if pass {
                         out.push(row);
-                    }
-                    Ok(())
-                };
-                match access {
-                    AccessPath::FullScan => {
-                        self.add_work(data.rows.len() as f64 * weights::ROW);
-                        for ordinal in 0..data.rows.len() {
-                            emit(ordinal, self)?;
-                        }
-                    }
-                    AccessPath::IndexEq { index, key } => {
-                        self.add_work(weights::INDEX_PROBE);
-                        // key expressions reference only outer bindings
-                        let empty = Layout::default();
-                        let kctx = EvalCtx {
-                            layout: &empty,
-                            ..ctx_clone(&ctx)
-                        };
-                        let keyvals: Vec<Value> = key
-                            .iter()
-                            .map(|e| kctx.eval(e, &[]))
-                            .collect::<Result<_>>()?;
-                        let ix = self.storage.index(*index)?;
-                        let hits: Vec<usize> = if ix.columns.len() == keyvals.len() {
-                            ix.lookup_eq(&keyvals).to_vec()
-                        } else {
-                            // prefix probe: range over the leading column
-                            let mut v = Vec::new();
-                            if let Some(first) = keyvals.first() {
-                                ix.lookup_range(
-                                    Bound::Included(first),
-                                    Bound::Included(first),
-                                    &mut v,
-                                );
-                            }
-                            v
-                        };
-                        self.add_work(hits.len() as f64 * weights::INDEX_FETCH);
-                        for ordinal in hits {
-                            emit(ordinal, self)?;
-                        }
-                    }
-                    AccessPath::IndexRange { index, lo, hi } => {
-                        self.add_work(weights::INDEX_PROBE);
-                        let empty = Layout::default();
-                        let kctx = EvalCtx {
-                            layout: &empty,
-                            ..ctx_clone(&ctx)
-                        };
-                        let lo_v = match lo {
-                            Some((e, inc)) => {
-                                let v = kctx.eval(e, &[])?;
-                                if *inc {
-                                    Bound::Included(v)
-                                } else {
-                                    Bound::Excluded(v)
-                                }
-                            }
-                            None => Bound::Unbounded,
-                        };
-                        let hi_v = match hi {
-                            Some((e, inc)) => {
-                                let v = kctx.eval(e, &[])?;
-                                if *inc {
-                                    Bound::Included(v)
-                                } else {
-                                    Bound::Excluded(v)
-                                }
-                            }
-                            None => Bound::Unbounded,
-                        };
-                        let ix = self.storage.index(*index)?;
-                        let mut hits = Vec::new();
-                        ix.lookup_range(as_ref_bound(&lo_v), as_ref_bound(&hi_v), &mut hits);
-                        self.add_work(hits.len() as f64 * weights::INDEX_FETCH);
-                        for ordinal in hits {
-                            emit(ordinal, self)?;
-                        }
                     }
                 }
                 Ok(out)
@@ -701,6 +753,84 @@ impl<'a> Engine<'a> {
                 lateral,
                 ..
             } => self.exec_join(left, right, *kind, *method, equi, residual, *lateral, binds),
+        }
+    }
+
+    /// Resolves an access path to the matching row ordinals, charging
+    /// the same work units the row engine always has (full-scan ROW
+    /// upfront, index probe + per-hit fetch). Shared by both engines.
+    pub(crate) fn scan_ordinals(
+        &self,
+        access: &AccessPath,
+        ctx: &EvalCtx<'_>,
+        data: &cbqt_storage::TableData,
+    ) -> Result<Vec<usize>> {
+        match access {
+            AccessPath::FullScan => {
+                self.add_work(data.rows.len() as f64 * weights::ROW);
+                Ok((0..data.rows.len()).collect())
+            }
+            AccessPath::IndexEq { index, key } => {
+                self.add_work(weights::INDEX_PROBE);
+                // key expressions reference only outer bindings
+                let empty = Layout::default();
+                let kctx = EvalCtx {
+                    layout: &empty,
+                    ..ctx_clone(ctx)
+                };
+                let keyvals: Vec<Value> = key
+                    .iter()
+                    .map(|e| kctx.eval(e, &[]))
+                    .collect::<Result<_>>()?;
+                let ix = self.storage.index(*index)?;
+                let hits: Vec<usize> = if ix.columns.len() == keyvals.len() {
+                    ix.lookup_eq(&keyvals).to_vec()
+                } else {
+                    // prefix probe: range over the leading column
+                    let mut v = Vec::new();
+                    if let Some(first) = keyvals.first() {
+                        ix.lookup_range(Bound::Included(first), Bound::Included(first), &mut v);
+                    }
+                    v
+                };
+                self.add_work(hits.len() as f64 * weights::INDEX_FETCH);
+                Ok(hits)
+            }
+            AccessPath::IndexRange { index, lo, hi } => {
+                self.add_work(weights::INDEX_PROBE);
+                let empty = Layout::default();
+                let kctx = EvalCtx {
+                    layout: &empty,
+                    ..ctx_clone(ctx)
+                };
+                let lo_v = match lo {
+                    Some((e, inc)) => {
+                        let v = kctx.eval(e, &[])?;
+                        if *inc {
+                            Bound::Included(v)
+                        } else {
+                            Bound::Excluded(v)
+                        }
+                    }
+                    None => Bound::Unbounded,
+                };
+                let hi_v = match hi {
+                    Some((e, inc)) => {
+                        let v = kctx.eval(e, &[])?;
+                        if *inc {
+                            Bound::Included(v)
+                        } else {
+                            Bound::Excluded(v)
+                        }
+                    }
+                    None => Bound::Unbounded,
+                };
+                let ix = self.storage.index(*index)?;
+                let mut hits = Vec::new();
+                ix.lookup_range(as_ref_bound(&lo_v), as_ref_bound(&hi_v), &mut hits);
+                self.add_work(hits.len() as f64 * weights::INDEX_FETCH);
+                Ok(hits)
+            }
         }
     }
 
@@ -794,7 +924,11 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn simple_ctx<'b>(&'b self, layout: &'b Layout, binds: &Bindings<'b>) -> EvalCtx<'b> {
+    pub(crate) fn simple_ctx<'b>(
+        &'b self,
+        layout: &'b Layout,
+        binds: &Bindings<'b>,
+    ) -> EvalCtx<'b> {
         EvalCtx {
             engine: self,
             layout,
@@ -1153,21 +1287,21 @@ fn as_ref_bound(b: &Bound<Value>) -> Bound<&Value> {
     }
 }
 
-fn concat(l: &[Value], r: &[Value]) -> Row {
+pub(crate) fn concat(l: &[Value], r: &[Value]) -> Row {
     let mut row = Vec::with_capacity(l.len() + r.len());
     row.extend_from_slice(l);
     row.extend_from_slice(r);
     row
 }
 
-fn null_pad(l: &[Value], rwidth: usize) -> Row {
+pub(crate) fn null_pad(l: &[Value], rwidth: usize) -> Row {
     let mut row = Vec::with_capacity(l.len() + rwidth);
     row.extend_from_slice(l);
     row.extend(std::iter::repeat_n(Value::Null, rwidth));
     row
 }
 
-fn combined_layout(l: &Layout, r: &Layout) -> Layout {
+pub(crate) fn combined_layout(l: &Layout, r: &Layout) -> Layout {
     let mut slots = l.slots.clone();
     for (rr, off, w) in &r.slots {
         slots.push((*rr, off + l.width, *w));

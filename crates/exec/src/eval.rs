@@ -461,7 +461,7 @@ pub fn truth_value(t: Truth) -> Value {
     }
 }
 
-fn display_raw(v: &Value) -> String {
+pub(crate) fn display_raw(v: &Value) -> String {
     match v {
         Value::Str(s) => s.to_string(),
         other => other.to_string(),

@@ -19,9 +19,11 @@
 //! * deterministic *work units* counted with the same weights the cost
 //!   model uses, so measured work and estimated cost share a currency.
 
+pub(crate) mod batch;
 pub mod engine;
 pub mod eval;
 pub mod metrics;
+pub(crate) mod vexpr;
 
 pub use engine::{Engine, ExecStats};
 pub use metrics::{ExecMetrics, OpMetrics};

@@ -60,6 +60,15 @@ impl ExecMetrics {
         self.map.get(&entity.addr()).copied()
     }
 
+    /// All `(addr, metrics)` pairs, sorted by address. Two engines run
+    /// against the *same* plan allocation use identical addresses, so
+    /// the differential oracle compares these snapshots directly.
+    pub fn snapshot(&self) -> Vec<(usize, OpMetrics)> {
+        let mut v: Vec<(usize, OpMetrics)> = self.map.iter().map(|(&a, &m)| (a, m)).collect();
+        v.sort_by_key(|(a, _)| *a);
+        v
+    }
+
     /// EXPLAIN-line annotation for one plan element. Operators the run
     /// never reached (e.g. pruned by an empty outer side) are labelled
     /// explicitly so estimation gaps stand out.

@@ -525,3 +525,176 @@ fn semijoin_caching_in_nl() {
     // depts 2,3 → emps 2,3,6,7,10
     assert_eq!(ints(&rows), vec![2, 3, 6, 7, 10]);
 }
+
+// ---------------------------------------------------------------------
+// Vectorized batch-boundary edges: the batch interpreter must agree
+// with the Volcano engine on empty inputs, final partial batches,
+// NULL-heavy columns, and governor budgets that trip mid-batch.
+
+/// A wide-enough table to cross the 1024-row batch size: `nums(n, grp)`
+/// with `total` rows, `grp = n % 7`, and `n` NULL for every third row
+/// when `null_heavy`.
+fn setup_large(total: i64, null_heavy: bool) -> (Catalog, Storage) {
+    let mut cat = Catalog::new();
+    let icol = |n: &str| Column {
+        name: n.into(),
+        data_type: DataType::Int,
+        not_null: false,
+    };
+    let t = cat
+        .add_table("nums", vec![icol("n"), icol("grp")], vec![])
+        .unwrap();
+    let mut st = Storage::new();
+    st.create_table(t);
+    for i in 0..total {
+        let n = if null_heavy && i % 3 == 0 {
+            Value::Null
+        } else {
+            Value::Int(i)
+        };
+        st.insert(t, vec![n, Value::Int(i % 7)]).unwrap();
+    }
+    st.analyze(&mut cat).unwrap();
+    (cat, st)
+}
+
+fn run_mode(
+    cat: &Catalog,
+    st: &Storage,
+    sql: &str,
+    mode: cbqt_common::ExecutionMode,
+) -> cbqt_common::Result<Vec<Vec<Value>>> {
+    let tree = build_query_tree(cat, &parse_query(sql).unwrap()).unwrap();
+    let ann = CostAnnotations::new();
+    let cache = SamplingCache::default();
+    let mut opt = Optimizer::new(cat, &ann, &cache);
+    let plan = opt.optimize(&tree, None).unwrap();
+    let mut eng = Engine::new(cat, st);
+    eng.set_mode(mode);
+    eng.run(&plan)
+}
+
+fn assert_modes_agree(cat: &Catalog, st: &Storage, sql: &str) -> Vec<Vec<Value>> {
+    use cbqt_common::ExecutionMode::{Vectorized, Volcano};
+    let v = run_mode(cat, st, sql, Vectorized).unwrap();
+    let o = run_mode(cat, st, sql, Volcano).unwrap();
+    assert_eq!(v, o, "engines disagree on {sql}");
+    v
+}
+
+#[test]
+fn vectorized_empty_scan_and_empty_filter_result() {
+    let (cat, st) = setup_large(0, false);
+    let rows = assert_modes_agree(&cat, &st, "SELECT n FROM nums");
+    assert!(rows.is_empty());
+    // empty input through a scalar aggregate: one all-NULL/zero row
+    let rows = assert_modes_agree(&cat, &st, "SELECT COUNT(*), SUM(n) FROM nums");
+    assert_eq!(rows[0][0], Value::Int(0));
+    assert!(rows[0][1].is_null());
+
+    // non-empty scan whose filter keeps nothing
+    let (cat, st) = setup_large(2000, false);
+    let rows = assert_modes_agree(&cat, &st, "SELECT n FROM nums WHERE n < 0");
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn vectorized_final_partial_batch() {
+    // 2500 = 2 full 1024-row batches + a 452-row tail
+    let (cat, st) = setup_large(2500, false);
+    let rows = assert_modes_agree(
+        &cat,
+        &st,
+        "SELECT COUNT(*), SUM(n), MIN(n), MAX(n) FROM nums WHERE n >= 1000",
+    );
+    assert_eq!(rows[0][0], Value::Int(1500));
+    assert_eq!(rows[0][2], Value::Int(1000));
+    assert_eq!(rows[0][3], Value::Int(2499));
+
+    let rows = assert_modes_agree(
+        &cat,
+        &st,
+        "SELECT grp, COUNT(*) FROM nums GROUP BY grp ORDER BY grp",
+    );
+    assert_eq!(rows.len(), 7);
+    let total: i64 = rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+    assert_eq!(total, 2500);
+}
+
+#[test]
+fn vectorized_null_heavy_columns() {
+    let (cat, st) = setup_large(3000, true);
+    // every third n is NULL: filters, aggregates and DISTINCT must all
+    // treat them with SQL null semantics in both engines
+    let rows = assert_modes_agree(
+        &cat,
+        &st,
+        "SELECT COUNT(*), COUNT(n), SUM(n) FROM nums WHERE n > 100 OR n IS NULL",
+    );
+    assert_eq!(rows[0][0].as_i64().unwrap(), 1000 + 1933);
+    assert_eq!(rows[0][1].as_i64().unwrap(), 1933);
+    assert_modes_agree(
+        &cat,
+        &st,
+        "SELECT DISTINCT grp FROM nums WHERE n IS NULL ORDER BY grp",
+    );
+    assert_modes_agree(
+        &cat,
+        &st,
+        "SELECT grp, COUNT(n), COUNT(*) FROM nums GROUP BY grp ORDER BY grp",
+    );
+}
+
+#[test]
+fn vectorized_row_budget_trips_mid_batch() {
+    use cbqt_common::{CancelToken, Error, ExecutionLimits, Governor};
+    let (cat, st) = setup_large(2500, false);
+    let tree = build_query_tree(&cat, &parse_query("SELECT SUM(n) FROM nums").unwrap()).unwrap();
+    let ann = CostAnnotations::new();
+    let cache = SamplingCache::default();
+    let mut opt = Optimizer::new(&cat, &ann, &cache);
+    let plan = opt.optimize(&tree, None).unwrap();
+    for mode in [
+        cbqt_common::ExecutionMode::Vectorized,
+        cbqt_common::ExecutionMode::Volcano,
+    ] {
+        // 1500 sits strictly inside the second 1024-row batch, so the
+        // vectorized engine must notice exhaustion mid-batch, not only
+        // at batch boundaries
+        let limits = ExecutionLimits::none().with_row_budget(1500);
+        let mut eng = Engine::new(&cat, &st);
+        eng.set_mode(mode);
+        eng.set_governor(Governor::new(&limits, CancelToken::new()));
+        match eng.run(&plan) {
+            Err(Error::ResourceExhausted(_)) => {}
+            other => panic!("{mode:?}: expected ResourceExhausted, got {other:?}"),
+        }
+        // a budget that covers the whole scan (plus aggregate and
+        // projection passes) must not trip
+        let limits = ExecutionLimits::none().with_row_budget(20_000);
+        let mut eng = Engine::new(&cat, &st);
+        eng.set_mode(mode);
+        eng.set_governor(Governor::new(&limits, CancelToken::new()));
+        let rows = eng.run(&plan).unwrap();
+        assert_eq!(rows[0][0].as_i64().unwrap(), 2500 * 2499 / 2);
+    }
+}
+
+#[test]
+fn vectorized_and_volcano_agree_on_joins_and_setops() {
+    let (cat, st) = setup();
+    for sql in [
+        "SELECT e.emp_id, d.loc_id FROM employees e, departments d \
+         WHERE e.dept_id = d.dept_id ORDER BY e.emp_id",
+        "SELECT e.emp_id, d.loc_id FROM employees e LEFT JOIN departments d \
+         ON e.dept_id = d.dept_id ORDER BY e.emp_id",
+        "SELECT dept_id FROM employees UNION SELECT dept_id FROM departments",
+        "SELECT dept_id FROM departments MINUS SELECT dept_id FROM employees",
+        "SELECT dept_id FROM employees INTERSECT SELECT dept_id FROM departments",
+        "SELECT dept_id, COUNT(*), AVG(salary) FROM employees \
+         GROUP BY dept_id HAVING COUNT(*) > 1 ORDER BY dept_id",
+        "SELECT DISTINCT dept_id FROM employees ORDER BY dept_id",
+    ] {
+        assert_modes_agree(&cat, &st, sql);
+    }
+}

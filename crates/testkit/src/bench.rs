@@ -10,8 +10,12 @@
 //!    (`TESTKIT_BENCH_SAMPLES` overrides, e.g. `=2` for a CI smoke run),
 //! 3. prints one machine-readable JSON line to **stdout** (so future
 //!    `BENCH_*.json` trajectories can be captured by piping stdout) and a
-//!    human-readable summary line to **stderr**.
+//!    human-readable summary line to **stderr**. When `TESTKIT_BENCH_JSON`
+//!    names a file, the same JSON line is also appended there, so CI can
+//!    collect every bench target's results into one
+//!    `target/bench_results.json` regardless of how stdout is interleaved.
 
+use std::io::Write;
 use std::time::Instant;
 
 pub use std::hint::black_box;
@@ -119,11 +123,22 @@ impl Bencher {
         };
         let p95 = sorted[(((n as f64) * 0.95).ceil() as usize).clamp(1, n) - 1];
         let mean = sorted.iter().sum::<u64>() / n as u64;
-        println!(
+        let json = format!(
             "{{\"type\":\"bench\",\"group\":\"{group}\",\"bench\":\"{id}\",\
              \"samples\":{n},\"min_ns\":{min},\"median_ns\":{median},\
              \"mean_ns\":{mean},\"p95_ns\":{p95},\"max_ns\":{max}}}"
         );
+        println!("{json}");
+        if let Ok(path) = std::env::var("TESTKIT_BENCH_JSON") {
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{json}"));
+            if let Err(e) = appended {
+                eprintln!("TESTKIT_BENCH_JSON: cannot append to {path}: {e}");
+            }
+        }
         eprintln!(
             "{group}/{id}: median {} p95 {} ({n} samples)",
             fmt_ns(median),

@@ -22,7 +22,9 @@ use crate::costbased::view_transform::{can_merge_view, merge_view};
 use crate::costbased::{default_transforms, ApplyEffect, CbTransform, Target};
 use crate::heuristic::{apply_heuristics_with, HeuristicReport};
 use cbqt_catalog::Catalog;
-use cbqt_common::{cost_lt, Error, Governor, Result, StateCharge, TraceBuffer, TraceEvent, Tracer};
+use cbqt_common::{
+    cost_lt, Error, ExecutionMode, Governor, Result, StateCharge, TraceBuffer, TraceEvent, Tracer,
+};
 use cbqt_optimizer::{
     is_cutoff, BlockPlan, CostAnnotations, DynamicSampler, Optimizer, OptimizerConfig,
     OptimizerStats, SamplingCache,
@@ -129,6 +131,11 @@ pub struct CbqtConfig {
     /// trace events, and annotation writes are committed in state-index
     /// order, independent of thread scheduling.
     pub parallelism: usize,
+    /// Which interpreter executes the chosen physical plan: the
+    /// vectorized batch engine (default) or the row-at-a-time Volcano
+    /// oracle. Defaults to the process-wide `CBQT_EXEC_MODE` setting so
+    /// the whole test suite can be flipped onto the oracle path.
+    pub execution_mode: ExecutionMode,
 }
 
 impl Default for CbqtConfig {
@@ -147,6 +154,7 @@ impl Default for CbqtConfig {
             iterative_restarts: 3,
             iterative_max_states: 24,
             parallelism: 0,
+            execution_mode: ExecutionMode::from_env(),
         }
     }
 }
@@ -975,9 +983,8 @@ fn cost_charged_state(
         .collect();
 
     let mut best: StateOutcome = None;
-    let budget_of = |best: &StateOutcome| -> f64 {
-        best.as_ref().map(|(c, _)| *c).unwrap_or(budget)
-    };
+    let budget_of =
+        |best: &StateOutcome| -> f64 { best.as_ref().map(|(c, _)| *c).unwrap_or(budget) };
 
     // base state (no interleaved merges)
     let base_cost = optimize_state_copy(ctx, overlay, counters, tracer, copy, budget_of(&best))?;

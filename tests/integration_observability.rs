@@ -157,7 +157,7 @@ SELECT QB1 (cost=716 rows=40) [actual rows=54 execs=1 work=800 time=#ms]
         SCAN t2 (r1) FULL SCAN (rows=120) [actual rows=120 execs=1 work=120 time=#ms]
     SCAN t2 (r0) INDEX EQ (ix3) (rows=15) filter x1 [actual rows=120 execs=8 work=268 time=#ms]
 
-execution: 54 row(s), 800 work unit(s), # ms
+execution: 54 row(s), 800 work unit(s), # ms, engine=vectorized
 ";
     let full = scrub_times(&db.explain_analyze(UNNEST_SQL).unwrap());
     let analyzed = full
@@ -209,7 +209,7 @@ SELECT QB0 (cost=421 rows=8 agg) [actual rows=8 execs=1 work=429 time=#ms]
       SELECT QB1 (cost=368 rows=8 agg) [actual rows=8 execs=1 work=368 time=#ms]
         SCAN t2 (r0) FULL SCAN (rows=120) [actual rows=120 execs=1 work=120 time=#ms]
 
-execution: 8 row(s), 429 work unit(s), # ms
+execution: 8 row(s), 429 work unit(s), # ms, engine=vectorized
 ";
     let full = scrub_times(&db.explain_analyze(GBP_SQL).unwrap());
     let analyzed = full
