@@ -130,7 +130,7 @@ fn canon(rows: &[Vec<Value>]) -> Vec<String> {
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--iters N] [--seed S] [--parallelism P] [--failpoints]\n\
-         \x20           [--differential-exec] [N]\n\
+         \x20           [--differential-exec] [--binds] [N]\n\
          \n\
          Runs N differential-fuzz rounds (default 300). Round i uses seed\n\
          S + i (S defaults to 0), so any reported failure reproduces with\n\
@@ -152,6 +152,15 @@ fn usage() -> ! {
          --failpoints to also arm random faults during the paired runs —\n\
          both engines must then fail with the same error class.\n\
          \n\
+         --binds switches to the bind-sharing oracle: each round runs\n\
+         random queries three ways — literal text (the bind-extraction\n\
+         serving path), prepared with its extracted defaults, and\n\
+         prepared re-bound explicitly — and all three must return\n\
+         identical rows while the plan-family cache stays coherent\n\
+         (byte-bounded, families <= variants). Combine with\n\
+         --failpoints to also arm random faults: runs may fail, but\n\
+         only with an Err, and the database must keep serving.\n\
+         \n\
          --parallelism P costs candidate transformation states on P\n\
          worker threads (0 = auto, 1 = serial; the default). Results\n\
          must be identical at any worker count."
@@ -164,6 +173,7 @@ struct Args {
     base_seed: u64,
     failpoints: bool,
     differential: bool,
+    binds: bool,
     parallelism: usize,
 }
 
@@ -173,6 +183,7 @@ fn parse_args() -> Args {
         base_seed: 0,
         failpoints: false,
         differential: false,
+        binds: false,
         parallelism: 1,
     };
     let mut args = std::env::args().skip(1);
@@ -198,6 +209,7 @@ fn parse_args() -> Args {
             }
             "--failpoints" => parsed.failpoints = true,
             "--differential-exec" => parsed.differential = true,
+            "--binds" => parsed.binds = true,
             "--help" | "-h" => usage(),
             // bare positional N, the pre-CLI invocation style
             other => match other.parse() {
@@ -324,6 +336,84 @@ fn differential_round(seed: u64, parallelism: usize, with_faults: bool) -> u64 {
     failures
 }
 
+/// One bind-sharing round: every random query is run three ways —
+/// literal text (the bind-extraction serving path), prepared with its
+/// extracted defaults, and prepared re-bound to those defaults
+/// explicitly — and all three must return identical rows. Afterwards
+/// the plan-family cache must be coherent: byte-bounded, no phantom
+/// bytes, and never more families than cached variants (every family
+/// holds at least one). With `with_faults`, random failpoints are
+/// armed around each run; failures must stay behind `Err` and the
+/// database must keep serving. Returns the number of failures.
+fn binds_round(seed: u64, parallelism: usize, with_faults: bool) -> u64 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut db = random_db(&mut rng);
+    db.config_mut().parallelism = parallelism;
+    let db = db;
+    let names = failpoints::all();
+    let mut failures = 0;
+    for _ in 0..4 {
+        let sql = random_query(&mut rng);
+        let armed = if with_faults && rng.gen_bool(0.5) {
+            let name = names[rng.gen_range(0usize..names.len())];
+            Some(if rng.gen_bool(0.3) {
+                Fail::panic(name)
+            } else {
+                Fail::error(name)
+            })
+        } else {
+            None
+        };
+        let literal = db.query(&sql);
+        let prepared = db.prepare(&sql).and_then(|p| {
+            let defaulted = p.query(&[])?;
+            let rebound = p.query(p.param_defaults())?;
+            Ok((defaulted, rebound))
+        });
+        drop(armed);
+        match (literal, prepared) {
+            (Ok(l), Ok((d, r))) => {
+                let want = canon(&l.rows);
+                if want != canon(&d.rows) || want != canon(&r.rows) {
+                    println!("seed {seed}: BIND MISMATCH literal vs prepared rows\n{sql}");
+                    failures += 1;
+                }
+            }
+            // An armed fault may abort any of the three runs
+            // independently; Err is the only acceptable failure shape.
+            _ if with_faults => {}
+            (Err(e), _) => {
+                println!("seed {seed}: LITERAL ERROR {e}\n{sql}");
+                failures += 1;
+            }
+            (_, Err(e)) => {
+                println!("seed {seed}: PREPARED ERROR {e}\n{sql}");
+                failures += 1;
+            }
+        }
+    }
+    let stats = db.plan_cache_stats();
+    if stats.bytes > stats.capacity_bytes
+        || (stats.entries == 0) != (stats.bytes == 0)
+        || stats.families > stats.entries
+    {
+        println!("seed {seed}: INCOHERENT plan cache: {stats:?}");
+        failures += 1;
+    }
+    match db.query("SELECT COUNT(*) FROM employees") {
+        Ok(r) if r.rows.len() == 1 => {}
+        Ok(r) => {
+            println!("seed {seed}: SANITY query returned {} rows", r.rows.len());
+            failures += 1;
+        }
+        Err(e) => {
+            println!("seed {seed}: SANITY query failed: {e}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
 fn main() {
     let args = parse_args();
     let (rounds, base_seed, failpoint_mode, parallelism) = (
@@ -333,6 +423,18 @@ fn main() {
         args.parallelism,
     );
     let mut failures = 0;
+    if args.binds {
+        if failpoint_mode {
+            // injected panics are expected and caught at the statement
+            // boundary; keep them off stderr
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        for seed in base_seed..base_seed + rounds {
+            failures += binds_round(seed, parallelism, failpoint_mode);
+        }
+        println!("bind-sharing fuzz complete: {rounds} rounds, {failures} failures");
+        std::process::exit(if failures > 0 { 1 } else { 0 });
+    }
     if args.differential {
         if failpoint_mode {
             // injected panics are expected and caught inside

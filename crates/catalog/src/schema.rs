@@ -63,6 +63,8 @@ pub struct Table {
     pub columns: Vec<Column>,
     pub constraints: Vec<Constraint>,
     pub stats: TableStats,
+    /// Per-table change counter (see [`Catalog::table_version`]).
+    pub version: u64,
 }
 
 impl Table {
@@ -133,6 +135,25 @@ impl Catalog {
         self.version += 1;
     }
 
+    /// The per-table change counter: bumped when *this table's* schema,
+    /// statistics, data or indexes change, and untouched by changes to
+    /// other tables. The plan cache records `(table, version)` pairs per
+    /// cached plan so that a write to `t1` leaves plans on `t2` warm.
+    /// Unknown ids report 0 (a dropped/foreign table can never validate).
+    pub fn table_version(&self, id: TableId) -> u64 {
+        self.tables.get(id.0 as usize).map_or(0, |t| t.version)
+    }
+
+    /// Bumps one table's change counter (and the global counter — the
+    /// global version stays a superset signal for whole-catalog
+    /// observers). The path DML takes after mutating storage.
+    pub fn bump_table_version(&mut self, id: TableId) {
+        if let Some(t) = self.tables.get_mut(id.0 as usize) {
+            t.version += 1;
+        }
+        self.bump_version();
+    }
+
     /// Registers a table; fails on duplicate name.
     pub fn add_table(
         &mut self,
@@ -154,6 +175,7 @@ impl Catalog {
             columns,
             constraints,
             stats: TableStats::default(),
+            version: 0,
         });
         self.by_name.insert(key, id);
         self.bump_version();
@@ -212,7 +234,8 @@ impl Catalog {
             columns,
             unique,
         });
-        self.bump_version();
+        // an index changes what plans are possible on *this* table only
+        self.bump_table_version(table);
         Ok(id)
     }
 
@@ -223,12 +246,16 @@ impl Catalog {
     }
 
     /// Mutable table access — the path statistics recomputation takes,
-    /// so it conservatively counts as a version bump.
+    /// so it conservatively counts as a version bump (global and for
+    /// the accessed table).
     pub fn table_mut(&mut self, id: TableId) -> Result<&mut Table> {
-        self.bump_version();
-        self.tables
+        self.version += 1;
+        let t = self
+            .tables
             .get_mut(id.0 as usize)
-            .ok_or_else(|| Error::catalog(format!("unknown table id {}", id.0)))
+            .ok_or_else(|| Error::catalog(format!("unknown table id {}", id.0)))?;
+        t.version += 1;
+        Ok(t)
     }
 
     pub fn table_by_name(&self, name: &str) -> Option<&Table> {
@@ -384,6 +411,27 @@ mod tests {
         // read-only access does not bump
         let _ = cat.table(emp).unwrap();
         assert_eq!(cat.version(), v2 + 1);
+    }
+
+    #[test]
+    fn table_versions_are_independent() {
+        let (mut cat, dept, emp) = sample();
+        let (d0, e0) = (cat.table_version(dept), cat.table_version(emp));
+        // writing one table leaves the other's counter untouched
+        cat.bump_table_version(emp);
+        assert_eq!(cat.table_version(dept), d0);
+        assert_eq!(cat.table_version(emp), e0 + 1);
+        // statistics updates (table_mut) bump only the touched table
+        cat.table_mut(dept).unwrap().stats.rows = 3;
+        assert_eq!(cat.table_version(dept), d0 + 1);
+        assert_eq!(cat.table_version(emp), e0 + 1);
+        // an index bumps the indexed table only
+        cat.add_index("ix", emp, vec![1], false).unwrap();
+        assert_eq!(cat.table_version(dept), d0 + 1);
+        assert_eq!(cat.table_version(emp), e0 + 2);
+        // the global counter moved on every change
+        assert!(cat.version() >= 3);
+        assert_eq!(cat.table_version(TableId(99)), 0);
     }
 
     #[test]

@@ -93,6 +93,14 @@ pub enum TraceEvent {
         cached_version: u64,
         current_version: u64,
     },
+    /// A plan family exists for this canonical query text, but none of
+    /// its cached variants was compiled for the selectivity bucket of the
+    /// incoming bind values; the query is re-optimized with the new binds
+    /// peeked and cached as a sibling variant.
+    PlanCacheBindMismatch { key: String, bucket: String },
+    /// A sibling plan was added to an existing family after a bind
+    /// mismatch; `variants` is the family's variant count afterwards.
+    PlanCacheFamilySplit { key: String, variants: usize },
 }
 
 impl fmt::Display for TraceEvent {
@@ -164,6 +172,12 @@ impl fmt::Display for TraceEvent {
                 f,
                 "PLAN CACHE INVALIDATED v{cached_version} -> v{current_version} {key}"
             ),
+            TraceEvent::PlanCacheBindMismatch { key, bucket } => {
+                write!(f, "PLAN CACHE BIND MISMATCH bucket={bucket} {key}")
+            }
+            TraceEvent::PlanCacheFamilySplit { key, variants } => {
+                write!(f, "PLAN CACHE FAMILY SPLIT variants={variants} {key}")
+            }
         }
     }
 }

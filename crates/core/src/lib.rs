@@ -39,12 +39,17 @@ use cbqt_common::{
 };
 use cbqt_exec::Engine;
 use cbqt_optimizer::{DynamicSampler, SamplingCache};
-use cbqt_qgm::{build_query_tree, render_tree, QueryTree};
+use cbqt_qgm::{
+    build_query_tree, build_query_tree_with_binds, collect_base_tables, collect_bind_sites,
+    render_tree, BindSite, BindSiteOp, QueryTree,
+};
 use cbqt_sql::ast::{self, Statement};
-use cbqt_sql::{parse_statement, parse_statements_spanned};
+use cbqt_sql::render_query;
+use cbqt_sql::{count_params, parameterize, parse_statement, parse_statements_spanned};
 use cbqt_storage::Storage;
 use cbqt_transform::{optimize_query_governed, CbqtConfig, CbqtOutcome};
-use plan_cache::{CachedPlan, Lookup};
+use plan_cache::{BucketSig, CachedPlan, Lookup};
+use std::borrow::Cow;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -64,7 +69,7 @@ pub use cbqt_common::DataType;
 pub use cbqt_common::{CancelToken as StatementCancelToken, ExecutionLimits as StatementLimits};
 pub use cbqt_common::{TraceEvent as OptimizerEvent, TraceSink};
 pub use cbqt_transform::{CbqtConfig as OptimizerSettings, SearchStrategy, TransformSet};
-pub use plan_cache::{normalize_sql, PlanCache, PlanCacheStats};
+pub use plan_cache::{normalize_sql, BucketSig as PlanBucketSig, PlanCache, PlanCacheStats};
 
 /// Result of one query execution, including the measurements the
 /// paper's experiments report.
@@ -99,6 +104,13 @@ pub struct QueryStats {
     /// True when the plan was served from the shared plan cache (no
     /// optimizer work: `states_explored`/`blocks_costed` are 0).
     pub plan_cache_hit: bool,
+    /// Number of bind parameters this execution resolved — explicit `?`
+    /// placeholders plus literals extracted at normalization time.
+    pub bind_params: usize,
+    /// True when a plan family existed for this query but none of its
+    /// cached variants matched the incoming binds' selectivity bucket
+    /// (adaptive cursor sharing compiled and cached a sibling plan).
+    pub bind_mismatch: bool,
     /// True when the optimizer-state budget of
     /// [`ExecutionLimits`](StatementLimits) ran out mid-search: the plan
     /// executed is valid but reflects the best state costed before the
@@ -215,9 +227,14 @@ impl TraceReport {
 ///
 /// Queries through [`query`](Database::query) /
 /// [`execute`](Database::execute) / [`trace`](Database::trace) are
-/// served through a shared [`PlanCache`] keyed by normalized SQL text
-/// and guarded by the catalog version counter — see
-/// [`plan_cache`] for keying and invalidation rules.
+/// served through a shared [`PlanCache`]: literals are extracted into
+/// bind parameters at normalization time, so one plan *family* (keyed
+/// by the canonical render of the parameterized query) serves a whole
+/// family of literal variations, with one plan variant per bind
+/// selectivity bucket (adaptive cursor sharing) and per-table version
+/// invalidation — see [`plan_cache`] for keying and invalidation
+/// rules, and [`prepare`](Database::prepare) /
+/// [`query_bound`](Database::query_bound) for explicit `?` binds.
 pub struct Database {
     catalog: Catalog,
     storage: Storage,
@@ -225,6 +242,7 @@ pub struct Database {
     sampling_cache: SamplingCache,
     plan_cache: PlanCache,
     plan_cache_enabled: bool,
+    bind_sharing_enabled: bool,
     cancel: CancelToken,
 }
 
@@ -243,6 +261,7 @@ impl Database {
             sampling_cache: SamplingCache::default(),
             plan_cache: PlanCache::default(),
             plan_cache_enabled: true,
+            bind_sharing_enabled: true,
             cancel: CancelToken::new(),
         }
     }
@@ -302,6 +321,23 @@ impl Database {
         }
     }
 
+    /// Enables or disables bind-parameter extraction and adaptive
+    /// cursor sharing on the serving path. When disabled, plans are
+    /// keyed by [`normalize_sql`] of the literal statement text — every
+    /// distinct literal combination compiles and caches its own plan
+    /// (the pre-bind-sharing behaviour, kept for benchmarking the two
+    /// modes against each other), and statements with explicit `?`
+    /// binds are executed without caching. Toggling clears the cache:
+    /// the two modes key plans differently.
+    pub fn set_bind_sharing_enabled(&mut self, enabled: bool) {
+        self.bind_sharing_enabled = enabled;
+        self.plan_cache.clear();
+    }
+
+    pub fn bind_sharing_enabled(&self) -> bool {
+        self.bind_sharing_enabled
+    }
+
     pub fn config(&self) -> &CbqtConfig {
         &self.config
     }
@@ -356,6 +392,7 @@ impl Database {
                 Statement::Query(q) => Ok(Some(self.run_query_cached(
                     sql,
                     &q,
+                    None,
                     Tracer::disabled(),
                     governor,
                 )?)),
@@ -384,6 +421,77 @@ impl Database {
             .ok_or_else(|| Error::analysis("statement did not produce rows"))
     }
 
+    /// Executes a query with explicit values for its `?` bind
+    /// parameters (positional, left to right). The plan is cached once
+    /// per query *family* and selectivity bucket, so repeated calls
+    /// with different values skip the optimizer entirely. A statement
+    /// without `?` placeholders accepts only an empty `binds` slice
+    /// (its literals are extracted into binds automatically).
+    pub fn query_bound(&self, sql: &str, binds: &[Value]) -> Result<QueryResult> {
+        self.query_bound_governed(sql, binds, &self.statement_governor())
+    }
+
+    fn query_bound_governed(
+        &self,
+        sql: &str,
+        binds: &[Value],
+        governor: &Governor,
+    ) -> Result<QueryResult> {
+        catch_internal(|| {
+            let q = match parse_statement(sql)? {
+                Statement::Query(q) => q,
+                other => {
+                    return Err(Error::unsupported(format!(
+                        "query_bound requires a query, got {}",
+                        statement_kind(&other)
+                    )))
+                }
+            };
+            self.run_query_cached(sql, &q, Some(binds), Tracer::disabled(), governor)
+        })
+    }
+
+    /// Prepares a query for repeated execution with varying bind
+    /// values. The statement is parsed and normalized once; if it has
+    /// no explicit `?` placeholders, its predicate literals are
+    /// extracted into bind parameters (exposed via
+    /// [`param_defaults`](Prepared::param_defaults)) so every
+    /// [`Prepared::query`] call — whatever the values — shares one plan
+    /// family in the cache. Only queries can be prepared; DDL and DML
+    /// go through [`execute_mut`](Database::execute_mut).
+    pub fn prepare(&self, sql: &str) -> Result<Prepared<'_>> {
+        self.prepare_with(sql, self.cancel.clone())
+    }
+
+    fn prepare_with(&self, sql: &str, cancel: CancelToken) -> Result<Prepared<'_>> {
+        catch_internal(|| {
+            let q = match parse_statement(sql)? {
+                Statement::Query(q) => q,
+                other => {
+                    return Err(Error::unsupported(format!(
+                        "prepare requires a query, got {}; run DDL/DML through execute_mut",
+                        statement_kind(&other)
+                    )))
+                }
+            };
+            let (query, defaults) = if count_params(&q) > 0 {
+                (*q, Vec::new())
+            } else {
+                let p = parameterize(&q);
+                (p.query, p.binds)
+            };
+            let param_count = count_params(&query);
+            Ok(Prepared {
+                db: self,
+                cancel,
+                sql: sql.to_string(),
+                query,
+                defaults,
+                param_count,
+            })
+        })
+    }
+
     /// Executes a query under explicit [resource limits](StatementLimits):
     /// a wall-clock deadline, an optimizer-state budget, and executor
     /// row/work budgets, all enforced by a per-statement governor.
@@ -409,7 +517,7 @@ impl Database {
                     )))
                 }
             };
-            self.run_query_cached(sql, &q, Tracer::disabled(), &governor)
+            self.run_query_cached(sql, &q, None, Tracer::disabled(), &governor)
         })
     }
 
@@ -452,9 +560,12 @@ impl Database {
                 )))
             }
         };
-        let tree = build_query_tree(&self.catalog, &q)?;
-        let outcome =
-            self.optimize_governed(&tree, Tracer::disabled(), &self.statement_governor())?;
+        let outcome = self.plan_uncached(
+            &q,
+            Tracer::disabled(),
+            &self.statement_governor(),
+            StatementPath::Differential,
+        )?;
 
         let mut runs = Vec::new();
         for mode in [ExecutionMode::Vectorized, ExecutionMode::Volcano] {
@@ -562,7 +673,8 @@ impl Database {
                 _ => return Err(Error::analysis("trace requires a query")),
             };
             let buffer = TraceBuffer::new();
-            let result = self.run_query_cached(sql, &query, Tracer::new(&buffer), governor)?;
+            let result =
+                self.run_query_cached(sql, &query, None, Tracer::new(&buffer), governor)?;
             Ok(TraceReport {
                 events: buffer.take(),
                 stats: result.stats,
@@ -598,8 +710,8 @@ impl Database {
         analyze: bool,
         governor: &Governor,
     ) -> Result<String> {
-        let tree = build_query_tree(&self.catalog, query)?;
-        let outcome = self.optimize_governed(&tree, Tracer::disabled(), governor)?;
+        let outcome =
+            self.plan_uncached(query, Tracer::disabled(), governor, StatementPath::Explain)?;
         let mut out = String::new();
         out.push_str("== transformed query ==\n");
         out.push_str(&render_tree(&outcome.tree, &self.catalog));
@@ -673,9 +785,10 @@ impl Database {
         }
         self.storage.insert_many(tid, rows)?;
         // DML mutates storage without touching the catalog; bump the
-        // version explicitly so cached plans (whose dynamic-sampling
-        // row counts may now be stale) are invalidated
-        self.catalog.bump_version();
+        // loaded table's version explicitly so cached plans over it
+        // (whose dynamic-sampling row counts may now be stale) are
+        // invalidated — plans over other tables stay warm
+        self.catalog.bump_table_version(tid);
         Ok(())
     }
 
@@ -684,6 +797,7 @@ impl Database {
             Statement::Query(q) => Ok(StatementResult::Rows(self.run_query_cached(
                 sql,
                 &q,
+                None,
                 Tracer::disabled(),
                 &self.statement_governor(),
             )?)),
@@ -704,6 +818,26 @@ impl Database {
             }
             Statement::Insert(ins) => Ok(StatementResult::RowsAffected(self.insert(ins)?)),
         }
+    }
+
+    /// Compiles a query *without* touching the bind-family plan cache:
+    /// no literal extraction, no probe, no publish. This is the single
+    /// bypass — every cache-exempt path ([`StatementPath::Explain`],
+    /// [`StatementPath::Differential`]) must compile through here, and
+    /// the path must answer `false` to [`path_uses_plan_cache`].
+    fn plan_uncached(
+        &self,
+        q: &ast::Query,
+        tracer: Tracer<'_>,
+        governor: &Governor,
+        path: StatementPath,
+    ) -> Result<CbqtOutcome> {
+        assert!(
+            !path_uses_plan_cache(path),
+            "{path:?} serves from the plan cache; use run_query_cached"
+        );
+        let tree = build_query_tree(&self.catalog, q)?;
+        self.optimize_governed(&tree, tracer, governor)
     }
 
     fn optimize_governed(
@@ -729,24 +863,84 @@ impl Database {
         )
     }
 
-    /// The serving path: probe the shared plan cache under the current
-    /// catalog version; on a hit, execute the cached `Arc<BlockPlan>`
+    /// The serving path ([`StatementPath::Serve`]): resolve the query's
+    /// bind parameters (explicit `?` values, or literals extracted at
+    /// normalization time when bind sharing is on), probe the shared
+    /// plan cache, and on a hit execute the cached `Arc<BlockPlan>`
     /// with a fresh per-query [`Engine`] (all mutable execution state
-    /// lives there); on a miss or invalidation, run the full CBQT
-    /// pipeline and cache the result.
+    /// lives there) after installing the bind values. A miss,
+    /// invalidation or bind-bucket mismatch runs the full CBQT pipeline
+    /// (with the binds peeked for costing) and caches the result as a
+    /// family variant.
     fn run_query_cached(
         &self,
         sql: &str,
         q: &ast::Query,
+        binds: Option<&[Value]>,
         tracer: Tracer<'_>,
         governor: &Governor,
     ) -> Result<QueryResult> {
-        if !self.plan_cache_enabled {
-            return self.run_query_pipeline(q, tracer, None, governor);
-        }
-        let key = plan_cache::normalize_sql(sql);
+        let n = count_params(q);
+        let (fam, values): (Cow<'_, ast::Query>, Vec<Value>) = match binds {
+            Some(vals) if n > 0 => {
+                if vals.len() != n {
+                    return Err(Error::analysis(format!(
+                        "statement expects {n} bind value(s), got {}",
+                        vals.len()
+                    )));
+                }
+                (Cow::Borrowed(q), vals.to_vec())
+            }
+            Some(vals) if !vals.is_empty() => {
+                return Err(Error::analysis(format!(
+                    "statement has no bind parameters but {} value(s) were supplied",
+                    vals.len()
+                )));
+            }
+            _ => {
+                if n > 0 {
+                    return Err(Error::analysis(format!(
+                        "statement has {n} bind parameter(s); supply values \
+                         via query_bound or a prepared statement"
+                    )));
+                }
+                if self.plan_cache_enabled && self.bind_sharing_enabled {
+                    let p = parameterize(q);
+                    (Cow::Owned(p.query), p.binds)
+                } else {
+                    (Cow::Borrowed(q), Vec::new())
+                }
+            }
+        };
+
+        let key: Option<String> =
+            if !self.plan_cache_enabled || !path_uses_plan_cache(StatementPath::Serve) {
+                None
+            } else if self.bind_sharing_enabled {
+                // family key: the canonical render of the parameterized AST
+                Some(render_query(&fam))
+            } else if values.is_empty() {
+                // legacy literal-text keying
+                Some(plan_cache::normalize_sql(sql))
+            } else {
+                // explicit binds with bind sharing off: text keying would
+                // conflate different bind values — run uncached
+                None
+            };
+        let Some(key) = key else {
+            return self.run_query_pipeline(&fam, &values, tracer, None, governor);
+        };
+
         let version = self.catalog.version();
-        match self.plan_cache.lookup(&key, version) {
+        let lookup = self.plan_cache.lookup(
+            &key,
+            |sites| self.bucket_sig(sites, &values),
+            |deps| {
+                deps.iter()
+                    .all(|&(t, v)| self.catalog.table_version(t) == v)
+            },
+        );
+        match lookup {
             Lookup::Hit(cached) => {
                 tracer.emit(|| TraceEvent::PlanCacheHit {
                     key: key.clone(),
@@ -756,6 +950,7 @@ impl Database {
                 let mut engine = Engine::new(&self.catalog, &self.storage);
                 engine.set_mode(self.config.execution_mode);
                 engine.set_governor(governor.clone());
+                engine.set_params(values.clone());
                 let rows = engine.run(&cached.plan)?;
                 let execute_time = t1.elapsed();
                 let exec_stats = engine.stats();
@@ -774,6 +969,8 @@ impl Database {
                         subquery_cache_hits: exec_stats.cache_hits,
                         subquery_cache_misses: exec_stats.cache_misses,
                         plan_cache_hit: true,
+                        bind_params: values.len(),
+                        bind_mismatch: false,
                         degraded: false,
                     },
                 })
@@ -784,28 +981,99 @@ impl Database {
                     cached_version,
                     current_version: version,
                 });
-                self.run_query_pipeline(q, tracer, Some((key, version)), governor)
+                self.run_query_pipeline(&fam, &values, tracer, Some((key, version)), governor)
+            }
+            Lookup::BindMismatch { sig, variants } => {
+                tracer.emit(|| TraceEvent::PlanCacheBindMismatch {
+                    key: key.clone(),
+                    bucket: format!("{sig:?}"),
+                });
+                let mut r = self.run_query_pipeline(
+                    &fam,
+                    &values,
+                    tracer,
+                    Some((key.clone(), version)),
+                    governor,
+                )?;
+                r.stats.bind_mismatch = true;
+                // degraded plans are not published, so no sibling joined
+                // the family
+                if !r.stats.degraded {
+                    tracer.emit(|| TraceEvent::PlanCacheFamilySplit {
+                        key,
+                        variants: variants + 1,
+                    });
+                }
+                Ok(r)
             }
             Lookup::Miss => {
                 tracer.emit(|| TraceEvent::PlanCacheMiss { key: key.clone() });
-                self.run_query_pipeline(q, tracer, Some((key, version)), governor)
+                self.run_query_pipeline(&fam, &values, tracer, Some((key, version)), governor)
             }
         }
     }
 
-    /// Full transformation + optimization + execution. When `cache_as`
-    /// is set, the compiled plan is published to the plan cache under
-    /// that (key, catalog version) — DDL needs `&mut self`, so the
-    /// version cannot move under a running `&self` query.
+    /// One selectivity band per bind site ([`selectivity_band`]) of the
+    /// site's predicate under the incoming bind value. Bind vectors
+    /// landing in the same bands share a cached plan; a vector landing
+    /// elsewhere compiles a sibling.
+    /// Unanalyzed tables put every value into one band (naive sharing
+    /// until ANALYZE provides the statistics ACS needs).
+    fn bucket_sig(&self, sites: &[BindSite], binds: &[Value]) -> BucketSig {
+        sites
+            .iter()
+            .map(|site| {
+                let Some(v) = binds.get(site.slot) else {
+                    return 0;
+                };
+                let Ok(t) = self.catalog.table(site.table) else {
+                    return 0;
+                };
+                if !t.stats.analyzed {
+                    return 0;
+                }
+                let Some(cs) = t.stats.column(site.column) else {
+                    return 0;
+                };
+                let sel = match site.op {
+                    BindSiteOp::Eq => cs.eq_selectivity(t.stats.rows, Some(v)),
+                    BindSiteOp::Lt { inclusive } => cs.range_selectivity(v, true, inclusive),
+                    BindSiteOp::Gt { inclusive } => cs.range_selectivity(v, false, inclusive),
+                };
+                selectivity_band(sel)
+            })
+            .collect()
+    }
+
+    /// Full transformation + optimization + execution, with `binds`
+    /// peeked by the estimator and installed on the engine. When
+    /// `cache_as` is set, the compiled plan is published to the plan
+    /// cache under that key as the variant for the binds' selectivity
+    /// bucket, recording the per-table versions it was compiled against
+    /// — DDL needs `&mut self`, so versions cannot move under a running
+    /// `&self` query.
     fn run_query_pipeline(
         &self,
         q: &ast::Query,
+        binds: &[Value],
         tracer: Tracer<'_>,
         cache_as: Option<(String, u64)>,
         governor: &Governor,
     ) -> Result<QueryResult> {
-        let tree = build_query_tree(&self.catalog, q)?;
+        let tree = build_query_tree_with_binds(&self.catalog, q, binds)?;
         let columns = tree.block(tree.root)?.output_names(&tree);
+        // bind sites and table dependencies come from the
+        // pre-transformation tree (transforms treat binds as opaque
+        // scalars and never add base tables)
+        let (sites, deps) = if cache_as.is_some() {
+            let deps: Vec<(TableId, u64)> = collect_base_tables(&tree)
+                .into_iter()
+                .map(|t| (t, self.catalog.table_version(t)))
+                .collect();
+            (collect_bind_sites(&tree), deps)
+        } else {
+            (Vec::new(), Vec::new())
+        };
 
         let t0 = Instant::now();
         let outcome = self.optimize_governed(&tree, tracer, governor)?;
@@ -824,6 +1092,7 @@ impl Database {
         let mut engine = Engine::new(&self.catalog, &self.storage);
         engine.set_mode(self.config.execution_mode);
         engine.set_governor(governor.clone());
+        engine.set_params(binds.to_vec());
         let rows = engine.run(&plan)?;
         let execute_time = t1.elapsed();
         let exec_stats = engine.stats();
@@ -833,12 +1102,16 @@ impl Database {
         // for one statement's tight optimizer budget.
         if !degraded {
             if let Some((key, version)) = cache_as {
+                let sig = self.bucket_sig(&sites, binds);
                 self.plan_cache.insert(
                     key,
+                    sig,
+                    Arc::new(sites),
                     CachedPlan {
                         plan: Arc::clone(&plan),
                         columns: Arc::new(columns.clone()),
                         version,
+                        deps: Arc::new(deps),
                     },
                 );
             }
@@ -859,6 +1132,8 @@ impl Database {
                 subquery_cache_hits: exec_stats.cache_hits,
                 subquery_cache_misses: exec_stats.cache_misses,
                 plan_cache_hit: false,
+                bind_params: binds.len(),
+                bind_mismatch: false,
                 degraded,
             },
         })
@@ -1013,8 +1288,78 @@ impl Database {
         }
         let n = rows.len() as u64;
         self.storage.insert_many(tid, rows)?;
-        self.catalog.bump_version();
+        // per-table invalidation: only plans reading this table go stale
+        self.catalog.bump_table_version(tid);
         Ok(n)
+    }
+}
+
+/// A prepared statement: a query parsed and normalized once, executed
+/// many times with varying bind values (see [`Database::prepare`]).
+///
+/// If the source text had explicit `?` placeholders, those are the
+/// statement's parameters. Otherwise the predicate literals were
+/// extracted into parameters at preparation — their original values are
+/// available as [`param_defaults`](Prepared::param_defaults), and
+/// calling [`query`](Prepared::query) with an empty slice runs with
+/// them. Every execution is served through the shared plan-family
+/// cache: one compile per selectivity bucket, adaptive cursor sharing
+/// picking the variant that matches the incoming values.
+pub struct Prepared<'a> {
+    db: &'a Database,
+    cancel: CancelToken,
+    sql: String,
+    /// The parameterized query (bind slots in place of literals).
+    query: ast::Query,
+    /// Literals extracted at preparation (empty for explicit-`?` text).
+    defaults: Vec<Value>,
+    param_count: usize,
+}
+
+impl Prepared<'_> {
+    /// Number of bind parameters the statement expects.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// The literal values extracted at preparation time, in slot order
+    /// (empty when the statement was written with explicit `?`).
+    pub fn param_defaults(&self) -> &[Value] {
+        &self.defaults
+    }
+
+    /// The original statement text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Executes the statement with `binds` bound to its parameters, in
+    /// slot order. An empty slice re-runs the extracted literal
+    /// defaults when the statement has them; otherwise `binds` must
+    /// supply exactly [`param_count`](Prepared::param_count) values.
+    pub fn query(&self, binds: &[Value]) -> Result<QueryResult> {
+        let binds: &[Value] = if binds.is_empty() && !self.defaults.is_empty() {
+            &self.defaults
+        } else {
+            binds
+        };
+        let governor = Governor::new(&ExecutionLimits::none(), self.cancel.clone());
+        catch_internal(|| {
+            self.db.run_query_cached(
+                &self.sql,
+                &self.query,
+                Some(binds),
+                Tracer::disabled(),
+                &governor,
+            )
+        })
+    }
+
+    /// [`query`](Prepared::query) shaped like [`Database::execute`]
+    /// (prepared statements are always queries, so this always returns
+    /// `Some` on success).
+    pub fn execute(&self, binds: &[Value]) -> Result<Option<QueryResult>> {
+        self.query(binds).map(Some)
     }
 }
 
@@ -1060,6 +1405,18 @@ impl Session<'_> {
     pub fn query_with_limits(&self, sql: &str, limits: ExecutionLimits) -> Result<QueryResult> {
         self.db
             .query_with_limits_governed(sql, Governor::new(&limits, self.cancel.clone()))
+    }
+
+    /// [`Database::query_bound`] under this session's cancellation
+    /// scope.
+    pub fn query_bound(&self, sql: &str, binds: &[Value]) -> Result<QueryResult> {
+        self.db.query_bound_governed(sql, binds, &self.governor())
+    }
+
+    /// [`Database::prepare`] with executions governed by this session's
+    /// cancel token instead of the database-wide one.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared<'_>> {
+        self.db.prepare_with(sql, self.cancel.clone())
     }
 
     /// [`Database::explain`] under this session's cancellation scope.
@@ -1168,6 +1525,61 @@ fn catch_internal<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
             Err(Error::internal(format!("statement panicked: {msg}")))
         }
     }
+}
+
+/// Which execution path a statement is served through — the single
+/// authority on plan-cache interaction. `Serve` (queries through
+/// `query`/`execute`/`query_bound`/`Prepared`/`trace`/scripts) probes
+/// the bind-family cache and publishes compiled plans; every other
+/// path must compile through [`Database::plan_uncached`], which
+/// asserts against this predicate: EXPLAIN output must show the plan
+/// for the literal text as written (no literal extraction, no cached
+/// plan), and the differential oracle must hand both engines a fresh,
+/// cache-independent allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatementPath {
+    Serve,
+    Explain,
+    Differential,
+}
+
+/// True iff statements on `path` probe and populate the plan cache.
+const fn path_uses_plan_cache(path: StatementPath) -> bool {
+    matches!(path, StatementPath::Serve)
+}
+
+/// Decimal selectivity band for adaptive cursor sharing:
+/// `log10(sel)` *rounded to the nearest* integer, clamped to `[-9, 0]`,
+/// with zero/invalid selectivities pinned to the lowest band. Rounding
+/// (rather than flooring) puts exact powers of ten — the selectivities
+/// uniform data actually produces — in the middle of a band, so ±1-row
+/// histogram noise around them cannot flip the bucket and split a
+/// family spuriously; band edges land on half-decades instead.
+fn selectivity_band(sel: f64) -> i8 {
+    if !sel.is_finite() || sel <= 0.0 {
+        return -9;
+    }
+    (sel.min(1.0).log10().round() as i64).clamp(-9, 0) as i8
+}
+
+/// The plan-cache family key `sql` is served under when bind sharing
+/// is enabled (the default): the canonical render of the query with
+/// its predicate literals extracted into bind parameters. Two
+/// statements differing only in those literals (or in case and
+/// whitespace) share a key — and therefore a plan family. With bind
+/// sharing disabled, keys are [`normalize_sql`] of the literal text
+/// instead.
+pub fn plan_cache_key(sql: &str) -> Result<String> {
+    let q = match parse_statement(sql)? {
+        Statement::Query(q) => q,
+        other => {
+            return Err(Error::analysis(format!(
+                "plan cache keys exist for queries only, got {}",
+                statement_kind(&other)
+            )))
+        }
+    };
+    Ok(render_query(&parameterize(&q).query))
 }
 
 /// Human-readable kind of a statement, for error messages.

@@ -1,4 +1,5 @@
-//! Shared plan cache: normalized SQL text → fully optimized plan.
+//! Shared plan cache: canonical query text → a *family* of optimized
+//! plans, one per bind-selectivity bucket.
 //!
 //! The paper's §3.4.2 cost annotations memoize query-block costs
 //! *within* one CBQT search; this module memoizes the *whole* search
@@ -8,16 +9,28 @@
 //!
 //! Design:
 //!
-//! - **Keying**: the normalized query text ([`normalize_sql`] —
-//!   case-folded outside string literals, whitespace collapsed,
-//!   trailing semicolons stripped). The full normalized string is the
-//!   map key, so hash collisions can never serve the wrong plan.
-//! - **Invalidation**: every entry records the
-//!   [`Catalog::version`](cbqt_catalog::Catalog::version) it was
-//!   compiled under. DDL, statistics recomputation and DML all bump
-//!   that counter; a lookup under a newer version evicts the stale
-//!   entry and reports [`Lookup::Invalidated`]. Stale plans are never
-//!   served.
+//! - **Keying**: one cache key per *query family* — the canonical
+//!   render of the parameterized AST (literals extracted into bind
+//!   slots), so `salary > 100` and `salary > 200` share a key. Callers
+//!   that cache un-parameterized text use [`normalize_sql`] instead
+//!   (case-folded outside string literals, whitespace collapsed,
+//!   trailing semicolons stripped). The full key string is the map key,
+//!   so hash collisions can never serve the wrong plan.
+//! - **Adaptive cursor sharing**: a family holds one plan *variant* per
+//!   selectivity bucket. Each family records the [`BindSite`]s of its
+//!   bind slots (which table/column/operator each slot filters); on a
+//!   probe the caller re-buckets the incoming bind values against
+//!   catalog statistics and only a variant compiled for the same bucket
+//!   signature is served. A family without a variant for the incoming
+//!   bucket reports [`Lookup::BindMismatch`] — a mismatched plan is
+//!   never served; the caller compiles and caches a sibling.
+//! - **Invalidation**: every variant records the `(table, version)`
+//!   pairs it was compiled against, using the catalog's *per-table*
+//!   version counters. DDL, ANALYZE and DML bump only the tables they
+//!   touch, so a write to `t1` invalidates plans over `t1` while plans
+//!   over `t2` stay warm. A probe whose dependencies moved evicts the
+//!   stale variant and reports [`Lookup::Invalidated`]. Stale plans
+//!   are never served.
 //! - **Concurrency**: the cache is sharded over `std::sync::Mutex`es
 //!   (the build stays hermetic — no external lock crates) with atomic
 //!   hit/miss/invalidation counters, so `&self` lookups from many
@@ -27,17 +40,18 @@
 //!   execution state.
 //! - **Bounding**: a stamp-based LRU per shard, bounded by *estimated
 //!   plan bytes* ([`BlockPlan::estimated_bytes`] plus key and column
-//!   overhead), not entry count — a hundred tiny plans and three huge
-//!   ones get comparable memory budgets. Inserting past the byte budget
-//!   evicts least-recently-used entries until the shard fits again; an
-//!   entry larger than the whole shard budget is simply not retained.
+//!   overhead), not entry count. Eviction is per *variant* (across
+//!   families); a family whose last variant is evicted is removed.
+//!   A plan larger than the whole shard budget is never retained.
 //! - **Fault tolerance**: a panic while a shard lock is held (a bug, or
 //!   an injected fault — see `cbqt_common::failpoint`) poisons that
 //!   mutex. Every lock site recovers by clearing the poisoned shard —
 //!   its entries may be half-updated, and plans are always
 //!   recompilable — and continuing; the other shards are untouched.
 
+use cbqt_catalog::TableId;
 use cbqt_optimizer::BlockPlan;
+use cbqt_qgm::BindSite;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -50,37 +64,58 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// Default byte budget per shard (cache-wide bound = shards × this).
 pub const DEFAULT_SHARD_BYTES: usize = 256 * 1024;
 
+/// A family variant's selectivity bucket: one decimal band per bind
+/// site (`log10(selectivity)` rounded to the nearest integer, clamped).
+/// Two bind vectors that land in the same bands share a plan; a vector
+/// landing elsewhere compiles a sibling.
+pub type BucketSig = Vec<i8>;
+
 /// One cached compilation: the immutable physical plan plus the output
 /// column names (so a cache hit skips query-tree construction entirely).
 #[derive(Clone)]
 pub struct CachedPlan {
     pub plan: Arc<BlockPlan>,
     pub columns: Arc<Vec<String>>,
-    /// Catalog version the plan was compiled under.
+    /// Global catalog version the plan was compiled under (kept for
+    /// trace-event display; validation uses `deps`).
     pub version: u64,
+    /// Per-table versions the plan was compiled against. The variant is
+    /// valid only while every listed table still has its listed version.
+    pub deps: Arc<Vec<(TableId, u64)>>,
 }
 
 struct Entry {
     cached: CachedPlan,
     /// Last-touch stamp from the shard clock (LRU order).
     stamp: u64,
-    /// Estimated bytes this entry holds (plan + key + columns).
+    /// Estimated bytes this entry holds (plan + key + sig + columns).
     bytes: usize,
+}
+
+/// All cached plan variants for one canonical query text.
+struct Family {
+    /// Which table/column/operator each bind slot filters — recorded at
+    /// first insert so a probe can re-bucket incoming binds without
+    /// rebuilding the query tree.
+    sites: Arc<Vec<BindSite>>,
+    variants: HashMap<BucketSig, Entry>,
 }
 
 #[derive(Default)]
 struct Shard {
-    map: HashMap<String, Entry>,
+    map: HashMap<String, Family>,
     clock: u64,
-    /// Sum of `Entry::bytes` over `map` (the LRU bound's currency).
+    /// Sum of `Entry::bytes` over all variants (the LRU bound's currency).
     bytes: usize,
 }
 
-/// Estimated bytes one cached compilation pins in memory.
-fn entry_bytes(key: &str, cached: &CachedPlan) -> usize {
+/// Estimated bytes one cached variant pins in memory.
+fn entry_bytes(key: &str, sig: &[i8], cached: &CachedPlan) -> usize {
     size_of::<Entry>()
         + key.len()
+        + sig.len()
         + cached.plan.estimated_bytes()
+        + cached.deps.len() * size_of::<(TableId, u64)>()
         + cached
             .columns
             .iter()
@@ -90,13 +125,18 @@ fn entry_bytes(key: &str, cached: &CachedPlan) -> usize {
 
 /// Outcome of a cache probe.
 pub enum Lookup {
-    /// A plan compiled under the current catalog version was found.
+    /// A still-valid plan for the incoming bucket signature was found.
     Hit(CachedPlan),
-    /// No entry for this key.
+    /// No family for this key.
     Miss,
-    /// An entry existed but was compiled under an older catalog
-    /// version; it has been evicted.
+    /// A variant existed for this bucket but a table it depends on has
+    /// changed since compilation; it has been evicted.
     Invalidated { cached_version: u64 },
+    /// The family exists but holds no variant for the incoming binds'
+    /// selectivity bucket; `variants` is the family's current variant
+    /// count (for the FAMILY SPLIT trace event after the sibling is
+    /// compiled).
+    BindMismatch { sig: BucketSig, variants: usize },
 }
 
 /// Monotonic counters describing cache behaviour.
@@ -105,8 +145,13 @@ pub struct PlanCacheStats {
     pub hits: u64,
     pub misses: u64,
     pub invalidations: u64,
-    /// Current number of cached plans across all shards.
+    /// Probes that found the family but no variant for the incoming
+    /// bind bucket (each also counts as a miss).
+    pub bind_mismatches: u64,
+    /// Current number of cached plan variants across all shards.
     pub entries: usize,
+    /// Current number of query families across all shards.
+    pub families: usize,
     /// Current estimated bytes cached across all shards.
     pub bytes: usize,
     /// Total byte budget (shards × per-shard budget).
@@ -123,6 +168,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    bind_mismatches: AtomicU64,
     poison_recoveries: AtomicU64,
 }
 
@@ -142,6 +188,7 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            bind_mismatches: AtomicU64::new(0),
             poison_recoveries: AtomicU64::new(0),
         }
     }
@@ -168,24 +215,45 @@ impl PlanCache {
         })
     }
 
-    /// Probes the cache under the caller's current catalog version. A
-    /// version mismatch evicts the entry and reports `Invalidated` — a
-    /// stale plan is never returned.
-    pub fn lookup(&self, key: &str, current_version: u64) -> Lookup {
+    /// Probes the cache. `sig_of` re-buckets the incoming bind values
+    /// against the family's recorded bind sites (called only when the
+    /// family exists); `deps_current` checks a variant's per-table
+    /// versions against the live catalog. A variant whose dependencies
+    /// moved is evicted and reported `Invalidated`; a bucket with no
+    /// variant is reported `BindMismatch`. A stale or mismatched plan
+    /// is never returned.
+    pub fn lookup(
+        &self,
+        key: &str,
+        sig_of: impl FnOnce(&[BindSite]) -> BucketSig,
+        deps_current: impl Fn(&[(TableId, u64)]) -> bool,
+    ) -> Lookup {
         let result = {
             let mut shard = self.lock_shard(self.shard(key));
             shard.clock += 1;
             let stamp = shard.clock;
             match shard.map.get_mut(key) {
-                Some(e) if e.cached.version == current_version => {
-                    e.stamp = stamp;
-                    Lookup::Hit(e.cached.clone())
-                }
-                Some(_) => {
-                    let stale = shard.map.remove(key).unwrap();
-                    shard.bytes -= stale.bytes;
-                    Lookup::Invalidated {
-                        cached_version: stale.cached.version,
+                Some(family) => {
+                    let sig = sig_of(&family.sites);
+                    match family.variants.get_mut(&sig) {
+                        Some(e) if deps_current(&e.cached.deps) => {
+                            e.stamp = stamp;
+                            Lookup::Hit(e.cached.clone())
+                        }
+                        Some(_) => {
+                            let stale = family.variants.remove(&sig).unwrap();
+                            if family.variants.is_empty() {
+                                shard.map.remove(key);
+                            }
+                            shard.bytes -= stale.bytes;
+                            Lookup::Invalidated {
+                                cached_version: stale.cached.version,
+                            }
+                        }
+                        None => Lookup::BindMismatch {
+                            variants: family.variants.len(),
+                            sig,
+                        },
                     }
                 }
                 None => Lookup::Miss,
@@ -199,6 +267,10 @@ impl PlanCache {
                 self.invalidations.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
             }
+            Lookup::BindMismatch { .. } => {
+                self.bind_mismatches.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
             Lookup::Miss => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
             }
@@ -206,17 +278,32 @@ impl PlanCache {
         result
     }
 
-    /// Inserts a freshly compiled plan, then evicts least-recently-used
-    /// entries until the shard is back under its byte budget. A plan
+    /// Inserts a freshly compiled plan as the `sig` variant of `key`'s
+    /// family (creating the family, with its bind sites, on first
+    /// insert), then evicts least-recently-used variants across all
+    /// families until the shard is back under its byte budget. A plan
     /// whose own estimated size exceeds the whole budget is evicted
     /// immediately (i.e. never retained).
-    pub fn insert(&self, key: String, cached: CachedPlan) {
-        let bytes = entry_bytes(&key, &cached);
+    pub fn insert(
+        &self,
+        key: String,
+        sig: BucketSig,
+        sites: Arc<Vec<BindSite>>,
+        cached: CachedPlan,
+    ) {
+        let bytes = entry_bytes(&key, &sig, &cached);
         let mut shard = self.lock_shard(self.shard(&key));
         shard.clock += 1;
         let stamp = shard.clock;
-        if let Some(old) = shard.map.insert(
-            key,
+        let family = shard.map.entry(key).or_insert_with(|| Family {
+            sites: Arc::clone(&sites),
+            variants: HashMap::new(),
+        });
+        // refresh sites: deterministic per key, but stats/DDL may have
+        // changed what the slots resolve to since the family was created
+        family.sites = sites;
+        if let Some(old) = family.variants.insert(
+            sig,
             Entry {
                 cached,
                 stamp,
@@ -227,15 +314,20 @@ impl PlanCache {
         }
         shard.bytes += bytes;
         while shard.bytes > self.shard_bytes {
-            let Some(lru) = shard
+            let Some((fkey, fsig)) = shard
                 .map
                 .iter()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| k.clone())
+                .flat_map(|(k, f)| f.variants.iter().map(move |(s, e)| (k, s, e.stamp)))
+                .min_by_key(|&(_, _, stamp)| stamp)
+                .map(|(k, s, _)| (k.clone(), s.clone()))
             else {
                 break;
             };
-            let evicted = shard.map.remove(&lru).unwrap();
+            let family = shard.map.get_mut(&fkey).unwrap();
+            let evicted = family.variants.remove(&fsig).unwrap();
+            if family.variants.is_empty() {
+                shard.map.remove(&fkey);
+            }
             shard.bytes -= evicted.bytes;
         }
     }
@@ -251,17 +343,20 @@ impl PlanCache {
     }
 
     pub fn stats(&self) -> PlanCacheStats {
-        let (mut entries, mut bytes) = (0, 0);
+        let (mut entries, mut families, mut bytes) = (0, 0, 0);
         for s in &self.shards {
             let s = self.lock_shard(s);
-            entries += s.map.len();
+            families += s.map.len();
+            entries += s.map.values().map(|f| f.variants.len()).sum::<usize>();
             bytes += s.bytes;
         }
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            bind_mismatches: self.bind_mismatches.load(Ordering::Relaxed),
             entries,
+            families,
             bytes,
             capacity_bytes: self.shards.len() * self.shard_bytes,
             poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
@@ -273,7 +368,8 @@ impl PlanCache {
 /// one space, everything outside single-quoted string literals is
 /// lowercased (`''` escapes respected), and trailing semicolons are
 /// stripped. `SELECT  1` and `select 1;` share a plan; `'ABC'` and
-/// `'abc'` do not.
+/// `'abc'` do not. Used when bind sharing is disabled; the bind-sharing
+/// path keys on the canonical render of the parameterized AST instead.
 pub fn normalize_sql(sql: &str) -> String {
     let mut out = String::with_capacity(sql.len());
     let mut chars = sql.chars().peekable();
@@ -318,7 +414,7 @@ mod tests {
     use cbqt_optimizer::PlanRoot;
     use cbqt_qgm::{BlockId, SetOp};
 
-    fn plan(cost: f64) -> CachedPlan {
+    fn plan_v(cost: f64, version: u64) -> CachedPlan {
         CachedPlan {
             plan: Arc::new(BlockPlan {
                 block: BlockId(0),
@@ -331,8 +427,28 @@ mod tests {
                 out_ndv: vec![],
             }),
             columns: Arc::new(vec![]),
-            version: 0,
+            version,
+            deps: Arc::new(vec![(TableId(0), version)]),
         }
+    }
+
+    fn plan(cost: f64) -> CachedPlan {
+        plan_v(cost, 0)
+    }
+
+    /// Probe with an empty bucket signature, validating the single
+    /// `TableId(0)` dependency against `current` — the legacy
+    /// "global version" behaviour, for tests not about bind buckets.
+    fn probe(cache: &PlanCache, key: &str, current: u64) -> Lookup {
+        cache.lookup(
+            key,
+            |_| Vec::new(),
+            |deps| deps.iter().all(|&(_, v)| v == current),
+        )
+    }
+
+    fn put(cache: &PlanCache, key: &str, p: CachedPlan) {
+        cache.insert(key.into(), Vec::new(), Arc::new(vec![]), p);
     }
 
     #[test]
@@ -355,71 +471,125 @@ mod tests {
     #[test]
     fn hit_miss_invalidate() {
         let cache = PlanCache::default();
-        assert!(matches!(cache.lookup("k", 0), Lookup::Miss));
-        let mut p = plan(10.0);
-        p.version = 3;
-        cache.insert("k".into(), p);
-        assert!(matches!(cache.lookup("k", 3), Lookup::Hit(c) if c.plan.cost == 10.0));
-        // newer catalog version evicts
+        assert!(matches!(probe(&cache, "k", 0), Lookup::Miss));
+        put(&cache, "k", plan_v(10.0, 3));
+        assert!(matches!(probe(&cache, "k", 3), Lookup::Hit(c) if c.plan.cost == 10.0));
+        // dependency moved to a newer version: evicts
         assert!(matches!(
-            cache.lookup("k", 4),
+            probe(&cache, "k", 4),
             Lookup::Invalidated { cached_version: 3 }
         ));
         // and the stale entry is gone, not served again
-        assert!(matches!(cache.lookup("k", 4), Lookup::Miss));
+        assert!(matches!(probe(&cache, "k", 4), Lookup::Miss));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.invalidations), (1, 3, 1));
     }
 
     #[test]
+    fn bind_mismatch_compiles_a_sibling_variant() {
+        let cache = PlanCache::default();
+        let current = |deps: &[(TableId, u64)]| deps.iter().all(|&(_, v)| v == 0);
+        cache.insert("k".into(), vec![0], Arc::new(vec![]), plan(1.0));
+        // same bucket: served
+        assert!(
+            matches!(cache.lookup("k", |_| vec![0], current), Lookup::Hit(c) if c.plan.cost == 1.0)
+        );
+        // different selectivity bucket: family found, no variant
+        match cache.lookup("k", |_| vec![-3], current) {
+            Lookup::BindMismatch { sig, variants } => {
+                assert_eq!(sig, vec![-3]);
+                assert_eq!(variants, 1);
+            }
+            _ => panic!("expected BindMismatch"),
+        }
+        // caller compiles and caches the sibling; both now coexist
+        cache.insert("k".into(), vec![-3], Arc::new(vec![]), plan(2.0));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.families), (2, 1));
+        assert_eq!(s.bind_mismatches, 1);
+        assert!(
+            matches!(cache.lookup("k", |_| vec![0], current), Lookup::Hit(c) if c.plan.cost == 1.0)
+        );
+        assert!(
+            matches!(cache.lookup("k", |_| vec![-3], current), Lookup::Hit(c) if c.plan.cost == 2.0)
+        );
+    }
+
+    #[test]
+    fn per_table_deps_invalidate_only_dependent_plans() {
+        let cache = PlanCache::default();
+        let mut p1 = plan(1.0);
+        p1.deps = Arc::new(vec![(TableId(1), 5)]);
+        let mut p2 = plan(2.0);
+        p2.deps = Arc::new(vec![(TableId(2), 9)]);
+        put(&cache, "q1", p1);
+        put(&cache, "q2", p2);
+        // "write to table 1": its version moves to 6; table 2 unchanged
+        let live = |deps: &[(TableId, u64)]| {
+            deps.iter().all(|&(t, v)| match t {
+                TableId(1) => v == 6,
+                TableId(2) => v == 9,
+                _ => false,
+            })
+        };
+        assert!(matches!(
+            cache.lookup("q1", |_| Vec::new(), live),
+            Lookup::Invalidated { .. }
+        ));
+        assert!(matches!(
+            cache.lookup("q2", |_| Vec::new(), live),
+            Lookup::Hit(c) if c.plan.cost == 2.0
+        ));
+    }
+
+    #[test]
     fn lru_eviction_is_byte_bounded() {
         // budget sized for exactly three of these (identical) entries
-        let unit = entry_bytes("q0", &plan(0.0));
+        let unit = entry_bytes("q0", &[], &plan(0.0));
         let cache = PlanCache::new(1, 3 * unit);
         for i in 0..3 {
-            cache.insert(format!("q{i}"), plan(i as f64));
+            put(&cache, &format!("q{i}"), plan(i as f64));
         }
         assert_eq!(cache.stats().bytes, 3 * unit);
         // touch q0 so q1 becomes the LRU
-        assert!(matches!(cache.lookup("q0", 0), Lookup::Hit(_)));
-        cache.insert("q3".into(), plan(3.0));
+        assert!(matches!(probe(&cache, "q0", 0), Lookup::Hit(_)));
+        put(&cache, "q3", plan(3.0));
         let s = cache.stats();
         assert_eq!(s.entries, 3);
         assert!(s.bytes <= s.capacity_bytes, "{s:?}");
-        assert!(matches!(cache.lookup("q1", 0), Lookup::Miss));
-        assert!(matches!(cache.lookup("q0", 0), Lookup::Hit(_)));
-        assert!(matches!(cache.lookup("q3", 0), Lookup::Hit(_)));
+        assert!(matches!(probe(&cache, "q1", 0), Lookup::Miss));
+        assert!(matches!(probe(&cache, "q0", 0), Lookup::Hit(_)));
+        assert!(matches!(probe(&cache, "q3", 0), Lookup::Hit(_)));
         cache.clear();
         let s = cache.stats();
-        assert_eq!((s.entries, s.bytes), (0, 0));
+        assert_eq!((s.entries, s.families, s.bytes), (0, 0, 0));
     }
 
     #[test]
     fn oversized_plan_is_not_retained() {
-        let unit = entry_bytes("big", &plan(1.0));
+        let unit = entry_bytes("big", &[], &plan(1.0));
         let cache = PlanCache::new(1, unit - 1);
-        cache.insert("big".into(), plan(1.0));
+        put(&cache, "big", plan(1.0));
         let s = cache.stats();
-        assert_eq!((s.entries, s.bytes), (0, 0));
-        assert!(matches!(cache.lookup("big", 0), Lookup::Miss));
+        assert_eq!((s.entries, s.families, s.bytes), (0, 0, 0));
+        assert!(matches!(probe(&cache, "big", 0), Lookup::Miss));
     }
 
     #[test]
     fn invalidation_releases_bytes() {
         let cache = PlanCache::default();
-        let mut p = plan(1.0);
-        p.version = 1;
-        cache.insert("k".into(), p);
+        put(&cache, "k", plan_v(1.0, 1));
         assert!(cache.stats().bytes > 0);
-        assert!(matches!(cache.lookup("k", 2), Lookup::Invalidated { .. }));
-        assert_eq!(cache.stats().bytes, 0);
+        assert!(matches!(probe(&cache, "k", 2), Lookup::Invalidated { .. }));
+        let s = cache.stats();
+        assert_eq!((s.bytes, s.families), (0, 0));
     }
 
     #[test]
     fn poisoned_shard_recovers_by_clearing() {
         let cache = Arc::new(PlanCache::new(1, DEFAULT_SHARD_BYTES));
-        cache.insert("k".into(), plan(1.0));
-        assert!(matches!(cache.lookup("k", 0), Lookup::Hit(_)));
+        put(&cache, "k", plan(1.0));
+        assert!(matches!(probe(&cache, "k", 0), Lookup::Hit(_)));
         // poison the single shard: panic while holding its lock
         let poisoner = Arc::clone(&cache);
         let _ = std::thread::spawn(move || {
@@ -429,9 +599,9 @@ mod tests {
         .join();
         assert!(cache.shards[0].is_poisoned());
         // every operation keeps working; the shard restarts empty
-        assert!(matches!(cache.lookup("k", 0), Lookup::Miss));
-        cache.insert("k2".into(), plan(2.0));
-        assert!(matches!(cache.lookup("k2", 0), Lookup::Hit(_)));
+        assert!(matches!(probe(&cache, "k", 0), Lookup::Miss));
+        put(&cache, "k2", plan(2.0));
+        assert!(matches!(probe(&cache, "k2", 0), Lookup::Hit(_)));
         let s = cache.stats();
         assert!(s.poison_recoveries >= 1, "{s:?}");
         assert_eq!(s.entries, 1);

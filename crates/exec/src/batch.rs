@@ -168,7 +168,7 @@ fn exec_node_batched_inner(
             let ctx = eng.simple_ctx(&layout, binds);
             let data = eng.storage.table(*table)?;
             let ordinals = eng.scan_ordinals(access, &ctx, data)?;
-            let cxp = CompileCtx::plain(&layout);
+            let cxp = CompileCtx::plain(&layout, eng.params());
             let progs: Vec<VecExpr> = filter.iter().map(|c| compile(c, &cxp)).collect();
             let needs_full = progs.iter().any(VecExpr::uses_fallback);
             let have = needed_cols(&progs, w, needs_full);
@@ -228,7 +228,7 @@ fn exec_node_batched_inner(
                 width: w,
             };
             let ctx = eng.simple_ctx(&layout, binds);
-            let cxp = CompileCtx::plain(&layout);
+            let cxp = CompileCtx::plain(&layout, eng.params());
             let progs: Vec<VecExpr> = filter.iter().map(|c| compile(c, &cxp)).collect();
             let needs_full = progs.iter().any(VecExpr::uses_fallback);
             let have = needed_cols(&progs, w, needs_full);
@@ -353,7 +353,7 @@ fn hash_join_batched(
 
     // build on right
     let rprogs: Vec<VecExpr> = {
-        let cxr = CompileCtx::plain(&rlayout);
+        let cxr = CompileCtx::plain(&rlayout, eng.params());
         equi.iter().map(|(_, re)| compile(re, &cxr)).collect()
     };
     let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
@@ -381,7 +381,7 @@ fn hash_join_batched(
 
     // probe keys, column-wise per left batch
     let lprogs: Vec<VecExpr> = {
-        let cxl = CompileCtx::plain(&llayout);
+        let cxl = CompileCtx::plain(&llayout, eng.params());
         equi.iter().map(|(le, _)| compile(le, &cxl)).collect()
     };
     let mut lkeys: Vec<Vec<Value>> = Vec::new();
@@ -482,6 +482,7 @@ pub(crate) fn exec_select_batched(
         agg_base: sp.layout.width,
         windows: &sp.windows,
         win_base: sp.layout.width + sp.aggs.len(),
+        params: eng.params(),
     };
 
     // WHERE residue + ROWNUM

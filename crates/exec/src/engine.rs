@@ -57,6 +57,10 @@ pub struct Engine<'a> {
     /// Which interpreter executes select blocks: the vectorized batch
     /// engine or the row-at-a-time Volcano oracle.
     mode: ExecutionMode,
+    /// Bind values for this execution, indexed by `QExpr::Param` slot.
+    /// Empty means "use each param's peek value" (the values the plan
+    /// was compiled with).
+    params: Vec<Value>,
 }
 
 /// Rows processed between governor checks. Small enough that deadlines
@@ -80,7 +84,28 @@ impl<'a> Engine<'a> {
             governor: Governor::unlimited(),
             ticks: Cell::new(0),
             mode: ExecutionMode::from_env(),
+            params: Vec::new(),
         }
+    }
+
+    /// Installs the bind values for this execution. `QExpr::Param`
+    /// slots resolve against this vector; slots past its end fall back
+    /// to their compiled-in peek values.
+    pub fn set_params(&mut self, params: Vec<Value>) {
+        self.params = params;
+    }
+
+    /// Resolves a bind slot: the installed value, or `peek` when none
+    /// was installed for the slot.
+    #[inline]
+    pub(crate) fn param<'v>(&'v self, slot: usize, peek: &'v Value) -> &'v Value {
+        self.params.get(slot).unwrap_or(peek)
+    }
+
+    /// The installed bind vector (empty = peeks apply).
+    #[inline]
+    pub(crate) fn params(&self) -> &[Value] {
+        &self.params
     }
 
     /// Selects the interpreter for this engine (overriding the

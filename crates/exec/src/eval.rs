@@ -79,6 +79,7 @@ impl<'a> EvalCtx<'a> {
         match e {
             QExpr::Col { table, column } => self.resolve_col(*table, *column, row),
             QExpr::Lit(v) => Ok(v.clone()),
+            QExpr::Param { slot, peek } => Ok(self.engine.param(*slot, peek).clone()),
             QExpr::Bin { op, left, right } => self.eval_binary(*op, left, right, row),
             QExpr::Not(x) => Ok(truth_value(self.eval_truth(x, row)?.not())),
             QExpr::Neg(x) => {

@@ -28,17 +28,22 @@ pub(crate) struct CompileCtx<'a> {
     pub agg_base: usize,
     pub windows: &'a [QExpr],
     pub win_base: usize,
+    /// Bind values for this execution; `QExpr::Param` compiles to the
+    /// resolved constant (programs are rebuilt per execution, so the
+    /// constant is always current).
+    pub params: &'a [Value],
 }
 
 impl<'a> CompileCtx<'a> {
     /// A context with no aggregate / window slots (scans, join keys).
-    pub fn plain(layout: &'a Layout) -> CompileCtx<'a> {
+    pub fn plain(layout: &'a Layout, params: &'a [Value]) -> CompileCtx<'a> {
         CompileCtx {
             layout,
             aggs: &[],
             agg_base: 0,
             windows: &[],
             win_base: 0,
+            params,
         }
     }
 }
@@ -127,6 +132,7 @@ pub(crate) fn compile(e: &QExpr, cx: &CompileCtx<'_>) -> VecExpr {
             None => VecExpr::Fallback(e.clone()),
         },
         QExpr::Lit(v) => VecExpr::Lit(v.clone()),
+        QExpr::Param { slot, peek } => VecExpr::Lit(cx.params.get(*slot).unwrap_or(peek).clone()),
         QExpr::Bin {
             op: BinOp::And,
             left,

@@ -96,6 +96,10 @@ impl<'a> Estimator<'a> {
     fn literal_of<'b>(&self, e: &'b QExpr) -> Option<&'b Value> {
         match e {
             QExpr::Lit(v) => Some(v),
+            // Bind peeking: cost the site with the value the statement
+            // was compiled with (adaptive cursor sharing re-buckets
+            // later executions against the cached plan's profile).
+            QExpr::Param { peek, .. } => Some(peek),
             _ => None,
         }
     }

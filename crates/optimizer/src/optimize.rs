@@ -631,7 +631,7 @@ impl<'a> Optimizer<'a> {
                     .map(|rs| rs.ndv_of(*column))
                     .unwrap_or(rows)
                     .min(rows.max(1.0)),
-                QExpr::Lit(_) => 1.0,
+                QExpr::Lit(_) | QExpr::Param { .. } => 1.0,
                 QExpr::Agg { .. } => rows.max(1.0),
                 _ => (rows * 0.5).max(1.0),
             })

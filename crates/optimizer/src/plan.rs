@@ -447,6 +447,10 @@ fn qexpr_bytes(e: &QExpr) -> usize {
             Value::Str(s) => s.len(),
             _ => 0,
         },
+        QExpr::Param { peek, .. } => match peek {
+            Value::Str(s) => s.len(),
+            _ => 0,
+        },
         QExpr::Bin { left, right, .. } => qexpr_bytes(left) + qexpr_bytes(right),
         QExpr::Not(x) | QExpr::Neg(x) => qexpr_bytes(x),
         QExpr::IsNull { expr, .. } => qexpr_bytes(expr),

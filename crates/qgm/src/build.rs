@@ -17,12 +17,26 @@ use cbqt_catalog::Catalog;
 use cbqt_common::{Error, Result, Value};
 use cbqt_sql::ast::{self, BinOp, Expr, JoinKind, SelectItem, SetExpr, SetOp, TableRef, UnOp};
 
-/// Builds a query tree from an AST query.
+/// Builds a query tree from an AST query. Bind parameters (`?`) are
+/// rejected — use [`build_query_tree_with_binds`].
 pub fn build_query_tree(catalog: &Catalog, query: &ast::Query) -> Result<QueryTree> {
+    build_query_tree_with_binds(catalog, query, &[])
+}
+
+/// Builds a query tree from an AST query whose bind slots take their
+/// *peek* values from `binds` (one value per slot, in slot order). The
+/// peeks are embedded in [`QExpr::Param`] nodes so the optimizer costs
+/// the tree as if the binds were literals; execution may later rebind.
+pub fn build_query_tree_with_binds(
+    catalog: &Catalog,
+    query: &ast::Query,
+    binds: &[Value],
+) -> Result<QueryTree> {
     let mut b = Builder {
         catalog,
         tree: QueryTree::new(),
         scopes: Vec::new(),
+        binds,
     };
     let root = b.build_query(query)?;
     b.tree.root = root;
@@ -47,6 +61,8 @@ struct Builder<'a> {
     catalog: &'a Catalog,
     tree: QueryTree,
     scopes: Vec<Scope>,
+    /// Peek values for bind slots, in slot order.
+    binds: &'a [Value],
 }
 
 impl<'a> Builder<'a> {
@@ -358,6 +374,16 @@ impl<'a> Builder<'a> {
         match e {
             Expr::Column { qualifier, name } => self.resolve_column(qualifier.as_deref(), name),
             Expr::Literal(v) => Ok(QExpr::Lit(v.clone())),
+            Expr::Param(slot) => match self.binds.get(*slot) {
+                Some(v) => Ok(QExpr::Param {
+                    slot: *slot,
+                    peek: v.clone(),
+                }),
+                None => Err(Error::analysis(format!(
+                    "bind parameter ?{slot} has no value ({} supplied)",
+                    self.binds.len()
+                ))),
+            },
             Expr::Binary { op, left, right } => {
                 let l = self.resolve_expr(left)?;
                 let r = self.resolve_expr(right)?;

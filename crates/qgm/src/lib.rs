@@ -20,10 +20,12 @@
 //!   how they constrain the physical optimizer: a partial order on the
 //!   join permutation (§2.1.1, §2.2.3).
 
+pub mod binds;
 pub mod build;
 pub mod model;
 pub mod render;
 
-pub use build::build_query_tree;
+pub use binds::{collect_base_tables, collect_bind_sites, BindSite, BindSiteOp};
+pub use build::{build_query_tree, build_query_tree_with_binds};
 pub use model::*;
 pub use render::render_tree;

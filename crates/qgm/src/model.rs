@@ -115,6 +115,16 @@ pub enum QExpr {
         column: usize,
     },
     Lit(Value),
+    /// Positional bind parameter. `peek` carries the value the
+    /// statement was first compiled with so cost estimation can treat
+    /// the site like a literal (bind peeking); execution resolves the
+    /// slot against the current bind vector, falling back to `peek`
+    /// when none is installed. Transforms treat `Param` as an opaque
+    /// bound scalar.
+    Param {
+        slot: usize,
+        peek: Value,
+    },
     Bin {
         op: BinOp,
         left: Box<QExpr>,
@@ -260,7 +270,7 @@ impl QExpr {
                 SubqKind::Quant { lhs, .. } => lhs.walk(f),
                 SubqKind::Scalar | SubqKind::Exists { .. } => {}
             },
-            QExpr::Col { .. } | QExpr::Lit(_) => {}
+            QExpr::Col { .. } | QExpr::Lit(_) | QExpr::Param { .. } => {}
         }
     }
 
@@ -335,7 +345,7 @@ impl QExpr {
                 SubqKind::Quant { lhs, .. } => lhs.walk_mut(f),
                 SubqKind::Scalar | SubqKind::Exists { .. } => {}
             },
-            QExpr::Col { .. } | QExpr::Lit(_) => {}
+            QExpr::Col { .. } | QExpr::Lit(_) | QExpr::Param { .. } => {}
         }
         f(self);
     }
@@ -420,7 +430,7 @@ impl QExpr {
                 SubqKind::Quant { lhs, .. } => f(lhs),
                 SubqKind::Scalar | SubqKind::Exists { .. } => {}
             },
-            QExpr::Col { .. } | QExpr::Lit(_) => {}
+            QExpr::Col { .. } | QExpr::Lit(_) | QExpr::Param { .. } => {}
         }
     }
 

@@ -228,6 +228,7 @@ impl<'a> Renderer<'a> {
         match e {
             QExpr::Col { table, column } => self.render_col(*table, *column),
             QExpr::Lit(v) => v.to_string(),
+            QExpr::Param { slot, peek } => format!(":{slot}({peek})"),
             QExpr::Bin { op, left, right } => {
                 format!(
                     "({} {op} {})",

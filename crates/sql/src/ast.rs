@@ -223,6 +223,10 @@ pub enum Expr {
         name: String,
     },
     Literal(Value),
+    /// Positional bind parameter (`?` in SQL text, or a literal site
+    /// extracted by [`crate::binds::parameterize`]). The slot indexes
+    /// into the statement's bind vector, assigned left-to-right.
+    Param(usize),
     Binary {
         op: BinOp,
         left: Box<Expr>,
@@ -306,6 +310,7 @@ impl fmt::Display for Expr {
                 None => write!(f, "{name}"),
             },
             Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Param(i) => write!(f, "?{i}"),
             Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
             Expr::Unary { op, expr } => match op {
                 UnOp::Neg => write!(f, "-{expr}"),
@@ -503,6 +508,7 @@ impl Expr {
             }
             Expr::Column { .. }
             | Expr::Literal(_)
+            | Expr::Param(_)
             | Expr::Exists { .. }
             | Expr::ScalarSubquery(_)
             | Expr::Rownum => {}

@@ -1,0 +1,575 @@
+//! Literal extraction into bind parameters.
+//!
+//! [`parameterize`] rewrites a query so that constant literals in
+//! predicate positions (`WHERE` / `HAVING` / `JOIN ... ON`, recursively
+//! through subqueries and derived tables) become positional
+//! [`Expr::Param`] slots, returning the extracted values alongside the
+//! rewritten query. One cached plan can then serve the whole query
+//! family (`salary = 100` vs `salary = 200`), with adaptive cursor
+//! sharing deciding upstream whether the bound values still fit the
+//! plan's selectivity bucket.
+//!
+//! Extraction rules:
+//! - only predicate positions are touched: the SELECT list, `GROUP BY`,
+//!   `ORDER BY`, and window specifications keep their literals (they
+//!   shape the output, not the plan's selectivity);
+//! - `ROWNUM` comparisons keep their bound — the optimizer folds
+//!   `ROWNUM <= k` into a limit at plan time, so `k` is part of the
+//!   plan's shape;
+//! - `LIKE` patterns stay literal (pattern shape drives the estimator);
+//! - `TRUE`/`FALSE`/`NULL` stay literal (three-valued-logic shortcuts
+//!   fire at normalization time);
+//! - a statement that already contains explicit `?` placeholders is
+//!   returned untouched: the caller controls its binds.
+//!
+//! Slots are assigned in token order (the order the clauses render in),
+//! so a family key produced by [`crate::render::render_query`] re-parses
+//! with identical slot numbering — extracted-literal and hand-written
+//! `?` forms of the same query family share one cache key *and* one
+//! slot layout.
+
+use crate::ast::*;
+use cbqt_common::value::Value;
+
+/// Result of [`parameterize`].
+#[derive(Debug, Clone)]
+pub struct Parameterized {
+    /// The rewritten query; extracted literal sites hold `Expr::Param`.
+    pub query: Query,
+    /// Extracted literal values, indexed by slot. Empty when the input
+    /// already used explicit placeholders (or had nothing to extract).
+    pub binds: Vec<Value>,
+}
+
+/// Extract predicate literals into bind parameters. See the module
+/// docs for the eligibility rules.
+pub fn parameterize(q: &Query) -> Parameterized {
+    if count_params(q) > 0 {
+        return Parameterized {
+            query: q.clone(),
+            binds: Vec::new(),
+        };
+    }
+    let mut x = Extract { binds: Vec::new() };
+    let query = x.query(q);
+    Parameterized {
+        query,
+        binds: x.binds,
+    }
+}
+
+/// Number of bind slots a query expects (`max slot + 1` across every
+/// clause, including subqueries and derived tables).
+pub fn count_params(q: &Query) -> usize {
+    let mut max: Option<usize> = None;
+    for_each_expr(q, &mut |e| {
+        if let Expr::Param(i) = e {
+            max = Some(max.map_or(*i, |m| m.max(*i)));
+        }
+    });
+    max.map_or(0, |m| m + 1)
+}
+
+/// Lowercased names of every base table the query references, including
+/// inside subqueries and derived tables — duplicates removed, order of
+/// first mention. Used to pin cached plans to per-table catalog
+/// versions (a superset is safe: a plan invalidated for a table the
+/// optimizer later eliminated is merely recompiled).
+pub fn collect_table_names(q: &Query) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for_each_query(q, &mut |q| {
+        for_each_select(&q.body, &mut |s| {
+            for t in &s.from {
+                table_names(t, &mut names);
+            }
+        });
+    });
+    names
+}
+
+fn table_names(t: &TableRef, out: &mut Vec<String>) {
+    match t {
+        TableRef::Table { name, .. } => {
+            let lower = name.to_ascii_lowercase();
+            if !out.contains(&lower) {
+                out.push(lower);
+            }
+        }
+        TableRef::Derived { .. } => {} // inner query visited separately
+        TableRef::Join { left, right, .. } => {
+            table_names(left, out);
+            table_names(right, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// deep traversal helpers
+// ---------------------------------------------------------------------
+
+/// Visit `q` and every nested query (derived tables and expression
+/// subqueries, to any depth).
+pub fn for_each_query<'a>(q: &'a Query, f: &mut impl FnMut(&'a Query)) {
+    let mut stack: Vec<&'a Query> = vec![q];
+    while let Some(q) = stack.pop() {
+        f(q);
+        let mut kids: Vec<&'a Query> = Vec::new();
+        for_each_select(&q.body, &mut |s| {
+            for item in &s.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    nested_queries(expr, &mut kids);
+                }
+            }
+            for t in &s.from {
+                from_queries(t, &mut kids);
+            }
+            for e in [&s.where_clause, &s.having].into_iter().flatten() {
+                nested_queries(e, &mut kids);
+            }
+            if let Some(g) = &s.group_by {
+                for e in &g.exprs {
+                    nested_queries(e, &mut kids);
+                }
+            }
+        });
+        for o in &q.order_by {
+            nested_queries(&o.expr, &mut kids);
+        }
+        // Preorder, left to right: push children reversed so the first
+        // child pops first.
+        stack.extend(kids.into_iter().rev());
+    }
+}
+
+/// Visit every `Select` block in a set-expression tree (not descending
+/// into derived tables or subqueries — pair with [`for_each_query`]).
+fn for_each_select<'a>(s: &'a SetExpr, f: &mut impl FnMut(&'a Select)) {
+    match s {
+        SetExpr::Select(sel) => f(sel),
+        SetExpr::SetOp { left, right, .. } => {
+            for_each_select(left, f);
+            for_each_select(right, f);
+        }
+    }
+}
+
+fn from_queries<'a>(t: &'a TableRef, out: &mut Vec<&'a Query>) {
+    match t {
+        TableRef::Table { .. } => {}
+        TableRef::Derived { query, .. } => out.push(query),
+        TableRef::Join {
+            left, right, on, ..
+        } => {
+            from_queries(left, out);
+            from_queries(right, out);
+            if let Some(e) = on {
+                nested_queries(e, out);
+            }
+        }
+    }
+}
+
+fn nested_queries<'a>(e: &'a Expr, out: &mut Vec<&'a Query>) {
+    match e {
+        Expr::InSubquery { exprs, query, .. } => {
+            for e in exprs {
+                nested_queries(e, out);
+            }
+            out.push(query);
+        }
+        Expr::Exists { query, .. } => out.push(query),
+        Expr::Quantified { left, query, .. } => {
+            nested_queries(left, out);
+            out.push(query);
+        }
+        Expr::ScalarSubquery(query) => out.push(query),
+        Expr::Binary { left, right, .. } => {
+            nested_queries(left, out);
+            nested_queries(right, out);
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => nested_queries(expr, out),
+        Expr::InList { expr, list, .. } => {
+            nested_queries(expr, out);
+            for e in list {
+                nested_queries(e, out);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            nested_queries(expr, out);
+            nested_queries(low, out);
+            nested_queries(high, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            nested_queries(expr, out);
+            nested_queries(pattern, out);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                nested_queries(o, out);
+            }
+            for (w, t) in branches {
+                nested_queries(w, out);
+                nested_queries(t, out);
+            }
+            if let Some(e) = else_expr {
+                nested_queries(e, out);
+            }
+        }
+        Expr::Func { args, window, .. } => {
+            for a in args {
+                nested_queries(a, out);
+            }
+            if let Some(w) = window {
+                for p in &w.partition_by {
+                    nested_queries(p, out);
+                }
+                for o in &w.order_by {
+                    nested_queries(&o.expr, out);
+                }
+            }
+        }
+        Expr::Column { .. } | Expr::Literal(_) | Expr::Param(_) | Expr::Rownum => {}
+    }
+}
+
+/// Visit every expression node in the statement, including inside
+/// subqueries and derived tables.
+pub fn for_each_expr(q: &Query, f: &mut impl FnMut(&Expr)) {
+    for_each_query(q, &mut |q| {
+        for_each_select(&q.body, &mut |s| {
+            for item in &s.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    expr.walk(f);
+                }
+            }
+            for t in &s.from {
+                from_exprs(t, f);
+            }
+            for e in [&s.where_clause, &s.having].into_iter().flatten() {
+                e.walk(f);
+            }
+            if let Some(g) = &s.group_by {
+                for e in &g.exprs {
+                    e.walk(f);
+                }
+            }
+        });
+        for o in &q.order_by {
+            o.expr.walk(f);
+        }
+    });
+}
+
+fn from_exprs(t: &TableRef, f: &mut impl FnMut(&Expr)) {
+    match t {
+        TableRef::Table { .. } | TableRef::Derived { .. } => {}
+        TableRef::Join {
+            left, right, on, ..
+        } => {
+            from_exprs(left, f);
+            from_exprs(right, f);
+            if let Some(e) = on {
+                e.walk(f);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// the extraction rewrite
+// ---------------------------------------------------------------------
+
+struct Extract {
+    binds: Vec<Value>,
+}
+
+impl Extract {
+    // Traversal order mirrors `render_query` exactly so slot numbers
+    // match token order in the rendered family key.
+
+    fn query(&mut self, q: &Query) -> Query {
+        Query {
+            body: self.set_expr(&q.body),
+            order_by: q.order_by.clone(),
+        }
+    }
+
+    fn set_expr(&mut self, s: &SetExpr) -> SetExpr {
+        match s {
+            SetExpr::Select(sel) => SetExpr::Select(Box::new(self.select(sel))),
+            SetExpr::SetOp { op, left, right } => SetExpr::SetOp {
+                op: *op,
+                left: Box::new(self.set_expr(left)),
+                right: Box::new(self.set_expr(right)),
+            },
+        }
+    }
+
+    fn select(&mut self, s: &Select) -> Select {
+        Select {
+            distinct: s.distinct,
+            items: s.items.clone(),
+            from: s.from.iter().map(|t| self.table_ref(t)).collect(),
+            where_clause: s.where_clause.as_ref().map(|e| self.expr(e)),
+            group_by: s.group_by.clone(),
+            having: s.having.as_ref().map(|e| self.expr(e)),
+        }
+    }
+
+    fn table_ref(&mut self, t: &TableRef) -> TableRef {
+        match t {
+            TableRef::Table { .. } => t.clone(),
+            TableRef::Derived { query, alias } => TableRef::Derived {
+                query: Box::new(self.query(query)),
+                alias: alias.clone(),
+            },
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => TableRef::Join {
+                left: Box::new(self.table_ref(left)),
+                right: Box::new(self.table_ref(right)),
+                kind: *kind,
+                on: on.as_ref().map(|e| self.expr(e)),
+            },
+        }
+    }
+
+    /// Rewrite within a predicate position.
+    fn expr(&mut self, e: &Expr) -> Expr {
+        match e {
+            Expr::Literal(v) if extractable(v) => {
+                let slot = self.binds.len();
+                self.binds.push(v.clone());
+                Expr::Param(slot)
+            }
+            // ROWNUM bounds are folded into the plan; keep them literal.
+            Expr::Binary { op, left, right }
+                if op.is_comparison()
+                    && (matches!(**left, Expr::Rownum) || matches!(**right, Expr::Rownum)) =>
+            {
+                e.clone()
+            }
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(self.expr(left)),
+                right: Box::new(self.expr(right)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(self.expr(expr)),
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(self.expr(expr)),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(self.expr(expr)),
+                list: list.iter().map(|e| self.expr(e)).collect(),
+                negated: *negated,
+            },
+            Expr::InSubquery {
+                exprs,
+                query,
+                negated,
+            } => Expr::InSubquery {
+                exprs: exprs.iter().map(|e| self.expr(e)).collect(),
+                query: Box::new(self.query(query)),
+                negated: *negated,
+            },
+            Expr::Exists { query, negated } => Expr::Exists {
+                query: Box::new(self.query(query)),
+                negated: *negated,
+            },
+            Expr::Quantified {
+                op,
+                quant,
+                left,
+                query,
+            } => Expr::Quantified {
+                op: *op,
+                quant: *quant,
+                left: Box::new(self.expr(left)),
+                query: Box::new(self.query(query)),
+            },
+            Expr::ScalarSubquery(q) => Expr::ScalarSubquery(Box::new(self.query(q))),
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(self.expr(expr)),
+                low: Box::new(self.expr(low)),
+                high: Box::new(self.expr(high)),
+                negated: *negated,
+            },
+            // The pattern's shape drives selectivity estimation; only
+            // the tested expression is rewritten.
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(self.expr(expr)),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => Expr::Case {
+                operand: operand.as_ref().map(|o| Box::new(self.expr(o))),
+                branches: branches
+                    .iter()
+                    .map(|(w, t)| (self.expr(w), self.expr(t)))
+                    .collect(),
+                else_expr: else_expr.as_ref().map(|e| Box::new(self.expr(e))),
+            },
+            // Window clauses are not predicate positions; args are.
+            Expr::Func {
+                name,
+                args,
+                distinct,
+                window,
+            } => Expr::Func {
+                name: name.clone(),
+                args: args.iter().map(|a| self.expr(a)).collect(),
+                distinct: *distinct,
+                window: window.clone(),
+            },
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Param(_) | Expr::Rownum => e.clone(),
+        }
+    }
+}
+
+fn extractable(v: &Value) -> bool {
+    matches!(
+        v,
+        Value::Int(_) | Value::Double(_) | Value::Str(_) | Value::Date(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::render::render_query;
+
+    fn param(q: &str) -> Parameterized {
+        parameterize(&parse_query(q).unwrap())
+    }
+
+    #[test]
+    fn extracts_predicate_literals_in_token_order() {
+        let p = param("SELECT name FROM emp WHERE salary > 100 AND dept = 'eng'");
+        assert_eq!(p.binds, vec![Value::Int(100), Value::str("eng")]);
+        let r = render_query(&p.query);
+        assert_eq!(
+            r,
+            "SELECT name FROM emp WHERE ((salary > ?) AND (dept = ?))"
+        );
+        // The rendered family key re-parses to the identical AST — slot
+        // numbering included.
+        assert_eq!(parse_query(&r).unwrap(), p.query);
+    }
+
+    #[test]
+    fn family_members_share_a_key() {
+        let a = render_query(&param("SELECT * FROM emp WHERE salary = 100").query);
+        let b = render_query(&param("select * from EMP where salary=200").query);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn select_list_group_by_and_order_by_stay_literal() {
+        let p = param("SELECT salary + 5 FROM emp GROUP BY dept_id, 2 ORDER BY 1");
+        assert!(p.binds.is_empty());
+        let r = render_query(&p.query);
+        assert!(
+            r.contains("(salary + 5)") && r.contains("ORDER BY 1"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn rownum_like_bool_and_null_stay_literal() {
+        let p = param(
+            "SELECT * FROM emp WHERE ROWNUM <= 5 AND name LIKE 'a%' \
+             AND active = TRUE AND x IS NULL AND salary > 10",
+        );
+        assert_eq!(p.binds, vec![Value::Int(10)]);
+        let r = render_query(&p.query);
+        assert!(r.contains("ROWNUM <= 5"), "{r}");
+        assert!(r.contains("LIKE 'a%'"), "{r}");
+        assert!(r.contains("= TRUE"), "{r}");
+    }
+
+    #[test]
+    fn subqueries_and_join_on_participate() {
+        let p = param(
+            "SELECT * FROM emp e JOIN dept d ON e.dept_id = d.id AND d.region = 7 \
+             WHERE EXISTS (SELECT 1 FROM bonus b WHERE b.emp_id = e.id AND b.amount > 50)",
+        );
+        assert_eq!(p.binds, vec![Value::Int(7), Value::Int(50)]);
+        let r = render_query(&p.query);
+        assert_eq!(parse_query(&r).unwrap(), p.query);
+    }
+
+    #[test]
+    fn explicit_placeholders_disable_extraction() {
+        let p = param("SELECT * FROM emp WHERE salary = ? AND dept = 'eng'");
+        assert!(p.binds.is_empty());
+        assert_eq!(count_params(&p.query), 1);
+        let r = render_query(&p.query);
+        assert!(r.contains("= ?") && r.contains("'eng'"), "{r}");
+    }
+
+    #[test]
+    fn explicit_and_extracted_forms_share_key_and_slots() {
+        let lit = param("SELECT * FROM emp WHERE salary > 100 AND dept = 'eng'");
+        let bound = param("SELECT * FROM emp WHERE salary > ? AND dept = ?");
+        assert_eq!(render_query(&lit.query), render_query(&bound.query));
+        assert_eq!(lit.query, bound.query);
+    }
+
+    #[test]
+    fn counts_params_in_nested_positions() {
+        let q = parse_query(
+            "SELECT (SELECT max(x) FROM t WHERE y = ?) FROM s \
+             WHERE s.a IN (SELECT b FROM u WHERE c = ?) ORDER BY ?",
+        )
+        .unwrap();
+        assert_eq!(count_params(&q), 3);
+    }
+
+    #[test]
+    fn collects_tables_from_all_levels() {
+        let q = parse_query(
+            "SELECT * FROM emp e, (SELECT * FROM dept) v \
+             WHERE EXISTS (SELECT 1 FROM bonus WHERE bonus.emp_id = e.id) \
+             AND e.id IN (SELECT emp_id FROM Emp)",
+        )
+        .unwrap();
+        assert_eq!(collect_table_names(&q), vec!["emp", "dept", "bonus"]);
+    }
+
+    #[test]
+    fn in_list_items_are_extracted() {
+        let p = param("SELECT * FROM emp WHERE dept_id IN (1, 2, 3)");
+        assert_eq!(p.binds, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+}

@@ -31,6 +31,8 @@ pub enum TokenKind {
     GtEq,
     Concat,
     Semicolon,
+    /// `?` — positional bind-parameter placeholder.
+    Question,
     Eof,
 }
 
@@ -57,6 +59,7 @@ impl fmt::Display for TokenKind {
             TokenKind::GtEq => write!(f, ">="),
             TokenKind::Concat => write!(f, "||"),
             TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Question => write!(f, "?"),
             TokenKind::Eof => write!(f, "<eof>"),
         }
     }
@@ -184,6 +187,10 @@ impl<'a> Lexer<'a> {
             b';' => {
                 self.bump();
                 TokenKind::Semicolon
+            }
+            b'?' => {
+                self.bump();
+                TokenKind::Question
             }
             b'=' => {
                 self.bump();
@@ -439,6 +446,23 @@ mod tests {
         assert!(Lexer::tokenize("'unterminated").is_err());
         assert!(Lexer::tokenize("/* unterminated").is_err());
         assert!(Lexer::tokenize("@").is_err());
+    }
+
+    #[test]
+    fn lex_bind_placeholder() {
+        assert_eq!(
+            kinds("a = ? AND b > ?"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Eq,
+                TokenKind::Question,
+                TokenKind::Ident("AND".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Gt,
+                TokenKind::Question,
+                TokenKind::Eof
+            ]
+        );
     }
 
     #[test]

@@ -11,11 +11,15 @@
 //! [UNIQUE] INDEX`, `INSERT ... VALUES`).
 
 pub mod ast;
+pub mod binds;
 pub mod lexer;
 pub mod parser;
+pub mod render;
 
 pub use ast::*;
+pub use binds::{collect_table_names, count_params, parameterize, Parameterized};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::{
     parse_expression, parse_query, parse_statement, parse_statements, parse_statements_spanned,
 };
+pub use render::render_query;

@@ -109,6 +109,9 @@ struct Parser {
     pos: usize,
     /// Current recursion depth (see [`MAX_NESTING_DEPTH`]).
     depth: usize,
+    /// Bind-parameter slots seen so far; `?` placeholders number
+    /// left-to-right in token order within one statement.
+    params: usize,
 }
 
 impl Parser {
@@ -117,6 +120,7 @@ impl Parser {
             tokens: Lexer::tokenize(src)?,
             pos: 0,
             depth: 0,
+            params: 0,
         })
     }
 
@@ -264,6 +268,8 @@ impl Parser {
     // -- statements ---------------------------------------------------
 
     fn parse_statement(&mut self) -> Result<Statement> {
+        // `?` slots number per statement, not per script
+        self.params = 0;
         if self.at_kw("SELECT") || *self.peek() == TokenKind::LParen {
             return Ok(Statement::Query(Box::new(self.parse_query()?)));
         }
@@ -927,6 +933,12 @@ impl Parser {
             TokenKind::StringLit(s) => {
                 self.bump();
                 Ok(Expr::Literal(Value::str(s)))
+            }
+            TokenKind::Question => {
+                self.bump();
+                let slot = self.params;
+                self.params += 1;
+                Ok(Expr::Param(slot))
             }
             TokenKind::LParen => {
                 self.bump();

@@ -1,0 +1,345 @@
+//! Bind-parameter plan sharing end-to-end: literal extraction, the
+//! prepared-statement API, adaptive cursor sharing (one plan variant
+//! per selectivity bucket), per-table cache invalidation, and the
+//! cache-bypass contract of EXPLAIN and the differential oracle.
+
+use cbqt::common::Value;
+use cbqt::{Database, StatementLimits};
+
+/// employees(emp_id, salary) with `rows` rows, salary = 1000 + i
+/// (uniform, all distinct), analyzed.
+fn uniform_db(rows: i64) -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE employees (emp_id INT PRIMARY KEY, salary INT);
+         CREATE INDEX i_emp_sal ON employees (salary);",
+    )
+    .unwrap();
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| vec![Value::Int(i), Value::Int(1000 + i)])
+        .collect();
+    db.load_rows("employees", data).unwrap();
+    db.analyze().unwrap();
+    db
+}
+
+#[test]
+fn thousand_query_family_compiles_once_per_bucket() {
+    let db = uniform_db(1000);
+    // 1000 statements differing only in the literal: uniform data, so
+    // every bind value lands in the same selectivity bucket
+    for i in 0..1000i64 {
+        let r = db
+            .query(&format!(
+                "SELECT emp_id FROM employees WHERE salary = {}",
+                1000 + i
+            ))
+            .unwrap();
+        // the shared plan must still see *this* statement's literal
+        assert_eq!(r.rows, vec![vec![Value::Int(i)]], "salary = {}", 1000 + i);
+        assert_eq!(r.stats.plan_cache_hit, i > 0);
+        assert_eq!(r.stats.bind_params, 1);
+        assert!(!r.stats.bind_mismatch);
+    }
+    let s = db.plan_cache_stats();
+    assert_eq!((s.families, s.entries), (1, 1), "{s:?}");
+    assert_eq!((s.hits, s.misses, s.bind_mismatches), (999, 1, 0), "{s:?}");
+}
+
+#[test]
+fn selectivity_buckets_split_the_family() {
+    let db = uniform_db(1000);
+    // `salary > 1010` matches ~99% of rows; `salary > 1990` matches
+    // ~1% — different log10 selectivity bands, so adaptive cursor
+    // sharing must compile a sibling instead of reusing the first plan
+    let broad = db
+        .query("SELECT emp_id FROM employees WHERE salary > 1010")
+        .unwrap();
+    assert_eq!(broad.rows.len(), 989);
+    assert!(!broad.stats.plan_cache_hit && !broad.stats.bind_mismatch);
+    let narrow = db
+        .query("SELECT emp_id FROM employees WHERE salary > 1990")
+        .unwrap();
+    assert_eq!(narrow.rows.len(), 9);
+    assert!(!narrow.stats.plan_cache_hit);
+    assert!(narrow.stats.bind_mismatch, "{:?}", narrow.stats);
+    let s = db.plan_cache_stats();
+    assert_eq!(s.families, 1, "one query family: {s:?}");
+    assert!(s.entries >= 2, "expected >= 2 sibling plans: {s:?}");
+    assert_eq!(s.bind_mismatches, 1, "{s:?}");
+    // each bucket's variant now serves its own band
+    let again_broad = db
+        .query("SELECT emp_id FROM employees WHERE salary > 1020")
+        .unwrap();
+    assert!(again_broad.stats.plan_cache_hit);
+    assert_eq!(again_broad.rows.len(), 979);
+    let again_narrow = db
+        .query("SELECT emp_id FROM employees WHERE salary > 1995")
+        .unwrap();
+    assert!(again_narrow.stats.plan_cache_hit);
+    assert_eq!(again_narrow.rows.len(), 4);
+}
+
+#[test]
+fn skewed_equality_splits_into_two_variants() {
+    let mut db = Database::new();
+    db.execute_script("CREATE TABLE events (id INT PRIMARY KEY, kind INT);")
+        .unwrap();
+    // heavy skew: kind 0 covers 99% of rows, kinds 1..=10 one row each
+    let mut rows: Vec<Vec<Value>> = (0..990)
+        .map(|i| vec![Value::Int(i), Value::Int(0)])
+        .collect();
+    for k in 1..=10i64 {
+        rows.push(vec![Value::Int(989 + k), Value::Int(k)]);
+    }
+    db.load_rows("events", rows).unwrap();
+    db.analyze().unwrap();
+    let popular = db.query("SELECT id FROM events WHERE kind = 0").unwrap();
+    assert_eq!(popular.rows.len(), 990);
+    let rare = db.query("SELECT id FROM events WHERE kind = 5").unwrap();
+    assert_eq!(rare.rows.len(), 1);
+    assert!(rare.stats.bind_mismatch, "{:?}", rare.stats);
+    let s = db.plan_cache_stats();
+    assert_eq!(s.families, 1, "{s:?}");
+    assert_eq!(s.entries, 2, "{s:?}");
+}
+
+#[test]
+fn mismatch_and_split_show_up_in_the_trace() {
+    let db = uniform_db(1000);
+    db.query("SELECT emp_id FROM employees WHERE salary > 1010")
+        .unwrap();
+    let report = db
+        .trace("SELECT emp_id FROM employees WHERE salary > 1990")
+        .unwrap();
+    let text = report.render();
+    assert!(text.contains("PLAN CACHE BIND MISMATCH bucket="), "{text}");
+    assert!(
+        text.contains("PLAN CACHE FAMILY SPLIT variants=2"),
+        "{text}"
+    );
+}
+
+#[test]
+fn writes_to_one_table_leave_other_tables_plans_warm() {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE t1 (a INT PRIMARY KEY, b INT);
+         CREATE TABLE t2 (c INT PRIMARY KEY, d INT);",
+    )
+    .unwrap();
+    db.load_rows(
+        "t1",
+        (0..50)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 2)])
+            .collect(),
+    )
+    .unwrap();
+    db.load_rows(
+        "t2",
+        (0..50)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 3)])
+            .collect(),
+    )
+    .unwrap();
+    db.analyze().unwrap();
+    let q1 = "SELECT b FROM t1 WHERE a = 7";
+    let q2 = "SELECT d FROM t2 WHERE c = 7";
+    assert!(!db.query(q1).unwrap().stats.plan_cache_hit);
+    assert!(!db.query(q2).unwrap().stats.plan_cache_hit);
+
+    let v1 = db
+        .catalog()
+        .table_version(db.catalog().table_by_name("t1").unwrap().id);
+    let t2_id = db.catalog().table_by_name("t2").unwrap().id;
+    let v2 = db.catalog().table_version(t2_id);
+    db.execute_mut("INSERT INTO t1 VALUES (100, 200)").unwrap();
+    // only t1's version moved
+    assert!(
+        db.catalog()
+            .table_version(db.catalog().table_by_name("t1").unwrap().id)
+            > v1
+    );
+    assert_eq!(db.catalog().table_version(t2_id), v2);
+
+    // t2's plan is still warm; t1's was invalidated and recompiled
+    assert!(db.query(q2).unwrap().stats.plan_cache_hit);
+    let r1 = db.query(q1).unwrap();
+    assert!(!r1.stats.plan_cache_hit);
+    assert_eq!(r1.rows, vec![vec![Value::Int(14)]]);
+    let s = db.plan_cache_stats();
+    assert_eq!((s.hits, s.misses, s.invalidations), (1, 3, 1), "{s:?}");
+    // and the recompiled t1 plan serves the family again
+    assert!(
+        db.query("SELECT b FROM t1 WHERE a = 9")
+            .unwrap()
+            .stats
+            .plan_cache_hit
+    );
+}
+
+#[test]
+fn explain_and_differential_bypass_the_plan_cache() {
+    let db = uniform_db(100);
+    let sql = "SELECT emp_id FROM employees WHERE salary = 1042";
+    let before = db.plan_cache_stats();
+    let cold_explain = db.explain(sql).unwrap();
+    // EXPLAIN shows the query as written: the literal survives, no
+    // bind slot in sight
+    assert!(cold_explain.contains("1042"), "{cold_explain}");
+    db.explain_analyze(sql).unwrap();
+    assert!(db
+        .differential_exec(sql, &StatementLimits::none())
+        .unwrap()
+        .is_empty());
+    let after = db.plan_cache_stats();
+    assert_eq!(
+        (before.hits, before.misses, before.entries),
+        (after.hits, after.misses, after.entries),
+        "cache-exempt paths must not touch the plan cache"
+    );
+    // the serving path does populate it — and a warm cache does not
+    // change what EXPLAIN prints
+    db.query(sql).unwrap();
+    assert_eq!(db.plan_cache_stats().entries, 1);
+    assert_eq!(db.explain(sql).unwrap(), cold_explain);
+}
+
+#[test]
+fn prepared_statements_share_the_extracted_family() {
+    let db = uniform_db(1000);
+    // literal text first: seeds the family
+    let lit = db
+        .query("SELECT emp_id FROM employees WHERE salary = 1100")
+        .unwrap();
+    assert_eq!(lit.rows, vec![vec![Value::Int(100)]]);
+    // explicit-`?` prepared form of the same query family
+    let p = db
+        .prepare("SELECT emp_id FROM employees WHERE salary = ?")
+        .unwrap();
+    assert_eq!(p.param_count(), 1);
+    assert!(p.param_defaults().is_empty());
+    let bound = p.query(&[Value::Int(1200)]).unwrap();
+    assert_eq!(bound.rows, vec![vec![Value::Int(200)]]);
+    // same family key, same bucket: served from the literal query's plan
+    assert!(bound.stats.plan_cache_hit, "{:?}", bound.stats);
+    assert_eq!(db.plan_cache_stats().families, 1);
+
+    // preparing literal text extracts the literals as defaults
+    let p2 = db
+        .prepare("SELECT emp_id FROM employees WHERE salary = 1300")
+        .unwrap();
+    assert_eq!(p2.param_count(), 1);
+    assert_eq!(p2.param_defaults(), &[Value::Int(1300)]);
+    assert_eq!(p2.query(&[]).unwrap().rows, vec![vec![Value::Int(300)]]);
+    assert_eq!(
+        p2.query(&[Value::Int(1400)]).unwrap().rows,
+        vec![vec![Value::Int(400)]]
+    );
+    assert_eq!(db.plan_cache_stats().families, 1);
+}
+
+#[test]
+fn query_bound_runs_explicit_binds_through_the_family_cache() {
+    let db = uniform_db(1000);
+    let sql = "SELECT emp_id FROM employees WHERE salary = ?";
+    let a = db.query_bound(sql, &[Value::Int(1005)]).unwrap();
+    assert_eq!(a.rows, vec![vec![Value::Int(5)]]);
+    assert!(!a.stats.plan_cache_hit);
+    let b = db.query_bound(sql, &[Value::Int(1006)]).unwrap();
+    assert_eq!(b.rows, vec![vec![Value::Int(6)]]);
+    assert!(b.stats.plan_cache_hit);
+    // sessions expose the same API under their own cancel scope
+    let session = db.session();
+    let c = session.query_bound(sql, &[Value::Int(1007)]).unwrap();
+    assert_eq!(c.rows, vec![vec![Value::Int(7)]]);
+    assert!(c.stats.plan_cache_hit);
+    let p = session.prepare(sql).unwrap();
+    assert_eq!(
+        p.query(&[Value::Int(1008)]).unwrap().rows,
+        vec![vec![Value::Int(8)]]
+    );
+}
+
+#[test]
+fn bind_errors_are_actionable() {
+    let db = uniform_db(10);
+    // plain query() cannot run a statement with unbound parameters
+    let err = db
+        .query("SELECT emp_id FROM employees WHERE salary = ?")
+        .unwrap_err();
+    assert!(err.to_string().contains("query_bound"), "{err}");
+    // arity mismatches name both counts
+    let err = db
+        .query_bound(
+            "SELECT emp_id FROM employees WHERE salary = ?",
+            &[Value::Int(1), Value::Int(2)],
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("expects 1"), "{err}");
+    // values against a parameterless statement are rejected
+    let err = db
+        .query_bound("SELECT emp_id FROM employees", &[Value::Int(1)])
+        .unwrap_err();
+    assert!(err.to_string().contains("no bind parameters"), "{err}");
+    // DDL/DML cannot be prepared
+    let err = match db.prepare("INSERT INTO employees VALUES (1, 2)") {
+        Err(e) => e,
+        Ok(_) => panic!("prepare accepted DML"),
+    };
+    assert!(err.to_string().contains("execute_mut"), "{err}");
+}
+
+#[test]
+fn literal_and_bound_forms_agree_across_engines() {
+    use cbqt::common::ExecutionMode;
+    let mut rows_by_mode = Vec::new();
+    for mode in [ExecutionMode::Vectorized, ExecutionMode::Volcano] {
+        let mut db = uniform_db(200);
+        db.config_mut().execution_mode = mode;
+        let lit = db
+            .query("SELECT emp_id FROM employees WHERE salary > 1150")
+            .unwrap();
+        let bound = db
+            .query_bound(
+                "SELECT emp_id FROM employees WHERE salary > ?",
+                &[Value::Int(1150)],
+            )
+            .unwrap();
+        assert_eq!(lit.rows, bound.rows);
+        rows_by_mode.push(lit.rows);
+    }
+    assert_eq!(rows_by_mode[0], rows_by_mode[1]);
+}
+
+#[test]
+fn disabling_bind_sharing_keys_each_literal_separately() {
+    let mut db = uniform_db(100);
+    db.set_bind_sharing_enabled(false);
+    assert!(!db.bind_sharing_enabled());
+    db.query("SELECT emp_id FROM employees WHERE salary = 1001")
+        .unwrap();
+    db.query("SELECT emp_id FROM employees WHERE salary = 1002")
+        .unwrap();
+    let s = db.plan_cache_stats();
+    // literal-text keying: two statements, two families, zero sharing
+    assert_eq!((s.families, s.entries, s.hits), (2, 2, 0), "{s:?}");
+    // explicit binds run uncached in this mode (text keying would
+    // conflate values) but still return correct rows
+    let r = db
+        .query_bound(
+            "SELECT emp_id FROM employees WHERE salary = ?",
+            &[Value::Int(1003)],
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(3)]]);
+    assert_eq!(db.plan_cache_stats().entries, 2);
+    // re-enabling collapses the traffic back into one family
+    db.set_bind_sharing_enabled(true);
+    db.query("SELECT emp_id FROM employees WHERE salary = 1001")
+        .unwrap();
+    db.query("SELECT emp_id FROM employees WHERE salary = 1002")
+        .unwrap();
+    let s = db.plan_cache_stats();
+    assert_eq!((s.families, s.entries), (1, 1), "{s:?}");
+}

@@ -268,7 +268,7 @@ fn golden_trace_plan_cache_events() {
             .map(str::to_string)
             .collect()
     };
-    let key = cbqt::normalize_sql(GBP_SQL);
+    let key = cbqt::plan_cache_key(GBP_SQL).unwrap();
     // cold: a miss, followed by the full event stream
     assert_eq!(cache_lines(&db), vec![format!("PLAN CACHE MISS {key}")]);
     // warm: a hit is the *only* optimizer event
