@@ -130,7 +130,7 @@ fn canon(rows: &[Vec<Value>]) -> Vec<String> {
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--iters N] [--seed S] [--parallelism P] [--failpoints]\n\
-         \x20           [--differential-exec] [--binds] [N]\n\
+         \x20           [--differential-exec] [--binds] [--feedback] [N]\n\
          \n\
          Runs N differential-fuzz rounds (default 300). Round i uses seed\n\
          S + i (S defaults to 0), so any reported failure reproduces with\n\
@@ -161,6 +161,14 @@ fn usage() -> ! {
          --failpoints to also arm random faults: runs may fail, but\n\
          only with an Err, and the database must keep serving.\n\
          \n\
+         --feedback switches to the cardinality-feedback oracle: each\n\
+         round serves random queries repeatedly with feedback-driven\n\
+         re-optimization on, against a feedback-off twin database as\n\
+         the row oracle. Re-optimization must never change result rows,\n\
+         and no query may re-optimize more than once (the suspect/pin\n\
+         protocol forbids loops). Combine with --failpoints to also arm\n\
+         random faults around the serves.\n\
+         \n\
          --parallelism P costs candidate transformation states on P\n\
          worker threads (0 = auto, 1 = serial; the default). Results\n\
          must be identical at any worker count."
@@ -174,6 +182,7 @@ struct Args {
     failpoints: bool,
     differential: bool,
     binds: bool,
+    feedback: bool,
     parallelism: usize,
 }
 
@@ -184,6 +193,7 @@ fn parse_args() -> Args {
         failpoints: false,
         differential: false,
         binds: false,
+        feedback: false,
         parallelism: 1,
     };
     let mut args = std::env::args().skip(1);
@@ -210,6 +220,7 @@ fn parse_args() -> Args {
             "--failpoints" => parsed.failpoints = true,
             "--differential-exec" => parsed.differential = true,
             "--binds" => parsed.binds = true,
+            "--feedback" => parsed.feedback = true,
             "--help" | "-h" => usage(),
             // bare positional N, the pre-CLI invocation style
             other => match other.parse() {
@@ -414,6 +425,93 @@ fn binds_round(seed: u64, parallelism: usize, with_faults: bool) -> u64 {
     failures
 }
 
+/// One cardinality-feedback round: random queries served repeatedly
+/// against a feedback-on database, with a feedback-off twin (same seed,
+/// same data) as the row oracle. Re-optimization must be transparent —
+/// identical rows on every serve — and bounded: the suspect/pin
+/// protocol allows at most one re-optimization per query, never a
+/// compile loop. With `with_faults`, random failpoints are armed around
+/// each serve; aborted serves may re-arm a suspect mark, so only the
+/// row oracle and the serving sanity check apply. Returns the number of
+/// failures.
+fn feedback_round(seed: u64, parallelism: usize, with_faults: bool) -> u64 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut db = random_db(&mut rng);
+    db.config_mut().parallelism = parallelism;
+    let db = db;
+    // twin database with identical data, feedback off: the row oracle
+    let mut oracle = random_db(&mut Rng::seed_from_u64(seed));
+    oracle.config_mut().parallelism = parallelism;
+    oracle.config_mut().feedback.enabled = false;
+    let oracle = oracle;
+    let names = failpoints::all();
+    let mut failures = 0;
+    for _ in 0..3 {
+        let sql = random_query(&mut rng);
+        let want = match oracle.query(&sql) {
+            Ok(r) => Some(canon(&r.rows)),
+            Err(_) => None, // the feedback run must then fail too
+        };
+        let mut reopts = 0u32;
+        for _serve in 0..4 {
+            let armed = if with_faults && rng.gen_bool(0.4) {
+                let name = names[rng.gen_range(0usize..names.len())];
+                Some(if rng.gen_bool(0.3) {
+                    Fail::panic(name)
+                } else {
+                    Fail::error(name)
+                })
+            } else {
+                None
+            };
+            let got = db.query(&sql);
+            drop(armed);
+            match (got, &want) {
+                (Ok(r), Some(w)) => {
+                    if &canon(&r.rows) != w {
+                        println!("seed {seed}: FEEDBACK ROW DRIFT\n{sql}");
+                        failures += 1;
+                    }
+                    if r.stats.reoptimized {
+                        reopts += 1;
+                    }
+                }
+                (Ok(_), None) => {
+                    println!("seed {seed}: feedback run succeeded, oracle failed\n{sql}");
+                    failures += 1;
+                }
+                (Err(_), _) if with_faults => {}
+                (Err(_), None) => {}
+                (Err(e), Some(_)) => {
+                    println!("seed {seed}: FEEDBACK ERROR {e}\n{sql}");
+                    failures += 1;
+                }
+            }
+        }
+        if !with_faults && reopts > 1 {
+            println!("seed {seed}: RE-OPTIMIZATION LOOP ({reopts} recompiles)\n{sql}");
+            failures += 1;
+        }
+    }
+    let stats = db.plan_cache_stats();
+    if stats.bytes > stats.capacity_bytes || (stats.entries == 0) != (stats.bytes == 0) {
+        println!("seed {seed}: INCOHERENT plan cache: {stats:?}");
+        failures += 1;
+    }
+    match db.query("SELECT COUNT(*) FROM employees") {
+        Ok(r) if r.rows.len() == 1 => {}
+        Ok(r) => {
+            println!("seed {seed}: SANITY query returned {} rows", r.rows.len());
+            failures += 1;
+        }
+        Err(e) => {
+            println!("seed {seed}: SANITY query failed: {e}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
 fn main() {
     let args = parse_args();
     let (rounds, base_seed, failpoint_mode, parallelism) = (
@@ -423,6 +521,18 @@ fn main() {
         args.parallelism,
     );
     let mut failures = 0;
+    if args.feedback {
+        if failpoint_mode {
+            // injected panics are expected and caught at the statement
+            // boundary; keep them off stderr
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        for seed in base_seed..base_seed + rounds {
+            failures += feedback_round(seed, parallelism, failpoint_mode);
+        }
+        println!("feedback fuzz complete: {rounds} rounds, {failures} failures");
+        std::process::exit(if failures > 0 { 1 } else { 0 });
+    }
     if args.binds {
         if failpoint_mode {
             // injected panics are expected and caught at the statement

@@ -9,9 +9,11 @@
 //! unnesting decision ("indexes on the local columns in the subquery
 //! correlation", §2.2.1).
 
+pub mod feedback;
 pub mod schema;
 pub mod stats;
 
+pub use feedback::{selectivity_band, FeedbackKey, FeedbackStore};
 pub use schema::{
     Catalog, Column, ColumnRef, Constraint, ForeignKey, Index, IndexId, Table, TableId,
 };

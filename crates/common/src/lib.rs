@@ -30,6 +30,31 @@ pub fn cost_lt(a: f64, b: f64) -> bool {
     a.total_cmp(&b) == std::cmp::Ordering::Less
 }
 
+/// How far apart an estimated and an observed cardinality are, as a
+/// symmetric ratio ≥ 1 (`max(a/e, e/a)`): 1.0 means perfect, 10.0 means
+/// a 10× miss in either direction.
+///
+/// The math is deliberately NaN/zero-safe — cardinality feedback feeds
+/// this with raw runtime counters, and degenerate inputs must never
+/// produce NaN/∞ or trigger a re-optimization storm:
+/// - both sides are floored at one row before dividing (estimate=0 and
+///   actual=0 are common and legitimate — an empty scan estimated empty
+///   is a *perfect* estimate, ratio 1.0, not 0/0);
+/// - non-finite inputs (a NaN cost, an ∞ blow-up) return `f64::MAX`
+///   rather than propagating — a plan costed on garbage *should* look
+///   maximally divergent, but comparably so (`MAX > any threshold`,
+///   while NaN compares false against everything and would mask the
+///   miss).
+#[inline]
+pub fn divergence_ratio(estimate: f64, actual: f64) -> f64 {
+    if !estimate.is_finite() || !actual.is_finite() {
+        return f64::MAX;
+    }
+    let e = estimate.max(1.0);
+    let a = actual.max(1.0);
+    (a / e).max(e / a)
+}
+
 /// Which interpreter the engine uses to execute physical plans.
 ///
 /// Both interpreters run the *same* plans and must produce identical
@@ -173,5 +198,38 @@ mod tests {
         assert!(Truth::True.passes());
         assert!(!Truth::False.passes());
         assert!(!Truth::Unknown.passes());
+    }
+
+    #[test]
+    fn divergence_ratio_is_symmetric_and_floored() {
+        assert_eq!(divergence_ratio(10.0, 100.0), 10.0);
+        assert_eq!(divergence_ratio(100.0, 10.0), 10.0);
+        assert_eq!(divergence_ratio(50.0, 50.0), 1.0);
+        // sub-row estimates are floored at one row: 0.25 est vs 5 actual
+        // is a 5x miss, not a 20x one
+        assert_eq!(divergence_ratio(0.25, 5.0), 5.0);
+    }
+
+    #[test]
+    fn divergence_ratio_degenerate_inputs_are_safe() {
+        // empty scan estimated empty: perfect, never a reopt trigger
+        assert_eq!(divergence_ratio(0.0, 0.0), 1.0);
+        assert_eq!(divergence_ratio(0.0, 1.0), 1.0);
+        assert_eq!(divergence_ratio(1.0, 0.0), 1.0);
+        // negatives floor to one row rather than flipping the ratio sign
+        assert_eq!(divergence_ratio(-3.0, 4.0), 4.0);
+        // non-finite inputs look maximally divergent, never NaN
+        for (e, a) in [
+            (f64::NAN, 10.0),
+            (10.0, f64::NAN),
+            (f64::INFINITY, 10.0),
+            (10.0, f64::NEG_INFINITY),
+        ] {
+            let r = divergence_ratio(e, a);
+            assert!(r.is_finite(), "divergence_ratio({e}, {a}) = {r}");
+            assert_eq!(r, f64::MAX);
+        }
+        // and every finite result is >= 1
+        assert!(divergence_ratio(1e-300, 1e300) >= 1.0);
     }
 }

@@ -101,6 +101,18 @@ pub enum TraceEvent {
     /// A sibling plan was added to an existing family after a bind
     /// mismatch; `variants` is the family's variant count afterwards.
     PlanCacheFamilySplit { key: String, variants: usize },
+    /// A cached variant had been marked suspect (runtime actuals diverged
+    /// from its estimates beyond the configured ratio); this probe
+    /// recompiles it with the observed cardinalities fed back.
+    PlanCacheReoptimize { key: String, bucket: String },
+    /// The estimator replaced an NDV-based scan cardinality guess with a
+    /// previously observed actual from the feedback store.
+    FeedbackApplied {
+        table: String,
+        pred: String,
+        observed: f64,
+        estimate: f64,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -178,6 +190,18 @@ impl fmt::Display for TraceEvent {
             TraceEvent::PlanCacheFamilySplit { key, variants } => {
                 write!(f, "PLAN CACHE FAMILY SPLIT variants={variants} {key}")
             }
+            TraceEvent::PlanCacheReoptimize { key, bucket } => {
+                write!(f, "PLAN CACHE REOPTIMIZE bucket={bucket} {key}")
+            }
+            TraceEvent::FeedbackApplied {
+                table,
+                pred,
+                observed,
+                estimate,
+            } => write!(
+                f,
+                "FEEDBACK APPLIED {table}[{pred}]: est_rows={estimate:.1} -> observed={observed:.1}"
+            ),
         }
     }
 }

@@ -32,13 +32,18 @@
 //! assert_eq!(result.rows.len(), 2);
 //! ```
 
-use cbqt_catalog::{Catalog, Column, Constraint, ForeignKey, TableId};
+use cbqt_catalog::{
+    selectivity_band, Catalog, Column, Constraint, FeedbackKey, FeedbackStore, ForeignKey, TableId,
+};
 use cbqt_common::{
-    CancelToken, Error, ExecutionLimits, ExecutionMode, Governor, Result, Row, TraceBuffer,
-    TraceEvent, Tracer, Value,
+    divergence_ratio, CancelToken, Error, ExecutionLimits, ExecutionMode, Governor, Result, Row,
+    TraceBuffer, TraceEvent, Tracer, Value,
 };
 use cbqt_exec::Engine;
-use cbqt_optimizer::{DynamicSampler, SamplingCache};
+use cbqt_optimizer::{
+    scan_feedback_key, BlockPlan, CardFeedback, DynamicSampler, PlanEntity, PlanIndex, PlanNode,
+    PlanNodeId, SamplingCache,
+};
 use cbqt_qgm::{
     build_query_tree, build_query_tree_with_binds, collect_base_tables, collect_bind_sites,
     render_tree, BindSite, BindSiteOp, QueryTree,
@@ -47,7 +52,7 @@ use cbqt_sql::ast::{self, Statement};
 use cbqt_sql::render_query;
 use cbqt_sql::{count_params, parameterize, parse_statement, parse_statements_spanned};
 use cbqt_storage::Storage;
-use cbqt_transform::{optimize_query_governed, CbqtConfig, CbqtOutcome};
+use cbqt_transform::{optimize_query_feedback, CbqtConfig, CbqtOutcome};
 use plan_cache::{BucketSig, CachedPlan, Lookup};
 use std::borrow::Cow;
 use std::panic::{self, AssertUnwindSafe};
@@ -117,6 +122,11 @@ pub struct QueryStats {
     /// budget tripped, not the full CBQT search. Degraded plans are not
     /// published to the plan cache.
     pub degraded: bool,
+    /// True when this execution recompiled a cached plan that runtime
+    /// cardinality feedback had marked suspect (estimate vs. actual
+    /// divergence beyond `CbqtConfig::feedback.divergence_ratio`). The
+    /// recompile saw the observed cardinalities.
+    pub reoptimized: bool,
 }
 
 /// Result of one statement of a script (see [`Database::execute_script`]).
@@ -243,6 +253,7 @@ pub struct Database {
     plan_cache: PlanCache,
     plan_cache_enabled: bool,
     bind_sharing_enabled: bool,
+    feedback: FeedbackStore,
     cancel: CancelToken,
 }
 
@@ -262,6 +273,7 @@ impl Database {
             plan_cache: PlanCache::default(),
             plan_cache_enabled: true,
             bind_sharing_enabled: true,
+            feedback: FeedbackStore::default(),
             cancel: CancelToken::new(),
         }
     }
@@ -303,6 +315,14 @@ impl Database {
     /// Hit/miss/invalidation counters of the shared plan cache.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plan_cache.stats()
+    }
+
+    /// The catalog-level cardinality-feedback store: observed base-scan
+    /// cardinalities harvested after execution, keyed by (table,
+    /// normalized predicate, bind selectivity bands) and consulted by
+    /// the optimizer on recompile.
+    pub fn feedback_store(&self) -> &FeedbackStore {
+        &self.feedback
     }
 
     /// Drops every cached plan (keeps the counters).
@@ -731,8 +751,13 @@ impl Database {
             let rows = engine.run(&outcome.plan)?;
             let execute_time = t0.elapsed();
             let metrics = engine.take_metrics().unwrap_or_default();
+            let index = PlanIndex::build(&outcome.plan);
             out.push_str("\n== physical plan (analyzed) ==\n");
-            out.push_str(&outcome.plan.explain_annotated(&mut |e| metrics.annotate(e)));
+            out.push_str(
+                &outcome
+                    .plan
+                    .explain_annotated(&mut |e| metrics.annotate(&index, e)),
+            );
             out.push_str(&format!(
                 "\nexecution: {} row(s), {:.0} work unit(s), {:.3} ms, engine={}\n",
                 rows.len(),
@@ -852,15 +877,71 @@ impl Database {
             catalog: &self.catalog,
             storage: &self.storage,
         };
-        optimize_query_governed(
+        // cardinality feedback: observed base-scan cardinalities from
+        // earlier executions override the estimator's NDV guesses. An
+        // empty store returns no hits, so first compiles are unchanged.
+        let source = FeedbackSource {
+            store: &self.feedback,
+            catalog: &self.catalog,
+        };
+        let feedback: Option<&dyn CardFeedback> = if self.config.feedback.enabled {
+            Some(&source)
+        } else {
+            None
+        };
+        optimize_query_feedback(
             tree,
             &self.catalog,
             &self.config,
             &self.sampling_cache,
             Some(&sampler),
+            feedback,
             tracer,
             governor,
         )
+    }
+
+    /// Post-execution feedback harvest: records each eligible base
+    /// scan's observed per-execution cardinality in the feedback store
+    /// and returns the worst estimate-vs-actual [`divergence_ratio`]
+    /// seen (1.0 when nothing was eligible). Scans whose residual
+    /// filters are ineligible for a feedback key — e.g. they carry
+    /// bound equi-join probes referencing other refids — are skipped,
+    /// mirroring the eligibility the estimator applies on recompile.
+    fn harvest_feedback(
+        &self,
+        plan: &BlockPlan,
+        metrics: &cbqt_exec::ExecMetrics,
+        binds: &[Value],
+    ) -> f64 {
+        let index = PlanIndex::build(plan);
+        let mut worst = 1.0_f64;
+        plan.visit_entities(&mut |entity| {
+            let PlanEntity::Node(node) = entity else {
+                return;
+            };
+            let PlanNode::ScanBase {
+                table,
+                refid,
+                filter,
+                rows,
+                ..
+            } = node
+            else {
+                return;
+            };
+            let Some(key) = scan_feedback_key(&self.catalog, *table, *refid, filter, binds) else {
+                return;
+            };
+            let Some(m) = metrics.get(&index, entity) else {
+                return;
+            };
+            let observed = m.rows_per_exec();
+            self.feedback
+                .observe(key, observed, self.catalog.table_version(*table));
+            worst = worst.max(divergence_ratio(*rows, observed));
+        });
+        worst
     }
 
     /// The serving path ([`StatementPath::Serve`]): resolve the query's
@@ -928,13 +1009,20 @@ impl Database {
                 None
             };
         let Some(key) = key else {
-            return self.run_query_pipeline(&fam, &values, tracer, None, governor);
+            return self.run_query_pipeline(&fam, &values, tracer, None, false, governor);
         };
 
         let version = self.catalog.version();
+        // side-channel: remember the bucket the probe computed, so a
+        // post-execution divergence can mark exactly that variant suspect
+        let mut probe_sig: Option<BucketSig> = None;
         let lookup = self.plan_cache.lookup(
             &key,
-            |sites| self.bucket_sig(sites, &values),
+            |sites| {
+                let sig = self.bucket_sig(sites, &values);
+                probe_sig = Some(sig.clone());
+                sig
+            },
             |deps| {
                 deps.iter()
                     .all(|&(t, v)| self.catalog.table_version(t) == v)
@@ -946,14 +1034,28 @@ impl Database {
                     key: key.clone(),
                     version: cached.version,
                 });
+                let feedback_on = self.config.feedback.enabled;
                 let t1 = Instant::now();
                 let mut engine = Engine::new(&self.catalog, &self.storage);
                 engine.set_mode(self.config.execution_mode);
                 engine.set_governor(governor.clone());
                 engine.set_params(values.clone());
+                if feedback_on {
+                    engine.enable_metrics_light();
+                }
                 let rows = engine.run(&cached.plan)?;
                 let execute_time = t1.elapsed();
                 let exec_stats = engine.stats();
+                if feedback_on {
+                    if let Some(metrics) = engine.take_metrics() {
+                        let divergence = self.harvest_feedback(&cached.plan, &metrics, &values);
+                        if divergence >= self.config.feedback.divergence_ratio {
+                            if let Some(sig) = probe_sig.as_ref() {
+                                self.plan_cache.mark_suspect(&key, sig);
+                            }
+                        }
+                    }
+                }
                 Ok(QueryResult {
                     columns: (*cached.columns).clone(),
                     rows,
@@ -972,8 +1074,28 @@ impl Database {
                         bind_params: values.len(),
                         bind_mismatch: false,
                         degraded: false,
+                        reoptimized: false,
                     },
                 })
+            }
+            Lookup::Reoptimize { cached: _, sig } => {
+                // the variant was marked suspect by a previous execution's
+                // divergence; recompile with the feedback store's observed
+                // cardinalities and republish under the same bucket
+                tracer.emit(|| TraceEvent::PlanCacheReoptimize {
+                    key: key.clone(),
+                    bucket: format!("{sig:?}"),
+                });
+                let mut r = self.run_query_pipeline(
+                    &fam,
+                    &values,
+                    tracer,
+                    Some((key, version)),
+                    true,
+                    governor,
+                )?;
+                r.stats.reoptimized = true;
+                Ok(r)
             }
             Lookup::Invalidated { cached_version } => {
                 tracer.emit(|| TraceEvent::PlanCacheInvalidated {
@@ -981,7 +1103,14 @@ impl Database {
                     cached_version,
                     current_version: version,
                 });
-                self.run_query_pipeline(&fam, &values, tracer, Some((key, version)), governor)
+                self.run_query_pipeline(
+                    &fam,
+                    &values,
+                    tracer,
+                    Some((key, version)),
+                    false,
+                    governor,
+                )
             }
             Lookup::BindMismatch { sig, variants } => {
                 tracer.emit(|| TraceEvent::PlanCacheBindMismatch {
@@ -993,6 +1122,7 @@ impl Database {
                     &values,
                     tracer,
                     Some((key.clone(), version)),
+                    false,
                     governor,
                 )?;
                 r.stats.bind_mismatch = true;
@@ -1008,7 +1138,14 @@ impl Database {
             }
             Lookup::Miss => {
                 tracer.emit(|| TraceEvent::PlanCacheMiss { key: key.clone() });
-                self.run_query_pipeline(&fam, &values, tracer, Some((key, version)), governor)
+                self.run_query_pipeline(
+                    &fam,
+                    &values,
+                    tracer,
+                    Some((key, version)),
+                    false,
+                    governor,
+                )
             }
         }
     }
@@ -1052,12 +1189,18 @@ impl Database {
     /// bucket, recording the per-table versions it was compiled against
     /// — DDL needs `&mut self`, so versions cannot move under a running
     /// `&self` query.
+    /// `reopt` is true when this compile was triggered by a
+    /// [`Lookup::Reoptimize`] probe: a plan compiled *with* feedback that
+    /// still diverges (or degrades) pins its cache variant via
+    /// `block_reopt`, so suspect marks can never loop one query through
+    /// the optimizer repeatedly.
     fn run_query_pipeline(
         &self,
         q: &ast::Query,
         binds: &[Value],
         tracer: Tracer<'_>,
         cache_as: Option<(String, u64)>,
+        reopt: bool,
         governor: &Governor,
     ) -> Result<QueryResult> {
         let tree = build_query_tree_with_binds(&self.catalog, q, binds)?;
@@ -1088,14 +1231,26 @@ impl Database {
         } = outcome;
         let plan = Arc::new(plan);
 
+        let feedback_on = self.config.feedback.enabled;
         let t1 = Instant::now();
         let mut engine = Engine::new(&self.catalog, &self.storage);
         engine.set_mode(self.config.execution_mode);
         engine.set_governor(governor.clone());
         engine.set_params(binds.to_vec());
+        if feedback_on {
+            engine.enable_metrics_light();
+        }
         let rows = engine.run(&plan)?;
         let execute_time = t1.elapsed();
         let exec_stats = engine.stats();
+        let divergence = if feedback_on {
+            engine
+                .take_metrics()
+                .map(|m| self.harvest_feedback(&plan, &m, binds))
+                .unwrap_or(1.0)
+        } else {
+            1.0
+        };
 
         // A degraded plan is valid but reflects a truncated search; keep
         // it out of the shared cache so unbudgeted statements never pay
@@ -1104,8 +1259,8 @@ impl Database {
             if let Some((key, version)) = cache_as {
                 let sig = self.bucket_sig(&sites, binds);
                 self.plan_cache.insert(
-                    key,
-                    sig,
+                    key.clone(),
+                    sig.clone(),
                     Arc::new(sites),
                     CachedPlan {
                         plan: Arc::clone(&plan),
@@ -1114,6 +1269,24 @@ impl Database {
                         deps: Arc::new(deps),
                     },
                 );
+                if feedback_on && divergence >= self.config.feedback.divergence_ratio {
+                    if reopt {
+                        // feedback-informed recompile still diverges: pin
+                        // this variant so it keeps serving rather than
+                        // bouncing through the optimizer on every probe
+                        self.plan_cache.block_reopt(&key, &sig);
+                    } else {
+                        self.plan_cache.mark_suspect(&key, &sig);
+                    }
+                }
+            }
+        } else if reopt {
+            // the recompile degraded and was not published — the old
+            // variant keeps serving; pin it so the suspect mark cannot
+            // re-trigger an equally budget-starved recompile forever
+            if let Some((key, _)) = cache_as {
+                let sig = self.bucket_sig(&sites, binds);
+                self.plan_cache.block_reopt(&key, &sig);
             }
         }
 
@@ -1135,6 +1308,7 @@ impl Database {
                 bind_params: binds.len(),
                 bind_mismatch: false,
                 degraded,
+                reoptimized: false,
             },
         })
     }
@@ -1477,34 +1651,35 @@ fn first_row_divergence(a: &[Row], b: &[Row]) -> String {
 }
 
 /// Compares two [`ExecMetrics`](cbqt_exec::ExecMetrics) snapshots taken
-/// against the same plan allocation: identical operator (address) sets,
-/// exact rows/execs, work to tolerance.
+/// against the same plan: identical structural node-id sets, exact
+/// rows/execs, work to tolerance. Ids are ordinals in canonical plan
+/// order, so the snapshots compare pairwise even across allocations.
 fn compare_metrics(
-    vec: &[(usize, cbqt_exec::OpMetrics)],
-    volcano: &[(usize, cbqt_exec::OpMetrics)],
+    vec: &[(PlanNodeId, cbqt_exec::OpMetrics)],
+    volcano: &[(PlanNodeId, cbqt_exec::OpMetrics)],
     mismatches: &mut Vec<String>,
 ) {
-    let vec_addrs: Vec<usize> = vec.iter().map(|(a, _)| *a).collect();
-    let volcano_addrs: Vec<usize> = volcano.iter().map(|(a, _)| *a).collect();
-    if vec_addrs != volcano_addrs {
+    let vec_ids: Vec<PlanNodeId> = vec.iter().map(|(a, _)| *a).collect();
+    let volcano_ids: Vec<PlanNodeId> = volcano.iter().map(|(a, _)| *a).collect();
+    if vec_ids != volcano_ids {
         mismatches.push(format!(
             "metrics operator sets differ: vectorized recorded {} op(s), volcano {} op(s)",
-            vec_addrs.len(),
-            volcano_addrs.len()
+            vec_ids.len(),
+            volcano_ids.len()
         ));
         return;
     }
-    for ((addr, vm), (_, om)) in vec.iter().zip(volcano.iter()) {
+    for ((id, vm), (_, om)) in vec.iter().zip(volcano.iter()) {
         if vm.rows != om.rows || vm.execs != om.execs {
             mismatches.push(format!(
-                "op {addr:#x} counters differ: vectorized rows={} execs={}, \
+                "op {id} counters differ: vectorized rows={} execs={}, \
                  volcano rows={} execs={}",
                 vm.rows, vm.execs, om.rows, om.execs
             ));
         }
         if !approx_work(vm.work, om.work) {
             mismatches.push(format!(
-                "op {addr:#x} work differs: vectorized {:.3}, volcano {:.3}",
+                "op {id} work differs: vectorized {:.3}, volcano {:.3}",
                 vm.work, om.work
             ));
         }
@@ -1546,20 +1721,6 @@ enum StatementPath {
 /// True iff statements on `path` probe and populate the plan cache.
 const fn path_uses_plan_cache(path: StatementPath) -> bool {
     matches!(path, StatementPath::Serve)
-}
-
-/// Decimal selectivity band for adaptive cursor sharing:
-/// `log10(sel)` *rounded to the nearest* integer, clamped to `[-9, 0]`,
-/// with zero/invalid selectivities pinned to the lowest band. Rounding
-/// (rather than flooring) puts exact powers of ten — the selectivities
-/// uniform data actually produces — in the middle of a band, so ±1-row
-/// histogram noise around them cannot flip the bucket and split a
-/// family spuriously; band edges land on half-decades instead.
-fn selectivity_band(sel: f64) -> i8 {
-    if !sel.is_finite() || sel <= 0.0 {
-        return -9;
-    }
-    (sel.min(1.0).log10().round() as i64).clamp(-9, 0) as i8
 }
 
 /// The plan-cache family key `sql` is served under when bind sharing
@@ -1631,6 +1792,21 @@ impl DynamicSampler for StorageSampler<'_> {
         let _ = self.catalog.table(table).ok()?;
         let rows = self.storage.row_count(table);
         Some((rows as f64, 1.0))
+    }
+}
+
+/// Adapter feeding the database's [`FeedbackStore`] to the optimizer's
+/// [`CardFeedback`] hook. Staleness is enforced at lookup time: entries
+/// observed against an older table version are discarded, never served.
+struct FeedbackSource<'a> {
+    store: &'a FeedbackStore,
+    catalog: &'a Catalog,
+}
+
+impl CardFeedback for FeedbackSource<'_> {
+    fn observed_rows(&self, key: &FeedbackKey) -> Option<f64> {
+        self.store
+            .lookup(key, self.catalog.table_version(key.table))
     }
 }
 

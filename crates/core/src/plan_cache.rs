@@ -90,6 +90,15 @@ struct Entry {
     stamp: u64,
     /// Estimated bytes this entry holds (plan + key + sig + columns).
     bytes: usize,
+    /// Runtime actuals diverged from this plan's estimates beyond the
+    /// configured ratio: the next probe recompiles with feedback
+    /// ([`Lookup::Reoptimize`]) instead of serving it.
+    suspect: bool,
+    /// Re-optimization of this variant already failed to improve it
+    /// (degraded search, or the feedback-informed plan still diverged):
+    /// keep serving the plan and ignore further suspect marks, so a
+    /// stubborn estimation gap cannot cause a re-optimize storm.
+    reopt_blocked: bool,
 }
 
 /// All cached plan variants for one canonical query text.
@@ -127,6 +136,13 @@ fn entry_bytes(key: &str, sig: &[i8], cached: &CachedPlan) -> usize {
 pub enum Lookup {
     /// A still-valid plan for the incoming bucket signature was found.
     Hit(CachedPlan),
+    /// A still-valid plan exists but was marked suspect by cardinality
+    /// feedback: the caller must recompile (with the feedback store
+    /// consulted) and republish. The suspect flag is cleared by this
+    /// probe — exactly one probe triggers the recompile; concurrent
+    /// probes of the same variant keep getting `Hit`, and the stale
+    /// `cached` plan is returned so a failed recompile can still serve.
+    Reoptimize { cached: CachedPlan, sig: BucketSig },
     /// No family for this key.
     Miss,
     /// A variant existed for this bucket but a table it depends on has
@@ -158,6 +174,9 @@ pub struct PlanCacheStats {
     pub capacity_bytes: usize,
     /// Shards cleared after a lock-poisoning panic.
     pub poison_recoveries: u64,
+    /// Probes that found a suspect variant and triggered a
+    /// feedback-informed recompilation (each also counts as a miss).
+    pub reoptimizations: u64,
 }
 
 /// A bounded, sharded, invalidation-correct plan cache. `Send + Sync`;
@@ -170,6 +189,7 @@ pub struct PlanCache {
     invalidations: AtomicU64,
     bind_mismatches: AtomicU64,
     poison_recoveries: AtomicU64,
+    reoptimizations: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -190,6 +210,7 @@ impl PlanCache {
             invalidations: AtomicU64::new(0),
             bind_mismatches: AtomicU64::new(0),
             poison_recoveries: AtomicU64::new(0),
+            reoptimizations: AtomicU64::new(0),
         }
     }
 
@@ -238,7 +259,17 @@ impl PlanCache {
                     match family.variants.get_mut(&sig) {
                         Some(e) if deps_current(&e.cached.deps) => {
                             e.stamp = stamp;
-                            Lookup::Hit(e.cached.clone())
+                            if e.suspect && !e.reopt_blocked {
+                                // single-shot: this probe owns the
+                                // recompile; everyone else keeps hitting
+                                e.suspect = false;
+                                Lookup::Reoptimize {
+                                    cached: e.cached.clone(),
+                                    sig,
+                                }
+                            } else {
+                                Lookup::Hit(e.cached.clone())
+                            }
                         }
                         Some(_) => {
                             let stale = family.variants.remove(&sig).unwrap();
@@ -262,6 +293,10 @@ impl PlanCache {
         match &result {
             Lookup::Hit(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Lookup::Reoptimize { .. } => {
+                self.reoptimizations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
             }
             Lookup::Invalidated { .. } => {
                 self.invalidations.fetch_add(1, Ordering::Relaxed);
@@ -308,6 +343,8 @@ impl PlanCache {
                 cached,
                 stamp,
                 bytes,
+                suspect: false,
+                reopt_blocked: false,
             },
         ) {
             shard.bytes -= old.bytes;
@@ -329,6 +366,33 @@ impl PlanCache {
                 shard.map.remove(&fkey);
             }
             shard.bytes -= evicted.bytes;
+        }
+    }
+
+    /// Marks the `sig` variant of `key`'s family suspect: its runtime
+    /// actuals diverged from its estimates beyond the configured ratio,
+    /// so the next probe should recompile with feedback. A no-op when
+    /// the variant does not exist or re-optimization of it is blocked.
+    pub fn mark_suspect(&self, key: &str, sig: &BucketSig) {
+        let mut shard = self.lock_shard(self.shard(key));
+        if let Some(e) = shard.map.get_mut(key).and_then(|f| f.variants.get_mut(sig)) {
+            if !e.reopt_blocked {
+                e.suspect = true;
+            }
+        }
+    }
+
+    /// Pins the `sig` variant of `key`'s family against further
+    /// re-optimization: recompiling it did not produce a better plan
+    /// (the search degraded, or the feedback-informed plan still
+    /// diverged), so the cached plan keeps serving and later suspect
+    /// marks are ignored — no re-optimize loop. Republishing the
+    /// variant (a fresh insert) lifts the block.
+    pub fn block_reopt(&self, key: &str, sig: &BucketSig) {
+        let mut shard = self.lock_shard(self.shard(key));
+        if let Some(e) = shard.map.get_mut(key).and_then(|f| f.variants.get_mut(sig)) {
+            e.suspect = false;
+            e.reopt_blocked = true;
         }
     }
 
@@ -360,6 +424,7 @@ impl PlanCache {
             bytes,
             capacity_bytes: self.shards.len() * self.shard_bytes,
             poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
+            reoptimizations: self.reoptimizations.load(Ordering::Relaxed),
         }
     }
 }
@@ -583,6 +648,62 @@ mod tests {
         assert!(matches!(probe(&cache, "k", 2), Lookup::Invalidated { .. }));
         let s = cache.stats();
         assert_eq!((s.bytes, s.families), (0, 0));
+    }
+
+    #[test]
+    fn suspect_variant_reoptimizes_exactly_once() {
+        let cache = PlanCache::default();
+        put(&cache, "k", plan(10.0));
+        assert!(matches!(probe(&cache, "k", 0), Lookup::Hit(_)));
+        cache.mark_suspect("k", &Vec::new());
+        // the marked probe hands back the stale plan plus its sig...
+        match probe(&cache, "k", 0) {
+            Lookup::Reoptimize { cached, sig } => {
+                assert_eq!(cached.plan.cost, 10.0);
+                assert!(sig.is_empty());
+            }
+            _ => panic!("expected Reoptimize"),
+        }
+        // ...and clears the flag: the next probe hits again (no storm)
+        assert!(matches!(probe(&cache, "k", 0), Lookup::Hit(_)));
+        let s = cache.stats();
+        assert_eq!(s.reoptimizations, 1);
+        // republishing resets to a plain (non-suspect) variant
+        put(&cache, "k", plan(5.0));
+        assert!(matches!(probe(&cache, "k", 0), Lookup::Hit(c) if c.plan.cost == 5.0));
+    }
+
+    #[test]
+    fn blocked_variant_ignores_suspect_marks() {
+        let cache = PlanCache::default();
+        put(&cache, "k", plan(10.0));
+        cache.block_reopt("k", &Vec::new());
+        cache.mark_suspect("k", &Vec::new());
+        // blocked: keeps serving, never reports Reoptimize
+        assert!(matches!(probe(&cache, "k", 0), Lookup::Hit(_)));
+        assert_eq!(cache.stats().reoptimizations, 0);
+        // a fresh publish lifts the block
+        put(&cache, "k", plan(5.0));
+        cache.mark_suspect("k", &Vec::new());
+        assert!(matches!(probe(&cache, "k", 0), Lookup::Reoptimize { .. }));
+    }
+
+    #[test]
+    fn suspect_marks_are_per_variant() {
+        let cache = PlanCache::default();
+        let current = |deps: &[(TableId, u64)]| deps.iter().all(|&(_, v)| v == 0);
+        cache.insert("k".into(), vec![-1], Arc::new(vec![]), plan(1.0));
+        cache.insert("k".into(), vec![-3], Arc::new(vec![]), plan(2.0));
+        cache.mark_suspect("k", &vec![-1]);
+        // only the marked band reoptimizes; the sibling stays warm
+        assert!(matches!(
+            cache.lookup("k", |_| vec![-3], current),
+            Lookup::Hit(c) if c.plan.cost == 2.0
+        ));
+        assert!(matches!(
+            cache.lookup("k", |_| vec![-1], current),
+            Lookup::Reoptimize { sig, .. } if sig == vec![-1]
+        ));
     }
 
     #[test]

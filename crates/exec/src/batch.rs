@@ -110,9 +110,9 @@ fn batchable(node: &PlanNode) -> bool {
     }
 }
 
-/// Executes a plan node into batches, recording per-operator metrics at
-/// the same plan-node address the row engine uses (so EXPLAIN ANALYZE
-/// output and the differential oracle line up across engines).
+/// Executes a plan node into batches, recording per-operator metrics
+/// under the same stable plan-node id the row engine uses (so EXPLAIN
+/// ANALYZE output and the differential oracle line up across engines).
 pub(crate) fn exec_node_batched(
     eng: &Engine<'_>,
     node: &PlanNode,
@@ -127,13 +127,13 @@ pub(crate) fn exec_node_batched(
         return exec_node_batched_inner(eng, node, binds);
     }
     let work0 = eng.work_now();
-    let start = std::time::Instant::now();
+    let start = eng.metrics_timed().then(std::time::Instant::now);
     let out = exec_node_batched_inner(eng, node, binds)?;
     eng.record_metric(
         node as *const PlanNode as usize,
         out.iter().map(|b| b.len as u64).sum(),
         eng.work_now() - work0,
-        start.elapsed(),
+        start.map(|s| s.elapsed()).unwrap_or_default(),
     );
     Ok(out)
 }

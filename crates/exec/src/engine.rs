@@ -7,8 +7,8 @@ use cbqt_catalog::Catalog;
 use cbqt_common::failpoint;
 use cbqt_common::{Error, ExecutionMode, Governor, Result, Row, Value};
 use cbqt_optimizer::{
-    weights, AccessPath, BlockPlan, JoinMethod, Layout, PlanJoinKind, PlanNode, PlanRoot,
-    SelectPlan,
+    weights, AccessPath, BlockPlan, JoinMethod, Layout, PlanIndex, PlanJoinKind, PlanNode,
+    PlanRoot, SelectPlan,
 };
 use cbqt_qgm::{BlockId, QExpr, RefId, SetOp};
 use cbqt_storage::Storage;
@@ -47,6 +47,14 @@ pub struct Engine<'a> {
     /// Per-operator runtime counters; `None` (the default) keeps the
     /// execution path free of timing calls.
     metrics: RefCell<Option<ExecMetrics>>,
+    /// Whether metric records include wall-clock timing. Light mode
+    /// (used by the serving path's feedback harvest) skips the
+    /// `Instant::now` pair per operator execution.
+    metrics_timing: Cell<bool>,
+    /// Stable-id index of the plan being run, installed by
+    /// [`Engine::run`] while metrics are enabled: record sites translate
+    /// transient element addresses into [`PlanNodeId`]s through it.
+    plan_index: RefCell<Option<PlanIndex>>,
     /// Statement-level resource governor; `Governor::unlimited()` (the
     /// default) makes every check a single `Option` test.
     governor: Governor,
@@ -81,6 +89,8 @@ impl<'a> Engine<'a> {
             subq_cache: RefCell::new(HashMap::new()),
             outer_cols: RefCell::new(HashMap::new()),
             metrics: RefCell::new(None),
+            metrics_timing: Cell::new(true),
+            plan_index: RefCell::new(None),
             governor: Governor::unlimited(),
             ticks: Cell::new(0),
             mode: ExecutionMode::from_env(),
@@ -160,6 +170,16 @@ impl<'a> Engine<'a> {
     /// Turns on per-operator metrics collection (EXPLAIN ANALYZE).
     pub fn enable_metrics(&self) {
         *self.metrics.borrow_mut() = Some(ExecMetrics::new());
+        self.metrics_timing.set(true);
+    }
+
+    /// Turns on metrics collection without per-operator wall-clock
+    /// timing: rows/execs/work are still counted (what the feedback
+    /// harvest needs), but the two `Instant::now` calls per operator
+    /// execution are skipped — cheap enough for every served query.
+    pub fn enable_metrics_light(&self) {
+        *self.metrics.borrow_mut() = Some(ExecMetrics::new());
+        self.metrics_timing.set(false);
     }
 
     /// Returns the metrics collected since [`Engine::enable_metrics`],
@@ -170,6 +190,13 @@ impl<'a> Engine<'a> {
 
     /// Executes a root plan and returns the projected rows.
     pub fn run(&self, plan: &BlockPlan) -> Result<Vec<Row>> {
+        if self.metrics.borrow().is_some() {
+            let index = PlanIndex::build(plan);
+            if let Some(m) = self.metrics.borrow_mut().as_mut() {
+                m.bind(index.fingerprint());
+            }
+            *self.plan_index.borrow_mut() = Some(index);
+        }
         self.execute_block(plan, &Bindings::default())
     }
 
@@ -193,6 +220,17 @@ impl<'a> Engine<'a> {
         self.metrics.borrow().is_some()
     }
 
+    /// Whether metric records should pay for wall-clock timestamps.
+    pub(crate) fn metrics_timed(&self) -> bool {
+        self.metrics_timing.get()
+    }
+
+    /// Records one execution of the element at transient address `addr`,
+    /// translated to its stable [`PlanNodeId`](cbqt_optimizer::PlanNodeId)
+    /// through the index installed by [`Engine::run`]. An address outside
+    /// the running plan (impossible for engine-recorded elements, but the
+    /// defining hazard of address keying) is dropped rather than
+    /// attributed to the wrong operator.
     pub(crate) fn record_metric(
         &self,
         addr: usize,
@@ -200,8 +238,16 @@ impl<'a> Engine<'a> {
         work: f64,
         elapsed: std::time::Duration,
     ) {
+        let Some(id) = self
+            .plan_index
+            .borrow()
+            .as_ref()
+            .and_then(|ix| ix.id_of_addr(addr))
+        else {
+            return;
+        };
         if let Some(m) = self.metrics.borrow_mut().as_mut() {
-            m.record(addr, rows, work, elapsed);
+            m.record(id, rows, work, elapsed);
         }
     }
 
@@ -273,18 +319,16 @@ impl<'a> Engine<'a> {
             return self.execute_block_inner(plan, binds);
         }
         let work0 = self.work.get();
-        let start = std::time::Instant::now();
+        let start = self.metrics_timed().then(std::time::Instant::now);
         let out = self.execute_block_inner(plan, binds)?;
-        let elapsed = start.elapsed();
+        let elapsed = start.map(|s| s.elapsed()).unwrap_or_default();
         let work = self.work.get() - work0;
-        if let Some(m) = self.metrics.borrow_mut().as_mut() {
-            m.record(
-                plan as *const BlockPlan as usize,
-                out.len() as u64,
-                work,
-                elapsed,
-            );
-        }
+        self.record_metric(
+            plan as *const BlockPlan as usize,
+            out.len() as u64,
+            work,
+            elapsed,
+        );
         Ok(out)
     }
 
@@ -664,18 +708,16 @@ impl<'a> Engine<'a> {
             return self.exec_node_inner(node, binds);
         }
         let work0 = self.work.get();
-        let start = std::time::Instant::now();
+        let start = self.metrics_timed().then(std::time::Instant::now);
         let out = self.exec_node_inner(node, binds)?;
-        let elapsed = start.elapsed();
+        let elapsed = start.map(|s| s.elapsed()).unwrap_or_default();
         let work = self.work.get() - work0;
-        if let Some(m) = self.metrics.borrow_mut().as_mut() {
-            m.record(
-                node as *const PlanNode as usize,
-                out.len() as u64,
-                work,
-                elapsed,
-            );
-        }
+        self.record_metric(
+            node as *const PlanNode as usize,
+            out.len() as u64,
+            work,
+            elapsed,
+        );
         Ok(out)
     }
 

@@ -1,12 +1,17 @@
-//! Per-operator runtime counters backing `EXPLAIN ANALYZE`.
+//! Per-operator runtime counters backing `EXPLAIN ANALYZE` and the
+//! cardinality-feedback loop.
 //!
 //! When enabled on an [`Engine`](crate::Engine), every execution of a
 //! block or join-tree node records rows produced, work units and wall
-//! time, keyed by the plan element's address (see
-//! [`PlanEntity::addr`]) — stable because both execution and the later
-//! annotated explain walk the *same* borrowed, immutable plan value.
+//! time, keyed by the element's stable [`PlanNodeId`] — the ordinal the
+//! [`PlanIndex`] assigns in canonical plan order. Unlike the raw
+//! addresses used previously, ids survive plan cloning and can never
+//! alias an element of a *different* live plan: a metrics table also
+//! carries the [fingerprint](PlanIndex::fingerprint) of the plan it was
+//! recorded against, and reading it through an index with a different
+//! fingerprint yields nothing instead of silently wrong counters.
 
-use cbqt_optimizer::PlanEntity;
+use cbqt_optimizer::{PlanEntity, PlanIndex, PlanNodeId};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -27,11 +32,24 @@ pub struct OpMetrics {
     pub elapsed: Duration,
 }
 
+impl OpMetrics {
+    /// Rows produced per execution — the quantity a per-execution
+    /// cardinality estimate predicts (correlated operators re-execute,
+    /// so cumulative rows alone would overstate their cardinality).
+    pub fn rows_per_exec(&self) -> f64 {
+        self.rows as f64 / self.execs.max(1) as f64
+    }
+}
+
 /// Side table of [`OpMetrics`] per plan element, filled in by the engine
-/// and consumed by `BlockPlan::explain_annotated`.
+/// and consumed by `BlockPlan::explain_annotated` and the feedback
+/// harvester.
 #[derive(Debug, Clone, Default)]
 pub struct ExecMetrics {
-    map: HashMap<usize, OpMetrics>,
+    map: HashMap<PlanNodeId, OpMetrics>,
+    /// Fingerprint of the plan these counters were recorded against
+    /// (0 until [`ExecMetrics::bind`]).
+    fingerprint: u64,
 }
 
 impl ExecMetrics {
@@ -47,33 +65,69 @@ impl ExecMetrics {
         self.map.len()
     }
 
-    /// Accumulates one execution of the element at `addr`.
-    pub fn record(&mut self, addr: usize, rows: u64, work: f64, elapsed: Duration) {
-        let m = self.map.entry(addr).or_default();
+    /// Binds the table to the plan it will record, so later reads
+    /// through a [`PlanIndex`] of a *different* plan are rejected.
+    pub fn bind(&mut self, fingerprint: u64) {
+        self.fingerprint = fingerprint;
+    }
+
+    /// Fingerprint of the plan the counters were recorded against.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// True when this table was recorded against a plan structurally
+    /// identical to the one `index` describes.
+    pub fn matches(&self, index: &PlanIndex) -> bool {
+        self.fingerprint == index.fingerprint()
+    }
+
+    /// Accumulates one execution of the element `id`.
+    pub fn record(&mut self, id: PlanNodeId, rows: u64, work: f64, elapsed: Duration) {
+        let m = self.map.entry(id).or_default();
         m.rows += rows;
         m.execs += 1;
         m.work += work;
         m.elapsed += elapsed;
     }
 
-    pub fn get(&self, entity: PlanEntity<'_>) -> Option<OpMetrics> {
-        self.map.get(&entity.addr()).copied()
+    /// Counters for one element by stable id (no fingerprint check —
+    /// use [`ExecMetrics::get`] when resolving through an index).
+    pub fn get_id(&self, id: PlanNodeId) -> Option<OpMetrics> {
+        self.map.get(&id).copied()
     }
 
-    /// All `(addr, metrics)` pairs, sorted by address. Two engines run
-    /// against the *same* plan allocation use identical addresses, so
-    /// the differential oracle compares these snapshots directly.
-    pub fn snapshot(&self) -> Vec<(usize, OpMetrics)> {
-        let mut v: Vec<(usize, OpMetrics)> = self.map.iter().map(|(&a, &m)| (a, m)).collect();
+    /// Counters for a borrowed plan element, resolved through `index`.
+    /// Returns `None` when the element is not part of the indexed plan
+    /// or the metrics were recorded against a structurally different
+    /// plan (fingerprint mismatch) — the case address keying silently
+    /// got wrong.
+    pub fn get(&self, index: &PlanIndex, entity: PlanEntity<'_>) -> Option<OpMetrics> {
+        if !self.matches(index) {
+            return None;
+        }
+        self.map.get(&index.id_of(entity)?).copied()
+    }
+
+    /// All `(id, metrics)` pairs in canonical plan order. Ids are
+    /// structural, so two engines run against *any* allocation of the
+    /// same plan produce directly comparable snapshots — the
+    /// differential oracle compares these.
+    pub fn snapshot(&self) -> Vec<(PlanNodeId, OpMetrics)> {
+        let mut v: Vec<(PlanNodeId, OpMetrics)> = self.map.iter().map(|(&a, &m)| (a, m)).collect();
         v.sort_by_key(|(a, _)| *a);
         v
     }
 
     /// EXPLAIN-line annotation for one plan element. Operators the run
     /// never reached (e.g. pruned by an empty outer side) are labelled
-    /// explicitly so estimation gaps stand out.
-    pub fn annotate(&self, entity: PlanEntity<'_>) -> Option<String> {
-        Some(match self.get(entity) {
+    /// explicitly so estimation gaps stand out; metrics recorded against
+    /// a structurally different plan are refused rather than misread.
+    pub fn annotate(&self, index: &PlanIndex, entity: PlanEntity<'_>) -> Option<String> {
+        if !self.matches(index) {
+            return Some("[metrics from different plan]".to_string());
+        }
+        Some(match index.id_of(entity).and_then(|id| self.get_id(id)) {
             Some(m) => format!(
                 "[actual rows={} execs={} work={:.0} time={:.3}ms]",
                 m.rows,
@@ -93,12 +147,19 @@ mod tests {
     #[test]
     fn record_accumulates_across_executions() {
         let mut m = ExecMetrics::new();
-        m.record(42, 10, 5.0, Duration::from_millis(1));
-        m.record(42, 7, 2.5, Duration::from_millis(2));
-        let op = m.map[&42];
+        m.record(PlanNodeId(42), 10, 5.0, Duration::from_millis(1));
+        m.record(PlanNodeId(42), 7, 2.5, Duration::from_millis(2));
+        let op = m.map[&PlanNodeId(42)];
         assert_eq!(op.rows, 17);
         assert_eq!(op.execs, 2);
         assert!((op.work - 7.5).abs() < 1e-9);
         assert_eq!(op.elapsed, Duration::from_millis(3));
+        assert!((op.rows_per_exec() - 8.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_per_exec_is_zero_safe() {
+        let m = OpMetrics::default();
+        assert_eq!(m.rows_per_exec(), 0.0);
     }
 }

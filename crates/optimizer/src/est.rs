@@ -1,6 +1,6 @@
 //! Cardinality and selectivity estimation.
 
-use cbqt_catalog::{Catalog, ColumnStats};
+use cbqt_catalog::{selectivity_band, Catalog, ColumnStats, FeedbackKey, TableId};
 use cbqt_common::Value;
 use cbqt_qgm::{BinOp, QExpr, RefId, SubqKind};
 use std::collections::HashMap;
@@ -16,6 +16,165 @@ pub const DEFAULT_SEL: f64 = 0.25;
 pub const SUBQ_SEL: f64 = 0.5;
 /// Default selectivity of a comparison against a scalar subquery.
 pub const SCALAR_CMP_SEL: f64 = 0.33;
+
+/// Source of observed scan cardinalities the estimator prefers over its
+/// NDV/histogram guesses: the runtime side of the cardinality-feedback
+/// loop. `Sync` because the parallel CBQT search estimates from
+/// concurrent costing workers.
+pub trait CardFeedback: Sync {
+    /// Observed output rows for the scan `key` describes, if an
+    /// execution against the current table version recorded one.
+    fn observed_rows(&self, key: &FeedbackKey) -> Option<f64>;
+}
+
+/// Clamps an observed cardinality to finite-and-nonnegative before it
+/// may re-enter the cost model — the same hygiene
+/// [`Estimator::selectivity`] applies. `None` means "unusable, keep the
+/// static estimate" rather than a silent default.
+pub fn clamp_feedback_rows(rows: f64) -> Option<f64> {
+    (rows.is_finite() && rows >= 0.0).then_some(rows)
+}
+
+/// Builds the [`FeedbackKey`] identifying a base-table scan for
+/// cardinality feedback, or `None` when the scan is not feedback-eligible.
+///
+/// Eligible filters are conjunctions of simple comparisons of the scan's
+/// *own* columns against values (`Lit` or `Param`) plus non-negated
+/// IN-lists of values — the shapes whose observed cardinality is a pure
+/// property of (table, predicate, value bands) and therefore safe to
+/// replay into a later compilation. Anything else (correlated columns,
+/// subqueries, arithmetic) returns `None`: observing those would key on
+/// an incomplete description and poison unrelated scans.
+///
+/// `params` resolves `Param` slots to the *runtime* bind values when the
+/// caller has them (the record side); an empty slice falls back to each
+/// param's compile-time peek (the estimate side). Both sides band the
+/// values through [`selectivity_band`], so an estimate-side probe under
+/// one bind bucket can only see actuals recorded under that bucket —
+/// sibling bind-sharing variants never share entries.
+///
+/// The rendered predicate masks values (`c1=?`) and sorts conjuncts, so
+/// conjunct order and literal spelling never split entries.
+pub fn scan_feedback_key(
+    catalog: &Catalog,
+    table: TableId,
+    refid: RefId,
+    preds: &[QExpr],
+    params: &[Value],
+) -> Option<FeedbackKey> {
+    fn value_of<'v>(e: &'v QExpr, params: &'v [Value]) -> Option<&'v Value> {
+        match e {
+            QExpr::Lit(v) => Some(v),
+            QExpr::Param { slot, peek } => Some(params.get(*slot).unwrap_or(peek)),
+            _ => None,
+        }
+    }
+
+    let stats = catalog.table(table).ok().map(|t| &t.stats);
+    let band_of = |column: usize, sel: &dyn Fn(&ColumnStats, u64) -> f64| -> i8 {
+        match stats {
+            Some(ts) if ts.analyzed => match ts.column(column) {
+                Some(cs) => selectivity_band(sel(cs, ts.rows)),
+                None => 0,
+            },
+            // unanalyzed tables put every value into one band, exactly
+            // like adaptive cursor sharing's bucket_sig
+            _ => 0,
+        }
+    };
+
+    let mut conjuncts: Vec<(String, i8)> = Vec::with_capacity(preds.len());
+    for c in preds {
+        match c {
+            QExpr::Bin { op, left, right } => {
+                // normalize to col-op-value with the column on the left
+                let (column, value, op) = match (&**left, &**right) {
+                    (QExpr::Col { table: t, column }, v) if *t == refid => (*column, v, *op),
+                    (v, QExpr::Col { table: t, column }) if *t == refid => {
+                        let flipped = match op {
+                            BinOp::Eq => BinOp::Eq,
+                            BinOp::Lt => BinOp::Gt,
+                            BinOp::LtEq => BinOp::GtEq,
+                            BinOp::Gt => BinOp::Lt,
+                            BinOp::GtEq => BinOp::LtEq,
+                            _ => return None,
+                        };
+                        (*column, v, flipped)
+                    }
+                    _ => return None,
+                };
+                let v = value_of(value, params)?;
+                let (mask, band) = match op {
+                    BinOp::Eq => (
+                        format!("c{column}=?"),
+                        band_of(column, &|cs, rows| cs.eq_selectivity(rows, Some(v))),
+                    ),
+                    BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                        let lt = matches!(op, BinOp::Lt | BinOp::LtEq);
+                        let inclusive = matches!(op, BinOp::LtEq | BinOp::GtEq);
+                        let sym = match op {
+                            BinOp::Lt => "<",
+                            BinOp::LtEq => "<=",
+                            BinOp::Gt => ">",
+                            _ => ">=",
+                        };
+                        (
+                            format!("c{column}{sym}?"),
+                            band_of(column, &|cs, _| cs.range_selectivity(v, lt, inclusive)),
+                        )
+                    }
+                    _ => return None,
+                };
+                conjuncts.push((mask, band));
+            }
+            QExpr::InList {
+                expr,
+                list,
+                negated: false,
+            } => {
+                let QExpr::Col { table: t, column } = &**expr else {
+                    return None;
+                };
+                if *t != refid {
+                    return None;
+                }
+                let column = *column;
+                let mut sel = 0.0;
+                for item in list {
+                    let v = value_of(item, params)?;
+                    sel += match stats {
+                        Some(ts) if ts.analyzed => ts
+                            .column(column)
+                            .map(|cs| cs.eq_selectivity(ts.rows, Some(v)))
+                            .unwrap_or(0.0),
+                        _ => 0.0,
+                    };
+                }
+                let band = match stats {
+                    Some(ts) if ts.analyzed && ts.column(column).is_some() => {
+                        selectivity_band(sel.clamp(0.0, 1.0))
+                    }
+                    _ => 0,
+                };
+                conjuncts.push((format!("c{column} IN({})?", list.len()), band));
+            }
+            _ => return None,
+        }
+    }
+    conjuncts.sort();
+    let (pred, bands) = conjuncts.into_iter().fold(
+        (String::new(), Vec::new()),
+        |(mut p, mut b), (mask, band)| {
+            if !p.is_empty() {
+                p.push_str(" AND ");
+            }
+            p.push_str(&mask);
+            b.push(band);
+            (p, b)
+        },
+    );
+    Some(FeedbackKey { table, pred, bands })
+}
 
 /// Statistics for one relation (base table reference or view output)
 /// as seen by the estimator.
@@ -532,6 +691,87 @@ mod tests {
             let s = est.selectivity(&e);
             assert!(s.is_finite() && (0.0..=1.0).contains(&s), "{e:?} -> {s}");
         }
+    }
+
+    #[test]
+    fn feedback_key_masks_sorts_and_bands() {
+        let (cat, _, base) = setup();
+        let t = base[&RefId(0)];
+        // b = 3 AND a < 500, given in the opposite order and with the
+        // column on either side
+        let preds = [
+            QExpr::bin(BinOp::Gt, QExpr::lit(500i64), QExpr::col(RefId(0), 0)),
+            QExpr::eq(QExpr::lit(3i64), QExpr::col(RefId(0), 1)),
+        ];
+        let k = scan_feedback_key(&cat, t, RefId(0), &preds, &[]).unwrap();
+        assert_eq!(k.pred, "c0<? AND c1=?");
+        // a < 500 over [0,999] ~ 0.5 -> band 0; b = 3 with ndv 10 and 10%
+        // nulls ~ 0.09 -> band -1
+        assert_eq!(k.bands, vec![0, -1]);
+        // same predicates in canonical order produce the identical key
+        let preds2 = [
+            QExpr::eq(QExpr::col(RefId(0), 1), QExpr::lit(3i64)),
+            QExpr::bin(BinOp::Lt, QExpr::col(RefId(0), 0), QExpr::lit(500i64)),
+        ];
+        assert_eq!(
+            scan_feedback_key(&cat, t, RefId(0), &preds2, &[]).unwrap(),
+            k
+        );
+    }
+
+    #[test]
+    fn feedback_key_resolves_params_against_runtime_binds() {
+        let (cat, _, base) = setup();
+        let t = base[&RefId(0)];
+        let pred = [QExpr::eq(
+            QExpr::col(RefId(0), 0),
+            QExpr::Param {
+                slot: 0,
+                peek: Value::Int(7),
+            },
+        )];
+        let compile = scan_feedback_key(&cat, t, RefId(0), &pred, &[]).unwrap();
+        // the runtime bind matches the peek: identical key
+        let run = scan_feedback_key(&cat, t, RefId(0), &pred, &[Value::Int(7)]).unwrap();
+        assert_eq!(compile, run);
+        // predicate text never depends on the value, only bands may
+        let other = scan_feedback_key(&cat, t, RefId(0), &pred, &[Value::Int(9)]).unwrap();
+        assert_eq!(other.pred, compile.pred);
+    }
+
+    #[test]
+    fn feedback_key_rejects_ineligible_filters() {
+        let (cat, _, base) = setup();
+        let t = base[&RefId(0)];
+        // correlated column on the value side
+        let corr = [QExpr::eq(QExpr::col(RefId(0), 0), QExpr::col(RefId(7), 0))];
+        assert!(scan_feedback_key(&cat, t, RefId(0), &corr, &[]).is_none());
+        // negated IN-list
+        let notin = [QExpr::InList {
+            expr: Box::new(QExpr::col(RefId(0), 0)),
+            list: vec![QExpr::lit(1i64)],
+            negated: true,
+        }];
+        assert!(scan_feedback_key(&cat, t, RefId(0), &notin, &[]).is_none());
+        // one eligible + one ineligible conjunct rejects the whole scan
+        let mixed = [
+            QExpr::eq(QExpr::col(RefId(0), 0), QExpr::lit(1i64)),
+            QExpr::bin(BinOp::NotEq, QExpr::col(RefId(0), 1), QExpr::lit(2i64)),
+        ];
+        assert!(scan_feedback_key(&cat, t, RefId(0), &mixed, &[]).is_none());
+        // the empty filter is eligible: full-scan cardinality
+        let k = scan_feedback_key(&cat, t, RefId(0), &[], &[]).unwrap();
+        assert_eq!(k.pred, "");
+        assert!(k.bands.is_empty());
+    }
+
+    #[test]
+    fn clamp_feedback_rows_mirrors_selectivity_hygiene() {
+        assert_eq!(clamp_feedback_rows(50.0), Some(50.0));
+        assert_eq!(clamp_feedback_rows(0.0), Some(0.0));
+        assert_eq!(clamp_feedback_rows(-1.0), None);
+        assert_eq!(clamp_feedback_rows(f64::NAN), None);
+        assert_eq!(clamp_feedback_rows(f64::INFINITY), None);
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod est;
 pub mod optimize;
 pub mod plan;
 
-pub use est::{ColInfo, Estimator, RelStats};
+pub use est::{clamp_feedback_rows, scan_feedback_key, CardFeedback, ColInfo, Estimator, RelStats};
 pub use optimize::{
     is_cutoff, CostAnnotations, DynamicSampler, Optimizer, OptimizerConfig, OptimizerStats,
     SamplingCache, COST_CUTOFF,

@@ -155,6 +155,11 @@ pub struct Optimizer<'a> {
     pub overlay: Option<&'a CostAnnotations>,
     pub sampler: Option<&'a dyn DynamicSampler>,
     pub sampling_cache: &'a SamplingCache,
+    /// Observed-cardinality source (the feedback loop's estimate side):
+    /// when set, eligible base-table scans prefer a previously observed
+    /// actual over the NDV/histogram estimate. `None` (the default)
+    /// estimates statically.
+    pub feedback: Option<&'a dyn crate::est::CardFeedback>,
     pub stats: OptimizerStats,
     /// Optimizer trace sink (disabled by default; see `cbqt_common::trace`).
     pub tracer: Tracer<'a>,
@@ -177,6 +182,7 @@ impl<'a> Optimizer<'a> {
             overlay: None,
             sampler: None,
             sampling_cache,
+            feedback: None,
             stats: OptimizerStats::default(),
             tracer: Tracer::disabled(),
             governor: Governor::unlimited(),
@@ -949,6 +955,35 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
         }
     }
 
+    /// Observed output cardinality for a base-table scan, when the
+    /// optimizer has a feedback source and the scan's filter is
+    /// feedback-eligible (see [`crate::est::scan_feedback_key`]).
+    /// Clamped finite-and-nonnegative before re-entering the cost model;
+    /// applications are traced as `FEEDBACK APPLIED`.
+    fn observed_scan_rows(
+        &self,
+        tid: TableId,
+        refid: RefId,
+        preds: &[QExpr],
+        est_rows: f64,
+    ) -> Option<f64> {
+        let fb = self.opt.feedback?;
+        let key = crate::est::scan_feedback_key(self.opt.catalog, tid, refid, preds, &[])?;
+        let observed = crate::est::clamp_feedback_rows(fb.observed_rows(&key)?)?;
+        self.opt.tracer.emit(|| TraceEvent::FeedbackApplied {
+            table: self
+                .opt
+                .catalog
+                .table(tid)
+                .map(|t| t.name.clone())
+                .unwrap_or_else(|_| format!("#{}", tid.0)),
+            pred: key.pred.clone(),
+            observed,
+            estimate: est_rows,
+        });
+        Some(observed)
+    }
+
     /// Best access path for a base table given bound predicates
     /// (`bound_equi` are additional equality pairs whose "outer" side is
     /// available at probe time — used for index nested loops).
@@ -967,7 +1002,16 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
         for (l, r) in bound_equi {
             sel *= self.est.selectivity(&QExpr::eq((*l).clone(), (*r).clone()));
         }
-        let out_rows = (rows * sel).max(0.0);
+        let mut out_rows = (rows * sel).max(0.0);
+        // cardinality feedback: a previously observed actual for this
+        // exact (table, predicate, bands) beats any static guess. Probe
+        // keys are value-free only for the pure local-filter shape, so
+        // index-NL probes (bound_equi) keep their static estimate.
+        if bound_equi.is_empty() {
+            if let Some(observed) = self.observed_scan_rows(tid, item.refid, preds, out_rows) {
+                out_rows = observed;
+            }
+        }
         let expensive: f64 = preds.iter().map(expensive_cost).sum();
 
         // full scan baseline
@@ -1208,7 +1252,17 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
         for c in &local_preds {
             local_sel *= self.est.selectivity(c);
         }
-        let item_rows = (item.base_rows * local_sel).max(0.0);
+        let mut item_rows = (item.base_rows * local_sel).max(0.0);
+        // joins size their inputs with the same observed cardinalities
+        // the scan itself uses, so a feedback correction propagates into
+        // join-method and join-order choices
+        if let ItemKind::Base(tid) = &item.kind {
+            if let Some(observed) =
+                self.observed_scan_rows(*tid, item.refid, &local_preds, item_rows)
+            {
+                item_rows = observed;
+            }
+        }
         let kind = match &item.join {
             JoinInfo::Inner | JoinInfo::Lateral { semi: false } => PlanJoinKind::Inner,
             JoinInfo::Lateral { semi: true } => PlanJoinKind::Semi,

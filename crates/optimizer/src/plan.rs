@@ -250,9 +250,8 @@ pub enum PlanRoot {
 
 /// A plan element handed to an EXPLAIN annotator: either one block root
 /// or one node of a join tree. The borrowed reference is into the plan
-/// being explained, so annotators can key side tables (e.g. runtime
-/// metrics collected during execution of the *same* plan value) by the
-/// element's address.
+/// being explained; side tables (runtime metrics) key elements by their
+/// [`PlanNodeId`] through a [`PlanIndex`] built over the same plan.
 #[derive(Clone, Copy)]
 pub enum PlanEntity<'a> {
     Block(&'a BlockPlan),
@@ -260,14 +259,165 @@ pub enum PlanEntity<'a> {
 }
 
 impl PlanEntity<'_> {
-    /// Stable address key of the referenced element for the lifetime of
-    /// the plan. Blocks and nodes are distinct allocations, so the two
-    /// namespaces never collide.
+    /// Address of the referenced element, valid only for the lifetime of
+    /// this plan allocation. Used internally by [`PlanIndex`] to
+    /// translate borrowed elements into stable ids; never use it as a
+    /// cross-execution key directly — a reused allocation can alias.
     pub fn addr(&self) -> usize {
         match self {
             PlanEntity::Block(b) => *b as *const BlockPlan as usize,
             PlanEntity::Node(n) => *n as *const PlanNode as usize,
         }
+    }
+
+    /// Estimated output rows of this element (what EXPLAIN prints).
+    pub fn est_rows(&self) -> f64 {
+        match self {
+            PlanEntity::Block(b) => b.rows,
+            PlanEntity::Node(n) => match n {
+                PlanNode::OneRow => 1.0,
+                PlanNode::ScanBase { rows, .. }
+                | PlanNode::ScanView { rows, .. }
+                | PlanNode::Join { rows, .. } => *rows,
+            },
+        }
+    }
+}
+
+/// Stable identity of one plan element within its plan: the ordinal of
+/// the element in the canonical traversal (the order EXPLAIN prints).
+/// Unlike a raw address, the id survives cloning the plan and can never
+/// alias an element of a different live plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanNodeId(pub u32);
+
+impl std::fmt::Display for PlanNodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Maps the elements of one plan allocation to their [`PlanNodeId`]s,
+/// plus a structural fingerprint of the whole plan. Metrics recorded
+/// against one plan carry the fingerprint, so applying them to a
+/// structurally different plan is detected instead of silently
+/// attributing counters to the wrong operator (the failure mode of
+/// address keying when an allocation is reused).
+#[derive(Debug, Clone)]
+pub struct PlanIndex {
+    by_addr: std::collections::HashMap<usize, PlanNodeId>,
+    fingerprint: u64,
+}
+
+impl PlanIndex {
+    /// Walks `plan` in canonical (EXPLAIN) order, assigning ordinals.
+    pub fn build(plan: &BlockPlan) -> PlanIndex {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut by_addr = std::collections::HashMap::new();
+        let mut hasher = DefaultHasher::new();
+        let mut next = 0u32;
+        plan.visit_entities(&mut |e| {
+            by_addr.insert(e.addr(), PlanNodeId(next));
+            next.hash(&mut hasher);
+            match e {
+                PlanEntity::Block(b) => {
+                    0u8.hash(&mut hasher);
+                    b.block.0.hash(&mut hasher);
+                }
+                PlanEntity::Node(n) => match n {
+                    PlanNode::OneRow => 1u8.hash(&mut hasher),
+                    PlanNode::ScanBase {
+                        table,
+                        refid,
+                        access,
+                        filter,
+                        ..
+                    } => {
+                        2u8.hash(&mut hasher);
+                        table.0.hash(&mut hasher);
+                        refid.0.hash(&mut hasher);
+                        filter.len().hash(&mut hasher);
+                        match access {
+                            AccessPath::FullScan => 0u8.hash(&mut hasher),
+                            AccessPath::IndexEq { index, .. } => {
+                                1u8.hash(&mut hasher);
+                                index.0.hash(&mut hasher);
+                            }
+                            AccessPath::IndexRange { index, .. } => {
+                                2u8.hash(&mut hasher);
+                                index.0.hash(&mut hasher);
+                            }
+                        }
+                    }
+                    PlanNode::ScanView { block, refid, .. } => {
+                        3u8.hash(&mut hasher);
+                        block.0.hash(&mut hasher);
+                        refid.0.hash(&mut hasher);
+                    }
+                    PlanNode::Join {
+                        kind,
+                        method,
+                        lateral,
+                        ..
+                    } => {
+                        4u8.hash(&mut hasher);
+                        join_kind_tag(*kind).hash(&mut hasher);
+                        join_method_tag(*method).hash(&mut hasher);
+                        lateral.hash(&mut hasher);
+                    }
+                },
+            }
+            next += 1;
+        });
+        PlanIndex {
+            by_addr,
+            fingerprint: hasher.finish(),
+        }
+    }
+
+    /// The id of a borrowed element of the indexed plan; `None` when the
+    /// element belongs to a different plan allocation.
+    pub fn id_of(&self, e: PlanEntity<'_>) -> Option<PlanNodeId> {
+        self.id_of_addr(e.addr())
+    }
+
+    pub fn id_of_addr(&self, addr: usize) -> Option<PlanNodeId> {
+        self.by_addr.get(&addr).copied()
+    }
+
+    /// Structural fingerprint of the indexed plan. Two indexes over
+    /// clones of the same plan share it; structurally different plans
+    /// (with overwhelming probability) do not.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> usize {
+        self.by_addr.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_addr.is_empty()
+    }
+}
+
+fn join_kind_tag(k: PlanJoinKind) -> u8 {
+    match k {
+        PlanJoinKind::Inner => 0,
+        PlanJoinKind::Semi => 1,
+        PlanJoinKind::Anti { null_aware: false } => 2,
+        PlanJoinKind::Anti { null_aware: true } => 3,
+        PlanJoinKind::LeftOuter => 4,
+    }
+}
+
+fn join_method_tag(m: JoinMethod) -> u8 {
+    match m {
+        JoinMethod::NestedLoop => 0,
+        JoinMethod::Hash => 1,
+        JoinMethod::Merge => 2,
     }
 }
 
@@ -286,6 +436,26 @@ impl BlockPlan {
     /// Indented EXPLAIN text.
     pub fn explain(&self) -> String {
         self.explain_annotated(&mut |_| None)
+    }
+
+    /// Visits every plan element (block roots and join-tree nodes) in
+    /// canonical order — the exact order EXPLAIN prints them, which is
+    /// also the ordinal order [`PlanIndex`] assigns [`PlanNodeId`]s in.
+    pub fn visit_entities<'a>(&'a self, f: &mut impl FnMut(PlanEntity<'a>)) {
+        f(PlanEntity::Block(self));
+        match &self.root {
+            PlanRoot::Select(sp) => {
+                visit_node(&sp.join, f);
+                for (_, p) in &sp.subplans {
+                    p.visit_entities(f);
+                }
+            }
+            PlanRoot::SetOp(sp) => {
+                for i in &sp.inputs {
+                    i.visit_entities(f);
+                }
+            }
+        }
     }
 
     /// Indented EXPLAIN text with a per-element annotation appended to
@@ -488,6 +658,18 @@ fn qexpr_bytes(e: &QExpr) -> usize {
     }
 }
 
+fn visit_node<'a>(n: &'a PlanNode, f: &mut impl FnMut(PlanEntity<'a>)) {
+    f(PlanEntity::Node(n));
+    match n {
+        PlanNode::OneRow | PlanNode::ScanBase { .. } => {}
+        PlanNode::ScanView { plan, .. } => plan.visit_entities(f),
+        PlanNode::Join { left, right, .. } => {
+            visit_node(left, f);
+            visit_node(right, f);
+        }
+    }
+}
+
 fn note_for(a: Option<String>) -> String {
     match a {
         Some(a) => format!(" {a}"),
@@ -667,6 +849,96 @@ mod tests {
             out_ndv: vec![],
         };
         assert!(bigger.estimated_bytes() > 2 * small);
+    }
+
+    fn block_over(join: PlanNode) -> BlockPlan {
+        BlockPlan {
+            block: BlockId(0),
+            root: PlanRoot::Select(Box::new(SelectPlan {
+                join,
+                layout: Layout::default(),
+                post_filter: vec![],
+                aggs: vec![],
+                group_by: vec![],
+                grouping_sets: None,
+                having: vec![],
+                windows: vec![],
+                select: vec![],
+                distinct: false,
+                distinct_keys: None,
+                order_by: vec![],
+                rownum_limit: None,
+                subplans: vec![],
+            })),
+            cost: 1.0,
+            rows: 1.0,
+            out_ndv: vec![],
+        }
+    }
+
+    #[test]
+    fn plan_index_ids_are_stable_across_clones() {
+        let plan = block_over(PlanNode::Join {
+            left: Box::new(scan(0, 3)),
+            right: Box::new(scan(1, 2)),
+            kind: PlanJoinKind::Inner,
+            method: JoinMethod::Hash,
+            equi: vec![],
+            residual: vec![],
+            lateral: false,
+            rows: 0.0,
+        });
+        let clone = plan.clone();
+        let ix_a = PlanIndex::build(&plan);
+        let ix_b = PlanIndex::build(&clone);
+        // same structure: same fingerprint, same ordinal for each
+        // element position — even though every address differs
+        assert_eq!(ix_a.fingerprint(), ix_b.fingerprint());
+        assert_eq!(ix_a.len(), ix_b.len());
+        let mut ids_a = Vec::new();
+        plan.visit_entities(&mut |e| ids_a.push(ix_a.id_of(e).unwrap()));
+        let mut ids_b = Vec::new();
+        clone.visit_entities(&mut |e| ids_b.push(ix_b.id_of(e).unwrap()));
+        assert_eq!(ids_a, ids_b);
+        assert_eq!(
+            ids_a,
+            (0..ids_a.len() as u32).map(PlanNodeId).collect::<Vec<_>>()
+        );
+        // an element of a different allocation does not resolve
+        clone.visit_entities(&mut |e| assert!(ix_a.id_of(e).is_none()));
+    }
+
+    #[test]
+    fn plan_index_fingerprint_distinguishes_structures() {
+        let hash = block_over(PlanNode::Join {
+            left: Box::new(scan(0, 3)),
+            right: Box::new(scan(1, 2)),
+            kind: PlanJoinKind::Inner,
+            method: JoinMethod::Hash,
+            equi: vec![],
+            residual: vec![],
+            lateral: false,
+            rows: 0.0,
+        });
+        let nl = block_over(PlanNode::Join {
+            left: Box::new(scan(0, 3)),
+            right: Box::new(scan(1, 2)),
+            kind: PlanJoinKind::Inner,
+            method: JoinMethod::NestedLoop,
+            equi: vec![],
+            residual: vec![],
+            lateral: false,
+            rows: 0.0,
+        });
+        let single = block_over(scan(0, 3));
+        assert_ne!(
+            PlanIndex::build(&hash).fingerprint(),
+            PlanIndex::build(&nl).fingerprint()
+        );
+        assert_ne!(
+            PlanIndex::build(&hash).fingerprint(),
+            PlanIndex::build(&single).fingerprint()
+        );
     }
 
     #[test]

@@ -26,8 +26,8 @@ use cbqt_common::{
     cost_lt, Error, ExecutionMode, Governor, Result, StateCharge, TraceBuffer, TraceEvent, Tracer,
 };
 use cbqt_optimizer::{
-    is_cutoff, BlockPlan, CostAnnotations, DynamicSampler, Optimizer, OptimizerConfig,
-    OptimizerStats, SamplingCache,
+    is_cutoff, BlockPlan, CardFeedback, CostAnnotations, DynamicSampler, Optimizer,
+    OptimizerConfig, OptimizerStats, SamplingCache,
 };
 use cbqt_qgm::{render, QTableSource, QueryTree};
 
@@ -136,6 +136,33 @@ pub struct CbqtConfig {
     /// oracle. Defaults to the process-wide `CBQT_EXEC_MODE` setting so
     /// the whole test suite can be flipped onto the oracle path.
     pub execution_mode: ExecutionMode,
+    /// Cardinality feedback & re-optimization knobs.
+    pub feedback: FeedbackConfig,
+}
+
+/// Knobs of the cardinality-feedback loop: runtime actuals harvested
+/// into the feedback store, suspect-marking of cached plans whose
+/// estimates diverged, and feedback-informed recompilation.
+#[derive(Debug, Clone)]
+pub struct FeedbackConfig {
+    /// Master switch. When off, nothing is harvested, estimates stay
+    /// purely static, and cached plans are never marked suspect.
+    pub enabled: bool,
+    /// A cached plan is marked suspect when an eligible scan's observed
+    /// cardinality diverges from its estimate by at least this
+    /// symmetric ratio (`max(actual/est, est/actual)` with both sides
+    /// floored at one row). The suspect plan is recompiled — with the
+    /// observed actuals fed back — on its next cache probe.
+    pub divergence_ratio: f64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            enabled: true,
+            divergence_ratio: 10.0,
+        }
+    }
 }
 
 impl Default for CbqtConfig {
@@ -155,6 +182,7 @@ impl Default for CbqtConfig {
             iterative_max_states: 24,
             parallelism: 0,
             execution_mode: ExecutionMode::from_env(),
+            feedback: FeedbackConfig::default(),
         }
     }
 }
@@ -264,6 +292,34 @@ pub fn optimize_query_governed(
     tracer: Tracer<'_>,
     governor: &Governor,
 ) -> Result<CbqtOutcome> {
+    optimize_query_feedback(
+        tree,
+        catalog,
+        config,
+        sampling_cache,
+        sampler,
+        None,
+        tracer,
+        governor,
+    )
+}
+
+/// [`optimize_query_governed`] with an observed-cardinality source: when
+/// `feedback` is set, eligible base-table scans are estimated from
+/// previously observed actuals instead of NDV/histogram guesses (traced
+/// as `FEEDBACK APPLIED`). This is how a suspect cached plan recompiles
+/// into one whose estimates match runtime reality.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_query_feedback(
+    tree: &QueryTree,
+    catalog: &Catalog,
+    config: &CbqtConfig,
+    sampling_cache: &SamplingCache,
+    sampler: Option<&dyn DynamicSampler>,
+    feedback: Option<&dyn CardFeedback>,
+    tracer: Tracer<'_>,
+    governor: &Governor,
+) -> Result<CbqtOutcome> {
     let before_sql = if tracer.enabled() {
         render::render_tree(tree, catalog)
     } else {
@@ -294,6 +350,7 @@ pub fn optimize_query_governed(
                     annotations: &annotations,
                     sampling_cache,
                     sampler,
+                    feedback,
                     governor,
                 },
                 states: &mut states_explored,
@@ -325,6 +382,7 @@ pub fn optimize_query_governed(
     // executable plan. The governor's interrupts still apply inside.
     let mut opt = Optimizer::new(catalog, &annotations, sampling_cache);
     opt.sampler = sampler;
+    opt.feedback = feedback;
     opt.config = config.optimizer.clone();
     opt.tracer = tracer;
     opt.governor = governor.clone();
@@ -406,6 +464,7 @@ struct CostContext<'a> {
     annotations: &'a CostAnnotations,
     sampling_cache: &'a SamplingCache,
     sampler: Option<&'a dyn DynamicSampler>,
+    feedback: Option<&'a dyn CardFeedback>,
     governor: &'a Governor,
 }
 
@@ -1095,6 +1154,7 @@ fn optimize_state_copy(
     let mut opt = Optimizer::new(ctx.catalog, ctx.annotations, ctx.sampling_cache);
     opt.overlay = overlay;
     opt.sampler = ctx.sampler;
+    opt.feedback = ctx.feedback;
     opt.config = ctx.config.optimizer.clone();
     opt.tracer = tracer;
     opt.governor = ctx.governor.clone();
@@ -1389,6 +1449,7 @@ mod tests {
             annotations: &annotations,
             sampling_cache: &cache,
             sampler: None,
+            feedback: None,
             governor: &governor,
         };
         let t = crate::costbased::unnest_view::CbUnnestView;
