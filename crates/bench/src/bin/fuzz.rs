@@ -2,10 +2,11 @@
 //! queries, comparing all-transformations-off against cost-based under
 //! several strategies.
 
-use cbqt::common::Value;
-use cbqt::{Database, SearchStrategy, StatementLimits, TransformSet};
+use cbqt::common::{Error, Value};
+use cbqt::{Database, SearchStrategy, StatementLimits, StatementResult, TransformSet};
 use cbqt_testkit::failpoints::{self, Fail};
 use cbqt_testkit::Rng;
+use std::collections::HashMap;
 use std::time::Duration;
 
 fn random_db(rng: &mut Rng) -> Database {
@@ -130,7 +131,7 @@ fn canon(rows: &[Vec<Value>]) -> Vec<String> {
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--iters N] [--seed S] [--parallelism P] [--failpoints]\n\
-         \x20           [--differential-exec] [--binds] [--feedback] [N]\n\
+         \x20           [--differential-exec] [--binds] [--feedback] [--txn] [N]\n\
          \n\
          Runs N differential-fuzz rounds (default 300). Round i uses seed\n\
          S + i (S defaults to 0), so any reported failure reproduces with\n\
@@ -169,6 +170,18 @@ fn usage() -> ! {
          protocol forbids loops). Combine with --failpoints to also arm\n\
          random faults around the serves.\n\
          \n\
+         --txn switches to the MVCC transaction oracle: each round\n\
+         interleaves three transactional writer sessions against a\n\
+         serial single-writer twin database that replays a transaction's\n\
+         statements only at its successful commit. Rows must match the\n\
+         twin at every commit and at round end; a claim model predicts\n\
+         exactly which statements must lose the first-updater-wins race\n\
+         (Error::WriteConflict); plain readers must never see\n\
+         uncommitted rows and a pinned reader must keep its snapshot.\n\
+         Combine with --failpoints to also arm random faults around\n\
+         every write: statements may then abort their transaction, but\n\
+         only with an Err, and the twin oracle still holds.\n\
+         \n\
          --parallelism P costs candidate transformation states on P\n\
          worker threads (0 = auto, 1 = serial; the default). Results\n\
          must be identical at any worker count."
@@ -183,6 +196,7 @@ struct Args {
     differential: bool,
     binds: bool,
     feedback: bool,
+    txn: bool,
     parallelism: usize,
 }
 
@@ -194,6 +208,7 @@ fn parse_args() -> Args {
         differential: false,
         binds: false,
         feedback: false,
+        txn: false,
         parallelism: 1,
     };
     let mut args = std::env::args().skip(1);
@@ -221,6 +236,7 @@ fn parse_args() -> Args {
             "--differential-exec" => parsed.differential = true,
             "--binds" => parsed.binds = true,
             "--feedback" => parsed.feedback = true,
+            "--txn" => parsed.txn = true,
             "--help" | "-h" => usage(),
             // bare positional N, the pre-CLI invocation style
             other => match other.parse() {
@@ -512,6 +528,320 @@ fn feedback_round(seed: u64, parallelism: usize, with_faults: bool) -> u64 {
     failures
 }
 
+/// One MVCC transaction round: three interleaved transactional writer
+/// sessions mutate a key/value table on the main database while a
+/// serial single-writer twin replays each transaction's buffered
+/// statements only at its successful commit. The twin is the oracle:
+/// after every commit (and at round end) the two databases must hold
+/// identical rows, so uncommitted or rolled-back work must never leak.
+/// A per-key claim model predicts exactly which statements must lose a
+/// first-updater-wins race (deliberate cross-partition conflict
+/// probes), and a pinned reader session must keep its snapshot across
+/// other transactions' commits. With `with_faults`, random failpoints
+/// are armed around each writer statement: any statement may then abort
+/// its transaction, but only with an `Err`, and the twin oracle still
+/// holds because aborted transactions are never replayed. Returns the
+/// number of failures.
+fn txn_round(seed: u64, parallelism: usize, with_faults: bool) -> u64 {
+    const WRITERS: usize = 3;
+    let mut rng = Rng::seed_from_u64(seed);
+    let nkeys = rng.gen_range(10..50i64);
+    let build = |parallelism: usize, seed: u64, nkeys: i64| -> Database {
+        let mut db = Database::new();
+        db.execute_script("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+            .unwrap();
+        let mut data = Rng::seed_from_u64(seed ^ 0x5EED);
+        let rows: Vec<Vec<Value>> = (0..nkeys)
+            .map(|k| vec![Value::Int(k), Value::Int(data.gen_range(0..1000))])
+            .collect();
+        db.load_rows("kv", rows).unwrap();
+        db.analyze().unwrap();
+        db.config_mut().parallelism = parallelism;
+        db
+    };
+    let db = build(parallelism, seed, nkeys);
+    let mut twin = build(parallelism, seed, nkeys);
+    let twin_rows = |twin: &mut Database| -> Vec<String> {
+        canon(&twin.query("SELECT k, v FROM kv").unwrap().rows)
+    };
+
+    let mut failures = 0;
+    let names = failpoints::all();
+    let sessions: Vec<_> = (0..WRITERS).map(|_| db.session()).collect();
+    // per-writer model state: open?, snapshot counter, visible view,
+    // claimed keys, buffered statements for twin replay
+    let mut open = [false; WRITERS];
+    let mut snap = [0u64; WRITERS];
+    let mut view: Vec<HashMap<i64, i64>> = vec![HashMap::new(); WRITERS];
+    let mut claims: Vec<Vec<i64>> = vec![Vec::new(); WRITERS];
+    let mut buffer: Vec<Vec<String>> = vec![Vec::new(); WRITERS];
+    // global model: logical commit counter, per-key last commit
+    let mut commit_counter = 0u64;
+    let mut committed_at: HashMap<i64, u64> = HashMap::new();
+    let mut open_claim: HashMap<i64, usize> = HashMap::new();
+    let mut next_insert = 10_000i64;
+    // one pinned reader session: must see the same rows for its whole
+    // transaction no matter what commits around it
+    let pinned = db.session();
+    let mut pinned_want: Option<Vec<String>> = None;
+
+    let abort = |w: usize,
+                 claims: &mut Vec<Vec<i64>>,
+                 open_claim: &mut HashMap<i64, usize>,
+                 open: &mut [bool; WRITERS],
+                 buffer: &mut Vec<Vec<String>>| {
+        for k in claims[w].drain(..) {
+            open_claim.remove(&k);
+        }
+        buffer[w].clear();
+        open[w] = false;
+    };
+
+    for _step in 0..40 {
+        let w = rng.gen_range(0..WRITERS);
+        let s = &sessions[w];
+        if !open[w] {
+            s.begin().unwrap();
+            open[w] = true;
+            snap[w] = commit_counter;
+            view[w] = twin
+                .query("SELECT k, v FROM kv")
+                .unwrap()
+                .rows
+                .iter()
+                .map(|r| match (&r[0], &r[1]) {
+                    (Value::Int(k), Value::Int(v)) => (*k, *v),
+                    _ => unreachable!("kv holds ints"),
+                })
+                .collect();
+            continue;
+        }
+        let op = rng.gen_range(0..8);
+        if op == 6 {
+            // COMMIT: on success the twin replays the buffer and both
+            // databases must agree row for row
+            match s.commit() {
+                Ok(()) => {
+                    commit_counter += 1;
+                    for k in claims[w].drain(..) {
+                        open_claim.remove(&k);
+                        committed_at.insert(k, commit_counter);
+                    }
+                    for sql in buffer[w].drain(..) {
+                        twin.execute_mut(&sql).unwrap();
+                    }
+                    open[w] = false;
+                    let got = canon(&db.query("SELECT k, v FROM kv").unwrap().rows);
+                    if got != twin_rows(&mut twin) {
+                        println!("seed {seed}: COMMIT DIVERGED from serial twin (writer {w})");
+                        failures += 1;
+                    }
+                }
+                Err(e) => {
+                    if !with_faults {
+                        println!("seed {seed}: COMMIT ERROR {e}");
+                        failures += 1;
+                    }
+                    // failed commit = abort: nothing replays
+                    abort(w, &mut claims, &mut open_claim, &mut open, &mut buffer);
+                }
+            }
+            continue;
+        }
+        if op == 7 {
+            if s.rollback().is_err() && !with_faults {
+                println!("seed {seed}: ROLLBACK ERROR");
+                failures += 1;
+            }
+            abort(w, &mut claims, &mut open_claim, &mut open, &mut buffer);
+            continue;
+        }
+
+        // a write statement: pick a key and predict the outcome
+        let (sql, key, is_insert) = match op {
+            0 | 1 => {
+                // own-partition UPDATE (evens bump, odds overwrite)
+                let mine: Vec<i64> = view[w]
+                    .keys()
+                    .copied()
+                    .filter(|k| (*k as usize) % WRITERS == w)
+                    .collect();
+                let k = if mine.is_empty() {
+                    rng.gen_range(0..nkeys) // likely-deleted key: 0-row no-op
+                } else {
+                    mine[rng.gen_range(0..mine.len())]
+                };
+                let d = rng.gen_range(1..100);
+                (
+                    if op == 0 {
+                        format!("UPDATE kv SET v = v + {d} WHERE k = {k}")
+                    } else {
+                        format!("UPDATE kv SET v = {d} WHERE k = {k}")
+                    },
+                    k,
+                    false,
+                )
+            }
+            2 => {
+                // own-partition DELETE
+                let mine: Vec<i64> = view[w]
+                    .keys()
+                    .copied()
+                    .filter(|k| (*k as usize) % WRITERS == w)
+                    .collect();
+                let k = if mine.is_empty() {
+                    rng.gen_range(0..nkeys)
+                } else {
+                    mine[rng.gen_range(0..mine.len())]
+                };
+                (format!("DELETE FROM kv WHERE k = {k}"), k, false)
+            }
+            3 | 4 => {
+                // INSERT a globally-fresh key
+                next_insert += 1;
+                let k = next_insert;
+                (
+                    format!("INSERT INTO kv VALUES ({k}, {})", rng.gen_range(0..1000)),
+                    k,
+                    true,
+                )
+            }
+            _ => {
+                // deliberate conflict probe: go after a key another
+                // open transaction has already claimed
+                let theirs: Vec<i64> = open_claim
+                    .iter()
+                    .filter(|(_, owner)| **owner != w)
+                    .map(|(k, _)| *k)
+                    .collect();
+                let k = if theirs.is_empty() {
+                    rng.gen_range(0..nkeys)
+                } else {
+                    theirs[rng.gen_range(0..theirs.len())]
+                };
+                (format!("UPDATE kv SET v = v + 1 WHERE k = {k}"), k, false)
+            }
+        };
+        // predicted outcome per the claim model
+        let visible = is_insert || view[w].contains_key(&key);
+        let expect_conflict = !is_insert
+            && visible
+            && (open_claim.get(&key).is_some_and(|o| *o != w)
+                || committed_at.get(&key).is_some_and(|c| *c > snap[w]));
+        let expect_rows = if is_insert || (visible && !expect_conflict) {
+            1
+        } else {
+            0
+        };
+
+        let armed = if with_faults && rng.gen_bool(0.4) {
+            let name = names[rng.gen_range(0usize..names.len())];
+            Some(if rng.gen_bool(0.3) {
+                Fail::panic(name)
+            } else {
+                Fail::error(name)
+            })
+        } else {
+            None
+        };
+        let outcome = s.execute_statement(&sql);
+        drop(armed);
+        match outcome {
+            Ok(r) => {
+                if expect_conflict && !with_faults {
+                    println!("seed {seed}: MISSED CONFLICT on k={key}\n{sql}");
+                    failures += 1;
+                }
+                match r {
+                    StatementResult::RowsAffected(n) if n == expect_rows => {}
+                    other => {
+                        if !with_faults || !expect_conflict {
+                            println!(
+                                "seed {seed}: expected {expect_rows} rows affected, got {other:?}\n{sql}"
+                            );
+                            failures += 1;
+                        }
+                    }
+                }
+                // apply to the model and buffer for twin replay
+                if is_insert {
+                    view[w].insert(key, 0);
+                } else if visible && !expect_conflict {
+                    if sql.starts_with("DELETE") {
+                        view[w].remove(&key);
+                    }
+                    if !claims[w].contains(&key) {
+                        claims[w].push(key);
+                        open_claim.insert(key, w);
+                    }
+                }
+                buffer[w].push(sql);
+            }
+            Err(e) => {
+                if !with_faults && !expect_conflict {
+                    println!("seed {seed}: UNEXPECTED WRITE ERROR {e}\n{sql}");
+                    failures += 1;
+                }
+                if expect_conflict && !with_faults && !matches!(e, Error::WriteConflict(_)) {
+                    println!("seed {seed}: expected WriteConflict, got {e}\n{sql}");
+                    failures += 1;
+                }
+                // any failed write statement aborts the whole txn
+                if s.in_transaction() {
+                    println!("seed {seed}: failed write left the transaction open\n{sql}");
+                    failures += 1;
+                    let _ = s.rollback();
+                }
+                abort(w, &mut claims, &mut open_claim, &mut open, &mut buffer);
+            }
+        }
+
+        // plain readers always see exactly the committed (twin) state
+        if rng.gen_bool(0.3) {
+            let got = canon(&db.query("SELECT k, v FROM kv").unwrap().rows);
+            if got != twin_rows(&mut twin) {
+                println!("seed {seed}: READER saw uncommitted or lost rows");
+                failures += 1;
+            }
+        }
+        // pin (or check) the snapshot reader
+        match &pinned_want {
+            None => {
+                if rng.gen_bool(0.2) {
+                    pinned.begin().unwrap();
+                    pinned_want = Some(twin_rows(&mut twin));
+                }
+            }
+            Some(want) => {
+                let got = canon(&pinned.query("SELECT k, v FROM kv").unwrap().rows);
+                if &got != want {
+                    println!("seed {seed}: PINNED READER snapshot drifted");
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    // close everything out and compare the final states
+    for (w, s) in sessions.iter().enumerate() {
+        if open[w] {
+            let _ = s.rollback();
+        }
+    }
+    let _ = pinned.rollback();
+    let got = canon(&db.query("SELECT k, v FROM kv").unwrap().rows);
+    if got != twin_rows(&mut twin) {
+        println!("seed {seed}: FINAL STATE diverged from serial twin");
+        failures += 1;
+    }
+    let stats = db.txn_stats();
+    if stats.begun != stats.committed + stats.rolled_back {
+        println!("seed {seed}: txn accounting leak: {stats:?}");
+        failures += 1;
+    }
+    failures
+}
+
 fn main() {
     let args = parse_args();
     let (rounds, base_seed, failpoint_mode, parallelism) = (
@@ -521,6 +851,18 @@ fn main() {
         args.parallelism,
     );
     let mut failures = 0;
+    if args.txn {
+        if failpoint_mode {
+            // injected panics are expected and caught at the statement
+            // boundary; keep them off stderr
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        for seed in base_seed..base_seed + rounds {
+            failures += txn_round(seed, parallelism, failpoint_mode);
+        }
+        println!("txn fuzz complete: {rounds} rounds, {failures} failures");
+        std::process::exit(if failures > 0 { 1 } else { 0 });
+    }
     if args.feedback {
         if failpoint_mode {
             // injected panics are expected and caught at the statement

@@ -3,6 +3,7 @@
 use crate::stats::TableStats;
 use cbqt_common::{DataType, Error, Result};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifies a table in the catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -56,7 +57,7 @@ pub struct Index {
 }
 
 /// Table metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Table {
     pub id: TableId,
     pub name: String,
@@ -64,7 +65,23 @@ pub struct Table {
     pub constraints: Vec<Constraint>,
     pub stats: TableStats,
     /// Per-table change counter (see [`Catalog::table_version`]).
-    pub version: u64,
+    /// Atomic so a committing transaction can bump it through a shared
+    /// `&Catalog` — version bumps must not require exclusive catalog
+    /// access, or readers would block on writers.
+    version: AtomicU64,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        Table {
+            id: self.id,
+            name: self.name.clone(),
+            columns: self.columns.clone(),
+            constraints: self.constraints.clone(),
+            stats: self.stats.clone(),
+            version: AtomicU64::new(self.version.load(Ordering::SeqCst)),
+        }
+    }
 }
 
 impl Table {
@@ -105,13 +122,26 @@ impl Table {
 }
 
 /// The system catalog.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Catalog {
     tables: Vec<Table>,
     by_name: HashMap<String, TableId>,
     indexes: Vec<Index>,
     /// Monotonic schema/statistics version (see [`Catalog::version`]).
-    version: u64,
+    /// Atomic for the same reason as [`Table::version`]: commit-time
+    /// bumps go through a shared `&Catalog`.
+    version: AtomicU64,
+}
+
+impl Clone for Catalog {
+    fn clone(&self) -> Catalog {
+        Catalog {
+            tables: self.tables.clone(),
+            by_name: self.by_name.clone(),
+            indexes: self.indexes.clone(),
+            version: AtomicU64::new(self.version.load(Ordering::SeqCst)),
+        }
+    }
 }
 
 impl Catalog {
@@ -125,14 +155,16 @@ impl Catalog {
     /// may rely on schema or statistics that no longer hold — the plan
     /// cache uses this counter as its invalidation guard.
     pub fn version(&self) -> u64 {
-        self.version
+        self.version.load(Ordering::SeqCst)
     }
 
     /// Records a schema- or data-visible change that plans may depend
     /// on (callers that mutate storage without touching the catalog —
-    /// DML — bump explicitly through this).
-    pub fn bump_version(&mut self) {
-        self.version += 1;
+    /// DML commit — bump explicitly through this). Takes `&self`: the
+    /// counters are atomic so a committing transaction can bump them
+    /// without exclusive catalog access.
+    pub fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::SeqCst);
     }
 
     /// The per-table change counter: bumped when *this table's* schema,
@@ -141,15 +173,18 @@ impl Catalog {
     /// cached plan so that a write to `t1` leaves plans on `t2` warm.
     /// Unknown ids report 0 (a dropped/foreign table can never validate).
     pub fn table_version(&self, id: TableId) -> u64 {
-        self.tables.get(id.0 as usize).map_or(0, |t| t.version)
+        self.tables
+            .get(id.0 as usize)
+            .map_or(0, |t| t.version.load(Ordering::SeqCst))
     }
 
     /// Bumps one table's change counter (and the global counter — the
     /// global version stays a superset signal for whole-catalog
-    /// observers). The path DML takes after mutating storage.
-    pub fn bump_table_version(&mut self, id: TableId) {
-        if let Some(t) = self.tables.get_mut(id.0 as usize) {
-            t.version += 1;
+    /// observers). The path a committing DML transaction takes after
+    /// publishing its versions.
+    pub fn bump_table_version(&self, id: TableId) {
+        if let Some(t) = self.tables.get(id.0 as usize) {
+            t.version.fetch_add(1, Ordering::SeqCst);
         }
         self.bump_version();
     }
@@ -175,7 +210,7 @@ impl Catalog {
             columns,
             constraints,
             stats: TableStats::default(),
-            version: 0,
+            version: AtomicU64::new(0),
         });
         self.by_name.insert(key, id);
         self.bump_version();
@@ -249,12 +284,12 @@ impl Catalog {
     /// so it conservatively counts as a version bump (global and for
     /// the accessed table).
     pub fn table_mut(&mut self, id: TableId) -> Result<&mut Table> {
-        self.version += 1;
+        self.version.fetch_add(1, Ordering::SeqCst);
         let t = self
             .tables
             .get_mut(id.0 as usize)
             .ok_or_else(|| Error::catalog(format!("unknown table id {}", id.0)))?;
-        t.version += 1;
+        t.version.fetch_add(1, Ordering::SeqCst);
         Ok(t)
     }
 

@@ -37,6 +37,12 @@ pub enum Error {
     /// contained at the `Database` boundary. The database and its plan
     /// cache remain usable; the statement that hit the fault is lost.
     Internal(String),
+    /// First-updater-wins write-write conflict under snapshot
+    /// isolation: the statement tried to update or delete a row version
+    /// that a concurrent transaction already superseded. The losing
+    /// transaction is rolled back; retrying on a fresh snapshot is the
+    /// standard remedy.
+    WriteConflict(String),
 }
 
 impl Error {
@@ -67,6 +73,9 @@ impl Error {
     pub fn internal(msg: impl Into<String>) -> Error {
         Error::Internal(msg.into())
     }
+    pub fn write_conflict(msg: impl Into<String>) -> Error {
+        Error::WriteConflict(msg.into())
+    }
 }
 
 impl fmt::Display for Error {
@@ -82,6 +91,7 @@ impl fmt::Display for Error {
             Error::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             Error::Cancelled => write!(f, "statement cancelled"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::WriteConflict(m) => write!(f, "write conflict: {m}"),
         }
     }
 }
@@ -123,5 +133,13 @@ mod tests {
         assert!(matches!(Error::catalog("x"), Error::Catalog(_)));
         assert!(matches!(Error::transform("x"), Error::Transform(_)));
         assert!(matches!(Error::plan("x"), Error::Plan(_)));
+        assert!(matches!(
+            Error::write_conflict("x"),
+            Error::WriteConflict(_)
+        ));
+        assert_eq!(
+            Error::write_conflict("row 3 of emp").to_string(),
+            "write conflict: row 3 of emp"
+        );
     }
 }

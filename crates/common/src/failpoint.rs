@@ -41,6 +41,16 @@ pub const EXEC_AGG: &str = "exec.agg";
 pub const EXEC_SETOP: &str = "exec.setop";
 /// Optimizer: per-block physical planning.
 pub const OPTIMIZER_PLAN: &str = "optimizer.plan_block";
+/// Storage: appending an uncommitted row version (first write path of a
+/// transaction; fires before any mutation so an injected fault leaves
+/// the heap untouched).
+pub const STORAGE_WRITE_VERSION: &str = "storage.write.version";
+/// Storage: commit publish — the atomic restamp that makes a
+/// transaction's versions visible and advances the watermark. Fires
+/// before publish, so a fault here aborts the transaction whole.
+pub const STORAGE_COMMIT_PUBLISH: &str = "storage.commit.publish";
+/// Transaction: first-updater-wins conflict check on UPDATE/DELETE.
+pub const TXN_CONFLICT_CHECK: &str = "txn.conflict.check";
 
 /// Every failpoint compiled into the engine.
 pub const ALL: &[&str] = &[
@@ -51,6 +61,9 @@ pub const ALL: &[&str] = &[
     EXEC_AGG,
     EXEC_SETOP,
     OPTIMIZER_PLAN,
+    STORAGE_WRITE_VERSION,
+    STORAGE_COMMIT_PUBLISH,
+    TXN_CONFLICT_CHECK,
 ];
 
 /// What an armed failpoint does when its site is reached.

@@ -113,6 +113,27 @@ pub enum TraceEvent {
         observed: f64,
         estimate: f64,
     },
+    /// A transaction opened; `snapshot` is the commit watermark it reads
+    /// as of.
+    TxnBegin { txn: u64, snapshot: u64 },
+    /// A transaction committed, publishing `versions` row versions at
+    /// the new commit watermark.
+    TxnCommit {
+        txn: u64,
+        watermark: u64,
+        versions: usize,
+    },
+    /// A transaction rolled back (explicitly, or aborted by an error /
+    /// contained panic / injected fault), discarding `versions` row
+    /// versions.
+    TxnRollback { txn: u64, versions: usize },
+    /// First-updater-wins write-write conflict: `txn` lost to `winner`
+    /// on a row of `table`.
+    TxnConflict {
+        txn: u64,
+        winner: u64,
+        table: String,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -202,6 +223,23 @@ impl fmt::Display for TraceEvent {
                 f,
                 "FEEDBACK APPLIED {table}[{pred}]: est_rows={estimate:.1} -> observed={observed:.1}"
             ),
+            TraceEvent::TxnBegin { txn, snapshot } => {
+                write!(f, "TXN BEGIN txn={txn} snapshot=w{snapshot}")
+            }
+            TraceEvent::TxnCommit {
+                txn,
+                watermark,
+                versions,
+            } => write!(
+                f,
+                "TXN COMMIT txn={txn} watermark=w{watermark} versions={versions}"
+            ),
+            TraceEvent::TxnRollback { txn, versions } => {
+                write!(f, "TXN ROLLBACK txn={txn} versions={versions}")
+            }
+            TraceEvent::TxnConflict { txn, winner, table } => {
+                write!(f, "TXN CONFLICT txn={txn} lost to txn={winner} on {table}")
+            }
         }
     }
 }

@@ -33,7 +33,8 @@
 //! ```
 
 use cbqt_catalog::{
-    selectivity_band, Catalog, Column, Constraint, FeedbackKey, FeedbackStore, ForeignKey, TableId,
+    selectivity_band, Catalog, Column, Constraint, FeedbackKey, FeedbackStore, ForeignKey, Table,
+    TableId,
 };
 use cbqt_common::{
     divergence_ratio, CancelToken, Error, ExecutionLimits, ExecutionMode, Governor, Result, Row,
@@ -56,7 +57,7 @@ use cbqt_transform::{optimize_query_feedback, CbqtConfig, CbqtOutcome};
 use plan_cache::{BucketSig, CachedPlan, Lookup};
 use std::borrow::Cow;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 pub mod plan_cache;
@@ -73,6 +74,7 @@ pub use cbqt_transform as transform;
 pub use cbqt_common::DataType;
 pub use cbqt_common::{CancelToken as StatementCancelToken, ExecutionLimits as StatementLimits};
 pub use cbqt_common::{TraceEvent as OptimizerEvent, TraceSink};
+pub use cbqt_storage::TxnStats;
 pub use cbqt_transform::{CbqtConfig as OptimizerSettings, SearchStrategy, TransformSet};
 pub use plan_cache::{normalize_sql, BucketSig as PlanBucketSig, PlanCache, PlanCacheStats};
 
@@ -140,6 +142,8 @@ pub enum StatementResult {
     Ddl,
     /// ANALYZE recomputed optimizer statistics.
     Analyzed,
+    /// BEGIN / COMMIT / ROLLBACK transaction control completed.
+    Txn,
 }
 
 impl StatementResult {
@@ -255,6 +259,11 @@ pub struct Database {
     bind_sharing_enabled: bool,
     feedback: FeedbackStore,
     cancel: CancelToken,
+    /// The open explicit transaction of the `&mut self` statement entry
+    /// points (`execute_script` / `execute_mut`), if any. Each
+    /// [`Session`] carries its own slot; the storage layer itself
+    /// supports any number of concurrent transactions.
+    txn: Mutex<Option<u64>>,
 }
 
 impl Default for Database {
@@ -275,6 +284,7 @@ impl Database {
             bind_sharing_enabled: true,
             feedback: FeedbackStore::default(),
             cancel: CancelToken::new(),
+            txn: Mutex::new(None),
         }
     }
 
@@ -300,6 +310,7 @@ impl Database {
         Session {
             db: self,
             cancel: self.cancel.child(),
+            txn: Mutex::new(None),
         }
     }
 
@@ -415,10 +426,14 @@ impl Database {
                     None,
                     Tracer::disabled(),
                     governor,
+                    self.open_txn(),
                 )?)),
-                Statement::Explain { query, analyze } => {
-                    Ok(Some(self.explain_result(&query, analyze, governor)?))
-                }
+                Statement::Explain { query, analyze } => Ok(Some(self.explain_result(
+                    &query,
+                    analyze,
+                    governor,
+                    self.open_txn(),
+                )?)),
                 other => Err(Error::unsupported(format!(
                     "{} mutates the database; use execute_mut",
                     statement_kind(&other)
@@ -448,7 +463,7 @@ impl Database {
     /// without `?` placeholders accepts only an empty `binds` slice
     /// (its literals are extracted into binds automatically).
     pub fn query_bound(&self, sql: &str, binds: &[Value]) -> Result<QueryResult> {
-        self.query_bound_governed(sql, binds, &self.statement_governor())
+        self.query_bound_governed(sql, binds, &self.statement_governor(), self.open_txn())
     }
 
     fn query_bound_governed(
@@ -456,6 +471,7 @@ impl Database {
         sql: &str,
         binds: &[Value],
         governor: &Governor,
+        txn: Option<u64>,
     ) -> Result<QueryResult> {
         catch_internal(|| {
             let q = match parse_statement(sql)? {
@@ -467,7 +483,7 @@ impl Database {
                     )))
                 }
             };
-            self.run_query_cached(sql, &q, Some(binds), Tracer::disabled(), governor)
+            self.run_query_cached(sql, &q, Some(binds), Tracer::disabled(), governor, txn)
         })
     }
 
@@ -523,10 +539,19 @@ impl Database {
     /// and cancellation hard-fail with `Error::ResourceExhausted` /
     /// `Error::Cancelled`.
     pub fn query_with_limits(&self, sql: &str, limits: ExecutionLimits) -> Result<QueryResult> {
-        self.query_with_limits_governed(sql, Governor::new(&limits, self.cancel.clone()))
+        self.query_with_limits_governed(
+            sql,
+            Governor::new(&limits, self.cancel.clone()),
+            self.open_txn(),
+        )
     }
 
-    fn query_with_limits_governed(&self, sql: &str, governor: Governor) -> Result<QueryResult> {
+    fn query_with_limits_governed(
+        &self,
+        sql: &str,
+        governor: Governor,
+        txn: Option<u64>,
+    ) -> Result<QueryResult> {
         catch_internal(|| {
             let q = match parse_statement(sql)? {
                 Statement::Query(q) => q,
@@ -537,7 +562,7 @@ impl Database {
                     )))
                 }
             };
-            self.run_query_cached(sql, &q, None, Tracer::disabled(), &governor)
+            self.run_query_cached(sql, &q, None, Tracer::disabled(), &governor, txn)
         })
     }
 
@@ -660,7 +685,7 @@ impl Database {
     /// EXPLAIN: the transformed query text, transformation decisions,
     /// and the physical plan — without executing.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        self.explain_sql(sql, false, &self.statement_governor())
+        self.explain_sql(sql, false, &self.statement_governor(), self.open_txn())
     }
 
     /// EXPLAIN ANALYZE: like [`explain`](Database::explain), but also
@@ -668,24 +693,33 @@ impl Database {
     /// counts, execution counts, work units and wall time with the
     /// optimizer's estimates.
     pub fn explain_analyze(&self, sql: &str) -> Result<String> {
-        self.explain_sql(sql, true, &self.statement_governor())
+        self.explain_sql(sql, true, &self.statement_governor(), self.open_txn())
     }
 
     /// Optimizes *and executes* `sql` with the structured optimizer
     /// trace enabled, returning every event the transformation framework
     /// and physical optimizer emitted plus the run's [`QueryStats`].
     pub fn trace(&self, sql: &str) -> Result<TraceReport> {
-        self.trace_governed(sql, &self.statement_governor())
+        self.trace_governed(sql, &self.statement_governor(), self.open_txn())
     }
 
     /// Like [`trace`](Database::trace), but governed by explicit
     /// [resource limits](StatementLimits) — a degraded search leaves a
     /// `SearchDegraded` event in the trace.
     pub fn trace_with_limits(&self, sql: &str, limits: ExecutionLimits) -> Result<TraceReport> {
-        self.trace_governed(sql, &Governor::new(&limits, self.cancel.clone()))
+        self.trace_governed(
+            sql,
+            &Governor::new(&limits, self.cancel.clone()),
+            self.open_txn(),
+        )
     }
 
-    fn trace_governed(&self, sql: &str, governor: &Governor) -> Result<TraceReport> {
+    fn trace_governed(
+        &self,
+        sql: &str,
+        governor: &Governor,
+        txn: Option<u64>,
+    ) -> Result<TraceReport> {
         catch_internal(|| {
             let stmt = parse_statement(sql)?;
             let query = match stmt {
@@ -694,7 +728,7 @@ impl Database {
             };
             let buffer = TraceBuffer::new();
             let result =
-                self.run_query_cached(sql, &query, None, Tracer::new(&buffer), governor)?;
+                self.run_query_cached(sql, &query, None, Tracer::new(&buffer), governor, txn)?;
             Ok(TraceReport {
                 events: buffer.take(),
                 stats: result.stats,
@@ -709,7 +743,13 @@ impl Database {
         Governor::new(&ExecutionLimits::none(), self.cancel.clone())
     }
 
-    fn explain_sql(&self, sql: &str, analyze: bool, governor: &Governor) -> Result<String> {
+    fn explain_sql(
+        &self,
+        sql: &str,
+        analyze: bool,
+        governor: &Governor,
+        txn: Option<u64>,
+    ) -> Result<String> {
         catch_internal(|| {
             let stmt = parse_statement(sql)?;
             let (query, analyze) = match stmt {
@@ -717,7 +757,7 @@ impl Database {
                 Statement::Explain { query, analyze: a } => (query, analyze || a),
                 _ => return Err(Error::analysis("EXPLAIN requires a query")),
             };
-            self.explain_query(&query, analyze, governor)
+            self.explain_query(&query, analyze, governor, txn)
         })
     }
 
@@ -729,6 +769,7 @@ impl Database {
         query: &ast::Query,
         analyze: bool,
         governor: &Governor,
+        txn: Option<u64>,
     ) -> Result<String> {
         let outcome =
             self.plan_uncached(query, Tracer::disabled(), governor, StatementPath::Explain)?;
@@ -744,7 +785,7 @@ impl Database {
         }
         out.push_str(&format!("heuristics: {}\n", outcome.heuristics.summary()));
         if analyze {
-            let mut engine = Engine::new(&self.catalog, &self.storage);
+            let mut engine = self.engine_for(txn)?;
             engine.set_mode(self.config.execution_mode);
             engine.enable_metrics();
             let t0 = Instant::now();
@@ -777,8 +818,9 @@ impl Database {
         query: &ast::Query,
         analyze: bool,
         governor: &Governor,
+        txn: Option<u64>,
     ) -> Result<QueryResult> {
-        let text = self.explain_query(query, analyze, governor)?;
+        let text = self.explain_query(query, analyze, governor, txn)?;
         Ok(QueryResult {
             columns: vec!["PLAN".to_string()],
             rows: text.lines().map(|l| vec![Value::str(l)]).collect(),
@@ -808,40 +850,217 @@ impl Database {
                 )));
             }
         }
-        self.storage.insert_many(tid, rows)?;
-        // DML mutates storage without touching the catalog; bump the
-        // loaded table's version explicitly so cached plans over it
-        // (whose dynamic-sampling row counts may now be stale) are
-        // invalidated — plans over other tables stay warm
-        self.catalog.bump_table_version(tid);
-        Ok(())
+        self.with_write_txn(&self.txn, Tracer::disabled(), |txn| {
+            for row in rows {
+                self.storage.write_version(txn, tid, row)?;
+            }
+            Ok(())
+        })
     }
 
     fn run_statement(&mut self, stmt: Statement, sql: &str) -> Result<StatementResult> {
+        match stmt {
+            Statement::Analyze => {
+                self.reject_in_txn("ANALYZE")?;
+                self.analyze()?;
+                Ok(StatementResult::Analyzed)
+            }
+            Statement::CreateTable(ct) => {
+                self.reject_in_txn("CREATE TABLE")?;
+                self.create_table(ct)?;
+                Ok(StatementResult::Ddl)
+            }
+            Statement::CreateIndex(ci) => {
+                self.reject_in_txn("CREATE INDEX")?;
+                self.create_index(ci)?;
+                Ok(StatementResult::Ddl)
+            }
+            other => {
+                let governor = self.statement_governor();
+                self.run_statement_shared(other, sql, &self.txn, Tracer::disabled(), &governor)
+            }
+        }
+    }
+
+    /// DDL and ANALYZE rewrite shared catalog state that open snapshots
+    /// may be reading through; they only run between transactions.
+    fn reject_in_txn(&self, what: &str) -> Result<()> {
+        if self.open_txn().is_some() {
+            return Err(Error::unsupported(format!(
+                "{what} cannot run inside an open transaction; COMMIT or ROLLBACK first"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Statement dispatch shared by the `&mut self` entry points (which
+    /// pass the database's own transaction slot) and [`Session`]s (which
+    /// pass theirs): queries, DML, and transaction control. DDL and
+    /// ANALYZE need `&mut self` and are rejected here.
+    fn run_statement_shared(
+        &self,
+        stmt: Statement,
+        sql: &str,
+        slot: &Mutex<Option<u64>>,
+        tracer: Tracer<'_>,
+        governor: &Governor,
+    ) -> Result<StatementResult> {
         match stmt {
             Statement::Query(q) => Ok(StatementResult::Rows(self.run_query_cached(
                 sql,
                 &q,
                 None,
-                Tracer::disabled(),
-                &self.statement_governor(),
+                tracer,
+                governor,
+                slot_txn(slot),
             )?)),
             Statement::Explain { query, analyze } => Ok(StatementResult::Rows(
-                self.explain_result(&query, analyze, &self.statement_governor())?,
+                self.explain_result(&query, analyze, governor, slot_txn(slot))?,
             )),
-            Statement::Analyze => {
-                self.analyze()?;
-                Ok(StatementResult::Analyzed)
+            Statement::Insert(ins) => Ok(StatementResult::RowsAffected(
+                self.insert_shared(ins, slot, tracer)?,
+            )),
+            Statement::Update(u) => Ok(StatementResult::RowsAffected(
+                self.update_shared(u, slot, tracer)?,
+            )),
+            Statement::Delete(d) => Ok(StatementResult::RowsAffected(
+                self.delete_shared(d, slot, tracer)?,
+            )),
+            Statement::Begin => {
+                self.begin_in(slot, tracer)?;
+                Ok(StatementResult::Txn)
             }
-            Statement::CreateTable(ct) => {
-                self.create_table(ct)?;
-                Ok(StatementResult::Ddl)
+            Statement::Commit => {
+                self.commit_in(slot, tracer)?;
+                Ok(StatementResult::Txn)
             }
-            Statement::CreateIndex(ci) => {
-                self.create_index(ci)?;
-                Ok(StatementResult::Ddl)
+            Statement::Rollback => {
+                self.rollback_in(slot, tracer)?;
+                Ok(StatementResult::Txn)
             }
-            Statement::Insert(ins) => Ok(StatementResult::RowsAffected(self.insert(ins)?)),
+            other
+            @ (Statement::CreateTable(_) | Statement::CreateIndex(_) | Statement::Analyze) => {
+                Err(Error::unsupported(format!(
+                    "{} requires exclusive database access; use execute_mut",
+                    statement_kind(&other)
+                )))
+            }
+        }
+    }
+
+    /// The open explicit transaction of the `&mut self` entry points.
+    fn open_txn(&self) -> Option<u64> {
+        slot_txn(&self.txn)
+    }
+
+    /// Lifetime transaction counters (begun / committed / rolled back /
+    /// write-write conflicts) of the underlying storage. Auto-committed
+    /// statements count: every write statement outside an explicit
+    /// transaction is its own transaction.
+    pub fn txn_stats(&self) -> TxnStats {
+        self.storage.txn_stats()
+    }
+
+    fn begin_in(&self, slot: &Mutex<Option<u64>>, tracer: Tracer<'_>) -> Result<()> {
+        let mut s = lock_slot(slot);
+        if s.is_some() {
+            return Err(Error::analysis(
+                "a transaction is already open; COMMIT or ROLLBACK it first",
+            ));
+        }
+        let (txn, snapshot) = self.storage.begin();
+        *s = Some(txn);
+        drop(s);
+        tracer.emit(|| TraceEvent::TxnBegin { txn, snapshot });
+        Ok(())
+    }
+
+    /// COMMIT of the slot's open transaction (no-op without one). A
+    /// fault or contained panic on the publish path aborts the whole
+    /// transaction — commit is atomic: either every version becomes
+    /// visible at the new watermark, or none does.
+    fn commit_in(&self, slot: &Mutex<Option<u64>>, tracer: Tracer<'_>) -> Result<()> {
+        let Some(txn) = lock_slot(slot).take() else {
+            return Ok(());
+        };
+        self.commit_txn(txn, tracer)
+    }
+
+    fn commit_txn(&self, txn: u64, tracer: Tracer<'_>) -> Result<()> {
+        match catch_internal(AssertUnwindSafe(|| self.storage.commit(txn))) {
+            Ok(info) => {
+                // versions bump at commit, and only at commit: cached
+                // plans over the written tables go stale the moment the
+                // writes become visible, never before
+                for t in &info.tables {
+                    self.catalog.bump_table_version(*t);
+                }
+                tracer.emit(|| TraceEvent::TxnCommit {
+                    txn,
+                    watermark: info.watermark,
+                    versions: info.versions,
+                });
+                Ok(())
+            }
+            Err(e) => {
+                let versions = self.storage.rollback(txn);
+                tracer.emit(|| TraceEvent::TxnRollback { txn, versions });
+                Err(e)
+            }
+        }
+    }
+
+    /// ROLLBACK of the slot's open transaction (no-op without one);
+    /// infallible — abort paths must never fail.
+    fn rollback_in(&self, slot: &Mutex<Option<u64>>, tracer: Tracer<'_>) -> Result<()> {
+        let Some(txn) = lock_slot(slot).take() else {
+            return Ok(());
+        };
+        let versions = self.storage.rollback(txn);
+        tracer.emit(|| TraceEvent::TxnRollback { txn, versions });
+        Ok(())
+    }
+
+    /// Runs `f` with write access under the slot's open transaction, or
+    /// — outside an explicit transaction — under a fresh auto-commit
+    /// transaction that commits on success. Any error or contained
+    /// panic in `f` (or on the commit publish path) rolls the whole
+    /// transaction back, restoring exactly the pre-transaction state;
+    /// for an explicit transaction that aborts the open transaction,
+    /// matching the first-updater-wins contract (the losing side of a
+    /// write conflict must release its claims immediately, not at some
+    /// later COMMIT).
+    fn with_write_txn<T>(
+        &self,
+        slot: &Mutex<Option<u64>>,
+        tracer: Tracer<'_>,
+        f: impl FnOnce(u64) -> Result<T>,
+    ) -> Result<T> {
+        let open = slot_txn(slot);
+        if let Some(txn) = open {
+            match catch_internal(AssertUnwindSafe(|| f(txn))) {
+                Ok(v) => Ok(v),
+                Err(e) => {
+                    lock_slot(slot).take();
+                    let versions = self.storage.rollback(txn);
+                    tracer.emit(|| TraceEvent::TxnRollback { txn, versions });
+                    Err(e)
+                }
+            }
+        } else {
+            let (txn, snapshot) = self.storage.begin();
+            tracer.emit(|| TraceEvent::TxnBegin { txn, snapshot });
+            match catch_internal(AssertUnwindSafe(|| f(txn))) {
+                Ok(v) => {
+                    self.commit_txn(txn, tracer)?;
+                    Ok(v)
+                }
+                Err(e) => {
+                    let versions = self.storage.rollback(txn);
+                    tracer.emit(|| TraceEvent::TxnRollback { txn, versions });
+                    Err(e)
+                }
+            }
         }
     }
 
@@ -960,6 +1179,7 @@ impl Database {
         binds: Option<&[Value]>,
         tracer: Tracer<'_>,
         governor: &Governor,
+        txn: Option<u64>,
     ) -> Result<QueryResult> {
         let n = count_params(q);
         let (fam, values): (Cow<'_, ast::Query>, Vec<Value>) = match binds {
@@ -1009,7 +1229,7 @@ impl Database {
                 None
             };
         let Some(key) = key else {
-            return self.run_query_pipeline(&fam, &values, tracer, None, false, governor);
+            return self.run_query_pipeline(&fam, &values, tracer, None, false, governor, txn);
         };
 
         let version = self.catalog.version();
@@ -1034,9 +1254,12 @@ impl Database {
                     key: key.clone(),
                     version: cached.version,
                 });
-                let feedback_on = self.config.feedback.enabled;
+                // in-transaction reads never harvest feedback: observed
+                // cardinalities over uncommitted data must not steer
+                // recompiles of statements reading committed state
+                let feedback_on = self.config.feedback.enabled && txn.is_none();
                 let t1 = Instant::now();
-                let mut engine = Engine::new(&self.catalog, &self.storage);
+                let mut engine = self.engine_for(txn)?;
                 engine.set_mode(self.config.execution_mode);
                 engine.set_governor(governor.clone());
                 engine.set_params(values.clone());
@@ -1093,6 +1316,7 @@ impl Database {
                     Some((key, version)),
                     true,
                     governor,
+                    txn,
                 )?;
                 r.stats.reoptimized = true;
                 Ok(r)
@@ -1110,6 +1334,7 @@ impl Database {
                     Some((key, version)),
                     false,
                     governor,
+                    txn,
                 )
             }
             Lookup::BindMismatch { sig, variants } => {
@@ -1124,6 +1349,7 @@ impl Database {
                     Some((key.clone(), version)),
                     false,
                     governor,
+                    txn,
                 )?;
                 r.stats.bind_mismatch = true;
                 // degraded plans are not published, so no sibling joined
@@ -1145,6 +1371,7 @@ impl Database {
                     Some((key, version)),
                     false,
                     governor,
+                    txn,
                 )
             }
         }
@@ -1194,6 +1421,7 @@ impl Database {
     /// still diverges (or degrades) pins its cache variant via
     /// `block_reopt`, so suspect marks can never loop one query through
     /// the optimizer repeatedly.
+    #[allow(clippy::too_many_arguments)]
     fn run_query_pipeline(
         &self,
         q: &ast::Query,
@@ -1202,6 +1430,7 @@ impl Database {
         cache_as: Option<(String, u64)>,
         reopt: bool,
         governor: &Governor,
+        txn: Option<u64>,
     ) -> Result<QueryResult> {
         let tree = build_query_tree_with_binds(&self.catalog, q, binds)?;
         let columns = tree.block(tree.root)?.output_names(&tree);
@@ -1231,9 +1460,9 @@ impl Database {
         } = outcome;
         let plan = Arc::new(plan);
 
-        let feedback_on = self.config.feedback.enabled;
+        let feedback_on = self.config.feedback.enabled && txn.is_none();
         let t1 = Instant::now();
-        let mut engine = Engine::new(&self.catalog, &self.storage);
+        let mut engine = self.engine_for(txn)?;
         engine.set_mode(self.config.execution_mode);
         engine.set_governor(governor.clone());
         engine.set_params(binds.to_vec());
@@ -1432,7 +1661,22 @@ impl Database {
         Ok(())
     }
 
-    fn insert(&mut self, ins: ast::Insert) -> Result<u64> {
+    /// A fresh per-query engine reading as of the latest committed
+    /// snapshot, or — inside a transaction — as of the transaction's
+    /// begin watermark plus its own uncommitted writes.
+    fn engine_for(&self, txn: Option<u64>) -> Result<Engine<'_>> {
+        Ok(match txn {
+            Some(t) => Engine::with_snapshot(&self.catalog, self.storage.txn_snapshot(t)?),
+            None => Engine::new(&self.catalog, &self.storage),
+        })
+    }
+
+    fn insert_shared(
+        &self,
+        ins: ast::Insert,
+        slot: &Mutex<Option<u64>>,
+        tracer: Tracer<'_>,
+    ) -> Result<u64> {
         let t = self
             .catalog
             .table_by_name(&ins.table)
@@ -1461,10 +1705,109 @@ impl Database {
             rows.push(row);
         }
         let n = rows.len() as u64;
-        self.storage.insert_many(tid, rows)?;
-        // per-table invalidation: only plans reading this table go stale
-        self.catalog.bump_table_version(tid);
+        self.with_write_txn(slot, tracer, |txn| {
+            for row in rows {
+                self.storage.write_version(txn, tid, row)?;
+            }
+            Ok(())
+        })?;
         Ok(n)
+    }
+
+    fn update_shared(
+        &self,
+        u: ast::Update,
+        slot: &Mutex<Option<u64>>,
+        tracer: Tracer<'_>,
+    ) -> Result<u64> {
+        let t = self
+            .catalog
+            .table_by_name(&u.table)
+            .ok_or_else(|| Error::catalog(format!("unknown table {}", u.table)))?;
+        let tid = t.id;
+        let sets: Vec<(usize, &ast::Expr)> = u
+            .sets
+            .iter()
+            .map(|(c, e)| {
+                t.column_index(c)
+                    .map(|i| (i, e))
+                    .ok_or_else(|| Error::catalog(format!("unknown column {c}")))
+            })
+            .collect::<Result<_>>()?;
+        self.with_write_txn(slot, tracer, |txn| {
+            // pin the statement's snapshot before writing: the update
+            // reads pre-statement state only, so freshly written
+            // versions are never rescanned (no Halloween problem)
+            let snap = self.storage.txn_snapshot(txn)?;
+            let st = snap.table(tid)?;
+            let mut n = 0u64;
+            for o in st.visible_ordinals() {
+                let row = st.row(o);
+                if let Some(f) = &u.filter {
+                    if eval_row_truth(f, t, row)? != Some(true) {
+                        continue;
+                    }
+                }
+                let mut new_row = row.clone();
+                for (i, e) in &sets {
+                    new_row[*i] = eval_row_expr(e, t, row)?;
+                }
+                if let Some(winner) = self.storage.try_delete_version(txn, tid, o)? {
+                    tracer.emit(|| TraceEvent::TxnConflict {
+                        txn,
+                        winner,
+                        table: t.name.clone(),
+                    });
+                    return Err(Error::write_conflict(format!(
+                        "transaction {txn} lost a first-updater race to transaction \
+                         {winner} on table {}; retry on a fresh snapshot",
+                        u.table
+                    )));
+                }
+                self.storage.write_version(txn, tid, new_row)?;
+                n += 1;
+            }
+            Ok(n)
+        })
+    }
+
+    fn delete_shared(
+        &self,
+        d: ast::Delete,
+        slot: &Mutex<Option<u64>>,
+        tracer: Tracer<'_>,
+    ) -> Result<u64> {
+        let t = self
+            .catalog
+            .table_by_name(&d.table)
+            .ok_or_else(|| Error::catalog(format!("unknown table {}", d.table)))?;
+        let tid = t.id;
+        self.with_write_txn(slot, tracer, |txn| {
+            let snap = self.storage.txn_snapshot(txn)?;
+            let st = snap.table(tid)?;
+            let mut n = 0u64;
+            for o in st.visible_ordinals() {
+                if let Some(f) = &d.filter {
+                    if eval_row_truth(f, t, st.row(o))? != Some(true) {
+                        continue;
+                    }
+                }
+                if let Some(winner) = self.storage.try_delete_version(txn, tid, o)? {
+                    tracer.emit(|| TraceEvent::TxnConflict {
+                        txn,
+                        winner,
+                        table: t.name.clone(),
+                    });
+                    return Err(Error::write_conflict(format!(
+                        "transaction {txn} lost a first-updater race to transaction \
+                         {winner} on table {}; retry on a fresh snapshot",
+                        d.table
+                    )));
+                }
+                n += 1;
+            }
+            Ok(n)
+        })
     }
 }
 
@@ -1525,6 +1868,7 @@ impl Prepared<'_> {
                 Some(binds),
                 Tracer::disabled(),
                 &governor,
+                self.db.open_txn(),
             )
         })
     }
@@ -1537,21 +1881,53 @@ impl Prepared<'_> {
     }
 }
 
-/// A read-only session over a shared [`Database`] with its own
-/// cancellation scope (see [`Database::session`]).
+/// A session over a shared [`Database`] with its own cancellation
+/// scope and its own transaction slot (see [`Database::session`]).
 ///
 /// Every statement issued through the session runs under a governor
 /// built over the session's [cancel token](Session::cancel_token) — a
 /// child of the database-wide token. Cancelling the session token stops
 /// this session's statements only; cancelling the database token stops
 /// every session. The session borrows the database immutably, so any
-/// number of sessions can serve queries concurrently.
+/// number of sessions can run concurrently — including writers: DML
+/// goes through the MVCC storage layer under snapshot isolation, so
+/// readers never block on a session's open transaction and vice versa.
+/// Between [`begin`](Session::begin) and [`commit`](Session::commit)
+/// the session's statements read as of the transaction's begin
+/// watermark plus its own uncommitted writes; outside an explicit
+/// transaction every write statement auto-commits. DDL and ANALYZE
+/// still require exclusive access ([`Database::execute_mut`]).
 pub struct Session<'a> {
     db: &'a Database,
     cancel: CancelToken,
+    txn: Mutex<Option<u64>>,
 }
 
 impl Session<'_> {
+    /// Opens an explicit transaction. Errors if one is already open.
+    pub fn begin(&self) -> Result<()> {
+        self.db.begin_in(&self.txn, Tracer::disabled())
+    }
+
+    /// Commits the open transaction, atomically publishing its writes
+    /// at a new commit watermark (and invalidating cached plans over
+    /// the written tables). Without an open transaction this is a
+    /// no-op. A fault on the publish path aborts the transaction whole
+    /// and surfaces the error — never a partial commit.
+    pub fn commit(&self) -> Result<()> {
+        self.db.commit_in(&self.txn, Tracer::disabled())
+    }
+
+    /// Rolls back the open transaction, restoring exactly the
+    /// pre-transaction state. Without an open transaction: a no-op.
+    pub fn rollback(&self) -> Result<()> {
+        self.db.rollback_in(&self.txn, Tracer::disabled())
+    }
+
+    /// True while an explicit transaction is open in this session.
+    pub fn in_transaction(&self) -> bool {
+        slot_txn(&self.txn).is_some()
+    }
     /// This session's cancellation token. Sticky like the database-wide
     /// token, but scoped: [`reset`](StatementCancelToken::reset) on it
     /// only unfences this session.
@@ -1563,9 +1939,47 @@ impl Session<'_> {
         Governor::new(&ExecutionLimits::none(), self.cancel.clone())
     }
 
-    /// [`Database::execute`] under this session's cancellation scope.
+    /// Executes one statement — query, DML, or transaction control —
+    /// under this session's cancellation scope and transaction slot.
+    /// Like [`Database::execute`], returns rows only for queries; DDL
+    /// and ANALYZE are rejected (they need
+    /// [`Database::execute_mut`]).
     pub fn execute(&self, sql: &str) -> Result<Option<QueryResult>> {
-        self.db.execute_governed(sql, &self.governor())
+        self.execute_statement(sql).map(StatementResult::into_rows)
+    }
+
+    /// [`execute`](Session::execute) with the full
+    /// [`StatementResult`] (row counts for DML, markers for
+    /// transaction control).
+    pub fn execute_statement(&self, sql: &str) -> Result<StatementResult> {
+        catch_internal(AssertUnwindSafe(|| {
+            let stmt = parse_statement(sql)?;
+            self.db
+                .run_statement_shared(stmt, sql, &self.txn, Tracer::disabled(), &self.governor())
+        }))
+    }
+
+    /// [`execute_statement`](Session::execute_statement) with the
+    /// optimizer/transaction trace enabled: the returned report carries
+    /// every event the statement emitted — including `TXN
+    /// BEGIN/COMMIT/ROLLBACK/CONFLICT` lifecycle events for DML and
+    /// transaction control.
+    pub fn trace_statement(&self, sql: &str) -> Result<TraceReport> {
+        catch_internal(AssertUnwindSafe(|| {
+            let buffer = TraceBuffer::new();
+            let stmt = parse_statement(sql)?;
+            let r = self.db.run_statement_shared(
+                stmt,
+                sql,
+                &self.txn,
+                Tracer::new(&buffer),
+                &self.governor(),
+            )?;
+            Ok(TraceReport {
+                events: buffer.take(),
+                stats: r.rows().map(|q| q.stats.clone()).unwrap_or_default(),
+            })
+        }))
     }
 
     /// [`Database::query`] under this session's cancellation scope.
@@ -1577,14 +1991,18 @@ impl Session<'_> {
     /// [`Database::query_with_limits`] with the limits' governor built
     /// over this session's token.
     pub fn query_with_limits(&self, sql: &str, limits: ExecutionLimits) -> Result<QueryResult> {
-        self.db
-            .query_with_limits_governed(sql, Governor::new(&limits, self.cancel.clone()))
+        self.db.query_with_limits_governed(
+            sql,
+            Governor::new(&limits, self.cancel.clone()),
+            slot_txn(&self.txn),
+        )
     }
 
     /// [`Database::query_bound`] under this session's cancellation
     /// scope.
     pub fn query_bound(&self, sql: &str, binds: &[Value]) -> Result<QueryResult> {
-        self.db.query_bound_governed(sql, binds, &self.governor())
+        self.db
+            .query_bound_governed(sql, binds, &self.governor(), slot_txn(&self.txn))
     }
 
     /// [`Database::prepare`] with executions governed by this session's
@@ -1595,24 +2013,39 @@ impl Session<'_> {
 
     /// [`Database::explain`] under this session's cancellation scope.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        self.db.explain_sql(sql, false, &self.governor())
+        self.db
+            .explain_sql(sql, false, &self.governor(), slot_txn(&self.txn))
     }
 
     /// [`Database::explain_analyze`] under this session's scope.
     pub fn explain_analyze(&self, sql: &str) -> Result<String> {
-        self.db.explain_sql(sql, true, &self.governor())
+        self.db
+            .explain_sql(sql, true, &self.governor(), slot_txn(&self.txn))
     }
 
     /// [`Database::trace`] under this session's cancellation scope.
     pub fn trace(&self, sql: &str) -> Result<TraceReport> {
-        self.db.trace_governed(sql, &self.governor())
+        self.db
+            .trace_governed(sql, &self.governor(), slot_txn(&self.txn))
     }
 
     /// [`Database::trace_with_limits`] with the limits' governor built
     /// over this session's token.
     pub fn trace_with_limits(&self, sql: &str, limits: ExecutionLimits) -> Result<TraceReport> {
-        self.db
-            .trace_governed(sql, &Governor::new(&limits, self.cancel.clone()))
+        self.db.trace_governed(
+            sql,
+            &Governor::new(&limits, self.cancel.clone()),
+            slot_txn(&self.txn),
+        )
+    }
+}
+
+impl Drop for Session<'_> {
+    /// A session dropped mid-transaction aborts it — uncommitted writes
+    /// are never published, and the storage-side transaction state is
+    /// released.
+    fn drop(&mut self) {
+        let _ = self.rollback();
     }
 }
 
@@ -1751,8 +2184,26 @@ fn statement_kind(stmt: &Statement) -> &'static str {
         Statement::CreateTable(_) => "CREATE TABLE",
         Statement::CreateIndex(_) => "CREATE INDEX",
         Statement::Insert(_) => "INSERT",
+        Statement::Update(_) => "UPDATE",
+        Statement::Delete(_) => "DELETE",
         Statement::Analyze => "ANALYZE",
+        Statement::Begin => "BEGIN",
+        Statement::Commit => "COMMIT",
+        Statement::Rollback => "ROLLBACK",
     }
+}
+
+/// Locks a transaction slot, recovering from poisoning: a slot holds a
+/// plain `Option<u64>`, always valid whatever statement panicked while
+/// it was held.
+fn lock_slot(slot: &Mutex<Option<u64>>) -> std::sync::MutexGuard<'_, Option<u64>> {
+    slot.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The transaction currently open in `slot`, if any.
+fn slot_txn(slot: &Mutex<Option<u64>>) -> Option<u64> {
+    *lock_slot(slot)
 }
 
 /// Evaluates a constant INSERT expression: literals, `NULL`, and the
@@ -1776,6 +2227,120 @@ fn eval_const(e: &ast::Expr) -> Result<Value> {
         }
         other => Err(Error::unsupported(format!(
             "INSERT values must be constant expressions, got {other}"
+        ))),
+    }
+}
+
+/// Evaluates a restricted scalar expression against one row of `t`:
+/// columns (optionally qualified by the table name), literals,
+/// arithmetic, comparisons, `AND`/`OR`/`NOT` with SQL three-valued
+/// logic, and `IS [NOT] NULL`. This is the SET / WHERE evaluator of
+/// UPDATE and DELETE — subqueries and other query-only constructs are
+/// rejected (write statements target one table).
+fn eval_row_expr(e: &ast::Expr, t: &Table, row: &Row) -> Result<Value> {
+    use ast::BinOp;
+    match e {
+        ast::Expr::Literal(v) => Ok(v.clone()),
+        ast::Expr::Column { qualifier, name } => {
+            if let Some(q) = qualifier {
+                if !q.eq_ignore_ascii_case(&t.name) {
+                    return Err(Error::analysis(format!(
+                        "unknown qualifier {q} in UPDATE/DELETE over {}",
+                        t.name
+                    )));
+                }
+            }
+            let i = t
+                .column_index(name)
+                .ok_or_else(|| Error::catalog(format!("unknown column {name}")))?;
+            Ok(row[i].clone())
+        }
+        ast::Expr::Unary {
+            op: ast::UnOp::Neg,
+            expr,
+        } => match eval_row_expr(expr, t, row)? {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Double(d) => Ok(Value::Double(-d)),
+            other => Err(Error::execution(format!("cannot negate {other}"))),
+        },
+        ast::Expr::Unary {
+            op: ast::UnOp::Not,
+            expr,
+        } => Ok(match eval_row_truth(expr, t, row)? {
+            Some(b) => Value::Bool(!b),
+            None => Value::Null,
+        }),
+        ast::Expr::IsNull { expr, negated } => {
+            let v = eval_row_expr(expr, t, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        ast::Expr::Binary { op, left, right } => match op {
+            BinOp::And => Ok(
+                match (
+                    eval_row_truth(left, t, row)?,
+                    eval_row_truth(right, t, row)?,
+                ) {
+                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                },
+            ),
+            BinOp::Or => Ok(
+                match (
+                    eval_row_truth(left, t, row)?,
+                    eval_row_truth(right, t, row)?,
+                ) {
+                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                },
+            ),
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                let l = eval_row_expr(left, t, row)?;
+                let r = eval_row_expr(right, t, row)?;
+                match op {
+                    BinOp::Add => l.numeric_add(&r),
+                    BinOp::Sub => l.numeric_sub(&r),
+                    BinOp::Mul => l.numeric_mul(&r),
+                    _ => l.numeric_div(&r),
+                }
+            }
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                let l = eval_row_expr(left, t, row)?;
+                let r = eval_row_expr(right, t, row)?;
+                Ok(match l.sql_cmp(&r) {
+                    None => Value::Null,
+                    Some(o) => Value::Bool(match op {
+                        BinOp::Eq => o == std::cmp::Ordering::Equal,
+                        BinOp::NotEq => o != std::cmp::Ordering::Equal,
+                        BinOp::Lt => o == std::cmp::Ordering::Less,
+                        BinOp::LtEq => o != std::cmp::Ordering::Greater,
+                        BinOp::Gt => o == std::cmp::Ordering::Greater,
+                        _ => o != std::cmp::Ordering::Less,
+                    }),
+                })
+            }
+            BinOp::Concat => Err(Error::unsupported(
+                "|| is not supported in UPDATE/DELETE expressions",
+            )),
+        },
+        other => Err(Error::unsupported(format!(
+            "UPDATE/DELETE expressions support columns, literals, arithmetic \
+             and simple predicates; got {other}"
+        ))),
+    }
+}
+
+/// SQL three-valued truth of a predicate over one row: `Some(true)`,
+/// `Some(false)`, or `None` for `NULL` (rows filter through only on
+/// `Some(true)`).
+fn eval_row_truth(e: &ast::Expr, t: &Table, row: &Row) -> Result<Option<bool>> {
+    match eval_row_expr(e, t, row)? {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(b)),
+        other => Err(Error::execution(format!(
+            "predicate evaluated to non-boolean {other}"
         ))),
     }
 }

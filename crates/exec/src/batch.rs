@@ -166,8 +166,8 @@ fn exec_node_batched_inner(
                 width: w,
             };
             let ctx = eng.simple_ctx(&layout, binds);
-            let data = eng.storage.table(*table)?;
-            let ordinals = eng.scan_ordinals(access, &ctx, data)?;
+            let data = eng.snapshot().table(*table)?;
+            let ordinals = eng.scan_ordinals(access, &ctx, &data)?;
             let cxp = CompileCtx::plain(&layout, eng.params());
             let progs: Vec<VecExpr> = filter.iter().map(|c| compile(c, &cxp)).collect();
             let needs_full = progs.iter().any(VecExpr::uses_fallback);
@@ -189,7 +189,7 @@ fn exec_node_batched_inner(
                     if j + 1 == w {
                         col.extend(chunk.iter().map(|&o| Value::Int(o as i64)));
                     } else {
-                        col.extend(chunk.iter().map(|&o| data.rows[o][j].clone()));
+                        col.extend(chunk.iter().map(|&o| data.row(o)[j].clone()));
                     }
                 }
                 let sel = filter_batch(eng, &fb, &progs, &ctx)?;
@@ -207,7 +207,7 @@ fn exec_node_batched_inner(
                     } else if j + 1 == w {
                         col.extend(sel.iter().map(|&k| Value::Int(chunk[k] as i64)));
                     } else {
-                        col.extend(sel.iter().map(|&k| data.rows[chunk[k]][j].clone()));
+                        col.extend(sel.iter().map(|&k| data.row(chunk[k])[j].clone()));
                     }
                 }
                 out.push(ob);

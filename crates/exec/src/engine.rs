@@ -11,7 +11,7 @@ use cbqt_optimizer::{
     PlanRoot, SelectPlan,
 };
 use cbqt_qgm::{BlockId, QExpr, RefId, SetOp};
-use cbqt_storage::Storage;
+use cbqt_storage::{SnapTable, Snapshot, Storage};
 use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
@@ -38,7 +38,10 @@ pub struct ExecStats {
 /// lives for the duration of the query.
 pub struct Engine<'a> {
     pub catalog: &'a Catalog,
-    pub storage: &'a Storage,
+    /// The MVCC snapshot every scan reads "as of". Pinned at engine
+    /// construction: a statement sees one consistent watermark (plus its
+    /// own transaction's uncommitted writes) for its whole execution.
+    snapshot: Snapshot,
     work: Cell<f64>,
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
@@ -79,10 +82,17 @@ pub struct Engine<'a> {
 const GOVERNOR_BATCH: u64 = 128;
 
 impl<'a> Engine<'a> {
-    pub fn new(catalog: &'a Catalog, storage: &'a Storage) -> Engine<'a> {
+    /// An engine reading the latest committed state (autocommit reads).
+    pub fn new(catalog: &'a Catalog, storage: &Storage) -> Engine<'a> {
+        Engine::with_snapshot(catalog, storage.snapshot())
+    }
+
+    /// An engine reading through an explicit [`Snapshot`] — the path
+    /// statements inside an open transaction take.
+    pub fn with_snapshot(catalog: &'a Catalog, snapshot: Snapshot) -> Engine<'a> {
         Engine {
             catalog,
-            storage,
+            snapshot,
             work: Cell::new(0.0),
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
@@ -116,6 +126,12 @@ impl<'a> Engine<'a> {
     #[inline]
     pub(crate) fn params(&self) -> &[Value] {
         &self.params
+    }
+
+    /// The MVCC snapshot this engine reads through.
+    #[inline]
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
     }
 
     /// Selects the interpreter for this engine (overriding the
@@ -750,11 +766,11 @@ impl<'a> Engine<'a> {
                     subplans: &[],
                     outer: binds.clone(),
                 };
-                let data = self.storage.table(*table)?;
+                let data = self.snapshot.table(*table)?;
                 let mut out = Vec::new();
-                for ordinal in self.scan_ordinals(access, &ctx, data)? {
+                for ordinal in self.scan_ordinals(access, &ctx, &data)? {
                     self.tick()?;
-                    let mut row = data.rows[ordinal].clone();
+                    let mut row = data.row(ordinal).clone();
                     row.push(Value::Int(ordinal as i64));
                     let mut pass = true;
                     for c in filter {
@@ -823,19 +839,21 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Resolves an access path to the matching row ordinals, charging
-    /// the same work units the row engine always has (full-scan ROW
-    /// upfront, index probe + per-hit fetch). Shared by both engines.
+    /// Resolves an access path to the matching *visible* row ordinals,
+    /// charging the same work units the row engine always has (per
+    /// visible row for full scans, index probe + per-visible-hit fetch).
+    /// Shared by both engines, so their work metrics stay identical.
     pub(crate) fn scan_ordinals(
         &self,
         access: &AccessPath,
         ctx: &EvalCtx<'_>,
-        data: &cbqt_storage::TableData,
+        data: &SnapTable<'_>,
     ) -> Result<Vec<usize>> {
         match access {
             AccessPath::FullScan => {
-                self.add_work(data.rows.len() as f64 * weights::ROW);
-                Ok((0..data.rows.len()).collect())
+                let hits: Vec<usize> = data.visible_ordinals().collect();
+                self.add_work(hits.len() as f64 * weights::ROW);
+                Ok(hits)
             }
             AccessPath::IndexEq { index, key } => {
                 self.add_work(weights::INDEX_PROBE);
@@ -849,8 +867,8 @@ impl<'a> Engine<'a> {
                     .iter()
                     .map(|e| kctx.eval(e, &[]))
                     .collect::<Result<_>>()?;
-                let ix = self.storage.index(*index)?;
-                let hits: Vec<usize> = if ix.columns.len() == keyvals.len() {
+                let ix = self.snapshot.index(*index)?;
+                let mut hits: Vec<usize> = if ix.columns.len() == keyvals.len() {
                     ix.lookup_eq(&keyvals).to_vec()
                 } else {
                     // prefix probe: range over the leading column
@@ -860,6 +878,7 @@ impl<'a> Engine<'a> {
                     }
                     v
                 };
+                hits.retain(|&o| data.visible(o));
                 self.add_work(hits.len() as f64 * weights::INDEX_FETCH);
                 Ok(hits)
             }
@@ -892,9 +911,10 @@ impl<'a> Engine<'a> {
                     }
                     None => Bound::Unbounded,
                 };
-                let ix = self.storage.index(*index)?;
+                let ix = self.snapshot.index(*index)?;
                 let mut hits = Vec::new();
                 ix.lookup_range(as_ref_bound(&lo_v), as_ref_bound(&hi_v), &mut hits);
+                hits.retain(|&o| data.visible(o));
                 self.add_work(hits.len() as f64 * weights::INDEX_FETCH);
                 Ok(hits)
             }

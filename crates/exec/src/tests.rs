@@ -52,7 +52,7 @@ fn setup() -> (Catalog, Storage) {
             ],
         )
         .unwrap();
-    let mut st = Storage::new();
+    let st = Storage::new();
     st.create_table(dept);
     st.create_table(emp);
     for d in 0..4i64 {
@@ -544,7 +544,7 @@ fn setup_large(total: i64, null_heavy: bool) -> (Catalog, Storage) {
     let t = cat
         .add_table("nums", vec![icol("n"), icol("grp")], vec![])
         .unwrap();
-    let mut st = Storage::new();
+    let st = Storage::new();
     st.create_table(t);
     for i in 0..total {
         let n = if null_heavy && i % 3 == 0 {

@@ -23,6 +23,14 @@ pub enum Statement {
     },
     /// `ANALYZE` — recompute optimizer statistics for all tables.
     Analyze,
+    Update(Update),
+    Delete(Delete),
+    /// `BEGIN [TRANSACTION]` — open an explicit transaction.
+    Begin,
+    /// `COMMIT` — publish the open transaction.
+    Commit,
+    /// `ROLLBACK` — discard the open transaction.
+    Rollback,
 }
 
 /// A query expression plus its (outermost) ORDER BY.
@@ -570,6 +578,24 @@ pub struct Insert {
     pub table: String,
     pub columns: Option<Vec<String>>,
     pub rows: Vec<Vec<Expr>>,
+}
+
+/// `UPDATE <table> SET col = expr [, ...] [WHERE <pred>]`. The executor
+/// restricts SET expressions and the predicate to single-row scalar
+/// evaluation (no subqueries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub table: String,
+    /// `(column name, new value)` assignments, in statement order.
+    pub sets: Vec<(String, Expr)>,
+    pub filter: Option<Expr>,
+}
+
+/// `DELETE FROM <table> [WHERE <pred>]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub filter: Option<Expr>,
 }
 
 #[cfg(test)]

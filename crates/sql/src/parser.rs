@@ -300,7 +300,62 @@ impl Parser {
             self.bump();
             return Ok(Statement::Insert(self.parse_insert()?));
         }
-        Err(self.err("expected SELECT, EXPLAIN, ANALYZE, CREATE or INSERT"))
+        if self.at_kw("UPDATE") {
+            self.bump();
+            return Ok(Statement::Update(self.parse_update()?));
+        }
+        if self.at_kw("DELETE") {
+            self.bump();
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let filter = if self.eat_kw("WHERE") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete(Delete { table, filter }));
+        }
+        if self.at_kw("BEGIN") {
+            self.bump();
+            self.eat_kw("TRANSACTION");
+            return Ok(Statement::Begin);
+        }
+        if self.at_kw("COMMIT") {
+            self.bump();
+            return Ok(Statement::Commit);
+        }
+        if self.at_kw("ROLLBACK") {
+            self.bump();
+            return Ok(Statement::Rollback);
+        }
+        Err(self.err(
+            "expected SELECT, EXPLAIN, ANALYZE, CREATE, INSERT, UPDATE, DELETE, \
+             BEGIN, COMMIT or ROLLBACK",
+        ))
+    }
+
+    fn parse_update(&mut self) -> Result<Update> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&TokenKind::Eq)?;
+            sets.push((col, self.parse_expr()?));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Update {
+            table,
+            sets,
+            filter,
+        })
     }
 
     fn parse_create_table(&mut self) -> Result<CreateTable> {
@@ -1505,6 +1560,42 @@ mod tests {
                 assert_eq!(ins.rows.len(), 2);
                 assert_eq!(ins.columns.as_ref().unwrap().len(), 2);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_update_delete_and_txn_control() {
+        let stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE id = 3").unwrap();
+        match stmt {
+            Statement::Update(u) => {
+                assert_eq!(u.table, "t");
+                assert_eq!(u.sets.len(), 2);
+                assert_eq!(u.sets[0].0, "a");
+                assert!(u.filter.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stmt = parse_statement("DELETE FROM t WHERE id = 3").unwrap();
+        match stmt {
+            Statement::Delete(d) => {
+                assert_eq!(d.table, "t");
+                assert!(d.filter.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(
+            parse_statement("BEGIN TRANSACTION").unwrap(),
+            Statement::Begin
+        );
+        assert_eq!(parse_statement("COMMIT;").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("ROLLBACK").unwrap(), Statement::Rollback);
+        // DELETE without FROM is rejected
+        assert!(parse_statement("DELETE t").is_err());
+        // a full-table UPDATE/DELETE parses with no filter
+        match parse_statement("DELETE FROM t").unwrap() {
+            Statement::Delete(d) => assert!(d.filter.is_none()),
             other => panic!("unexpected {other:?}"),
         }
     }

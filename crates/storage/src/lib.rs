@@ -1,9 +1,12 @@
-//! In-memory storage substrate: row tables, multi-column B-tree indexes,
-//! statistics collection (ANALYZE), and synthetic data generators used by
-//! the workload harness.
+//! In-memory MVCC storage substrate: version heaps with snapshot
+//! isolation, multi-column B-tree indexes, statistics collection
+//! (ANALYZE), and synthetic data generators used by the workload harness.
 
 pub mod datagen;
 pub mod store;
 
 pub use datagen::{ColumnGen, RowGenerator};
-pub use store::{BTreeIndex, Storage, TableData};
+pub use store::{
+    BTreeIndex, CommitInfo, RowVersion, SnapTable, Snapshot, Storage, TxnStats, VersionHeap,
+    TXN_BASE,
+};

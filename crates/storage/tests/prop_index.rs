@@ -27,7 +27,7 @@ fn setup(vals: &[Option<i64>]) -> (Storage, cbqt_catalog::IndexId) {
             vec![Constraint::PrimaryKey(vec![0])],
         )
         .unwrap();
-    let mut st = Storage::new();
+    let st = Storage::new();
     st.create_table(t);
     for (i, v) in vals.iter().enumerate() {
         let k = v.map(Value::Int).unwrap_or(Value::Null);
@@ -44,7 +44,8 @@ props! {
         probe in -25i64..25,
     ) {
         let (st, ix) = setup(&vals);
-        let hits = st.index(ix).unwrap().lookup_eq(&[Value::Int(probe)]);
+        let snap = st.snapshot();
+        let hits = snap.index(ix).unwrap().lookup_eq(&[Value::Int(probe)]);
         let expected: Vec<usize> = vals
             .iter()
             .enumerate()
@@ -70,7 +71,7 @@ props! {
         let lob = if inc_lo { Bound::Included(&lov) } else { Bound::Excluded(&lov) };
         let hib = if inc_hi { Bound::Included(&hiv) } else { Bound::Excluded(&hiv) };
         let mut got = Vec::new();
-        st.index(ix).unwrap().lookup_range(lob, hib, &mut got);
+        st.snapshot().index(ix).unwrap().lookup_range(lob, hib, &mut got);
         got.sort_unstable();
         let expected: Vec<usize> = vals
             .iter()
@@ -105,7 +106,7 @@ props! {
                     vec![],
                 )
                 .unwrap();
-            let mut st2 = Storage::new();
+            let st2 = Storage::new();
             st2.create_table(t);
             let ix2 = cat.add_index("i_k", t, vec![1], false).unwrap();
             st2.build_index(ix2, t, vec![1]).unwrap(); // build EMPTY first
@@ -113,9 +114,9 @@ props! {
                 let k = v.map(Value::Int).unwrap_or(Value::Null);
                 st2.insert(t, vec![Value::Int(i as i64), k]).unwrap();
             }
-            st2.index(ix2).unwrap().lookup_eq(&[Value::Int(probe)]).to_vec()
+            st2.snapshot().index(ix2).unwrap().lookup_eq(&[Value::Int(probe)]).to_vec()
         };
-        let rebuilt = st.index(ix).unwrap().lookup_eq(&[Value::Int(probe)]).to_vec();
+        let rebuilt = st.snapshot().index(ix).unwrap().lookup_eq(&[Value::Int(probe)]).to_vec();
         let mut a = bulk;
         let mut b = rebuilt;
         a.sort_unstable();

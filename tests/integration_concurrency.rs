@@ -5,7 +5,7 @@
 //! (post-DDL plan change) and the zero-NDV costing regression
 //! end-to-end.
 
-use cbqt::common::Value;
+use cbqt::common::{Error, Value};
 use cbqt::Database;
 use cbqt_testkit::rng::Rng;
 use std::sync::Arc;
@@ -92,6 +92,124 @@ fn concurrent_mixed_traffic_serves_correct_plans() {
     // all 320 threaded executions were cache hits (warmed up front, no DDL)
     assert!(s.hits >= 8 * 40, "expected ≥320 hits, got {s:?}");
     assert_eq!(s.entries, POOL.len());
+}
+
+/// 8 reader threads hammer the database while a writer holds an open
+/// transaction with 50 uncommitted inserts and a salary rewrite. Every
+/// reader must see exactly the pre-transaction state (snapshot
+/// isolation: uncommitted versions are invisible) and must complete
+/// while the writer transaction stays open (readers never block on
+/// writers). After commit the new rows appear everywhere.
+#[test]
+fn readers_see_only_their_snapshot_during_active_writer() {
+    let db = Arc::new(fixture());
+    let writer = db.session();
+    writer.begin().unwrap();
+    for i in 0..50i64 {
+        writer
+            .execute(&format!(
+                "INSERT INTO employees VALUES ({}, 'probe{i}', {}, 999999)",
+                1000 + i,
+                i % 8
+            ))
+            .unwrap();
+    }
+    writer
+        .execute("UPDATE employees SET salary = 0 WHERE emp_id < 10")
+        .unwrap();
+
+    // the writer reads its own uncommitted versions
+    let own = writer.query("SELECT COUNT(*) FROM employees").unwrap();
+    assert_eq!(own.rows[0][0], Value::Int(250));
+    let own_zero = writer
+        .query("SELECT COUNT(*) FROM employees WHERE salary = 0")
+        .unwrap();
+    assert_eq!(own_zero.rows[0][0], Value::Int(10));
+
+    // 8 concurrent readers only ever see the committed snapshot
+    let threads: Vec<_> = (0..8u64)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let s = db.session();
+                let mut rng = Rng::seed_from_u64(0xBEEF ^ t);
+                for _ in 0..25 {
+                    let count = s.query("SELECT COUNT(*) FROM employees").unwrap();
+                    assert_eq!(
+                        count.rows[0][0],
+                        Value::Int(200),
+                        "reader {t} saw dirty rows"
+                    );
+                    let dirty = s
+                        .query("SELECT COUNT(*) FROM employees WHERE salary = 999999 OR salary = 0")
+                        .unwrap();
+                    assert_eq!(
+                        dirty.rows[0][0],
+                        Value::Int(0),
+                        "reader {t} saw uncommitted writes"
+                    );
+                    // mix in pool traffic so cached plans also serve under MVCC
+                    let q = POOL[rng.gen_range(0..POOL.len())];
+                    db.query(q).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // a reader that pinned a snapshot before commit keeps it afterwards
+    let pinned = db.session();
+    pinned.begin().unwrap();
+    writer.commit().unwrap();
+    let stale = pinned.query("SELECT COUNT(*) FROM employees").unwrap();
+    assert_eq!(stale.rows[0][0], Value::Int(200), "pinned snapshot moved");
+    pinned.commit().unwrap();
+    let fresh = pinned.query("SELECT COUNT(*) FROM employees").unwrap();
+    assert_eq!(fresh.rows[0][0], Value::Int(250));
+}
+
+/// Two transactions race to update the same row: first updater wins,
+/// the loser surfaces `Error::WriteConflict` and its whole transaction
+/// rolls back automatically.
+#[test]
+fn write_write_conflict_first_updater_wins() {
+    let db = fixture();
+    let winner = db.session();
+    let loser = db.session();
+    winner.begin().unwrap();
+    loser.begin().unwrap();
+
+    // the loser stages an unrelated write first — the conflict must
+    // roll that back too
+    loser
+        .execute("INSERT INTO employees VALUES (5000, 'doomed', 0, 1)")
+        .unwrap();
+    winner
+        .execute("UPDATE employees SET salary = 111111 WHERE emp_id = 7")
+        .unwrap();
+    let err = loser
+        .execute("UPDATE employees SET salary = 222222 WHERE emp_id = 7")
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::WriteConflict(_)),
+        "expected WriteConflict, got {err:?}"
+    );
+    assert!(!loser.in_transaction(), "losing transaction not aborted");
+
+    winner.commit().unwrap();
+    let r = db
+        .query("SELECT salary FROM employees WHERE emp_id = 7")
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(111111)]]);
+    let staged = db
+        .query("SELECT COUNT(*) FROM employees WHERE emp_id = 5000")
+        .unwrap();
+    assert_eq!(staged.rows[0][0], Value::Int(0), "loser's insert survived");
+    let stats = db.txn_stats();
+    assert!(stats.conflicts >= 1, "conflict not counted: {stats:?}");
+    assert!(stats.rolled_back >= 1);
 }
 
 #[test]

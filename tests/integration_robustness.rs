@@ -195,29 +195,105 @@ fn probe_sql(name: &str) -> &'static str {
     }
 }
 
-#[test]
-fn every_failpoint_errors_cleanly_and_service_resumes() {
-    let _serial = failpoints::serial();
-    let db = fixture();
-    for &name in failpoints::all() {
-        // fresh compilation each round so optimizer-side sites fire too
-        db.clear_plan_cache();
-        let sql = probe_sql(name);
-        {
-            let _fp = Fail::error(name);
-            let err = db.query(sql).unwrap_err();
+/// Write-path failpoints probe through DML instead: `(probe, undo)`
+/// statement pairs over the `nums` table, where `undo` restores the
+/// fixture state after a successful disarmed run of `probe`.
+fn write_probe(name: &str) -> Option<(&'static str, &'static str)> {
+    match name {
+        failpoint::STORAGE_WRITE_VERSION => Some((
+            "INSERT INTO nums VALUES (900)",
+            "DELETE FROM nums WHERE n = 900",
+        )),
+        failpoint::TXN_CONFLICT_CHECK => Some((
+            "DELETE FROM nums WHERE n = 3",
+            "INSERT INTO nums VALUES (3)",
+        )),
+        failpoint::STORAGE_COMMIT_PUBLISH => Some((
+            "UPDATE nums SET n = n + 1000 WHERE n = 5",
+            "UPDATE nums SET n = n - 1000 WHERE n = 1005",
+        )),
+        _ => None,
+    }
+}
+
+/// Shared body of the two every-failpoint loops: injects at `name`
+/// (error or panic action via `arm`), runs the site's probe, lets
+/// `check_err` validate the surfaced error, and asserts the database
+/// rolled back cleanly and keeps serving.
+fn check_failpoint(db: &Database, name: &'static str, panic_action: bool) {
+    // fresh compilation each round so optimizer-side sites fire too
+    db.clear_plan_cache();
+    let check_err = |err: &Error| {
+        if panic_action {
+            assert!(matches!(err, Error::Internal(_)), "failpoint {name}: {err}");
+            assert!(
+                err.to_string().contains("panicked"),
+                "failpoint {name}: {err}"
+            );
+        } else {
             assert!(
                 err.to_string().contains(name),
                 "failpoint {name}: unexpected error {err}"
             );
         }
-        // disarmed: the same statement succeeds and the cache is coherent
-        let cold = db
-            .query(sql)
-            .unwrap_or_else(|e| panic!("follow-up query after failpoint {name} failed: {e}"));
-        let warm = db.query(sql).unwrap();
-        assert!(warm.stats.plan_cache_hit, "failpoint {name}");
-        assert_eq!(warm.rows, cold.rows, "failpoint {name}");
+    };
+    let arm = |n| {
+        if panic_action {
+            Fail::panic(n)
+        } else {
+            Fail::error(n)
+        }
+    };
+
+    if let Some((sql, undo)) = write_probe(name) {
+        let session = db.session();
+        let count = "SELECT COUNT(*) FROM nums";
+        let base = db.query(count).unwrap().rows[0][0].clone();
+        assert!(db.query(count).unwrap().stats.plan_cache_hit);
+        {
+            let _fp = arm(name);
+            let err = session.execute(sql).unwrap_err();
+            check_err(&err);
+        }
+        // a fault anywhere between the first write and commit-publish
+        // aborts the whole statement: no rows changed, no version bump —
+        // cached plans over the table stay warm
+        let after = db.query(count).unwrap();
+        assert_eq!(after.rows[0][0], base, "failpoint {name}: partial write");
+        assert!(
+            after.stats.plan_cache_hit,
+            "failpoint {name}: rolled-back write invalidated cached plans"
+        );
+        // disarmed: the same write succeeds and the database keeps serving
+        session
+            .execute(sql)
+            .unwrap_or_else(|e| panic!("follow-up write after failpoint {name} failed: {e}"));
+        session.execute(undo).unwrap();
+        assert_eq!(db.query(count).unwrap().rows[0][0], base, "{name}");
+        return;
+    }
+
+    let sql = probe_sql(name);
+    {
+        let _fp = arm(name);
+        let err = db.query(sql).unwrap_err();
+        check_err(&err);
+    }
+    // disarmed: the same statement succeeds and the cache is coherent
+    let cold = db
+        .query(sql)
+        .unwrap_or_else(|e| panic!("follow-up query after failpoint {name} failed: {e}"));
+    let warm = db.query(sql).unwrap();
+    assert!(warm.stats.plan_cache_hit, "failpoint {name}");
+    assert_eq!(warm.rows, cold.rows, "failpoint {name}");
+}
+
+#[test]
+fn every_failpoint_errors_cleanly_and_service_resumes() {
+    let _serial = failpoints::serial();
+    let db = fixture();
+    for &name in failpoints::all() {
+        check_failpoint(&db, name, false);
     }
 }
 
@@ -231,21 +307,7 @@ fn every_failpoint_panic_is_contained() {
     let db = fixture();
     let mut checked = 0;
     for &name in failpoints::all() {
-        db.clear_plan_cache();
-        let sql = probe_sql(name);
-        {
-            let _fp = Fail::panic(name);
-            let err = db.query(sql).unwrap_err();
-            assert!(matches!(err, Error::Internal(_)), "failpoint {name}: {err}");
-            assert!(
-                err.to_string().contains("panicked"),
-                "failpoint {name}: {err}"
-            );
-        }
-        let r = db
-            .query(sql)
-            .unwrap_or_else(|e| panic!("follow-up query after panic at {name} failed: {e}"));
-        assert!(!r.rows.is_empty() || sql.contains("COUNT"), "{name}");
+        check_failpoint(&db, name, true);
         checked += 1;
     }
     std::panic::set_hook(prev);

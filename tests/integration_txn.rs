@@ -1,0 +1,397 @@
+//! End-to-end MVCC transaction semantics: snapshot isolation across
+//! sessions, atomic commit publishing, exact rollback, auto-abort on
+//! statement failure, plan-cache interaction (versions bump only at
+//! commit), transaction trace events, and the statement surface
+//! (BEGIN / COMMIT / ROLLBACK in scripts, DDL rejection in
+//! transactions).
+
+use cbqt::common::{Error, Value};
+use cbqt::{Database, StatementResult};
+use cbqt_testkit::failpoints::{self, Fail};
+
+fn fixture() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE accounts (id INT PRIMARY KEY, owner VARCHAR(20) NOT NULL, balance INT);
+         CREATE INDEX i_acc_bal ON accounts (balance);",
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..20i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::str(format!("owner{i}")),
+                Value::Int(100 * i),
+            ]
+        })
+        .collect();
+    db.load_rows("accounts", rows).unwrap();
+    db.analyze().unwrap();
+    db
+}
+
+fn count(db: &Database, sql: &str) -> i64 {
+    match db.query(sql).unwrap().rows[0][0] {
+        Value::Int(n) => n,
+        ref v => panic!("expected Int, got {v:?}"),
+    }
+}
+
+#[test]
+fn uncommitted_writes_visible_only_to_their_own_transaction() {
+    let db = fixture();
+    let writer = db.session();
+    let reader = db.session();
+
+    writer.begin().unwrap();
+    assert!(writer.in_transaction());
+    writer
+        .execute("INSERT INTO accounts VALUES (100, 'new', 5)")
+        .unwrap();
+    writer
+        .execute("UPDATE accounts SET balance = -1 WHERE id = 0")
+        .unwrap();
+
+    // own transaction sees both writes
+    let own = writer.query("SELECT COUNT(*) FROM accounts").unwrap();
+    assert_eq!(own.rows[0][0], Value::Int(21));
+    let own_upd = writer
+        .query("SELECT balance FROM accounts WHERE id = 0")
+        .unwrap();
+    assert_eq!(own_upd.rows, vec![vec![Value::Int(-1)]]);
+
+    // other sessions and the database handle still see the old state
+    assert_eq!(count(&db, "SELECT COUNT(*) FROM accounts"), 20);
+    let other = reader
+        .query("SELECT balance FROM accounts WHERE id = 0")
+        .unwrap();
+    assert_eq!(other.rows, vec![vec![Value::Int(0)]]);
+
+    writer.commit().unwrap();
+    assert!(!writer.in_transaction());
+
+    // commit publishes everything atomically
+    assert_eq!(count(&db, "SELECT COUNT(*) FROM accounts"), 21);
+    let after = reader
+        .query("SELECT balance FROM accounts WHERE id = 0")
+        .unwrap();
+    assert_eq!(after.rows, vec![vec![Value::Int(-1)]]);
+}
+
+#[test]
+fn rollback_restores_exact_pre_transaction_state() {
+    let db = fixture();
+    let before = db.query("SELECT id, owner, balance FROM accounts").unwrap();
+    let s = db.session();
+    s.begin().unwrap();
+    s.execute("INSERT INTO accounts VALUES (200, 'ghost', 1)")
+        .unwrap();
+    s.execute("DELETE FROM accounts WHERE id < 5").unwrap();
+    s.execute("UPDATE accounts SET balance = 0 WHERE id >= 15")
+        .unwrap();
+    s.rollback().unwrap();
+    assert!(!s.in_transaction());
+
+    let after = db.query("SELECT id, owner, balance FROM accounts").unwrap();
+    let mut a: Vec<String> = before.rows.iter().map(|r| format!("{r:?}")).collect();
+    let mut b: Vec<String> = after.rows.iter().map(|r| format!("{r:?}")).collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "rollback did not restore the exact state");
+    // indexed access path agrees with the restored heap
+    assert_eq!(
+        count(&db, "SELECT COUNT(*) FROM accounts WHERE balance = 0"),
+        1
+    );
+}
+
+#[test]
+fn statements_outside_transactions_autocommit() {
+    let mut db = fixture();
+    for sql in [
+        "INSERT INTO accounts VALUES (300, 'auto', 7)",
+        "UPDATE accounts SET balance = 8 WHERE id = 300",
+        "DELETE FROM accounts WHERE id = 300",
+    ] {
+        let results = db.execute_script(sql).unwrap();
+        assert!(
+            matches!(results[0], StatementResult::RowsAffected(1)),
+            "{sql}: {results:?}"
+        );
+    }
+    assert_eq!(count(&db, "SELECT COUNT(*) FROM accounts"), 20);
+    let stats = db.txn_stats();
+    assert!(stats.begun >= 3 && stats.committed >= 3, "{stats:?}");
+}
+
+#[test]
+fn failed_write_statement_aborts_the_whole_transaction() {
+    let db = fixture();
+    let s = db.session();
+    s.begin().unwrap();
+    s.execute("INSERT INTO accounts VALUES (400, 'kept?', 1)")
+        .unwrap();
+    // a runtime error mid-write (division by zero during the row
+    // rewrite) aborts the whole open transaction
+    let err = s
+        .execute("UPDATE accounts SET balance = balance / 0 WHERE id = 400")
+        .unwrap_err();
+    assert!(err.to_string().contains("division by zero"), "{err}");
+    assert!(!s.in_transaction(), "failed write left the txn open");
+    assert_eq!(
+        count(&db, "SELECT COUNT(*) FROM accounts WHERE id = 400"),
+        0,
+        "earlier write of the aborted txn survived"
+    );
+    // pre-execution validation errors never start the write, so the
+    // transaction survives them — just like a failed SELECT
+    s.begin().unwrap();
+    let err = s
+        .execute("INSERT INTO accounts VALUES (401, 'bad')")
+        .unwrap_err();
+    assert!(err.to_string().contains("INSERT value count mismatch"));
+    assert!(s.in_transaction(), "validation error aborted the txn");
+    assert!(s.query("SELECT nope FROM accounts").is_err());
+    assert!(s.in_transaction(), "failed read aborted the txn");
+    s.rollback().unwrap();
+}
+
+#[test]
+fn rolled_back_writes_keep_cached_plans_warm() {
+    let db = fixture();
+    let sql = "SELECT owner FROM accounts WHERE balance > 1500";
+    let cold = db.query(sql).unwrap();
+    assert!(!cold.stats.plan_cache_hit);
+    assert!(db.query(sql).unwrap().stats.plan_cache_hit);
+
+    let hits_before = db.plan_cache_stats().hits;
+    let s = db.session();
+    s.begin().unwrap();
+    s.execute("UPDATE accounts SET balance = 1 WHERE id = 19")
+        .unwrap();
+    s.rollback().unwrap();
+
+    // an aborted write must NOT bump table versions: the cached plan
+    // still serves, and the answer is unchanged
+    let warm = db.query(sql).unwrap();
+    assert!(
+        warm.stats.plan_cache_hit,
+        "rolled-back write invalidated cached plans"
+    );
+    assert_eq!(db.plan_cache_stats().hits, hits_before + 1);
+    assert_eq!(warm.rows.len(), cold.rows.len());
+
+    // a committed write DOES bump the version and forces a recompile
+    s.begin().unwrap();
+    s.execute("UPDATE accounts SET balance = 1 WHERE id = 19")
+        .unwrap();
+    s.commit().unwrap();
+    assert!(!db.query(sql).unwrap().stats.plan_cache_hit);
+}
+
+#[test]
+fn in_transaction_queries_serve_from_cache_against_the_txn_snapshot() {
+    let db = fixture();
+    let sql = "SELECT COUNT(*) FROM accounts";
+    db.query(sql).unwrap();
+    assert!(db.query(sql).unwrap().stats.plan_cache_hit);
+
+    let s = db.session();
+    s.begin().unwrap();
+    s.execute("INSERT INTO accounts VALUES (500, 'cached', 9)")
+        .unwrap();
+    // same cached plan, but executed against the transaction snapshot:
+    // it must include the uncommitted row
+    let r = s.query(sql).unwrap();
+    assert!(r.stats.plan_cache_hit, "in-txn query missed the warm cache");
+    assert_eq!(r.rows[0][0], Value::Int(21));
+    s.rollback().unwrap();
+    assert_eq!(count(&db, sql), 20);
+}
+
+#[test]
+fn begin_commit_rollback_statement_surface() {
+    let mut db = fixture();
+    // nested BEGIN is an error
+    let results = db.execute_script("BEGIN; BEGIN;");
+    assert!(results.unwrap_err().to_string().contains("already open"));
+    // the failed BEGIN aborted the script's transaction; COMMIT and
+    // ROLLBACK without an open transaction are no-ops
+    assert!(matches!(
+        db.execute_script("COMMIT").unwrap()[0],
+        StatementResult::Txn
+    ));
+    assert!(matches!(
+        db.execute_script("ROLLBACK").unwrap()[0],
+        StatementResult::Txn
+    ));
+
+    // a scripted transaction commits atomically
+    let results = db
+        .execute_script(
+            "BEGIN;
+             INSERT INTO accounts VALUES (600, 'scripted', 3);
+             UPDATE accounts SET balance = 4 WHERE id = 600;
+             COMMIT;",
+        )
+        .unwrap();
+    assert!(matches!(results[0], StatementResult::Txn));
+    assert!(matches!(results[3], StatementResult::Txn));
+    assert_eq!(
+        count(&db, "SELECT COUNT(*) FROM accounts WHERE balance = 4"),
+        1
+    );
+
+    // a scripted rollback leaves no trace
+    db.execute_script("BEGIN; DELETE FROM accounts; ROLLBACK;")
+        .unwrap();
+    assert_eq!(count(&db, "SELECT COUNT(*) FROM accounts"), 21);
+}
+
+#[test]
+fn ddl_and_analyze_are_rejected_inside_transactions() {
+    let mut db = fixture();
+    db.execute_mut("BEGIN").unwrap();
+    for sql in [
+        "CREATE TABLE t2 (a INT PRIMARY KEY)",
+        "CREATE INDEX i2 ON accounts (owner)",
+        "ANALYZE",
+    ] {
+        let err = db.execute_mut(sql).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("cannot run inside an open transaction"),
+            "{sql}: {err}"
+        );
+    }
+    db.execute_mut("ROLLBACK").unwrap();
+
+    // sessions never get DDL at all: it needs exclusive access
+    let s = db.session();
+    let err = s
+        .execute("CREATE TABLE t3 (a INT PRIMARY KEY)")
+        .unwrap_err();
+    assert!(err.to_string().contains("exclusive database access"));
+}
+
+#[test]
+fn txn_stats_count_lifecycle_events() {
+    let db = fixture();
+    let base = db.txn_stats();
+    let s = db.session();
+
+    s.begin().unwrap();
+    s.execute("INSERT INTO accounts VALUES (700, 'a', 1)")
+        .unwrap();
+    s.commit().unwrap();
+
+    s.begin().unwrap();
+    s.execute("INSERT INTO accounts VALUES (701, 'b', 1)")
+        .unwrap();
+    s.rollback().unwrap();
+
+    let w1 = db.session();
+    let w2 = db.session();
+    w1.begin().unwrap();
+    w2.begin().unwrap();
+    w1.execute("UPDATE accounts SET balance = 2 WHERE id = 700")
+        .unwrap();
+    assert!(matches!(
+        w2.execute("UPDATE accounts SET balance = 3 WHERE id = 700")
+            .unwrap_err(),
+        Error::WriteConflict(_)
+    ));
+    w1.commit().unwrap();
+
+    let now = db.txn_stats();
+    assert!(now.begun >= base.begun + 4, "{now:?}");
+    assert!(now.committed >= base.committed + 2, "{now:?}");
+    assert!(now.rolled_back >= base.rolled_back + 2, "{now:?}");
+    assert_eq!(now.conflicts, base.conflicts + 1, "{now:?}");
+}
+
+#[test]
+fn trace_statement_reports_transaction_events() {
+    let db = fixture();
+    let s = db.session();
+
+    // autocommit DML traces BEGIN + COMMIT around the write
+    let r = s
+        .trace_statement("INSERT INTO accounts VALUES (800, 'traced', 1)")
+        .unwrap();
+    let text = r.render();
+    assert!(text.contains("TXN BEGIN"), "missing begin: {text}");
+    assert!(text.contains("TXN COMMIT"), "missing commit: {text}");
+
+    // an explicit transaction traces its control statements
+    let begin = s.trace_statement("BEGIN").unwrap().render();
+    assert!(begin.contains("TXN BEGIN"), "{begin}");
+    s.execute("DELETE FROM accounts WHERE id = 800").unwrap();
+    let rb = s.trace_statement("ROLLBACK").unwrap().render();
+    assert!(rb.contains("TXN ROLLBACK"), "{rb}");
+    assert_eq!(
+        count(&db, "SELECT COUNT(*) FROM accounts WHERE id = 800"),
+        1
+    );
+
+    // a conflicting write traces TXN CONFLICT before it aborts
+    let other = db.session();
+    s.begin().unwrap();
+    other.begin().unwrap();
+    s.execute("UPDATE accounts SET balance = 5 WHERE id = 800")
+        .unwrap();
+    let err = other
+        .trace_statement("UPDATE accounts SET balance = 6 WHERE id = 800")
+        .unwrap_err();
+    assert!(matches!(err, Error::WriteConflict(_)));
+    s.commit().unwrap();
+}
+
+#[test]
+fn commit_publish_failpoint_rolls_back_the_explicit_transaction() {
+    let _serial = failpoints::serial();
+    let db = fixture();
+    let s = db.session();
+    s.begin().unwrap();
+    s.execute("UPDATE accounts SET balance = balance + 1000 WHERE id < 10")
+        .unwrap();
+    {
+        let _fp = Fail::error(cbqt::common::failpoint::STORAGE_COMMIT_PUBLISH);
+        let err = s.commit().unwrap_err();
+        assert!(err.to_string().contains("storage.commit.publish"), "{err}");
+    }
+    assert!(!s.in_transaction());
+    // nothing published, nothing half-applied: only ids 10..19 had
+    // balance >= 1000 before the attempt
+    assert_eq!(
+        count(&db, "SELECT COUNT(*) FROM accounts WHERE balance >= 1000"),
+        10
+    );
+    // the database keeps serving and can commit afterwards
+    s.begin().unwrap();
+    s.execute("UPDATE accounts SET balance = balance + 1000 WHERE id = 0")
+        .unwrap();
+    s.commit().unwrap();
+    assert_eq!(
+        count(&db, "SELECT COUNT(*) FROM accounts WHERE balance >= 1000"),
+        11
+    );
+}
+
+#[test]
+fn dropping_a_session_rolls_back_its_open_transaction() {
+    let db = fixture();
+    {
+        let s = db.session();
+        s.begin().unwrap();
+        s.execute("DELETE FROM accounts").unwrap();
+        assert_eq!(count(&db, "SELECT COUNT(*) FROM accounts"), 20);
+    }
+    // the dropped session's uncommitted deletes are gone
+    assert_eq!(count(&db, "SELECT COUNT(*) FROM accounts"), 20);
+    let s2 = db.session();
+    assert_eq!(
+        s2.query("SELECT COUNT(*) FROM accounts").unwrap().rows[0][0],
+        Value::Int(20)
+    );
+}
