@@ -6,6 +6,7 @@
 //! cargo run -p cbqt-bench --release --bin experiments -- fig3 --n 120 --scale 1.5
 //! cargo run -p cbqt-bench --release --bin experiments -- fig3 --trace
 //! cargo run -p cbqt-bench --release --bin experiments -- table2 --parallelism 4
+//! cargo run -p cbqt-bench --release --bin experiments -- joins --bushy-max-items 0
 //! ```
 
 use cbqt_bench::experiments;
@@ -20,6 +21,9 @@ struct Args {
     /// Worker threads for the CBQT state-space search (table2); 0 =
     /// auto, 1 = serial.
     parallelism: usize,
+    /// Join-enumeration tier overrides for Table-2-style sweeps.
+    dp_max_items: Option<usize>,
+    bushy_max_items: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +35,8 @@ fn parse_args() -> Args {
         reps: 2,
         trace: false,
         parallelism: 1,
+        dp_max_items: None,
+        bushy_max_items: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -56,6 +62,15 @@ fn parse_args() -> Args {
                 i += 1;
                 args.parallelism = argv[i].parse().expect("--parallelism takes a number");
             }
+            "--dp-max-items" => {
+                i += 1;
+                args.dp_max_items = Some(argv[i].parse().expect("--dp-max-items takes a number"));
+            }
+            "--bushy-max-items" => {
+                i += 1;
+                args.bushy_max_items =
+                    Some(argv[i].parse().expect("--bushy-max-items takes a number"));
+            }
             "--trace" => args.trace = true,
             other if !other.starts_with("--") => args.which = other.to_string(),
             other => panic!("unknown flag {other}"),
@@ -67,6 +82,7 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    experiments::set_join_knobs(args.dp_max_items, args.bushy_max_items);
     let run_all = args.which == "all";
     println!(
         "cbqt experiments — seed={} n={} scale={} reps={}\n",
@@ -87,6 +103,10 @@ fn main() {
     if run_all || args.which == "gbp" {
         let (r, extra) = experiments::run_gbp(args.seed, args.n, args.scale, args.reps);
         println!("{}{}", r.render(), extra);
+    }
+    if run_all || args.which == "joins" {
+        let r = experiments::run_joins(args.seed, args.n, args.scale, args.reps);
+        println!("{}", r.render());
     }
     if run_all || args.which == "table1" {
         println!("{}", experiments::run_table1(args.seed));

@@ -9,6 +9,21 @@ use cbqt_testkit::Rng;
 use std::collections::HashMap;
 use std::time::Duration;
 
+/// Join-enumeration knob overrides (`--dp-max-items`,
+/// `--bushy-max-items`), set once in `main` and applied to every
+/// database a round builds so tier sweeps cover all fuzz modes.
+static KNOBS: std::sync::OnceLock<(Option<usize>, Option<usize>)> = std::sync::OnceLock::new();
+
+fn apply_knobs(db: &mut Database) {
+    let &(dp, bushy) = KNOBS.get_or_init(|| (None, None));
+    if let Some(n) = dp {
+        db.config_mut().optimizer.dp_max_items = n;
+    }
+    if let Some(n) = bushy {
+        db.config_mut().optimizer.bushy_max_items = n;
+    }
+}
+
 fn random_db(rng: &mut Rng) -> Database {
     let mut db = Database::new();
     db.execute_script(
@@ -88,7 +103,7 @@ fn random_query(rng: &mut Rng) -> String {
     let date = 19_900_000 + rng.gen_range(0..50_000);
     let c = ["US", "UK", "DE"][rng.gen_range(0usize..3)];
     let k = rng.gen_range(0..20);
-    match rng.gen_range(0..22) {
+    match rng.gen_range(0..24) {
         0 => "SELECT e1.employee_name FROM employees e1 WHERE e1.salary > (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id)".to_string(),
         1 => format!("SELECT e.employee_name FROM employees e WHERE e.dept_id IN (SELECT d.dept_id FROM departments d, locations l WHERE d.loc_id = l.loc_id AND l.country_id = '{c}') AND e.salary > {sal}"),
         2 => format!("SELECT e1.employee_name, j.job_title FROM employees e1, job_history j, (SELECT DISTINCT d.dept_id FROM departments d, locations l WHERE d.loc_id = l.loc_id AND l.country_id IN ('UK','{c}')) v WHERE e1.dept_id = v.dept_id AND e1.emp_id = j.emp_id AND j.start_date > {date}"),
@@ -110,7 +125,36 @@ fn random_query(rng: &mut Rng) -> String {
         18 => "SELECT w.c FROM (SELECT dept_id, COUNT(*) c FROM employees GROUP BY dept_id MINUS SELECT dept_id, COUNT(*) c FROM job_history GROUP BY dept_id) w".to_string(),
         19 => format!("SELECT e.emp_id FROM employees e WHERE (e.dept_id = {} AND e.salary > {sal}) OR e.emp_id IN (SELECT j.emp_id FROM job_history j WHERE j.start_date < {date}) ", k % 6),
         20 => format!("SELECT v.emp_id FROM (SELECT emp_id, ROW_NUMBER() OVER (ORDER BY salary DESC) rn FROM employees) v WHERE v.rn <= {}", k + 1),
-        _ => "SELECT e.employee_name FROM employees e WHERE e.salary >= ALL (SELECT e2.salary FROM employees e2, departments d WHERE e2.dept_id = d.dept_id AND e2.salary IS NOT NULL) OR e.dept_id IS NULL".to_string(),
+        21 => "SELECT e.employee_name FROM employees e WHERE e.salary >= ALL (SELECT e2.salary FROM employees e2, departments d WHERE e2.dept_id = d.dept_id AND e2.salary IS NOT NULL) OR e.dept_id IS NULL".to_string(),
+        // star: job_history fact with two independent dimension arms
+        22 => format!("SELECT e.employee_name, d.department_name FROM job_history j, employees e, departments d WHERE j.emp_id = e.emp_id AND j.dept_id = d.dept_id AND e.salary > {sal} AND j.start_date > {date}"),
+        // snowflake: fact -> employees arm plus departments -> locations chain
+        _ => format!("SELECT COUNT(*) FROM job_history j, employees e, departments d, locations l WHERE j.emp_id = e.emp_id AND j.dept_id = d.dept_id AND d.loc_id = l.loc_id AND l.country_id = '{c}' AND e.salary > {sal}"),
+    }
+}
+
+/// Join-heavy query pool for the `--joins` oracle: every shape is a
+/// multi-way (3+ table) join so the bushy enumerator, the left-deep DP
+/// tier, and the greedy fallback all get real join-order decisions.
+fn random_join_query(rng: &mut Rng) -> String {
+    let sal = rng.gen_range(0..8000);
+    let date = 19_900_000 + rng.gen_range(0..50_000);
+    let c = ["US", "UK", "DE"][rng.gen_range(0usize..3)];
+    let k = rng.gen_range(0..20);
+    match rng.gen_range(0..6) {
+        // star: job_history fact with two independent dimension arms
+        0 => format!("SELECT e.employee_name, d.department_name FROM job_history j, employees e, departments d WHERE j.emp_id = e.emp_id AND j.dept_id = d.dept_id AND e.salary > {sal} AND j.start_date > {date}"),
+        // snowflake: fact -> employees arm plus departments -> locations chain
+        1 => format!("SELECT COUNT(*) FROM job_history j, employees e, departments d, locations l WHERE j.emp_id = e.emp_id AND j.dept_id = d.dept_id AND d.loc_id = l.loc_id AND l.country_id = '{c}' AND e.salary > {sal}"),
+        // chain with a selective mid-chain filter
+        2 => format!("SELECT e.emp_id, l.country_id FROM employees e, departments d, locations l WHERE e.dept_id = d.dept_id AND d.loc_id = l.loc_id AND d.department_name = 'd{}'", k % 8),
+        // self-join arm: manager lookup plus a dimension
+        3 => format!("SELECT m.employee_name FROM employees e, employees m, departments d WHERE e.mgr_id = m.emp_id AND e.dept_id = d.dept_id AND e.salary > {sal}"),
+        // 4-way snowflake under grouping
+        4 => format!("SELECT d.department_name, COUNT(*) FROM job_history j, employees e, departments d, locations l WHERE j.emp_id = e.emp_id AND e.dept_id = d.dept_id AND d.loc_id = l.loc_id AND j.start_date > {date} AND l.country_id = '{c}' GROUP BY d.department_name"),
+        // disconnected join graph: two components forced into a
+        // cross-product by the enumerator
+        _ => format!("SELECT COUNT(*) FROM departments d, locations l, job_history j WHERE d.loc_id = l.loc_id AND j.start_date > {date} AND l.country_id = '{c}'"),
     }
 }
 
@@ -131,7 +175,8 @@ fn canon(rows: &[Vec<Value>]) -> Vec<String> {
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--iters N] [--seed S] [--parallelism P] [--failpoints]\n\
-         \x20           [--differential-exec] [--binds] [--feedback] [--txn] [N]\n\
+         \x20           [--differential-exec] [--binds] [--feedback] [--txn]\n\
+         \x20           [--joins] [--dp-max-items N] [--bushy-max-items N] [N]\n\
          \n\
          Runs N differential-fuzz rounds (default 300). Round i uses seed\n\
          S + i (S defaults to 0), so any reported failure reproduces with\n\
@@ -182,6 +227,21 @@ fn usage() -> ! {
          every write: statements may then abort their transaction, but\n\
          only with an Err, and the twin oracle still holds.\n\
          \n\
+         --joins switches to the join-order oracle: each round builds\n\
+         the same random database twice — once with the default bushy\n\
+         enumerator and once with bushy_max_items = 0 (forced\n\
+         left-deep) — and every multi-way join query must return\n\
+         identical row sets from both, including under random tight\n\
+         optimizer-state budgets that force mid-enumeration\n\
+         degradation to greedy. Combine with --failpoints to also arm\n\
+         random faults: either side may then fail, but only with an\n\
+         Err, and both databases must keep serving.\n\
+         \n\
+         --dp-max-items N / --bushy-max-items N override the join\n\
+         enumeration tier thresholds on every database a round builds\n\
+         (Table-2-style sweeps across enumeration tiers; the --joins\n\
+         twin keeps bushy_max_items = 0 regardless).\n\
+         \n\
          --parallelism P costs candidate transformation states on P\n\
          worker threads (0 = auto, 1 = serial; the default). Results\n\
          must be identical at any worker count."
@@ -197,7 +257,10 @@ struct Args {
     binds: bool,
     feedback: bool,
     txn: bool,
+    joins: bool,
     parallelism: usize,
+    dp_max_items: Option<usize>,
+    bushy_max_items: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -209,7 +272,10 @@ fn parse_args() -> Args {
         binds: false,
         feedback: false,
         txn: false,
+        joins: false,
         parallelism: 1,
+        dp_max_items: None,
+        bushy_max_items: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -232,11 +298,26 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--dp-max-items" => {
+                parsed.dp_max_items = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--bushy-max-items" => {
+                parsed.bushy_max_items = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--failpoints" => parsed.failpoints = true,
             "--differential-exec" => parsed.differential = true,
             "--binds" => parsed.binds = true,
             "--feedback" => parsed.feedback = true,
             "--txn" => parsed.txn = true,
+            "--joins" => parsed.joins = true,
             "--help" | "-h" => usage(),
             // bare positional N, the pre-CLI invocation style
             other => match other.parse() {
@@ -255,6 +336,7 @@ fn failpoint_round(seed: u64, parallelism: usize) -> u64 {
     let mut rng = Rng::seed_from_u64(seed);
     let mut db = random_db(&mut rng);
     db.config_mut().parallelism = parallelism;
+    apply_knobs(&mut db);
     let db = db;
     let names = failpoints::all();
     for _ in 0..4 {
@@ -308,6 +390,94 @@ fn failpoint_round(seed: u64, parallelism: usize) -> u64 {
     failures
 }
 
+/// One join-order round: the same random database is built twice from
+/// the same seed — once with the default bushy enumerator and once
+/// with `bushy_max_items = 0` (forced left-deep DP/greedy) — and every
+/// multi-way join query must return identical row sets from both.
+/// Random tight optimizer-state budgets are mixed in so mid-enumeration
+/// governor exhaustion (degrade-to-greedy) is exercised: a degraded
+/// plan must still agree with the twin, and must never surface an
+/// error. With `with_faults`, random failpoints are armed around each
+/// paired run; either side may then fail, but only with an `Err`, and
+/// both databases must keep serving. Returns the number of failures.
+fn joins_round(seed: u64, parallelism: usize, with_faults: bool) -> u64 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut db = random_db(&mut rng);
+    db.config_mut().parallelism = parallelism;
+    apply_knobs(&mut db);
+    let db = db;
+    // twin with identical data, bushy enumeration off: the row oracle
+    let mut leftdeep = random_db(&mut Rng::seed_from_u64(seed));
+    leftdeep.config_mut().parallelism = parallelism;
+    apply_knobs(&mut leftdeep);
+    leftdeep.config_mut().optimizer.bushy_max_items = 0;
+    let leftdeep = leftdeep;
+    let names = failpoints::all();
+    let mut failures = 0;
+    for _ in 0..4 {
+        let sql = random_join_query(&mut rng);
+        let mut limits = StatementLimits::none();
+        if rng.gen_bool(0.4) {
+            // tight state budgets force mid-enumeration degradation to
+            // greedy; rows must be unaffected
+            limits = limits.with_optimizer_states(rng.gen_range(0i64..40) as u64);
+        }
+        let armed = if with_faults && rng.gen_bool(0.5) {
+            let name = names[rng.gen_range(0usize..names.len())];
+            Some(if rng.gen_bool(0.3) {
+                Fail::panic(name)
+            } else {
+                Fail::error(name)
+            })
+        } else {
+            None
+        };
+        let bushy = db.query_with_limits(&sql, limits);
+        let ld = leftdeep.query_with_limits(&sql, limits);
+        drop(armed);
+        match (bushy, ld) {
+            (Ok(b), Ok(l)) => {
+                if canon(&b.rows) != canon(&l.rows) {
+                    println!(
+                        "seed {seed}: JOIN ORDER MISMATCH ({} vs {} rows)\n{sql}",
+                        b.rows.len(),
+                        l.rows.len()
+                    );
+                    failures += 1;
+                }
+            }
+            (Err(_), _) | (_, Err(_)) if with_faults => {}
+            (Err(e), _) => {
+                println!("seed {seed}: BUSHY ERROR {e}\n{sql}");
+                failures += 1;
+            }
+            (_, Err(e)) => {
+                println!("seed {seed}: LEFT-DEEP ERROR {e}\n{sql}");
+                failures += 1;
+            }
+        }
+    }
+    for (label, d) in [("bushy", &db), ("left-deep", &leftdeep)] {
+        let stats = d.plan_cache_stats();
+        if stats.bytes > stats.capacity_bytes || (stats.entries == 0) != (stats.bytes == 0) {
+            println!("seed {seed}: INCONSISTENT {label} plan cache: {stats:?}");
+            failures += 1;
+        }
+        match d.query("SELECT COUNT(*) FROM employees") {
+            Ok(r) if r.rows.len() == 1 => {}
+            Ok(r) => {
+                println!("seed {seed}: {label} SANITY query returned {} rows", r.rows.len());
+                failures += 1;
+            }
+            Err(e) => {
+                println!("seed {seed}: {label} SANITY query failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
 /// One execution-differential round: random queries through
 /// [`Database::differential_exec`], which runs each optimized plan
 /// through both the vectorized and the Volcano engine and reports any
@@ -319,6 +489,7 @@ fn differential_round(seed: u64, parallelism: usize, with_faults: bool) -> u64 {
     let mut rng = Rng::seed_from_u64(seed);
     let mut db = random_db(&mut rng);
     db.config_mut().parallelism = parallelism;
+    apply_knobs(&mut db);
     let db = db;
     let names = failpoints::all();
     let mut failures = 0;
@@ -376,6 +547,7 @@ fn binds_round(seed: u64, parallelism: usize, with_faults: bool) -> u64 {
     let mut rng = Rng::seed_from_u64(seed);
     let mut db = random_db(&mut rng);
     db.config_mut().parallelism = parallelism;
+    apply_knobs(&mut db);
     let db = db;
     let names = failpoints::all();
     let mut failures = 0;
@@ -454,10 +626,12 @@ fn feedback_round(seed: u64, parallelism: usize, with_faults: bool) -> u64 {
     let mut rng = Rng::seed_from_u64(seed);
     let mut db = random_db(&mut rng);
     db.config_mut().parallelism = parallelism;
+    apply_knobs(&mut db);
     let db = db;
     // twin database with identical data, feedback off: the row oracle
     let mut oracle = random_db(&mut Rng::seed_from_u64(seed));
     oracle.config_mut().parallelism = parallelism;
+    apply_knobs(&mut oracle);
     oracle.config_mut().feedback.enabled = false;
     let oracle = oracle;
     let names = failpoints::all();
@@ -850,7 +1024,22 @@ fn main() {
         args.failpoints,
         args.parallelism,
     );
+    KNOBS
+        .set((args.dp_max_items, args.bushy_max_items))
+        .expect("knobs set once");
     let mut failures = 0;
+    if args.joins {
+        if failpoint_mode {
+            // injected panics are expected and caught at the statement
+            // boundary; keep them off stderr
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        for seed in base_seed..base_seed + rounds {
+            failures += joins_round(seed, parallelism, failpoint_mode);
+        }
+        println!("join-order fuzz complete: {rounds} rounds, {failures} failures");
+        std::process::exit(if failures > 0 { 1 } else { 0 });
+    }
     if args.txn {
         if failpoint_mode {
             // injected panics are expected and caught at the statement
@@ -914,6 +1103,7 @@ fn main() {
         let mut db = random_db(&mut rng);
         let sql = random_query(&mut rng);
         db.config_mut().parallelism = parallelism;
+        apply_knobs(&mut db);
         db.config_mut().cost_based = false;
         db.config_mut().transforms = TransformSet {
             unnest: false,

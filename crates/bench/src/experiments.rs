@@ -237,8 +237,28 @@ fn run_paired(
     ExperimentReport::build(name, results)
 }
 
+/// Join-enumeration knob overrides (`--dp-max-items`,
+/// `--bushy-max-items` on the experiments CLI), applied on top of every
+/// reset to the default configuration so Table-2-style sweeps can
+/// compare enumeration tiers across all experiments.
+static JOIN_KNOBS: std::sync::OnceLock<(Option<usize>, Option<usize>)> =
+    std::sync::OnceLock::new();
+
+/// Sets the join-enumeration tier overrides for this process. Call
+/// before any experiment runs; later calls are ignored.
+pub fn set_join_knobs(dp_max_items: Option<usize>, bushy_max_items: Option<usize>) {
+    let _ = JOIN_KNOBS.set((dp_max_items, bushy_max_items));
+}
+
 fn default_config(db: &mut Database) {
     *db.config_mut() = cbqt::OptimizerSettings::default();
+    let &(dp, bushy) = JOIN_KNOBS.get_or_init(|| (None, None));
+    if let Some(n) = dp {
+        db.config_mut().optimizer.dp_max_items = n;
+    }
+    if let Some(n) = bushy {
+        db.config_mut().optimizer.bushy_max_items = n;
+    }
 }
 
 /// Figure 2: all transformations cost-based vs. heuristic-based
@@ -326,6 +346,27 @@ pub fn run_gbp(seed: u64, n: usize, scale: f64, reps: usize) -> (ExperimentRepor
          queries improved by more than 1000%: {over_1000}\n"
     );
     (report, extra)
+}
+
+/// Join enumeration: forced left-deep (`bushy_max_items = 0`) vs the
+/// default bushy memoized enumerator on star and snowflake join shapes.
+/// Like every paired experiment, the two configurations must return
+/// identical row sets on every instance.
+pub fn run_joins(seed: u64, n: usize, scale: f64, reps: usize) -> ExperimentReport {
+    let mut gen = WorkloadGen::new(seed);
+    gen.scale = scale;
+    let mut instances = gen.generate(Family::Star, n / 2);
+    instances.extend(gen.generate(Family::Snowflake, n - n / 2));
+    run_paired(
+        "Join enumeration: forced left-deep vs bushy (star/snowflake)",
+        instances,
+        |db| {
+            default_config(db);
+            db.config_mut().optimizer.bushy_max_items = 0;
+        },
+        default_config,
+        reps,
+    )
 }
 
 /// Table 1: reuse of query sub-tree cost annotations across the

@@ -25,6 +25,11 @@ pub enum Family {
     Disjunction,
     /// ROWNUM + expensive predicates in blocking views — pullup.
     Pullup,
+    /// Fact table joined to several dimensions — bushy join enumeration.
+    Star,
+    /// A fact→mid→leaf dimension chain — bushy join enumeration over a
+    /// snowflake arm.
+    Snowflake,
 }
 
 impl Family {
@@ -38,6 +43,8 @@ impl Family {
             Family::SetOp,
             Family::Disjunction,
             Family::Pullup,
+            Family::Star,
+            Family::Snowflake,
         ]
     }
 
@@ -51,6 +58,8 @@ impl Family {
             Family::SetOp => "setop",
             Family::Disjunction => "or-expand",
             Family::Pullup => "pred-pullup",
+            Family::Star => "star-join",
+            Family::Snowflake => "snowflake",
         }
     }
 }
@@ -310,6 +319,27 @@ impl WorkloadGen {
                      WHERE rownum <= 20"
                 )
             }
+            Family::Star => {
+                // job_history as the fact, employees and departments as
+                // dimensions with independent selective filters — the
+                // shape where the bushy tier can pre-reduce dimensions
+                let k = self.rng.gen_range(0..4);
+                format!(
+                    "SELECT e.employee_name, d.department_name \
+                     FROM job_history j, employees e, departments d \
+                     WHERE j.emp_id = e.emp_id AND j.dept_id = d.dept_id \
+                       AND e.salary > {sal_cut} AND d.loc_id = {k}"
+                )
+            }
+            Family::Snowflake => format!(
+                // fact → employees → departments → locations arm: the
+                // selective filter sits at the far leaf, so a bushy plan
+                // can reduce the arm before touching the fact table
+                "SELECT COUNT(*) c FROM job_history j, employees e, departments d, locations l \
+                 WHERE j.emp_id = e.emp_id AND e.dept_id = d.dept_id \
+                   AND d.loc_id = l.loc_id AND l.country_id = '{country}' \
+                   AND e.salary > {sal_cut}"
+            ),
         }
     }
 }

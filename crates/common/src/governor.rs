@@ -156,6 +156,11 @@ struct Inner {
     rows_used: AtomicU64,
     work_budget: Option<f64>,
     degraded: AtomicBool,
+    /// Join enumeration exhausted its per-block memo allowance and fell
+    /// back to the greedy path. Kept separate from `degraded` so the
+    /// parallel search's speculative-charge refunds (`clear_degraded`)
+    /// can never erase an enumeration degradation that really happened.
+    enum_degraded: AtomicBool,
     /// Counts interrupt checks so `Instant::now()` is consulted only
     /// every few checks (call sites already batch per ~128 rows).
     checks: AtomicU64,
@@ -194,6 +199,7 @@ impl Governor {
                 rows_used: AtomicU64::new(0),
                 work_budget: limits.work_budget,
                 degraded: AtomicBool::new(false),
+                enum_degraded: AtomicBool::new(false),
                 checks: AtomicU64::new(0),
             })),
         }
@@ -245,12 +251,53 @@ impl Governor {
         }
     }
 
-    /// True once the optimizer-state budget has run out (the search has
-    /// been, or is being, degraded).
+    /// True once the statement's optimizer work has been degraded in any
+    /// way: the CBQT search ran out of transformation states, or a join
+    /// enumeration exhausted its memo allowance mid-block. Degraded
+    /// plans are valid but reflect a truncated search — callers use this
+    /// to flag `QueryStats::degraded` and to skip plan-cache publishing.
     pub fn optimizer_exhausted(&self) -> bool {
         match &self.inner {
             None => false,
+            Some(inner) => {
+                inner.degraded.load(Ordering::Relaxed)
+                    || inner.enum_degraded.load(Ordering::Relaxed)
+            }
+        }
+    }
+
+    /// True once the CBQT *search* budget specifically has run out (the
+    /// framework stops costing candidate states). Join-enumeration
+    /// degradation is deliberately excluded: it is local to one block of
+    /// one state and must not flip later states to the greedy tier —
+    /// wave workers cost states before earlier commits land, so any
+    /// cross-state coupling through this flag would make the parallel
+    /// search diverge from serial.
+    pub fn search_exhausted(&self) -> bool {
+        match &self.inner {
+            None => false,
             Some(inner) => inner.degraded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The configured optimizer-state budget, if any. Join enumeration
+    /// uses it as the per-block memo allowance (each memo entry costed
+    /// charges one unit) — a snapshot of the *configured* budget rather
+    /// than the live counter, so a block's plan depends only on the
+    /// block itself and stays identical across serial and parallel
+    /// searches (and across annotation-cache hits vs. recomputation).
+    pub fn state_budget(&self) -> Option<u64> {
+        self.inner.as_ref().and_then(|inner| inner.optimizer_states)
+    }
+
+    /// Records that a join enumeration exhausted its memo allowance and
+    /// degraded to the greedy path. Sticky for the statement; never
+    /// cleared by [`Governor::clear_degraded`]. Callers must only invoke
+    /// this at deterministic points (serial costing, or wave commit in
+    /// state order) so the flag's final value matches a serial run.
+    pub fn mark_enum_degraded(&self) {
+        if let Some(inner) = &self.inner {
+            inner.enum_degraded.store(true, Ordering::Relaxed);
         }
     }
 

@@ -69,6 +69,23 @@ pub enum TraceEvent {
     AnnotationHit { block: String },
     /// Annotation miss: the block was optimized from scratch.
     BlockCosted { block: String },
+    /// The memoized bushy join enumerator started on a block's FROM
+    /// items (only the bushy tier traces begin/end; the left-deep DP and
+    /// greedy tiers predate the memo and stay silent).
+    JoinEnumBegin { block: String, items: usize },
+    /// The bushy enumerator finished: `memo_entries` connected subsets
+    /// were costed (each charged one unit of the per-block state
+    /// allowance), `memo_hits` memo lookups were served while pairing,
+    /// and `pairs` csg-cmp pairs were actually costed. `degraded` is
+    /// true when the allowance ran out mid-enumeration and the block
+    /// fell back to the greedy join order.
+    JoinEnumEnd {
+        block: String,
+        memo_entries: usize,
+        memo_hits: usize,
+        pairs: usize,
+        degraded: bool,
+    },
     /// The statement's optimizer-state budget ran out mid-search: the
     /// framework stops costing states and keeps the best state found so
     /// far (or the heuristic plan if none was costed). The statement
@@ -187,6 +204,25 @@ impl fmt::Display for TraceEvent {
             ),
             TraceEvent::AnnotationHit { block } => write!(f, "ANNOTATION HIT {block}"),
             TraceEvent::BlockCosted { block } => write!(f, "BLOCK COSTED {block}"),
+            TraceEvent::JoinEnumBegin { block, items } => {
+                write!(f, "JOIN ENUM BEGIN {block}: {items} item(s), tier=bushy")
+            }
+            TraceEvent::JoinEnumEnd {
+                block,
+                memo_entries,
+                memo_hits,
+                pairs,
+                degraded,
+            } => write!(
+                f,
+                "JOIN ENUM END {block}: memo={memo_entries} hits={memo_hits} \
+                 pairs={pairs}{}",
+                if *degraded {
+                    " DEGRADED to greedy (state allowance exhausted)"
+                } else {
+                    ""
+                }
+            ),
             TraceEvent::QueryRewritten { before, after } => {
                 write!(f, "REWRITE\n  before: {before}\n  after:  {after}")
             }

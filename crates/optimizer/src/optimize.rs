@@ -22,6 +22,11 @@ pub struct OptimizerConfig {
     /// Blocks with at most this many FROM items use exhaustive DP join
     /// enumeration; larger blocks fall back to a greedy heuristic.
     pub dp_max_items: usize,
+    /// Blocks with at most this many FROM items (all plain inner,
+    /// non-correlated) use the memoized bushy enumerator; beyond it the
+    /// left-deep DP tier applies up to `dp_max_items`, then greedy.
+    /// Set to 0 to disable bushy enumeration entirely.
+    pub bushy_max_items: usize,
     pub enable_index_nl: bool,
     pub enable_hash_join: bool,
     pub enable_merge_join: bool,
@@ -33,6 +38,7 @@ impl Default for OptimizerConfig {
     fn default() -> Self {
         OptimizerConfig {
             dp_max_items: 10,
+            bushy_max_items: 10,
             enable_index_nl: true,
             enable_hash_join: true,
             enable_merge_join: true,
@@ -48,6 +54,11 @@ pub struct OptimizerStats {
     pub blocks_costed: u64,
     /// Query blocks whose plan was reused from a cost annotation.
     pub annotation_hits: u64,
+    /// A bushy join enumeration ran out of its per-block state
+    /// allowance and degraded to the greedy path. Sticky for the
+    /// optimizer's lifetime; the CBQT framework folds it into the
+    /// governor's degraded outcome at deterministic commit points.
+    pub enum_degraded: bool,
 }
 
 /// Number of lock shards in [`CostAnnotations`]. Keys are already
@@ -455,13 +466,27 @@ impl<'a> Optimizer<'a> {
             table_preds: &table_preds,
             join_preds: &join_preds,
             budget,
+            block: id,
+            enum_left: std::cell::Cell::new(self.governor.state_budget()),
+            enum_degraded: std::cell::Cell::new(false),
         };
+        // Tier selection: bushy (all plain inner, within bushy_max_items)
+        // → left-deep DP (within dp_max_items) → greedy. The framework's
+        // search-degraded flag drops every later block straight to greedy;
+        // the per-block bushy allowance (enum_left) is a snapshot of the
+        // configured budget, so tier choice and plan shape depend only on
+        // the block itself — identical across CBQT states and workers.
+        let exhausted = enumerator.opt.governor.search_exhausted();
+        let bushy_eligible = items.len() >= 2
+            && items.len() <= enumerator.opt.config.bushy_max_items
+            && items.len() <= 32
+            && items.iter().all(|i| i.join.is_inner() && !i.correlated);
         let best = if items.is_empty() {
             // FROM-less SELECT: one constant row
             (PlanNode::OneRow, weights::ROW, 1.0)
-        } else if items.len() <= enumerator.opt.config.dp_max_items
-            && !enumerator.opt.governor.optimizer_exhausted()
-        {
+        } else if bushy_eligible && !exhausted {
+            enumerator.enumerate_bushy()?
+        } else if items.len() <= enumerator.opt.config.dp_max_items && !exhausted {
             enumerator.enumerate_dp()?
         } else {
             // greedy fallback: very wide blocks, or the statement's
@@ -469,7 +494,25 @@ impl<'a> Optimizer<'a> {
             // cheap but always yields a valid plan)
             enumerator.enumerate_greedy()?
         };
+        let bushy_degraded = enumerator.enum_degraded.get();
         let (join_node, mut cost, mut rows) = best;
+        if bushy_degraded {
+            self.stats.enum_degraded = true;
+            // the payload uses the configured budget (a constant), not
+            // the shared states_used counter, so the event is identical
+            // whether this block is costed serially or in a wave worker
+            self.tracer.emit(|| TraceEvent::SearchDegraded {
+                transform: "bushy join enumeration".to_string(),
+                states_used: self.governor.state_budget().unwrap_or(0),
+            });
+            if self.overlay.is_none() {
+                // serial costing: fold into the governor's degraded
+                // outcome directly. Wave workers instead carry the flag
+                // in their counters; the coordinator applies it in
+                // deterministic commit order (committed states only).
+                self.governor.mark_enum_degraded();
+            }
+        }
 
         // --- post-join pipeline --------------------------------------------
         let layout = Layout::from_node(&join_node);
@@ -776,6 +819,18 @@ struct JoinEnumerator<'b, 'a> {
     table_preds: &'b HashMap<RefId, Vec<QExpr>>,
     join_preds: &'b [QExpr],
     budget: Option<f64>,
+    /// Block being enumerated (JOIN ENUM trace events).
+    block: BlockId,
+    /// Remaining per-block bushy-memo state allowance — a snapshot of
+    /// the governor's configured optimizer-state budget, deliberately
+    /// NOT the shared remaining counter: a constant allowance makes the
+    /// chosen plan a function of the block alone, so CBQT states cost
+    /// identically whether they run serially, in parallel waves, or out
+    /// of the annotation cache. `None` = unlimited.
+    enum_left: std::cell::Cell<Option<u64>>,
+    /// Set when the bushy enumeration exhausted `enum_left` and
+    /// degraded to greedy. Read by `plan_select` after enumeration.
+    enum_degraded: std::cell::Cell<bool>,
 }
 
 #[derive(Clone)]
@@ -784,6 +839,34 @@ struct Partial {
     cost: f64,
     rows: f64,
     refs: HashSet<RefId>,
+}
+
+/// Union of the join-graph neighborhoods of every item in `mask`
+/// (including bits inside `mask` itself — callers mask those out).
+fn mask_neighbors(mask: u32, adj: &[u32]) -> u32 {
+    let mut nb = 0u32;
+    let mut t = mask;
+    while t != 0 {
+        let i = t.trailing_zeros() as usize;
+        nb |= adj[i];
+        t &= t - 1;
+    }
+    nb
+}
+
+/// True if the items in `mask` form one connected subgraph of the
+/// join-predicate graph (grown from the lowest set bit).
+fn mask_is_connected(mask: u32, adj: &[u32]) -> bool {
+    debug_assert!(mask != 0);
+    let mut m = mask & mask.wrapping_neg();
+    loop {
+        let grow = mask_neighbors(m, adj) & mask & !m;
+        if grow == 0 {
+            break;
+        }
+        m |= grow;
+    }
+    m == mask
 }
 
 impl<'b, 'a> JoinEnumerator<'b, 'a> {
@@ -860,6 +943,435 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
         Ok((fin.node, fin.cost, fin.rows))
     }
 
+    /// Charges one unit of the per-block bushy state allowance. Returns
+    /// false (and latches the degraded flag) once the allowance is gone.
+    fn charge_memo_entry(&self) -> bool {
+        match self.enum_left.get() {
+            None => true,
+            Some(0) => {
+                self.enum_degraded.set(true);
+                false
+            }
+            Some(n) => {
+                self.enum_left.set(Some(n - 1));
+                true
+            }
+        }
+    }
+
+    /// Memoized bushy join enumeration (csg-cmp-pair style): a memo
+    /// keyed by connected item subsets (bitset keys) caches the best
+    /// (plan, cost, rows) per subset, costed over every partition into
+    /// two connected halves with a join edge between them — both
+    /// orientations, so bushy trees fall out naturally — with the
+    /// existing access-path alternatives at the leaves. Connectivity
+    /// comes from the join-predicate graph: subsets without a
+    /// connecting edge are never costed, and cross-products appear only
+    /// when folding distinct connected components at the end (naive 3^n
+    /// partitioning never runs). Only called for blocks whose items are
+    /// all plain inner and non-correlated, so ordering dependencies
+    /// never arise.
+    ///
+    /// Every memo entry costed charges one unit of the per-block state
+    /// allowance ([`Self::charge_memo_entry`]); exhaustion abandons the
+    /// memo mid-enumeration and degrades to the greedy path.
+    ///
+    /// Determinism: component masks, subset masks, and partition
+    /// submasks are all visited in ascending numeric order, and cost
+    /// ties keep the first minimum (`total_cmp` / `cost_lt`), so EXPLAIN
+    /// output and trace streams are byte-identical run-to-run.
+    fn enumerate_bushy(&self) -> Result<(PlanNode, f64, f64)> {
+        let n = self.items.len();
+        debug_assert!((2..=32).contains(&n));
+        self.opt.tracer.emit(|| TraceEvent::JoinEnumBegin {
+            block: self.block.to_string(),
+            items: n,
+        });
+        let mut memo_entries = 0usize;
+        let mut memo_hits = 0usize;
+        let mut pairs = 0usize;
+
+        // --- join-predicate adjacency over item indices -------------------
+        let idx_of: HashMap<RefId, usize> = self
+            .items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| (it.refid, i))
+            .collect();
+        let mut adj = vec![0u32; n];
+        for c in self.join_preds {
+            let locals: HashSet<usize> = c
+                .referenced_tables()
+                .into_iter()
+                .filter_map(|r| idx_of.get(&r).copied())
+                .collect();
+            for &i in &locals {
+                for &j in &locals {
+                    if i != j {
+                        adj[i] |= 1 << j;
+                    }
+                }
+            }
+        }
+
+        // --- connected components (ascending lowest set bit) --------------
+        let mut comps: Vec<u32> = Vec::new();
+        let mut seen = 0u32;
+        for i in 0..n {
+            if seen & (1 << i) != 0 {
+                continue;
+            }
+            let mut m = 1u32 << i;
+            loop {
+                let grow = mask_neighbors(m, &adj) & !m;
+                if grow == 0 {
+                    break;
+                }
+                m |= grow;
+            }
+            seen |= m;
+            comps.push(m);
+        }
+
+        // --- per-component memo over connected subsets ---------------------
+        let mut memo: HashMap<u32, Partial> = HashMap::new();
+        let mut folded: Option<Partial> = None;
+        for &comp in &comps {
+            // leaves
+            for i in 0..n {
+                if comp & (1 << i) == 0 {
+                    continue;
+                }
+                if !self.charge_memo_entry() {
+                    return self.bushy_degrade(memo_entries, memo_hits, pairs);
+                }
+                memo_entries += 1;
+                let p = self.standalone(&self.items[i]).ok_or_else(|| {
+                    Error::plan("bushy enumeration: item cannot stand alone")
+                })?;
+                memo.insert(1 << i, p);
+            }
+            let csize = comp.count_ones() as usize;
+            if csize >= 2 {
+                // all submasks of the component, bucketed by size and
+                // visited in ascending numeric order within each size
+                let mut by_size: Vec<Vec<u32>> = vec![Vec::new(); csize + 1];
+                let mut s = comp;
+                loop {
+                    by_size[s.count_ones() as usize].push(s);
+                    if s == 0 {
+                        break;
+                    }
+                    s = (s - 1) & comp;
+                }
+                for v in &mut by_size {
+                    v.sort_unstable();
+                }
+                for size in 2..=csize {
+                    for &mask in &by_size[size] {
+                        self.opt.governor.check_interrupt()?;
+                        if !mask_is_connected(mask, &adj) {
+                            continue;
+                        }
+                        if !self.charge_memo_entry() {
+                            return self.bushy_degrade(memo_entries, memo_hits, pairs);
+                        }
+                        memo_entries += 1;
+                        let mut best: Option<Partial> = None;
+                        // every proper partition (s1, mask \ s1), both
+                        // orientations via the full submask sweep
+                        let mut subs: Vec<u32> = Vec::new();
+                        let mut s1 = (mask - 1) & mask;
+                        while s1 != 0 {
+                            subs.push(s1);
+                            s1 = (s1 - 1) & mask;
+                        }
+                        subs.sort_unstable();
+                        for s1 in subs {
+                            let s2 = mask & !s1;
+                            // a join edge must connect the halves
+                            // (cross-products only between components)
+                            if mask_neighbors(s1, &adj) & s2 == 0 {
+                                continue;
+                            }
+                            let (Some(l), Some(r)) = (memo.get(&s1), memo.get(&s2)) else {
+                                continue;
+                            };
+                            memo_hits += 2;
+                            if let Some(b) = self.budget {
+                                // §3.4.1 cost cut-off prunes this pair
+                                if l.cost > b || r.cost > b {
+                                    continue;
+                                }
+                            }
+                            pairs += 1;
+                            if let Some(cand) = self.join_pair(l, r)? {
+                                if best
+                                    .as_ref()
+                                    .map(|b| cand.cost.total_cmp(&b.cost).is_lt())
+                                    .unwrap_or(true)
+                                {
+                                    best = Some(cand);
+                                }
+                            }
+                        }
+                        if let Some(b) = best {
+                            memo.insert(mask, b);
+                        }
+                    }
+                }
+            }
+            let comp_best = match memo.get(&comp) {
+                Some(p) => p.clone(),
+                // with a budget the only way to lose the full-component
+                // entry is the cut-off prune above
+                None if self.budget.is_some() => return Err(Error::plan(COST_CUTOFF)),
+                None => {
+                    return Err(Error::plan(
+                        "bushy join enumeration found no complete plan",
+                    ))
+                }
+            };
+            folded = Some(match folded {
+                None => comp_best,
+                Some(acc) => {
+                    // deterministic cross-product between components: no
+                    // join edge exists, so join_pair yields the block-NL
+                    // candidate with an empty predicate set
+                    pairs += 1;
+                    self.join_pair(&acc, &comp_best)?.ok_or_else(|| {
+                        Error::plan("bushy enumeration: cross-product produced no plan")
+                    })?
+                }
+            });
+        }
+        let fin = folded.expect("bushy enumeration requires at least one item");
+        if let Some(b) = self.budget {
+            if fin.cost > b {
+                return Err(Error::plan(COST_CUTOFF));
+            }
+        }
+        self.opt.tracer.emit(|| TraceEvent::JoinEnumEnd {
+            block: self.block.to_string(),
+            memo_entries,
+            memo_hits,
+            pairs,
+            degraded: false,
+        });
+        Ok((fin.node, fin.cost, fin.rows))
+    }
+
+    /// Abandons a budget-exhausted bushy enumeration: emits the
+    /// degraded end event and re-plans the whole block greedily (the
+    /// greedy pass is O(n²) extends — cheap next to the memo).
+    fn bushy_degrade(
+        &self,
+        memo_entries: usize,
+        memo_hits: usize,
+        pairs: usize,
+    ) -> Result<(PlanNode, f64, f64)> {
+        self.opt.tracer.emit(|| TraceEvent::JoinEnumEnd {
+            block: self.block.to_string(),
+            memo_entries,
+            memo_hits,
+            pairs,
+            degraded: true,
+        });
+        self.enumerate_greedy()
+    }
+
+    /// Joins two disjoint sub-plans — the generalization of [`Self::extend`]
+    /// to composite right inputs, with identical cost formulas so bushy
+    /// and left-deep plans compete on one scale. Join conjuncts that
+    /// cross the two sides become the join predicate: equalities are
+    /// oriented so the left expression references only `l` and the right
+    /// expression only `r`, everything else is residual. Candidates
+    /// mirror `extend`: hash (build right, probe left), merge, block
+    /// nested loop (always valid — the cross-product fallback), and
+    /// index NL when the right side is a single base item.
+    fn join_pair(&self, l: &Partial, r: &Partial) -> Result<Option<Partial>> {
+        let mut scope = l.refs.clone();
+        scope.extend(r.refs.iter().copied());
+        let mut applicable: Vec<QExpr> = Vec::new();
+        for c in self.join_preds {
+            let locals: HashSet<RefId> = c
+                .referenced_tables()
+                .into_iter()
+                .filter(|x| self.est.rels.contains_key(x))
+                .collect();
+            if locals.is_subset(&scope)
+                && locals.iter().any(|x| l.refs.contains(x))
+                && locals.iter().any(|x| r.refs.contains(x))
+            {
+                // conjuncts local to one side were already applied when
+                // that side's subset was memoized
+                applicable.push(c.clone());
+            }
+        }
+
+        let mut equi: Vec<(QExpr, QExpr)> = Vec::new();
+        let mut residual: Vec<QExpr> = Vec::new();
+        for c in &applicable {
+            let mut placed = false;
+            if let Some((a, b)) = c.as_equality() {
+                let arefs = a.referenced_tables();
+                let brefs = b.referenced_tables();
+                let on_side = |refs: &HashSet<RefId>, side: &HashSet<RefId>| {
+                    refs.iter()
+                        .all(|x| side.contains(x) || !self.est.rels.contains_key(x))
+                };
+                let a_nonempty = !arefs.is_empty();
+                let b_nonempty = !brefs.is_empty();
+                if on_side(&arefs, &l.refs) && on_side(&brefs, &r.refs) && a_nonempty && b_nonempty
+                {
+                    equi.push((a.clone(), b.clone()));
+                    placed = true;
+                } else if on_side(&arefs, &r.refs)
+                    && on_side(&brefs, &l.refs)
+                    && a_nonempty
+                    && b_nonempty
+                {
+                    equi.push((b.clone(), a.clone()));
+                    placed = true;
+                }
+            }
+            if !placed {
+                residual.push(c.clone());
+            }
+        }
+
+        let mut sel = 1.0;
+        for c in &applicable {
+            sel *= self.est.selectivity(c);
+        }
+        let out_rows = (l.rows * r.rows * sel).max(0.0);
+        let kind = PlanJoinKind::Inner; // bushy tier is all-inner by gate
+
+        let mut candidates: Vec<(PlanNode, f64)> = Vec::new();
+        // hash join: build the right sub-plan, probe the left
+        if self.opt.config.enable_hash_join && !equi.is_empty() {
+            let cost = l.cost
+                + r.cost
+                + r.rows * weights::HASH_BUILD
+                + l.rows * weights::HASH_PROBE
+                + out_rows * residual.len() as f64 * weights::PRED
+                + out_rows * weights::ROW;
+            candidates.push((
+                PlanNode::Join {
+                    left: Box::new(l.node.clone()),
+                    right: Box::new(r.node.clone()),
+                    kind,
+                    method: JoinMethod::Hash,
+                    equi: equi.clone(),
+                    residual: residual.clone(),
+                    lateral: false,
+                    rows: out_rows,
+                },
+                cost,
+            ));
+        }
+        // merge join
+        if self.opt.config.enable_merge_join && !equi.is_empty() {
+            let ln = l.rows.max(2.0);
+            let rn = r.rows.max(2.0);
+            let cost = l.cost
+                + r.cost
+                + weights::SORT * (ln * ln.log2() + rn * rn.log2())
+                + (l.rows + r.rows) * weights::ROW
+                + out_rows * weights::ROW;
+            candidates.push((
+                PlanNode::Join {
+                    left: Box::new(l.node.clone()),
+                    right: Box::new(r.node.clone()),
+                    kind,
+                    method: JoinMethod::Merge,
+                    equi: equi.clone(),
+                    residual: residual.clone(),
+                    lateral: false,
+                    rows: out_rows,
+                },
+                cost,
+            ));
+        }
+        // block nested loop: always valid, and the only candidate for a
+        // predicate-less cross product
+        {
+            let pred_count = (equi.len() + residual.len()).max(1) as f64;
+            let cost = l.cost
+                + r.cost
+                + l.rows * r.rows * pred_count * weights::PRED
+                + out_rows * weights::ROW;
+            candidates.push((
+                PlanNode::Join {
+                    left: Box::new(l.node.clone()),
+                    right: Box::new(r.node.clone()),
+                    kind,
+                    method: JoinMethod::NestedLoop,
+                    equi: equi.clone(),
+                    residual: residual.clone(),
+                    lateral: false,
+                    rows: out_rows,
+                },
+                cost,
+            ));
+        }
+        // index nested loop: only when the right side is a single base
+        // item (probing a composite sub-plan per left row has no index)
+        if self.opt.config.enable_index_nl && !equi.is_empty() && r.refs.len() == 1 {
+            let rref = *r.refs.iter().next().unwrap();
+            let item = self.items.iter().find(|it| it.refid == rref);
+            if let Some(item) = item {
+                if let ItemKind::Base(tid) = &item.kind {
+                    let local_preds = self
+                        .table_preds
+                        .get(&rref)
+                        .cloned()
+                        .unwrap_or_default();
+                    let (pnode, pcost, _prows) =
+                        self.best_base_scan(item, *tid, &local_preds, &equi);
+                    if matches!(
+                        pnode,
+                        PlanNode::ScanBase {
+                            access: AccessPath::IndexEq { .. },
+                            ..
+                        } | PlanNode::ScanBase {
+                            access: AccessPath::IndexRange { .. },
+                            ..
+                        }
+                    ) {
+                        let cost = l.cost
+                            + l.rows * pcost
+                            + l.rows * weights::HASH_PROBE * 0.1
+                            + out_rows * weights::ROW;
+                        candidates.push((
+                            PlanNode::Join {
+                                left: Box::new(l.node.clone()),
+                                right: Box::new(pnode),
+                                kind,
+                                method: JoinMethod::NestedLoop,
+                                equi: equi.clone(),
+                                residual: residual.clone(),
+                                lateral: true,
+                                rows: out_rows,
+                            },
+                            cost,
+                        ));
+                    }
+                }
+            }
+        }
+
+        let Some((node, cost)) = candidates.into_iter().min_by(|a, b| a.1.total_cmp(&b.1)) else {
+            return Ok(None);
+        };
+        Ok(Some(Partial {
+            node,
+            cost,
+            rows: out_rows,
+            refs: scope,
+        }))
+    }
+
     /// Greedy fallback for very wide blocks: start from the cheapest
     /// driving table, repeatedly add the extension with minimal cost.
     fn enumerate_greedy(&self) -> Result<(PlanNode, f64, f64)> {
@@ -901,7 +1413,38 @@ impl<'b, 'a> JoinEnumerator<'b, 'a> {
                     }
                 }
             }
-            let (i, p) = bestc.ok_or_else(|| Error::plan("greedy join enumeration got stuck"))?;
+            let (i, p) = match bestc {
+                Some(x) => x,
+                None => {
+                    // No remaining item has its ordering dependencies in
+                    // scope (a dependency cycle among annotated items).
+                    // Connect the stuck remainder deterministically
+                    // instead of failing the statement: the lowest-index
+                    // remaining item whose ON conjuncts are satisfiable
+                    // once it joins (preferring one whose references are
+                    // fully in scope), attached as a plain extension —
+                    // with no shared columns this costs out as a
+                    // cross-product via the block-NL candidate.
+                    let pick = (0..n)
+                        .filter(|&i| !included[i])
+                        .find(|&i| {
+                            let it = &self.items[i];
+                            it.join.on_conjuncts().iter().all(|c| {
+                                c.referenced_tables().iter().all(|x| {
+                                    *x == it.refid
+                                        || cur.refs.contains(x)
+                                        || !self.est.rels.contains_key(x)
+                                })
+                            })
+                        })
+                        .or_else(|| (0..n).find(|&i| !included[i]))
+                        .expect("greedy loop ran past all items");
+                    let cand = self.extend(&cur, &self.items[pick])?.ok_or_else(|| {
+                        Error::plan("greedy join enumeration got stuck")
+                    })?;
+                    (pick, cand)
+                }
+            };
             included[i] = true;
             current = Some(p);
         }
@@ -1789,6 +2332,236 @@ mod tests {
     fn rownum_limits_rows() {
         let (p, _) = plan("SELECT emp_id FROM employees WHERE rownum <= 10");
         assert!((p.rows - 10.0).abs() < 1e-6);
+    }
+
+    // --- enumerator tier selection ------------------------------------
+
+    fn traced_plan_with(
+        sql: &str,
+        tweak: impl FnOnce(&mut Optimizer),
+    ) -> (BlockPlan, OptimizerStats, Vec<TraceEvent>) {
+        let cat = catalog();
+        let tree = build_query_tree(&cat, &parse_query(sql).unwrap()).unwrap();
+        let ann = CostAnnotations::new();
+        let cache = SamplingCache::default();
+        let buf = cbqt_common::TraceBuffer::new();
+        let mut opt = Optimizer::new(&cat, &ann, &cache);
+        opt.tracer = Tracer::new(&buf);
+        tweak(&mut opt);
+        let p = opt.optimize(&tree, None).unwrap();
+        (p, opt.stats, buf.take())
+    }
+
+    fn has_enum_begin(events: &[TraceEvent]) -> bool {
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::JoinEnumBegin { .. }))
+    }
+
+    const TWO_TABLE: &str =
+        "SELECT e.emp_id FROM employees e, departments d WHERE e.dept_id = d.dept_id";
+
+    #[test]
+    fn single_item_block_skips_bushy_tier() {
+        let (_, stats, events) = traced_plan_with("SELECT emp_id FROM employees", |_| {});
+        assert!(!has_enum_begin(&events));
+        assert!(!stats.enum_degraded);
+    }
+
+    #[test]
+    fn bushy_tier_fires_within_item_limit() {
+        let (_, stats, events) = traced_plan_with(TWO_TABLE, |_| {});
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::JoinEnumBegin { items: 2, .. })),
+            "{events:?}"
+        );
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::JoinEnumEnd {
+                degraded: false,
+                ..
+            }
+        )));
+        assert!(!stats.enum_degraded);
+    }
+
+    #[test]
+    fn bushy_disabled_falls_back_to_left_deep_dp() {
+        let (bushy, _, _) = traced_plan_with(TWO_TABLE, |_| {});
+        let (dp, stats, events) = traced_plan_with(TWO_TABLE, |opt| {
+            opt.config.bushy_max_items = 0;
+        });
+        assert!(!has_enum_begin(&events), "left-deep DP must not trace JOIN ENUM");
+        assert!(!stats.enum_degraded);
+        // two items: bushy and left-deep search the same space
+        assert_eq!(bushy.cost.to_bits(), dp.cost.to_bits());
+    }
+
+    #[test]
+    fn item_count_above_bushy_limit_uses_left_deep_dp() {
+        let sql = "SELECT e1.emp_id FROM employees e1, employees e2, departments d \
+                   WHERE e1.dept_id = d.dept_id AND e2.dept_id = d.dept_id";
+        let (_, _, events) = traced_plan_with(sql, |opt| {
+            opt.config.bushy_max_items = 2; // 3 items > limit
+        });
+        assert!(!has_enum_begin(&events));
+        // raising the limit back turns the bushy tier on
+        let (_, _, events) = traced_plan_with(sql, |_| {});
+        assert!(has_enum_begin(&events));
+    }
+
+    #[test]
+    fn bushy_never_costs_worse_than_left_deep() {
+        let sql = "SELECT e1.emp_id FROM employees e1, employees e2, departments d \
+                   WHERE e1.dept_id = d.dept_id AND e2.dept_id = d.dept_id";
+        let (bushy, _, _) = traced_plan_with(sql, |_| {});
+        let (dp, _, _) = traced_plan_with(sql, |opt| {
+            opt.config.bushy_max_items = 0;
+        });
+        assert!(
+            bushy.cost <= dp.cost,
+            "bushy {} > left-deep {}",
+            bushy.cost,
+            dp.cost
+        );
+    }
+
+    #[test]
+    fn exhausted_search_drops_every_tier_to_greedy() {
+        use cbqt_common::{CancelToken, ExecutionLimits};
+        let limits = ExecutionLimits::none().with_optimizer_states(1);
+        let governor = Governor::new(&limits, CancelToken::new());
+        governor.charge_state(); // uses the only state
+        governor.charge_state(); // trips the degraded flag
+        assert!(governor.search_exhausted());
+        let (p, stats, events) = traced_plan_with(TWO_TABLE, |opt| {
+            opt.governor = governor.clone();
+        });
+        // greedy tier: no JOIN ENUM trace, but still a valid plan
+        assert!(!has_enum_begin(&events));
+        assert!(!stats.enum_degraded);
+        assert!(p.cost > 0.0);
+    }
+
+    #[test]
+    fn bushy_allowance_exhaustion_degrades_to_greedy() {
+        use cbqt_common::{CancelToken, ExecutionLimits};
+        // budget of 2 memo entries cannot even seed the two leaves plus
+        // the pair, so the enumeration degrades mid-flight
+        let limits = ExecutionLimits::none().with_optimizer_states(2);
+        let governor = Governor::new(&limits, CancelToken::new());
+        let (p, stats, events) = traced_plan_with(TWO_TABLE, |opt| {
+            opt.governor = governor.clone();
+        });
+        assert!(stats.enum_degraded);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::JoinEnumEnd { degraded: true, .. }
+        )));
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::SearchDegraded { .. })),
+            "{events:?}"
+        );
+        // the degraded greedy plan is still valid and executable
+        assert!(p.cost > 0.0);
+        // memo charges never touch the framework's shared state counter
+        assert_eq!(governor.states_used(), 0);
+        // the degradation is sticky on the governor (blocks cache publish)
+        assert!(governor.optimizer_exhausted());
+        // ... but does not force later blocks off the DP tiers
+        assert!(!governor.search_exhausted());
+    }
+
+    #[test]
+    fn greedy_completes_a_cyclic_dependency_graph() {
+        // A crafted ordering-dependency cycle between two annotated
+        // items — unreachable from parsed SQL today, but the greedy
+        // fallback must finish with a deterministic cross-product
+        // connection rather than erroring out mid-plan.
+        fn count_scans(n: &PlanNode) -> usize {
+            match n {
+                PlanNode::Join { left, right, .. } => count_scans(left) + count_scans(right),
+                PlanNode::ScanBase { .. } => 1,
+                _ => 0,
+            }
+        }
+        let mut cat = Catalog::new();
+        let tid = cat
+            .add_table(
+                "t",
+                vec![Column {
+                    name: "x".into(),
+                    data_type: cbqt_common::DataType::Int,
+                    not_null: false,
+                }],
+                vec![],
+            )
+            .unwrap();
+        let mk = |r: u32, join: JoinInfo, deps: &[u32]| Item {
+            refid: RefId(r),
+            alias: format!("t{r}"),
+            kind: ItemKind::Base(tid),
+            join,
+            deps: deps.iter().map(|d| RefId(*d)).collect(),
+            correlated: false,
+            plan: None,
+            base_rows: 10.0,
+            width: 2,
+        };
+        let items = vec![
+            mk(0, JoinInfo::Inner, &[]),
+            mk(1, JoinInfo::Semi { on: vec![] }, &[2]),
+            mk(2, JoinInfo::Semi { on: vec![] }, &[1]),
+        ];
+        let rels: HashMap<RefId, RelStats> = (0..3u32)
+            .map(|r| {
+                (
+                    RefId(r),
+                    RelStats {
+                        rows: 10.0,
+                        ndv: vec![10.0, 10.0],
+                    },
+                )
+            })
+            .collect();
+        let base: HashMap<RefId, TableId> = (0..3u32).map(|r| (RefId(r), tid)).collect();
+        let est = Estimator {
+            catalog: &cat,
+            rels: &rels,
+            base: &base,
+        };
+        let ann = CostAnnotations::new();
+        let cache = SamplingCache::default();
+        let opt = Optimizer::new(&cat, &ann, &cache);
+        let table_preds = HashMap::new();
+        let join_preds: Vec<QExpr> = vec![];
+        let run = || {
+            let enumerator = JoinEnumerator {
+                opt: &opt,
+                est: &est,
+                items: &items,
+                table_preds: &table_preds,
+                join_preds: &join_preds,
+                budget: None,
+                block: BlockId(0),
+                enum_left: std::cell::Cell::new(None),
+                enum_degraded: std::cell::Cell::new(false),
+            };
+            enumerator
+                .enumerate_greedy()
+                .expect("cyclic deps must not error")
+        };
+        let (node, cost, _) = run();
+        assert_eq!(count_scans(&node), 3, "all three items joined");
+        assert!(cost > 0.0);
+        // deterministic: a second enumeration produces the same plan
+        let (node2, cost2, _) = run();
+        assert_eq!(cost.to_bits(), cost2.to_bits());
+        assert_eq!(format!("{node:?}"), format!("{node2:?}"));
     }
 
     #[test]

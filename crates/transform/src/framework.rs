@@ -389,6 +389,7 @@ pub fn optimize_query_feedback(
     let plan = opt.optimize(&tree, None)?;
     opt_stats.blocks_costed += opt.stats.blocks_costed;
     opt_stats.annotation_hits += opt.stats.annotation_hits;
+    opt_stats.enum_degraded |= opt.stats.enum_degraded;
     tracer.emit(|| TraceEvent::QueryRewritten {
         before: before_sql,
         after: render::render_tree(&tree, catalog),
@@ -812,6 +813,16 @@ impl<'a> TransformSession<'a> {
         *self.cutoffs += c.cutoffs;
         self.stats.blocks_costed += c.stats.blocks_costed;
         self.stats.annotation_hits += c.stats.annotation_hits;
+        if c.stats.enum_degraded {
+            // A bushy join enumeration degraded while costing this
+            // state. Fold it into the governor's degraded outcome here,
+            // at the deterministic commit point — wave workers never
+            // touch the shared flag, and discarded speculative states
+            // never reach this merge, so the flag follows serial
+            // commit order exactly.
+            self.stats.enum_degraded = true;
+            self.ctx.governor.mark_enum_degraded();
+        }
     }
 
     /// Serial costing of one state: charge the governor, then cost in
@@ -1166,6 +1177,7 @@ fn optimize_state_copy(
     let res = opt.optimize(copy, budget);
     counters.stats.blocks_costed += opt.stats.blocks_costed;
     counters.stats.annotation_hits += opt.stats.annotation_hits;
+    counters.stats.enum_degraded |= opt.stats.enum_degraded;
     match res {
         Ok(plan) => Ok(Some(plan.cost)),
         Err(e) if is_cutoff(&e) => {

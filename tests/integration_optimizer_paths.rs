@@ -206,3 +206,181 @@ fn cross_join_without_predicates() {
         .unwrap();
     assert_eq!(r.rows.len(), 4);
 }
+
+// --- bushy join enumeration ------------------------------------------
+
+/// Snowflake star: a fact table with `arms` arms of (mid, leaf). Each
+/// fact↔mid join expands (mid keys are non-unique, ~fanout 80), while
+/// mid↔leaf joins against a selectively filtered leaf shrink the arm to
+/// ~100 rows — so pre-joining each arm (a bushy shape) is dramatically
+/// cheaper than threading the fat fact↔mid intermediates through a
+/// left-deep pipeline.
+fn snowflake_db(arms: usize) -> Database {
+    let mut db = Database::new();
+    let mut script = String::from(
+        "CREATE TABLE fact (id INT PRIMARY KEY, a1 INT, a2 INT, a3 INT, a4 INT);",
+    );
+    for k in 1..=arms {
+        script.push_str(&format!(
+            "CREATE TABLE mid{k} (id INT PRIMARY KEY, fkey INT, leaf_id INT);
+             CREATE TABLE leaf{k} (id INT PRIMARY KEY, attr INT);"
+        ));
+    }
+    db.execute_script(&script).unwrap();
+    let fact: Vec<Vec<Value>> = (0..1000i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int((i * 7 + 13) % 100),
+                Value::Int((i * 11 + 29) % 100),
+                Value::Int((i * 3 + 41) % 100),
+                Value::Int((i * 19 + 57) % 100),
+            ]
+        })
+        .collect();
+    db.load_rows("fact", fact).unwrap();
+    for k in 1..=arms {
+        let mid: Vec<Vec<Value>> = (0..8000i64)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int((i * 13 + 5 * k as i64) % 100),
+                    Value::Int((i * 17 + k as i64) % 8000),
+                ]
+            })
+            .collect();
+        db.load_rows(&format!("mid{k}"), mid).unwrap();
+        let leaf: Vec<Vec<Value>> = (0..8000i64)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 100)])
+            .collect();
+        db.load_rows(&format!("leaf{k}"), leaf).unwrap();
+    }
+    db.analyze().unwrap();
+    db.set_plan_cache_enabled(false);
+    db
+}
+
+fn snowflake_query(arms: usize) -> String {
+    let mut from = String::from("fact f");
+    let mut preds = Vec::new();
+    for k in 1..=arms {
+        from.push_str(&format!(", mid{k} m{k}, leaf{k} l{k}"));
+        preds.push(format!("f.a{k} = m{k}.fkey"));
+        preds.push(format!("m{k}.leaf_id = l{k}.id"));
+        preds.push(format!("l{k}.attr = {k}"));
+    }
+    format!("SELECT f.id FROM {from} WHERE {}", preds.join(" AND "))
+}
+
+/// The EXPLAIN of a left-deep tree has every JOIN at a distinct
+/// indentation depth (one left spine); two JOIN lines at the same
+/// depth prove a bushy shape.
+fn has_bushy_shape(explain: &str) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    for line in explain.lines() {
+        if line.trim_start().contains("JOIN") {
+            let indent = line.len() - line.trim_start().len();
+            if !seen.insert(indent) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[test]
+fn six_table_star_explain_shows_bushy_shape() {
+    let db = snowflake_db(2);
+    // 6 tables: fact + 2 × (mid, leaf) + the extra filtered arm below
+    let sql = snowflake_query(2);
+    let plan = db.explain(&sql).unwrap();
+    assert!(has_bushy_shape(&plan), "expected a bushy tree:\n{plan}");
+    // golden anchors: arms are pre-joined and the fact scan is a full scan
+    assert!(plan.contains("Hash Inner JOIN"), "{plan}");
+    assert!(plan.contains("FULL SCAN"), "{plan}");
+}
+
+#[test]
+fn bushy_beats_forced_left_deep_by_2x_on_snowflake() {
+    // 7-table snowflake (fact + 3 arms): the acceptance-gate cost ratio
+    let sql = snowflake_query(3);
+    let mut db = snowflake_db(3);
+    let bushy = db.query(&sql).unwrap();
+    db.config_mut().optimizer.bushy_max_items = 0; // force left-deep DP
+    let leftdeep = db.query(&sql).unwrap();
+    assert_eq!(
+        canon(&bushy.rows),
+        canon(&leftdeep.rows),
+        "bushy and left-deep plans must return identical row sets"
+    );
+    assert!(
+        leftdeep.stats.estimated_cost >= 2.0 * bushy.stats.estimated_cost,
+        "left-deep {} not ≥ 2x bushy {}",
+        leftdeep.stats.estimated_cost,
+        bushy.stats.estimated_cost
+    );
+    // greedy tier for the same query also agrees on rows
+    db.config_mut().optimizer.dp_max_items = 0;
+    let greedy = db.query(&sql).unwrap();
+    assert_eq!(canon(&bushy.rows), canon(&greedy.rows));
+}
+
+#[test]
+fn bushy_allowance_exhaustion_degrades_gracefully_end_to_end() {
+    use cbqt::StatementLimits;
+    let db = snowflake_db(3);
+    let sql = snowflake_query(3);
+    // plenty of framework states, far too few for the 7-item memo
+    let limits = StatementLimits::none().with_optimizer_states(20);
+    let report = db.trace_with_limits(&sql, limits.clone()).unwrap();
+    assert!(report.stats.degraded, "memo exhaustion must degrade");
+    let rendered = report.render();
+    assert!(rendered.contains("JOIN ENUM BEGIN"), "{rendered}");
+    assert!(
+        rendered.contains("DEGRADED to greedy (state allowance exhausted)"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("SEARCH DEGRADED"), "{rendered}");
+    // a degraded plan is never published to the plan cache
+    assert_eq!(db.plan_cache_stats().entries, 0);
+    // the degraded greedy plan returns exactly the full plan's rows
+    let full = db.query(&sql).unwrap();
+    assert!(!full.stats.degraded);
+    let degraded = db.query_with_limits(&sql, limits).unwrap();
+    assert!(degraded.stats.degraded);
+    assert_eq!(canon(&degraded.rows), canon(&full.rows));
+}
+
+#[test]
+fn disconnected_join_graph_under_tight_budget_completes() {
+    // Three mutually unconnected tables force cross products; a tight
+    // state budget drops the block to the greedy tier, which must
+    // connect the remainder deterministically instead of erroring
+    // ("greedy join enumeration got stuck").
+    use cbqt::StatementLimits;
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE g1 (a INT PRIMARY KEY, v INT);
+         CREATE TABLE g2 (a INT PRIMARY KEY, v INT);
+         CREATE TABLE g3 (a INT PRIMARY KEY, v INT);",
+    )
+    .unwrap();
+    for t in ["g1", "g2", "g3"] {
+        db.load_rows(
+            t,
+            (0..6i64).map(|i| vec![Value::Int(i), Value::Int(i % 3)]).collect(),
+        )
+        .unwrap();
+    }
+    db.analyze().unwrap();
+    db.set_plan_cache_enabled(false);
+    let sql = "SELECT g1.a FROM g1, g2, g3 WHERE g1.v = 0 AND g2.v = 1 AND g3.v = 2";
+    let full = db.query(sql).unwrap();
+    assert_eq!(full.rows.len(), 2 * 2 * 2);
+    for budget in [1u64, 2, 3, 5, 8] {
+        let limited = db
+            .query_with_limits(sql, StatementLimits::none().with_optimizer_states(budget))
+            .unwrap_or_else(|e| panic!("budget {budget} errored: {e}"));
+        assert_eq!(limited.rows.len(), 8, "budget {budget}");
+    }
+}

@@ -234,3 +234,73 @@ fn work_is_conserved_without_cost_cutoff() {
         assert_eq!(serial, measure(workers), "{workers} workers");
     }
 }
+
+// --- bushy enumeration under the parallel search ----------------------
+
+/// A star-shaped main block (4 inner items, tree join graph) that the
+/// bushy enumerator handles, plus an unnestable EXISTS so the CBQT
+/// search has real states: unnested states carry a semi-annotated item
+/// (left-deep DP tier), un-unnested states keep the block all-inner
+/// (bushy tier) — both shapes must stay deterministic at any
+/// parallelism.
+const STAR_QUERY: &str = "SELECT f.a FROM t1 f, t2 d1, t3 d2, t1 d3
+    WHERE f.b = d1.b AND f.c = d2.c AND d1.c = d3.c AND
+          EXISTS (SELECT 1 FROM t2 x, t3 y WHERE x.a = y.a AND x.b = f.b)";
+
+fn run_star(strategy: SearchStrategy, workers: usize) -> Run {
+    let mut d = db();
+    d.config_mut().search = strategy;
+    d.config_mut().parallelism = workers;
+    let explain = d.explain(STAR_QUERY).unwrap();
+    let r = d.query(STAR_QUERY).unwrap();
+    Run {
+        explain,
+        rows: canon(&r.rows),
+        cost: r.stats.estimated_cost,
+        states: r.stats.states_explored,
+        cutoffs: r.stats.cutoffs,
+    }
+}
+
+#[test]
+fn star_query_matches_serial_at_every_worker_count() {
+    for strategy in STRATEGIES {
+        let serial = run_star(strategy, 1);
+        for workers in [2usize, 4, 8] {
+            let par = run_star(strategy, workers);
+            assert_eq!(
+                serial.explain, par.explain,
+                "{strategy:?}: star EXPLAIN diverged at {workers} workers"
+            );
+            assert_eq!(serial.rows, par.rows, "{strategy:?}/{workers}: rows");
+            assert_eq!(
+                serial.cost.to_bits(),
+                par.cost.to_bits(),
+                "{strategy:?}/{workers}: cost"
+            );
+            assert_eq!(
+                serial.states, par.states,
+                "{strategy:?}/{workers}: states_explored"
+            );
+            assert!(par.cutoffs <= serial.cutoffs, "{strategy:?}/{workers}");
+        }
+    }
+}
+
+#[test]
+fn star_query_trace_is_deterministic_at_fixed_worker_count() {
+    for strategy in STRATEGIES {
+        let mut traces = Vec::new();
+        for _ in 0..2 {
+            let mut d = db();
+            d.config_mut().search = strategy;
+            d.config_mut().parallelism = 4;
+            traces.push(d.trace(STAR_QUERY).unwrap());
+        }
+        assert_eq!(
+            traces[0].render(),
+            traces[1].render(),
+            "{strategy:?}: star trace not reproducible at 4 workers"
+        );
+    }
+}
